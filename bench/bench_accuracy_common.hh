@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Shared machinery for the Fig. 14 / Fig. 15 accuracy benches:
+ * train the two substitute models once (4-bit vision "DeiT-T
+ * substitute", 8-bit sequence "BERT-base substitute" — see DESIGN.md
+ * section 4), then evaluate them on the noisy photonic GEMM backend
+ * under sweeping noise knobs.
+ */
+
+#ifndef LT_BENCH_BENCH_ACCURACY_COMMON_HH
+#define LT_BENCH_BENCH_ACCURACY_COMMON_HH
+
+#include <memory>
+
+#include "nn/gemm_backend.hh"
+#include "nn/transformer.hh"
+#include "train/datasets.hh"
+#include "train/trainer.hh"
+
+namespace lt {
+namespace bench {
+
+/** A trained model plus its test set and digital reference accuracy. */
+struct TrainedVisionTask
+{
+    std::unique_ptr<nn::TransformerClassifier> model;
+    std::unique_ptr<train::ShapeDataset> test_set;
+    nn::QuantConfig quant;
+    double digital_accuracy;
+};
+
+struct TrainedSequenceTask
+{
+    std::unique_ptr<nn::TransformerClassifier> model;
+    std::unique_ptr<train::NeedleDataset> test_set;
+    nn::QuantConfig quant;
+    double digital_accuracy;
+};
+
+/** Train the 4-bit vision substitute (prints progress). */
+inline TrainedVisionTask
+trainVisionTask(int act_weight_bits = 4)
+{
+    TrainedVisionTask task;
+    nn::TransformerConfig cfg;
+    cfg.dim = 16;
+    cfg.depth = 1;
+    cfg.heads = 2;
+    cfg.mlp_hidden = 32;
+    cfg.num_classes = train::ShapeDataset::kNumClasses;
+    cfg.max_tokens = train::ShapeDataset::kNumPatches + 1;
+    cfg.patch_dim = train::ShapeDataset::kPatchDim;
+    task.model = std::make_unique<nn::TransformerClassifier>(cfg);
+    task.quant = {act_weight_bits, act_weight_bits, true};
+
+    train::TrainerConfig tcfg;
+    tcfg.epochs = 10;
+    tcfg.lr = 2e-3;
+    tcfg.quant = task.quant;
+    tcfg.train_noise_std = 0.05; // noise-aware training
+    train::Trainer trainer(*task.model, tcfg);
+    train::ShapeDataset train_set(400, 1001);
+    trainer.trainVision(train_set.samples());
+
+    task.test_set = std::make_unique<train::ShapeDataset>(200, 2002);
+    nn::IdealBackend ideal;
+    nn::RunContext ctx{&ideal, task.quant};
+    task.digital_accuracy = train::Trainer::evaluateVision(
+        *task.model, task.test_set->samples(), ctx);
+    return task;
+}
+
+/** Train the 8-bit sequence substitute. */
+inline TrainedSequenceTask
+trainSequenceTask(int act_weight_bits = 8)
+{
+    TrainedSequenceTask task;
+    nn::TransformerConfig cfg;
+    cfg.dim = 16;
+    cfg.depth = 1;
+    cfg.heads = 2;
+    cfg.mlp_hidden = 32;
+    cfg.num_classes = train::NeedleDataset::kNumClasses;
+    cfg.max_tokens = train::NeedleDataset::kSeqLen + 1;
+    cfg.vocab_size = train::NeedleDataset::kVocab;
+    task.model = std::make_unique<nn::TransformerClassifier>(cfg);
+    task.quant = {act_weight_bits, act_weight_bits, true};
+
+    train::TrainerConfig tcfg;
+    tcfg.epochs = 10;
+    tcfg.lr = 2e-3;
+    tcfg.quant = task.quant;
+    tcfg.train_noise_std = 0.05;
+    train::Trainer trainer(*task.model, tcfg);
+    train::NeedleDataset train_set(400, 3003);
+    trainer.trainSequence(train_set.samples());
+
+    task.test_set = std::make_unique<train::NeedleDataset>(200, 4004);
+    nn::IdealBackend ideal;
+    nn::RunContext ctx{&ideal, task.quant};
+    task.digital_accuracy = train::Trainer::evaluateSequence(
+        *task.model, task.test_set->samples(), ctx);
+    return task;
+}
+
+/** Evaluate a vision task on the noisy photonic backend. */
+inline double
+photonicVisionAccuracy(TrainedVisionTask &task,
+                       const core::NoiseConfig &noise, size_t nlambda,
+                       uint64_t seed = 0xACC)
+{
+    core::DptcConfig dcfg;
+    dcfg.nlambda = nlambda;
+    dcfg.input_bits = task.quant.act_bits;
+    dcfg.noise = noise;
+    dcfg.seed = seed;
+    nn::PhotonicBackend backend(dcfg, core::EvalMode::Noisy);
+    nn::RunContext ctx{&backend, task.quant};
+    return train::Trainer::evaluateVision(
+        *task.model, task.test_set->samples(), ctx);
+}
+
+inline double
+photonicSequenceAccuracy(TrainedSequenceTask &task,
+                         const core::NoiseConfig &noise,
+                         size_t nlambda, uint64_t seed = 0xACC)
+{
+    core::DptcConfig dcfg;
+    dcfg.nlambda = nlambda;
+    dcfg.input_bits = task.quant.act_bits;
+    dcfg.noise = noise;
+    dcfg.seed = seed;
+    nn::PhotonicBackend backend(dcfg, core::EvalMode::Noisy);
+    nn::RunContext ctx{&backend, task.quant};
+    return train::Trainer::evaluateSequence(
+        *task.model, task.test_set->samples(), ctx);
+}
+
+} // namespace bench
+} // namespace lt
+
+#endif // LT_BENCH_BENCH_ACCURACY_COMMON_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table bench binaries.
+ *
+ * Every bench prints (a) a banner naming the paper artifact it
+ * regenerates, (b) an aligned table with the measured rows/series,
+ * and (c) where the paper states concrete numbers, a paper-vs-measured
+ * column so the reproduction quality is visible at a glance.
+ */
+
+#ifndef LT_BENCH_BENCH_COMMON_HH
+#define LT_BENCH_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+
+#include "arch/report.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace lt {
+namespace bench {
+
+/** Format a ratio like "2.62x". */
+inline std::string
+ratio(double r, int precision = 2)
+{
+    return units::fmtFixed(r, precision) + "x";
+}
+
+/** Format "measured (paper X, delta%)". */
+inline std::string
+vsPaper(double measured, double paper, int precision = 2)
+{
+    double delta = paper != 0.0 ? (measured - paper) / paper * 100.0
+                                : 0.0;
+    return units::fmtFixed(measured, precision) + " (paper " +
+           units::fmtFixed(paper, precision) + ", " +
+           units::fmtFixed(delta, 1) + "%)";
+}
+
+/** Add the Fig. 11-style energy-breakdown columns of a report. */
+inline std::vector<std::string>
+energyBreakdownCells(const arch::EnergyBreakdown &e)
+{
+    auto uj = [](double j) { return units::fmtFixed(j * 1e6, 2); };
+    return {uj(e.laser),     uj(e.op1_dac), uj(e.op1_mod),
+            uj(e.op2_dac),   uj(e.op2_mod), uj(e.detection),
+            uj(e.adc),       uj(e.data_movement),
+            uj(e.static_other), uj(e.total())};
+}
+
+inline std::vector<std::string>
+energyBreakdownHeaders(const std::string &first)
+{
+    return {first,     "laser[uJ]", "op1-DAC", "op1-mod", "op2-DAC",
+            "op2-mod", "det",       "ADC",     "data-mv", "static",
+            "total[uJ]"};
+}
+
+} // namespace bench
+} // namespace lt
+
+#endif // LT_BENCH_BENCH_COMMON_HH

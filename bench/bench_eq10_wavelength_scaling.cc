@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Section V-B wavelength-scaling reproduction (Eq. 10): the microdisk
+ * FSR (5.6 THz) bounds the usable DWDM window to
+ * [1527.88, 1572.76] nm, fitting up to 112 channels at 0.4 nm
+ * spacing. Also shows how added spectral parallelism reduces the
+ * cycle count of a DeiT-T inference.
+ */
+
+#include <iostream>
+
+#include "arch/performance_model.hh"
+#include "bench_common.hh"
+#include "nn/model_zoo.hh"
+#include "photonics/wavelength.hh"
+
+int
+main()
+{
+    using namespace lt;
+    using namespace lt::photonics;
+
+    printBanner(std::cout, "Eq. 10: FSR-bounded wavelength scaling");
+
+    FsrWindow window = fsrWindow();
+    std::cout << "lambda_left  = "
+              << lt::bench::vsPaper(window.lambda_left_m * 1e9,
+                                    1527.88)
+              << " nm\n";
+    std::cout << "lambda_right = "
+              << lt::bench::vsPaper(window.lambda_right_m * 1e9,
+                                    1572.76)
+              << " nm\n";
+    size_t channels = maxWdmChannels(window);
+    std::cout << "max channels @ 0.4 nm spacing = " << channels
+              << " (paper: up to 112)\n";
+
+    printBanner(std::cout,
+                "DeiT-T latency vs per-core wavelength count");
+    nn::Workload wl = nn::extractWorkload(nn::deitTiny());
+    Table table({"Nlambda", "DeiT-T latency [ms]", "speedup vs 12"});
+    double base_latency =
+        arch::LtPerformanceModel(arch::ArchConfig::ltBase())
+            .evaluate(wl).latency.total() * 1e3;
+    for (size_t nl : {6, 12, 24, 48, 112}) {
+        arch::ArchConfig cfg = arch::ArchConfig::ltBase();
+        cfg.nlambda = nl;
+        arch::LtPerformanceModel model(cfg);
+        double lat = model.evaluate(wl).latency.total() * 1e3;
+        table.addRow({std::to_string(nl), units::fmtSci(lat, 3),
+                      lt::bench::ratio(base_latency / lat)});
+    }
+    table.print(std::cout);
+    std::cout << "\n(the dispersion-robustness that makes >100-channel"
+                 " operation viable is\nvalidated in bench_fig14 and"
+                 " tests/test_ddot.cc)\n";
+    return 0;
+}

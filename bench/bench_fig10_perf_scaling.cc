@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig. 10 reproduction: performance and efficiency of the optical
+ * computing part (ADC/DAC excluded) vs core size: TOPS, TOPS/W,
+ * TOPS/mm^2, and TOPS/W/mm^2. The paper reports the first three
+ * increasing with core size while TOPS/W/mm^2 decreases.
+ */
+
+#include <iostream>
+
+#include "arch/chip_model.hh"
+#include "bench_common.hh"
+#include "util/csv.hh"
+
+int
+main()
+{
+    using namespace lt;
+    using namespace lt::arch;
+
+    printBanner(std::cout,
+                "Fig. 10: optical-part efficiency vs core size");
+
+    Table table({"N", "TOPS", "TOPS/W", "TOPS/mm^2", "TOPS/W/mm^2"});
+    CsvWriter csv("fig10_perf_scaling.csv",
+                  {"n", "tops", "tops_per_w", "tops_per_mm2",
+                   "tops_per_w_mm2"});
+    double prev_tops = 0.0, prev_tpw = 0.0, prev_tpmm = 0.0;
+    double prev_twm = 1e18;
+    bool monotone = true;
+    for (size_t n : {8, 12, 16, 20, 24, 32, 40, 48, 56}) {
+        ChipModel chip(ArchConfig::singleCore(n));
+        double tops = chip.opticalTops();
+        double tpw = chip.opticalTopsPerWatt();
+        double tpmm = chip.opticalTopsPerMm2();
+        AreaBreakdown a = chip.area(true);
+        double optical_mm2 =
+            (a.photonic_core + a.modulation + a.laser_comb) * 1e6;
+        double twm = tpw / optical_mm2;
+        table.addRow({std::to_string(n), units::fmtFixed(tops, 1),
+                      units::fmtFixed(tpw, 1),
+                      units::fmtFixed(tpmm, 2),
+                      units::fmtFixed(twm, 3)});
+        csv.writeRow({static_cast<double>(n), tops, tpw, tpmm, twm});
+        monotone &= tops > prev_tops && tpw > prev_tpw &&
+                    tpmm > prev_tpmm && twm < prev_twm;
+        prev_tops = tops;
+        prev_tpw = tpw;
+        prev_tpmm = tpmm;
+        prev_twm = twm;
+    }
+    table.print(std::cout);
+    std::cout << "\nShape check (paper): TOPS, TOPS/W, TOPS/mm^2 rise "
+                 "with core size;\nTOPS/W/mm^2 falls -> "
+              << (monotone ? "OK" : "MISMATCH") << "\n";
+    std::cout << "(series written to fig10_perf_scaling.csv)\n";
+    return 0;
+}

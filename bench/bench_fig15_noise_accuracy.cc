@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fig. 15 reproduction: encoding-noise robustness — accuracy of the
+ * 4-bit vision substitute under sweeping magnitude-noise std
+ * (0.02..0.08) and phase-noise std (1..7 degrees), against the
+ * digital reference. Paper outcome: degradation within ~0.5% at the
+ * paper's operating points, growing gracefully with noise.
+ */
+
+#include <iostream>
+
+#include "bench_accuracy_common.hh"
+#include "bench_common.hh"
+#include "util/csv.hh"
+
+int
+main()
+{
+    using namespace lt;
+    using namespace lt::bench;
+
+    printBanner(std::cout,
+                "Fig. 15: accuracy vs encoding magnitude/phase noise");
+
+    std::cout << "training 4-bit vision substitute (DeiT-T stand-in)"
+              << "...\n";
+    TrainedVisionTask vision = trainVisionTask(4);
+    std::cout << "digital reference accuracy: "
+              << units::fmtFixed(vision.digital_accuracy * 100.0, 1)
+              << " %\n";
+
+    CsvWriter csv("fig15_noise_accuracy.csv",
+                  {"sweep", "value", "accuracy", "reference"});
+
+    printBanner(std::cout, "magnitude-noise sweep (phase = 2 deg)");
+    Table mag_table({"magnitude std", "accuracy [%]", "drop [%]"});
+    for (double sigma : {0.02, 0.04, 0.06, 0.08}) {
+        core::NoiseConfig noise = core::NoiseConfig::paperDefault();
+        noise.magnitude_noise_std = sigma;
+        double acc = photonicVisionAccuracy(vision, noise, 12);
+        mag_table.addRow(
+            {units::fmtFixed(sigma, 2),
+             units::fmtFixed(acc * 100.0, 1),
+             units::fmtFixed((vision.digital_accuracy - acc) * 100.0,
+                             1)});
+        csv.writeRow({"magnitude", units::fmtFixed(sigma, 2),
+                      units::fmtFixed(acc, 4),
+                      units::fmtFixed(vision.digital_accuracy, 4)});
+    }
+    mag_table.print(std::cout);
+
+    printBanner(std::cout, "phase-noise sweep (magnitude = 0.03)");
+    Table ph_table({"phase std [deg]", "accuracy [%]", "drop [%]"});
+    for (double deg : {1.0, 3.0, 5.0, 7.0}) {
+        core::NoiseConfig noise = core::NoiseConfig::paperDefault();
+        noise.phase_noise_std_deg = deg;
+        double acc = photonicVisionAccuracy(vision, noise, 12);
+        ph_table.addRow(
+            {units::fmtFixed(deg, 0),
+             units::fmtFixed(acc * 100.0, 1),
+             units::fmtFixed((vision.digital_accuracy - acc) * 100.0,
+                             1)});
+        csv.writeRow({"phase", units::fmtFixed(deg, 1),
+                      units::fmtFixed(acc, 4),
+                      units::fmtFixed(vision.digital_accuracy, 4)});
+    }
+    ph_table.print(std::cout);
+
+    std::cout << "\nShape check (paper): accuracy stays within ~1% of "
+                 "the digital reference\nacross both sweeps thanks to "
+                 "noise-aware training; degradation grows\ngracefully "
+                 "with the noise level.\n"
+              << "(series written to fig15_noise_accuracy.csv)\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig. 7 reproduction: chip-area breakdown of LT-B (60.3 mm^2) and
+ * LT-L (112.82 mm^2). The paper highlights photonic core ~20%,
+ * memory ~25%, and DAC ~25% shares.
+ */
+
+#include <iostream>
+
+#include "arch/chip_model.hh"
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace lt;
+    using namespace lt::arch;
+
+    printBanner(std::cout, "Fig. 7: area breakdown (LT-B / LT-L)");
+
+    Table table({"Component", "LT-B [mm^2]", "LT-B [%]",
+                 "LT-L [mm^2]", "LT-L [%]"});
+    ChipModel base(ArchConfig::ltBase());
+    ChipModel large(ArchConfig::ltLarge());
+    AreaBreakdown b = base.area();
+    AreaBreakdown l = large.area();
+
+    auto row = [&](const std::string &name, double bv, double lv) {
+        table.addRow({name, units::fmtFixed(bv * 1e6, 2),
+                      units::fmtFixed(bv / b.total() * 100.0, 1),
+                      units::fmtFixed(lv * 1e6, 2),
+                      units::fmtFixed(lv / l.total() * 100.0, 1)});
+    };
+    row("photonic core (DPTC)", b.photonic_core, l.photonic_core);
+    row("DAC", b.dac, l.dac);
+    row("ADC", b.adc, l.adc);
+    row("modulation (MZM+WDM)", b.modulation, l.modulation);
+    row("memory", b.memory, l.memory);
+    row("laser + micro-comb", b.laser_comb, l.laser_comb);
+    row("digital units", b.digital, l.digital);
+    row("other (TIA/PD)", b.other, l.other);
+    table.addSeparator();
+    row("TOTAL", b.total(), l.total());
+    table.print(std::cout);
+
+    std::cout << "\ntotal LT-B : "
+              << lt::bench::vsPaper(b.total() * 1e6, 60.3) << " mm^2\n";
+    std::cout << "total LT-L : "
+              << lt::bench::vsPaper(l.total() * 1e6, 112.82)
+              << " mm^2\n";
+    std::cout << "paper share check: core ~20%, memory ~25%, DAC ~25%\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig. 8 reproduction: LT-B power breakdown at 4-bit (paper: 14.75 W)
+ * and 8-bit (paper: 50.94 W) precision; also prints LT-L totals
+ * (paper: 28.06 W and 95.92 W). The paper highlights that the 8-bit
+ * version consumes > 3x the 4-bit one, driven by DAC power (> 50% of
+ * total) and laser power (0.77 W -> 12.3 W).
+ */
+
+#include <iostream>
+
+#include "arch/chip_model.hh"
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace lt;
+    using namespace lt::arch;
+
+    printBanner(std::cout, "Fig. 8: LT-B power breakdown (4/8-bit)");
+
+    ChipModel chip(ArchConfig::ltBase());
+    PowerBreakdown p4 = chip.power(4);
+    PowerBreakdown p8 = chip.power(8);
+
+    Table table({"Component", "4-bit [W]", "4-bit [%]", "8-bit [W]",
+                 "8-bit [%]"});
+    auto row = [&](const std::string &name, double v4, double v8) {
+        table.addRow({name, units::fmtFixed(v4, 3),
+                      units::fmtFixed(v4 / p4.total() * 100.0, 1),
+                      units::fmtFixed(v8, 3),
+                      units::fmtFixed(v8 / p8.total() * 100.0, 1)});
+    };
+    row("laser", p4.laser, p8.laser);
+    row("DAC", p4.dac, p8.dac);
+    row("ADC", p4.adc, p8.adc);
+    row("modulation (MZM+disk)", p4.modulation, p8.modulation);
+    row("photodetector + TIA", p4.photodetector, p8.photodetector);
+    row("driver overhead", p4.driver, p8.driver);
+    row("memory (leakage)", p4.memory, p8.memory);
+    row("digital units", p4.digital, p8.digital);
+    table.addSeparator();
+    row("TOTAL", p4.total(), p8.total());
+    table.print(std::cout);
+
+    std::cout << "\n4-bit total : "
+              << lt::bench::vsPaper(p4.total(), 14.75) << " W\n";
+    std::cout << "8-bit total : "
+              << lt::bench::vsPaper(p8.total(), 50.94) << " W\n";
+    std::cout << "laser 4-bit : "
+              << lt::bench::vsPaper(p4.laser, 0.77) << " W\n";
+    std::cout << "laser 8-bit : "
+              << lt::bench::vsPaper(p8.laser, 12.3) << " W\n";
+    std::cout << "8-bit / 4-bit power ratio : "
+              << lt::bench::ratio(p8.total() / p4.total())
+              << " (paper: > 3x)\n";
+    std::cout << "8-bit DAC share           : "
+              << units::fmtFixed(p8.dac / p8.total() * 100.0, 1)
+              << " % (paper: > 50%)\n";
+
+    ChipModel largeChip(ArchConfig::ltLarge());
+    std::cout << "\nLT-L totals: 4-bit "
+              << lt::bench::vsPaper(largeChip.power(4).total(), 28.06)
+              << " W, 8-bit "
+              << lt::bench::vsPaper(largeChip.power(8).total(), 95.92)
+              << " W\n";
+    return 0;
+}

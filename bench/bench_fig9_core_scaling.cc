@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig. 9 reproduction: area, power, and latency scaling of a single
+ * 4-bit DPTC core with core size N (Nh = Nv = Nlambda = N), DACs not
+ * shared. Paper endpoints: area 5.9 -> 49.3 mm^2, power 1.1 -> 17 W,
+ * latency 47 -> 106.4 ps across N = 8..32; optics latency grows
+ * ~linearly while EO/OE stays flat.
+ */
+
+#include <iostream>
+
+#include "arch/chip_model.hh"
+#include "bench_common.hh"
+#include "util/csv.hh"
+
+int
+main()
+{
+    using namespace lt;
+    using namespace lt::arch;
+
+    printBanner(std::cout,
+                "Fig. 9: single-core area / power / latency scaling");
+
+    struct PaperRow
+    {
+        size_t n;
+        double area, power, latency;
+    };
+    const PaperRow paper[] = {
+        {8, 5.9, 1.1, 47.0},   {12, 9.5, 2.4, 55.5},
+        {14, 11.9, 3.3, 59.7}, {16, 14.6, 4.3, 63.9},
+        {18, 17.6, 5.4, 68.2}, {20, 21.1, 6.6, 72.4},
+        {22, 24.9, 8.1, 76.7}, {24, 29.0, 9.6, 80.9},
+        {32, 49.3, 17.0, 106.4}};
+
+    Table table({"N", "area [mm^2] (paper)", "power [W] (paper)",
+                 "latency [ps] (paper)", "optics [ps]", "EO/OE [ps]"});
+    CsvWriter csv("fig9_core_scaling.csv",
+                  {"n", "area_mm2", "power_w", "latency_ps",
+                   "optics_ps", "eooe_ps"});
+    for (const auto &row : paper) {
+        ChipModel chip(ArchConfig::singleCore(row.n));
+        double area = chip.area(true).total() * 1e6;
+        double power = chip.power(4).total();
+        double lat = chip.shotLatencyS() * 1e12;
+        double optics = chip.opticsLatencyS() * 1e12;
+        double eooe = chip.eoOeLatencyS() * 1e12;
+        table.addRow({std::to_string(row.n),
+                      lt::bench::vsPaper(area, row.area, 1),
+                      lt::bench::vsPaper(power, row.power, 2),
+                      lt::bench::vsPaper(lat, row.latency, 1),
+                      units::fmtFixed(optics, 1),
+                      units::fmtFixed(eooe, 1)});
+        csv.writeRow({static_cast<double>(row.n), area, power, lat,
+                      optics, eooe});
+    }
+    table.print(std::cout);
+    std::cout << "\n(series written to fig9_core_scaling.csv)\n";
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Section VI-B reproduction: autoregressive LLM decode on the
+ * photonic accelerator. Shows (a) the low arithmetic intensity of
+ * token-by-token generation makes the workload memory-bound and
+ * under-utilizes the photonic compute, and (b) batching requests
+ * recovers intensity — the paper's proposed mitigation.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "arch/performance_model.hh"
+#include "bench_common.hh"
+#include "nn/llm_workload.hh"
+#include "util/csv.hh"
+
+int
+main()
+{
+    using namespace lt;
+    using namespace lt::bench;
+
+    printBanner(std::cout,
+                "Section VI-B: autoregressive decode on LT-B");
+
+    arch::ArchConfig cfg = arch::ArchConfig::ltBase();
+    cfg.precision_bits = 8;
+    arch::LtPerformanceModel lt_model(cfg);
+    const double hbm_bw = cfg.hbm_bandwidth;
+
+    auto model = nn::bertLarge(1); // decoder-sized stand-in
+    CsvWriter csv("llm_decode.csv",
+                  {"batch", "context", "intensity", "compute_us",
+                   "memory_us", "bound"});
+
+    Table table({"batch", "context", "arith. intensity [MAC/B]",
+                 "compute [us]", "memory [us]", "bound",
+                 "tokens/s (batch)"});
+    for (size_t batch : {1, 2, 4, 8, 16, 32, 64}) {
+        for (size_t ctx : {512}) {
+            nn::DecodeConfig dcfg{model, ctx, batch, 8};
+            nn::DecodeStep step = nn::decodeStepWorkload(dcfg);
+
+            // Photonic compute time for the step's GEMM list.
+            nn::Workload wl;
+            wl.model = "decode";
+            wl.ops = step.ops;
+            double compute_s =
+                lt_model.evaluate(wl).latency.total();
+            // Off-chip time to stream weights + KV cache.
+            double memory_s =
+                static_cast<double>(step.totalBytes()) / hbm_bw;
+            double step_s = std::max(compute_s, memory_s);
+            bool memory_bound = memory_s > compute_s;
+
+            table.addRow(
+                {std::to_string(batch), std::to_string(ctx),
+                 units::fmtFixed(step.arithmeticIntensity(), 2),
+                 units::fmtFixed(compute_s * 1e6, 2),
+                 units::fmtFixed(memory_s * 1e6, 2),
+                 memory_bound ? "memory" : "compute",
+                 units::fmtFixed(batch / step_s, 0)});
+            csv.writeRow({static_cast<double>(batch),
+                          static_cast<double>(ctx),
+                          step.arithmeticIntensity(),
+                          compute_s * 1e6, memory_s * 1e6,
+                          memory_bound ? 1.0 : 0.0});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nShape check (paper Section VI-B): batch-1 decode is "
+           "memory-bound (weights\nstream for a handful of MACs "
+           "each); batching amortizes weight traffic and\nraises "
+           "intensity several-fold. The per-request KV-cache stream "
+           "keeps\nlong-context attention memory-bound regardless of "
+           "batch — exactly why the\npaper proposes Q/K recomputation "
+           "and FlashAttention-style tiling for LLMs.\n"
+           "(series written to llm_decode.csv)\n";
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the functional photonic models:
+ * DDot evaluation paths, DPTC one-shot/tiled GEMM, and the MZI
+ * mapping pipeline. These measure the *simulator's* software
+ * throughput (useful when scaling accuracy experiments), not the
+ * modelled hardware.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/ddot.hh"
+#include "core/dptc.hh"
+#include "util/linalg.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace lt;
+using namespace lt::core;
+
+void
+BM_DDotIdeal(benchmark::State &state)
+{
+    Rng rng(1);
+    auto x = rng.uniformVector(12);
+    auto y = rng.uniformVector(12);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(DDot::idealDot(x, y));
+}
+BENCHMARK(BM_DDotIdeal);
+
+void
+BM_DDotFieldSim(benchmark::State &state)
+{
+    DDot ddot(12, NoiseConfig::paperDefault());
+    Rng rng(2);
+    auto x = rng.uniformVector(12);
+    auto y = rng.uniformVector(12);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ddot.fieldSimDot(x, y, rng));
+}
+BENCHMARK(BM_DDotFieldSim);
+
+void
+BM_DDotAnalyticNoisy(benchmark::State &state)
+{
+    DDot ddot(12, NoiseConfig::paperDefault());
+    Rng rng(3);
+    auto x = rng.uniformVector(12);
+    auto y = rng.uniformVector(12);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ddot.analyticNoisyDot(x, y, rng));
+}
+BENCHMARK(BM_DDotAnalyticNoisy);
+
+void
+BM_DptcOneShot(benchmark::State &state)
+{
+    DptcConfig cfg;
+    cfg.noise = state.range(0) ? NoiseConfig::paperDefault()
+                               : NoiseConfig::ideal();
+    Dptc dptc(cfg);
+    Rng rng(4);
+    Matrix a(12, 12), b(12, 12);
+    for (double &v : a.data())
+        v = rng.uniform(-1, 1);
+    for (double &v : b.data())
+        v = rng.uniform(-1, 1);
+    EvalMode mode = state.range(0) ? EvalMode::Noisy : EvalMode::Ideal;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dptc.multiply(a, b, mode));
+    state.SetItemsProcessed(state.iterations() * 12 * 12 * 12);
+}
+BENCHMARK(BM_DptcOneShot)->Arg(0)->Arg(1);
+
+void
+BM_DptcTiledGemm(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    DptcConfig cfg;
+    cfg.noise = NoiseConfig::ideal();
+    Dptc dptc(cfg);
+    Rng rng(5);
+    Matrix a(n, n), b(n, n);
+    for (double &v : a.data())
+        v = rng.uniform(-1, 1);
+    for (double &v : b.data())
+        v = rng.uniform(-1, 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dptc.gemm(a, b, EvalMode::Ideal));
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_DptcTiledGemm)->Arg(48)->Arg(96);
+
+void
+BM_MziOperandMapping(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    Rng rng(6);
+    Matrix w(n, n);
+    for (double &v : w.data())
+        v = rng.uniform(-1, 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mziOperandMapping(w));
+}
+BENCHMARK(BM_MziOperandMapping)->Arg(8)->Arg(12)->Arg(16);
+
+} // namespace
+
+BENCHMARK_MAIN();

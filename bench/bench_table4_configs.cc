@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table IV reproduction: LT-B and LT-L configurations with their
+ * modelled total chip area (paper: 60.3 and 112.82 mm^2).
+ */
+
+#include <iostream>
+
+#include "arch/chip_model.hh"
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace lt;
+    using namespace lt::arch;
+
+    printBanner(std::cout, "Table IV: LT-B / LT-L configurations");
+
+    Table table({"Config", "Nt", "Nc", "Nh", "Nv", "Nlambda",
+                 "Global SRAM [MB]", "Area [mm^2] (vs paper)"});
+    struct Row
+    {
+        ArchConfig cfg;
+        double paper_mm2;
+    };
+    for (const auto &[cfg, paper] :
+         {Row{ArchConfig::ltBase(), 60.3},
+          Row{ArchConfig::ltLarge(), 112.82}}) {
+        ChipModel chip(cfg);
+        table.addRow({cfg.name, std::to_string(cfg.nt),
+                      std::to_string(cfg.nc), std::to_string(cfg.nh),
+                      std::to_string(cfg.nv),
+                      std::to_string(cfg.nlambda),
+                      units::fmtFixed(cfg.global_sram_bytes /
+                                          units::MiB(1), 0),
+                      lt::bench::vsPaper(chip.area().total() * 1e6,
+                                         paper)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nDerived peak throughput:\n";
+    for (const auto &cfg :
+         {ArchConfig::ltBase(), ArchConfig::ltLarge()}) {
+        ChipModel chip(cfg);
+        std::cout << "  " << cfg.name << ": "
+                  << units::fmtFixed(chip.opticalTops(), 1)
+                  << " TOPS peak ("
+                  << cfg.macsPerCycle() << " MAC/cycle @ "
+                  << units::fmtFixed(cfg.core_clock_hz / 1e9, 0)
+                  << " GHz)\n";
+    }
+    return 0;
+}

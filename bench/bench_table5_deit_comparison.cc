@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Table V reproduction: energy / latency / EDP of the MZI-array
+ * baseline, MRR-bank baseline, and LT-B on DeiT-T and DeiT-B at
+ * 4-bit and 8-bit precision, split into MHA (QK^T + AV), FFN, and
+ * All rows, plus the "Energy w/o Arch Opt" column (LT-crossbar-B).
+ */
+
+#include <iostream>
+
+#include "arch/performance_model.hh"
+#include "baselines/mrr_accelerator.hh"
+#include "baselines/mzi_accelerator.hh"
+#include "bench_common.hh"
+#include "nn/model_zoo.hh"
+
+namespace {
+
+using namespace lt;
+
+struct PaperCell
+{
+    double energy_mj;
+    double latency_ms;
+};
+
+/** Paper Table V reference values (LT-B columns). */
+PaperCell
+paperLt(const std::string &model, const std::string &module, int bits)
+{
+    // {model, module, bits} -> {mJ, ms}
+    if (model == "DeiT-T-224") {
+        if (bits == 4) {
+            if (module == "MHA") return {0.04, 3.12e-3};
+            if (module == "FFN") return {0.22, 1.04e-2};
+            return {0.38, 1.94e-2};
+        }
+        if (module == "MHA") return {0.15, 3.12e-3};
+        if (module == "FFN") return {0.68, 1.04e-2};
+        return {1.21, 1.94e-2};
+    }
+    if (bits == 4) {
+        if (module == "MHA") return {0.17, 1.25e-2};
+        if (module == "FFN") return {3.47, 1.67e-1};
+        return {5.44, 2.65e-1};
+    }
+    if (module == "MHA") return {0.61, 1.25e-2};
+    if (module == "FFN") return {10.81, 1.67e-1};
+    return {16.98, 2.66e-1};
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace lt::bench;
+
+    printBanner(std::cout,
+                "Table V: MZI / MRR / LT-B on DeiT-T and DeiT-B");
+
+    for (int bits : {4, 8}) {
+        for (const auto &model : {nn::deitTiny(), nn::deitBase()}) {
+            nn::Workload wl = nn::extractWorkload(model);
+
+            arch::ArchConfig lt_cfg = arch::ArchConfig::ltBase();
+            lt_cfg.precision_bits = bits;
+            arch::ArchConfig noopt_cfg =
+                arch::ArchConfig::ltCrossbarBase();
+            noopt_cfg.precision_bits = bits;
+            arch::LtPerformanceModel lt_model(lt_cfg);
+            arch::LtPerformanceModel lt_noopt(noopt_cfg);
+            baselines::MrrConfig mrr_cfg;
+            mrr_cfg.precision_bits = bits;
+            baselines::MrrAccelerator mrr(mrr_cfg);
+            baselines::MziConfig mzi_cfg;
+            mzi_cfg.precision_bits = bits;
+            baselines::MziAccelerator mzi(mzi_cfg);
+
+            printBanner(std::cout, model.name + " @ " +
+                                       std::to_string(bits) + "-bit");
+            Table table({"Module",
+                         "MZI E[mJ]", "MZI lat[ms]", "MZI EDP",
+                         "MRR E[mJ]", "MRR lat[ms]", "MRR EDP",
+                         "LT E w/o opt", "LT E[mJ] (paper)",
+                         "LT lat[ms] (paper)", "LT EDP"});
+
+            auto emitRow = [&](const std::string &name,
+                               const std::vector<nn::GemmOp> &ops,
+                               bool mzi_supported) {
+                auto lt_r = lt_model.evaluateOps(ops, name);
+                auto noopt_r = lt_noopt.evaluateOps(ops, name);
+                auto mrr_r = mrr.evaluateOps(ops, name);
+                PaperCell paper = paperLt(model.name, name, bits);
+                std::vector<std::string> cells{name};
+                if (mzi_supported) {
+                    arch::PerfReport mzi_r;
+                    for (const auto &op : ops) {
+                        mzi_r += op.dynamic ? mrr.evaluateGemm(op)
+                                            : mzi.evaluateGemm(op);
+                    }
+                    cells.push_back(
+                        units::fmtFixed(mzi_r.energy.total() * 1e3, 2));
+                    cells.push_back(
+                        units::fmtFixed(mzi_r.latency.total() * 1e3, 2));
+                    cells.push_back(units::fmtSci(mzi_r.edp() * 1e6, 2));
+                } else {
+                    cells.insert(cells.end(), {"-", "-", "-"});
+                }
+                cells.push_back(
+                    units::fmtFixed(mrr_r.energy.total() * 1e3, 2));
+                cells.push_back(
+                    units::fmtFixed(mrr_r.latency.total() * 1e3, 2));
+                cells.push_back(units::fmtSci(mrr_r.edp() * 1e6, 2));
+                cells.push_back(
+                    units::fmtFixed(noopt_r.energy.total() * 1e3, 2));
+                cells.push_back(vsPaper(lt_r.energy.total() * 1e3,
+                                        paper.energy_mj));
+                cells.push_back(
+                    units::fmtSci(lt_r.latency.total() * 1e3, 2) +
+                    " (paper " + units::fmtSci(paper.latency_ms, 2) +
+                    ")");
+                cells.push_back(units::fmtSci(lt_r.edp() * 1e6, 2));
+                table.addRow(std::move(cells));
+            };
+
+            emitRow("MHA", wl.moduleOps(nn::Module::Mha), false);
+            emitRow("FFN", wl.moduleOps(nn::Module::Ffn), true);
+            emitRow("All", wl.ops, true);
+            table.print(std::cout);
+        }
+    }
+
+    // Average-ratio summary like the paper's "Average Ratio" rows.
+    printBanner(std::cout, "Average ratios vs LT-B (all = 1)");
+    Table summary({"precision", "MZI E", "MZI lat", "MRR E",
+                   "MRR lat", "paper MZI E/lat", "paper MRR E/lat"});
+    for (int bits : {4, 8}) {
+        double mzi_e = 0, mzi_l = 0, mrr_e = 0, mrr_l = 0;
+        int count = 0;
+        for (const auto &model : {nn::deitTiny(), nn::deitBase()}) {
+            nn::Workload wl = nn::extractWorkload(model);
+            arch::ArchConfig cfg = arch::ArchConfig::ltBase();
+            cfg.precision_bits = bits;
+            arch::LtPerformanceModel lt_model(cfg);
+            baselines::MrrConfig mc;
+            mc.precision_bits = bits;
+            baselines::MrrAccelerator mrr(mc);
+            baselines::MziConfig zc;
+            zc.precision_bits = bits;
+            baselines::MziAccelerator mzi(zc);
+            auto lt_r = lt_model.evaluate(wl);
+            auto mrr_r = mrr.evaluate(wl);
+            auto mzi_r = mzi.evaluate(wl, mrr);
+            mzi_e += mzi_r.energy.total() / lt_r.energy.total();
+            mzi_l += mzi_r.latency.total() / lt_r.latency.total();
+            mrr_e += mrr_r.energy.total() / lt_r.energy.total();
+            mrr_l += mrr_r.latency.total() / lt_r.latency.total();
+            ++count;
+        }
+        summary.addRow(
+            {std::to_string(bits) + "-bit",
+             ratio(mzi_e / count), ratio(mzi_l / count),
+             ratio(mrr_e / count), ratio(mrr_l / count),
+             bits == 4 ? "8.01x / 677.56x" : "32.46x / 675.67x",
+             bits == 4 ? "4.03x / 12.85x" : "2.67x / 12.81x"});
+    }
+    summary.print(std::cout);
+    return 0;
+}

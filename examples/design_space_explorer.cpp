@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Architecture design-space exploration with the public API: sweep
+ * tile count, core size, and precision; report area / power / peak
+ * TOPS / DeiT-T latency+energy; and pick the best-EDP configuration
+ * under an area budget — the kind of study Section V-B's scaling
+ * figures support.
+ *
+ * Build & run:  ./build/examples/design_space_explorer
+ */
+
+#include <iostream>
+#include <limits>
+
+#include "arch/chip_model.hh"
+#include "arch/performance_model.hh"
+#include "nn/model_zoo.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+int
+main()
+{
+    using namespace lt;
+    using namespace lt::arch;
+
+    printBanner(std::cout,
+                "Design-space exploration (DeiT-T, 4-bit)");
+
+    nn::Workload wl = nn::extractWorkload(nn::deitTiny());
+    constexpr double kAreaBudgetMm2 = 120.0;
+
+    Table table({"config", "area [mm^2]", "power [W]", "peak TOPS",
+                 "DeiT-T lat [us]", "DeiT-T E [uJ]", "EDP [nJ*s]",
+                 "fits budget"});
+    std::string best_name = "-";
+    double best_edp = std::numeric_limits<double>::infinity();
+
+    for (size_t nt : {2, 4, 8}) {
+        for (size_t core : {8, 12, 16, 24}) {
+            ArchConfig cfg = ArchConfig::ltBase();
+            cfg.nt = nt;
+            cfg.nh = cfg.nv = cfg.nlambda = core;
+            cfg.name = "Nt" + std::to_string(nt) + "-N" +
+                       std::to_string(core);
+            ChipModel chip(cfg);
+            LtPerformanceModel model(cfg);
+            auto r = model.evaluate(wl);
+            double area_mm2 = chip.area().total() * 1e6;
+            bool fits = area_mm2 <= kAreaBudgetMm2;
+            if (fits && r.edp() < best_edp) {
+                best_edp = r.edp();
+                best_name = cfg.name;
+            }
+            table.addRow(
+                {cfg.name, units::fmtFixed(area_mm2, 1),
+                 units::fmtFixed(chip.power(4).total(), 2),
+                 units::fmtFixed(chip.opticalTops(), 0),
+                 units::fmtFixed(r.latency.total() * 1e6, 2),
+                 units::fmtFixed(r.energy.total() * 1e6, 1),
+                 units::fmtFixed(r.edp() * 1e9, 3),
+                 fits ? "yes" : "no"});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nbest-EDP configuration within "
+              << units::fmtFixed(kAreaBudgetMm2, 0)
+              << " mm^2: " << best_name << " (EDP "
+              << units::fmtSci(best_edp) << " J*s)\n";
+    std::cout << "Larger cores raise peak TOPS but pay DAC/laser "
+                 "power; more tiles scale\nthroughput linearly until "
+                 "the area budget bites — the Fig. 9/10 trade-off.\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * LLM decode on the photonic accelerator (paper Section VI-B): shows
+ * how the per-token decode step of an autoregressive model is
+ * memory-bound at batch 1 and how batching trades KV-cache traffic
+ * for much better photonic-compute utilization.
+ *
+ * Build & run:  ./build/examples/llm_decode_demo
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "arch/performance_model.hh"
+#include "nn/llm_workload.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+int
+main()
+{
+    using namespace lt;
+
+    printBanner(std::cout,
+                "Autoregressive decode on LT-B (BERT-large-sized "
+                "decoder stand-in)");
+
+    arch::ArchConfig cfg = arch::ArchConfig::ltBase();
+    cfg.precision_bits = 8;
+    arch::LtPerformanceModel lt_model(cfg);
+    auto model = nn::bertLarge(1);
+
+    std::cout << "model GEMM parameters: "
+              << nn::gemmParamCount(model) / 1000000 << "M\n\n";
+
+    Table table({"context", "batch", "intensity [MAC/B]",
+                 "step time [us]", "tokens/s", "utilization"});
+    for (size_t ctx : {128, 1024}) {
+        for (size_t batch : {1, 8, 32}) {
+            nn::DecodeConfig dcfg{model, ctx, batch, 8};
+            nn::DecodeStep step = nn::decodeStepWorkload(dcfg);
+            nn::Workload wl;
+            wl.model = "decode";
+            wl.ops = step.ops;
+            double compute_s = lt_model.evaluate(wl).latency.total();
+            double memory_s = static_cast<double>(step.totalBytes()) /
+                              cfg.hbm_bandwidth;
+            double step_s = std::max(compute_s, memory_s);
+            table.addRow(
+                {std::to_string(ctx), std::to_string(batch),
+                 units::fmtFixed(step.arithmeticIntensity(), 2),
+                 units::fmtFixed(step_s * 1e6, 2),
+                 units::fmtFixed(batch / step_s, 0),
+                 units::fmtFixed(compute_s / step_s * 100.0, 0) +
+                     " %"});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nAt batch 1 the photonic cores idle while weights "
+                 "and KV cache stream\n(memory-bound); batching "
+                 "amortizes the weight traffic and raises\nutilization "
+                 "several-fold — the paper's Section VI-B strategy. "
+                 "The KV-cache\nstream keeps long-context attention "
+                 "memory-bound, motivating the Q/K\nrecomputation and "
+                 "tiling ideas the paper cites.\n";
+    return 0;
+}

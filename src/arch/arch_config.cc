@@ -1,0 +1,62 @@
+#include "arch_config.hh"
+
+namespace lt {
+namespace arch {
+
+ArchConfig
+ArchConfig::ltBase()
+{
+    ArchConfig cfg;
+    cfg.name = "LT-B";
+    return cfg;
+}
+
+ArchConfig
+ArchConfig::ltLarge()
+{
+    ArchConfig cfg;
+    cfg.name = "LT-L";
+    cfg.nt = 8;
+    cfg.global_sram_bytes = units::MiB(4);
+    return cfg;
+}
+
+ArchConfig
+ArchConfig::ltCrossbarBase()
+{
+    ArchConfig cfg;
+    cfg.name = "LT-crossbar-B";
+    cfg.intercore_broadcast = false;
+    cfg.analog_tile_summation = false;
+    cfg.temporal_accum_depth = 1;
+    return cfg;
+}
+
+ArchConfig
+ArchConfig::ltBroadcastBase()
+{
+    ArchConfig cfg = ltCrossbarBase();
+    cfg.name = "LT-broadcast-B";
+    cfg.topology = CoreTopology::Broadcast;
+    return cfg;
+}
+
+ArchConfig
+ArchConfig::singleCore(size_t n, int bits)
+{
+    ArchConfig cfg;
+    cfg.name = "DPTC-" + std::to_string(n);
+    cfg.nt = 1;
+    cfg.nc = 1;
+    cfg.nh = n;
+    cfg.nv = n;
+    cfg.nlambda = n;
+    cfg.precision_bits = bits;
+    cfg.intercore_broadcast = false;
+    cfg.analog_tile_summation = false;
+    cfg.temporal_accum_depth = 1;
+    return cfg;
+}
+
+} // namespace arch
+} // namespace lt

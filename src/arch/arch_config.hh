@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Architecture configuration for the Lightening-Transformer accelerator
+ * (paper Section IV, Table II/IV).
+ *
+ * Besides the paper's headline parameters (Nt tiles x Nc cores of
+ * Nh x Nv x Nlambda DPTCs at 5 GHz), the config carries the three
+ * architecture-level optimizations as switchable features so the
+ * Fig. 12 ablation (LT-broadcast-B / LT-crossbar-B / LT-B) falls out
+ * of one model, plus the calibration constants of the physical model
+ * (documented at each field; values are fitted once against the
+ * paper's reported endpoints and then left alone).
+ */
+
+#ifndef LT_ARCH_ARCH_CONFIG_HH
+#define LT_ARCH_ARCH_CONFIG_HH
+
+#include <cstddef>
+#include <string>
+
+#include "util/units.hh"
+
+namespace lt {
+namespace arch {
+
+/** Intra-core operand-sharing topology of the photonic tensor core. */
+enum class CoreTopology
+{
+    /**
+     * Only one operand is broadcast to the DDot units; the other is
+     * modulated per unit (the LT-broadcast-B strawman of Fig. 12).
+     * Encoding ops per shot: Nh*Nl (shared side) + Nh*Nv*Nl.
+     */
+    Broadcast,
+
+    /**
+     * Full crossbar: both operands ride shared waveguide buses
+     * (Eq. 6): Nh*Nl + Nl*Nv encodings per shot.
+     */
+    Crossbar,
+};
+
+/** Full accelerator configuration. */
+struct ArchConfig
+{
+    std::string name = "LT-B";
+
+    // ---- paper Table II / IV parameters -----------------------------
+    size_t nt = 4;        ///< tiles
+    size_t nc = 2;        ///< DPTC cores per tile
+    size_t nh = 12;       ///< horizontal waveguides per core
+    size_t nv = 12;       ///< vertical waveguides per core
+    size_t nlambda = 12;  ///< wavelengths per waveguide
+    int precision_bits = 4;
+    double core_clock_hz = units::GHz(5);
+    double control_clock_hz = units::MHz(500);
+    double global_sram_bytes = units::MiB(2);
+    double tile_sram_bytes = units::KiB(4);
+
+    // ---- architecture-level optimizations (Section IV-C) ------------
+    CoreTopology topology = CoreTopology::Crossbar;
+
+    /** Share M2 modulation across tiles via optical interconnect. */
+    bool intercore_broadcast = true;
+
+    /** Photocurrent summation across the Nc cores of a tile. */
+    bool analog_tile_summation = true;
+
+    /** Analog temporal accumulation depth (1 = off; paper uses 3). */
+    size_t temporal_accum_depth = 3;
+
+    // ---- physical calibration constants ------------------------------
+    /**
+     * Crossbar cell footprint (one DDot plus its share of waveguide
+     * routing). Fitted to the Fig. 9 single-core area sweep
+     * (~98 um pitch).
+     */
+    double crossbar_cell_m2 = units::um2(9670);
+
+    /** Fixed per-standalone-core overhead (control, I/O) in Fig. 9. */
+    double core_overhead_m2 = units::mm2(1.48);
+
+    /**
+     * Optical time of flight per crossbar cell traversed; the signal
+     * crosses Nh + Nv cells. Group index 3.8 over the 98 um pitch,
+     * fitted to the Fig. 9 latency slope (~2.5 ps per unit size).
+     */
+    double waveguide_group_index = 3.8;
+    double crossbar_pitch_m = 98.3e-6;
+
+    /** Fixed EO/OE conversion latency (DAC settle + PD/TIA + S/H). */
+    double eo_oe_latency_s = units::ps(26.7);
+
+    /**
+     * Link margin relief applied to the laser-power loss budget
+     * (balanced detection collects both coupler ports, and DWDM
+     * aggregation relaxes the per-carrier sensitivity requirement).
+     * Fitted so LT-B @ 4-bit lands at the paper's 0.77 W laser.
+     */
+    double laser_margin_db = -3.5;
+
+    /**
+     * SRAM macro area per MB, 14 nm, decomposed into 32 KB sub-arrays
+     * as the paper does (following [10]); PCACTI-class density with
+     * heavy periphery overhead. Fitted to the Fig. 7 memory share.
+     */
+    double sram_m2_per_mb = units::mm2(6.8);
+    double tile_sram_m2 = units::mm2(0.1);    ///< per-tile operand SRAM
+    double tile_buffer_m2 = units::mm2(0.25); ///< out buffer + accum
+    double digital_unit_m2 = units::mm2(2.85); ///< softmax/LN/misc
+
+    /** Memory energetics (14 nm, small sub-arrays). */
+    double sram_pj_per_bit = 0.05;
+    double sram_leakage_w_per_mb = 0.3;
+    double hbm_pj_per_bit = 3.7;      ///< fine-grained DRAM [37]
+    double hbm_bandwidth = 1e12;      ///< >1 TB/s (Section V-A)
+
+    /** Digital processing units (softmax, LN, GELU) average power. */
+    double digital_power_w = 1.2;
+
+    /** Per-channel driver/serdes overhead beyond the DAC itself. */
+    double driver_overhead_w = units::mW(0.5);
+
+    // ---- derived quantities ------------------------------------------
+    size_t totalCores() const { return nt * nc; }
+    double cycleSeconds() const { return 1.0 / core_clock_hz; }
+
+    /** MACs the whole chip performs per core cycle. */
+    size_t
+    macsPerCycle() const
+    {
+        return totalCores() * nh * nv * nlambda;
+    }
+
+    /** Modulated waveguides on one core (both operand sides). */
+    size_t waveguidesPerCore() const { return nh + nv; }
+
+    /** Scalar encodings (DAC+MZM events) per core shot, by topology. */
+    size_t
+    encodingsPerShotM1() const
+    {
+        return topology == CoreTopology::Crossbar ? nh * nlambda
+                                                  : nh * nv * nlambda;
+    }
+    size_t
+    encodingsPerShotM2() const
+    {
+        return nlambda * nv;
+    }
+
+    // ---- presets ------------------------------------------------------
+    /** LT-B: 4 tiles x 2 cores, 2 MB global SRAM (Table IV). */
+    static ArchConfig ltBase();
+
+    /** LT-L: 8 tiles x 2 cores, 4 MB global SRAM (Table IV). */
+    static ArchConfig ltLarge();
+
+    /** LT-crossbar-B: LT-B without the architecture-level opts. */
+    static ArchConfig ltCrossbarBase();
+
+    /** LT-broadcast-B: single-operand broadcast topology (Fig. 12). */
+    static ArchConfig ltBroadcastBase();
+
+    /** A standalone single core of size N (Fig. 9 / Fig. 10 sweeps). */
+    static ArchConfig singleCore(size_t n, int bits = 4);
+};
+
+} // namespace arch
+} // namespace lt
+
+#endif // LT_ARCH_ARCH_CONFIG_HH

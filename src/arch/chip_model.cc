@@ -1,0 +1,194 @@
+#include "chip_model.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lt {
+namespace arch {
+
+namespace {
+
+/** Micro-comb + pump laser footprint per tile. */
+double
+combLaserArea(const photonics::DeviceLibrary &lib)
+{
+    return lib.micro_comb.area_m2 + lib.laser_area_m2;
+}
+
+} // namespace
+
+ChipModel::ChipModel(const ArchConfig &cfg,
+                     const photonics::DeviceLibrary &lib)
+    : cfg_(cfg), lib_(lib), dac_(dacModel(lib)), adc_(adcModel(lib))
+{
+    const size_t cores = cfg.totalCores();
+    // M1 (per-core horizontal) modulation channels.
+    inv_.dac_m1 = cores * cfg.nh * cfg.nlambda;
+    // M2 (vertical) channels: shared chip-wide across tiles when the
+    // inter-core optical broadcast is on (Fig. 4's "Shared M2
+    // Modulation Unit" per in-tile core position).
+    size_t m2_units = cfg.intercore_broadcast ? cfg.nc : cores;
+    inv_.dac_m2 = m2_units * cfg.nv * cfg.nlambda;
+    inv_.mzm = inv_.dac_m1 + inv_.dac_m2;
+    // Photocurrent summation merges the Nc in-tile cores ahead of the
+    // converters, so ADCs are per tile; otherwise per core.
+    size_t adc_groups = cfg.analog_tile_summation ? cfg.nt : cores;
+    inv_.adc = adc_groups * cfg.nh * cfg.nv;
+    inv_.crossbar_cells = cores * cfg.nh * cfg.nv;
+    inv_.photodetectors = 2 * inv_.crossbar_cells; // balanced pairs
+    inv_.tia = inv_.crossbar_cells;
+    // WDM mux + demux microdisks bracket every modulated channel.
+    size_t waveguides = cores * cfg.nh + m2_units * cfg.nv;
+    inv_.microdisks = 2 * cfg.nlambda * waveguides;
+    inv_.comb_lasers = cfg.nt;
+}
+
+AreaBreakdown
+ChipModel::area(bool standalone) const
+{
+    AreaBreakdown a;
+    a.photonic_core = static_cast<double>(inv_.crossbar_cells) *
+                      cfg_.crossbar_cell_m2;
+    a.dac = static_cast<double>(inv_.totalDacs()) * dac_.areaM2();
+    a.adc = static_cast<double>(inv_.adc) * adc_.areaM2();
+    a.modulation =
+        static_cast<double>(inv_.mzm) * lib_.mzm.area_m2 +
+        static_cast<double>(inv_.microdisks) * lib_.microdisk.area_m2;
+    a.laser_comb = static_cast<double>(inv_.comb_lasers) *
+                   combLaserArea(lib_);
+    a.other = static_cast<double>(inv_.tia) * lib_.tia.area_m2 +
+              static_cast<double>(inv_.photodetectors) *
+                  lib_.photodetector.area_m2;
+    if (standalone) {
+        a.other += static_cast<double>(cfg_.totalCores()) *
+                   cfg_.core_overhead_m2;
+    } else {
+        a.memory = cfg_.global_sram_bytes / units::MiB(1) *
+                       cfg_.sram_m2_per_mb +
+                   static_cast<double>(cfg_.nt) *
+                       (cfg_.tile_sram_m2 + cfg_.tile_buffer_m2);
+        a.digital = cfg_.digital_unit_m2;
+    }
+    return a;
+}
+
+photonics::LossChain
+ChipModel::m1LossChain() const
+{
+    photonics::LossChain chain;
+    chain.add("input phase control", lib_.mems_ps.il_db)
+        .add("WDM demux", lib_.microdisk.il_db)
+        .add("MZM", lib_.mzm.il_db)
+        .add("WDM mux", lib_.microdisk.il_db)
+        .addSplit("intra-core broadcast", static_cast<int>(cfg_.nv),
+                  lib_.y_branch.il_db)
+        .add("DDot coupler", lib_.coupler.il_db)
+        .add("DDot phase shifter", lib_.mems_ps.il_db)
+        .add("waveguide crossings", lib_.crossing.il_db,
+             static_cast<int>(cfg_.nv / 2))
+        .add("waveguide propagation", 0.5);
+    return chain;
+}
+
+photonics::LossChain
+ChipModel::m2LossChain() const
+{
+    photonics::LossChain chain = m1LossChain();
+    if (cfg_.intercore_broadcast) {
+        chain.addSplit("inter-core broadcast",
+                       static_cast<int>(cfg_.nt),
+                       lib_.y_branch.il_db);
+    }
+    return chain;
+}
+
+double
+ChipModel::laserPowerW(int bits) const
+{
+    photonics::LaserModel laser(lib_, cfg_.laser_margin_db);
+    double p = laser.electricalPowerW(static_cast<int>(inv_.dac_m1),
+                                      m1LossChain(), bits);
+    p += laser.electricalPowerW(static_cast<int>(inv_.dac_m2),
+                                m2LossChain(), bits);
+    return p;
+}
+
+PowerBreakdown
+ChipModel::power(int bits) const
+{
+    PowerBreakdown p;
+    p.laser = laserPowerW(bits);
+    p.dac = static_cast<double>(inv_.totalDacs()) *
+            dac_.powerW(bits, cfg_.core_clock_hz);
+    double adc_rate = cfg_.core_clock_hz /
+                      static_cast<double>(cfg_.temporal_accum_depth);
+    p.adc = static_cast<double>(inv_.adc) * adc_.powerW(bits, adc_rate);
+    p.modulation =
+        static_cast<double>(inv_.mzm) * lib_.mzm.power_w +
+        static_cast<double>(inv_.microdisks) * lib_.microdisk.power_w;
+    p.photodetector =
+        static_cast<double>(inv_.photodetectors) *
+            lib_.photodetector.power_w +
+        static_cast<double>(inv_.tia) * lib_.tia.power_w;
+    p.driver = static_cast<double>(inv_.totalDacs()) *
+               cfg_.driver_overhead_w;
+    // Memory leakage and digital units only exist at chip level; the
+    // single-core sweeps set these fields to zero via config.
+    if (cfg_.nt > 1 || cfg_.nc > 1) {
+        p.memory = cfg_.global_sram_bytes / units::MiB(1) *
+                   cfg_.sram_leakage_w_per_mb;
+        p.digital = cfg_.digital_power_w;
+    }
+    return p;
+}
+
+double
+ChipModel::opticsLatencyS() const
+{
+    double cells = static_cast<double>(cfg_.nh + cfg_.nv);
+    return cells * cfg_.crossbar_pitch_m * cfg_.waveguide_group_index /
+           units::c0;
+}
+
+double
+ChipModel::shotLatencyS() const
+{
+    return opticsLatencyS() + eoOeLatencyS();
+}
+
+double
+ChipModel::peakMacsPerSecond() const
+{
+    return static_cast<double>(cfg_.macsPerCycle()) * cfg_.core_clock_hz;
+}
+
+double
+ChipModel::opticalTops() const
+{
+    // 2 ops (multiply + add) per MAC, in tera-ops.
+    return 2.0 * peakMacsPerSecond() / 1e12;
+}
+
+double
+ChipModel::opticalTopsPerWatt() const
+{
+    PowerBreakdown p = power(cfg_.precision_bits);
+    // "optical computing part (ADC/DAC excluded)" — Fig. 10.
+    double optical_w =
+        p.laser + p.modulation + p.photodetector;
+    if (optical_w <= 0.0)
+        lt_panic("optical power must be positive");
+    return opticalTops() / optical_w;
+}
+
+double
+ChipModel::opticalTopsPerMm2() const
+{
+    AreaBreakdown a = area(true);
+    double optical_m2 = a.photonic_core + a.modulation + a.laser_comb;
+    return opticalTops() / (optical_m2 * 1e6);
+}
+
+} // namespace arch
+} // namespace lt

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Physical chip model: component inventory, area, peak power, laser
+ * budget, and per-shot latency for a Lightening-Transformer
+ * configuration. Reproduces Table IV, Fig. 7, Fig. 8 and the Fig. 9
+ * scaling sweeps.
+ */
+
+#ifndef LT_ARCH_CHIP_MODEL_HH
+#define LT_ARCH_CHIP_MODEL_HH
+
+#include "arch/arch_config.hh"
+#include "arch/converters.hh"
+#include "arch/report.hh"
+#include "photonics/device_params.hh"
+#include "photonics/laser.hh"
+#include "photonics/loss_chain.hh"
+
+namespace lt {
+namespace arch {
+
+/** Device counts for a whole chip. */
+struct ChipInventory
+{
+    size_t dac_m1 = 0;       ///< per-core M1-side DACs
+    size_t dac_m2 = 0;       ///< M2-side DACs (shared when broadcast)
+    size_t mzm = 0;          ///< modulators (one per DAC channel)
+    size_t adc = 0;
+    size_t photodetectors = 0;
+    size_t tia = 0;
+    size_t microdisks = 0;   ///< WDM mux/demux filters
+    size_t crossbar_cells = 0;
+    size_t comb_lasers = 0;  ///< micro-comb + pump per tile
+
+    size_t totalDacs() const { return dac_m1 + dac_m2; }
+};
+
+/** Physical model of one accelerator chip. */
+class ChipModel
+{
+  public:
+    explicit ChipModel(const ArchConfig &cfg,
+                       const photonics::DeviceLibrary &lib =
+                           photonics::DeviceLibrary::defaults());
+
+    const ArchConfig &config() const { return cfg_; }
+    const ChipInventory &inventory() const { return inv_; }
+
+    /**
+     * Chip area (Fig. 7 / Table IV). When `standalone` the per-core
+     * overhead is charged and the chip-level memory / digital units
+     * are excluded (the Fig. 9 single-core sweep).
+     */
+    AreaBreakdown area(bool standalone = false) const;
+
+    /** Peak power at full utilization (Fig. 8). */
+    PowerBreakdown power(int bits) const;
+    PowerBreakdown power() const { return power(cfg_.precision_bits); }
+
+    /** Total electrical laser power [W]. */
+    double laserPowerW(int bits) const;
+
+    /**
+     * Worst-case laser-to-photodetector loss chain for an M1-side
+     * carrier; the M2 (inter-core broadcast) side adds a 1:Nt split.
+     */
+    photonics::LossChain m1LossChain() const;
+    photonics::LossChain m2LossChain() const;
+
+    /**
+     * One-shot optical latency (Fig. 9): time of flight across the
+     * crossbar (Nh + Nv cells).
+     */
+    double opticsLatencyS() const;
+
+    /** Fixed EO/OE conversion latency. */
+    double eoOeLatencyS() const { return cfg_.eo_oe_latency_s; }
+
+    /** Single-pass (shot) latency: optics + EO/OE. */
+    double shotLatencyS() const;
+
+    /** Peak throughput in MAC/s. */
+    double peakMacsPerSecond() const;
+
+    /**
+     * Fig. 10 metrics for the *optical computing part* (ADC/DAC
+     * excluded, as the paper does): TOPS, TOPS/W, TOPS/mm^2.
+     */
+    double opticalTops() const;
+    double opticalTopsPerWatt() const;
+    double opticalTopsPerMm2() const;
+
+  private:
+    ArchConfig cfg_;
+    const photonics::DeviceLibrary &lib_;
+    ChipInventory inv_;
+    ConverterModel dac_;
+    ConverterModel adc_;
+};
+
+} // namespace arch
+} // namespace lt
+
+#endif // LT_ARCH_CHIP_MODEL_HH

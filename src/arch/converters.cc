@@ -1,0 +1,36 @@
+#include "converters.hh"
+
+#include <cmath>
+
+namespace lt {
+namespace arch {
+
+double
+ConverterModel::powerW(int bits, double sample_rate_hz) const
+{
+    double freq_scale = sample_rate_hz / ref_.sample_rate_hz;
+    double bit_scale = std::pow(2.0, bits - ref_.precision_bits);
+    return ref_.power_w * freq_scale * bit_scale;
+}
+
+double
+ConverterModel::energyPerConversionJ(int bits) const
+{
+    double bit_scale = std::pow(2.0, bits - ref_.precision_bits);
+    return ref_.power_w / ref_.sample_rate_hz * bit_scale;
+}
+
+ConverterModel
+dacModel(const photonics::DeviceLibrary &lib)
+{
+    return ConverterModel(lib.dac);
+}
+
+ConverterModel
+adcModel(const photonics::DeviceLibrary &lib)
+{
+    return ConverterModel(lib.adc);
+}
+
+} // namespace arch
+} // namespace lt

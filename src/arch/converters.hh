@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ADC/DAC power, energy, and area scaling.
+ *
+ * Table III gives one measured design point per converter (8-bit DAC
+ * @ 14 GS/s, 8-bit ADC @ 10 GS/s). Following Section V-A we scale
+ * power to the photonic units' bit width and sample rate as in [26]:
+ *     P(b, f) = P_ref * (f / f_ref) * 2^(b - b_ref),
+ * so energy per conversion E = P/f = E_ref * 2^(b - b_ref) is
+ * frequency-independent. Converter area stays at the reference
+ * footprint (the chip is provisioned for the max precision).
+ */
+
+#ifndef LT_ARCH_CONVERTERS_HH
+#define LT_ARCH_CONVERTERS_HH
+
+#include "photonics/device_params.hh"
+
+namespace lt {
+namespace arch {
+
+/** Power/energy scaling around a ConverterParams design point. */
+class ConverterModel
+{
+  public:
+    explicit ConverterModel(const photonics::ConverterParams &ref)
+        : ref_(ref)
+    {
+    }
+
+    /** Power at the given precision and sample rate [W]. */
+    double powerW(int bits, double sample_rate_hz) const;
+
+    /** Energy of one conversion at the given precision [J]. */
+    double energyPerConversionJ(int bits) const;
+
+    /** Footprint (independent of operating point) [m^2]. */
+    double areaM2() const { return ref_.area_m2; }
+
+    const photonics::ConverterParams &reference() const { return ref_; }
+
+  private:
+    photonics::ConverterParams ref_;
+};
+
+/** The paper's DAC model ([7], Table III). */
+ConverterModel
+dacModel(const photonics::DeviceLibrary &lib =
+             photonics::DeviceLibrary::defaults());
+
+/** The paper's ADC model ([32], Table III). */
+ConverterModel
+adcModel(const photonics::DeviceLibrary &lib =
+             photonics::DeviceLibrary::defaults());
+
+} // namespace arch
+} // namespace lt
+
+#endif // LT_ARCH_CONVERTERS_HH

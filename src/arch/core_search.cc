@@ -1,0 +1,90 @@
+#include "core_search.hh"
+
+#include <algorithm>
+
+#include "arch/performance_model.hh"
+#include "util/logging.hh"
+
+namespace lt {
+namespace arch {
+
+namespace {
+
+size_t
+ceilDiv(size_t a, size_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+double
+candidateUtilization(const CoreCandidate &candidate,
+                     const nn::GemmOp &op)
+{
+    size_t shots = ceilDiv(op.m, candidate.nh) *
+                   ceilDiv(op.k, candidate.nlambda) *
+                   ceilDiv(op.n, candidate.nv) * op.count;
+    double provisioned = static_cast<double>(shots) *
+                         static_cast<double>(candidate.macsPerShot());
+    return static_cast<double>(op.macs()) / provisioned;
+}
+
+std::vector<CoreScore>
+searchCoreGeometry(const std::vector<nn::GemmOp> &ops,
+                   const std::vector<CoreCandidate> &candidates,
+                   const ArchConfig &base)
+{
+    if (candidates.empty())
+        lt_fatal("searchCoreGeometry requires at least one candidate");
+
+    std::vector<CoreScore> scores;
+    scores.reserve(candidates.size());
+    for (const auto &candidate : candidates) {
+        ArchConfig cfg = base;
+        cfg.nh = candidate.nh;
+        cfg.nv = candidate.nv;
+        cfg.nlambda = candidate.nlambda;
+        LtPerformanceModel model(cfg);
+
+        CoreScore score{candidate, 0.0, 0.0, 0};
+        double useful = 0.0, provisioned = 0.0;
+        for (const auto &op : ops) {
+            size_t shots = model.shotsFor(op);
+            score.shots += shots;
+            useful += static_cast<double>(op.macs());
+            provisioned += static_cast<double>(shots) *
+                           static_cast<double>(
+                               candidate.macsPerShot());
+        }
+        score.utilization = provisioned > 0.0 ? useful / provisioned
+                                              : 0.0;
+        score.latency_s =
+            model.evaluateOps(ops, "search").latency.total();
+        scores.push_back(score);
+    }
+    std::sort(scores.begin(), scores.end(),
+              [](const CoreScore &a, const CoreScore &b) {
+                  if (a.utilization != b.utilization)
+                      return a.utilization > b.utilization;
+                  return a.latency_s < b.latency_s;
+              });
+    return scores;
+}
+
+std::vector<CoreCandidate>
+defaultCandidates()
+{
+    // All at the 12^3 = 1728 MACs/shot budget.
+    return {
+        {12, 12, 12}, // square (the paper's default)
+        {6, 24, 12},  // short rows
+        {24, 6, 12},  // short columns
+        {4, 36, 12},
+        {2, 72, 12},
+        {1, 144, 12}, // the Nh = 1 vector-matrix engine
+    };
+}
+
+} // namespace arch
+} // namespace lt

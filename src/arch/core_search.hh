@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Heterogeneous DPTC geometry search (paper Section VI-A):
+ * "we have the flexibility to explore heterogeneous DPTCs by having
+ * different/searched core sizes to better suit workloads with
+ * specific sparse patterns, avoiding low-utilization scenarios. For
+ * example, we can have a specific DPTC engine for vector-matrix
+ * multiplication by setting Nh to 1."
+ *
+ * Given a GEMM list and a set of candidate core geometries (optionally
+ * constrained to a MAC-budget per shot), this module scores every
+ * candidate by utilization (useful MACs / provisioned MACs across the
+ * tiled shots) and end-to-end latency, and returns the ranking.
+ */
+
+#ifndef LT_ARCH_CORE_SEARCH_HH
+#define LT_ARCH_CORE_SEARCH_HH
+
+#include <vector>
+
+#include "arch/arch_config.hh"
+#include "nn/workload.hh"
+
+namespace lt {
+namespace arch {
+
+/** One candidate core geometry. */
+struct CoreCandidate
+{
+    size_t nh;
+    size_t nv;
+    size_t nlambda;
+
+    size_t
+    macsPerShot() const
+    {
+        return nh * nv * nlambda;
+    }
+
+    std::string
+    name() const
+    {
+        return std::to_string(nh) + "x" + std::to_string(nlambda) +
+               "x" + std::to_string(nv);
+    }
+};
+
+/** Score of one candidate on one workload. */
+struct CoreScore
+{
+    CoreCandidate candidate;
+    double utilization;  ///< useful MACs / provisioned shot MACs
+    double latency_s;    ///< workload latency on the base ArchConfig
+    size_t shots;        ///< total DPTC invocations
+};
+
+/**
+ * Utilization of one candidate on one GEMM: the ceil-tiling wastes
+ * provisioned MACs on boundary tiles; skinny GEMMs (e.g. GEMVs with
+ * m = 1) waste entire rows of a square core.
+ */
+double candidateUtilization(const CoreCandidate &candidate,
+                            const nn::GemmOp &op);
+
+/**
+ * Score every candidate on a workload; `base` supplies everything but
+ * the core geometry (tiles, clocks, precision). Results are sorted by
+ * descending utilization (ties: lower latency first).
+ */
+std::vector<CoreScore>
+searchCoreGeometry(const std::vector<nn::GemmOp> &ops,
+                   const std::vector<CoreCandidate> &candidates,
+                   const ArchConfig &base);
+
+/**
+ * Default candidate set at a fixed per-shot MAC budget (1728 = 12^3):
+ * the square 12x12x12 core plus skinny variants down to the Nh = 1
+ * vector-matrix engine the paper names.
+ */
+std::vector<CoreCandidate> defaultCandidates();
+
+} // namespace arch
+} // namespace lt
+
+#endif // LT_ARCH_CORE_SEARCH_HH

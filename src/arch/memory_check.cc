@@ -1,0 +1,48 @@
+#include "memory_check.hh"
+
+#include <algorithm>
+
+namespace lt {
+namespace arch {
+
+MemoryFootprint
+modelFootprint(const nn::PaperModelConfig &model, int bits,
+               const ArchConfig &cfg)
+{
+    const size_t bytes_per_el =
+        std::max<size_t>(1, static_cast<size_t>(bits) / 8);
+    MemoryFootprint fp;
+
+    // Largest per-layer activation at batch 1: the FFN expansion
+    // (seq x mlp_hidden) dominates every encoder model, but keep the
+    // QKV concatenation (seq x 3 dim) in the running for generality.
+    size_t ffn_act = model.seq_len * model.mlp_hidden;
+    size_t qkv_act = model.seq_len * 3 * model.dim;
+    fp.largest_activation_bytes =
+        std::max(ffn_act, qkv_act) * bytes_per_el;
+
+    // Attention scores materialize per head: seq x seq.
+    fp.attention_scores_bytes =
+        model.seq_len * model.seq_len * bytes_per_el;
+
+    // Streamed weight chunk (Fig. 5): each tile works on an
+    // [Nlambda x Nv] weight sub-block of the largest weight matrix;
+    // chunks are fetched column-panel-wise: Nlambda x n columns.
+    size_t largest_n = std::max(model.mlp_hidden, 3 * model.dim);
+    fp.weight_chunk_bytes =
+        cfg.nlambda * largest_n * bytes_per_el * cfg.nt;
+    fp.double_buffer_bytes = 2 * fp.weight_chunk_bytes;
+    return fp;
+}
+
+bool
+fitsGlobalSram(const nn::PaperModelConfig &model, int bits,
+               const ArchConfig &cfg)
+{
+    return static_cast<double>(
+               modelFootprint(model, bits, cfg).requiredBytes()) <=
+           cfg.global_sram_bytes;
+}
+
+} // namespace arch
+} // namespace lt

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Memory-capacity sizing check (paper Section IV-A).
+ *
+ * The paper sizes the 2 MB global SRAM so that it can hold
+ *  (1) the single largest per-layer activation tensor of the target
+ *      low-bit BERT/DeiT models at batch 1, and
+ *  (2) a double buffer for the off-chip weight chunks streamed by the
+ *      Fig. 5 tiling loop (so HBM transfers overlap compute).
+ * This module computes those footprints for any benchmark model and
+ * verifies the claim — the tests assert it for every Fig. 13 workload
+ * on the configuration the paper assigns it to.
+ */
+
+#ifndef LT_ARCH_MEMORY_CHECK_HH
+#define LT_ARCH_MEMORY_CHECK_HH
+
+#include "arch/arch_config.hh"
+#include "nn/model_zoo.hh"
+
+namespace lt {
+namespace arch {
+
+/** Peak on-chip storage demand of one model at one precision. */
+struct MemoryFootprint
+{
+    size_t largest_activation_bytes = 0; ///< biggest layer output
+    size_t attention_scores_bytes = 0;   ///< one head's QK^T tile
+    size_t weight_chunk_bytes = 0;       ///< one streamed weight chunk
+    size_t double_buffer_bytes = 0;      ///< 2x chunk for overlap
+
+    /** Total the global SRAM must hold simultaneously. */
+    size_t
+    requiredBytes() const
+    {
+        return largest_activation_bytes + attention_scores_bytes +
+               double_buffer_bytes;
+    }
+};
+
+/**
+ * Footprint of a model at `bits` precision. The weight chunk follows
+ * the Fig. 5 tiling: one [Nlambda, Nv]-granular column panel of the
+ * largest weight matrix per tile, times the Nt tiles.
+ */
+MemoryFootprint modelFootprint(const nn::PaperModelConfig &model,
+                               int bits, const ArchConfig &cfg);
+
+/** Does the configuration's global SRAM satisfy the Section IV-A
+ * sizing rule for this model? */
+bool fitsGlobalSram(const nn::PaperModelConfig &model, int bits,
+                    const ArchConfig &cfg);
+
+} // namespace arch
+} // namespace lt
+
+#endif // LT_ARCH_MEMORY_CHECK_HH

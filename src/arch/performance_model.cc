@@ -1,0 +1,140 @@
+#include "performance_model.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lt {
+namespace arch {
+
+namespace {
+
+size_t
+ceilDiv(size_t a, size_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+LtPerformanceModel::LtPerformanceModel(const ArchConfig &cfg,
+                                       const photonics::DeviceLibrary &lib)
+    : chip_(cfg, lib), lib_(lib)
+{
+    const int bits = cfg.precision_bits;
+    const double f = cfg.core_clock_hz;
+    e_dac_ = dacModel(lib).energyPerConversionJ(bits);
+    e_driver_ = cfg.driver_overhead_w / f;
+    e_mzm_ = lib.mzm.power_w / f;
+    e_det_ = (2.0 * lib.photodetector.power_w + lib.tia.power_w) / f;
+    e_adc_ = adcModel(lib).energyPerConversionJ(bits);
+
+    p_laser_ = chip_.laserPowerW(bits);
+    const auto &inv = chip_.inventory();
+    // Microdisk locking split between the M1 and M2 waveguide sides.
+    size_t m2_units = cfg.intercore_broadcast ? cfg.nc : cfg.totalCores();
+    size_t disks_m2 = 2 * cfg.nlambda * m2_units * cfg.nv;
+    size_t disks_m1 = inv.microdisks - disks_m2;
+    p_disk_m1_ = static_cast<double>(disks_m1) * lib.microdisk.power_w;
+    p_disk_m2_ = static_cast<double>(disks_m2) * lib.microdisk.power_w;
+    p_static_other_ = cfg.global_sram_bytes / units::MiB(1) *
+                          cfg.sram_leakage_w_per_mb +
+                      cfg.digital_power_w;
+}
+
+size_t
+LtPerformanceModel::shotsFor(const nn::GemmOp &op) const
+{
+    const auto &cfg = config();
+    return ceilDiv(op.m, cfg.nh) * ceilDiv(op.k, cfg.nlambda) *
+           ceilDiv(op.n, cfg.nv) * op.count;
+}
+
+PerfReport
+LtPerformanceModel::evaluateGemm(const nn::GemmOp &op) const
+{
+    const auto &cfg = config();
+    const int bits = cfg.precision_bits;
+    const size_t shots = shotsFor(op);
+    const size_t cycles = ceilDiv(shots, cfg.totalCores());
+    const double t = static_cast<double>(cycles) * cfg.cycleSeconds();
+
+    PerfReport r;
+    r.accelerator = cfg.name;
+    r.workload = nn::toString(op.kind);
+    r.latency.compute = t;
+
+    // Operand encodings (Eq. 6 with the topology / broadcast knobs).
+    const double enc1 = static_cast<double>(shots) *
+                        static_cast<double>(cfg.encodingsPerShotM1());
+    double enc2 = static_cast<double>(shots) *
+                  static_cast<double>(cfg.encodingsPerShotM2());
+    if (cfg.intercore_broadcast)
+        enc2 /= static_cast<double>(cfg.nt);
+
+    auto &e = r.energy;
+    e.op1_dac = enc1 * (e_dac_ + e_driver_);
+    e.op1_mod = enc1 * e_mzm_ + p_disk_m1_ * t;
+    e.op2_dac = enc2 * (e_dac_ + e_driver_);
+    e.op2_mod = enc2 * e_mzm_ + p_disk_m2_ * t;
+
+    // Every DDot output is photodetected each shot.
+    const double outputs = static_cast<double>(shots) *
+                           static_cast<double>(cfg.nh * cfg.nv);
+    e.detection = outputs * e_det_;
+
+    // A/D conversions after analog tile summation (/Nc) and temporal
+    // accumulation (/depth).
+    double conversions = outputs;
+    if (cfg.analog_tile_summation)
+        conversions /= static_cast<double>(cfg.nc);
+    conversions /= static_cast<double>(cfg.temporal_accum_depth);
+    e.adc = conversions * e_adc_;
+
+    e.laser = p_laser_ * t;
+
+    // Data movement: SRAM reads feed every encoding; ADC results write
+    // back at partial-sum width (~2x operand bits); static weights
+    // stream from HBM once.
+    double sram_bits = (enc1 + enc2) * bits + conversions * 2.0 * bits;
+    double hbm_bits =
+        op.dynamic ? 0.0
+                   : static_cast<double>(op.k) *
+                         static_cast<double>(op.n) *
+                         static_cast<double>(op.count) * bits;
+    e.data_movement = sram_bits * cfg.sram_pj_per_bit * 1e-12 +
+                      hbm_bits * cfg.hbm_pj_per_bit * 1e-12;
+
+    e.static_other = p_static_other_ * t;
+    return r;
+}
+
+PerfReport
+LtPerformanceModel::evaluateOps(const std::vector<nn::GemmOp> &ops,
+                                const std::string &label) const
+{
+    PerfReport total;
+    total.accelerator = config().name;
+    total.workload = label;
+    for (const auto &op : ops)
+        total += evaluateGemm(op);
+    return total;
+}
+
+PerfReport
+LtPerformanceModel::evaluate(const nn::Workload &workload) const
+{
+    return evaluateOps(workload.ops, workload.model);
+}
+
+PerfReport
+LtPerformanceModel::evaluateModule(const nn::Workload &workload,
+                                   nn::Module module) const
+{
+    return evaluateOps(workload.moduleOps(module),
+                       workload.model + "/" +
+                           std::string(nn::toString(module)));
+}
+
+} // namespace arch
+} // namespace lt

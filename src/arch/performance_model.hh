@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Energy / latency model of Lightening-Transformer executing GEMM
+ * workloads (paper Eq. 11 plus the Section IV-C optimizations).
+ *
+ * Latency: a [m,k]x[k,n] GEMM tiles into
+ *   T = ceil(m/Nh) * ceil(k/Nl) * ceil(n/Nv)
+ * one-shot DPTC invocations; all Nt*Nc cores run in parallel at the
+ * 5 GHz core clock, so the GEMM takes ceil(T / cores) cycles. (This
+ * exactly reproduces the paper's Table V latency column: DeiT-T MHA =
+ * 3.12e-3 ms, FFN = 1.04e-2 ms, All = 1.94e-2 ms on LT-B.)
+ *
+ * Energy: per-event costs for DAC / MZM / ADC / PD+TIA, plus static
+ * laser / microdisk-locking / memory-leakage / digital power burned
+ * over the busy time, plus SRAM and HBM traffic. The intra-core
+ * crossbar sharing (Eq. 6), inter-core M2 broadcast (/Nt), analog tile
+ * summation (/Nc ADC conversions) and temporal accumulation (/depth
+ * ADC rate) all enter here — switching them off yields the
+ * LT-crossbar-B / LT-broadcast-B ablations of Fig. 12.
+ */
+
+#ifndef LT_ARCH_PERFORMANCE_MODEL_HH
+#define LT_ARCH_PERFORMANCE_MODEL_HH
+
+#include "arch/chip_model.hh"
+#include "arch/report.hh"
+#include "nn/workload.hh"
+
+namespace lt {
+namespace arch {
+
+/** Evaluates workloads on a Lightening-Transformer configuration. */
+class LtPerformanceModel
+{
+  public:
+    explicit LtPerformanceModel(const ArchConfig &cfg,
+                                const photonics::DeviceLibrary &lib =
+                                    photonics::DeviceLibrary::defaults());
+
+    const ArchConfig &config() const { return chip_.config(); }
+    const ChipModel &chip() const { return chip_; }
+
+    /** Cost of one (repeated) GEMM op. */
+    PerfReport evaluateGemm(const nn::GemmOp &op) const;
+
+    /** Cost of a list of ops (summed). */
+    PerfReport evaluateOps(const std::vector<nn::GemmOp> &ops,
+                           const std::string &label) const;
+
+    /** Full model inference (Table V "All"). */
+    PerfReport evaluate(const nn::Workload &workload) const;
+
+    /** One module of a model (Table V "MHA" / "FFN" rows). */
+    PerfReport evaluateModule(const nn::Workload &workload,
+                              nn::Module module) const;
+
+    /** DPTC invocations a GEMM needs (before core parallelism). */
+    size_t shotsFor(const nn::GemmOp &op) const;
+
+  private:
+    ChipModel chip_;
+    const photonics::DeviceLibrary &lib_;
+
+    // Precomputed per-event energies at the configured precision [J].
+    double e_dac_;
+    double e_driver_;
+    double e_mzm_;
+    double e_det_;   ///< 2 PDs + 1 TIA per DDot output
+    double e_adc_;
+    // Static powers [W].
+    double p_laser_;
+    double p_disk_m1_;
+    double p_disk_m2_;
+    double p_static_other_;
+};
+
+} // namespace arch
+} // namespace lt
+
+#endif // LT_ARCH_PERFORMANCE_MODEL_HH

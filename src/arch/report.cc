@@ -1,0 +1,39 @@
+#include "report.hh"
+
+namespace lt {
+namespace arch {
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &rhs)
+{
+    laser += rhs.laser;
+    op1_dac += rhs.op1_dac;
+    op1_mod += rhs.op1_mod;
+    op2_dac += rhs.op2_dac;
+    op2_mod += rhs.op2_mod;
+    detection += rhs.detection;
+    adc += rhs.adc;
+    data_movement += rhs.data_movement;
+    static_other += rhs.static_other;
+    return *this;
+}
+
+LatencyBreakdown &
+LatencyBreakdown::operator+=(const LatencyBreakdown &rhs)
+{
+    compute += rhs.compute;
+    reconfig += rhs.reconfig;
+    mapping += rhs.mapping;
+    return *this;
+}
+
+PerfReport &
+PerfReport::operator+=(const PerfReport &rhs)
+{
+    energy += rhs.energy;
+    latency += rhs.latency;
+    return *this;
+}
+
+} // namespace arch
+} // namespace lt

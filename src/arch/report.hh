@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Common result structures shared by the Lightening-Transformer model
+ * and the photonic baselines, mirroring the paper's reporting:
+ * energy breakdowns use the Fig. 11/12 categories, latency splits
+ * compute from reconfiguration stalls, and Table V derives EDP.
+ */
+
+#ifndef LT_ARCH_REPORT_HH
+#define LT_ARCH_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace lt {
+namespace arch {
+
+/** Energy split using the paper's Fig. 11 component categories [J]. */
+struct EnergyBreakdown
+{
+    double laser = 0.0;
+    double op1_dac = 0.0;   ///< first-operand DAC conversions
+    double op1_mod = 0.0;   ///< first-operand modulation / locking
+    double op2_dac = 0.0;   ///< second-operand DAC conversions
+    double op2_mod = 0.0;   ///< second-operand modulation
+    double detection = 0.0; ///< photodiodes + TIAs
+    double adc = 0.0;
+    double data_movement = 0.0; ///< SRAM + HBM traffic
+    double static_other = 0.0;  ///< memory leakage, digital units
+
+    double
+    total() const
+    {
+        return laser + op1_dac + op1_mod + op2_dac + op2_mod +
+               detection + adc + data_movement + static_other;
+    }
+
+    EnergyBreakdown &operator+=(const EnergyBreakdown &rhs);
+};
+
+/** Latency split [s]. */
+struct LatencyBreakdown
+{
+    double compute = 0.0;  ///< cycles actually multiplying
+    double reconfig = 0.0; ///< device-programming stalls (baselines)
+    double mapping = 0.0;  ///< operand-mapping (SVD etc., baselines)
+
+    double
+    total() const
+    {
+        return compute + reconfig + mapping;
+    }
+
+    LatencyBreakdown &operator+=(const LatencyBreakdown &rhs);
+};
+
+/** One accelerator-on-workload evaluation result. */
+struct PerfReport
+{
+    std::string accelerator;
+    std::string workload;
+    EnergyBreakdown energy;
+    LatencyBreakdown latency;
+
+    /** Energy-delay product [J*s]. */
+    double
+    edp() const
+    {
+        return energy.total() * latency.total();
+    }
+
+    PerfReport &operator+=(const PerfReport &rhs);
+};
+
+/** Chip-area breakdown in the Fig. 7 categories [m^2]. */
+struct AreaBreakdown
+{
+    double photonic_core = 0.0; ///< DDot crossbars
+    double dac = 0.0;
+    double adc = 0.0;
+    double modulation = 0.0;    ///< MZMs + WDM mux/demux
+    double memory = 0.0;
+    double laser_comb = 0.0;
+    double digital = 0.0;
+    double other = 0.0;         ///< TIA, PD, per-core overhead
+
+    double
+    total() const
+    {
+        return photonic_core + dac + adc + modulation + memory +
+               laser_comb + digital + other;
+    }
+};
+
+/** Peak-power breakdown in the Fig. 8 categories [W]. */
+struct PowerBreakdown
+{
+    double laser = 0.0;
+    double dac = 0.0;
+    double adc = 0.0;
+    double modulation = 0.0;   ///< MZM drive + microdisk locking
+    double photodetector = 0.0;///< PD bias + TIA
+    double memory = 0.0;       ///< leakage
+    double digital = 0.0;
+    double driver = 0.0;       ///< per-channel serdes overhead
+
+    double
+    total() const
+    {
+        return laser + dac + adc + modulation + photodetector + memory +
+               digital + driver;
+    }
+};
+
+} // namespace arch
+} // namespace lt
+
+#endif // LT_ARCH_REPORT_HH

@@ -1,0 +1,62 @@
+#include "electronic_platforms.hh"
+
+namespace lt {
+namespace baselines {
+
+double
+ElectronicPlatform::latencyS(const nn::Workload &workload) const
+{
+    return dispatch_overhead_s +
+           static_cast<double>(workload.totalMacs()) /
+               effective_macs_per_s;
+}
+
+double
+ElectronicPlatform::energyJ(const nn::Workload &workload) const
+{
+    return static_cast<double>(workload.totalMacs()) * energy_per_mac_j;
+}
+
+double
+ElectronicPlatform::fps(const nn::Workload &workload) const
+{
+    return 1.0 / latencyS(workload);
+}
+
+ElectronicPlatform
+a100Gpu()
+{
+    // 624 TOPS INT8 peak derated to ~8 % sustained batch-1 utilization;
+    // ~2.5 pJ/MAC effective wall energy (300 W board at throughput).
+    return {"A100-GPU", 25e12, 150e-6, 2.5e-12};
+}
+
+ElectronicPlatform
+i7Cpu()
+{
+    // ~0.4 TMAC/s sustained AVX2; ~45 W package -> ~112 pJ/MAC.
+    return {"i7-9750H-CPU", 0.4e12, 1e-3, 112e-12};
+}
+
+ElectronicPlatform
+coralEdgeTpu()
+{
+    // 4 TOPS INT8 peak, ~2 W; ~25 % transformer utilization.
+    return {"Coral-EdgeTPU", 1.0e12, 500e-6, 5.6e-12};
+}
+
+ElectronicPlatform
+fpgaAccelerator()
+{
+    // ZCU102-class ViT accelerators: ~0.6 TMAC/s sustained at ~10 W.
+    return {"FPGA-ViT-Acc", 0.6e12, 200e-6, 7.0e-12};
+}
+
+std::vector<ElectronicPlatform>
+figure13Platforms()
+{
+    return {i7Cpu(), a100Gpu(), coralEdgeTpu(), fpgaAccelerator()};
+}
+
+} // namespace baselines
+} // namespace lt

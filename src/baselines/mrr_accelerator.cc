@@ -1,0 +1,156 @@
+#include "mrr_accelerator.hh"
+
+#include <cmath>
+
+#include "arch/converters.hh"
+#include "photonics/laser.hh"
+#include "photonics/loss_chain.hh"
+#include "util/logging.hh"
+
+namespace lt {
+namespace baselines {
+
+namespace {
+
+size_t
+ceilDiv(size_t a, size_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+MrrAccelerator::MrrAccelerator(const MrrConfig &cfg,
+                               const photonics::DeviceLibrary &lib)
+    : cfg_(cfg), lib_(lib)
+{
+    const double f = cfg.clock_hz;
+    e_dac_ = arch::dacModel(lib).energyPerConversionJ(cfg.precision_bits);
+    e_mzm_ = lib.mzm.power_w / f;
+    e_ring_tune_ = lib.mrr.power_w / f;
+    e_det_ = (2.0 * lib.photodetector.power_w + lib.tia.power_w) / f;
+    e_adc_ = arch::adcModel(lib).energyPerConversionJ(cfg.precision_bits);
+    // Every ring of every loaded bank is actively locked.
+    p_locking_ = static_cast<double>(cfg.num_ptcs * cfg.k * cfg.k) *
+                 lib.mrr_locking_power_w;
+
+    // Laser: k wavelengths per PTC, broadcast to the k banks.
+    photonics::LossChain chain;
+    chain.add("input modulator (MRR)", lib.mrr.il_db)
+        .add("WDM mux", lib.microdisk.il_db)
+        .addSplit("bank broadcast", static_cast<int>(cfg.k),
+                  lib.y_branch.il_db)
+        .add("weight ring", lib.mrr.il_db)
+        .add("waveguide propagation", 0.5);
+    photonics::LaserModel laser(lib, -3.5 /* same margin as LT */);
+    p_laser_ = laser.electricalPowerW(
+        static_cast<int>(cfg.num_ptcs * cfg.k), chain,
+        cfg.precision_bits);
+}
+
+double
+MrrAccelerator::areaM2() const
+{
+    // Rings at thermal-isolation pitch, per-PTC converters, and one
+    // comb source per PTC (every bank needs the multi-wavelength
+    // carrier locally).
+    double per_ptc =
+        static_cast<double>(cfg_.k * cfg_.k) * cfg_.ring_cell_m2 +
+        static_cast<double>(cfg_.k) *
+            (arch::dacModel(lib_).areaM2() + arch::adcModel(lib_).areaM2() +
+             lib_.mzm.area_m2 + lib_.tia.area_m2 +
+             2.0 * lib_.photodetector.area_m2) +
+        lib_.micro_comb.area_m2 + lib_.laser_area_m2;
+    return static_cast<double>(cfg_.num_ptcs) * per_ptc;
+}
+
+double
+MrrAccelerator::laserPowerW() const
+{
+    return p_laser_;
+}
+
+arch::PerfReport
+MrrAccelerator::evaluateGemm(const nn::GemmOp &op) const
+{
+    // GEMM [m,k]x[k,n]: op1 = the [k,n] operand held in the weight
+    // banks (weights for linear layers, K^T / V for attention), op2 =
+    // the [m,k] operand streamed as light.
+    const size_t k = cfg_.k;
+    const size_t weight_tiles = ceilDiv(op.k, k) * ceilDiv(op.n, k);
+    const size_t passes = cfg_.range_decomposition_passes;
+    const size_t cycles_raw =
+        weight_tiles * op.m * passes * op.count;
+    const size_t cycles = ceilDiv(cycles_raw, cfg_.num_ptcs);
+    const double t = static_cast<double>(cycles) / cfg_.clock_hz;
+
+    arch::PerfReport r;
+    r.accelerator = cfg_.name;
+    r.workload = nn::toString(op.kind);
+    r.latency.compute = t;
+
+    auto &e = r.energy;
+    // op1: programming each weight tile once (amortized over m), plus
+    // the continuous locking power — the dominant, unamortizable term.
+    const double weight_values = static_cast<double>(weight_tiles) *
+                                 static_cast<double>(k * k) *
+                                 static_cast<double>(op.count);
+    e.op1_dac = weight_values * e_dac_;
+    e.op1_mod = weight_values * e_ring_tune_ + p_locking_ * t;
+
+    // op2: k input encodings per PTC-cycle, doubled by decomposition
+    // (already folded into cycles_raw).
+    const double input_events =
+        static_cast<double>(cycles_raw) * static_cast<double>(k);
+    e.op2_dac = input_events * e_dac_;
+    e.op2_mod = input_events * e_mzm_;
+
+    // Detection + A/D: k outputs per PTC-cycle, both passes.
+    const double outputs = input_events; // k outputs per cycle too
+    e.detection = outputs * e_det_;
+    e.adc = outputs * e_adc_;
+
+    e.laser = p_laser_ * t;
+
+    const int bits = cfg_.precision_bits;
+    double sram_bits = (input_events + weight_values) * bits +
+                       outputs * 2.0 * bits;
+    double hbm_bits =
+        op.dynamic ? 0.0
+                   : static_cast<double>(op.k) *
+                         static_cast<double>(op.n) *
+                         static_cast<double>(op.count) * bits;
+    e.data_movement = sram_bits * cfg_.sram_pj_per_bit * 1e-12 +
+                      hbm_bits * cfg_.hbm_pj_per_bit * 1e-12;
+    return r;
+}
+
+arch::PerfReport
+MrrAccelerator::evaluateOps(const std::vector<nn::GemmOp> &ops,
+                            const std::string &label) const
+{
+    arch::PerfReport total;
+    total.accelerator = cfg_.name;
+    total.workload = label;
+    for (const auto &op : ops)
+        total += evaluateGemm(op);
+    return total;
+}
+
+arch::PerfReport
+MrrAccelerator::evaluate(const nn::Workload &workload) const
+{
+    return evaluateOps(workload.ops, workload.model);
+}
+
+arch::PerfReport
+MrrAccelerator::evaluateModule(const nn::Workload &workload,
+                               nn::Module module) const
+{
+    return evaluateOps(workload.moduleOps(module),
+                       workload.model + "/" +
+                           std::string(nn::toString(module)));
+}
+
+} // namespace baselines
+} // namespace lt

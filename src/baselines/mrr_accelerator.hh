@@ -1,0 +1,96 @@
+/**
+ * @file
+ * MRR-bank photonic accelerator baseline (Tait et al. [52], as
+ * modelled in Section V-C).
+ *
+ * Characteristics the paper's comparison hinges on:
+ *  - MVM engines: a k x k weight bank produces k outputs per cycle
+ *    from k inputs (k' = 1 in the Eq. 11 tiling, so T picks up a
+ *    full factor of n).
+ *  - Weight-static dataflow: the op1 DAC/modulation cost is amortized
+ *    over the m input vectors streamed per weight tile, BUT every
+ *    loaded ring burns mW-level locking power continuously, so the
+ *    locking energy scales with total compute time (~m*d*n).
+ *  - Incoherent (intensity) computing: at least one operand must be
+ *    non-negative, so full-range inputs are decomposed into
+ *    (X+ - X-), doubling the passes and with them the op2 encoding,
+ *    detection, and ADC costs.
+ *
+ * The PTC count is area-matched to LT-B (Section V-C): each MRR PTC
+ * needs its own comb source and thermally isolated ring placement,
+ * which yields 14 PTCs in the LT-B photonic area budget and
+ * reproduces the paper's ~12.8x latency gap.
+ */
+
+#ifndef LT_BASELINES_MRR_ACCELERATOR_HH
+#define LT_BASELINES_MRR_ACCELERATOR_HH
+
+#include "arch/report.hh"
+#include "nn/workload.hh"
+#include "photonics/device_params.hh"
+#include "util/units.hh"
+
+namespace lt {
+namespace baselines {
+
+/** Configuration of the MRR-bank baseline system. */
+struct MrrConfig
+{
+    std::string name = "MRR-bank";
+    size_t num_ptcs = 14;  ///< area-matched to LT-B (see file comment)
+    size_t k = 12;         ///< bank dimension (k x k MVM)
+    int precision_bits = 4;
+    double clock_hz = units::GHz(5);
+
+    /** Full-range decomposition doubles the dynamic-operand passes. */
+    size_t range_decomposition_passes = 2;
+
+    /** Thermally isolated ring cell pitch (area model); 95 um pitch
+     * puts 14 PTCs at LT-B's photonic area budget (~42 mm^2). */
+    double ring_cell_m2 = units::um2(95 * 95);
+
+    // Memory-system energetics (same substrate as LT).
+    double sram_pj_per_bit = 0.05;
+    double hbm_pj_per_bit = 3.7;
+};
+
+/** Behavioural cost model of the MRR-bank accelerator. */
+class MrrAccelerator
+{
+  public:
+    explicit MrrAccelerator(const MrrConfig &cfg = MrrConfig{},
+                            const photonics::DeviceLibrary &lib =
+                                photonics::DeviceLibrary::defaults());
+
+    const MrrConfig &config() const { return cfg_; }
+
+    arch::PerfReport evaluateGemm(const nn::GemmOp &op) const;
+    arch::PerfReport evaluateOps(const std::vector<nn::GemmOp> &ops,
+                                 const std::string &label) const;
+    arch::PerfReport evaluate(const nn::Workload &workload) const;
+    arch::PerfReport evaluateModule(const nn::Workload &workload,
+                                    nn::Module module) const;
+
+    /** Chip area of the baseline (for the area-matching check). */
+    double areaM2() const;
+
+    /** Total laser power [W]. */
+    double laserPowerW() const;
+
+  private:
+    MrrConfig cfg_;
+    const photonics::DeviceLibrary &lib_;
+
+    double e_dac_;
+    double e_mzm_;
+    double e_ring_tune_;
+    double e_det_;
+    double e_adc_;
+    double p_locking_;  ///< all loaded rings
+    double p_laser_;
+};
+
+} // namespace baselines
+} // namespace lt
+
+#endif // LT_BASELINES_MRR_ACCELERATOR_HH

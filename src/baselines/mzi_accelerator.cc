@@ -1,0 +1,183 @@
+#include "mzi_accelerator.hh"
+
+#include <cmath>
+
+#include "arch/converters.hh"
+#include "photonics/laser.hh"
+#include "photonics/loss_chain.hh"
+
+namespace lt {
+namespace baselines {
+
+namespace {
+
+size_t
+ceilDiv(size_t a, size_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+MziAccelerator::MziAccelerator(const MziConfig &cfg,
+                               const photonics::DeviceLibrary &lib)
+    : cfg_(cfg), lib_(lib)
+{
+    const double f = cfg.clock_hz;
+    e_dac_ = arch::dacModel(lib).energyPerConversionJ(cfg.precision_bits);
+    e_mzm_ = lib.mzm.power_w / f;
+    e_det_ = (2.0 * lib.photodetector.power_w + lib.tia.power_w) / f;
+    e_adc_ = arch::adcModel(lib).energyPerConversionJ(cfg.precision_bits);
+    // MEMS phase shifters are electrostatic: ~10 fJ per actuation.
+    e_ps_program_ = 10e-15;
+
+    photonics::LossChain chain;
+    // Light crosses the U mesh and the V mesh (k columns each), every
+    // column being one MZI = 2 couplers + 2 phase shifters.
+    double per_mzi =
+        2.0 * lib.coupler.il_db + 2.0 * lib.mems_ps.il_db;
+    chain.add("U mesh", per_mzi, static_cast<int>(cfg.k))
+        .add("V mesh", per_mzi, static_cast<int>(cfg.k))
+        .add("input modulator", lib.mzm.il_db)
+        .add("fiber/facet coupling", 1.0);
+    photonics::LaserModel laser(lib, -3.5 /* same margin as LT */);
+    p_laser_ = laser.electricalPowerW(
+        static_cast<int>(cfg.num_ptcs * cfg.k), chain,
+        cfg.precision_bits);
+}
+
+double
+MziAccelerator::meshLossDb() const
+{
+    double per_mzi =
+        2.0 * lib_.coupler.il_db + 2.0 * lib_.mems_ps.il_db;
+    return 2.0 * static_cast<double>(cfg_.k) * per_mzi +
+           lib_.mzm.il_db + 1.0;
+}
+
+double
+MziAccelerator::laserPowerW() const
+{
+    return p_laser_;
+}
+
+double
+MziAccelerator::areaM2() const
+{
+    // Two k x k triangular meshes: ~k(k-1) MZIs total, plus per-port
+    // converters and a single-wavelength laser per PTC.
+    double per_ptc =
+        static_cast<double>(cfg_.k * (cfg_.k - 1)) * cfg_.mesh_cell_m2 +
+        static_cast<double>(cfg_.k) *
+            (arch::dacModel(lib_).areaM2() + arch::adcModel(lib_).areaM2() +
+             lib_.mzm.area_m2 + lib_.tia.area_m2 +
+             2.0 * lib_.photodetector.area_m2) +
+        lib_.laser_area_m2;
+    return static_cast<double>(cfg_.num_ptcs) * per_ptc;
+}
+
+arch::PerfReport
+MziAccelerator::evaluateGemm(const nn::GemmOp &op) const
+{
+    const size_t k = cfg_.k;
+    const size_t weight_tiles =
+        ceilDiv(op.k, k) * ceilDiv(op.n, k) * op.count;
+    const size_t compute_cycles_raw = weight_tiles * op.m;
+    const double t_compute =
+        static_cast<double>(ceilDiv(compute_cycles_raw, cfg_.num_ptcs)) /
+        cfg_.clock_hz;
+    const double t_reconfig =
+        static_cast<double>(weight_tiles) * cfg_.reconfig_s /
+        static_cast<double>(cfg_.num_ptcs);
+
+    arch::PerfReport r;
+    r.accelerator = cfg_.name;
+    r.workload = nn::toString(op.kind);
+    r.latency.compute = t_compute;
+    r.latency.reconfig = t_reconfig;
+    if (op.dynamic) {
+        // Forcing dynamic MM onto the MZI array: the SVD + phase
+        // decomposition must run at inference time, per tile.
+        r.latency.mapping = static_cast<double>(weight_tiles) *
+                            cfg_.mapping_s_per_tile /
+                            static_cast<double>(cfg_.num_ptcs);
+    }
+
+    auto &e = r.energy;
+    // Laser can be gated during stalls except for a bias fraction.
+    e.laser = p_laser_ *
+              (t_compute + cfg_.laser_stall_duty * t_reconfig);
+
+    // op1: programming ~k^2 phases per tile (DAC writes + MEMS moves).
+    const double phase_writes = static_cast<double>(weight_tiles) *
+                                static_cast<double>(k * k);
+    e.op1_dac = phase_writes * e_dac_;
+    e.op1_mod = phase_writes * e_ps_program_;
+
+    // op2: k input encodings per streamed vector.
+    const double input_events =
+        static_cast<double>(compute_cycles_raw) * static_cast<double>(k);
+    e.op2_dac = input_events * e_dac_;
+    e.op2_mod = input_events * e_mzm_;
+
+    const double outputs = input_events;
+    e.detection = outputs * e_det_;
+    e.adc = outputs * e_adc_;
+
+    const int bits = cfg_.precision_bits;
+    double sram_bits =
+        (input_events + phase_writes) * bits + outputs * 2.0 * bits;
+    double hbm_bits =
+        op.dynamic ? 0.0
+                   : static_cast<double>(op.k) *
+                         static_cast<double>(op.n) *
+                         static_cast<double>(op.count) * bits;
+    e.data_movement = sram_bits * cfg_.sram_pj_per_bit * 1e-12 +
+                      hbm_bits * cfg_.hbm_pj_per_bit * 1e-12;
+    return r;
+}
+
+arch::PerfReport
+MziAccelerator::evaluateOps(const std::vector<nn::GemmOp> &ops,
+                            const std::string &label) const
+{
+    arch::PerfReport total;
+    total.accelerator = cfg_.name;
+    total.workload = label;
+    for (const auto &op : ops)
+        total += evaluateGemm(op);
+    return total;
+}
+
+arch::PerfReport
+MziAccelerator::evaluate(const nn::Workload &workload,
+                         const MrrAccelerator &mha_fallback) const
+{
+    arch::PerfReport total;
+    total.accelerator = cfg_.name + "+MRR(MHA)";
+    total.workload = workload.model;
+    for (const auto &op : workload.ops) {
+        total += op.dynamic ? mha_fallback.evaluateGemm(op)
+                            : evaluateGemm(op);
+    }
+    return total;
+}
+
+arch::PerfReport
+MziAccelerator::evaluateModule(const nn::Workload &workload,
+                               nn::Module module,
+                               const MrrAccelerator &fallback) const
+{
+    arch::PerfReport total;
+    total.accelerator = cfg_.name + "+MRR(MHA)";
+    total.workload = workload.model + "/" +
+                     std::string(nn::toString(module));
+    for (const auto &op : workload.moduleOps(module)) {
+        total += op.dynamic ? fallback.evaluateGemm(op)
+                            : evaluateGemm(op);
+    }
+    return total;
+}
+
+} // namespace baselines
+} // namespace lt

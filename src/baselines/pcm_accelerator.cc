@@ -1,0 +1,132 @@
+#include "pcm_accelerator.hh"
+
+#include <cmath>
+
+#include "arch/converters.hh"
+#include "photonics/laser.hh"
+#include "photonics/loss_chain.hh"
+
+namespace lt {
+namespace baselines {
+
+namespace {
+
+size_t
+ceilDiv(size_t a, size_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+PcmAccelerator::PcmAccelerator(const PcmConfig &cfg,
+                               const photonics::DeviceLibrary &lib)
+    : cfg_(cfg), lib_(lib)
+{
+    const double f = cfg.clock_hz;
+    e_dac_ = arch::dacModel(lib).energyPerConversionJ(cfg.precision_bits);
+    e_mzm_ = lib.mzm.power_w / f;
+    e_det_ = (2.0 * lib.photodetector.power_w + lib.tia.power_w) / f;
+    e_adc_ = arch::adcModel(lib).energyPerConversionJ(cfg.precision_bits);
+    // PCM amorphization/crystallization pulse: ~50 pJ per cell write.
+    e_cell_write_ = 50e-12;
+
+    // Laser: k wavelengths through modulator + crossbar cell + combine.
+    photonics::LossChain chain;
+    chain.add("input modulator", lib.mzm.il_db)
+        .add("WDM mux", lib.microdisk.il_db)
+        .addSplit("row broadcast", static_cast<int>(cfg.k),
+                  lib.y_branch.il_db)
+        .add("PCM cell", 1.0) // absorptive weighting element
+        .add("waveguide propagation", 0.5);
+    photonics::LaserModel laser(lib, -3.5);
+    p_laser_ = laser.electricalPowerW(
+        static_cast<int>(cfg.num_ptcs * cfg.k), chain,
+        cfg.precision_bits);
+}
+
+double
+PcmAccelerator::tileWriteTimeS() const
+{
+    double rows = std::ceil(static_cast<double>(cfg_.k * cfg_.k) /
+                            static_cast<double>(cfg_.write_parallelism));
+    return rows * cfg_.cell_write_s;
+}
+
+arch::PerfReport
+PcmAccelerator::evaluateGemm(const nn::GemmOp &op) const
+{
+    // GEMM [m,k]x[k,n]: the [k,n] operand lives in PCM cells; the
+    // [m,k] operand streams as light, m rows per tile pass. Full-range
+    // inputs require 4 sign-quadrant passes.
+    const size_t k = cfg_.k;
+    const size_t weight_tiles =
+        ceilDiv(op.k, k) * ceilDiv(op.n, k) * op.count;
+    const size_t passes = cfg_.range_decomposition_passes;
+    const size_t cycles_raw = weight_tiles * op.m * passes;
+    const size_t cycles = ceilDiv(cycles_raw, cfg_.num_ptcs);
+    const double t_compute = static_cast<double>(cycles) / cfg_.clock_hz;
+    // Every distinct weight tile must be written into the PCM cells.
+    // For dynamic operands this happens at runtime (the Table I
+    // "Medium" mapping cost becomes a stall); for static weights it
+    // still serializes the tiled GEMM because tiles vastly outnumber
+    // crossbars.
+    const double t_write =
+        static_cast<double>(weight_tiles) * tileWriteTimeS() /
+        static_cast<double>(cfg_.num_ptcs);
+
+    arch::PerfReport r;
+    r.accelerator = cfg_.name;
+    r.workload = nn::toString(op.kind);
+    r.latency.compute = t_compute;
+    r.latency.reconfig = t_write;
+
+    auto &e = r.energy;
+    const double weight_values = static_cast<double>(weight_tiles) *
+                                 static_cast<double>(k * k);
+    e.op1_dac = weight_values * e_dac_;
+    e.op1_mod = weight_values * e_cell_write_; // non-volatile: no hold
+    const double input_events =
+        static_cast<double>(cycles_raw) * static_cast<double>(k);
+    e.op2_dac = input_events * e_dac_;
+    e.op2_mod = input_events * e_mzm_;
+    // One-shot MM: k^2 outputs per pass (k per wavelength column).
+    const double outputs = static_cast<double>(cycles_raw) *
+                           static_cast<double>(k);
+    e.detection = outputs * e_det_;
+    e.adc = outputs * e_adc_;
+    e.laser = p_laser_ * t_compute;
+
+    const int bits = cfg_.precision_bits;
+    double sram_bits =
+        (input_events + weight_values) * bits + outputs * 2.0 * bits;
+    double hbm_bits =
+        op.dynamic ? 0.0
+                   : static_cast<double>(op.k) *
+                         static_cast<double>(op.n) *
+                         static_cast<double>(op.count) * bits;
+    e.data_movement = sram_bits * cfg_.sram_pj_per_bit * 1e-12 +
+                      hbm_bits * cfg_.hbm_pj_per_bit * 1e-12;
+    return r;
+}
+
+arch::PerfReport
+PcmAccelerator::evaluateOps(const std::vector<nn::GemmOp> &ops,
+                            const std::string &label) const
+{
+    arch::PerfReport total;
+    total.accelerator = cfg_.name;
+    total.workload = label;
+    for (const auto &op : ops)
+        total += evaluateGemm(op);
+    return total;
+}
+
+arch::PerfReport
+PcmAccelerator::evaluate(const nn::Workload &workload) const
+{
+    return evaluateOps(workload.ops, workload.model);
+}
+
+} // namespace baselines
+} // namespace lt

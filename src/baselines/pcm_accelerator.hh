@@ -1,0 +1,88 @@
+/**
+ * @file
+ * PCM-crossbar photonic accelerator baseline (Feldmann et al. [16],
+ * the remaining Table I design).
+ *
+ * Characteristics per Table I / Section II-C:
+ *  - One-shot MM capable (a k x k crossbar of non-volatile PCM cells
+ *    multiplies a k-vector batch per pass, like DPTC's crossbar).
+ *  - Both operands positive-only (incoherent intensity computing):
+ *    a full-range MM decomposes into (X+ - X-)(Y+ - Y-) and needs
+ *    FOUR passes (X+Y+, X+Y-, X-Y+, X-Y-) plus digital recombination
+ *    — the ">2-4x hardware cost" the paper quotes.
+ *  - Weight-static with "Medium" mapping cost: PCM cells program in
+ *    10 ns - 10 us (Section II-C); we take 100 ns per cell write,
+ *    k^2 cells per tile, `write_parallelism` cells at once.
+ *  - Non-volatile: ZERO static holding power (the one advantage over
+ *    MRR locking) — but every weight *switch* stalls the core.
+ */
+
+#ifndef LT_BASELINES_PCM_ACCELERATOR_HH
+#define LT_BASELINES_PCM_ACCELERATOR_HH
+
+#include "arch/report.hh"
+#include "nn/workload.hh"
+#include "photonics/device_params.hh"
+#include "util/units.hh"
+
+namespace lt {
+namespace baselines {
+
+/** Configuration of the PCM-crossbar baseline system. */
+struct PcmConfig
+{
+    std::string name = "PCM-crossbar";
+    size_t num_ptcs = 12;  ///< area-matched to LT-B's photonic budget
+    size_t k = 12;         ///< crossbar dimension (k x k MM per pass)
+    int precision_bits = 4;
+    double clock_hz = units::GHz(5);
+
+    /**
+     * Positive-only operands: full-range MM needs all four sign
+     * quadrants (Section II-C: "processing X+Y+, X+Y-, X-Y+ and X-Y-
+     * separately").
+     */
+    size_t range_decomposition_passes = 4;
+
+    /** PCM cell write time and how many cells program in parallel. */
+    double cell_write_s = 100e-9;
+    size_t write_parallelism = 12; // one row at a time
+
+    double sram_pj_per_bit = 0.05;
+    double hbm_pj_per_bit = 3.7;
+};
+
+/** Behavioural cost model of the PCM-crossbar accelerator. */
+class PcmAccelerator
+{
+  public:
+    explicit PcmAccelerator(const PcmConfig &cfg = PcmConfig{},
+                            const photonics::DeviceLibrary &lib =
+                                photonics::DeviceLibrary::defaults());
+
+    const PcmConfig &config() const { return cfg_; }
+
+    arch::PerfReport evaluateGemm(const nn::GemmOp &op) const;
+    arch::PerfReport evaluateOps(const std::vector<nn::GemmOp> &ops,
+                                 const std::string &label) const;
+    arch::PerfReport evaluate(const nn::Workload &workload) const;
+
+    /** Per-tile reprogramming stall (k^2 cell writes, row-parallel). */
+    double tileWriteTimeS() const;
+
+  private:
+    PcmConfig cfg_;
+    const photonics::DeviceLibrary &lib_;
+
+    double e_dac_;
+    double e_mzm_;
+    double e_det_;
+    double e_adc_;
+    double e_cell_write_;
+    double p_laser_;
+};
+
+} // namespace baselines
+} // namespace lt
+
+#endif // LT_BASELINES_PCM_ACCELERATOR_HH

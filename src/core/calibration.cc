@@ -1,0 +1,90 @@
+#include "calibration.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lt {
+namespace core {
+
+double
+ChannelCalibration::meanGain() const
+{
+    if (gain.empty())
+        return 1.0;
+    double s = 0.0;
+    for (double g : gain)
+        s += g;
+    return s / static_cast<double>(gain.size());
+}
+
+double
+ChannelCalibration::additiveCorrection(std::span<const double> x,
+                                       std::span<const double> y) const
+{
+    if (x.size() != y.size())
+        lt_panic("additiveCorrection length mismatch");
+    if (x.size() > additive.size())
+        lt_panic("additiveCorrection: vector exceeds calibration size");
+    double corr = 0.0;
+    for (size_t i = 0; i < x.size(); ++i)
+        corr += additive[i] * (x[i] * x[i] - y[i] * y[i]);
+    return corr;
+}
+
+ChannelCalibration
+calibrateDDot(const DDot &ddot, Rng &rng, int probes)
+{
+    const size_t n = ddot.numWavelengths();
+    ChannelCalibration cal;
+    cal.gain.assign(n, 1.0);
+    cal.additive.assign(n, 0.0);
+
+    std::vector<double> probe(n, 0.0);
+    std::vector<double> zero(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        probe[i] = 1.0;
+        double gain_acc = 0.0;
+        double add_acc = 0.0;
+        for (int p = 0; p < probes; ++p) {
+            // (e_i, e_i): the x^2 - y^2 term cancels -> pure gain.
+            gain_acc += ddot.analyticNoisyDot(probe, probe, rng);
+            // (e_i, 0): no xy term -> pure additive coefficient.
+            add_acc += ddot.analyticNoisyDot(probe, zero, rng);
+        }
+        probe[i] = 0.0;
+        double g = gain_acc / probes;
+        if (g <= 0.0)
+            lt_fatal("calibration probe on channel ", i,
+                     " returned non-positive gain ", g);
+        cal.gain[i] = g;
+        cal.additive[i] = add_acc / probes;
+    }
+    return cal;
+}
+
+double
+calibratedNoisyDot(const DDot &ddot, const ChannelCalibration &cal,
+                   std::span<const double> x, std::span<const double> y,
+                   Rng &rng)
+{
+    if (x.size() != y.size())
+        lt_panic("calibratedNoisyDot length mismatch");
+    if (x.size() > cal.channels())
+        lt_panic("calibratedNoisyDot: vector exceeds calibration size");
+    // Per-channel gain compensation: pre-scale both operands by
+    // 1/sqrt(g_i) so the interference product comes out at unit gain;
+    // the additive correction then uses the *scaled* encodings (the
+    // values the modulators actually carry).
+    std::vector<double> xs(x.size()), ys(y.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+        double comp = 1.0 / std::sqrt(cal.gain[i]);
+        xs[i] = x[i] * comp;
+        ys[i] = y[i] * comp;
+    }
+    double raw = ddot.analyticNoisyDot(xs, ys, rng);
+    return raw - cal.additiveCorrection(xs, ys);
+}
+
+} // namespace core
+} // namespace lt

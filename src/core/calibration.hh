@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-wavelength calibration — the "more advanced noise-mitigation
+ * techniques" extension the paper points to ([20], [56]).
+ *
+ * The deterministic part of the DDot non-ideality (Eq. 9) has two
+ * pieces per channel i:
+ *   - a multiplicative gain g_i = 2 t_i k_i |sin phi_i| (second-order
+ *     small: the design point sits at a local optimum), and
+ *   - an additive term a_i (x_i^2 - y_i^2) with
+ *     a_i = (2 k_i^2 - 1) / 2 (FIRST-order in the kappa dispersion —
+ *     this is what dominates at high wavelength counts).
+ *
+ * Both are static, so a calibration phase can measure them with basis
+ * probes: (e_i, e_i) returns g_i; (e_i, 0) returns a_i. At run time
+ * the controller already knows the encoded values, so it can subtract
+ * sum_i a_i (x_i^2 - y_i^2) digitally — and because operands are
+ * broadcast across the crossbar, the per-vector correction term is
+ * computed once and reused across a whole row/column of outputs
+ * (O(N) amortized, like the encoding itself). Stochastic encoding
+ * noise is zero-mean and remains uncorrected.
+ */
+
+#ifndef LT_CORE_CALIBRATION_HH
+#define LT_CORE_CALIBRATION_HH
+
+#include <vector>
+
+#include "core/ddot.hh"
+
+namespace lt {
+namespace core {
+
+/** Measured per-channel calibration coefficients. */
+struct ChannelCalibration
+{
+    std::vector<double> gain;     ///< g_i from (e_i, e_i) probes
+    std::vector<double> additive; ///< a_i from (e_i, 0) probes
+
+    size_t channels() const { return gain.size(); }
+
+    /** Mean multiplicative gain (used for global rescaling). */
+    double meanGain() const;
+
+    /** The deterministic additive error of one operand pair. */
+    double additiveCorrection(std::span<const double> x,
+                              std::span<const double> y) const;
+};
+
+/**
+ * Probe a DDot with basis vectors to measure each channel's gain and
+ * additive coefficient. Probing averages `probes` repetitions so the
+ * stochastic encoding noise integrates out (a real system would do
+ * the same during its calibration phase).
+ */
+ChannelCalibration calibrateDDot(const DDot &ddot, Rng &rng,
+                                 int probes = 64);
+
+/**
+ * Calibrated noisy dot product: evaluate the regular Eq. 9 path, then
+ * subtract the measured additive correction and rescale by the mean
+ * gain.
+ */
+double calibratedNoisyDot(const DDot &ddot,
+                          const ChannelCalibration &cal,
+                          std::span<const double> x,
+                          std::span<const double> y, Rng &rng);
+
+} // namespace core
+} // namespace lt
+
+#endif // LT_CORE_CALIBRATION_HH

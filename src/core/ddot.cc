@@ -1,0 +1,153 @@
+#include "ddot.hh"
+
+#include <cmath>
+#include <complex>
+
+#include "photonics/photodetector.hh"
+#include "photonics/transfer_matrix.hh"
+#include "util/logging.hh"
+
+namespace lt {
+namespace core {
+
+namespace {
+
+/** Draw the per-element encoding noise (magnitude drift + phase). */
+struct EncodingDraw
+{
+    double x_hat;      ///< magnitude-perturbed x
+    double y_hat;      ///< magnitude-perturbed y
+    double dphi_d;     ///< relative phase drift [rad]
+};
+
+EncodingDraw
+drawEncoding(double x, double y, const NoiseConfig &cfg, Rng &rng)
+{
+    EncodingDraw d{x, y, 0.0};
+    if (cfg.enable_encoding_noise) {
+        // Magnitude drift scales with |value| (paper Section III-C).
+        d.x_hat = x + rng.gaussian(0.0, cfg.magnitude_noise_std *
+                                            std::abs(x));
+        d.y_hat = y + rng.gaussian(0.0, cfg.magnitude_noise_std *
+                                            std::abs(y));
+        d.dphi_d = rng.gaussian(0.0, cfg.phaseNoiseStdRad());
+    }
+    return d;
+}
+
+} // namespace
+
+DDot::DDot(size_t num_wavelengths, const NoiseConfig &noise)
+    : noise_(noise)
+{
+    if (num_wavelengths == 0)
+        lt_fatal("DDot requires at least one wavelength");
+    photonics::WdmGrid grid(num_wavelengths);
+    photonics::DirectionalCoupler coupler;
+    photonics::PhaseShifter shifter(-M_PI / 2.0);
+
+    channels_.reserve(num_wavelengths);
+    for (size_t i = 0; i < num_wavelengths; ++i) {
+        ChannelCoefficients c{};
+        if (noise_.enable_dispersion) {
+            double lambda = grid.wavelength(i);
+            c.t = coupler.transmission(lambda);
+            c.k = coupler.crossCoupling(lambda);
+            c.phase_error = shifter.phaseError(lambda);
+        } else {
+            c.t = std::sqrt(0.5);
+            c.k = std::sqrt(0.5);
+            c.phase_error = 0.0;
+        }
+        channels_.push_back(c);
+    }
+}
+
+double
+DDot::idealDot(std::span<const double> x, std::span<const double> y)
+{
+    if (x.size() != y.size())
+        lt_panic("idealDot length mismatch: ", x.size(), " vs ", y.size());
+    double acc = 0.0;
+    for (size_t i = 0; i < x.size(); ++i)
+        acc += x[i] * y[i];
+    return acc;
+}
+
+double
+DDot::fieldSimDot(std::span<const double> x, std::span<const double> y,
+                  Rng &rng) const
+{
+    if (x.size() != y.size())
+        lt_panic("fieldSimDot length mismatch");
+    if (x.size() > channels_.size())
+        lt_panic("fieldSimDot: vector length ", x.size(),
+                 " exceeds wavelength count ", channels_.size());
+
+    using photonics::Complex;
+    double i_plus = 0.0;   // photocurrent at the '+' photodiode
+    double i_minus = 0.0;  // photocurrent at the '-' photodiode
+    for (size_t i = 0; i < x.size(); ++i) {
+        const auto &ch = channels_[i];
+        EncodingDraw d = drawEncoding(x[i], y[i], noise_, rng);
+
+        // Port a carries y_hat; port b carries x_hat behind the -90
+        // degree shifter (plus dispersion error plus encoding phase
+        // drift). Only the relative phase matters (Section III-C).
+        double psi = -M_PI / 2.0 + ch.phase_error + d.dphi_d;
+        Complex ea(d.y_hat, 0.0);
+        Complex eb = std::polar(d.x_hat, psi);
+
+        // Directional coupler [[t, jk], [jk, t]].
+        Complex jk(0.0, ch.k);
+        Complex z0 = ch.t * ea + jk * eb;
+        Complex z1 = jk * ea + ch.t * eb;
+
+        // WDM channels do not interfere: intensities accumulate.
+        i_plus += photonics::power(z0);
+        i_minus += photonics::power(z1);
+    }
+    // Balanced detection; the 1/2 normalizes so ideal optics give x.y.
+    return 0.5 * (i_plus - i_minus);
+}
+
+double
+DDot::analyticNoisyDot(std::span<const double> x,
+                       std::span<const double> y, Rng &rng) const
+{
+    if (x.size() != y.size())
+        lt_panic("analyticNoisyDot length mismatch");
+    if (x.size() > channels_.size())
+        lt_panic("analyticNoisyDot: vector length exceeds wavelengths");
+
+    double io = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+        const auto &ch = channels_[i];
+        EncodingDraw d = drawEncoding(x[i], y[i], noise_, rng);
+        double phi = -M_PI / 2.0 + ch.phase_error + d.dphi_d;
+        // Paper Eq. 9: per-channel output of the balanced detector.
+        double mult = 2.0 * ch.t * ch.k * (-std::sin(phi));
+        double add = (2.0 * ch.k * ch.k - 1.0) *
+                     (d.x_hat * d.x_hat - d.y_hat * d.y_hat) / 2.0;
+        io += mult * d.x_hat * d.y_hat + add;
+    }
+    return io;
+}
+
+double
+DDot::multiplicativeGain(size_t channel) const
+{
+    const auto &ch = channels_.at(channel);
+    double phi = -M_PI / 2.0 + ch.phase_error;
+    return 2.0 * ch.t * ch.k * (-std::sin(phi));
+}
+
+double
+DDot::additiveGain(size_t channel) const
+{
+    const auto &ch = channels_.at(channel);
+    return (2.0 * ch.k * ch.k - 1.0) / 2.0;
+}
+
+} // namespace core
+} // namespace lt

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * DDot: the dynamically-operated full-range optical dot-product engine
+ * (paper Section III-A).
+ *
+ * Two length-N vectors are encoded onto N WDM wavelengths (one (x_i,
+ * y_i) pair per wavelength), interfered in a 3 dB directional coupler
+ * with a -90 degree phase shifter, and read out with a balanced
+ * photodetector pair. The differential photocurrent is proportional to
+ * x . y (Eq. 5); signs ride on optical phase, so operands and outputs
+ * are full-range.
+ *
+ * Three evaluation paths are provided, from most to least physical:
+ *  - fieldSimDot(): complex transfer-matrix simulation of the actual
+ *    circuit (the Lumerical-INTERCONNECT substitute) including
+ *    dispersion and encoding noise.
+ *  - analyticNoisyDot(): the paper's Eq. 9 closed form with the same
+ *    noise; equals fieldSimDot() to numerical precision.
+ *  - idealDot(): exact arithmetic dot product.
+ */
+
+#ifndef LT_CORE_DDOT_HH
+#define LT_CORE_DDOT_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/noise_model.hh"
+#include "photonics/coupler.hh"
+#include "photonics/phase_shifter.hh"
+#include "photonics/wavelength.hh"
+#include "util/rng.hh"
+
+namespace lt {
+namespace core {
+
+/**
+ * Per-wavelength circuit coefficients, precomputed from the coupler and
+ * phase-shifter dispersion models over a WDM grid.
+ */
+struct ChannelCoefficients
+{
+    double t;            ///< coupler transmission sqrt(1 - kappa)
+    double k;            ///< coupler cross-coupling sqrt(kappa)
+    double phase_error;  ///< dispersion-induced PS phase error [rad]
+};
+
+/** The DDot dot-product engine over a fixed WDM grid. */
+class DDot
+{
+  public:
+    /**
+     * @param num_wavelengths WDM parallelism (vector length per shot)
+     * @param noise noise configuration (Section III-C)
+     */
+    explicit DDot(size_t num_wavelengths,
+                  const NoiseConfig &noise = NoiseConfig::paperDefault());
+
+    size_t numWavelengths() const { return channels_.size(); }
+    const NoiseConfig &noiseConfig() const { return noise_; }
+    const std::vector<ChannelCoefficients> &channels() const
+    {
+        return channels_;
+    }
+
+    /**
+     * Exact dot product (no optics). Inputs may be any length <= the
+     * wavelength count; both spans must have equal length.
+     */
+    static double idealDot(std::span<const double> x,
+                           std::span<const double> y);
+
+    /**
+     * Transfer-matrix (field-level) simulation of the circuit:
+     * per-wavelength interference through PS + DC, WDM intensity
+     * accumulation on the two photodiodes, balanced subtraction.
+     * Inputs must be pre-normalized to [-1, 1].
+     */
+    double fieldSimDot(std::span<const double> x,
+                       std::span<const double> y, Rng &rng) const;
+
+    /** The paper's Eq. 9 closed form with identical noise draws. */
+    double analyticNoisyDot(std::span<const double> x,
+                            std::span<const double> y, Rng &rng) const;
+
+    /**
+     * Per-channel noiseless contribution coefficients, exposing the
+     * multiplicative factor 2*t*k*(-sin phi) and additive factor
+     * (2k^2 - 1)/2 for channel i (used by tests and the fast GEMM
+     * path in nn/).
+     */
+    double multiplicativeGain(size_t channel) const;
+    double additiveGain(size_t channel) const;
+
+  private:
+    NoiseConfig noise_;
+    std::vector<ChannelCoefficients> channels_;
+};
+
+} // namespace core
+} // namespace lt
+
+#endif // LT_CORE_DDOT_HH

@@ -1,0 +1,150 @@
+#include "dptc.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/quantize.hh"
+
+namespace lt {
+namespace core {
+
+namespace {
+
+/** Max absolute value of a matrix (beta normalization factor). */
+double
+maxAbs(const Matrix &m)
+{
+    double beta = 0.0;
+    for (double v : m.data())
+        beta = std::max(beta, std::abs(v));
+    return beta;
+}
+
+/** Normalize into [-1, 1] and optionally quantize to `bits`. */
+Matrix
+normalizeAndQuantize(const Matrix &m, double beta, int bits,
+                     bool quantize)
+{
+    Matrix out(m.rows(), m.cols());
+    if (beta <= 0.0)
+        return out;
+    for (size_t i = 0; i < m.data().size(); ++i) {
+        double v = m.data()[i] / beta;
+        out.data()[i] = quantize ? quantizeSymmetricUnit(v, bits) : v;
+    }
+    return out;
+}
+
+} // namespace
+
+Dptc::Dptc(const DptcConfig &cfg)
+    : cfg_(cfg), ddot_(cfg.nlambda, cfg.noise), rng_(cfg.seed)
+{
+    if (cfg.nh == 0 || cfg.nv == 0 || cfg.nlambda == 0)
+        lt_fatal("DptcConfig dimensions must be positive");
+    if (cfg.channel_calibration) {
+        Rng probe_rng(cfg.seed ^ 0xCA11ULL);
+        calibration_ = calibrateDDot(ddot_, probe_rng, 64);
+    }
+}
+
+void
+Dptc::multiplyNormalized(const Matrix &a_hat, const Matrix &b_hat,
+                         size_t row0, size_t col0, size_t k0,
+                         EvalMode mode, double scale, Matrix &out)
+{
+    const size_t rows = std::min(cfg_.nh, a_hat.rows() - row0);
+    const size_t cols = std::min(cfg_.nv, b_hat.cols() - col0);
+    const size_t depth = std::min(cfg_.nlambda, a_hat.cols() - k0);
+
+    std::vector<double> x(depth), y(depth);
+    for (size_t r = 0; r < rows; ++r) {
+        for (size_t i = 0; i < depth; ++i)
+            x[i] = a_hat(row0 + r, k0 + i);
+        for (size_t c = 0; c < cols; ++c) {
+            for (size_t i = 0; i < depth; ++i)
+                y[i] = b_hat(k0 + i, col0 + c);
+            double io;
+            if (mode == EvalMode::Noisy) {
+                io = cfg_.channel_calibration
+                         ? calibratedNoisyDot(ddot_, calibration_, x,
+                                              y, rng_)
+                         : ddot_.analyticNoisyDot(x, y, rng_);
+                if (cfg_.noise.enable_systematic_noise) {
+                    double eps = rng_.gaussian(
+                        0.0, cfg_.noise.systematic_output_std);
+                    io *= (1.0 + eps);
+                }
+            } else {
+                io = DDot::idealDot(x, y);
+            }
+            out(row0 + r, col0 + c) += io * scale;
+        }
+    }
+}
+
+Matrix
+Dptc::multiply(const Matrix &a, const Matrix &b, EvalMode mode)
+{
+    if (a.rows() > cfg_.nh || a.cols() > cfg_.nlambda ||
+        b.rows() != a.cols() || b.cols() > cfg_.nv) {
+        lt_fatal("Dptc::multiply shape [", a.rows(), ",", a.cols(),
+                 "]x[", b.rows(), ",", b.cols(),
+                 "] exceeds core geometry [", cfg_.nh, ",", cfg_.nlambda,
+                 "]x[", cfg_.nlambda, ",", cfg_.nv, "]");
+    }
+    if (mode == EvalMode::Ideal) {
+        Matrix out(a.rows(), b.cols(), 0.0);
+        multiplyNormalized(a, b, 0, 0, 0, mode, 1.0, out);
+        return out;
+    }
+    double beta_a = maxAbs(a);
+    double beta_b = maxAbs(b);
+    Matrix a_hat = normalizeAndQuantize(a, beta_a, cfg_.input_bits, true);
+    Matrix b_hat = normalizeAndQuantize(b, beta_b, cfg_.input_bits, true);
+    Matrix out(a.rows(), b.cols(), 0.0);
+    multiplyNormalized(a_hat, b_hat, 0, 0, 0, mode, beta_a * beta_b, out);
+    return out;
+}
+
+Matrix
+Dptc::gemm(const Matrix &a, const Matrix &b, EvalMode mode)
+{
+    if (a.cols() != b.rows())
+        lt_fatal("Dptc::gemm inner dimension mismatch: ", a.cols(),
+                 " vs ", b.rows());
+    Matrix out(a.rows(), b.cols(), 0.0);
+    if (mode == EvalMode::Ideal) {
+        for (size_t r0 = 0; r0 < a.rows(); r0 += cfg_.nh)
+            for (size_t c0 = 0; c0 < b.cols(); c0 += cfg_.nv)
+                for (size_t k0 = 0; k0 < a.cols(); k0 += cfg_.nlambda)
+                    multiplyNormalized(a, b, r0, c0, k0, mode, 1.0, out);
+        return out;
+    }
+
+    double beta_a = maxAbs(a);
+    double beta_b = maxAbs(b);
+    Matrix a_hat = normalizeAndQuantize(a, beta_a, cfg_.input_bits, true);
+    Matrix b_hat = normalizeAndQuantize(b, beta_b, cfg_.input_bits, true);
+    double scale = beta_a * beta_b;
+
+    for (size_t r0 = 0; r0 < a.rows(); r0 += cfg_.nh)
+        for (size_t c0 = 0; c0 < b.cols(); c0 += cfg_.nv)
+            for (size_t k0 = 0; k0 < a.cols(); k0 += cfg_.nlambda)
+                multiplyNormalized(a_hat, b_hat, r0, c0, k0, mode, scale,
+                                   out);
+    return out;
+}
+
+size_t
+Dptc::invocationsFor(size_t m, size_t k, size_t n) const
+{
+    auto ceil_div = [](size_t a, size_t b) { return (a + b - 1) / b; };
+    return ceil_div(m, cfg_.nh) * ceil_div(k, cfg_.nlambda) *
+           ceil_div(n, cfg_.nv);
+}
+
+} // namespace core
+} // namespace lt

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * DPTC: the dynamically-operated photonic tensor core (Section III-B).
+ *
+ * An Nv x Nh crossbar of DDot engines sharing modulated WDM signals via
+ * intra-core optical broadcast. One DPTC invocation computes a one-shot
+ * [Nh, Nlambda] x [Nlambda, Nv] matrix multiply; arbitrary GEMMs are
+ * tiled over invocations with digital accumulation (output-stationary).
+ *
+ * The functional model follows the paper's software stack: operands are
+ * scaled into [-1, 1] by their max-abs (beta normalization), quantized
+ * to the DAC precision, pushed through the noisy DDot transfer (Eq. 9),
+ * and the per-output systematic multiplicative noise is applied.
+ */
+
+#ifndef LT_CORE_DPTC_HH
+#define LT_CORE_DPTC_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "core/calibration.hh"
+#include "core/ddot.hh"
+#include "core/noise_model.hh"
+#include "util/linalg.hh"
+#include "util/rng.hh"
+
+namespace lt {
+namespace core {
+
+/** Functional-evaluation fidelity for a DPTC multiply. */
+enum class EvalMode
+{
+    Ideal,      ///< exact arithmetic, no quantization, no noise
+    Quantized,  ///< beta-normalized + DAC quantization, ideal optics
+    Noisy,      ///< quantization + Eq. 9 noise + systematic output term
+};
+
+/** Geometry and precision of one DPTC core. */
+struct DptcConfig
+{
+    size_t nh = 12;       ///< horizontal input waveguides
+    size_t nv = 12;       ///< vertical input waveguides
+    size_t nlambda = 12;  ///< WDM wavelengths per waveguide
+    int input_bits = 4;   ///< operand DAC precision
+    NoiseConfig noise = NoiseConfig::paperDefault();
+    uint64_t seed = 0x4c54'2024ULL;
+
+    /**
+     * Apply the per-channel dispersion calibration (gain pre-scaling
+     * plus digital additive correction — see core/calibration.hh) to
+     * every noisy dot product. The noise-mitigation extension of
+     * Section V-E ([20], [56]).
+     */
+    bool channel_calibration = false;
+
+    /** MACs performed by one invocation. */
+    size_t
+    macsPerShot() const
+    {
+        return nh * nv * nlambda;
+    }
+};
+
+/** Functional model of one DPTC core. */
+class Dptc
+{
+  public:
+    explicit Dptc(const DptcConfig &cfg);
+
+    const DptcConfig &config() const { return cfg_; }
+    const DDot &ddot() const { return ddot_; }
+
+    /**
+     * One-shot matrix multiply: a is [nh, nlambda], b is [nlambda, nv].
+     * Dimension mismatches are fatal (caller tiles larger GEMMs).
+     */
+    Matrix multiply(const Matrix &a, const Matrix &b, EvalMode mode);
+
+    /**
+     * Arbitrary GEMM [m, k] x [k, n] tiled over DPTC invocations with
+     * digital accumulation of partial products (OS dataflow).
+     */
+    Matrix gemm(const Matrix &a, const Matrix &b, EvalMode mode);
+
+    /** Number of one-shot invocations a tiled [m,k]x[k,n] GEMM needs. */
+    size_t invocationsFor(size_t m, size_t k, size_t n) const;
+
+    Rng &rng() { return rng_; }
+
+  private:
+    /**
+     * Core of multiply() on pre-normalized (and pre-quantized) operands;
+     * `scale` multiplies every output (beta_a * beta_b).
+     */
+    void multiplyNormalized(const Matrix &a_hat, const Matrix &b_hat,
+                            size_t row0, size_t col0, size_t k0,
+                            EvalMode mode, double scale, Matrix &out);
+
+    DptcConfig cfg_;
+    DDot ddot_;
+    Rng rng_;
+    ChannelCalibration calibration_; ///< used when configured
+};
+
+} // namespace core
+} // namespace lt
+
+#endif // LT_CORE_DPTC_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Operand-encoding cost model (paper Eq. 6).
+ *
+ * For a [Nh, Nlambda] x [Nlambda, Nv] one-shot MM, the crossbar's
+ * intra-core broadcast lets every modulated WDM signal feed a whole
+ * row/column of DDot units, so only (Nh*Nlambda + Nlambda*Nv) scalar
+ * encodings (DAC conversions + MZM modulations) are needed, versus
+ * 2*Nh*Nv*Nlambda for unshared per-engine modulation — a saving of
+ * 2*Nh*Nv / (Nh + Nv) (12x at Nh = Nv = 12).
+ */
+
+#ifndef LT_CORE_ENCODE_COST_HH
+#define LT_CORE_ENCODE_COST_HH
+
+#include <cstddef>
+
+namespace lt {
+namespace core {
+
+/** Scalar encodings per shot with crossbar operand sharing (Eq. 6). */
+inline size_t
+sharedEncodingOps(size_t nh, size_t nv, size_t nlambda)
+{
+    return nh * nlambda + nlambda * nv;
+}
+
+/** Scalar encodings per shot without sharing (per-DDot modulation). */
+inline size_t
+unsharedEncodingOps(size_t nh, size_t nv, size_t nlambda)
+{
+    return 2 * nh * nv * nlambda;
+}
+
+/** Encoding-cost reduction factor 2*Nh*Nv / (Nh + Nv). */
+inline double
+sharingFactor(size_t nh, size_t nv)
+{
+    return 2.0 * static_cast<double>(nh) * static_cast<double>(nv) /
+           static_cast<double>(nh + nv);
+}
+
+} // namespace core
+} // namespace lt
+
+#endif // LT_CORE_ENCODE_COST_HH

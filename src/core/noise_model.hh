@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Noise configuration for the photonic computing path (Section III-C).
+ *
+ * Three non-idealities are modelled, exactly as in the paper:
+ *  1. Optical encoding noise — per-element magnitude drift
+ *     dx ~ N(0, (sigma_mag * |x|)^2) and relative phase drift between
+ *     the two operands dphi_d ~ N(0, sigma_phase^2).
+ *  2. WDM dispersion — wavelength-dependent coupler kappa(lambda) and
+ *     phase-shifter phi(lambda), deterministic per channel.
+ *  3. Systematic output noise — a multiplicative term on each DPTC
+ *     output, Io_hat = Io * (1 + eps), eps ~ N(0, sigma_sys^2),
+ *     standing in for photodetection noise and imperfect coupling.
+ */
+
+#ifndef LT_CORE_NOISE_MODEL_HH
+#define LT_CORE_NOISE_MODEL_HH
+
+#include <cmath>
+#include <cstddef>
+
+namespace lt {
+namespace core {
+
+/** Knobs for every stochastic / dispersive effect in the optical path. */
+struct NoiseConfig
+{
+    /** Relative magnitude-drift std (paper default 0.03). */
+    double magnitude_noise_std = 0.03;
+
+    /** Operand relative phase-drift std in degrees (paper default 2). */
+    double phase_noise_std_deg = 2.0;
+
+    /** Systematic multiplicative output noise std (paper: 0.05). */
+    double systematic_output_std = 0.05;
+
+    /** Model wavelength-dependent kappa / phase (WDM dispersion). */
+    bool enable_dispersion = true;
+
+    /** Enable stochastic encoding noise (magnitude + phase). */
+    bool enable_encoding_noise = true;
+
+    /** Enable the systematic output term. */
+    bool enable_systematic_noise = true;
+
+    double
+    phaseNoiseStdRad() const
+    {
+        return phase_noise_std_deg * M_PI / 180.0;
+    }
+
+    /** An all-off configuration (ideal optics). */
+    static NoiseConfig
+    ideal()
+    {
+        NoiseConfig cfg;
+        cfg.magnitude_noise_std = 0.0;
+        cfg.phase_noise_std_deg = 0.0;
+        cfg.systematic_output_std = 0.0;
+        cfg.enable_dispersion = false;
+        cfg.enable_encoding_noise = false;
+        cfg.enable_systematic_noise = false;
+        return cfg;
+    }
+
+    /** The paper's default evaluation setting. */
+    static NoiseConfig
+    paperDefault()
+    {
+        return NoiseConfig{};
+    }
+};
+
+} // namespace core
+} // namespace lt
+
+#endif // LT_CORE_NOISE_MODEL_HH

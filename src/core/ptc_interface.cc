@@ -1,0 +1,61 @@
+#include "ptc_interface.hh"
+
+namespace lt {
+namespace core {
+
+std::vector<PtcCapabilities>
+tableOnePtcDesigns()
+{
+    // Column order and properties exactly as in paper Table I.
+    return {
+        {"MZI array", "Shen+ [47]",
+         {false, true},   // operand 1: static, full-range
+         {true, true},    // operand 2: dynamic, full-range
+         MappingCost::High, OperationType::MVM},
+        {"PCM crossbar", "Feldmann+ [16]",
+         {false, false},  // static, positive-only
+         {true, false},   // dynamic, positive-only
+         MappingCost::Medium, OperationType::MM},
+        {"MRR bank 1", "Tait+ [52]",
+         {true, true},    // dynamic, full-range
+         {true, false},   // dynamic, positive-only
+         MappingCost::Low, OperationType::MVM},
+        {"MRR bank 2", "Sunny+ [51]",
+         {true, false},
+         {true, false},
+         MappingCost::Low, OperationType::MVM},
+        {"DPTC (ours)", "this work",
+         {true, true},
+         {true, true},
+         MappingCost::Low, OperationType::MM},
+    };
+}
+
+const char *
+toString(MappingCost cost)
+{
+    switch (cost) {
+      case MappingCost::Low:
+        return "Low";
+      case MappingCost::Medium:
+        return "Medium";
+      case MappingCost::High:
+        return "High";
+    }
+    return "?";
+}
+
+const char *
+toString(OperationType op)
+{
+    switch (op) {
+      case OperationType::MVM:
+        return "MVM";
+      case OperationType::MM:
+        return "MM";
+    }
+    return "?";
+}
+
+} // namespace core
+} // namespace lt

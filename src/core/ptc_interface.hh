@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Capability descriptors for photonic tensor core designs (Table I).
+ *
+ * Each PTC design is summarized by the properties the paper compares:
+ * operand dynamism, operand range, mapping/programming cost class, and
+ * whether the engine performs MVM or one-shot MM. The Table I bench
+ * queries these descriptors programmatically.
+ */
+
+#ifndef LT_CORE_PTC_INTERFACE_HH
+#define LT_CORE_PTC_INTERFACE_HH
+
+#include <string>
+#include <vector>
+
+namespace lt {
+namespace core {
+
+/** How costly it is to (re)program one operand into the PTC. */
+enum class MappingCost { Low, Medium, High };
+
+/** MVM (one output vector per pass) vs one-shot MM. */
+enum class OperationType { MVM, MM };
+
+/** One operand's characteristics. */
+struct OperandTraits
+{
+    bool dynamic;     ///< can be switched at computing speed
+    bool full_range;  ///< supports signed values natively
+};
+
+/** Everything Table I records about one PTC design. */
+struct PtcCapabilities
+{
+    std::string name;
+    std::string citation;
+    OperandTraits operand1;
+    OperandTraits operand2;
+    MappingCost mapping_cost;
+    OperationType operation;
+
+    /** Dynamic MM (attention) needs both operands dynamic. */
+    bool
+    supportsDynamicMm() const
+    {
+        return operand1.dynamic && operand2.dynamic;
+    }
+
+    /** Overhead-free full-range MM needs both operands full-range. */
+    bool
+    supportsFullRangeMm() const
+    {
+        return operand1.full_range && operand2.full_range;
+    }
+};
+
+/** The five designs compared in Table I, in the paper's column order. */
+std::vector<PtcCapabilities> tableOnePtcDesigns();
+
+const char *toString(MappingCost cost);
+const char *toString(OperationType op);
+
+} // namespace core
+} // namespace lt
+
+#endif // LT_CORE_PTC_INTERFACE_HH

@@ -1,0 +1,27 @@
+#include "gemm_backend.hh"
+
+namespace lt {
+namespace nn {
+
+Matrix
+IdealBackend::gemm(const Matrix &a, const Matrix &b)
+{
+    stats_.record(a.rows(), a.cols(), b.cols());
+    return a * b;
+}
+
+PhotonicBackend::PhotonicBackend(const core::DptcConfig &cfg,
+                                 core::EvalMode mode)
+    : dptc_(cfg), mode_(mode)
+{
+}
+
+Matrix
+PhotonicBackend::gemm(const Matrix &a, const Matrix &b)
+{
+    stats_.record(a.rows(), a.cols(), b.cols());
+    return dptc_.gemm(a, b, mode_);
+}
+
+} // namespace nn
+} // namespace lt

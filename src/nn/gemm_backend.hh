@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Pluggable GEMM execution backends for the Transformer stack.
+ *
+ * Every matrix multiply in the model (weight projections and the
+ * dynamic attention products QK^T / AV) routes through a GemmBackend,
+ * so the same network can run on exact arithmetic (the paper's "GPU"
+ * reference) or on the noisy photonic DPTC functional model.
+ */
+
+#ifndef LT_NN_GEMM_BACKEND_HH
+#define LT_NN_GEMM_BACKEND_HH
+
+#include <cstddef>
+#include <memory>
+
+#include "core/dptc.hh"
+#include "util/linalg.hh"
+
+namespace lt {
+namespace nn {
+
+/** Statistics a backend gathers while the model runs. */
+struct GemmStats
+{
+    size_t calls = 0;
+    size_t macs = 0;
+
+    void
+    record(size_t m, size_t k, size_t n)
+    {
+        ++calls;
+        macs += m * k * n;
+    }
+
+    void
+    reset()
+    {
+        calls = 0;
+        macs = 0;
+    }
+};
+
+/** Abstract GEMM executor. */
+class GemmBackend
+{
+  public:
+    virtual ~GemmBackend() = default;
+
+    /** Compute a [m,k] x [k,n] product. */
+    virtual Matrix gemm(const Matrix &a, const Matrix &b) = 0;
+
+    const GemmStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+  protected:
+    GemmStats stats_;
+};
+
+/** Exact double-precision GEMM (digital reference). */
+class IdealBackend : public GemmBackend
+{
+  public:
+    Matrix gemm(const Matrix &a, const Matrix &b) override;
+};
+
+/**
+ * Photonic GEMM: tiles the product over a DPTC core functional model
+ * with the configured noise (Eq. 9), beta normalization, and DAC
+ * quantization. This is the paper's "software model" forward path.
+ */
+class PhotonicBackend : public GemmBackend
+{
+  public:
+    explicit PhotonicBackend(const core::DptcConfig &cfg,
+                             core::EvalMode mode = core::EvalMode::Noisy);
+
+    Matrix gemm(const Matrix &a, const Matrix &b) override;
+
+    core::Dptc &dptc() { return dptc_; }
+    core::EvalMode mode() const { return mode_; }
+
+  private:
+    core::Dptc dptc_;
+    core::EvalMode mode_;
+};
+
+} // namespace nn
+} // namespace lt
+
+#endif // LT_NN_GEMM_BACKEND_HH

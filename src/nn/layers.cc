@@ -1,0 +1,416 @@
+#include "layers.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lt {
+namespace nn {
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(size_t in, size_t out, Rng &rng, bool bias)
+    : w_(in, out), b_(1, out, 0.0), dw_(in, out, 0.0), db_(1, out, 0.0),
+      has_bias_(bias)
+{
+    // Xavier-uniform initialization.
+    double limit = std::sqrt(6.0 / static_cast<double>(in + out));
+    for (double &v : w_.data())
+        v = rng.uniform(-limit, limit);
+}
+
+Matrix
+Linear::forward(const Matrix &x, RunContext &ctx)
+{
+    if (x.cols() != w_.rows())
+        lt_panic("Linear forward: input dim ", x.cols(),
+                 " != weight rows ", w_.rows());
+    cached_x_ = ctx.quant.enabled ? fakeQuant(x, ctx.quant.act_bits) : x;
+    cached_wq_ =
+        ctx.quant.enabled ? fakeQuant(w_, ctx.quant.weight_bits) : w_;
+    Matrix y = ctx.backend->gemm(cached_x_, cached_wq_);
+    if (has_bias_) {
+        for (size_t r = 0; r < y.rows(); ++r)
+            for (size_t c = 0; c < y.cols(); ++c)
+                y(r, c) += b_(0, c);
+    }
+    return y;
+}
+
+Matrix
+Linear::backward(const Matrix &dy)
+{
+    // STE: gradients flow through the quantizer unchanged; the matmul
+    // gradients use the quantized forward values.
+    Matrix dx = dy * cached_wq_.transposed();
+    Matrix dw = cached_x_.transposed() * dy;
+    addInPlace(dw_, dw);
+    if (has_bias_) {
+        for (size_t r = 0; r < dy.rows(); ++r)
+            for (size_t c = 0; c < dy.cols(); ++c)
+                db_(0, c) += dy(r, c);
+    }
+    return dx;
+}
+
+void
+Linear::zeroGrad()
+{
+    for (double &v : dw_.data())
+        v = 0.0;
+    for (double &v : db_.data())
+        v = 0.0;
+}
+
+void
+Linear::visitParams(const ParamVisitor &fn)
+{
+    fn(w_, dw_);
+    if (has_bias_)
+        fn(b_, db_);
+}
+
+// ------------------------------------------------------------- LayerNorm
+
+LayerNorm::LayerNorm(size_t dim, double eps)
+    : gamma_(1, dim, 1.0), beta_(1, dim, 0.0), dgamma_(1, dim, 0.0),
+      dbeta_(1, dim, 0.0), eps_(eps)
+{
+}
+
+Matrix
+LayerNorm::forward(const Matrix &x)
+{
+    const size_t rows = x.rows();
+    const size_t dim = x.cols();
+    cached_xhat_ = Matrix(rows, dim);
+    cached_inv_std_.assign(rows, 0.0);
+    Matrix y(rows, dim);
+    for (size_t r = 0; r < rows; ++r) {
+        double mean = 0.0;
+        for (size_t c = 0; c < dim; ++c)
+            mean += x(r, c);
+        mean /= static_cast<double>(dim);
+        double var = 0.0;
+        for (size_t c = 0; c < dim; ++c) {
+            double d = x(r, c) - mean;
+            var += d * d;
+        }
+        var /= static_cast<double>(dim);
+        double inv_std = 1.0 / std::sqrt(var + eps_);
+        cached_inv_std_[r] = inv_std;
+        for (size_t c = 0; c < dim; ++c) {
+            double xh = (x(r, c) - mean) * inv_std;
+            cached_xhat_(r, c) = xh;
+            y(r, c) = gamma_(0, c) * xh + beta_(0, c);
+        }
+    }
+    return y;
+}
+
+Matrix
+LayerNorm::backward(const Matrix &dy)
+{
+    const size_t rows = dy.rows();
+    const size_t dim = dy.cols();
+    Matrix dx(rows, dim);
+    for (size_t r = 0; r < rows; ++r) {
+        double sum_dxhat = 0.0;
+        double sum_dxhat_xhat = 0.0;
+        for (size_t c = 0; c < dim; ++c) {
+            double dxhat = dy(r, c) * gamma_(0, c);
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += dxhat * cached_xhat_(r, c);
+            dgamma_(0, c) += dy(r, c) * cached_xhat_(r, c);
+            dbeta_(0, c) += dy(r, c);
+        }
+        double inv_n = 1.0 / static_cast<double>(dim);
+        for (size_t c = 0; c < dim; ++c) {
+            double dxhat = dy(r, c) * gamma_(0, c);
+            dx(r, c) = cached_inv_std_[r] *
+                       (dxhat - inv_n * sum_dxhat -
+                        cached_xhat_(r, c) * inv_n * sum_dxhat_xhat);
+        }
+    }
+    return dx;
+}
+
+void
+LayerNorm::zeroGrad()
+{
+    for (double &v : dgamma_.data())
+        v = 0.0;
+    for (double &v : dbeta_.data())
+        v = 0.0;
+}
+
+void
+LayerNorm::visitParams(const ParamVisitor &fn)
+{
+    fn(gamma_, dgamma_);
+    fn(beta_, dbeta_);
+}
+
+// ------------------------------------------------------------------ Gelu
+
+Matrix
+Gelu::forward(const Matrix &x)
+{
+    cached_x_ = x;
+    return gelu(x);
+}
+
+Matrix
+Gelu::backward(const Matrix &dy)
+{
+    return geluBackward(cached_x_, dy);
+}
+
+// ------------------------------------------- MultiHeadSelfAttention
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(size_t dim, size_t heads,
+                                               Rng &rng)
+    : dim_(dim), heads_(heads), dk_(dim / heads),
+      wq_(dim, dim, rng), wk_(dim, dim, rng), wv_(dim, dim, rng),
+      wo_(dim, dim, rng)
+{
+    if (dim % heads != 0)
+        lt_fatal("attention dim ", dim, " not divisible by heads ",
+                 heads);
+}
+
+Matrix
+MultiHeadSelfAttention::forward(const Matrix &x, RunContext &ctx)
+{
+    const size_t tokens = x.rows();
+    Matrix q = wq_.forward(x, ctx);
+    Matrix k = wk_.forward(x, ctx);
+    Matrix v = wv_.forward(x, ctx);
+
+    cached_q_.assign(heads_, Matrix());
+    cached_k_.assign(heads_, Matrix());
+    cached_v_.assign(heads_, Matrix());
+    cached_p_.assign(heads_, Matrix());
+
+    Matrix context(tokens, dim_, 0.0);
+    double inv_sqrt_dk = 1.0 / std::sqrt(static_cast<double>(dk_));
+    for (size_t h = 0; h < heads_; ++h) {
+        Matrix qh = sliceCols(q, h * dk_, dk_);
+        Matrix kh = sliceCols(k, h * dk_, dk_);
+        Matrix vh = sliceCols(v, h * dk_, dk_);
+        if (ctx.quant.enabled) {
+            // Dynamic operands are quantized at the DAC just like
+            // weights (both are activations in attention).
+            qh = fakeQuant(qh, ctx.quant.act_bits);
+            kh = fakeQuant(kh, ctx.quant.act_bits);
+            vh = fakeQuant(vh, ctx.quant.act_bits);
+        }
+        // QK^T: the first dynamic MM.
+        Matrix scores = ctx.backend->gemm(qh, kh.transposed());
+        for (double &s : scores.data())
+            s *= inv_sqrt_dk;
+        Matrix p = rowSoftmax(scores);
+        Matrix p_enc = ctx.quant.enabled
+                           ? fakeQuant(p, ctx.quant.act_bits)
+                           : p;
+        // AV: the second dynamic MM.
+        Matrix ctx_h = ctx.backend->gemm(p_enc, vh);
+        pasteCols(context, ctx_h, h * dk_);
+
+        cached_q_[h] = std::move(qh);
+        cached_k_[h] = std::move(kh);
+        cached_v_[h] = std::move(vh);
+        cached_p_[h] = std::move(p_enc);
+    }
+    return wo_.forward(context, ctx);
+}
+
+Matrix
+MultiHeadSelfAttention::backward(const Matrix &dy)
+{
+    Matrix dcontext = wo_.backward(dy);
+    const size_t tokens = dcontext.rows();
+    Matrix dq(tokens, dim_, 0.0);
+    Matrix dk_full(tokens, dim_, 0.0);
+    Matrix dv(tokens, dim_, 0.0);
+    double inv_sqrt_dk = 1.0 / std::sqrt(static_cast<double>(dk_));
+
+    for (size_t h = 0; h < heads_; ++h) {
+        Matrix dctx_h = sliceCols(dcontext, h * dk_, dk_);
+        const Matrix &p = cached_p_[h];
+        const Matrix &qh = cached_q_[h];
+        const Matrix &kh = cached_k_[h];
+        const Matrix &vh = cached_v_[h];
+
+        Matrix dp = dctx_h * vh.transposed();
+        Matrix dvh = p.transposed() * dctx_h;
+        Matrix dscores = rowSoftmaxBackward(p, dp);
+        for (double &s : dscores.data())
+            s *= inv_sqrt_dk;
+        Matrix dqh = dscores * kh;
+        Matrix dkh = dscores.transposed() * qh;
+
+        pasteCols(dq, dqh, h * dk_);
+        pasteCols(dk_full, dkh, h * dk_);
+        pasteCols(dv, dvh, h * dk_);
+    }
+
+    Matrix dx = wq_.backward(dq);
+    addInPlace(dx, wk_.backward(dk_full));
+    addInPlace(dx, wv_.backward(dv));
+    return dx;
+}
+
+void
+MultiHeadSelfAttention::zeroGrad()
+{
+    wq_.zeroGrad();
+    wk_.zeroGrad();
+    wv_.zeroGrad();
+    wo_.zeroGrad();
+}
+
+void
+MultiHeadSelfAttention::visitParams(const ParamVisitor &fn)
+{
+    wq_.visitParams(fn);
+    wk_.visitParams(fn);
+    wv_.visitParams(fn);
+    wo_.visitParams(fn);
+}
+
+// ----------------------------------------------------------- FeedForward
+
+FeedForward::FeedForward(size_t dim, size_t hidden, Rng &rng)
+    : fc1_(dim, hidden, rng), fc2_(hidden, dim, rng)
+{
+}
+
+Matrix
+FeedForward::forward(const Matrix &x, RunContext &ctx)
+{
+    return fc2_.forward(act_.forward(fc1_.forward(x, ctx)), ctx);
+}
+
+Matrix
+FeedForward::backward(const Matrix &dy)
+{
+    return fc1_.backward(act_.backward(fc2_.backward(dy)));
+}
+
+void
+FeedForward::zeroGrad()
+{
+    fc1_.zeroGrad();
+    fc2_.zeroGrad();
+}
+
+void
+FeedForward::visitParams(const ParamVisitor &fn)
+{
+    fc1_.visitParams(fn);
+    fc2_.visitParams(fn);
+}
+
+// ------------------------------------------------------ TransformerBlock
+
+TransformerBlock::TransformerBlock(size_t dim, size_t heads,
+                                   size_t mlp_hidden, Rng &rng)
+    : ln1_(dim), attn_(dim, heads, rng), ln2_(dim),
+      ffn_(dim, mlp_hidden, rng)
+{
+}
+
+Matrix
+TransformerBlock::forward(const Matrix &x, RunContext &ctx)
+{
+    // x' = x + MHA(LN(x))
+    Matrix h = attn_.forward(ln1_.forward(x), ctx);
+    addInPlace(h, x);
+    // y = x' + FFN(LN(x'))
+    Matrix y = ffn_.forward(ln2_.forward(h), ctx);
+    addInPlace(y, h);
+    return y;
+}
+
+Matrix
+TransformerBlock::backward(const Matrix &dy)
+{
+    // Through the FFN residual.
+    Matrix dh = ln2_.backward(ffn_.backward(dy));
+    addInPlace(dh, dy);
+    // Through the attention residual.
+    Matrix dx = ln1_.backward(attn_.backward(dh));
+    addInPlace(dx, dh);
+    return dx;
+}
+
+void
+TransformerBlock::zeroGrad()
+{
+    ln1_.zeroGrad();
+    attn_.zeroGrad();
+    ln2_.zeroGrad();
+    ffn_.zeroGrad();
+}
+
+void
+TransformerBlock::visitParams(const ParamVisitor &fn)
+{
+    ln1_.visitParams(fn);
+    attn_.visitParams(fn);
+    ln2_.visitParams(fn);
+    ffn_.visitParams(fn);
+}
+
+// -------------------------------------------------------- TokenEmbedding
+
+TokenEmbedding::TokenEmbedding(size_t vocab, size_t dim, Rng &rng)
+    : table_(vocab, dim), dtable_(vocab, dim, 0.0)
+{
+    for (double &v : table_.data())
+        v = rng.gaussian(0.0, 0.02);
+}
+
+Matrix
+TokenEmbedding::forward(const std::vector<int> &tokens)
+{
+    cached_tokens_ = tokens;
+    Matrix out(tokens.size(), table_.cols());
+    for (size_t t = 0; t < tokens.size(); ++t) {
+        int id = tokens[t];
+        if (id < 0 || static_cast<size_t>(id) >= table_.rows())
+            lt_fatal("token id ", id, " outside vocab ", table_.rows());
+        for (size_t c = 0; c < table_.cols(); ++c)
+            out(t, c) = table_(static_cast<size_t>(id), c);
+    }
+    return out;
+}
+
+void
+TokenEmbedding::backward(const Matrix &dy)
+{
+    if (dy.rows() != cached_tokens_.size())
+        lt_panic("TokenEmbedding backward shape mismatch");
+    for (size_t t = 0; t < cached_tokens_.size(); ++t) {
+        auto id = static_cast<size_t>(cached_tokens_[t]);
+        for (size_t c = 0; c < table_.cols(); ++c)
+            dtable_(id, c) += dy(t, c);
+    }
+}
+
+void
+TokenEmbedding::zeroGrad()
+{
+    for (double &v : dtable_.data())
+        v = 0.0;
+}
+
+void
+TokenEmbedding::visitParams(const ParamVisitor &fn)
+{
+    fn(table_, dtable_);
+}
+
+} // namespace nn
+} // namespace lt

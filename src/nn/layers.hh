@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Transformer building-block layers with manual backward passes.
+ *
+ * Every layer follows the same contract:
+ *  - forward(x, ctx) runs the layer, caching what backward needs;
+ *  - backward(dy) returns dL/dx and accumulates parameter gradients;
+ *  - visitParams(fn) exposes (param, grad) pairs to the optimizer.
+ *
+ * All matrix products route through the RunContext's GemmBackend, so a
+ * model built from these layers can execute on exact arithmetic or on
+ * the noisy photonic DPTC functional model. Quantization follows the
+ * paper's noise-aware training recipe: weights and activations are
+ * fake-quantized in forward, gradients pass straight through (STE).
+ */
+
+#ifndef LT_NN_LAYERS_HH
+#define LT_NN_LAYERS_HH
+
+#include <functional>
+#include <vector>
+
+#include "nn/gemm_backend.hh"
+#include "nn/quant.hh"
+#include "nn/tensor_ops.hh"
+#include "util/linalg.hh"
+#include "util/rng.hh"
+
+namespace lt {
+namespace nn {
+
+/** Execution context threaded through every forward pass. */
+struct RunContext
+{
+    GemmBackend *backend;
+    QuantConfig quant;
+};
+
+/** Callback type used to expose (parameter, gradient) pairs. */
+using ParamVisitor = std::function<void(Matrix &, Matrix &)>;
+
+/** Fully-connected layer Y = X W + b. */
+class Linear
+{
+  public:
+    Linear(size_t in, size_t out, Rng &rng, bool bias = true);
+
+    Matrix forward(const Matrix &x, RunContext &ctx);
+    Matrix backward(const Matrix &dy);
+
+    void zeroGrad();
+    void visitParams(const ParamVisitor &fn);
+
+    size_t inFeatures() const { return w_.rows(); }
+    size_t outFeatures() const { return w_.cols(); }
+
+    Matrix &weight() { return w_; }
+    Matrix &bias() { return b_; }
+
+  private:
+    Matrix w_;   ///< [in, out]
+    Matrix b_;   ///< [1, out]
+    Matrix dw_;
+    Matrix db_;
+    Matrix cached_x_;  ///< quantized input from forward
+    Matrix cached_wq_; ///< quantized weight from forward
+    bool has_bias_;
+};
+
+/** Per-row layer normalization with learned gamma/beta. */
+class LayerNorm
+{
+  public:
+    explicit LayerNorm(size_t dim, double eps = 1e-5);
+
+    Matrix forward(const Matrix &x);
+    Matrix backward(const Matrix &dy);
+
+    void zeroGrad();
+    void visitParams(const ParamVisitor &fn);
+
+  private:
+    Matrix gamma_;  ///< [1, dim]
+    Matrix beta_;   ///< [1, dim]
+    Matrix dgamma_;
+    Matrix dbeta_;
+    Matrix cached_xhat_;
+    std::vector<double> cached_inv_std_;
+    double eps_;
+};
+
+/** GELU activation (stateless apart from the forward cache). */
+class Gelu
+{
+  public:
+    Matrix forward(const Matrix &x);
+    Matrix backward(const Matrix &dy);
+
+  private:
+    Matrix cached_x_;
+};
+
+/**
+ * Multi-head self-attention (paper Eq. 2). The QK^T and AV products
+ * are the *dynamic* matrix multiplies that motivate the whole paper;
+ * they execute on the RunContext backend exactly like weight GEMMs.
+ */
+class MultiHeadSelfAttention
+{
+  public:
+    MultiHeadSelfAttention(size_t dim, size_t heads, Rng &rng);
+
+    Matrix forward(const Matrix &x, RunContext &ctx);
+    Matrix backward(const Matrix &dy);
+
+    void zeroGrad();
+    void visitParams(const ParamVisitor &fn);
+
+    size_t heads() const { return heads_; }
+    size_t headDim() const { return dk_; }
+
+  private:
+    size_t dim_;
+    size_t heads_;
+    size_t dk_;
+    Linear wq_, wk_, wv_, wo_;
+
+    // Forward caches (per head).
+    std::vector<Matrix> cached_q_;  ///< quantized per-head Q
+    std::vector<Matrix> cached_k_;
+    std::vector<Matrix> cached_v_;
+    std::vector<Matrix> cached_p_;  ///< attention probabilities
+};
+
+/** Feed-forward network: Linear -> GELU -> Linear. */
+class FeedForward
+{
+  public:
+    FeedForward(size_t dim, size_t hidden, Rng &rng);
+
+    Matrix forward(const Matrix &x, RunContext &ctx);
+    Matrix backward(const Matrix &dy);
+
+    void zeroGrad();
+    void visitParams(const ParamVisitor &fn);
+
+  private:
+    Linear fc1_;
+    Gelu act_;
+    Linear fc2_;
+};
+
+/**
+ * Pre-LN encoder block (paper Eq. 1):
+ *   x' = x + MHA(LN(x));  y = x' + FFN(LN(x')).
+ */
+class TransformerBlock
+{
+  public:
+    TransformerBlock(size_t dim, size_t heads, size_t mlp_hidden,
+                     Rng &rng);
+
+    Matrix forward(const Matrix &x, RunContext &ctx);
+    Matrix backward(const Matrix &dy);
+
+    void zeroGrad();
+    void visitParams(const ParamVisitor &fn);
+
+  private:
+    LayerNorm ln1_;
+    MultiHeadSelfAttention attn_;
+    LayerNorm ln2_;
+    FeedForward ffn_;
+};
+
+/** Learned token-id embedding table (BERT-substitute input path). */
+class TokenEmbedding
+{
+  public:
+    TokenEmbedding(size_t vocab, size_t dim, Rng &rng);
+
+    /** Look up a token sequence -> [seq, dim]. */
+    Matrix forward(const std::vector<int> &tokens);
+    void backward(const Matrix &dy);
+
+    void zeroGrad();
+    void visitParams(const ParamVisitor &fn);
+
+  private:
+    Matrix table_;  ///< [vocab, dim]
+    Matrix dtable_;
+    std::vector<int> cached_tokens_;
+};
+
+} // namespace nn
+} // namespace lt
+
+#endif // LT_NN_LAYERS_HH

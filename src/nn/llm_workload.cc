@@ -1,0 +1,58 @@
+#include "llm_workload.hh"
+
+namespace lt {
+namespace nn {
+
+size_t
+gemmParamCount(const PaperModelConfig &model)
+{
+    const size_t d = model.dim;
+    const size_t L = model.depth;
+    // QKV (3 d^2) + out (d^2) + FFN (2 * d * hidden) per layer.
+    size_t per_layer = 4 * d * d + 2 * d * model.mlp_hidden;
+    size_t head = d * model.num_classes;
+    return per_layer * L + head;
+}
+
+DecodeStep
+decodeStepWorkload(const DecodeConfig &cfg)
+{
+    const auto &m = cfg.model;
+    const size_t d = m.dim;
+    const size_t h = m.heads;
+    const size_t dk = m.headDim();
+    const size_t L = m.depth;
+    const size_t b = cfg.batch;
+    const size_t ctx = cfg.context_len;
+    const size_t bytes_per_el =
+        static_cast<size_t>(cfg.bits) / 8 > 0
+            ? static_cast<size_t>(cfg.bits) / 8
+            : 1;
+
+    DecodeStep step;
+    // The new token's projections batch across requests: [b, d] x
+    // [d, 3d] etc.
+    step.ops.push_back({GemmKind::QkvProj, b, d, 3 * d, L, false});
+    // Attention against the cache: per request, per head, a
+    // [1, dk] x [dk, ctx+1] score row and a [1, ctx+1] x [ctx+1, dk]
+    // context row. Batching does NOT merge these (each request has its
+    // own cache), so count scales with b.
+    step.ops.push_back({GemmKind::QkT, 1, dk, ctx + 1, L * h * b, true});
+    step.ops.push_back({GemmKind::Av, 1, ctx + 1, dk, L * h * b, true});
+    step.ops.push_back({GemmKind::OutProj, b, d, d, L, false});
+    step.ops.push_back({GemmKind::Ffn1, b, d, m.mlp_hidden, L, false});
+    step.ops.push_back({GemmKind::Ffn2, b, m.mlp_hidden, d, L, false});
+
+    for (const auto &op : step.ops)
+        step.macs += op.macs();
+
+    // Weights stream once per step regardless of batch size — this is
+    // what batching amortizes.
+    step.weight_bytes = gemmParamCount(m) * bytes_per_el;
+    // KV cache: K and V, ctx tokens, all layers, per request.
+    step.kv_bytes = 2 * ctx * d * L * b * bytes_per_el;
+    return step;
+}
+
+} // namespace nn
+} // namespace lt

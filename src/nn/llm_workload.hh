@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Autoregressive LLM decode workloads (paper Section VI-B).
+ *
+ * Token-by-token generation turns every GEMM into a skinny GEMV-like
+ * product with low arithmetic intensity: weights and the KV cache are
+ * streamed for a handful of MACs each. This module generates the
+ * per-step GEMM list, the bytes moved, and the resulting intensity so
+ * the accelerator model can show the memory-bound behaviour and the
+ * recovery that request batching brings.
+ */
+
+#ifndef LT_NN_LLM_WORKLOAD_HH
+#define LT_NN_LLM_WORKLOAD_HH
+
+#include <cstddef>
+
+#include "nn/model_zoo.hh"
+#include "nn/workload.hh"
+
+namespace lt {
+namespace nn {
+
+/** One decode-step scenario. */
+struct DecodeConfig
+{
+    PaperModelConfig model;
+    size_t context_len;  ///< tokens already in the KV cache
+    size_t batch = 1;    ///< concurrent requests batched together
+    int bits = 8;        ///< datapath precision (weights + KV cache)
+};
+
+/** The cost profile of generating one token. */
+struct DecodeStep
+{
+    std::vector<GemmOp> ops;
+    size_t macs = 0;
+    size_t weight_bytes = 0;  ///< parameter traffic per step
+    size_t kv_bytes = 0;      ///< KV-cache traffic per step
+
+    size_t
+    totalBytes() const
+    {
+        return weight_bytes + kv_bytes;
+    }
+
+    /** MACs per byte moved: the roofline x-coordinate. */
+    double
+    arithmeticIntensity() const
+    {
+        size_t bytes = totalBytes();
+        return bytes ? static_cast<double>(macs) /
+                           static_cast<double>(bytes)
+                     : 0.0;
+    }
+};
+
+/** Build the per-token decode workload for a configuration. */
+DecodeStep decodeStepWorkload(const DecodeConfig &cfg);
+
+/** Total weight parameters of the model's GEMM layers. */
+size_t gemmParamCount(const PaperModelConfig &model);
+
+} // namespace nn
+} // namespace lt
+
+#endif // LT_NN_LLM_WORKLOAD_HH

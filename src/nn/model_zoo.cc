@@ -1,0 +1,48 @@
+#include "model_zoo.hh"
+
+namespace lt {
+namespace nn {
+
+PaperModelConfig
+deitTiny()
+{
+    // 224x224 image, 16x16 patches -> 196 + 1 CLS = 197 tokens;
+    // patch_dim = 16*16*3 = 768.
+    return {"DeiT-T-224", 192, 12, 3, 768, 197, 768, 1000};
+}
+
+PaperModelConfig
+deitSmall()
+{
+    return {"DeiT-S-224", 384, 12, 6, 1536, 197, 768, 1000};
+}
+
+PaperModelConfig
+deitBase()
+{
+    return {"DeiT-B-224", 768, 12, 12, 3072, 197, 768, 1000};
+}
+
+PaperModelConfig
+bertBase(size_t seq_len)
+{
+    return {"BERT-base-" + std::to_string(seq_len), 768, 12, 12, 3072,
+            seq_len, 0, 2};
+}
+
+PaperModelConfig
+bertLarge(size_t seq_len)
+{
+    return {"BERT-large-" + std::to_string(seq_len), 1024, 24, 16, 4096,
+            seq_len, 0, 2};
+}
+
+std::vector<PaperModelConfig>
+figure13Models()
+{
+    return {deitTiny(), deitSmall(), deitBase(), bertBase(128),
+            bertLarge(320)};
+}
+
+} // namespace nn
+} // namespace lt

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Paper benchmark model configurations (Section V-A: DeiT and BERT).
+ *
+ * These describe the *workload* dimensions of the paper's evaluation
+ * models — they are not trainable networks. The workload extractor
+ * turns them into the exact GEMM list the accelerator simulators cost
+ * out (Table V, Fig. 13).
+ */
+
+#ifndef LT_NN_MODEL_ZOO_HH
+#define LT_NN_MODEL_ZOO_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lt {
+namespace nn {
+
+/** Dimensions of one encoder-only Transformer benchmark model. */
+struct PaperModelConfig
+{
+    std::string name;
+    size_t dim;         ///< embedding dimension
+    size_t depth;       ///< number of encoder blocks
+    size_t heads;       ///< attention heads
+    size_t mlp_hidden;  ///< FFN hidden dimension (4x dim)
+    size_t seq_len;     ///< tokens (197 for 224x224 DeiT, CLS incl.)
+    size_t patch_dim;   ///< flattened patch size (vision models only)
+    size_t num_classes; ///< classifier width
+
+    size_t headDim() const { return dim / heads; }
+};
+
+/** DeiT-Tiny @ 224x224: dim 192, 12 layers, 3 heads, 197 tokens. */
+PaperModelConfig deitTiny();
+
+/** DeiT-Small @ 224x224: dim 384, 12 layers, 6 heads. */
+PaperModelConfig deitSmall();
+
+/** DeiT-Base @ 224x224: dim 768, 12 layers, 12 heads. */
+PaperModelConfig deitBase();
+
+/** BERT-base with a chosen sequence length (paper uses 128). */
+PaperModelConfig bertBase(size_t seq_len = 128);
+
+/** BERT-large with a chosen sequence length (paper uses 320). */
+PaperModelConfig bertLarge(size_t seq_len = 320);
+
+/** The five workloads of Fig. 13, in the paper's order. */
+std::vector<PaperModelConfig> figure13Models();
+
+} // namespace nn
+} // namespace lt
+
+#endif // LT_NN_MODEL_ZOO_HH

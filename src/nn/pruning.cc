@@ -1,0 +1,52 @@
+#include "pruning.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lt {
+namespace nn {
+
+PaperModelConfig
+prunedModel(const PaperModelConfig &model, const PruningConfig &pruning)
+{
+    if (!pruning.valid())
+        lt_fatal("pruning keep-ratios must be in (0, 1]");
+    PaperModelConfig out = model;
+    out.name = model.name + "-pruned";
+
+    // Head pruning removes whole heads; the per-head dim dk stays.
+    size_t dk = model.headDim();
+    out.heads = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::llround(model.heads * pruning.head_keep)));
+
+    // Channel pruning shrinks dk (token-embedding channels); keep at
+    // least one channel per head.
+    size_t dk_kept = std::max<size_t>(
+        1,
+        static_cast<size_t>(std::llround(dk * pruning.channel_keep)));
+    out.dim = out.heads * dk_kept;
+    // FFN hidden keeps the model's expansion ratio.
+    double ratio = static_cast<double>(model.mlp_hidden) /
+                   static_cast<double>(model.dim);
+    out.mlp_hidden = static_cast<size_t>(
+        std::llround(ratio * static_cast<double>(out.dim)));
+
+    // Token pruning shortens the sequence (CLS always kept).
+    out.seq_len = std::max<size_t>(
+        2, static_cast<size_t>(
+               std::llround(model.seq_len * pruning.token_keep)));
+    return out;
+}
+
+Workload
+prunedWorkload(const PaperModelConfig &model,
+               const PruningConfig &pruning)
+{
+    return extractWorkload(prunedModel(model, pruning));
+}
+
+} // namespace nn
+} // namespace lt

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Structured pruning support (paper Section VI-A, opportunities (1)
+ * and (2)): attention head/token pruning and token-channel pruning
+ * remove whole heads, tokens, or embedding channels, so the remaining
+ * computation stays *dense* GEMM that DPTC accelerates natively.
+ * This module transforms a benchmark model's workload accordingly —
+ * the SpAtten-style [57] cascade the paper says LT "can be easily
+ * extended to support".
+ */
+
+#ifndef LT_NN_PRUNING_HH
+#define LT_NN_PRUNING_HH
+
+#include "nn/model_zoo.hh"
+#include "nn/workload.hh"
+
+namespace lt {
+namespace nn {
+
+/** Keep-ratios for the three structured pruning axes. */
+struct PruningConfig
+{
+    double head_keep = 1.0;    ///< fraction of attention heads kept
+    double token_keep = 1.0;   ///< fraction of sequence tokens kept
+    double channel_keep = 1.0; ///< fraction of embedding channels kept
+
+    bool
+    valid() const
+    {
+        auto ok = [](double v) { return v > 0.0 && v <= 1.0; };
+        return ok(head_keep) && ok(token_keep) && ok(channel_keep);
+    }
+};
+
+/**
+ * The effective (pruned) model dimensions. Heads round up to at least
+ * one; channel pruning keeps the per-head dim divisible layout by
+ * scaling dim with the head count fixed.
+ */
+PaperModelConfig prunedModel(const PaperModelConfig &model,
+                             const PruningConfig &pruning);
+
+/** Workload of the pruned model (all-dense GEMMs, as Fig. 16 needs). */
+Workload prunedWorkload(const PaperModelConfig &model,
+                        const PruningConfig &pruning);
+
+} // namespace nn
+} // namespace lt
+
+#endif // LT_NN_PRUNING_HH

@@ -1,0 +1,36 @@
+#include "quant.hh"
+
+#include <cmath>
+
+#include "util/quantize.hh"
+
+namespace lt {
+namespace nn {
+
+double
+tensorScale(const Matrix &m)
+{
+    double beta = 0.0;
+    for (double v : m.data())
+        beta = std::max(beta, std::abs(v));
+    return beta;
+}
+
+Matrix
+fakeQuant(const Matrix &m, int bits)
+{
+    if (bits <= 0)
+        return m;
+    double beta = tensorScale(m);
+    if (beta <= 0.0)
+        return m;
+    Matrix out(m.rows(), m.cols());
+    for (size_t i = 0; i < m.data().size(); ++i) {
+        out.data()[i] =
+            quantizeSymmetricUnit(m.data()[i] / beta, bits) * beta;
+    }
+    return out;
+}
+
+} // namespace nn
+} // namespace lt

@@ -1,0 +1,118 @@
+#include "serialization.hh"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace lt {
+namespace nn {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x4c54'434b'5054'0001ULL; // "LTCKPT" v1
+
+struct Header
+{
+    uint64_t magic;
+    uint64_t dim, depth, heads, mlp_hidden, num_classes, max_tokens;
+    uint64_t pooling;
+    uint64_t patch_dim, vocab_size;
+    uint64_t param_tensors;
+};
+
+Header
+headerFor(const TransformerConfig &cfg, uint64_t tensors)
+{
+    Header h{};
+    h.magic = kMagic;
+    h.dim = cfg.dim;
+    h.depth = cfg.depth;
+    h.heads = cfg.heads;
+    h.mlp_hidden = cfg.mlp_hidden;
+    h.num_classes = cfg.num_classes;
+    h.max_tokens = cfg.max_tokens;
+    h.pooling = static_cast<uint64_t>(cfg.pooling);
+    h.patch_dim = cfg.patch_dim;
+    h.vocab_size = cfg.vocab_size;
+    h.param_tensors = tensors;
+    return h;
+}
+
+bool
+sameArchitecture(const Header &a, const Header &b)
+{
+    return a.dim == b.dim && a.depth == b.depth && a.heads == b.heads &&
+           a.mlp_hidden == b.mlp_hidden &&
+           a.num_classes == b.num_classes &&
+           a.max_tokens == b.max_tokens && a.pooling == b.pooling &&
+           a.patch_dim == b.patch_dim && a.vocab_size == b.vocab_size &&
+           a.param_tensors == b.param_tensors;
+}
+
+} // namespace
+
+bool
+saveCheckpoint(TransformerClassifier &model, const std::string &path)
+{
+    std::vector<Matrix *> params;
+    model.visitParams(
+        [&](Matrix &w, Matrix &) { params.push_back(&w); });
+
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    Header h = headerFor(model.config(),
+                         static_cast<uint64_t>(params.size()));
+    out.write(reinterpret_cast<const char *>(&h), sizeof(h));
+    for (Matrix *w : params) {
+        uint64_t rows = w->rows(), cols = w->cols();
+        out.write(reinterpret_cast<const char *>(&rows), sizeof(rows));
+        out.write(reinterpret_cast<const char *>(&cols), sizeof(cols));
+        out.write(reinterpret_cast<const char *>(w->data().data()),
+                  static_cast<std::streamsize>(w->data().size() *
+                                               sizeof(double)));
+    }
+    return static_cast<bool>(out);
+}
+
+bool
+loadCheckpoint(TransformerClassifier &model, const std::string &path)
+{
+    std::vector<Matrix *> params;
+    model.visitParams(
+        [&](Matrix &w, Matrix &) { params.push_back(&w); });
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    Header stored{};
+    in.read(reinterpret_cast<char *>(&stored), sizeof(stored));
+    if (!in || stored.magic != kMagic)
+        lt_fatal("checkpoint ", path, ": bad magic/truncated header");
+    Header expected = headerFor(model.config(),
+                                static_cast<uint64_t>(params.size()));
+    if (!sameArchitecture(stored, expected))
+        lt_fatal("checkpoint ", path,
+                 ": architecture mismatch with target model");
+
+    for (Matrix *w : params) {
+        uint64_t rows = 0, cols = 0;
+        in.read(reinterpret_cast<char *>(&rows), sizeof(rows));
+        in.read(reinterpret_cast<char *>(&cols), sizeof(cols));
+        if (!in || rows != w->rows() || cols != w->cols())
+            lt_fatal("checkpoint ", path, ": tensor shape mismatch (",
+                     rows, "x", cols, " vs ", w->rows(), "x",
+                     w->cols(), ")");
+        in.read(reinterpret_cast<char *>(w->data().data()),
+                static_cast<std::streamsize>(w->data().size() *
+                                             sizeof(double)));
+        if (!in)
+            lt_fatal("checkpoint ", path, ": truncated tensor data");
+    }
+    return true;
+}
+
+} // namespace nn
+} // namespace lt

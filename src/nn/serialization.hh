@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Model checkpoint serialization.
+ *
+ * The paper's artifact ships trained checkpoints so users can skip the
+ * multi-day quantization-aware training; this module provides the same
+ * workflow for the in-repo models. Format: a small binary header
+ * (magic, version, the TransformerConfig fields) followed by every
+ * parameter tensor in visitParams order as float64 blobs. Loading
+ * verifies the stored configuration matches the target model exactly.
+ */
+
+#ifndef LT_NN_SERIALIZATION_HH
+#define LT_NN_SERIALIZATION_HH
+
+#include <string>
+
+#include "nn/transformer.hh"
+
+namespace lt {
+namespace nn {
+
+/** Write a model checkpoint; returns false on I/O failure. */
+bool saveCheckpoint(TransformerClassifier &model,
+                    const std::string &path);
+
+/**
+ * Load a checkpoint into an existing model. The model must have been
+ * constructed with the same TransformerConfig that was saved; any
+ * architecture mismatch is fatal (it would silently corrupt weights).
+ * Returns false on I/O failure.
+ */
+bool loadCheckpoint(TransformerClassifier &model,
+                    const std::string &path);
+
+} // namespace nn
+} // namespace lt
+
+#endif // LT_NN_SERIALIZATION_HH

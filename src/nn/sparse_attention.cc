@@ -1,0 +1,135 @@
+#include "sparse_attention.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "nn/tensor_ops.hh"
+#include "util/logging.hh"
+
+namespace lt {
+namespace nn {
+
+namespace {
+
+void
+validate(const Matrix &q, const Matrix &k, const Matrix &v,
+         const WindowAttentionConfig &cfg)
+{
+    if (cfg.window == 0 || cfg.window % 2 == 0)
+        lt_fatal("window size must be odd and positive, got ",
+                 cfg.window);
+    if (cfg.block == 0)
+        lt_fatal("block size must be positive");
+    if (q.rows() != cfg.seq_len || k.rows() != cfg.seq_len ||
+        v.rows() != cfg.seq_len)
+        lt_panic("window attention: sequence length mismatch");
+    if (q.cols() != cfg.head_dim || k.cols() != cfg.head_dim ||
+        v.cols() != cfg.head_dim)
+        lt_panic("window attention: head dim mismatch");
+}
+
+} // namespace
+
+Matrix
+windowAttentionDense(const Matrix &q, const Matrix &k, const Matrix &v,
+                     const WindowAttentionConfig &cfg)
+{
+    validate(q, k, v, cfg);
+    const double inv_sqrt_dk =
+        1.0 / std::sqrt(static_cast<double>(cfg.head_dim));
+    Matrix scores(cfg.seq_len, cfg.seq_len,
+                  -std::numeric_limits<double>::infinity());
+    for (size_t i = 0; i < cfg.seq_len; ++i) {
+        for (size_t j = cfg.windowStart(i); j < cfg.windowEnd(i); ++j) {
+            double s = 0.0;
+            for (size_t c = 0; c < cfg.head_dim; ++c)
+                s += q(i, c) * k(j, c);
+            scores(i, j) = s * inv_sqrt_dk;
+        }
+    }
+    Matrix p = rowSoftmax(scores);
+    return p * v;
+}
+
+Matrix
+windowAttentionBlocked(const Matrix &q, const Matrix &k, const Matrix &v,
+                       const WindowAttentionConfig &cfg)
+{
+    validate(q, k, v, cfg);
+    const double inv_sqrt_dk =
+        1.0 / std::sqrt(static_cast<double>(cfg.head_dim));
+    Matrix out(cfg.seq_len, cfg.head_dim, 0.0);
+
+    for (size_t q0 = 0; q0 < cfg.seq_len; q0 += cfg.block) {
+        size_t q1 = std::min(q0 + cfg.block, cfg.seq_len);
+        // Union of the chunk's windows -> the key span to gather.
+        size_t span0 = cfg.windowStart(q0);
+        size_t span1 = cfg.windowEnd(q1 - 1);
+        size_t span = span1 - span0;
+
+        // Chunked dense QK^T on the gathered span.
+        Matrix scores(q1 - q0, span);
+        for (size_t i = q0; i < q1; ++i) {
+            for (size_t j = span0; j < span1; ++j) {
+                double s = 0.0;
+                for (size_t c = 0; c < cfg.head_dim; ++c)
+                    s += q(i, c) * k(j, c);
+                scores(i - q0, j - span0) = s * inv_sqrt_dk;
+            }
+        }
+        // Per-row masking of span entries outside the token's own
+        // window (the span covers the union, not each row's window).
+        for (size_t i = q0; i < q1; ++i) {
+            size_t w0 = cfg.windowStart(i);
+            size_t w1 = cfg.windowEnd(i);
+            for (size_t j = span0; j < span1; ++j) {
+                if (j < w0 || j >= w1)
+                    scores(i - q0, j - span0) =
+                        -std::numeric_limits<double>::infinity();
+            }
+        }
+        Matrix p = rowSoftmax(scores);
+        // Compressed AV: multiply against the gathered V rows.
+        for (size_t i = 0; i < p.rows(); ++i) {
+            for (size_t c = 0; c < cfg.head_dim; ++c) {
+                double s = 0.0;
+                for (size_t j = 0; j < span; ++j)
+                    s += p(i, j) * v(span0 + j, c);
+                out(q0 + i, c) = s;
+            }
+        }
+    }
+    return out;
+}
+
+SparseAttentionWorkload
+blockifyWindowAttention(const WindowAttentionConfig &cfg)
+{
+    if (cfg.window == 0 || cfg.window % 2 == 0)
+        lt_fatal("window size must be odd and positive, got ",
+                 cfg.window);
+    if (cfg.block == 0)
+        lt_fatal("block size must be positive");
+
+    SparseAttentionWorkload w{};
+    w.dense_macs = 2 * cfg.seq_len * cfg.seq_len * cfg.head_dim;
+    w.sparse_macs = 0;
+    for (size_t q0 = 0; q0 < cfg.seq_len; q0 += cfg.block) {
+        size_t q1 = std::min(q0 + cfg.block, cfg.seq_len);
+        size_t span0 = cfg.windowStart(q0);
+        size_t span1 = cfg.windowEnd(q1 - 1);
+        size_t span = span1 - span0;
+        size_t rows = q1 - q0;
+
+        w.qk_ops.push_back(
+            {GemmKind::QkT, rows, cfg.head_dim, span, 1, true});
+        w.av_ops.push_back(
+            {GemmKind::Av, rows, span, cfg.head_dim, 1, true});
+        w.sparse_macs += rows * cfg.head_dim * span +
+                         rows * span * cfg.head_dim;
+    }
+    return w;
+}
+
+} // namespace nn
+} // namespace lt

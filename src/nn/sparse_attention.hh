@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Structured sparse-attention support (paper Section VI-A, Fig. 16).
+ *
+ * Window-local attention restricts token i to keys in
+ * [i - (w-1)/2, i + (w-1)/2]. To run this on DPTC, Q and K are
+ * blockified with block size b: each Q chunk multiplies only the K
+ * chunks its window touches, turning the sparse computation into a
+ * list of small *dense* GEMMs. For AV, the sparse attention rows are
+ * compressed so each chunk multiplies the matching rows of V.
+ *
+ * Two things are provided:
+ *  1. a functional implementation (dense-masked vs blockified must
+ *     agree exactly — tested), and
+ *  2. a workload generator emitting the chunked GemmOps the
+ *     accelerator simulator costs out.
+ */
+
+#ifndef LT_NN_SPARSE_ATTENTION_HH
+#define LT_NN_SPARSE_ATTENTION_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/workload.hh"
+#include "util/linalg.hh"
+
+namespace lt {
+namespace nn {
+
+/** Window-local attention geometry. */
+struct WindowAttentionConfig
+{
+    size_t seq_len;      ///< n tokens
+    size_t window;       ///< odd window size w (keys per query)
+    size_t block;        ///< blockification granularity b
+    size_t head_dim;     ///< dk
+
+    /** First key index token i may attend to. */
+    size_t
+    windowStart(size_t i) const
+    {
+        size_t half = (window - 1) / 2;
+        return i >= half ? i - half : 0;
+    }
+
+    /** One-past-last key index token i may attend to. */
+    size_t
+    windowEnd(size_t i) const
+    {
+        size_t half = (window - 1) / 2;
+        return std::min(seq_len, i + half + 1);
+    }
+};
+
+/**
+ * Reference implementation: dense attention with out-of-window scores
+ * masked to -inf before the softmax.
+ */
+Matrix windowAttentionDense(const Matrix &q, const Matrix &k,
+                            const Matrix &v,
+                            const WindowAttentionConfig &cfg);
+
+/**
+ * Blockified implementation (Fig. 16): per Q chunk, gather the key
+ * span its window covers, run chunked dense QK^T / softmax / AV.
+ * Bit-identical to windowAttentionDense.
+ */
+Matrix windowAttentionBlocked(const Matrix &q, const Matrix &k,
+                              const Matrix &v,
+                              const WindowAttentionConfig &cfg);
+
+/** Chunked-GEMM workload of one blockified window-attention head. */
+struct SparseAttentionWorkload
+{
+    std::vector<GemmOp> qk_ops;  ///< chunked QK^T products
+    std::vector<GemmOp> av_ops;  ///< compressed AV products
+    size_t dense_macs;           ///< full-attention MAC count
+    size_t sparse_macs;          ///< blockified MAC count
+
+    double
+    savings() const
+    {
+        return sparse_macs ? static_cast<double>(dense_macs) /
+                                 static_cast<double>(sparse_macs)
+                           : 0.0;
+    }
+};
+
+/** Emit the chunked GEMM list for one attention head. */
+SparseAttentionWorkload
+blockifyWindowAttention(const WindowAttentionConfig &cfg);
+
+} // namespace nn
+} // namespace lt
+
+#endif // LT_NN_SPARSE_ATTENTION_HH

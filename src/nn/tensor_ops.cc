@@ -1,0 +1,132 @@
+#include "tensor_ops.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lt {
+namespace nn {
+
+void
+addInPlace(Matrix &out, const Matrix &in)
+{
+    if (out.rows() != in.rows() || out.cols() != in.cols())
+        lt_panic("addInPlace shape mismatch");
+    for (size_t i = 0; i < out.data().size(); ++i)
+        out.data()[i] += in.data()[i];
+}
+
+Matrix
+scaled(const Matrix &a, double s)
+{
+    Matrix out = a;
+    for (double &v : out.data())
+        v *= s;
+    return out;
+}
+
+Matrix
+sliceCols(const Matrix &m, size_t c0, size_t cols)
+{
+    if (c0 + cols > m.cols())
+        lt_panic("sliceCols out of range");
+    Matrix out(m.rows(), cols);
+    for (size_t r = 0; r < m.rows(); ++r)
+        for (size_t c = 0; c < cols; ++c)
+            out(r, c) = m(r, c0 + c);
+    return out;
+}
+
+void
+pasteCols(Matrix &m, const Matrix &block, size_t c0)
+{
+    if (block.rows() != m.rows() || c0 + block.cols() > m.cols())
+        lt_panic("pasteCols shape mismatch");
+    for (size_t r = 0; r < m.rows(); ++r)
+        for (size_t c = 0; c < block.cols(); ++c)
+            m(r, c0 + c) = block(r, c);
+}
+
+Matrix
+rowSoftmax(const Matrix &scores)
+{
+    Matrix p(scores.rows(), scores.cols());
+    for (size_t r = 0; r < scores.rows(); ++r) {
+        double mx = scores(r, 0);
+        for (size_t c = 1; c < scores.cols(); ++c)
+            mx = std::max(mx, scores(r, c));
+        double denom = 0.0;
+        for (size_t c = 0; c < scores.cols(); ++c) {
+            double e = std::exp(scores(r, c) - mx);
+            p(r, c) = e;
+            denom += e;
+        }
+        for (size_t c = 0; c < scores.cols(); ++c)
+            p(r, c) /= denom;
+    }
+    return p;
+}
+
+Matrix
+rowSoftmaxBackward(const Matrix &p, const Matrix &dp)
+{
+    if (p.rows() != dp.rows() || p.cols() != dp.cols())
+        lt_panic("rowSoftmaxBackward shape mismatch");
+    Matrix ds(p.rows(), p.cols());
+    for (size_t r = 0; r < p.rows(); ++r) {
+        double dot = 0.0;
+        for (size_t c = 0; c < p.cols(); ++c)
+            dot += dp(r, c) * p(r, c);
+        for (size_t c = 0; c < p.cols(); ++c)
+            ds(r, c) = p(r, c) * (dp(r, c) - dot);
+    }
+    return ds;
+}
+
+namespace {
+constexpr double kGeluC = 0.7978845608028654; // sqrt(2/pi)
+constexpr double kGeluA = 0.044715;
+} // namespace
+
+Matrix
+gelu(const Matrix &x)
+{
+    Matrix y(x.rows(), x.cols());
+    for (size_t i = 0; i < x.data().size(); ++i) {
+        double v = x.data()[i];
+        double u = kGeluC * (v + kGeluA * v * v * v);
+        y.data()[i] = 0.5 * v * (1.0 + std::tanh(u));
+    }
+    return y;
+}
+
+Matrix
+geluBackward(const Matrix &x, const Matrix &dy)
+{
+    if (x.rows() != dy.rows() || x.cols() != dy.cols())
+        lt_panic("geluBackward shape mismatch");
+    Matrix dx(x.rows(), x.cols());
+    for (size_t i = 0; i < x.data().size(); ++i) {
+        double v = x.data()[i];
+        double u = kGeluC * (v + kGeluA * v * v * v);
+        double th = std::tanh(u);
+        double du = kGeluC * (1.0 + 3.0 * kGeluA * v * v);
+        double grad = 0.5 * (1.0 + th) + 0.5 * v * (1.0 - th * th) * du;
+        dx.data()[i] = grad * dy.data()[i];
+    }
+    return dx;
+}
+
+size_t
+argmaxRow(const Matrix &m, size_t row)
+{
+    size_t best = 0;
+    for (size_t c = 1; c < m.cols(); ++c)
+        if (m(row, c) > m(row, best))
+            best = c;
+    return best;
+}
+
+} // namespace nn
+} // namespace lt

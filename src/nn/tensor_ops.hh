@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Elementwise / row-wise matrix helpers shared by the NN layers.
+ */
+
+#ifndef LT_NN_TENSOR_OPS_HH
+#define LT_NN_TENSOR_OPS_HH
+
+#include "util/linalg.hh"
+
+namespace lt {
+namespace nn {
+
+/** out += in (shape-checked). */
+void addInPlace(Matrix &out, const Matrix &in);
+
+/** Return a * s. */
+Matrix scaled(const Matrix &a, double s);
+
+/** Extract a column block [c0, c0+cols) of m. */
+Matrix sliceCols(const Matrix &m, size_t c0, size_t cols);
+
+/** Write `block` into m at column offset c0. */
+void pasteCols(Matrix &m, const Matrix &block, size_t c0);
+
+/** Row-wise softmax. */
+Matrix rowSoftmax(const Matrix &scores);
+
+/**
+ * Backward through a row-wise softmax: given the probabilities p and
+ * upstream gradient dp, returns dscores = p .* (dp - rowsum(dp .* p)).
+ */
+Matrix rowSoftmaxBackward(const Matrix &p, const Matrix &dp);
+
+/** Tanh-approximated GELU, elementwise. */
+Matrix gelu(const Matrix &x);
+
+/** dGELU/dx evaluated at x, multiplied elementwise by dy. */
+Matrix geluBackward(const Matrix &x, const Matrix &dy);
+
+/** Row-wise argmax of a [1, n] or [r, n] matrix row. */
+size_t argmaxRow(const Matrix &m, size_t row);
+
+} // namespace nn
+} // namespace lt
+
+#endif // LT_NN_TENSOR_OPS_HH

@@ -1,0 +1,185 @@
+#include "transformer.hh"
+
+#include "util/logging.hh"
+
+namespace lt {
+namespace nn {
+
+TransformerClassifier::TransformerClassifier(const TransformerConfig &cfg)
+    : cfg_(cfg), init_rng_(cfg.seed),
+      cls_(1, cfg.dim), dcls_(1, cfg.dim, 0.0),
+      pos_(cfg.max_tokens, cfg.dim), dpos_(cfg.max_tokens, cfg.dim, 0.0),
+      final_ln_(cfg.dim),
+      head_(cfg.dim, cfg.num_classes, init_rng_)
+{
+    if ((cfg.patch_dim > 0) == (cfg.vocab_size > 0))
+        lt_fatal("TransformerConfig must set exactly one of patch_dim "
+                 "(vision) or vocab_size (sequence)");
+    if (cfg.patch_dim > 0)
+        patch_embed_.emplace(cfg.patch_dim, cfg.dim, init_rng_);
+    else
+        token_embed_.emplace(cfg.vocab_size, cfg.dim, init_rng_);
+
+    for (double &v : cls_.data())
+        v = init_rng_.gaussian(0.0, 0.02);
+    for (double &v : pos_.data())
+        v = init_rng_.gaussian(0.0, 0.02);
+
+    blocks_.reserve(cfg.depth);
+    for (size_t i = 0; i < cfg.depth; ++i) {
+        blocks_.push_back(std::make_unique<TransformerBlock>(
+            cfg.dim, cfg.heads, cfg.mlp_hidden, init_rng_));
+    }
+}
+
+Matrix
+TransformerClassifier::forwardCommon(Matrix x, RunContext &ctx)
+{
+    const bool use_cls = cfg_.pooling == Pooling::ClsToken;
+    size_t tokens = x.rows() + (use_cls ? 1 : 0);
+    if (tokens > cfg_.max_tokens)
+        lt_fatal("sequence of ", tokens, " tokens exceeds max_tokens ",
+                 cfg_.max_tokens);
+    Matrix seq(tokens, cfg_.dim);
+    size_t offset = 0;
+    if (use_cls) {
+        for (size_t c = 0; c < cfg_.dim; ++c)
+            seq(0, c) = cls_(0, c);
+        offset = 1;
+    }
+    for (size_t r = 0; r < x.rows(); ++r)
+        for (size_t c = 0; c < cfg_.dim; ++c)
+            seq(r + offset, c) = x(r, c);
+    for (size_t r = 0; r < tokens; ++r)
+        for (size_t c = 0; c < cfg_.dim; ++c)
+            seq(r, c) += pos_(r, c);
+
+    cached_tokens_ = tokens;
+    for (auto &block : blocks_)
+        seq = block->forward(seq, ctx);
+    Matrix normed = final_ln_.forward(seq);
+    cached_pooled_in_ = normed;
+
+    Matrix pooled(1, cfg_.dim);
+    if (use_cls) {
+        for (size_t c = 0; c < cfg_.dim; ++c)
+            pooled(0, c) = normed(0, c);
+    } else {
+        for (size_t c = 0; c < cfg_.dim; ++c) {
+            double s = 0.0;
+            for (size_t r = 0; r < tokens; ++r)
+                s += normed(r, c);
+            pooled(0, c) = s / static_cast<double>(tokens);
+        }
+    }
+    return head_.forward(pooled, ctx);
+}
+
+Matrix
+TransformerClassifier::forwardVision(const Matrix &patches,
+                                     RunContext &ctx)
+{
+    if (!patch_embed_)
+        lt_fatal("forwardVision called on a sequence-mode model");
+    last_was_vision_ = true;
+    Matrix x = patch_embed_->forward(patches, ctx);
+    return forwardCommon(std::move(x), ctx);
+}
+
+Matrix
+TransformerClassifier::forwardSequence(const std::vector<int> &tokens,
+                                       RunContext &ctx)
+{
+    if (!token_embed_)
+        lt_fatal("forwardSequence called on a vision-mode model");
+    last_was_vision_ = false;
+    Matrix x = token_embed_->forward(tokens);
+    return forwardCommon(std::move(x), ctx);
+}
+
+void
+TransformerClassifier::backward(const Matrix &dlogits)
+{
+    const bool use_cls = cfg_.pooling == Pooling::ClsToken;
+    Matrix dpooled = head_.backward(dlogits);
+
+    Matrix dnormed(cached_tokens_, cfg_.dim, 0.0);
+    if (use_cls) {
+        for (size_t c = 0; c < cfg_.dim; ++c)
+            dnormed(0, c) = dpooled(0, c);
+    } else {
+        double inv_n = 1.0 / static_cast<double>(cached_tokens_);
+        for (size_t r = 0; r < cached_tokens_; ++r)
+            for (size_t c = 0; c < cfg_.dim; ++c)
+                dnormed(r, c) = dpooled(0, c) * inv_n;
+    }
+
+    Matrix dseq = final_ln_.backward(dnormed);
+    for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it)
+        dseq = (*it)->backward(dseq);
+
+    // Positional gradients over all tokens.
+    for (size_t r = 0; r < cached_tokens_; ++r)
+        for (size_t c = 0; c < cfg_.dim; ++c)
+            dpos_(r, c) += dseq(r, c);
+
+    size_t offset = 0;
+    if (use_cls) {
+        for (size_t c = 0; c < cfg_.dim; ++c)
+            dcls_(0, c) += dseq(0, c);
+        offset = 1;
+    }
+    Matrix dx(cached_tokens_ - offset, cfg_.dim);
+    for (size_t r = 0; r < dx.rows(); ++r)
+        for (size_t c = 0; c < cfg_.dim; ++c)
+            dx(r, c) = dseq(r + offset, c);
+
+    if (last_was_vision_)
+        patch_embed_->backward(dx);
+    else
+        token_embed_->backward(dx);
+}
+
+void
+TransformerClassifier::zeroGrad()
+{
+    if (patch_embed_)
+        patch_embed_->zeroGrad();
+    if (token_embed_)
+        token_embed_->zeroGrad();
+    for (double &v : dcls_.data())
+        v = 0.0;
+    for (double &v : dpos_.data())
+        v = 0.0;
+    for (auto &b : blocks_)
+        b->zeroGrad();
+    final_ln_.zeroGrad();
+    head_.zeroGrad();
+}
+
+void
+TransformerClassifier::visitParams(const ParamVisitor &fn)
+{
+    if (patch_embed_)
+        patch_embed_->visitParams(fn);
+    if (token_embed_)
+        token_embed_->visitParams(fn);
+    if (cfg_.pooling == Pooling::ClsToken)
+        fn(cls_, dcls_);
+    fn(pos_, dpos_);
+    for (auto &b : blocks_)
+        b->visitParams(fn);
+    final_ln_.visitParams(fn);
+    head_.visitParams(fn);
+}
+
+size_t
+TransformerClassifier::numParams()
+{
+    size_t total = 0;
+    visitParams([&](Matrix &w, Matrix &) { total += w.data().size(); });
+    return total;
+}
+
+} // namespace nn
+} // namespace lt

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A complete encoder-only Transformer classifier with manual backprop,
+ * supporting both a vision input path (patch embedding, the DeiT
+ * substitute) and a token-sequence input path (token embedding, the
+ * BERT substitute). All GEMMs run on the RunContext backend, so the
+ * same trained model can be evaluated on ideal arithmetic or on the
+ * noisy photonic DPTC model (the paper's Fig. 14/15 methodology).
+ */
+
+#ifndef LT_NN_TRANSFORMER_HH
+#define LT_NN_TRANSFORMER_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "nn/layers.hh"
+
+namespace lt {
+namespace nn {
+
+/** How the final token representation is pooled for classification. */
+enum class Pooling { ClsToken, Mean };
+
+/** Configuration of a (small) trainable Transformer classifier. */
+struct TransformerConfig
+{
+    size_t dim = 32;
+    size_t depth = 2;
+    size_t heads = 2;
+    size_t mlp_hidden = 64;
+    size_t num_classes = 4;
+
+    /** Token count the positional table covers (incl. CLS if used). */
+    size_t max_tokens = 17;
+
+    Pooling pooling = Pooling::ClsToken;
+
+    /** Vision mode: flattened patch length (> 0 enables this path). */
+    size_t patch_dim = 0;
+
+    /** Sequence mode: vocabulary size (> 0 enables this path). */
+    size_t vocab_size = 0;
+
+    uint64_t seed = 0x5eed;
+};
+
+/** Encoder-only Transformer with a linear classification head. */
+class TransformerClassifier
+{
+  public:
+    explicit TransformerClassifier(const TransformerConfig &cfg);
+
+    const TransformerConfig &config() const { return cfg_; }
+
+    /**
+     * Vision forward: patches is [num_patches, patch_dim]; returns
+     * logits [1, num_classes].
+     */
+    Matrix forwardVision(const Matrix &patches, RunContext &ctx);
+
+    /** Sequence forward: token ids; returns logits [1, num_classes]. */
+    Matrix forwardSequence(const std::vector<int> &tokens,
+                           RunContext &ctx);
+
+    /** Backward from dL/dlogits through the whole network. */
+    void backward(const Matrix &dlogits);
+
+    void zeroGrad();
+    void visitParams(const ParamVisitor &fn);
+
+    /** Total scalar parameter count. */
+    size_t numParams();
+
+  private:
+    Matrix forwardCommon(Matrix x, RunContext &ctx);
+
+    TransformerConfig cfg_;
+    Rng init_rng_;
+
+    std::optional<Linear> patch_embed_;
+    std::optional<TokenEmbedding> token_embed_;
+    Matrix cls_;   ///< [1, dim] learned CLS token
+    Matrix dcls_;
+    Matrix pos_;   ///< [max_tokens, dim] learned positions
+    Matrix dpos_;
+
+    std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+    LayerNorm final_ln_;
+    Linear head_;
+
+    // Forward caches.
+    size_t cached_tokens_ = 0;
+    Matrix cached_pooled_in_;  ///< final-LN output (for mean pooling)
+    bool last_was_vision_ = false;
+};
+
+} // namespace nn
+} // namespace lt
+
+#endif // LT_NN_TRANSFORMER_HH

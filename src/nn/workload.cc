@@ -1,0 +1,117 @@
+#include "workload.hh"
+
+namespace lt {
+namespace nn {
+
+size_t
+Workload::totalMacs() const
+{
+    size_t total = 0;
+    for (const auto &op : ops)
+        total += op.macs();
+    return total;
+}
+
+size_t
+Workload::moduleMacs(Module module) const
+{
+    size_t total = 0;
+    for (const auto &op : ops)
+        if (moduleOf(op.kind) == module)
+            total += op.macs();
+    return total;
+}
+
+std::vector<GemmOp>
+Workload::moduleOps(Module module) const
+{
+    std::vector<GemmOp> out;
+    for (const auto &op : ops)
+        if (moduleOf(op.kind) == module)
+            out.push_back(op);
+    return out;
+}
+
+Module
+moduleOf(GemmKind kind)
+{
+    switch (kind) {
+      case GemmKind::QkT:
+      case GemmKind::Av:
+        return Module::Mha;
+      case GemmKind::Ffn1:
+      case GemmKind::Ffn2:
+        return Module::Ffn;
+      default:
+        return Module::Other;
+    }
+}
+
+const char *
+toString(GemmKind kind)
+{
+    switch (kind) {
+      case GemmKind::PatchEmbed:
+        return "patch-embed";
+      case GemmKind::QkvProj:
+        return "qkv-proj";
+      case GemmKind::QkT:
+        return "QK^T";
+      case GemmKind::Av:
+        return "AV";
+      case GemmKind::OutProj:
+        return "out-proj";
+      case GemmKind::Ffn1:
+        return "ffn1";
+      case GemmKind::Ffn2:
+        return "ffn2";
+      case GemmKind::Head:
+        return "head";
+    }
+    return "?";
+}
+
+const char *
+toString(Module module)
+{
+    switch (module) {
+      case Module::Mha:
+        return "MHA";
+      case Module::Ffn:
+        return "FFN";
+      case Module::Other:
+        return "Other";
+    }
+    return "?";
+}
+
+Workload
+extractWorkload(const PaperModelConfig &model)
+{
+    Workload w;
+    w.model = model.name;
+    const size_t s = model.seq_len;
+    const size_t d = model.dim;
+    const size_t h = model.heads;
+    const size_t dk = model.headDim();
+    const size_t L = model.depth;
+
+    if (model.patch_dim > 0) {
+        // Vision stem: (seq_len - 1) patches projected to dim.
+        w.ops.push_back(
+            {GemmKind::PatchEmbed, s - 1, model.patch_dim, d, 1, false});
+    }
+    // Per encoder layer.
+    w.ops.push_back({GemmKind::QkvProj, s, d, 3 * d, L, false});
+    w.ops.push_back({GemmKind::QkT, s, dk, s, L * h, true});
+    w.ops.push_back({GemmKind::Av, s, s, dk, L * h, true});
+    w.ops.push_back({GemmKind::OutProj, s, d, d, L, false});
+    w.ops.push_back({GemmKind::Ffn1, s, d, model.mlp_hidden, L, false});
+    w.ops.push_back({GemmKind::Ffn2, s, model.mlp_hidden, d, L, false});
+    // Classifier head on the pooled token.
+    w.ops.push_back({GemmKind::Head, 1, d, model.num_classes, 1, false});
+    return w;
+}
+
+} // namespace nn
+} // namespace lt

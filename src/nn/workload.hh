@@ -1,0 +1,85 @@
+/**
+ * @file
+ * GEMM workload extraction from Transformer model configurations.
+ *
+ * Converts a PaperModelConfig into the full list of matrix multiplies
+ * one inference performs, tagged by the paper's module grouping
+ * (Table V: MHA = QK^T + AV, FFN = both FFN linears, All = everything)
+ * and by operand dynamism (attention products have *two* dynamic
+ * operands — the property that breaks weight-static photonic
+ * accelerators).
+ */
+
+#ifndef LT_NN_WORKLOAD_HH
+#define LT_NN_WORKLOAD_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/model_zoo.hh"
+
+namespace lt {
+namespace nn {
+
+/** Which layer a GEMM comes from. */
+enum class GemmKind
+{
+    PatchEmbed,  ///< vision stem projection
+    QkvProj,     ///< fused Q/K/V projection (weight-static)
+    QkT,         ///< attention scores (dynamic x dynamic)
+    Av,          ///< attention-weighted values (dynamic x dynamic)
+    OutProj,     ///< attention output projection
+    Ffn1,        ///< FFN expansion
+    Ffn2,        ///< FFN contraction
+    Head,        ///< classifier
+};
+
+/** Paper Table V module grouping. */
+enum class Module { Mha, Ffn, Other };
+
+/** One (repeated) GEMM: [m, k] x [k, n], `count` instances. */
+struct GemmOp
+{
+    GemmKind kind;
+    size_t m;
+    size_t k;
+    size_t n;
+    size_t count;
+    bool dynamic;  ///< both operands are runtime activations
+
+    size_t
+    macs() const
+    {
+        return m * k * n * count;
+    }
+};
+
+/** The complete single-batch inference GEMM list for one model. */
+struct Workload
+{
+    std::string model;
+    std::vector<GemmOp> ops;
+
+    /** Total MACs across all (or one module's) ops. */
+    size_t totalMacs() const;
+    size_t moduleMacs(Module module) const;
+
+    /** Ops filtered by module. */
+    std::vector<GemmOp> moduleOps(Module module) const;
+};
+
+/** Module a GemmKind belongs to (Table V grouping). */
+Module moduleOf(GemmKind kind);
+
+/** Human-readable names. */
+const char *toString(GemmKind kind);
+const char *toString(Module module);
+
+/** Extract the full inference workload of a benchmark model. */
+Workload extractWorkload(const PaperModelConfig &model);
+
+} // namespace nn
+} // namespace lt
+
+#endif // LT_NN_WORKLOAD_HH

@@ -1,0 +1,40 @@
+#include "coupler.hh"
+
+#include <cmath>
+
+namespace lt {
+namespace photonics {
+
+double
+DirectionalCoupler::kappa(double lambda_m) const
+{
+    double detune = (lambda_m - lambda0_) / lambda0_;
+    double length_ratio = 1.0 + slope_ * detune; // Lc(l0)/Lc(l)
+    double arg = (M_PI / 4.0) * length_ratio;
+    double s = std::sin(arg);
+    return s * s;
+}
+
+double
+DirectionalCoupler::transmission(double lambda_m) const
+{
+    return std::sqrt(1.0 - kappa(lambda_m));
+}
+
+double
+DirectionalCoupler::crossCoupling(double lambda_m) const
+{
+    return std::sqrt(kappa(lambda_m));
+}
+
+Mat2c
+DirectionalCoupler::transferMatrix(double lambda_m) const
+{
+    double t = transmission(lambda_m);
+    double k = crossCoupling(lambda_m);
+    Complex jk(0.0, k);
+    return {Complex(t, 0.0), jk, jk, Complex(t, 0.0)};
+}
+
+} // namespace photonics
+} // namespace lt

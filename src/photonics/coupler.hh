@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Directional coupler with wavelength-dependent coupling (dispersion).
+ *
+ * Section III-C of the paper: the power coupling factor is
+ *     kappa(lambda) = sin^2( pi * Lc(lambda0) / (4 * Lc(lambda)) ),
+ * designed so kappa(lambda0) = 1/2 (a 3 dB coupler). The coupling length
+ * ratio is modelled to first order as
+ *     Lc(lambda0)/Lc(lambda) = 1 + D * (lambda - lambda0)/lambda0,
+ * with the dimensionless dispersion slope D calibrated so the maximum
+ * relative kappa deviation across the paper's 25-channel sweep
+ * (+-4.8 nm) is ~1.8 % (Fig. 3).
+ */
+
+#ifndef LT_PHOTONICS_COUPLER_HH
+#define LT_PHOTONICS_COUPLER_HH
+
+#include "transfer_matrix.hh"
+#include "wavelength.hh"
+
+namespace lt {
+namespace photonics {
+
+/** Calibrated dispersion slope reproducing Fig. 3 (see file comment). */
+constexpr double kCouplerDispersionSlope = 3.72;
+
+/** A 2x2 directional coupler designed as 50:50 at `designWavelength`. */
+class DirectionalCoupler
+{
+  public:
+    explicit DirectionalCoupler(
+        double design_wavelength_m = kCenterWavelengthM,
+        double dispersion_slope = kCouplerDispersionSlope)
+        : lambda0_(design_wavelength_m), slope_(dispersion_slope)
+    {
+    }
+
+    /** Power coupling factor kappa(lambda); 0.5 at the design point. */
+    double kappa(double lambda_m) const;
+
+    /** Field transmission t = sqrt(1 - kappa). */
+    double transmission(double lambda_m) const;
+
+    /** Cross-coupling magnitude k = sqrt(kappa). */
+    double crossCoupling(double lambda_m) const;
+
+    /**
+     * Transfer matrix [[t, jk], [jk, t]] at the given wavelength
+     * (lossless; insertion loss is handled by LossChain).
+     */
+    Mat2c transferMatrix(double lambda_m) const;
+
+    double designWavelength() const { return lambda0_; }
+
+  private:
+    double lambda0_;
+    double slope_;
+};
+
+} // namespace photonics
+} // namespace lt
+
+#endif // LT_PHOTONICS_COUPLER_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Photonic/electronic component parameter registry (paper Table III).
+ *
+ * Every value is tagged with the paper's citation. Units follow the
+ * project convention: watts, square meters, seconds, hertz; insertion
+ * loss (IL) stays in dB because loss chains accumulate in dB.
+ */
+
+#ifndef LT_PHOTONICS_DEVICE_PARAMS_HH
+#define LT_PHOTONICS_DEVICE_PARAMS_HH
+
+#include <string>
+
+#include "util/units.hh"
+
+namespace lt {
+namespace photonics {
+
+/** Data converter design point (power is at the listed sample rate). */
+struct ConverterParams
+{
+    int precision_bits;
+    double power_w;
+    double sample_rate_hz;
+    double area_m2;
+};
+
+/** A generic optical component: static power, loss, footprint. */
+struct OpticalParams
+{
+    double power_w = 0.0;       ///< static/tuning/locking power
+    double il_db = 0.0;         ///< insertion loss
+    double area_m2 = 0.0;       ///< footprint
+};
+
+/**
+ * The full Table III component library. Defaults reproduce the paper's
+ * adopted parameters; individual fields can be overridden for design
+ * space exploration.
+ */
+struct DeviceLibrary
+{
+    /** DAC [Caragiulo et al., VLSI'20]: 8-bit, 50 mW @ 14 GS/s. */
+    ConverterParams dac{8, units::mW(50), units::giga * 14.0,
+                        units::um2(11000)};
+
+    /** ADC [Liu et al., ISSCC'22]: 8-bit, 14.8 mW @ 10 GS/s. */
+    ConverterParams adc{8, units::mW(14.8), units::giga * 10.0,
+                        units::um2(2850)};
+
+    /** TIA [Rakowski et al., VLSI'18]: 3 mW, < 50 um^2. */
+    OpticalParams tia{units::mW(3), 0.0, units::um2(50)};
+
+    /**
+     * Microdisk filter [Timurdogan et al., Nat. Commun.'14]:
+     * 0.275 mW locking, 0.93 dB IL, 4.8 x 4.8 um^2, FSR 5.6 THz.
+     */
+    OpticalParams microdisk{units::mW(0.275), 0.93, units::um2(4.8 * 4.8)};
+    double microdisk_fsr_hz = 5.6e12;
+
+    /**
+     * Microring resonator: 0.21 mW tuning, 1.2 mW / 0.5 FSR locking
+     * [Streshinsky et al.], 0.95 dB IL, 9.66 x 9.66 um^2 [Pintus et al.].
+     * Used by the MRR-bank baseline.
+     */
+    OpticalParams mrr{units::mW(0.21), 0.95, units::um2(9.66 * 9.66)};
+    double mrr_locking_power_w = units::mW(1.2);
+
+    /**
+     * Mach-Zehnder modulator: 2.25 mW tuning [Dong et al.], 1.2 dB IL and
+     * 260 x 20 um^2 [Akiyama et al.].
+     */
+    OpticalParams mzm{units::mW(2.25), 1.2, units::um2(260 * 20)};
+
+    /** Directional coupler [Ye & Dai]: 0.33 dB IL, 5.25 x 2.4 um^2. */
+    OpticalParams coupler{0.0, 0.33, units::um2(5.25 * 2.4)};
+
+    /**
+     * MEMS phase shifter [Quack et al.]: 0.33 dB IL, 100 x 45 um^2,
+     * 2 us response time (this response time is what stalls the MZI
+     * baseline on weight switches).
+     */
+    OpticalParams mems_ps{0.0, 0.33, units::um2(100 * 45)};
+    double mems_ps_response_s = units::us(2);
+
+    /**
+     * Photodetector [Huang et al.]: 1.1 mW, -25 dBm sensitivity,
+     * 4 x 10 um^2.
+     */
+    OpticalParams photodetector{units::mW(1.1), 0.0, units::um2(4 * 10)};
+    double pd_sensitivity_dbm = -25.0;
+
+    /** Y-branch splitter [Nair & Menard]: 0.3 dB IL, 1.8 x 1.3 um^2. */
+    OpticalParams y_branch{0.0, 0.3, units::um2(1.8 * 1.3)};
+
+    /** Waveguide crossing (typical SOI): ~0.02 dB IL. */
+    OpticalParams crossing{0.0, 0.02, units::um2(8 * 8)};
+
+    /** Micro-comb source [Xu et al., Nature'21]: 1184 x 1184 um^2. */
+    OpticalParams micro_comb{0.0, 0.0, units::um2(1184.0 * 1184.0)};
+
+    /** On-chip laser: 20 % wall-plug efficiency, 400 x 300 um^2. */
+    double laser_wall_plug_efficiency = 0.2;
+    double laser_area_m2 = units::um2(400 * 300);
+
+    /** Default library (exactly Table III). */
+    static const DeviceLibrary &
+    defaults()
+    {
+        static const DeviceLibrary lib{};
+        return lib;
+    }
+};
+
+} // namespace photonics
+} // namespace lt
+
+#endif // LT_PHOTONICS_DEVICE_PARAMS_HH

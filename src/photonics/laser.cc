@@ -1,0 +1,39 @@
+#include "laser.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lt {
+namespace photonics {
+
+double
+LaserModel::requiredPdPowerW(int bits) const
+{
+    double base = units::dbmToWatt(lib_.pd_sensitivity_dbm);
+    double scale = std::pow(2.0, bits - kLaserPrecisionRefBits);
+    return base * scale;
+}
+
+double
+LaserModel::opticalPowerPerCarrierW(const LossChain &path, int bits) const
+{
+    double loss = path.linearFactor() * units::dbToLinear(margin_db_);
+    return requiredPdPowerW(bits) * loss;
+}
+
+double
+LaserModel::electricalPowerW(int carriers, const LossChain &path,
+                             int bits) const
+{
+    if (carriers < 0)
+        lt_panic("negative carrier count");
+    double wall_plug = lib_.laser_wall_plug_efficiency;
+    if (wall_plug <= 0.0)
+        lt_fatal("laser wall-plug efficiency must be positive");
+    return static_cast<double>(carriers) *
+           opticalPowerPerCarrierW(path, bits) / wall_plug;
+}
+
+} // namespace photonics
+} // namespace lt

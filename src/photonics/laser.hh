@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Laser power model.
+ *
+ * Following Section V-A: "The laser power is set to meet the minimum
+ * power requirement of the photodetector considering system loss and is
+ * scaled based on the precision requirement and wall-plug efficiency."
+ *
+ * Per optical carrier (one wavelength on one waveguide):
+ *   P_laser_optical = P_pd_min * 2^(bits - 4) * L_linear * margin
+ * where P_pd_min is the photodetector sensitivity, L_linear the
+ * worst-case laser-to-PD loss, and the 2^(bits-4) factor reproduces the
+ * paper's precision scaling (0.77 W @ 4-bit -> 12.3 W @ 8-bit for LT-B,
+ * a 16x = 2^4 increase). Electrical power divides by the wall-plug
+ * efficiency.
+ */
+
+#ifndef LT_PHOTONICS_LASER_HH
+#define LT_PHOTONICS_LASER_HH
+
+#include "device_params.hh"
+#include "loss_chain.hh"
+
+namespace lt {
+namespace photonics {
+
+/** Precision reference point of the laser scaling law (4-bit). */
+constexpr int kLaserPrecisionRefBits = 4;
+
+/** Computes required laser power for a set of optical carriers. */
+class LaserModel
+{
+  public:
+    /**
+     * @param lib component library (sensitivity, wall-plug efficiency)
+     * @param margin_db extra link margin on top of the loss chain
+     */
+    explicit LaserModel(const DeviceLibrary &lib = DeviceLibrary::defaults(),
+                        double margin_db = 0.0)
+        : lib_(lib), margin_db_(margin_db)
+    {
+    }
+
+    /** Minimum optical power needed at the PD for `bits` precision. */
+    double requiredPdPowerW(int bits) const;
+
+    /** Optical power one carrier must leave the laser with. */
+    double opticalPowerPerCarrierW(const LossChain &path, int bits) const;
+
+    /**
+     * Total electrical laser power for `carriers` independent
+     * wavelength-on-waveguide channels sharing the same worst-case path.
+     */
+    double electricalPowerW(int carriers, const LossChain &path,
+                            int bits) const;
+
+    double marginDb() const { return margin_db_; }
+
+  private:
+    const DeviceLibrary &lib_;
+    double margin_db_;
+};
+
+} // namespace photonics
+} // namespace lt
+
+#endif // LT_PHOTONICS_LASER_HH

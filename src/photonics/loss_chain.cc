@@ -1,0 +1,52 @@
+#include "loss_chain.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace lt {
+namespace photonics {
+
+LossChain &
+LossChain::add(const std::string &name, double il_db, int count)
+{
+    if (il_db < 0.0)
+        lt_panic("negative insertion loss for ", name);
+    if (count > 0 && il_db > 0.0)
+        entries_.push_back({name, il_db * count});
+    return *this;
+}
+
+LossChain &
+LossChain::addSplit(const std::string &name, int ways,
+                    double y_branch_il_db)
+{
+    if (ways < 1)
+        lt_panic("split ways must be >= 1 for ", name);
+    if (ways == 1)
+        return *this;
+    double split_db = 10.0 * std::log10(static_cast<double>(ways));
+    double stages = std::ceil(std::log2(static_cast<double>(ways)));
+    entries_.push_back({name + " (1:" + std::to_string(ways) + " split)",
+                        split_db + stages * y_branch_il_db});
+    return *this;
+}
+
+double
+LossChain::totalDb() const
+{
+    double total = 0.0;
+    for (const auto &e : entries_)
+        total += e.loss_db;
+    return total;
+}
+
+double
+LossChain::linearFactor() const
+{
+    return units::dbToLinear(totalDb());
+}
+
+} // namespace photonics
+} // namespace lt

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Insertion-loss chain accounting from laser to photodetector.
+ *
+ * The laser power model needs the worst-case optical loss along a
+ * signal path. Losses accumulate in dB; broadcast fan-out adds a
+ * 10*log10(N) splitting term on top of per-stage Y-branch insertion
+ * loss. The chain keeps a named breakdown for reporting.
+ */
+
+#ifndef LT_PHOTONICS_LOSS_CHAIN_HH
+#define LT_PHOTONICS_LOSS_CHAIN_HH
+
+#include <string>
+#include <vector>
+
+namespace lt {
+namespace photonics {
+
+/** One named contribution to a loss chain. */
+struct LossEntry
+{
+    std::string name;
+    double loss_db;
+};
+
+/** Accumulates insertion and splitting losses along an optical path. */
+class LossChain
+{
+  public:
+    /** Add `count` instances of a component with `il_db` loss each. */
+    LossChain &add(const std::string &name, double il_db, int count = 1);
+
+    /**
+     * Add an N-way power split: 10*log10(ways) intrinsic splitting loss
+     * plus ceil(log2(ways)) stages of Y-branch insertion loss.
+     */
+    LossChain &addSplit(const std::string &name, int ways,
+                        double y_branch_il_db);
+
+    /** Total loss in dB. */
+    double totalDb() const;
+
+    /** Linear power attenuation factor (>= 1). */
+    double linearFactor() const;
+
+    const std::vector<LossEntry> &entries() const { return entries_; }
+
+  private:
+    std::vector<LossEntry> entries_;
+};
+
+} // namespace photonics
+} // namespace lt
+
+#endif // LT_PHOTONICS_LOSS_CHAIN_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Mach-Zehnder modulator encoding model.
+ *
+ * A push-pull MZM with differential +-phi arms yields
+ * E_out = E_in * cos(phi), so tuning phi in [0, pi] encodes the full
+ * range [-1, 1] onto the optical field amplitude — the paper's key
+ * full-range-encoding mechanism (Section II-B). The driving DAC
+ * quantizes the target value to b bits; encoding noise (magnitude and
+ * phase drift) is added by the core noise model, not here.
+ */
+
+#ifndef LT_PHOTONICS_MZM_HH
+#define LT_PHOTONICS_MZM_HH
+
+#include "transfer_matrix.hh"
+#include "util/quantize.hh"
+
+namespace lt {
+namespace photonics {
+
+/** High-speed full-range amplitude encoder (one per wavelength). */
+class Mzm
+{
+  public:
+    /** @param dac_bits DAC precision driving the modulator arms. */
+    explicit Mzm(int dac_bits = 8) : dac_bits_(dac_bits) {}
+
+    /**
+     * Arm phase needed to encode `value` in [-1, 1]:
+     * phi = acos(value), phi in [0, pi].
+     */
+    static double
+    phaseForValue(double value)
+    {
+        return std::acos(std::clamp(value, -1.0, 1.0));
+    }
+
+    /** The encoded (quantized) field amplitude for a target value. */
+    double
+    encode(double value) const
+    {
+        return quantizeSymmetricUnit(value, dac_bits_);
+    }
+
+    /** Encoded field for an input carrier E_in. */
+    Complex
+    encodeField(double value, const Complex &carrier = {1.0, 0.0}) const
+    {
+        return carrier * encode(value);
+    }
+
+    int dacBits() const { return dac_bits_; }
+
+  private:
+    int dac_bits_;
+};
+
+} // namespace photonics
+} // namespace lt
+
+#endif // LT_PHOTONICS_MZM_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Phase shifter with first-order wavelength dependence.
+ *
+ * The phase response is Delta-phi(lambda) = 2*pi*Delta-n_eff*L / lambda;
+ * for a shifter programmed to phi0 at the design wavelength this gives
+ * phi(lambda) = phi0 * lambda0 / lambda (assuming Delta-n_eff is flat
+ * over the DWDM window). Across the paper's +-4.8 nm sweep this yields
+ * a maximum dispersion-induced phase error of ~0.28 degrees for the
+ * -90 degree DDot shifter, matching Fig. 3.
+ */
+
+#ifndef LT_PHOTONICS_PHASE_SHIFTER_HH
+#define LT_PHOTONICS_PHASE_SHIFTER_HH
+
+#include "transfer_matrix.hh"
+#include "wavelength.hh"
+
+namespace lt {
+namespace photonics {
+
+/** A passive/static phase shifter programmed at the design wavelength. */
+class PhaseShifter
+{
+  public:
+    /**
+     * @param phi0_rad programmed phase at the design wavelength
+     * @param design_wavelength_m design wavelength (default 1550 nm)
+     */
+    explicit PhaseShifter(double phi0_rad,
+                          double design_wavelength_m = kCenterWavelengthM)
+        : phi0_(phi0_rad), lambda0_(design_wavelength_m)
+    {
+    }
+
+    /** Effective phase at the given wavelength. */
+    double
+    phase(double lambda_m) const
+    {
+        return phi0_ * lambda0_ / lambda_m;
+    }
+
+    /** Dispersion-induced phase error vs the design point (radians). */
+    double
+    phaseError(double lambda_m) const
+    {
+        return phase(lambda_m) - phi0_;
+    }
+
+    /** Field transfer factor e^{j phi(lambda)}. */
+    Complex
+    transfer(double lambda_m) const
+    {
+        return std::polar(1.0, phase(lambda_m));
+    }
+
+    double programmedPhase() const { return phi0_; }
+
+  private:
+    double phi0_;
+    double lambda0_;
+};
+
+} // namespace photonics
+} // namespace lt
+
+#endif // LT_PHOTONICS_PHASE_SHIFTER_HH

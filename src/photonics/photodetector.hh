@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Photodetection: single-ended and balanced (differential) detection.
+ *
+ * A photodiode produces current proportional to incident optical power
+ * (|E|^2 summed over WDM channels — distinct wavelengths do not
+ * interfere). Balanced detection subtracts two photocurrents, which is
+ * what cancels the quadratic terms in the DDot output (paper Eq. 5) and
+ * yields signed (full-range) outputs.
+ */
+
+#ifndef LT_PHOTONICS_PHOTODETECTOR_HH
+#define LT_PHOTONICS_PHOTODETECTOR_HH
+
+#include <vector>
+
+#include "transfer_matrix.hh"
+
+namespace lt {
+namespace photonics {
+
+/** A photodiode with responsivity R (A/W in physical units). */
+class Photodetector
+{
+  public:
+    explicit Photodetector(double responsivity = 1.0)
+        : responsivity_(responsivity)
+    {
+    }
+
+    /** Photocurrent for a single coherent field. */
+    double
+    detect(const Complex &field) const
+    {
+        return responsivity_ * power(field);
+    }
+
+    /** Photocurrent for a WDM bundle: intensities accumulate. */
+    double
+    detect(const std::vector<Complex> &wdm_fields) const
+    {
+        double total = 0.0;
+        for (const auto &f : wdm_fields)
+            total += power(f);
+        return responsivity_ * total;
+    }
+
+    double responsivity() const { return responsivity_; }
+
+  private:
+    double responsivity_;
+};
+
+/** A balanced photodetector pair producing I_plus - I_minus. */
+class BalancedPhotodetector
+{
+  public:
+    BalancedPhotodetector(double responsivity_plus = 1.0,
+                          double responsivity_minus = 1.0)
+        : plus_(responsivity_plus), minus_(responsivity_minus)
+    {
+    }
+
+    /** Differential photocurrent over WDM bundles at the two ports. */
+    double
+    detect(const std::vector<Complex> &port_plus,
+           const std::vector<Complex> &port_minus) const
+    {
+        return plus_.detect(port_plus) - minus_.detect(port_minus);
+    }
+
+    const Photodetector &plus() const { return plus_; }
+    const Photodetector &minus() const { return minus_; }
+
+  private:
+    Photodetector plus_;
+    Photodetector minus_;
+};
+
+} // namespace photonics
+} // namespace lt
+
+#endif // LT_PHOTONICS_PHOTODETECTOR_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Complex optical field vectors and 2x2 transfer matrices.
+ *
+ * The DDot physics (paper Eq. 3, 7, 8) is expressed as 2x2 complex
+ * transfer matrices acting on per-wavelength field pairs.
+ */
+
+#ifndef LT_PHOTONICS_TRANSFER_MATRIX_HH
+#define LT_PHOTONICS_TRANSFER_MATRIX_HH
+
+#include <complex>
+
+namespace lt {
+namespace photonics {
+
+using Complex = std::complex<double>;
+
+/** A pair of coherent optical fields on two waveguides/ports. */
+struct Field2
+{
+    Complex a;
+    Complex b;
+};
+
+/** A 2x2 complex transfer matrix [[m00, m01], [m10, m11]]. */
+struct Mat2c
+{
+    Complex m00, m01, m10, m11;
+
+    /** Apply to a field pair: out = M * in. */
+    Field2
+    apply(const Field2 &in) const
+    {
+        return {m00 * in.a + m01 * in.b, m10 * in.a + m11 * in.b};
+    }
+
+    /** Compose: (this * rhs) applies rhs first. */
+    Mat2c
+    operator*(const Mat2c &rhs) const
+    {
+        return {m00 * rhs.m00 + m01 * rhs.m10,
+                m00 * rhs.m01 + m01 * rhs.m11,
+                m10 * rhs.m00 + m11 * rhs.m10,
+                m10 * rhs.m01 + m11 * rhs.m11};
+    }
+};
+
+/** Optical power carried by a field (|E|^2, arbitrary units). */
+inline double
+power(const Complex &field)
+{
+    return std::norm(field);
+}
+
+} // namespace photonics
+} // namespace lt
+
+#endif // LT_PHOTONICS_TRANSFER_MATRIX_HH

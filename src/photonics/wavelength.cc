@@ -1,0 +1,56 @@
+#include "wavelength.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace lt {
+namespace photonics {
+
+WdmGrid::WdmGrid(size_t count, double center_m, double spacing_m)
+    : center_(center_m), spacing_(spacing_m)
+{
+    if (count == 0)
+        lt_fatal("WdmGrid requires at least one channel");
+    if (center_m <= 0.0 || spacing_m <= 0.0)
+        lt_fatal("WdmGrid requires positive center and spacing");
+    wavelengths_.reserve(count);
+    // Symmetric placement: channel offsets -(count-1)/2 ... +(count-1)/2
+    // in units of the spacing (half-integer offsets for even counts).
+    double first = -0.5 * static_cast<double>(count - 1);
+    for (size_t i = 0; i < count; ++i) {
+        double offset = first + static_cast<double>(i);
+        wavelengths_.push_back(center_m + offset * spacing_m);
+    }
+}
+
+double
+WdmGrid::maxDetuning() const
+{
+    double m = 0.0;
+    for (double w : wavelengths_)
+        m = std::max(m, std::abs(w - center_));
+    return m;
+}
+
+FsrWindow
+fsrWindow(double center_m, double fsr_hz)
+{
+    double f0 = units::c0 / center_m;
+    FsrWindow window;
+    window.lambda_left_m = units::c0 / (f0 + fsr_hz / 2.0);
+    window.lambda_right_m = units::c0 / (f0 - fsr_hz / 2.0);
+    return window;
+}
+
+size_t
+maxWdmChannels(const FsrWindow &window, double spacing_m)
+{
+    if (spacing_m <= 0.0)
+        lt_fatal("maxWdmChannels requires a positive spacing");
+    return static_cast<size_t>(std::floor(window.widthM() / spacing_m));
+}
+
+} // namespace photonics
+} // namespace lt

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * WDM wavelength grids and free-spectral-range (FSR) windows.
+ *
+ * Reproduces the paper's Dense-WDM setup (Section III-C and Eq. 10):
+ * 0.4 nm channel spacing around a 1550 nm centre wavelength, with the
+ * usable window bounded by the microdisk filter FSR (5.6 THz), giving
+ * up to 112 channels.
+ */
+
+#ifndef LT_PHOTONICS_WAVELENGTH_HH
+#define LT_PHOTONICS_WAVELENGTH_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace lt {
+namespace photonics {
+
+/** DWDM defaults used throughout the paper. */
+constexpr double kCenterWavelengthM = 1550e-9;
+constexpr double kChannelSpacingM = 0.4e-9;
+constexpr double kMicrodiskFsrHz = 5.6e12;
+
+/**
+ * A symmetric DWDM channel grid: `count` channels spaced `spacing`
+ * around `center` (channel index 0 is the leftmost/shortest wavelength).
+ */
+class WdmGrid
+{
+  public:
+    WdmGrid(size_t count, double center_m = kCenterWavelengthM,
+            double spacing_m = kChannelSpacingM);
+
+    size_t count() const { return wavelengths_.size(); }
+    double center() const { return center_; }
+    double spacing() const { return spacing_; }
+
+    /** Wavelength of channel i in meters. */
+    double wavelength(size_t i) const { return wavelengths_.at(i); }
+
+    const std::vector<double> &wavelengths() const { return wavelengths_; }
+
+    /** Largest |lambda - center| across channels. */
+    double maxDetuning() const;
+
+  private:
+    double center_;
+    double spacing_;
+    std::vector<double> wavelengths_;
+};
+
+/** The usable wavelength window imposed by a filter's FSR (Eq. 10). */
+struct FsrWindow
+{
+    double lambda_left_m;   ///< c / (f0 + FSR/2)
+    double lambda_right_m;  ///< c / (f0 - FSR/2)
+
+    double widthM() const { return lambda_right_m - lambda_left_m; }
+};
+
+/** Compute the FSR window around a centre wavelength (paper Eq. 10). */
+FsrWindow fsrWindow(double center_m = kCenterWavelengthM,
+                    double fsr_hz = kMicrodiskFsrHz);
+
+/**
+ * Maximum number of DWDM channels that fit in an FSR window at the given
+ * spacing; with the paper's defaults this evaluates to 112.
+ */
+size_t maxWdmChannels(const FsrWindow &window,
+                      double spacing_m = kChannelSpacingM);
+
+} // namespace photonics
+} // namespace lt
+
+#endif // LT_PHOTONICS_WAVELENGTH_HH

@@ -1,0 +1,166 @@
+#include "cycle_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace lt {
+namespace sim {
+
+namespace {
+
+size_t
+ceilDiv(size_t a, size_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Shared state of one simulated GEMM run. */
+struct GemmRun
+{
+    const arch::ArchConfig &arch;
+    const CycleSimConfig &sim;
+    const nn::GemmOp &op;
+    EventQueue queue;
+
+    // Tiling geometry.
+    size_t row_tiles, col_tiles, k_chunks;
+    uint64_t total_shots;
+    uint64_t next_shot = 0;
+
+    // Per-core accounting (indexed 0 .. cores-1).
+    std::vector<uint64_t> core_busy_until; ///< in cycles
+    std::vector<uint64_t> accum_count;     ///< temporal accum fill
+
+    // Results.
+    uint64_t stall_cycles = 0;
+    uint64_t adc_conversions = 0;
+    uint64_t finish_cycle = 0;
+
+    double cycle_s;
+    uint64_t fetch_cycles;  ///< operand fetch time per shot (cycles)
+
+    explicit GemmRun(const arch::ArchConfig &a, const CycleSimConfig &s,
+                     const nn::GemmOp &o)
+        : arch(a), sim(s), op(o)
+    {
+        row_tiles = ceilDiv(op.m, arch.nh);
+        col_tiles = ceilDiv(op.n, arch.nv);
+        k_chunks = ceilDiv(op.k, arch.nlambda);
+        total_shots = static_cast<uint64_t>(row_tiles) * col_tiles *
+                      k_chunks * op.count;
+        core_busy_until.assign(arch.totalCores(), 0);
+        accum_count.assign(arch.totalCores(), 0);
+        cycle_s = arch.cycleSeconds();
+
+        // Operand bytes per shot: both operand sides at the datapath
+        // precision, double-buffered against SRAM bandwidth.
+        double bytes = static_cast<double>(arch.nh * arch.nlambda +
+                                           arch.nlambda * arch.nv) *
+                       arch.precision_bits / 8.0;
+        fetch_cycles = static_cast<uint64_t>(
+            std::ceil(bytes / sim.sram_bytes_per_core_cycle));
+    }
+
+    /** Cycle at which HBM has delivered the k-chunk for shot index. */
+    uint64_t
+    hbmReadyCycle(uint64_t shot_idx) const
+    {
+        if (op.dynamic)
+            return 0; // activations are already on chip
+        // Weights stream chunk by chunk in schedule order; a shot may
+        // start once the bytes for its (k-chunk, col-tile) have
+        // arrived. Approximate with proportional delivery.
+        double weight_bytes = static_cast<double>(op.k) *
+                              static_cast<double>(op.n) *
+                              arch.precision_bits / 8.0 *
+                              static_cast<double>(op.count);
+        double bytes_needed = weight_bytes *
+                              static_cast<double>(shot_idx + 1) /
+                              static_cast<double>(total_shots);
+        double t = bytes_needed / sim.hbm_bytes_per_s;
+        return static_cast<uint64_t>(std::ceil(t / cycle_s));
+    }
+
+    /** Dispatch the next shot to `core`, then reschedule. */
+    void
+    step(size_t core)
+    {
+        if (next_shot >= total_shots)
+            return;
+        uint64_t shot = next_shot++;
+
+        uint64_t earliest = core_busy_until[core];
+        // Double buffering: the fetch of this shot overlapped the
+        // previous compute; only fetch time beyond one cycle stalls.
+        uint64_t fetch_ready =
+            earliest + (fetch_cycles > 1 ? fetch_cycles - 1 : 0);
+        uint64_t hbm_ready = hbmReadyCycle(shot);
+        uint64_t start = std::max({earliest, fetch_ready, hbm_ready});
+        stall_cycles += start - earliest;
+
+        uint64_t done = start + 1; // one-shot MM per core cycle
+        core_busy_until[core] = done;
+        finish_cycle = std::max(finish_cycle, done);
+
+        // Temporal accumulation: an ADC conversion every depth shots
+        // (per core group).
+        if (++accum_count[core] >= arch.temporal_accum_depth) {
+            accum_count[core] = 0;
+            ++adc_conversions;
+        }
+
+        queue.schedule(static_cast<double>(done) * cycle_s,
+                       [this, core] { step(core); });
+    }
+};
+
+} // namespace
+
+CycleSimResult
+simulateGemm(const arch::ArchConfig &arch, const CycleSimConfig &sim,
+             const nn::GemmOp &op)
+{
+    GemmRun run(arch, sim, op);
+    // Prime every core with work at t = 0.
+    for (size_t core = 0; core < arch.totalCores(); ++core)
+        run.queue.schedule(0.0, [&run, core] { run.step(core); });
+    run.queue.run();
+
+    // Flush a final partial accumulation group per core.
+    for (size_t core = 0; core < arch.totalCores(); ++core)
+        if (run.accum_count[core] > 0)
+            ++run.adc_conversions;
+
+    CycleSimResult result;
+    result.shots = run.total_shots;
+    result.cycles = run.finish_cycle + sim.pipeline_fill_cycles;
+    result.stall_cycles = run.stall_cycles;
+    result.adc_conversions = run.adc_conversions;
+    result.events = run.queue.executed();
+    result.time_s = static_cast<double>(result.cycles) *
+                    arch.cycleSeconds();
+    return result;
+}
+
+CycleSimResult
+simulateWorkload(const arch::ArchConfig &arch, const CycleSimConfig &sim,
+                 const nn::Workload &workload)
+{
+    CycleSimResult total;
+    for (const auto &op : workload.ops) {
+        CycleSimResult r = simulateGemm(arch, sim, op);
+        total.shots += r.shots;
+        total.cycles += r.cycles;
+        total.stall_cycles += r.stall_cycles;
+        total.adc_conversions += r.adc_conversions;
+        total.events += r.events;
+        total.time_s += r.time_s;
+    }
+    return total;
+}
+
+} // namespace sim
+} // namespace lt

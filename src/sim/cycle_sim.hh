@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Cycle-level simulator of the Lightening-Transformer datapath.
+ *
+ * Where the analytic model (arch/performance_model.hh) counts cycles
+ * in closed form, this simulator *executes* the tiled GEMM schedule
+ * event by event: every DPTC shot is dispatched to a core, operand
+ * fetches run in a double-buffered pipeline against per-core SRAM
+ * bandwidth, weight chunks stream from HBM at finite bandwidth, and
+ * ADC conversions happen once per temporal-accumulation group. The
+ * result exposes stall cycles that the closed form assumes away, and
+ * the two are cross-validated in tests (they agree to within the
+ * pipeline-fill epsilon when bandwidth is sufficient — the paper's
+ * operating assumption — and diverge when bandwidth is throttled).
+ */
+
+#ifndef LT_SIM_CYCLE_SIM_HH
+#define LT_SIM_CYCLE_SIM_HH
+
+#include <cstdint>
+
+#include "arch/arch_config.hh"
+#include "nn/workload.hh"
+#include "sim/event_queue.hh"
+
+namespace lt {
+namespace sim {
+
+/** Bandwidth/pipeline knobs beyond the ArchConfig. */
+struct CycleSimConfig
+{
+    /**
+     * Operand bytes one core's buffers can pull from its tile SRAM
+     * per core cycle (the decoupled 32 KB sub-array design of
+     * Section IV-A is sized so this is not a bottleneck).
+     */
+    double sram_bytes_per_core_cycle = 256.0;
+
+    /** Off-chip bandwidth for weight streaming [bytes/s]. */
+    double hbm_bytes_per_s = 1e12;
+
+    /** Pipeline depth of the EO path (fill cost, cycles). */
+    size_t pipeline_fill_cycles = 2;
+};
+
+/** Result of one simulated GEMM (or workload). */
+struct CycleSimResult
+{
+    uint64_t shots = 0;          ///< DPTC invocations executed
+    uint64_t cycles = 0;         ///< total core-clock cycles elapsed
+    uint64_t stall_cycles = 0;   ///< cycles any core waited on data
+    uint64_t adc_conversions = 0;
+    uint64_t events = 0;         ///< discrete events processed
+    double time_s = 0.0;
+
+    double
+    utilization() const
+    {
+        return cycles ? 1.0 - static_cast<double>(stall_cycles) /
+                                  static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/** Event-driven simulation of one GEMM on the LT architecture. */
+CycleSimResult simulateGemm(const arch::ArchConfig &arch,
+                            const CycleSimConfig &sim,
+                            const nn::GemmOp &op);
+
+/** Simulate a whole workload (ops run back to back). */
+CycleSimResult simulateWorkload(const arch::ArchConfig &arch,
+                                const CycleSimConfig &sim,
+                                const nn::Workload &workload);
+
+} // namespace sim
+} // namespace lt
+
+#endif // LT_SIM_CYCLE_SIM_HH

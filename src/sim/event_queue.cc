@@ -1,0 +1,38 @@
+#include "event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace lt {
+namespace sim {
+
+void
+EventQueue::schedule(SimTime when, Callback fn)
+{
+    if (when < now_)
+        lt_panic("scheduling event in the past: ", when, " < ", now_);
+    heap_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void
+EventQueue::scheduleAfter(SimTime delay, Callback fn)
+{
+    schedule(now_ + delay, std::move(fn));
+}
+
+SimTime
+EventQueue::run()
+{
+    while (!heap_.empty()) {
+        // priority_queue::top returns const&; move out via const_cast
+        // is unsafe — copy the callback instead (events are small).
+        Event ev = heap_.top();
+        heap_.pop();
+        now_ = ev.when;
+        ++executed_;
+        ev.fn();
+    }
+    return now_;
+}
+
+} // namespace sim
+} // namespace lt

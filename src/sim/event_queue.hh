@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A minimal discrete-event simulation kernel.
+ *
+ * Events are (time, sequence, callback) triples executed in
+ * chronological order; ties break by insertion order so the
+ * simulation is deterministic. The cycle-level accelerator simulator
+ * (cycle_sim.hh) is built on top of this kernel.
+ */
+
+#ifndef LT_SIM_EVENT_QUEUE_HH
+#define LT_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace lt {
+namespace sim {
+
+/** Simulation time in seconds. */
+using SimTime = double;
+
+/** A deterministic discrete-event queue. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule `fn` at absolute time `when` (>= now). */
+    void schedule(SimTime when, Callback fn);
+
+    /** Schedule `fn` `delay` seconds after now. */
+    void scheduleAfter(SimTime delay, Callback fn);
+
+    /** Run until the queue drains; returns the final time. */
+    SimTime run();
+
+    /** Current simulation time. */
+    SimTime now() const { return now_; }
+
+    /** Number of events executed so far. */
+    uint64_t executed() const { return executed_; }
+
+    bool empty() const { return heap_.empty(); }
+
+  private:
+    struct Event
+    {
+        SimTime when;
+        uint64_t seq;
+        Callback fn;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    SimTime now_ = 0.0;
+    uint64_t next_seq_ = 0;
+    uint64_t executed_ = 0;
+};
+
+} // namespace sim
+} // namespace lt
+
+#endif // LT_SIM_EVENT_QUEUE_HH

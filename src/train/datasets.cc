@@ -1,0 +1,129 @@
+#include "datasets.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lt {
+namespace train {
+
+namespace {
+
+using Image = std::vector<double>; // kImageSize^2 grayscale
+
+/** Draw one shape class into a blank image with jitter. */
+Image
+drawShape(int label, Rng &rng)
+{
+    constexpr int n = static_cast<int>(ShapeDataset::kImageSize);
+    Image img(static_cast<size_t>(n * n), 0.0);
+    auto at = [&](int r, int c) -> double & {
+        return img[static_cast<size_t>(r * n + c)];
+    };
+
+    // Random center and half-size with jitter, keeping the shape
+    // inside the frame.
+    int half = static_cast<int>(rng.uniformInt(3, 5));
+    int cr = static_cast<int>(rng.uniformInt(half + 1, n - half - 2));
+    int cc = static_cast<int>(rng.uniformInt(half + 1, n - half - 2));
+    double fg = rng.uniform(0.7, 1.0);
+
+    switch (label) {
+      case 0: // filled square
+        for (int r = cr - half; r <= cr + half; ++r)
+            for (int c = cc - half; c <= cc + half; ++c)
+                at(r, c) = fg;
+        break;
+      case 1: // hollow frame
+        for (int r = cr - half; r <= cr + half; ++r) {
+            for (int c = cc - half; c <= cc + half; ++c) {
+                bool edge = r == cr - half || r == cr + half ||
+                            c == cc - half || c == cc + half;
+                if (edge)
+                    at(r, c) = fg;
+            }
+        }
+        break;
+      case 2: // plus / cross
+        for (int d = -half; d <= half; ++d) {
+            at(cr + d, cc) = fg;
+            at(cr, cc + d) = fg;
+        }
+        break;
+      case 3: // diagonal X
+        for (int d = -half; d <= half; ++d) {
+            at(cr + d, cc + d) = fg;
+            at(cr + d, cc - d) = fg;
+        }
+        break;
+      default:
+        break;
+    }
+
+    // Pixel noise.
+    for (double &p : img) {
+        p += rng.gaussian(0.0, 0.08);
+        p = std::clamp(p, 0.0, 1.0);
+    }
+    return img;
+}
+
+/** Patchify a 16x16 image into 16 patches of 16 pixels. */
+Matrix
+patchify(const Image &img)
+{
+    constexpr size_t n = ShapeDataset::kImageSize;
+    constexpr size_t p = ShapeDataset::kPatchSize;
+    constexpr size_t grid = n / p;
+    Matrix patches(ShapeDataset::kNumPatches, ShapeDataset::kPatchDim);
+    for (size_t pr = 0; pr < grid; ++pr) {
+        for (size_t pc = 0; pc < grid; ++pc) {
+            size_t patch = pr * grid + pc;
+            for (size_t r = 0; r < p; ++r)
+                for (size_t c = 0; c < p; ++c)
+                    patches(patch, r * p + c) =
+                        img[(pr * p + r) * n + (pc * p + c)];
+        }
+    }
+    return patches;
+}
+
+} // namespace
+
+ShapeDataset::ShapeDataset(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    samples_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        int label = static_cast<int>(i % kNumClasses);
+        samples_.push_back({patchify(drawShape(label, rng)), label});
+    }
+    // Shuffle so batches are class-mixed.
+    std::shuffle(samples_.begin(), samples_.end(), rng.engine());
+}
+
+NeedleDataset::NeedleDataset(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    samples_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        SequenceSample s;
+        s.tokens.resize(kSeqLen);
+        // Distractors only (never the needle token).
+        for (size_t t = 0; t < kSeqLen; ++t) {
+            s.tokens[t] =
+                static_cast<int>(rng.uniformInt(1, kVocab - 1));
+        }
+        // Half the samples plant the needle at a random position.
+        s.label = static_cast<int>(i % 2);
+        if (s.label == 1) {
+            size_t pos = static_cast<size_t>(
+                rng.uniformInt(0, static_cast<int64_t>(kSeqLen) - 1));
+            s.tokens[pos] = kNeedleToken;
+        }
+        samples_.push_back(std::move(s));
+    }
+    std::shuffle(samples_.begin(), samples_.end(), rng.engine());
+}
+
+} // namespace train
+} // namespace lt

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Synthetic datasets for the accuracy experiments (Fig. 14 / 15).
+ *
+ * SUBSTITUTION NOTE (DESIGN.md section 4): the paper evaluates a
+ * 4-bit DeiT-T on ImageNet-1K and an 8-bit BERT-base on SST-2.
+ * Neither the 160 GB dataset nor the GPUs for quantization-aware
+ * training are available offline, so the accuracy experiments run on
+ * two synthetic tasks exercising the same code path (quantized
+ * Transformer, noisy photonic GEMM in the forward pass):
+ *
+ *  - ShapeDataset (DeiT substitute): procedural 16x16 grayscale
+ *    images of four shape classes (filled square / hollow frame /
+ *    plus / X-cross) with position, scale, and pixel noise jitter,
+ *    patchified into 4x4 patches for a small ViT.
+ *  - NeedleDataset (BERT substitute): token sequences of distractor
+ *    tokens in which a special needle token may be planted at a
+ *    random position; the class is whether the needle is present.
+ *    Solving it requires aggregating global context across the
+ *    sequence — the attention mechanism's job.
+ */
+
+#ifndef LT_TRAIN_DATASETS_HH
+#define LT_TRAIN_DATASETS_HH
+
+#include <vector>
+
+#include "util/linalg.hh"
+#include "util/rng.hh"
+
+namespace lt {
+namespace train {
+
+/** One vision sample: patchified image + label. */
+struct VisionSample
+{
+    Matrix patches;  ///< [num_patches, patch_dim]
+    int label;
+};
+
+/** One sequence sample: token ids + label. */
+struct SequenceSample
+{
+    std::vector<int> tokens;
+    int label;
+};
+
+/** Procedural shape-classification images (vision substitute). */
+class ShapeDataset
+{
+  public:
+    static constexpr size_t kImageSize = 16;
+    static constexpr size_t kPatchSize = 4;
+    static constexpr size_t kNumPatches = 16; // (16/4)^2
+    static constexpr size_t kPatchDim = 16;   // 4x4 pixels
+    static constexpr size_t kNumClasses = 4;
+
+    /** Generate n samples with the given seed. */
+    ShapeDataset(size_t n, uint64_t seed);
+
+    const std::vector<VisionSample> &samples() const { return samples_; }
+    size_t size() const { return samples_.size(); }
+
+  private:
+    std::vector<VisionSample> samples_;
+};
+
+/** Needle-in-sequence task (attention-dependent, binary). */
+class NeedleDataset
+{
+  public:
+    static constexpr size_t kSeqLen = 16;
+    static constexpr size_t kVocab = 16;
+    static constexpr size_t kNumClasses = 2;
+    static constexpr int kNeedleToken = 0;
+
+    NeedleDataset(size_t n, uint64_t seed);
+
+    const std::vector<SequenceSample> &samples() const
+    {
+        return samples_;
+    }
+    size_t size() const { return samples_.size(); }
+
+  private:
+    std::vector<SequenceSample> samples_;
+};
+
+} // namespace train
+} // namespace lt
+
+#endif // LT_TRAIN_DATASETS_HH

@@ -1,0 +1,46 @@
+#include "loss.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lt {
+namespace train {
+
+LossResult
+softmaxCrossEntropy(const Matrix &logits, int label)
+{
+    if (logits.rows() != 1)
+        lt_panic("softmaxCrossEntropy expects [1, C] logits");
+    const size_t classes = logits.cols();
+    if (label < 0 || static_cast<size_t>(label) >= classes)
+        lt_panic("label ", label, " outside [0, ", classes, ")");
+
+    double mx = logits(0, 0);
+    size_t best = 0;
+    for (size_t c = 1; c < classes; ++c) {
+        if (logits(0, c) > mx) {
+            mx = logits(0, c);
+            best = c;
+        }
+    }
+    double denom = 0.0;
+    for (size_t c = 0; c < classes; ++c)
+        denom += std::exp(logits(0, c) - mx);
+
+    LossResult result;
+    result.dlogits = Matrix(1, classes);
+    double log_denom = std::log(denom);
+    for (size_t c = 0; c < classes; ++c) {
+        double p = std::exp(logits(0, c) - mx) / denom;
+        result.dlogits(0, c) =
+            p - (static_cast<size_t>(label) == c ? 1.0 : 0.0);
+    }
+    result.loss = -(logits(0, static_cast<size_t>(label)) - mx -
+                    log_denom);
+    result.correct = best == static_cast<size_t>(label);
+    return result;
+}
+
+} // namespace train
+} // namespace lt

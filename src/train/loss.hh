@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Classification loss for the training stack.
+ */
+
+#ifndef LT_TRAIN_LOSS_HH
+#define LT_TRAIN_LOSS_HH
+
+#include "util/linalg.hh"
+
+namespace lt {
+namespace train {
+
+/** Loss value together with the gradient w.r.t. the logits. */
+struct LossResult
+{
+    double loss;
+    Matrix dlogits;  ///< [1, classes]
+    bool correct;    ///< argmax(logits) == label
+};
+
+/** Numerically stable softmax cross-entropy for one sample. */
+LossResult softmaxCrossEntropy(const Matrix &logits, int label);
+
+} // namespace train
+} // namespace lt
+
+#endif // LT_TRAIN_LOSS_HH

@@ -1,0 +1,80 @@
+#include "optimizer.hh"
+
+#include <cmath>
+
+namespace lt {
+namespace train {
+
+SgdOptimizer::SgdOptimizer(nn::TransformerClassifier &model, double lr,
+                           double momentum, double weight_decay)
+    : model_(model), lr_(lr), momentum_(momentum),
+      weight_decay_(weight_decay)
+{
+    model_.visitParams([this](Matrix &w, Matrix &g) {
+        slots_.push_back({&w, &g, Matrix(w.rows(), w.cols(), 0.0)});
+    });
+}
+
+void
+SgdOptimizer::step()
+{
+    for (auto &slot : slots_) {
+        auto &w = slot.w->data();
+        auto &g = slot.g->data();
+        auto &v = slot.velocity.data();
+        for (size_t i = 0; i < w.size(); ++i) {
+            double grad = g[i] + weight_decay_ * w[i];
+            v[i] = momentum_ * v[i] + grad;
+            w[i] -= lr_ * v[i];
+        }
+    }
+}
+
+void
+SgdOptimizer::zeroGrad()
+{
+    model_.zeroGrad();
+}
+
+AdamOptimizer::AdamOptimizer(nn::TransformerClassifier &model, double lr,
+                             double beta1, double beta2, double eps,
+                             double weight_decay)
+    : model_(model), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps),
+      weight_decay_(weight_decay)
+{
+    model_.visitParams([this](Matrix &w, Matrix &g) {
+        slots_.push_back({&w, &g, Matrix(w.rows(), w.cols(), 0.0),
+                          Matrix(w.rows(), w.cols(), 0.0)});
+    });
+}
+
+void
+AdamOptimizer::step()
+{
+    ++step_count_;
+    double bc1 = 1.0 - std::pow(beta1_, step_count_);
+    double bc2 = 1.0 - std::pow(beta2_, step_count_);
+    for (auto &slot : slots_) {
+        auto &w = slot.w->data();
+        auto &g = slot.g->data();
+        auto &m = slot.m.data();
+        auto &v = slot.v.data();
+        for (size_t i = 0; i < w.size(); ++i) {
+            double grad = g[i] + weight_decay_ * w[i];
+            m[i] = beta1_ * m[i] + (1.0 - beta1_) * grad;
+            v[i] = beta2_ * v[i] + (1.0 - beta2_) * grad * grad;
+            double mhat = m[i] / bc1;
+            double vhat = v[i] / bc2;
+            w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+        }
+    }
+}
+
+void
+AdamOptimizer::zeroGrad()
+{
+    model_.zeroGrad();
+}
+
+} // namespace train
+} // namespace lt

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Optimizers for the manual-backprop Transformer stack.
+ *
+ * Parameters are gathered once through the model's visitParams hook
+ * (the visitation order is deterministic), so per-parameter state
+ * (momentum, Adam moments) stays aligned across steps.
+ */
+
+#ifndef LT_TRAIN_OPTIMIZER_HH
+#define LT_TRAIN_OPTIMIZER_HH
+
+#include <vector>
+
+#include "nn/transformer.hh"
+#include "util/linalg.hh"
+
+namespace lt {
+namespace train {
+
+/** SGD with momentum and decoupled weight decay. */
+class SgdOptimizer
+{
+  public:
+    SgdOptimizer(nn::TransformerClassifier &model, double lr,
+                 double momentum = 0.9, double weight_decay = 0.0);
+
+    /** Apply one update from the accumulated gradients. */
+    void step();
+
+    /** Reset all gradients to zero. */
+    void zeroGrad();
+
+    double learningRate() const { return lr_; }
+    void setLearningRate(double lr) { lr_ = lr; }
+
+  private:
+    struct Slot
+    {
+        Matrix *w;
+        Matrix *g;
+        Matrix velocity;
+    };
+    nn::TransformerClassifier &model_;
+    std::vector<Slot> slots_;
+    double lr_;
+    double momentum_;
+    double weight_decay_;
+};
+
+/** Adam with bias correction. */
+class AdamOptimizer
+{
+  public:
+    AdamOptimizer(nn::TransformerClassifier &model, double lr,
+                  double beta1 = 0.9, double beta2 = 0.999,
+                  double eps = 1e-8, double weight_decay = 0.0);
+
+    void step();
+    void zeroGrad();
+
+    double learningRate() const { return lr_; }
+    void setLearningRate(double lr) { lr_ = lr; }
+
+  private:
+    struct Slot
+    {
+        Matrix *w;
+        Matrix *g;
+        Matrix m;
+        Matrix v;
+    };
+    nn::TransformerClassifier &model_;
+    std::vector<Slot> slots_;
+    double lr_;
+    double beta1_;
+    double beta2_;
+    double eps_;
+    double weight_decay_;
+    long step_count_ = 0;
+};
+
+} // namespace train
+} // namespace lt
+
+#endif // LT_TRAIN_OPTIMIZER_HH

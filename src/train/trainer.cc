@@ -1,0 +1,108 @@
+#include "trainer.hh"
+
+#include "train/loss.hh"
+#include "util/logging.hh"
+
+namespace lt {
+namespace train {
+
+Matrix
+NoisyTrainingBackend::gemm(const Matrix &a, const Matrix &b)
+{
+    stats_.record(a.rows(), a.cols(), b.cols());
+    Matrix out = a * b;
+    if (noise_std_ > 0.0) {
+        for (double &v : out.data())
+            v *= 1.0 + rng_.gaussian(0.0, noise_std_);
+    }
+    return out;
+}
+
+Trainer::Trainer(nn::TransformerClassifier &model,
+                 const TrainerConfig &cfg)
+    : model_(model), cfg_(cfg),
+      backend_(cfg.train_noise_std, cfg.seed ^ 0xabcdefULL),
+      optimizer_(model, cfg.lr, 0.9, 0.999, 1e-8, cfg.weight_decay)
+{
+}
+
+template <typename Sample, typename ForwardFn>
+EpochStats
+Trainer::trainImpl(const std::vector<Sample> &data, ForwardFn &&forward)
+{
+    nn::RunContext ctx{&backend_, cfg_.quant};
+    EpochStats last{0.0, 0.0};
+    for (size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+        double loss_sum = 0.0;
+        size_t correct = 0;
+        for (const auto &sample : data) {
+            optimizer_.zeroGrad();
+            Matrix logits = forward(sample, ctx);
+            LossResult lr = softmaxCrossEntropy(logits, sample.label);
+            loss_sum += lr.loss;
+            correct += lr.correct ? 1 : 0;
+            model_.backward(lr.dlogits);
+            optimizer_.step();
+        }
+        last.loss = loss_sum / static_cast<double>(data.size());
+        last.accuracy = static_cast<double>(correct) /
+                        static_cast<double>(data.size());
+        history_.push_back(last);
+        if (cfg_.verbose) {
+            inform("epoch ", epoch + 1, "/", cfg_.epochs, " loss ",
+                   last.loss, " acc ", last.accuracy);
+        }
+    }
+    return last;
+}
+
+EpochStats
+Trainer::trainVision(const std::vector<VisionSample> &data)
+{
+    return trainImpl(data, [this](const VisionSample &s,
+                                  nn::RunContext &ctx) {
+        return model_.forwardVision(s.patches, ctx);
+    });
+}
+
+EpochStats
+Trainer::trainSequence(const std::vector<SequenceSample> &data)
+{
+    return trainImpl(data, [this](const SequenceSample &s,
+                                  nn::RunContext &ctx) {
+        return model_.forwardSequence(s.tokens, ctx);
+    });
+}
+
+double
+Trainer::evaluateVision(nn::TransformerClassifier &model,
+                        const std::vector<VisionSample> &data,
+                        nn::RunContext &ctx)
+{
+    size_t correct = 0;
+    for (const auto &s : data) {
+        Matrix logits = model.forwardVision(s.patches, ctx);
+        size_t best = nn::argmaxRow(logits, 0);
+        correct += best == static_cast<size_t>(s.label) ? 1 : 0;
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(data.size());
+}
+
+double
+Trainer::evaluateSequence(nn::TransformerClassifier &model,
+                          const std::vector<SequenceSample> &data,
+                          nn::RunContext &ctx)
+{
+    size_t correct = 0;
+    for (const auto &s : data) {
+        Matrix logits = model.forwardSequence(s.tokens, ctx);
+        size_t best = nn::argmaxRow(logits, 0);
+        correct += best == static_cast<size_t>(s.label) ? 1 : 0;
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(data.size());
+}
+
+} // namespace train
+} // namespace lt

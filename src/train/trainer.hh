@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Noise-aware training loop (paper Section V-A: "Noise-aware training
+ * is applied with encoding and systematical noise injected").
+ *
+ * Training runs the forward pass with quantization and injected GEMM
+ * output noise (a cheap but representative stand-in for the full
+ * Eq. 9 path — dominated by the same multiplicative output term);
+ * gradients flow straight through (STE). Evaluation then runs the
+ * full noisy photonic backend, reproducing the paper's methodology
+ * for Fig. 14 / Fig. 15.
+ */
+
+#ifndef LT_TRAIN_TRAINER_HH
+#define LT_TRAIN_TRAINER_HH
+
+#include <vector>
+
+#include "nn/gemm_backend.hh"
+#include "nn/transformer.hh"
+#include "train/datasets.hh"
+#include "train/optimizer.hh"
+#include "util/rng.hh"
+
+namespace lt {
+namespace train {
+
+/**
+ * An exact GEMM with per-output multiplicative Gaussian noise — the
+ * training-time noise injection backend.
+ */
+class NoisyTrainingBackend : public nn::GemmBackend
+{
+  public:
+    NoisyTrainingBackend(double output_noise_std, uint64_t seed)
+        : noise_std_(output_noise_std), rng_(seed)
+    {
+    }
+
+    Matrix gemm(const Matrix &a, const Matrix &b) override;
+
+  private:
+    double noise_std_;
+    Rng rng_;
+};
+
+/** Hyper-parameters of a training run. */
+struct TrainerConfig
+{
+    size_t epochs = 30;
+    double lr = 2e-3;
+    double weight_decay = 1e-4;
+    double train_noise_std = 0.05;  ///< injected GEMM output noise
+    nn::QuantConfig quant = nn::QuantConfig::w8a8();
+    uint64_t seed = 7;
+    bool verbose = false;
+};
+
+/** Per-epoch training statistics. */
+struct EpochStats
+{
+    double loss;
+    double accuracy;
+};
+
+/** Trains and evaluates TransformerClassifier models. */
+class Trainer
+{
+  public:
+    Trainer(nn::TransformerClassifier &model, const TrainerConfig &cfg);
+
+    /** Train on a vision dataset; returns final-epoch stats. */
+    EpochStats trainVision(const std::vector<VisionSample> &data);
+
+    /** Train on a sequence dataset; returns final-epoch stats. */
+    EpochStats trainSequence(const std::vector<SequenceSample> &data);
+
+    /** Accuracy of the model on a dataset under a given context. */
+    static double evaluateVision(nn::TransformerClassifier &model,
+                                 const std::vector<VisionSample> &data,
+                                 nn::RunContext &ctx);
+    static double
+    evaluateSequence(nn::TransformerClassifier &model,
+                     const std::vector<SequenceSample> &data,
+                     nn::RunContext &ctx);
+
+    const std::vector<EpochStats> &history() const { return history_; }
+
+  private:
+    template <typename Sample, typename ForwardFn>
+    EpochStats trainImpl(const std::vector<Sample> &data,
+                         ForwardFn &&forward);
+
+    nn::TransformerClassifier &model_;
+    TrainerConfig cfg_;
+    NoisyTrainingBackend backend_;
+    AdamOptimizer optimizer_;
+    std::vector<EpochStats> history_;
+};
+
+} // namespace train
+} // namespace lt
+
+#endif // LT_TRAIN_TRAINER_HH

@@ -1,0 +1,48 @@
+#include "csv.hh"
+
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace lt {
+
+CsvWriter::CsvWriter(const std::string &path,
+                     std::vector<std::string> header)
+    : out_(path), arity_(header.size())
+{
+    if (!out_) {
+        warn("CsvWriter: cannot open ", path, "; rows will be dropped");
+        return;
+    }
+    writeRow(header);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    if (!out_)
+        return;
+    if (cells.size() != arity_)
+        lt_panic("CsvWriter row arity ", cells.size(), " != ", arity_);
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << cells[i];
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &values)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%g", v);
+        cells.emplace_back(buf);
+    }
+    writeRow(cells);
+}
+
+} // namespace lt

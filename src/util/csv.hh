@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Tiny CSV file writer so bench binaries can persist series for plotting.
+ */
+
+#ifndef LT_UTIL_CSV_HH
+#define LT_UTIL_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace lt {
+
+/** Append-only CSV writer; creates/truncates the file on construction. */
+class CsvWriter
+{
+  public:
+    /** Opens (truncates) path and writes the header row. */
+    CsvWriter(const std::string &path, std::vector<std::string> header);
+
+    /** Write one row of already-formatted cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Convenience: write a row of doubles with %g formatting. */
+    void writeRow(const std::vector<double> &values);
+
+    bool ok() const { return static_cast<bool>(out_); }
+
+  private:
+    std::ofstream out_;
+    size_t arity_;
+};
+
+} // namespace lt
+
+#endif // LT_UTIL_CSV_HH

@@ -1,0 +1,338 @@
+#include "linalg.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "logging.hh"
+
+namespace lt {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix
+Matrix::identity(size_t n)
+{
+    Matrix m(n, n, 0.0);
+    for (size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix t(cols_, rows_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            t(c, r) = (*this)(r, c);
+    return t;
+}
+
+Matrix
+Matrix::operator*(const Matrix &rhs) const
+{
+    if (cols_ != rhs.rows_)
+        lt_panic("matrix multiply shape mismatch: ", rows_, "x", cols_,
+                 " * ", rhs.rows_, "x", rhs.cols_);
+    Matrix out(rows_, rhs.cols_, 0.0);
+    for (size_t r = 0; r < rows_; ++r) {
+        for (size_t k = 0; k < cols_; ++k) {
+            double a = (*this)(r, k);
+            if (a == 0.0)
+                continue;
+            for (size_t c = 0; c < rhs.cols_; ++c)
+                out(r, c) += a * rhs(k, c);
+        }
+    }
+    return out;
+}
+
+double
+Matrix::maxAbsDiff(const Matrix &other) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        lt_panic("maxAbsDiff shape mismatch");
+    double m = 0.0;
+    for (size_t i = 0; i < data_.size(); ++i)
+        m = std::max(m, std::abs(data_[i] - other.data_[i]));
+    return m;
+}
+
+double
+Matrix::frobeniusNorm() const
+{
+    double s = 0.0;
+    for (double x : data_)
+        s += x * x;
+    return std::sqrt(s);
+}
+
+SvdResult
+jacobiSvd(const Matrix &a_in, double tol)
+{
+    // One-sided Jacobi on columns: rotate column pairs of G (initially A)
+    // until all pairs are orthogonal; then singular values are column
+    // norms, U the normalized columns, V the accumulated rotations.
+    bool transposed = a_in.rows() < a_in.cols();
+    Matrix a = transposed ? a_in.transposed() : a_in;
+    const size_t m = a.rows();
+    const size_t n = a.cols();
+
+    Matrix g = a;
+    Matrix v = Matrix::identity(n);
+
+    const int max_sweeps = 60;
+    int sweeps = 0;
+    for (; sweeps < max_sweeps; ++sweeps) {
+        double off = 0.0;
+        for (size_t p = 0; p + 1 < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                double alpha = 0.0, beta = 0.0, gamma = 0.0;
+                for (size_t i = 0; i < m; ++i) {
+                    alpha += g(i, p) * g(i, p);
+                    beta += g(i, q) * g(i, q);
+                    gamma += g(i, p) * g(i, q);
+                }
+                off = std::max(off, std::abs(gamma) /
+                               std::max(std::sqrt(alpha * beta), 1e-300));
+                if (std::abs(gamma) <= tol * std::sqrt(alpha * beta))
+                    continue;
+                double zeta = (beta - alpha) / (2.0 * gamma);
+                double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                           (std::abs(zeta) +
+                            std::sqrt(1.0 + zeta * zeta));
+                double cs = 1.0 / std::sqrt(1.0 + t * t);
+                double sn = cs * t;
+                for (size_t i = 0; i < m; ++i) {
+                    double gp = g(i, p), gq = g(i, q);
+                    g(i, p) = cs * gp - sn * gq;
+                    g(i, q) = sn * gp + cs * gq;
+                }
+                for (size_t i = 0; i < n; ++i) {
+                    double vp = v(i, p), vq = v(i, q);
+                    v(i, p) = cs * vp - sn * vq;
+                    v(i, q) = sn * vp + cs * vq;
+                }
+            }
+        }
+        if (off < tol)
+            break;
+    }
+
+    // Column norms -> singular values; normalize to get U columns.
+    std::vector<double> s(n);
+    Matrix u(m, m, 0.0);
+    for (size_t j = 0; j < n; ++j) {
+        double norm = 0.0;
+        for (size_t i = 0; i < m; ++i)
+            norm += g(i, j) * g(i, j);
+        norm = std::sqrt(norm);
+        s[j] = norm;
+        if (norm > 0.0)
+            for (size_t i = 0; i < m; ++i)
+                u(i, j) = g(i, j) / norm;
+    }
+
+    // Sort singular values descending, permuting U and V columns.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](size_t i, size_t j) { return s[i] > s[j]; });
+    std::vector<double> s_sorted(n);
+    Matrix u_sorted(m, m, 0.0), v_sorted(n, n, 0.0);
+    for (size_t j = 0; j < n; ++j) {
+        s_sorted[j] = s[order[j]];
+        for (size_t i = 0; i < m; ++i)
+            u_sorted(i, j) = u(i, order[j]);
+        for (size_t i = 0; i < n; ++i)
+            v_sorted(i, j) = v(i, order[j]);
+    }
+
+    // Complete U to a full orthogonal basis for rank-deficient / m > n
+    // cases via Gram-Schmidt against existing columns.
+    for (size_t j = n; j < m; ++j) {
+        // Seed with a canonical basis vector not yet spanned.
+        for (size_t seed = 0; seed < m; ++seed) {
+            std::vector<double> cand(m, 0.0);
+            cand[seed] = 1.0;
+            for (size_t k = 0; k < j; ++k) {
+                double dot = 0.0;
+                for (size_t i = 0; i < m; ++i)
+                    dot += cand[i] * u_sorted(i, k);
+                for (size_t i = 0; i < m; ++i)
+                    cand[i] -= dot * u_sorted(i, k);
+            }
+            double norm = 0.0;
+            for (double x : cand)
+                norm += x * x;
+            norm = std::sqrt(norm);
+            if (norm > 1e-8) {
+                for (size_t i = 0; i < m; ++i)
+                    u_sorted(i, j) = cand[i] / norm;
+                break;
+            }
+        }
+    }
+
+    SvdResult result;
+    result.sweeps = sweeps + 1;
+    if (!transposed) {
+        result.u = std::move(u_sorted);
+        result.v = std::move(v_sorted);
+    } else {
+        result.u = std::move(v_sorted);
+        result.v = std::move(u_sorted);
+    }
+    result.s = std::move(s_sorted);
+    return result;
+}
+
+namespace {
+
+/** Apply a Givens rotation on rows (r, r+1) from the left: G * M. */
+void
+applyGivensLeft(Matrix &m, size_t r, double theta)
+{
+    double cs = std::cos(theta), sn = std::sin(theta);
+    for (size_t c = 0; c < m.cols(); ++c) {
+        double a = m(r, c), b = m(r + 1, c);
+        m(r, c) = cs * a - sn * b;
+        m(r + 1, c) = sn * a + cs * b;
+    }
+}
+
+/** Apply a Givens rotation on columns (c, c+1) from the right: M * G. */
+void
+applyGivensRight(Matrix &m, size_t c, double theta)
+{
+    double cs = std::cos(theta), sn = std::sin(theta);
+    for (size_t r = 0; r < m.rows(); ++r) {
+        double a = m(r, c), b = m(r, c + 1);
+        m(r, c) = cs * a + sn * b;
+        m(r, c + 1) = -sn * a + cs * b;
+    }
+}
+
+} // namespace
+
+MeshProgram
+clementsDecompose(const Matrix &q_in, double tol)
+{
+    const size_t n = q_in.rows();
+    if (q_in.cols() != n)
+        lt_panic("clementsDecompose requires a square matrix");
+    {
+        Matrix qtq = q_in.transposed() * q_in;
+        if (qtq.maxAbsDiff(Matrix::identity(n)) > 1e-6)
+            lt_fatal("clementsDecompose: input is not orthogonal");
+    }
+
+    // Clements scheme: alternately null sub-diagonal elements using
+    // right-multiplications (even diagonals) and left-multiplications
+    // (odd diagonals), leaving a diagonal of +-1.
+    Matrix q = q_in;
+    MeshProgram program;
+    program.n = n;
+
+    struct LeftRotation
+    {
+        size_t row;
+        size_t column;
+        double theta;
+    };
+    std::vector<LeftRotation> left_rotations;
+
+    for (size_t d = 0; d + 1 < n; ++d) {
+        if (d % 2 == 0) {
+            // Null elements of anti-diagonal d via column rotations.
+            for (size_t k = 0; k <= d; ++k) {
+                size_t row = n - 1 - k;
+                size_t col = d - k;
+                double a = q(row, col), b = q(row, col + 1);
+                if (std::abs(a) < tol)
+                    continue;
+                double theta = std::atan2(-a, b);
+                applyGivensRight(q, col, theta);
+                program.phases.push_back(
+                    {col, d, theta, 0.0});
+            }
+        } else {
+            // Null via row rotations (collected; inverted at the end).
+            for (size_t k = 0; k <= d; ++k) {
+                size_t row = n - 1 - d + k;
+                size_t col = k;
+                double a = q(row, col), b = q(row - 1, col);
+                if (std::abs(a) < tol)
+                    continue;
+                double theta = std::atan2(-a, b);
+                applyGivensLeft(q, row - 1, theta);
+                left_rotations.push_back({row - 1, d, theta});
+            }
+        }
+    }
+
+    // q is now diagonal with entries +-1 (orthogonality preserved).
+    program.out_phases.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        double di = q(i, i);
+        if (std::abs(std::abs(di) - 1.0) > 1e-5)
+            lt_panic("clements residual diagonal |", di, "| != 1 at ", i);
+        program.out_phases[i] = di < 0.0 ? M_PI : 0.0;
+    }
+
+    // Left rotations appear as D = L_k ... L_1 Q R_1 ... R_m, so
+    // Q = L^T ... D ... R^T; record them (negated) after the rights with
+    // distinct columns so meshReconstruct can replay in order.
+    for (auto it = left_rotations.rbegin(); it != left_rotations.rend();
+         ++it) {
+        program.phases.push_back(
+            {it->row, it->column + n, -it->theta, 0.0});
+    }
+    return program;
+}
+
+Matrix
+meshReconstruct(const MeshProgram &program)
+{
+    const size_t n = program.n;
+    // Split the recorded phases back into right-applied and left-applied
+    // groups using the column >= n marker set by clementsDecompose.
+    Matrix d = Matrix::identity(n);
+    for (size_t i = 0; i < n; ++i)
+        d(i, i) = std::cos(program.out_phases[i]); // +-1
+
+    // Q = (prod of left rotations, transposed order) * D *
+    //     (prod of right rotations, reverse order, transposed)
+    Matrix q = d;
+    for (auto it = program.phases.rbegin(); it != program.phases.rend();
+         ++it) {
+        if (it->column < n) {
+            // Right rotation R(theta): Q <- Q * R^T reverses nulling.
+            applyGivensRight(q, it->row, -it->theta);
+        }
+    }
+    for (const auto &p : program.phases) {
+        if (p.column >= n) {
+            // Stored negated; apply on the left in recorded order.
+            applyGivensLeft(q, p.row, p.theta);
+        }
+    }
+    return q;
+}
+
+MziMapping
+mziOperandMapping(const Matrix &w)
+{
+    SvdResult svd = jacobiSvd(w);
+    MziMapping mapping;
+    mapping.sigma = svd.s;
+    mapping.u_program = clementsDecompose(svd.u);
+    mapping.v_program = clementsDecompose(svd.v);
+    return mapping;
+}
+
+} // namespace lt

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Small dense linear algebra used by the MZI-baseline operand mapping.
+ *
+ * The MZI-array baseline (Shen et al. [47]) programs a weight matrix W by
+ * computing W = U S V^T and decomposing the unitaries U, V into per-MZI
+ * phase settings. This module provides exactly that pipeline for real
+ * matrices: a one-sided Jacobi SVD and a Clements-style Givens-rotation
+ * decomposition. bench_svd_mapping_cost wall-clocks it to reproduce the
+ * paper's "~1.5 ms for a 12x12 matrix" mapping-latency claim.
+ */
+
+#ifndef LT_UTIL_LINALG_HH
+#define LT_UTIL_LINALG_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace lt {
+
+/** Minimal row-major dense matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+    static Matrix identity(size_t n);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    double &operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    double operator()(size_t r, size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    Matrix transposed() const;
+    Matrix operator*(const Matrix &rhs) const;
+
+    /** Max absolute elementwise difference to another matrix. */
+    double maxAbsDiff(const Matrix &other) const;
+
+    /** Frobenius norm. */
+    double frobeniusNorm() const;
+
+    const std::vector<double> &data() const { return data_; }
+    std::vector<double> &data() { return data_; }
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/** Result of a singular value decomposition A = U * diag(s) * V^T. */
+struct SvdResult
+{
+    Matrix u;               ///< rows x rows orthogonal
+    std::vector<double> s;  ///< min(rows, cols) singular values, desc.
+    Matrix v;               ///< cols x cols orthogonal
+    int sweeps = 0;         ///< Jacobi sweeps used until convergence
+};
+
+/**
+ * One-sided Jacobi SVD for a real matrix (rows >= cols is handled by
+ * internal transposition). Accurate and simple; cubic per sweep.
+ *
+ * @param a input matrix
+ * @param tol convergence threshold on off-diagonal orthogonality
+ */
+SvdResult jacobiSvd(const Matrix &a, double tol = 1e-12);
+
+/**
+ * One planar (Givens) rotation in a rectangular Clements mesh: acts on
+ * adjacent channels (row, row+1) with mixing angle theta and external
+ * phase phi (phi is 0 or pi for real matrices; kept for fidelity to the
+ * MZI phase-programming interface).
+ */
+struct MziPhase
+{
+    size_t row;    ///< top channel index of the 2x2 block
+    size_t column; ///< mesh column (temporal order)
+    double theta;  ///< internal MZI phase (coupling angle)
+    double phi;    ///< external phase shifter setting
+};
+
+/** Full phase program for one unitary of an N x N Clements mesh. */
+struct MeshProgram
+{
+    size_t n = 0;
+    std::vector<MziPhase> phases;   ///< N(N-1)/2 rotations
+    std::vector<double> out_phases; ///< residual diagonal (+-1 -> 0/pi)
+};
+
+/**
+ * Decompose a real orthogonal matrix into a Clements rectangular mesh of
+ * Givens rotations: Q = D * prod(rotations). Returns the phase program an
+ * MZI mesh would be loaded with.
+ *
+ * @param q real orthogonal matrix (checked to tolerance)
+ */
+MeshProgram clementsDecompose(const Matrix &q, double tol = 1e-8);
+
+/** Rebuild the orthogonal matrix from a mesh program (for testing). */
+Matrix meshReconstruct(const MeshProgram &program);
+
+/**
+ * The complete MZI operand-mapping pipeline the paper describes:
+ * SVD + two mesh decompositions. Returns programs for U and V and the
+ * diagonal; used by the MZI baseline latency model and wall-clocked by
+ * bench_svd_mapping_cost.
+ */
+struct MziMapping
+{
+    MeshProgram u_program;
+    MeshProgram v_program;
+    std::vector<double> sigma;
+};
+
+MziMapping mziOperandMapping(const Matrix &w);
+
+} // namespace lt
+
+#endif // LT_UTIL_LINALG_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Uniform symmetric quantization helpers shared by the photonic encoding
+ * path (DAC-driven MZM levels) and the NN quantization stack.
+ */
+
+#ifndef LT_UTIL_QUANTIZE_HH
+#define LT_UTIL_QUANTIZE_HH
+
+#include <algorithm>
+#include <cmath>
+
+namespace lt {
+
+/**
+ * Quantize x in [-1, 1] to a symmetric b-bit grid (2^b - 1 levels, zero
+ * included), returning the dequantized value. Values outside [-1, 1]
+ * are clipped, matching DAC full-scale behaviour.
+ */
+inline double
+quantizeSymmetricUnit(double x, int bits)
+{
+    if (bits <= 0)
+        return x;
+    double clipped = std::clamp(x, -1.0, 1.0);
+    // Symmetric signed grid: levels in [-qmax, qmax].
+    double qmax = static_cast<double>((1 << (bits - 1)) - 1);
+    if (qmax < 1.0)
+        qmax = 1.0;
+    return std::round(clipped * qmax) / qmax;
+}
+
+/**
+ * Quantize an arbitrary-range value given a positive scale so that
+ * x/scale is mapped onto the b-bit unit grid.
+ */
+inline double
+quantizeSymmetric(double x, double scale, int bits)
+{
+    if (scale <= 0.0)
+        return 0.0;
+    return quantizeSymmetricUnit(x / scale, bits) * scale;
+}
+
+/** Number of representable magnitudes on the b-bit symmetric grid. */
+inline int
+quantLevels(int bits)
+{
+    return (1 << (bits - 1)) - 1;
+}
+
+} // namespace lt
+
+#endif // LT_UTIL_QUANTIZE_HH

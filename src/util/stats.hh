@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Streaming statistics accumulators used across simulators and benches.
+ */
+
+#ifndef LT_UTIL_STATS_HH
+#define LT_UTIL_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace lt {
+
+/**
+ * Welford-style running mean/variance accumulator with min/max tracking.
+ * Numerically stable for long Monte-Carlo runs.
+ */
+class RunningStats
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance (divides by n). */
+    double
+    variance() const
+    {
+        return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+    }
+
+    /** Sample variance (divides by n-1). */
+    double
+    sampleVariance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    void
+    merge(const RunningStats &other)
+    {
+        if (other.n_ == 0)
+            return;
+        if (n_ == 0) {
+            *this = other;
+            return;
+        }
+        double total = static_cast<double>(n_ + other.n_);
+        double delta = other.mean_ - mean_;
+        m2_ += other.m2_ + delta * delta *
+               (static_cast<double>(n_) * static_cast<double>(other.n_)) /
+               total;
+        mean_ += delta * static_cast<double>(other.n_) / total;
+        n_ += other.n_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Reservoir of samples with percentile queries. Stores everything; fine
+ * for the sample counts used in this project's experiments.
+ */
+class SampleSet
+{
+  public:
+    void add(double x) { samples_.push_back(x); }
+    size_t count() const { return samples_.size(); }
+
+    double
+    mean() const
+    {
+        if (samples_.empty())
+            return 0.0;
+        double s = 0.0;
+        for (double x : samples_)
+            s += x;
+        return s / static_cast<double>(samples_.size());
+    }
+
+    /** q in [0, 1]; linear interpolation between order statistics. */
+    double
+    percentile(double q) const
+    {
+        if (samples_.empty())
+            return 0.0;
+        std::vector<double> sorted = samples_;
+        std::sort(sorted.begin(), sorted.end());
+        double pos = q * static_cast<double>(sorted.size() - 1);
+        size_t lo = static_cast<size_t>(pos);
+        size_t hi = std::min(lo + 1, sorted.size() - 1);
+        double frac = pos - static_cast<double>(lo);
+        return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+    }
+
+    double median() const { return percentile(0.5); }
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+};
+
+/** Relative error |a - b| / max(|b|, eps). */
+inline double
+relativeError(double a, double b, double eps = 1e-12)
+{
+    return std::abs(a - b) / std::max(std::abs(b), eps);
+}
+
+} // namespace lt
+
+#endif // LT_UTIL_STATS_HH

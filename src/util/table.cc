@@ -1,0 +1,95 @@
+#include "table.hh"
+
+#include <algorithm>
+
+#include "logging.hh"
+
+namespace lt {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        lt_panic("Table requires at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        lt_panic("Table row arity ", cells.size(), " != header arity ",
+                 headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    separator_before_.push_back(rows_.size());
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto hline = [&]() {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            os << '+' << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << "| " << row[c]
+               << std::string(widths[c] - row[c].size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+
+    hline();
+    emit(headers_);
+    hline();
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        if (std::find(separator_before_.begin(), separator_before_.end(),
+                      r) != separator_before_.end() && r != 0) {
+            hline();
+        }
+        emit(rows_[r]);
+    }
+    hline();
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    constexpr size_t width = 72;
+    std::string padded = " " + title + " ";
+    size_t fill = padded.size() >= width ? 0 : width - padded.size();
+    os << '\n'
+       << std::string(fill / 2, '=') << padded
+       << std::string(fill - fill / 2, '=') << '\n';
+}
+
+} // namespace lt

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Console table and CSV emission for bench binaries.
+ *
+ * Every bench prints a human-readable aligned table mirroring the paper's
+ * table/figure, and can also dump the same rows as CSV for plotting.
+ */
+
+#ifndef LT_UTIL_TABLE_HH
+#define LT_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lt {
+
+/**
+ * A simple column-aligned text table. Cells are strings; numeric
+ * formatting is the caller's job (see units.hh helpers).
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal separator row before the next added row. */
+    void addSeparator();
+
+    /** Render with aligned columns to the stream. */
+    void print(std::ostream &os) const;
+
+    /** Render as RFC-4180-ish CSV (no quoting of embedded commas). */
+    void printCsv(std::ostream &os) const;
+
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<size_t> separator_before_;
+};
+
+/** Print a banner line with the experiment name, centred in '='. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace lt
+
+#endif // LT_UTIL_TABLE_HH

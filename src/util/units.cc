@@ -1,0 +1,96 @@
+#include "units.hh"
+
+#include <array>
+#include <cstdio>
+
+namespace lt {
+namespace units {
+
+namespace {
+
+struct Prefix
+{
+    double scale;
+    const char *name;
+};
+
+std::string
+fmtScaled(double value, const char *unit, int precision)
+{
+    static constexpr std::array<Prefix, 10> prefixes{{
+        {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+        {1.0, ""}, {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"},
+        {1e-12, "p"}, {1e-15, "f"},
+    }};
+    double mag = std::abs(value);
+    const Prefix *chosen = &prefixes.back();
+    if (mag == 0.0) {
+        chosen = &prefixes[4]; // plain unit for exact zero
+    } else {
+        for (const auto &p : prefixes) {
+            if (mag >= p.scale) {
+                chosen = &p;
+                break;
+            }
+        }
+        // Below femto: scientific notation.
+        if (mag < 1e-15) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.*e %s", precision, value,
+                          unit);
+            return buf;
+        }
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f %s%s", precision,
+                  value / chosen->scale, chosen->name, unit);
+    return buf;
+}
+
+} // namespace
+
+std::string
+fmtTime(double seconds, int precision)
+{
+    // Time reads better in ps/ns/us/ms; reuse the scaled formatter.
+    return fmtScaled(seconds, "s", precision);
+}
+
+std::string
+fmtPower(double watts, int precision)
+{
+    return fmtScaled(watts, "W", precision);
+}
+
+std::string
+fmtEnergy(double joules, int precision)
+{
+    return fmtScaled(joules, "J", precision);
+}
+
+std::string
+fmtAreaMm2(double m2, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f mm^2", precision, m2 * 1e6);
+    return buf;
+}
+
+std::string
+fmtFixed(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtSci(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+    return buf;
+}
+
+} // namespace units
+} // namespace lt

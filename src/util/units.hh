@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Physical unit helpers and human-readable formatting.
+ *
+ * Internal convention: the simulator carries SI base units everywhere —
+ * seconds, watts, joules, meters, square meters, hertz. The helpers here
+ * construct those values from the units the paper quotes (mW, ps, mm^2,
+ * GHz, dB, ...) and format them back for reports.
+ */
+
+#ifndef LT_UTIL_UNITS_HH
+#define LT_UTIL_UNITS_HH
+
+#include <cmath>
+#include <string>
+
+namespace lt {
+namespace units {
+
+// --- construction helpers (value in quoted unit -> SI) ---------------
+constexpr double pico = 1e-12;
+constexpr double nano = 1e-9;
+constexpr double micro = 1e-6;
+constexpr double milli = 1e-3;
+constexpr double kilo = 1e3;
+constexpr double mega = 1e6;
+constexpr double giga = 1e9;
+constexpr double tera = 1e12;
+
+constexpr double ps(double v) { return v * pico; }
+constexpr double ns(double v) { return v * nano; }
+constexpr double us(double v) { return v * micro; }
+constexpr double ms(double v) { return v * milli; }
+
+constexpr double mW(double v) { return v * milli; }
+constexpr double uW(double v) { return v * micro; }
+
+constexpr double pJ(double v) { return v * pico; }
+constexpr double nJ(double v) { return v * nano; }
+constexpr double mJ(double v) { return v * milli; }
+constexpr double fJ(double v) { return v * 1e-15; }
+
+constexpr double GHz(double v) { return v * giga; }
+constexpr double MHz(double v) { return v * mega; }
+constexpr double THz(double v) { return v * tera; }
+
+constexpr double nm(double v) { return v * nano; }
+constexpr double um(double v) { return v * micro; }
+constexpr double mm(double v) { return v * milli; }
+
+constexpr double um2(double v) { return v * 1e-12; }  // -> m^2
+constexpr double mm2(double v) { return v * 1e-6; }   // -> m^2
+
+constexpr double KiB(double v) { return v * 1024.0; }
+constexpr double MiB(double v) { return v * 1024.0 * 1024.0; }
+
+/** Speed of light in vacuum [m/s]. */
+constexpr double c0 = 299792458.0;
+
+// --- dB helpers -------------------------------------------------------
+/** Convert a dB power ratio to a linear ratio ( >= 0 dB -> >= 1 ). */
+inline double dbToLinear(double db) { return std::pow(10.0, db / 10.0); }
+
+/** Convert a linear power ratio to dB. */
+inline double linearToDb(double lin) { return 10.0 * std::log10(lin); }
+
+/** Convert dBm to watts. */
+inline double dbmToWatt(double dbm)
+{
+    return 1e-3 * std::pow(10.0, dbm / 10.0);
+}
+
+/** Convert watts to dBm. */
+inline double wattToDbm(double w) { return 10.0 * std::log10(w / 1e-3); }
+
+// --- formatting back to report units ---------------------------------
+/** Format seconds with an auto-selected SI prefix (e.g. "47.0 ps"). */
+std::string fmtTime(double seconds, int precision = 3);
+
+/** Format watts with an auto-selected SI prefix. */
+std::string fmtPower(double watts, int precision = 3);
+
+/** Format joules with an auto-selected SI prefix. */
+std::string fmtEnergy(double joules, int precision = 3);
+
+/** Format m^2 as mm^2 (the paper's unit for chip area). */
+std::string fmtAreaMm2(double m2, int precision = 2);
+
+/** Format a raw double with fixed precision. */
+std::string fmtFixed(double v, int precision = 3);
+
+/** Format a double in scientific notation like the paper (1.94e-2). */
+std::string fmtSci(double v, int precision = 2);
+
+} // namespace units
+} // namespace lt
+
+#endif // LT_UTIL_UNITS_HH

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Tests for the accelerator architecture model: Table IV / Fig. 7
+ * areas, Fig. 8 powers, Fig. 9 scaling, Table V latencies, Eq. 11
+ * energy invariants, and the Fig. 12 ablation ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/chip_model.hh"
+#include "arch/converters.hh"
+#include "arch/performance_model.hh"
+#include "nn/model_zoo.hh"
+#include "nn/workload.hh"
+
+namespace {
+
+using namespace lt;
+using namespace lt::arch;
+
+// ---- converters --------------------------------------------------------
+
+TEST(Converters, PowerScaling)
+{
+    ConverterModel dac = dacModel();
+    // Reference point reproduces Table III exactly.
+    EXPECT_NEAR(dac.powerW(8, 14e9), 0.05, 1e-12);
+    // Frequency scaling is linear, bit scaling is 2^db.
+    EXPECT_NEAR(dac.powerW(8, 7e9), 0.025, 1e-12);
+    EXPECT_NEAR(dac.powerW(4, 14e9), 0.05 / 16.0, 1e-12);
+    // Energy per conversion is frequency independent.
+    EXPECT_NEAR(dac.energyPerConversionJ(8), 0.05 / 14e9, 1e-18);
+    EXPECT_NEAR(dac.energyPerConversionJ(4), 0.05 / 14e9 / 16.0, 1e-18);
+}
+
+TEST(Converters, AdcReferencePoint)
+{
+    ConverterModel adc = adcModel();
+    EXPECT_NEAR(adc.powerW(8, 10e9), 0.0148, 1e-12);
+    EXPECT_NEAR(adc.areaM2() * 1e12, 2850.0, 1e-6);
+}
+
+// ---- Table IV / Fig. 7 area -------------------------------------------
+
+TEST(ChipArea, LtBaseMatchesTableIV)
+{
+    ChipModel chip(ArchConfig::ltBase());
+    double mm2 = chip.area().total() * 1e6;
+    EXPECT_NEAR(mm2, 60.3, 1.5); // paper: 60.3 mm^2
+}
+
+TEST(ChipArea, LtLargeMatchesTableIV)
+{
+    ChipModel chip(ArchConfig::ltLarge());
+    double mm2 = chip.area().total() * 1e6;
+    EXPECT_NEAR(mm2, 112.82, 2.5); // paper: 112.82 mm^2
+}
+
+TEST(ChipArea, Fig7ShareStructure)
+{
+    // "the photonic core, memory, and DAC contribute the largest
+    // portion of the area, with around 20%, 25%, and 25%".
+    for (const auto &cfg :
+         {ArchConfig::ltBase(), ArchConfig::ltLarge()}) {
+        ChipModel chip(cfg);
+        AreaBreakdown a = chip.area();
+        double total = a.total();
+        EXPECT_NEAR(a.photonic_core / total, 0.20, 0.05) << cfg.name;
+        EXPECT_NEAR(a.memory / total, 0.25, 0.05) << cfg.name;
+        EXPECT_NEAR(a.dac / total, 0.25, 0.05) << cfg.name;
+    }
+}
+
+// ---- Fig. 8 power ------------------------------------------------------
+
+TEST(ChipPower, LtBase4BitMatchesFig8)
+{
+    ChipModel chip(ArchConfig::ltBase());
+    EXPECT_NEAR(chip.power(4).total(), 14.75, 1.5);
+    EXPECT_NEAR(chip.laserPowerW(4), 0.77, 0.15);
+}
+
+TEST(ChipPower, LtBase8BitMatchesFig8)
+{
+    ChipModel chip(ArchConfig::ltBase());
+    PowerBreakdown p = chip.power(8);
+    EXPECT_NEAR(p.total(), 50.94, 4.0);
+    EXPECT_NEAR(p.laser, 12.3, 1.5);
+    // "high-bit DACs account for over 50% of the overall power".
+    EXPECT_GT(p.dac / p.total(), 0.45);
+    // "8-bit LT-B consumes more than three times the power of 4-bit".
+    EXPECT_GT(p.total() / chip.power(4).total(), 3.0);
+}
+
+// ---- Fig. 9 scaling ----------------------------------------------------
+
+struct Fig9Point
+{
+    size_t n;
+    double area_mm2;
+    double power_w;
+    double latency_ps;
+};
+
+class Fig9Test : public ::testing::TestWithParam<Fig9Point>
+{
+};
+
+TEST_P(Fig9Test, SingleCoreSweepMatchesPaper)
+{
+    Fig9Point pt = GetParam();
+    ChipModel chip(ArchConfig::singleCore(pt.n));
+    EXPECT_NEAR(chip.area(true).total() * 1e6, pt.area_mm2,
+                0.1 * pt.area_mm2 + 0.3);
+    EXPECT_NEAR(chip.power(4).total(), pt.power_w,
+                0.2 * pt.power_w + 0.2);
+    // The paper's own latency series is only approximately linear
+    // (its slope rises past N = 24); allow 8% + 2 ps.
+    EXPECT_NEAR(chip.shotLatencyS() * 1e12, pt.latency_ps,
+                0.08 * pt.latency_ps + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperPoints, Fig9Test,
+    ::testing::Values(Fig9Point{8, 5.9, 1.1, 47.0},
+                      Fig9Point{12, 9.5, 2.4, 55.5},
+                      Fig9Point{14, 11.9, 3.3, 59.7},
+                      Fig9Point{16, 14.6, 4.3, 63.9},
+                      Fig9Point{18, 17.6, 5.4, 68.2},
+                      Fig9Point{20, 21.1, 6.6, 72.4},
+                      Fig9Point{22, 24.9, 8.1, 76.7},
+                      Fig9Point{24, 29.0, 9.6, 80.9},
+                      Fig9Point{32, 49.3, 17.0, 106.4}));
+
+TEST(Fig9, OpticsLatencyLinearEoOeFlat)
+{
+    // "optics latency increases approximately linearly with the size
+    // ... EO/OE latency remains almost the same."
+    ChipModel c8(ArchConfig::singleCore(8));
+    ChipModel c16(ArchConfig::singleCore(16));
+    ChipModel c32(ArchConfig::singleCore(32));
+    EXPECT_NEAR(c32.opticsLatencyS() / c8.opticsLatencyS(), 4.0, 1e-9);
+    EXPECT_DOUBLE_EQ(c8.eoOeLatencyS(), c32.eoOeLatencyS());
+    double slope1 =
+        (c16.opticsLatencyS() - c8.opticsLatencyS()) / 8.0;
+    double slope2 =
+        (c32.opticsLatencyS() - c16.opticsLatencyS()) / 16.0;
+    EXPECT_NEAR(slope1, slope2, 1e-15);
+}
+
+// ---- Fig. 10 efficiency scaling ----------------------------------------
+
+TEST(Fig10, MetricsScaleAsPaperDescribes)
+{
+    // TOPS, TOPS/W, TOPS/mm^2 increase with core size.
+    double prev_tops = 0.0, prev_tpw = 0.0, prev_tpmm = 0.0;
+    for (size_t n : {8, 16, 24, 32, 48}) {
+        ChipModel chip(ArchConfig::singleCore(n));
+        EXPECT_GT(chip.opticalTops(), prev_tops);
+        EXPECT_GT(chip.opticalTopsPerWatt(), prev_tpw) << n;
+        EXPECT_GT(chip.opticalTopsPerMm2(), prev_tpmm) << n;
+        prev_tops = chip.opticalTops();
+        prev_tpw = chip.opticalTopsPerWatt();
+        prev_tpmm = chip.opticalTopsPerMm2();
+    }
+}
+
+// ---- Table V latency ---------------------------------------------------
+
+TEST(LtLatency, DeitTinyMatchesTableVExactly)
+{
+    LtPerformanceModel model(ArchConfig::ltBase());
+    nn::Workload wl = nn::extractWorkload(nn::deitTiny());
+    // Paper Table V (4-bit, latency in ms): MHA 3.12e-3, FFN 1.04e-2,
+    // All 1.94e-2. Latency is precision-independent in the model.
+    EXPECT_NEAR(model.evaluateModule(wl, nn::Module::Mha)
+                    .latency.total() * 1e3,
+                3.12e-3, 0.02e-3);
+    EXPECT_NEAR(model.evaluateModule(wl, nn::Module::Ffn)
+                    .latency.total() * 1e3,
+                1.04e-2, 0.1e-3);
+    EXPECT_NEAR(model.evaluate(wl).latency.total() * 1e3, 1.94e-2,
+                0.25e-3);
+}
+
+TEST(LtLatency, DeitBaseMatchesTableV)
+{
+    LtPerformanceModel model(ArchConfig::ltBase());
+    nn::Workload wl = nn::extractWorkload(nn::deitBase());
+    // Paper: MHA 1.25e-2 ms, FFN 1.67e-1 ms, All 2.65e-1 ms.
+    EXPECT_NEAR(model.evaluateModule(wl, nn::Module::Mha)
+                    .latency.total() * 1e3,
+                1.25e-2, 0.1e-2);
+    EXPECT_NEAR(model.evaluateModule(wl, nn::Module::Ffn)
+                    .latency.total() * 1e3,
+                1.67e-1, 0.05e-1);
+    EXPECT_NEAR(model.evaluate(wl).latency.total() * 1e3, 2.65e-1,
+                0.1e-1);
+}
+
+TEST(LtEnergy, DeitTinyNearTableV)
+{
+    // 4-bit: MHA 0.04 mJ, FFN 0.22 mJ, All 0.38 mJ (we land within
+    // ~35% — see EXPERIMENTS.md for the per-number deltas).
+    LtPerformanceModel model(ArchConfig::ltBase());
+    nn::Workload wl = nn::extractWorkload(nn::deitTiny());
+    double mha =
+        model.evaluateModule(wl, nn::Module::Mha).energy.total() * 1e3;
+    double ffn =
+        model.evaluateModule(wl, nn::Module::Ffn).energy.total() * 1e3;
+    double all = model.evaluate(wl).energy.total() * 1e3;
+    EXPECT_NEAR(mha, 0.04, 0.02);
+    EXPECT_NEAR(ffn, 0.22, 0.06);
+    EXPECT_NEAR(all, 0.38, 0.10);
+}
+
+TEST(LtEnergy, EightBitCostsMoreThanFourBit)
+{
+    ArchConfig cfg4 = ArchConfig::ltBase();
+    ArchConfig cfg8 = ArchConfig::ltBase();
+    cfg8.precision_bits = 8;
+    nn::Workload wl = nn::extractWorkload(nn::deitTiny());
+    double e4 = LtPerformanceModel(cfg4).evaluate(wl).energy.total();
+    double e8 = LtPerformanceModel(cfg8).evaluate(wl).energy.total();
+    EXPECT_GT(e8 / e4, 2.0);
+}
+
+// ---- Eq. 11 energy invariants / Fig. 12 ablation -----------------------
+
+TEST(Ablation, ArchOptimizationsOnlyReduceEnergy)
+{
+    nn::Workload wl = nn::extractWorkload(nn::deitTiny());
+    double lt = LtPerformanceModel(ArchConfig::ltBase())
+                    .evaluate(wl).energy.total();
+    double crossbar = LtPerformanceModel(ArchConfig::ltCrossbarBase())
+                          .evaluate(wl).energy.total();
+    double broadcast = LtPerformanceModel(ArchConfig::ltBroadcastBase())
+                           .evaluate(wl).energy.total();
+    // Fig. 12 ordering: LT-B < LT-crossbar-B < LT-broadcast-B.
+    EXPECT_LT(lt, crossbar);
+    EXPECT_LT(crossbar, broadcast);
+}
+
+TEST(Ablation, IntercoreBroadcastReducesOp2Only)
+{
+    nn::GemmOp op{nn::GemmKind::Ffn1, 197, 192, 768, 12, false};
+    ArchConfig with = ArchConfig::ltBase();
+    ArchConfig without = ArchConfig::ltBase();
+    without.intercore_broadcast = false;
+    auto r_with = LtPerformanceModel(with).evaluateGemm(op);
+    auto r_without = LtPerformanceModel(without).evaluateGemm(op);
+    EXPECT_LT(r_with.energy.op2_dac, r_without.energy.op2_dac);
+    EXPECT_NEAR(r_without.energy.op2_dac / r_with.energy.op2_dac,
+                static_cast<double>(with.nt), 1e-9);
+    EXPECT_DOUBLE_EQ(r_with.energy.op1_dac, r_without.energy.op1_dac);
+}
+
+TEST(Ablation, TemporalAccumulationDividesAdcEnergy)
+{
+    nn::GemmOp op{nn::GemmKind::Ffn1, 197, 192, 768, 1, false};
+    ArchConfig d1 = ArchConfig::ltBase();
+    d1.temporal_accum_depth = 1;
+    ArchConfig d3 = ArchConfig::ltBase();
+    d3.temporal_accum_depth = 3;
+    auto r1 = LtPerformanceModel(d1).evaluateGemm(op);
+    auto r3 = LtPerformanceModel(d3).evaluateGemm(op);
+    EXPECT_NEAR(r1.energy.adc / r3.energy.adc, 3.0, 1e-9);
+}
+
+TEST(Eq11, EncodingEnergyScalesWithSharingFactor)
+{
+    // Crossbar sharing reduces op1 encodings by Nv (both-side total by
+    // 2NhNv/(Nh+Nv)) vs the per-DDot broadcast topology.
+    nn::GemmOp op{nn::GemmKind::QkT, 48, 48, 48, 1, true};
+    auto crossbar = LtPerformanceModel(ArchConfig::ltCrossbarBase())
+                        .evaluateGemm(op);
+    auto broadcast = LtPerformanceModel(ArchConfig::ltBroadcastBase())
+                         .evaluateGemm(op);
+    EXPECT_NEAR(broadcast.energy.op1_dac / crossbar.energy.op1_dac,
+                12.0, 1e-9); // Nv = 12
+}
+
+TEST(LtModel, ShotsMatchCeilTiling)
+{
+    LtPerformanceModel model(ArchConfig::ltBase());
+    nn::GemmOp op{nn::GemmKind::Ffn1, 197, 192, 768, 1, false};
+    EXPECT_EQ(model.shotsFor(op), 17u * 16u * 64u);
+}
+
+TEST(LtModel, EnergyAdditivity)
+{
+    LtPerformanceModel model(ArchConfig::ltBase());
+    nn::Workload wl = nn::extractWorkload(nn::deitTiny());
+    double whole = model.evaluate(wl).energy.total();
+    double parts = 0.0;
+    for (const auto &op : wl.ops)
+        parts += model.evaluateGemm(op).energy.total();
+    EXPECT_NEAR(whole, parts, 1e-12);
+}
+
+TEST(WavelengthScaling, MoreWavelengthsFewerShots)
+{
+    nn::GemmOp op{nn::GemmKind::Ffn1, 192, 192, 192, 1, false};
+    size_t prev = SIZE_MAX;
+    for (size_t nl : {8, 12, 16, 24, 48, 96}) {
+        ArchConfig cfg = ArchConfig::ltBase();
+        cfg.nlambda = nl;
+        size_t shots = LtPerformanceModel(cfg).shotsFor(op);
+        EXPECT_LT(shots, prev);
+        prev = shots;
+    }
+}
+
+} // namespace

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the DDot dot-product engine: ideal algebra, equivalence of
+ * the field-level simulation and the Eq. 9 closed form, noise-error
+ * statistics (Fig. 6), and dispersion robustness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/ddot.hh"
+#include "util/quantize.hh"
+#include "util/stats.hh"
+
+namespace {
+
+using namespace lt;
+using namespace lt::core;
+
+std::vector<double>
+randomUnitVector(size_t n, Rng &rng)
+{
+    return rng.uniformVector(n, -1.0, 1.0);
+}
+
+TEST(DDot, IdealDotIsExact)
+{
+    std::vector<double> x{0.5, -0.8, 0.7, -0.4, 0.2};
+    std::vector<double> y{1.0, 1.0, 1.0, 1.0, 1.0};
+    EXPECT_DOUBLE_EQ(DDot::idealDot(x, y), 0.2);
+}
+
+TEST(DDot, NoiselessOpticsEqualIdealDot)
+{
+    DDot ddot(12, NoiseConfig::ideal());
+    Rng rng(1);
+    for (int trial = 0; trial < 50; ++trial) {
+        auto x = randomUnitVector(12, rng);
+        auto y = randomUnitVector(12, rng);
+        double exact = DDot::idealDot(x, y);
+        EXPECT_NEAR(ddot.fieldSimDot(x, y, rng), exact, 1e-12);
+        EXPECT_NEAR(ddot.analyticNoisyDot(x, y, rng), exact, 1e-12);
+    }
+}
+
+TEST(DDot, FieldSimMatchesAnalyticWithNoise)
+{
+    // The transfer-matrix simulation and the paper's Eq. 9 closed form
+    // must agree to numerical precision when fed identical noise draws.
+    NoiseConfig cfg = NoiseConfig::paperDefault();
+    DDot ddot(12, cfg);
+    Rng base(99);
+    for (int trial = 0; trial < 100; ++trial) {
+        auto x = randomUnitVector(12, base);
+        auto y = randomUnitVector(12, base);
+        Rng rng_a(1000 + trial), rng_b(1000 + trial);
+        double field = ddot.fieldSimDot(x, y, rng_a);
+        double analytic = ddot.analyticNoisyDot(x, y, rng_b);
+        EXPECT_NEAR(field, analytic, 1e-10);
+    }
+}
+
+TEST(DDot, DispersionOnlyErrorIsTiny)
+{
+    // With encoding noise off, only dispersion perturbs the result;
+    // the design point is at a local optimum so the error is small.
+    NoiseConfig cfg = NoiseConfig::ideal();
+    cfg.enable_dispersion = true;
+    DDot ddot(25, cfg);
+    Rng rng(5);
+    RunningStats err;
+    for (int trial = 0; trial < 200; ++trial) {
+        auto x = randomUnitVector(25, rng);
+        auto y = randomUnitVector(25, rng);
+        double exact = DDot::idealDot(x, y);
+        double opt = ddot.fieldSimDot(x, y, rng);
+        err.add(std::abs(opt - exact));
+    }
+    // Paper: kappa deviation <= 1.8 %, phase error <= 0.28 degrees.
+    // The resulting dot-product error stays well below 1 % of the
+    // vector-norm scale (sqrt(25/3) ~ 2.9).
+    EXPECT_LT(err.mean(), 0.03);
+}
+
+TEST(DDot, MultiplicativeGainAtDesignPointIsUnity)
+{
+    NoiseConfig cfg = NoiseConfig::ideal();
+    DDot ddot(12, cfg);
+    for (size_t i = 0; i < 12; ++i) {
+        EXPECT_NEAR(ddot.multiplicativeGain(i), 1.0, 1e-12);
+        EXPECT_NEAR(ddot.additiveGain(i), 0.0, 1e-12);
+    }
+}
+
+TEST(DDot, GainsStayNearUnityUnderDispersion)
+{
+    NoiseConfig cfg = NoiseConfig::ideal();
+    cfg.enable_dispersion = true;
+    DDot ddot(25, cfg);
+    for (size_t i = 0; i < 25; ++i) {
+        // 2k*sqrt(1-k^2) and sin() are both at local optima: the gain
+        // deviates only quadratically in the dispersion perturbation.
+        EXPECT_NEAR(ddot.multiplicativeGain(i), 1.0, 1e-3);
+        EXPECT_LT(std::abs(ddot.additiveGain(i)), 0.02);
+    }
+}
+
+/**
+ * Fig. 6 reproduction at test scale: relative error of random
+ * length-12 dot products under the paper's noise settings
+ * (sigma_mag = 0.03, sigma_phase = 2 degrees), 4-bit and 8-bit.
+ * The paper reports 2.6 % (4-bit) and 3.4 % (8-bit).
+ */
+class Fig6ErrorTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Fig6ErrorTest, RelativeErrorInPaperBand)
+{
+    int bits = GetParam();
+    DDot ddot(12, NoiseConfig::paperDefault());
+    Rng rng(2024 + bits);
+    RunningStats rel_err;
+    for (int trial = 0; trial < 3000; ++trial) {
+        auto x = randomUnitVector(12, rng);
+        auto y = randomUnitVector(12, rng);
+        for (auto &v : x)
+            v = quantizeSymmetricUnit(v, bits);
+        for (auto &v : y)
+            v = quantizeSymmetricUnit(v, bits);
+        double exact = DDot::idealDot(x, y);
+        double noisy = ddot.analyticNoisyDot(x, y, rng);
+        // Normalize by the dot-product dynamic range (length 12).
+        rel_err.add(std::abs(noisy - exact) / 12.0 * 100.0);
+    }
+    // Mean normalized error lands in the paper's low-percent regime.
+    EXPECT_GT(rel_err.mean(), 0.1);
+    EXPECT_LT(rel_err.mean(), 6.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, Fig6ErrorTest, ::testing::Values(4, 8));
+
+TEST(DDot, ErrorGrowsMonotonicallyWithMagnitudeNoise)
+{
+    Rng data_rng(7);
+    auto x = randomUnitVector(12, data_rng);
+    auto y = randomUnitVector(12, data_rng);
+    double prev_mean = -1.0;
+    for (double sigma : {0.0, 0.02, 0.05, 0.1, 0.2}) {
+        NoiseConfig cfg = NoiseConfig::ideal();
+        cfg.enable_encoding_noise = true;
+        cfg.magnitude_noise_std = sigma;
+        cfg.phase_noise_std_deg = 0.0;
+        DDot ddot(12, cfg);
+        Rng rng(42);
+        RunningStats err;
+        for (int t = 0; t < 2000; ++t) {
+            double exact = DDot::idealDot(x, y);
+            err.add(std::abs(ddot.analyticNoisyDot(x, y, rng) - exact));
+        }
+        EXPECT_GT(err.mean() + 1e-12, prev_mean)
+            << "sigma=" << sigma;
+        prev_mean = err.mean();
+    }
+}
+
+TEST(DDot, ErrorGrowsMonotonicallyWithPhaseNoise)
+{
+    Rng data_rng(8);
+    auto x = randomUnitVector(12, data_rng);
+    auto y = randomUnitVector(12, data_rng);
+    double prev_mean = -1.0;
+    for (double deg : {0.0, 1.0, 3.0, 6.0, 12.0}) {
+        NoiseConfig cfg = NoiseConfig::ideal();
+        cfg.enable_encoding_noise = true;
+        cfg.magnitude_noise_std = 0.0;
+        cfg.phase_noise_std_deg = deg;
+        DDot ddot(12, cfg);
+        Rng rng(43);
+        RunningStats err;
+        for (int t = 0; t < 2000; ++t) {
+            double exact = DDot::idealDot(x, y);
+            err.add(std::abs(ddot.analyticNoisyDot(x, y, rng) - exact));
+        }
+        EXPECT_GT(err.mean() + 1e-12, prev_mean) << "deg=" << deg;
+        prev_mean = err.mean();
+    }
+}
+
+TEST(DDot, ScalesToFullFsrWavelengthCount)
+{
+    // The FSR allows up to 112 channels; dispersion robustness should
+    // hold across the whole window (Section V-B wavelength scaling).
+    NoiseConfig cfg = NoiseConfig::ideal();
+    cfg.enable_dispersion = true;
+    DDot ddot(112, cfg);
+    Rng rng(11);
+    auto x = randomUnitVector(112, rng);
+    auto y = randomUnitVector(112, rng);
+    double exact = DDot::idealDot(x, y);
+    double opt = ddot.fieldSimDot(x, y, rng);
+    // Error normalized by vector length stays below 1 %.
+    EXPECT_LT(std::abs(opt - exact) / 112.0, 0.01);
+}
+
+TEST(DDot, ShorterVectorsUseSubsetOfChannels)
+{
+    DDot ddot(12, NoiseConfig::ideal());
+    Rng rng(3);
+    std::vector<double> x{0.25, -0.5};
+    std::vector<double> y{0.5, 0.5};
+    EXPECT_NEAR(ddot.fieldSimDot(x, y, rng), 0.25 * 0.5 - 0.5 * 0.5,
+                1e-12);
+}
+
+TEST(DDot, LengthMismatchPanics)
+{
+    DDot ddot(12, NoiseConfig::ideal());
+    Rng rng(3);
+    std::vector<double> x{1.0, 2.0};
+    std::vector<double> y{1.0};
+    EXPECT_DEATH({ ddot.fieldSimDot(x, y, rng); }, "mismatch");
+}
+
+} // namespace

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Tests for the DPTC tensor core: one-shot MM correctness, tiled GEMM,
+ * beta normalization, encoding-cost algebra (Eq. 6), and capability
+ * descriptors (Table I).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dptc.hh"
+#include "core/encode_cost.hh"
+#include "core/ptc_interface.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace {
+
+using namespace lt;
+using namespace lt::core;
+
+Matrix
+randomMatrix(size_t rows, size_t cols, Rng &rng, double scale = 1.0)
+{
+    Matrix m(rows, cols);
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            m(r, c) = rng.uniform(-scale, scale);
+    return m;
+}
+
+Matrix
+referenceGemm(const Matrix &a, const Matrix &b)
+{
+    return a * b;
+}
+
+TEST(Dptc, IdealOneShotMatchesReference)
+{
+    DptcConfig cfg;
+    cfg.noise = NoiseConfig::ideal();
+    Dptc dptc(cfg);
+    Rng rng(1);
+    Matrix a = randomMatrix(12, 12, rng);
+    Matrix b = randomMatrix(12, 12, rng);
+    Matrix out = dptc.multiply(a, b, EvalMode::Ideal);
+    EXPECT_LT(out.maxAbsDiff(referenceGemm(a, b)), 1e-12);
+}
+
+TEST(Dptc, QuantizedOneShotCloseToReference)
+{
+    DptcConfig cfg;
+    cfg.input_bits = 8;
+    cfg.noise = NoiseConfig::ideal();
+    Dptc dptc(cfg);
+    Rng rng(2);
+    Matrix a = randomMatrix(12, 12, rng, 3.0);
+    Matrix b = randomMatrix(12, 12, rng, 0.5);
+    Matrix out = dptc.multiply(a, b, EvalMode::Quantized);
+    Matrix ref = referenceGemm(a, b);
+    // 8-bit quantization of both operands: error bounded by roughly
+    // 12 * (step_a * |b| + step_b * |a|) with steps 3/127 and 0.5/127.
+    EXPECT_LT(out.maxAbsDiff(ref), 12.0 * (3.0 * 0.5 / 127.0) * 2.5);
+}
+
+TEST(Dptc, FullRangeOperandsBothSigns)
+{
+    // The defining DPTC feature: both operands full-range in one shot.
+    DptcConfig cfg;
+    cfg.noise = NoiseConfig::ideal();
+    Dptc dptc(cfg);
+    Matrix a(2, 2, 0.0), b(2, 2, 0.0);
+    a(0, 0) = -0.9; a(0, 1) = 0.8; a(1, 0) = 0.7; a(1, 1) = -0.6;
+    b(0, 0) = 0.5; b(0, 1) = -0.4; b(1, 0) = -0.3; b(1, 1) = 0.2;
+    Matrix out = dptc.multiply(a, b, EvalMode::Ideal);
+    EXPECT_LT(out.maxAbsDiff(referenceGemm(a, b)), 1e-12);
+}
+
+class DptcGemmShapeTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>>
+{
+};
+
+TEST_P(DptcGemmShapeTest, TiledIdealGemmMatchesReference)
+{
+    auto [m, k, n] = GetParam();
+    DptcConfig cfg;
+    cfg.noise = NoiseConfig::ideal();
+    Dptc dptc(cfg);
+    Rng rng(m * 100 + k * 10 + n);
+    Matrix a = randomMatrix(m, k, rng);
+    Matrix b = randomMatrix(k, n, rng);
+    Matrix out = dptc.gemm(a, b, EvalMode::Ideal);
+    EXPECT_LT(out.maxAbsDiff(referenceGemm(a, b)), 1e-10)
+        << m << "x" << k << "x" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DptcGemmShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1),
+                      std::make_tuple(12, 12, 12),
+                      std::make_tuple(13, 12, 11),
+                      std::make_tuple(24, 24, 24),
+                      std::make_tuple(7, 25, 3),
+                      std::make_tuple(50, 17, 29),
+                      std::make_tuple(1, 64, 1),
+                      std::make_tuple(197, 16, 8)));
+
+TEST(Dptc, InvocationCountCeilTiling)
+{
+    DptcConfig cfg; // 12x12x12
+    Dptc dptc(cfg);
+    EXPECT_EQ(dptc.invocationsFor(12, 12, 12), 1u);
+    EXPECT_EQ(dptc.invocationsFor(13, 12, 12), 2u);
+    EXPECT_EQ(dptc.invocationsFor(24, 24, 24), 8u);
+    EXPECT_EQ(dptc.invocationsFor(1, 1, 1), 1u);
+    EXPECT_EQ(dptc.invocationsFor(197, 192, 64),
+              (197 / 12 + 1) * 192 / 12 * (64 / 12 + 1));
+}
+
+TEST(Dptc, NoisyGemmTracksReferenceWithinNoiseBudget)
+{
+    DptcConfig cfg;
+    cfg.input_bits = 8;
+    cfg.noise = NoiseConfig::paperDefault();
+    Dptc dptc(cfg);
+    Rng rng(10);
+    Matrix a = randomMatrix(24, 36, rng);
+    Matrix b = randomMatrix(36, 24, rng);
+    Matrix out = dptc.gemm(a, b, EvalMode::Noisy);
+    Matrix ref = referenceGemm(a, b);
+    // Relative error per output (normalized by the K=36 accumulation
+    // scale) should sit in the few-percent regime.
+    RunningStats rel;
+    for (size_t r = 0; r < out.rows(); ++r)
+        for (size_t c = 0; c < out.cols(); ++c)
+            rel.add(std::abs(out(r, c) - ref(r, c)) / 36.0);
+    EXPECT_LT(rel.mean(), 0.05);
+    EXPECT_GT(rel.mean(), 1e-5);
+}
+
+TEST(Dptc, ZeroMatrixYieldsZero)
+{
+    DptcConfig cfg;
+    cfg.noise = NoiseConfig::paperDefault();
+    Dptc dptc(cfg);
+    Matrix a(12, 12, 0.0);
+    Matrix b(12, 12, 0.0);
+    Matrix out = dptc.multiply(a, b, EvalMode::Noisy);
+    for (double v : out.data())
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Dptc, BetaNormalizationHandlesLargeOperands)
+{
+    // Values far outside [-1, 1] must round-trip through the beta
+    // scaling without blowing up.
+    DptcConfig cfg;
+    cfg.input_bits = 8;
+    cfg.noise = NoiseConfig::ideal();
+    Dptc dptc(cfg);
+    Rng rng(12);
+    Matrix a = randomMatrix(12, 12, rng, 100.0);
+    Matrix b = randomMatrix(12, 12, rng, 0.01);
+    Matrix out = dptc.multiply(a, b, EvalMode::Quantized);
+    Matrix ref = referenceGemm(a, b);
+    RunningStats rel;
+    for (size_t r = 0; r < out.rows(); ++r)
+        for (size_t c = 0; c < out.cols(); ++c)
+            rel.add(std::abs(out(r, c) - ref(r, c)) /
+                    (100.0 * 0.01 * 12.0));
+    EXPECT_LT(rel.mean(), 0.01);
+}
+
+TEST(Dptc, GemmInnerDimMismatchFatal)
+{
+    DptcConfig cfg;
+    Dptc dptc(cfg);
+    Matrix a(4, 5), b(6, 4);
+    EXPECT_EXIT({ dptc.gemm(a, b, EvalMode::Ideal); },
+                ::testing::ExitedWithCode(1), "mismatch");
+}
+
+TEST(Dptc, OversizeOneShotFatal)
+{
+    DptcConfig cfg; // 12x12x12
+    Dptc dptc(cfg);
+    Matrix a(13, 12), b(12, 12);
+    EXPECT_EXIT({ dptc.multiply(a, b, EvalMode::Ideal); },
+                ::testing::ExitedWithCode(1), "exceeds core geometry");
+}
+
+// ---- Eq. 6 encoding-cost algebra -------------------------------------
+
+TEST(EncodeCost, PaperExampleTwelveCubed)
+{
+    // "when Nh = Nv = Nlambda = 12, DPTC shows 12x less encoding cost"
+    EXPECT_EQ(sharedEncodingOps(12, 12, 12), 288u);
+    EXPECT_EQ(unsharedEncodingOps(12, 12, 12), 3456u);
+    EXPECT_DOUBLE_EQ(sharingFactor(12, 12), 12.0);
+    EXPECT_DOUBLE_EQ(
+        static_cast<double>(unsharedEncodingOps(12, 12, 12)) /
+            static_cast<double>(sharedEncodingOps(12, 12, 12)),
+        12.0);
+}
+
+class EncodeCostProperty
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>>
+{
+};
+
+TEST_P(EncodeCostProperty, FactorConsistency)
+{
+    auto [nh, nv, nl] = GetParam();
+    double ratio = static_cast<double>(unsharedEncodingOps(nh, nv, nl)) /
+                   static_cast<double>(sharedEncodingOps(nh, nv, nl));
+    EXPECT_NEAR(ratio, sharingFactor(nh, nv), 1e-12);
+    // Sharing can never lose (factor >= 1 whenever nh, nv >= 1).
+    EXPECT_GE(sharingFactor(nh, nv), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, EncodeCostProperty,
+    ::testing::Values(std::make_tuple(8, 8, 8),
+                      std::make_tuple(12, 12, 12),
+                      std::make_tuple(16, 8, 12),
+                      std::make_tuple(1, 12, 12),
+                      std::make_tuple(32, 32, 32),
+                      std::make_tuple(2, 3, 5)));
+
+// ---- Table I capability descriptors -----------------------------------
+
+TEST(TableOne, OnlyDptcSupportsBothDynamicAndFullRangeMm)
+{
+    auto designs = tableOnePtcDesigns();
+    ASSERT_EQ(designs.size(), 5u);
+    int both = 0;
+    for (const auto &d : designs) {
+        if (d.supportsDynamicMm() && d.supportsFullRangeMm()) {
+            ++both;
+            EXPECT_EQ(d.name, "DPTC (ours)");
+            EXPECT_EQ(d.operation, OperationType::MM);
+            EXPECT_EQ(d.mapping_cost, MappingCost::Low);
+        }
+    }
+    EXPECT_EQ(both, 1);
+}
+
+TEST(TableOne, MziIsStaticFullRange)
+{
+    auto designs = tableOnePtcDesigns();
+    const auto &mzi = designs[0];
+    EXPECT_EQ(mzi.name, "MZI array");
+    EXPECT_FALSE(mzi.supportsDynamicMm());
+    EXPECT_TRUE(mzi.supportsFullRangeMm());
+    EXPECT_EQ(mzi.mapping_cost, MappingCost::High);
+}
+
+TEST(TableOne, MrrBanksAreDynamicButRangeLimited)
+{
+    auto designs = tableOnePtcDesigns();
+    for (size_t i : {size_t{2}, size_t{3}}) {
+        EXPECT_TRUE(designs[i].supportsDynamicMm());
+        EXPECT_FALSE(designs[i].supportsFullRangeMm());
+    }
+}
+
+} // namespace

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Tests for the Section VI extensions: per-channel gain calibration
+ * (noise mitigation), structured pruning workload transforms,
+ * heterogeneous core-geometry search, and model checkpointing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "arch/core_search.hh"
+#include "arch/performance_model.hh"
+#include "core/calibration.hh"
+#include "nn/pruning.hh"
+#include "nn/serialization.hh"
+#include "train/datasets.hh"
+#include "util/stats.hh"
+
+namespace {
+
+using namespace lt;
+
+// ---- calibration ---------------------------------------------------------
+
+TEST(Calibration, MeasuresDispersionCoefficients)
+{
+    core::NoiseConfig cfg = core::NoiseConfig::ideal();
+    cfg.enable_dispersion = true;
+    core::DDot ddot(64, cfg);
+    Rng rng(1);
+    core::ChannelCalibration cal = core::calibrateDDot(ddot, rng, 4);
+    ASSERT_EQ(cal.channels(), 64u);
+    for (size_t i = 0; i < 64; ++i) {
+        // Deterministic coefficients: probes match the analytic values.
+        EXPECT_NEAR(cal.gain[i], ddot.multiplicativeGain(i), 1e-9);
+        EXPECT_NEAR(cal.additive[i], ddot.additiveGain(i), 1e-9);
+        EXPECT_LE(cal.gain[i], 1.0 + 1e-12);
+    }
+}
+
+TEST(Calibration, RemovesDeterministicDispersionError)
+{
+    // Dispersion-only: the error is deterministic, so the digital
+    // post-correction should eliminate essentially all of it.
+    core::NoiseConfig cfg = core::NoiseConfig::ideal();
+    cfg.enable_dispersion = true;
+    core::DDot ddot(96, cfg);
+    Rng rng(2);
+    core::ChannelCalibration cal = core::calibrateDDot(ddot, rng, 1);
+
+    RunningStats raw_err, cal_err;
+    for (int t = 0; t < 300; ++t) {
+        auto x = rng.uniformVector(96);
+        auto y = rng.uniformVector(96);
+        double exact = core::DDot::idealDot(x, y);
+        raw_err.add(std::abs(ddot.analyticNoisyDot(x, y, rng) - exact));
+        cal_err.add(std::abs(
+            core::calibratedNoisyDot(ddot, cal, x, y, rng) - exact));
+    }
+    EXPECT_GT(raw_err.mean(), 0.0);
+    EXPECT_LT(cal_err.mean(), raw_err.mean() * 1e-3);
+}
+
+TEST(Calibration, HarmlessUnderStochasticNoise)
+{
+    // With stochastic encoding noise the calibrated path must not be
+    // materially worse than the uncalibrated one.
+    core::DDot ddot(12, core::NoiseConfig::paperDefault());
+    Rng rng(3);
+    core::ChannelCalibration cal = core::calibrateDDot(ddot, rng, 256);
+    RunningStats raw_err, cal_err;
+    for (int t = 0; t < 2000; ++t) {
+        auto x = rng.uniformVector(12);
+        auto y = rng.uniformVector(12);
+        double exact = core::DDot::idealDot(x, y);
+        raw_err.add(std::abs(ddot.analyticNoisyDot(x, y, rng) - exact));
+        cal_err.add(std::abs(
+            core::calibratedNoisyDot(ddot, cal, x, y, rng) - exact));
+    }
+    EXPECT_LT(cal_err.mean(), raw_err.mean() * 1.1);
+}
+
+// ---- pruning --------------------------------------------------------------
+
+TEST(Pruning, IdentityKeepsWorkload)
+{
+    auto model = nn::deitTiny();
+    nn::PruningConfig keep_all;
+    EXPECT_EQ(nn::prunedWorkload(model, keep_all).totalMacs(),
+              nn::extractWorkload(model).totalMacs());
+}
+
+TEST(Pruning, HeadPruningScalesMhaLinearly)
+{
+    auto model = nn::deitBase(); // 12 heads
+    nn::PruningConfig half;
+    half.head_keep = 0.5;
+    auto full = nn::extractWorkload(model);
+    auto pruned = nn::prunedWorkload(model, half);
+    // Head pruning removes whole heads -> dim shrinks -> MHA and
+    // projections shrink together; MHA MACs halve exactly.
+    EXPECT_NEAR(static_cast<double>(pruned.moduleMacs(nn::Module::Mha)) /
+                    static_cast<double>(full.moduleMacs(nn::Module::Mha)),
+                0.5, 1e-9);
+}
+
+TEST(Pruning, TokenPruningScalesAttentionQuadratically)
+{
+    auto model = nn::deitBase();
+    nn::PruningConfig half;
+    half.token_keep = 0.5;
+    auto full = nn::extractWorkload(model);
+    auto pruned = nn::prunedWorkload(model, half);
+    double mha_ratio =
+        static_cast<double>(pruned.moduleMacs(nn::Module::Mha)) /
+        static_cast<double>(full.moduleMacs(nn::Module::Mha));
+    double ffn_ratio =
+        static_cast<double>(pruned.moduleMacs(nn::Module::Ffn)) /
+        static_cast<double>(full.moduleMacs(nn::Module::Ffn));
+    // QK^T and AV are seq^2 terms; FFN is linear in seq.
+    EXPECT_NEAR(mha_ratio, 0.25, 0.02);
+    EXPECT_NEAR(ffn_ratio, 0.5, 0.02);
+}
+
+TEST(Pruning, ChannelPruningKeepsHeadDivisibility)
+{
+    auto model = nn::deitTiny(); // dim 192, 3 heads, dk 64
+    nn::PruningConfig cfg;
+    cfg.channel_keep = 0.75;
+    auto pruned = nn::prunedModel(model, cfg);
+    EXPECT_EQ(pruned.heads, 3u);
+    EXPECT_EQ(pruned.dim % pruned.heads, 0u);
+    EXPECT_EQ(pruned.dim, 3u * 48u); // 64 * 0.75 per head
+    // FFN expansion ratio preserved (4x).
+    EXPECT_EQ(pruned.mlp_hidden, 4u * pruned.dim);
+}
+
+TEST(Pruning, InvalidRatiosFatal)
+{
+    auto model = nn::deitTiny();
+    nn::PruningConfig bad;
+    bad.head_keep = 0.0;
+    EXPECT_EXIT({ nn::prunedModel(model, bad); },
+                ::testing::ExitedWithCode(1), "keep-ratios");
+}
+
+TEST(Pruning, ReducesAcceleratorCost)
+{
+    arch::LtPerformanceModel model(arch::ArchConfig::ltBase());
+    auto deit = nn::deitTiny();
+    nn::PruningConfig cfg;
+    cfg.head_keep = 2.0 / 3.0;
+    cfg.token_keep = 0.7;
+    auto full_r = model.evaluate(nn::extractWorkload(deit));
+    auto pruned_r = model.evaluate(nn::prunedWorkload(deit, cfg));
+    EXPECT_LT(pruned_r.energy.total(), full_r.energy.total());
+    EXPECT_LT(pruned_r.latency.total(), full_r.latency.total());
+}
+
+// ---- heterogeneous core search ----------------------------------------
+
+TEST(CoreSearch, GemvPrefersNhOne)
+{
+    // The paper's explicit example: vector-matrix workloads waste a
+    // square core; an Nh = 1 engine wins on utilization.
+    std::vector<nn::GemmOp> gemv{
+        {nn::GemmKind::Av, 1, 144, 144, 100, true}};
+    auto scores = arch::searchCoreGeometry(
+        gemv, arch::defaultCandidates(), arch::ArchConfig::ltBase());
+    ASSERT_FALSE(scores.empty());
+    EXPECT_EQ(scores.front().candidate.nh, 1u);
+    EXPECT_GT(scores.front().utilization, 0.9);
+    // The square core wastes ~11/12 of its rows on m = 1.
+    for (const auto &s : scores) {
+        if (s.candidate.nh == 12) {
+            EXPECT_LT(s.utilization, 0.15);
+        }
+    }
+}
+
+TEST(CoreSearch, SquareWorkloadPrefersSquareCore)
+{
+    std::vector<nn::GemmOp> square{
+        {nn::GemmKind::Ffn1, 144, 144, 144, 10, false}};
+    auto scores = arch::searchCoreGeometry(
+        square, arch::defaultCandidates(), arch::ArchConfig::ltBase());
+    // All candidates tile 144 perfectly here; utilization ties at 1.0
+    // and the sort must fall back to latency.
+    for (const auto &s : scores)
+        EXPECT_NEAR(s.utilization, 1.0, 1e-9);
+}
+
+TEST(CoreSearch, UtilizationNeverExceedsOne)
+{
+    Rng rng(5);
+    for (int t = 0; t < 50; ++t) {
+        nn::GemmOp op{nn::GemmKind::QkT,
+                      static_cast<size_t>(rng.uniformInt(1, 300)),
+                      static_cast<size_t>(rng.uniformInt(1, 300)),
+                      static_cast<size_t>(rng.uniformInt(1, 300)), 1,
+                      true};
+        for (const auto &c : arch::defaultCandidates()) {
+            double u = arch::candidateUtilization(c, op);
+            EXPECT_GT(u, 0.0);
+            EXPECT_LE(u, 1.0 + 1e-12);
+        }
+    }
+}
+
+TEST(CoreSearch, DeitWorkloadKeepsPaperGeometryCompetitive)
+{
+    // On the dense DeiT-T workload the square 12x12x12 core should be
+    // at or near the top — the paper's default is well chosen.
+    nn::Workload wl = nn::extractWorkload(nn::deitTiny());
+    auto scores = arch::searchCoreGeometry(
+        wl.ops, arch::defaultCandidates(), arch::ArchConfig::ltBase());
+    size_t square_rank = 0;
+    for (size_t i = 0; i < scores.size(); ++i)
+        if (scores[i].candidate.nh == 12)
+            square_rank = i;
+    EXPECT_LE(square_rank, 2u);
+}
+
+// ---- checkpointing -----------------------------------------------------
+
+TEST(Serialization, RoundTripPreservesLogits)
+{
+    nn::TransformerConfig cfg;
+    cfg.dim = 16;
+    cfg.depth = 1;
+    cfg.heads = 2;
+    cfg.mlp_hidden = 32;
+    cfg.num_classes = 4;
+    cfg.max_tokens = train::ShapeDataset::kNumPatches + 1;
+    cfg.patch_dim = train::ShapeDataset::kPatchDim;
+    cfg.seed = 123;
+    nn::TransformerClassifier original(cfg);
+
+    const std::string path = "/tmp/lt_test_checkpoint.bin";
+    ASSERT_TRUE(nn::saveCheckpoint(original, path));
+
+    cfg.seed = 999; // different init — must be overwritten by load
+    nn::TransformerClassifier restored(cfg);
+    ASSERT_TRUE(nn::loadCheckpoint(restored, path));
+
+    train::ShapeDataset ds(3, 7);
+    nn::IdealBackend backend;
+    nn::RunContext ctx{&backend, nn::QuantConfig::disabled()};
+    for (const auto &s : ds.samples()) {
+        Matrix a = original.forwardVision(s.patches, ctx);
+        Matrix b = restored.forwardVision(s.patches, ctx);
+        EXPECT_LT(a.maxAbsDiff(b), 1e-15);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Serialization, ArchitectureMismatchIsFatal)
+{
+    nn::TransformerConfig cfg;
+    cfg.dim = 16;
+    cfg.depth = 1;
+    cfg.heads = 2;
+    cfg.mlp_hidden = 32;
+    cfg.num_classes = 4;
+    cfg.max_tokens = 17;
+    cfg.patch_dim = 16;
+    nn::TransformerClassifier model(cfg);
+    const std::string path = "/tmp/lt_test_checkpoint_mismatch.bin";
+    ASSERT_TRUE(nn::saveCheckpoint(model, path));
+
+    cfg.dim = 24;
+    cfg.mlp_hidden = 48;
+    nn::TransformerClassifier other(cfg);
+    EXPECT_EXIT({ nn::loadCheckpoint(other, path); },
+                ::testing::ExitedWithCode(1), "mismatch");
+    std::remove(path.c_str());
+}
+
+TEST(Serialization, MissingFileReturnsFalse)
+{
+    nn::TransformerConfig cfg;
+    cfg.dim = 16;
+    cfg.depth = 1;
+    cfg.heads = 2;
+    cfg.mlp_hidden = 32;
+    cfg.num_classes = 4;
+    cfg.max_tokens = 17;
+    cfg.patch_dim = 16;
+    nn::TransformerClassifier model(cfg);
+    EXPECT_FALSE(
+        nn::loadCheckpoint(model, "/tmp/definitely_missing.ckpt"));
+}
+
+} // namespace

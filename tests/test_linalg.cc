@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the dense linear algebra used by MZI operand mapping:
+ * Jacobi SVD correctness and Clements mesh decomposition round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/linalg.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace lt;
+
+Matrix
+randomMatrix(size_t rows, size_t cols, Rng &rng, double lo = -1.0,
+             double hi = 1.0)
+{
+    Matrix m(rows, cols);
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            m(r, c) = rng.uniform(lo, hi);
+    return m;
+}
+
+/** Build a random orthogonal matrix from QR-ish Gram-Schmidt. */
+Matrix
+randomOrthogonal(size_t n, Rng &rng)
+{
+    Matrix a = randomMatrix(n, n, rng);
+    // Gram-Schmidt columns.
+    for (size_t j = 0; j < n; ++j) {
+        for (size_t k = 0; k < j; ++k) {
+            double dot = 0.0;
+            for (size_t i = 0; i < n; ++i)
+                dot += a(i, j) * a(i, k);
+            for (size_t i = 0; i < n; ++i)
+                a(i, j) -= dot * a(i, k);
+        }
+        double norm = 0.0;
+        for (size_t i = 0; i < n; ++i)
+            norm += a(i, j) * a(i, j);
+        norm = std::sqrt(norm);
+        for (size_t i = 0; i < n; ++i)
+            a(i, j) /= norm;
+    }
+    return a;
+}
+
+Matrix
+reassemble(const SvdResult &svd, size_t rows, size_t cols)
+{
+    Matrix s(rows, cols, 0.0);
+    for (size_t i = 0; i < svd.s.size(); ++i)
+        s(i, i) = svd.s[i];
+    return svd.u * s * svd.v.transposed();
+}
+
+TEST(Matrix, MultiplyIdentity)
+{
+    Rng rng(1);
+    Matrix a = randomMatrix(5, 7, rng);
+    Matrix out = a * Matrix::identity(7);
+    EXPECT_LT(out.maxAbsDiff(a), 1e-14);
+}
+
+TEST(Matrix, TransposeInvolution)
+{
+    Rng rng(2);
+    Matrix a = randomMatrix(4, 9, rng);
+    EXPECT_LT(a.transposed().transposed().maxAbsDiff(a), 1e-15);
+}
+
+TEST(Matrix, MultiplyShapePanics)
+{
+    Matrix a(2, 3), b(4, 2);
+    EXPECT_DEATH({ auto c = a * b; (void)c; }, "shape mismatch");
+}
+
+class SvdSquareTest : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(SvdSquareTest, ReconstructsInput)
+{
+    size_t n = GetParam();
+    Rng rng(100 + n);
+    Matrix a = randomMatrix(n, n, rng);
+    SvdResult svd = jacobiSvd(a);
+    Matrix back = reassemble(svd, n, n);
+    EXPECT_LT(back.maxAbsDiff(a), 1e-9) << "n=" << n;
+}
+
+TEST_P(SvdSquareTest, FactorsAreOrthogonal)
+{
+    size_t n = GetParam();
+    Rng rng(200 + n);
+    Matrix a = randomMatrix(n, n, rng);
+    SvdResult svd = jacobiSvd(a);
+    Matrix eye = Matrix::identity(n);
+    EXPECT_LT((svd.u.transposed() * svd.u).maxAbsDiff(eye), 1e-9);
+    EXPECT_LT((svd.v.transposed() * svd.v).maxAbsDiff(eye), 1e-9);
+}
+
+TEST_P(SvdSquareTest, SingularValuesSortedNonNegative)
+{
+    size_t n = GetParam();
+    Rng rng(300 + n);
+    Matrix a = randomMatrix(n, n, rng);
+    SvdResult svd = jacobiSvd(a);
+    for (size_t i = 0; i < svd.s.size(); ++i) {
+        EXPECT_GE(svd.s[i], 0.0);
+        if (i) {
+            EXPECT_LE(svd.s[i], svd.s[i - 1]);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SvdSquareTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 12, 16, 24));
+
+TEST(Svd, RectangularTallAndWide)
+{
+    Rng rng(42);
+    for (auto [r, c] : {std::pair<size_t, size_t>{8, 3},
+                        {3, 8}, {12, 5}, {5, 12}}) {
+        Matrix a = randomMatrix(r, c, rng);
+        SvdResult svd = jacobiSvd(a);
+        Matrix back = reassemble(svd, r, c);
+        EXPECT_LT(back.maxAbsDiff(a), 1e-9) << r << "x" << c;
+    }
+}
+
+TEST(Svd, DiagonalMatrixExactValues)
+{
+    Matrix d(3, 3, 0.0);
+    d(0, 0) = 3.0;
+    d(1, 1) = -5.0;
+    d(2, 2) = 1.0;
+    SvdResult svd = jacobiSvd(d);
+    EXPECT_NEAR(svd.s[0], 5.0, 1e-10);
+    EXPECT_NEAR(svd.s[1], 3.0, 1e-10);
+    EXPECT_NEAR(svd.s[2], 1.0, 1e-10);
+}
+
+TEST(Svd, RankDeficient)
+{
+    // Rank-1 outer product.
+    Matrix a(4, 4, 0.0);
+    for (size_t r = 0; r < 4; ++r)
+        for (size_t c = 0; c < 4; ++c)
+            a(r, c) = (r + 1.0) * (c + 1.0);
+    SvdResult svd = jacobiSvd(a);
+    EXPECT_GT(svd.s[0], 1.0);
+    for (size_t i = 1; i < 4; ++i)
+        EXPECT_NEAR(svd.s[i], 0.0, 1e-9);
+    Matrix back = reassemble(svd, 4, 4);
+    EXPECT_LT(back.maxAbsDiff(a), 1e-9);
+}
+
+class ClementsTest : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(ClementsTest, RoundTripsRandomOrthogonal)
+{
+    size_t n = GetParam();
+    Rng rng(500 + n);
+    Matrix q = randomOrthogonal(n, rng);
+    MeshProgram prog = clementsDecompose(q);
+    EXPECT_EQ(prog.n, n);
+    Matrix back = meshReconstruct(prog);
+    EXPECT_LT(back.maxAbsDiff(q), 1e-8) << "n=" << n;
+}
+
+TEST_P(ClementsTest, PhaseCountMatchesMeshSize)
+{
+    size_t n = GetParam();
+    Rng rng(600 + n);
+    Matrix q = randomOrthogonal(n, rng);
+    MeshProgram prog = clementsDecompose(q);
+    // A full mesh has n(n-1)/2 rotations; some may be skipped when an
+    // element is already zero, so the count is bounded above.
+    EXPECT_LE(prog.phases.size(), n * (n - 1) / 2);
+    EXPECT_EQ(prog.out_phases.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ClementsTest,
+                         ::testing::Values(2, 3, 4, 5, 8, 12, 16));
+
+TEST(Clements, IdentityNeedsNoRotations)
+{
+    MeshProgram prog = clementsDecompose(Matrix::identity(6));
+    EXPECT_TRUE(prog.phases.empty());
+    Matrix back = meshReconstruct(prog);
+    EXPECT_LT(back.maxAbsDiff(Matrix::identity(6)), 1e-12);
+}
+
+TEST(Clements, RejectsNonOrthogonal)
+{
+    Matrix bad(3, 3, 0.5);
+    EXPECT_EXIT({ clementsDecompose(bad); },
+                ::testing::ExitedWithCode(1), "not orthogonal");
+}
+
+TEST(MziMapping, FullPipelineReconstructsWeight)
+{
+    Rng rng(77);
+    Matrix w = randomMatrix(12, 12, rng);
+    MziMapping mapping = mziOperandMapping(w);
+    Matrix u = meshReconstruct(mapping.u_program);
+    Matrix v = meshReconstruct(mapping.v_program);
+    Matrix s(12, 12, 0.0);
+    for (size_t i = 0; i < mapping.sigma.size(); ++i)
+        s(i, i) = mapping.sigma[i];
+    Matrix back = u * s * v.transposed();
+    EXPECT_LT(back.maxAbsDiff(w), 1e-8);
+}
+
+} // namespace

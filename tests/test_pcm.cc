@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the PCM-crossbar baseline (the remaining Table I design),
+ * the calibrated-DPTC integration, and chip-inventory counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/chip_model.hh"
+#include "arch/performance_model.hh"
+#include "baselines/pcm_accelerator.hh"
+#include "core/dptc.hh"
+#include "nn/model_zoo.hh"
+#include "util/stats.hh"
+
+namespace {
+
+using namespace lt;
+using namespace lt::baselines;
+
+// ---- PCM crossbar --------------------------------------------------------
+
+TEST(Pcm, FourPassDecompositionForFullRange)
+{
+    PcmConfig quad;                // default: 4 passes
+    PcmConfig single;
+    single.range_decomposition_passes = 1;
+    PcmAccelerator pcm4(quad), pcm1(single);
+    nn::GemmOp op{nn::GemmKind::Ffn1, 120, 96, 96, 1, false};
+    auto r4 = pcm4.evaluateGemm(op);
+    auto r1 = pcm1.evaluateGemm(op);
+    EXPECT_NEAR(r4.latency.compute / r1.latency.compute, 4.0, 0.02);
+    EXPECT_NEAR(r4.energy.op2_dac / r1.energy.op2_dac, 4.0, 1e-9);
+    EXPECT_NEAR(r4.energy.adc / r1.energy.adc, 4.0, 1e-9);
+    // Weight writes are pass-independent.
+    EXPECT_DOUBLE_EQ(r4.latency.reconfig, r1.latency.reconfig);
+}
+
+TEST(Pcm, NonVolatileMeansNoHoldingPower)
+{
+    // Unlike the MRR bank's locking term, the PCM op1 modulation
+    // energy comes only from discrete writes: it must not scale with
+    // the m (streaming) dimension.
+    PcmAccelerator pcm;
+    nn::GemmOp short_stream{nn::GemmKind::Ffn1, 10, 96, 96, 1, false};
+    nn::GemmOp long_stream{nn::GemmKind::Ffn1, 1000, 96, 96, 1, false};
+    EXPECT_DOUBLE_EQ(pcm.evaluateGemm(short_stream).energy.op1_mod,
+                     pcm.evaluateGemm(long_stream).energy.op1_mod);
+}
+
+TEST(Pcm, WriteStallsDominateDynamicWorkloads)
+{
+    // 100 ns-class PCM writes cannot follow per-tile dynamic operand
+    // switches: reconfig must dwarf compute on attention GEMMs.
+    PcmAccelerator pcm;
+    nn::GemmOp qkt{nn::GemmKind::QkT, 197, 64, 197, 1, true};
+    auto r = pcm.evaluateGemm(qkt);
+    EXPECT_GT(r.latency.reconfig, 5.0 * r.latency.compute);
+}
+
+TEST(Pcm, TileWriteTimeModel)
+{
+    PcmConfig cfg;
+    cfg.cell_write_s = 100e-9;
+    cfg.write_parallelism = 12;
+    PcmAccelerator pcm(cfg);
+    // 144 cells / 12 per write = 12 writes * 100 ns.
+    EXPECT_NEAR(pcm.tileWriteTimeS(), 1.2e-6, 1e-12);
+}
+
+TEST(Pcm, LtStillWinsOnDeit)
+{
+    arch::LtPerformanceModel lt_model(arch::ArchConfig::ltBase());
+    PcmAccelerator pcm;
+    nn::Workload wl = nn::extractWorkload(nn::deitTiny());
+    auto lt_r = lt_model.evaluate(wl);
+    auto pcm_r = pcm.evaluate(wl);
+    EXPECT_LT(lt_r.energy.total(), pcm_r.energy.total());
+    EXPECT_LT(lt_r.latency.total(), pcm_r.latency.total());
+    EXPECT_LT(lt_r.edp(), pcm_r.edp());
+}
+
+// ---- calibrated DPTC ------------------------------------------------------
+
+TEST(CalibratedDptc, ImprovesDispersionHeavyGemm)
+{
+    // Many wavelengths -> dispersion dominates; calibration must cut
+    // the GEMM error substantially.
+    core::DptcConfig base;
+    base.nlambda = 96;
+    base.input_bits = 8;
+    base.noise = core::NoiseConfig::ideal();
+    base.noise.enable_dispersion = true;
+
+    core::DptcConfig calibrated = base;
+    calibrated.channel_calibration = true;
+
+    Rng rng(31);
+    Matrix a(12, 96), b(96, 12);
+    for (double &v : a.data())
+        v = rng.uniform(-1.0, 1.0);
+    for (double &v : b.data())
+        v = rng.uniform(-1.0, 1.0);
+    Matrix ref = a * b;
+
+    core::Dptc raw(base), cal(calibrated);
+    double raw_err =
+        raw.multiply(a, b, core::EvalMode::Noisy).maxAbsDiff(ref);
+    double cal_err =
+        cal.multiply(a, b, core::EvalMode::Noisy).maxAbsDiff(ref);
+    EXPECT_LT(cal_err, raw_err * 0.3);
+}
+
+TEST(CalibratedDptc, HarmlessAtPaperNoise)
+{
+    core::DptcConfig base;
+    base.input_bits = 8;
+    core::DptcConfig calibrated = base;
+    calibrated.channel_calibration = true;
+
+    Rng rng(32);
+    Matrix a(24, 24), b(24, 24);
+    for (double &v : a.data())
+        v = rng.uniform(-1.0, 1.0);
+    for (double &v : b.data())
+        v = rng.uniform(-1.0, 1.0);
+    Matrix ref = a * b;
+
+    core::Dptc raw(base), cal(calibrated);
+    RunningStats raw_err, cal_err;
+    Matrix r1 = raw.gemm(a, b, core::EvalMode::Noisy);
+    Matrix r2 = cal.gemm(a, b, core::EvalMode::Noisy);
+    for (size_t i = 0; i < ref.data().size(); ++i) {
+        raw_err.add(std::abs(r1.data()[i] - ref.data()[i]));
+        cal_err.add(std::abs(r2.data()[i] - ref.data()[i]));
+    }
+    EXPECT_LT(cal_err.mean(), raw_err.mean() * 1.25);
+}
+
+// ---- chip inventory --------------------------------------------------------
+
+TEST(ChipInventory, LtBaseCounts)
+{
+    arch::ChipModel chip(arch::ArchConfig::ltBase());
+    const auto &inv = chip.inventory();
+    // 8 cores x 12 waveguides x 12 wavelengths on the M1 side.
+    EXPECT_EQ(inv.dac_m1, 8u * 12u * 12u);
+    // Shared M2 units: Nc = 2 of them, 12 x 12 channels each.
+    EXPECT_EQ(inv.dac_m2, 2u * 12u * 12u);
+    EXPECT_EQ(inv.mzm, inv.totalDacs());
+    // ADCs per tile (analog summation): 4 tiles x 144.
+    EXPECT_EQ(inv.adc, 4u * 144u);
+    EXPECT_EQ(inv.crossbar_cells, 8u * 144u);
+    EXPECT_EQ(inv.photodetectors, 2u * inv.crossbar_cells);
+    EXPECT_EQ(inv.tia, inv.crossbar_cells);
+    EXPECT_EQ(inv.comb_lasers, 4u);
+}
+
+TEST(ChipInventory, BroadcastOffMultipliesM2Dacs)
+{
+    arch::ArchConfig no_bc = arch::ArchConfig::ltBase();
+    no_bc.intercore_broadcast = false;
+    arch::ChipModel chip(no_bc);
+    EXPECT_EQ(chip.inventory().dac_m2, 8u * 12u * 12u);
+}
+
+TEST(ChipInventory, TileSummationOffMultipliesAdcs)
+{
+    arch::ArchConfig no_sum = arch::ArchConfig::ltBase();
+    no_sum.analog_tile_summation = false;
+    arch::ChipModel chip(no_sum);
+    EXPECT_EQ(chip.inventory().adc, 8u * 144u);
+}
+
+} // namespace

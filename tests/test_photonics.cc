@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the photonic device library: WDM grids, FSR windows,
+ * coupler/phase-shifter dispersion (Fig. 3), loss chains, laser model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "photonics/coupler.hh"
+#include "photonics/device_params.hh"
+#include "photonics/laser.hh"
+#include "photonics/loss_chain.hh"
+#include "photonics/mzm.hh"
+#include "photonics/phase_shifter.hh"
+#include "photonics/photodetector.hh"
+#include "photonics/wavelength.hh"
+#include "util/units.hh"
+
+namespace {
+
+using namespace lt;
+using namespace lt::photonics;
+
+TEST(WdmGrid, SymmetricPlacement)
+{
+    WdmGrid grid(25);
+    EXPECT_EQ(grid.count(), 25u);
+    // Center channel of an odd grid sits exactly at the center.
+    EXPECT_NEAR(grid.wavelength(12), kCenterWavelengthM, 1e-18);
+    // Extremes at +-12 channels * 0.4 nm = +-4.8 nm (paper Fig. 3).
+    EXPECT_NEAR(grid.wavelength(0), kCenterWavelengthM - 4.8e-9, 1e-15);
+    EXPECT_NEAR(grid.wavelength(24), kCenterWavelengthM + 4.8e-9, 1e-15);
+    EXPECT_NEAR(grid.maxDetuning(), 4.8e-9, 1e-15);
+}
+
+TEST(WdmGrid, EvenCountStraddlesCenter)
+{
+    WdmGrid grid(12);
+    EXPECT_NEAR(grid.wavelength(5),
+                kCenterWavelengthM - 0.2e-9, 1e-15);
+    EXPECT_NEAR(grid.wavelength(6),
+                kCenterWavelengthM + 0.2e-9, 1e-15);
+}
+
+TEST(FsrWindow, PaperEquation10)
+{
+    FsrWindow window = fsrWindow();
+    // Paper: lambda_l = 1527.88 nm, lambda_r = 1572.76 nm.
+    EXPECT_NEAR(window.lambda_left_m * 1e9, 1527.88, 0.01);
+    EXPECT_NEAR(window.lambda_right_m * 1e9, 1572.76, 0.01);
+    // "With a 0.4 nm channel spacing, we have up to 112 wavelengths."
+    EXPECT_EQ(maxWdmChannels(window), 112u);
+}
+
+TEST(Coupler, DesignPointIsBalanced)
+{
+    DirectionalCoupler dc;
+    EXPECT_NEAR(dc.kappa(kCenterWavelengthM), 0.5, 1e-12);
+    EXPECT_NEAR(dc.transmission(kCenterWavelengthM), std::sqrt(0.5),
+                1e-12);
+}
+
+TEST(Coupler, DispersionMatchesFig3)
+{
+    DirectionalCoupler dc;
+    // Max relative kappa deviation at +-4.8 nm should be ~1.8 %.
+    double k_edge = dc.kappa(kCenterWavelengthM + 4.8e-9);
+    double rel = std::abs(k_edge - 0.5) / 0.5;
+    EXPECT_NEAR(rel, 0.018, 0.004);
+    // And the deviation grows monotonically with detuning.
+    double prev = 0.0;
+    for (int ch = 0; ch <= 12; ++ch) {
+        double k = dc.kappa(kCenterWavelengthM + ch * 0.4e-9);
+        double dev = std::abs(k - 0.5);
+        EXPECT_GE(dev + 1e-15, prev);
+        prev = dev;
+    }
+}
+
+TEST(Coupler, TransferMatrixIsUnitary)
+{
+    DirectionalCoupler dc;
+    for (double detune_nm : {-4.8, -2.0, 0.0, 2.0, 4.8}) {
+        Mat2c m = dc.transferMatrix(kCenterWavelengthM +
+                                    detune_nm * 1e-9);
+        // Unitarity: |m00|^2 + |m10|^2 == 1, columns orthogonal.
+        double col0 = std::norm(m.m00) + std::norm(m.m10);
+        EXPECT_NEAR(col0, 1.0, 1e-12);
+        Complex dot = std::conj(m.m00) * m.m01 +
+                      std::conj(m.m10) * m.m11;
+        EXPECT_NEAR(std::abs(dot), 0.0, 1e-12);
+    }
+}
+
+TEST(PhaseShifter, DesignPoint)
+{
+    PhaseShifter ps(-M_PI / 2.0);
+    EXPECT_NEAR(ps.phase(kCenterWavelengthM), -M_PI / 2.0, 1e-15);
+    EXPECT_NEAR(ps.phaseError(kCenterWavelengthM), 0.0, 1e-15);
+}
+
+TEST(PhaseShifter, DispersionMatchesFig3)
+{
+    PhaseShifter ps(-M_PI / 2.0);
+    // Paper: max dispersion-induced phase difference is 0.28 degrees
+    // at the edge of the 25-channel sweep.
+    double err = ps.phaseError(kCenterWavelengthM - 4.8e-9);
+    EXPECT_NEAR(std::abs(err) * 180.0 / M_PI, 0.28, 0.02);
+}
+
+TEST(Mzm, PhaseEncoding)
+{
+    // E_out = E_in cos(phi): phi=0 -> +1, phi=pi -> -1, phi=pi/2 -> 0.
+    EXPECT_NEAR(Mzm::phaseForValue(1.0), 0.0, 1e-12);
+    EXPECT_NEAR(Mzm::phaseForValue(-1.0), M_PI, 1e-12);
+    EXPECT_NEAR(Mzm::phaseForValue(0.0), M_PI / 2.0, 1e-12);
+    EXPECT_NEAR(std::cos(Mzm::phaseForValue(0.37)), 0.37, 1e-12);
+}
+
+TEST(Mzm, QuantizedEncoding)
+{
+    Mzm mzm(4);
+    EXPECT_DOUBLE_EQ(mzm.encode(1.0), 1.0);
+    EXPECT_NEAR(mzm.encode(0.5), 0.5, 1.0 / 14.0);
+    // Full-range: negatives encode natively.
+    EXPECT_DOUBLE_EQ(mzm.encode(-1.0), -1.0);
+}
+
+TEST(Photodetector, IntensityDetection)
+{
+    Photodetector pd(2.0);
+    EXPECT_DOUBLE_EQ(pd.detect(Complex(3.0, 4.0)), 2.0 * 25.0);
+    // WDM accumulation.
+    std::vector<Complex> bundle{Complex(1.0, 0.0), Complex(0.0, 2.0)};
+    EXPECT_DOUBLE_EQ(pd.detect(bundle), 2.0 * 5.0);
+}
+
+TEST(BalancedPhotodetector, SubtractsAndSigns)
+{
+    BalancedPhotodetector bpd;
+    std::vector<Complex> strong{Complex(2.0, 0.0)};
+    std::vector<Complex> weak{Complex(1.0, 0.0)};
+    EXPECT_DOUBLE_EQ(bpd.detect(strong, weak), 3.0);
+    EXPECT_DOUBLE_EQ(bpd.detect(weak, strong), -3.0);
+}
+
+TEST(LossChain, Accumulates)
+{
+    LossChain chain;
+    chain.add("mzm", 1.2).add("mux", 0.93).add("demux", 0.93)
+         .add("dc", 0.33).add("ps", 0.33);
+    EXPECT_NEAR(chain.totalDb(), 3.72, 1e-9);
+    EXPECT_NEAR(chain.linearFactor(), units::dbToLinear(3.72), 1e-9);
+}
+
+TEST(LossChain, SplitLoss)
+{
+    LossChain chain;
+    chain.addSplit("broadcast", 12, 0.3);
+    // 10*log10(12) = 10.79 dB + ceil(log2(12)) = 4 stages * 0.3 dB.
+    EXPECT_NEAR(chain.totalDb(), 10.0 * std::log10(12.0) + 1.2, 1e-9);
+    // A 1-way split is free.
+    LossChain unity;
+    unity.addSplit("x", 1, 0.3);
+    EXPECT_DOUBLE_EQ(unity.totalDb(), 0.0);
+}
+
+TEST(LossChain, CountedComponents)
+{
+    LossChain chain;
+    chain.add("crossing", 0.02, 6);
+    EXPECT_NEAR(chain.totalDb(), 0.12, 1e-12);
+}
+
+TEST(Laser, PrecisionScaling)
+{
+    LaserModel laser;
+    // 2^(8-4) = 16x more optical power needed at 8-bit vs 4-bit,
+    // reproducing the paper's 0.77 W -> 12.3 W laser scaling shape.
+    EXPECT_NEAR(laser.requiredPdPowerW(8) / laser.requiredPdPowerW(4),
+                16.0, 1e-12);
+    // At the 4-bit reference the requirement equals the sensitivity.
+    EXPECT_NEAR(laser.requiredPdPowerW(4), units::dbmToWatt(-25.0),
+                1e-15);
+}
+
+TEST(Laser, ElectricalPowerScalesWithCarriersAndLoss)
+{
+    LaserModel laser;
+    LossChain path;
+    path.add("total", 10.0); // 10 dB -> 10x
+    double p1 = laser.electricalPowerW(1, path, 4);
+    double p288 = laser.electricalPowerW(288, path, 4);
+    EXPECT_NEAR(p288 / p1, 288.0, 1e-9);
+    // 10 dB loss and 0.2 wall-plug: 3.16 uW * 10 / 0.2 = 158 uW.
+    EXPECT_NEAR(p1, units::dbmToWatt(-25.0) * 10.0 / 0.2, 1e-9);
+}
+
+TEST(DeviceLibrary, TableIIIValues)
+{
+    const auto &lib = DeviceLibrary::defaults();
+    EXPECT_EQ(lib.dac.precision_bits, 8);
+    EXPECT_DOUBLE_EQ(lib.dac.power_w, 0.05);
+    EXPECT_DOUBLE_EQ(lib.dac.sample_rate_hz, 14e9);
+    EXPECT_DOUBLE_EQ(lib.adc.power_w, 0.0148);
+    EXPECT_DOUBLE_EQ(lib.tia.power_w, 0.003);
+    EXPECT_DOUBLE_EQ(lib.mzm.il_db, 1.2);
+    EXPECT_DOUBLE_EQ(lib.microdisk.il_db, 0.93);
+    EXPECT_DOUBLE_EQ(lib.mems_ps_response_s, 2e-6);
+    EXPECT_DOUBLE_EQ(lib.pd_sensitivity_dbm, -25.0);
+    EXPECT_DOUBLE_EQ(lib.laser_wall_plug_efficiency, 0.2);
+    EXPECT_DOUBLE_EQ(lib.microdisk_fsr_hz, 5.6e12);
+}
+
+} // namespace

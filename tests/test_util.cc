@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for src/util: stats, units, quantization, tables, RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/quantize.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace {
+
+using namespace lt;
+
+TEST(RunningStats, MeanAndVariance)
+{
+    RunningStats s;
+    for (double x : {1.0, 2.0, 3.0, 4.0, 5.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 5u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 2.0);
+    EXPECT_DOUBLE_EQ(s.sampleVariance(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    Rng rng(7);
+    RunningStats all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.gaussian(2.0, 3.0);
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SampleSet, Percentiles)
+{
+    SampleSet s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_NEAR(s.median(), 50.5, 1e-9);
+    EXPECT_NEAR(s.percentile(0.0), 1.0, 1e-9);
+    EXPECT_NEAR(s.percentile(1.0), 100.0, 1e-9);
+    EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+TEST(Units, DbConversionsRoundTrip)
+{
+    EXPECT_NEAR(units::dbToLinear(3.0), 1.9953, 1e-3);
+    EXPECT_NEAR(units::linearToDb(2.0), 3.0103, 1e-3);
+    EXPECT_NEAR(units::dbToLinear(units::linearToDb(7.5)), 7.5, 1e-9);
+    // -25 dBm photodetector sensitivity = 3.16 uW.
+    EXPECT_NEAR(units::dbmToWatt(-25.0), 3.1623e-6, 1e-9);
+    EXPECT_NEAR(units::wattToDbm(1e-3), 0.0, 1e-9);
+}
+
+TEST(Units, Formatting)
+{
+    EXPECT_EQ(units::fmtTime(47e-12, 1), "47.0 ps");
+    EXPECT_EQ(units::fmtPower(14.75, 2), "14.75 W");
+    EXPECT_EQ(units::fmtPower(0.05, 1), "50.0 mW");
+    EXPECT_EQ(units::fmtEnergy(1.94e-5, 1), "19.4 uJ");
+    EXPECT_EQ(units::fmtAreaMm2(60.3e-6, 1), "60.3 mm^2");
+    EXPECT_EQ(units::fmtSci(0.0194, 2), "1.94e-02");
+}
+
+TEST(Units, ConstructionHelpers)
+{
+    EXPECT_DOUBLE_EQ(units::mW(50), 0.05);
+    EXPECT_DOUBLE_EQ(units::GHz(5), 5e9);
+    EXPECT_DOUBLE_EQ(units::um2(100), 1e-10);
+    EXPECT_DOUBLE_EQ(units::mm2(60.3) * 1e6, 60.3);
+    EXPECT_DOUBLE_EQ(units::ps(200), 2e-10);
+}
+
+TEST(Quantize, UnitGridEndpoints)
+{
+    EXPECT_DOUBLE_EQ(quantizeSymmetricUnit(1.0, 4), 1.0);
+    EXPECT_DOUBLE_EQ(quantizeSymmetricUnit(-1.0, 4), -1.0);
+    EXPECT_DOUBLE_EQ(quantizeSymmetricUnit(0.0, 4), 0.0);
+    // Clipping outside full scale.
+    EXPECT_DOUBLE_EQ(quantizeSymmetricUnit(2.5, 4), 1.0);
+    EXPECT_DOUBLE_EQ(quantizeSymmetricUnit(-2.5, 4), -1.0);
+}
+
+TEST(Quantize, StepSizeMatchesBits)
+{
+    // 4-bit symmetric grid: qmax = 7 -> step 1/7.
+    double q1 = quantizeSymmetricUnit(0.5, 4);
+    EXPECT_NEAR(q1 * 7.0, std::round(0.5 * 7.0), 1e-12);
+    // 8-bit: qmax = 127.
+    double q2 = quantizeSymmetricUnit(0.5, 8);
+    EXPECT_NEAR(q2 * 127.0, std::round(0.5 * 127.0), 1e-12);
+}
+
+TEST(Quantize, ErrorBoundedByHalfStep)
+{
+    Rng rng(3);
+    for (int bits : {2, 4, 6, 8}) {
+        double step = 1.0 / quantLevels(bits);
+        for (int i = 0; i < 200; ++i) {
+            double x = rng.uniform(-1.0, 1.0);
+            EXPECT_LE(std::abs(quantizeSymmetricUnit(x, bits) - x),
+                      step / 2.0 + 1e-12);
+        }
+    }
+}
+
+TEST(Quantize, ScaledQuantization)
+{
+    double v = quantizeSymmetric(3.0, 4.0, 8);
+    EXPECT_NEAR(v, 3.0, 4.0 / 127.0);
+    EXPECT_DOUBLE_EQ(quantizeSymmetric(1.0, 0.0, 8), 0.0);
+}
+
+TEST(Rng, Determinism)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    RunningStats s;
+    for (int i = 0; i < 200000; ++i)
+        s.add(rng.gaussian(1.5, 0.5));
+    EXPECT_NEAR(s.mean(), 1.5, 5e-3);
+    EXPECT_NEAR(s.stddev(), 0.5, 5e-3);
+}
+
+TEST(Rng, ZeroStddevIsDeterministic)
+{
+    Rng rng(1);
+    EXPECT_DOUBLE_EQ(rng.gaussian(4.2, 0.0), 4.2);
+}
+
+TEST(Rng, ForkDecorrelates)
+{
+    Rng a(5);
+    Rng child = a.fork();
+    // Child stream differs from parent continuation.
+    EXPECT_NE(child.uniform(), a.uniform());
+}
+
+TEST(Table, AlignmentAndCsv)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream txt;
+    t.print(txt);
+    EXPECT_NE(txt.str().find("| alpha | 1     |"), std::string::npos);
+
+    std::ostringstream csv;
+    t.printCsv(csv);
+    EXPECT_EQ(csv.str(), "name,value\nalpha,1\nb,22\n");
+}
+
+TEST(Table, RowCount)
+{
+    Table t({"a"});
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.addRow({"x"});
+    EXPECT_EQ(t.rowCount(), 1u);
+}
+
+} // namespace

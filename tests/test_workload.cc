@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for workload extraction (model zoo dimensions, MAC counts),
+ * sparse attention blockification (Fig. 16), and LLM decode
+ * workloads (Section VI-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/llm_workload.hh"
+#include "nn/model_zoo.hh"
+#include "nn/sparse_attention.hh"
+#include "nn/workload.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace lt;
+using namespace lt::nn;
+
+TEST(ModelZoo, DeitTinyDimensions)
+{
+    auto cfg = deitTiny();
+    EXPECT_EQ(cfg.dim, 192u);
+    EXPECT_EQ(cfg.depth, 12u);
+    EXPECT_EQ(cfg.heads, 3u);
+    EXPECT_EQ(cfg.headDim(), 64u);
+    EXPECT_EQ(cfg.seq_len, 197u);
+    EXPECT_EQ(cfg.mlp_hidden, 768u);
+}
+
+TEST(ModelZoo, BertConfigsTrackSequenceLength)
+{
+    EXPECT_EQ(bertBase(128).seq_len, 128u);
+    EXPECT_EQ(bertLarge(320).seq_len, 320u);
+    EXPECT_EQ(bertLarge(320).dim, 1024u);
+    EXPECT_EQ(bertLarge(320).depth, 24u);
+    EXPECT_EQ(figure13Models().size(), 5u);
+}
+
+TEST(Workload, DeitTinyMacCountMatchesHandCalc)
+{
+    Workload w = extractWorkload(deitTiny());
+    // Hand-computed per-layer MACs for DeiT-T @ 197 tokens:
+    const size_t s = 197, d = 192, h = 3, dk = 64, mlp = 768, L = 12;
+    size_t qkv = s * d * 3 * d * L;
+    size_t qkt = s * dk * s * L * h;
+    size_t av = s * s * dk * L * h;
+    size_t out = s * d * d * L;
+    size_t ffn = (s * d * mlp + s * mlp * d) * L;
+    size_t patch = 196 * 768 * d;
+    size_t head = d * 1000;
+    EXPECT_EQ(w.totalMacs(), qkv + qkt + av + out + ffn + patch + head);
+    // ~1.2 GMAC as the paper's workload scale implies.
+    EXPECT_NEAR(static_cast<double>(w.totalMacs()), 1.25e9, 0.15e9);
+}
+
+TEST(Workload, ModuleGroupingMatchesTableV)
+{
+    Workload w = extractWorkload(deitTiny());
+    // MHA group = QK^T + AV only; FFN group = both FFN linears.
+    for (const auto &op : w.moduleOps(Module::Mha)) {
+        EXPECT_TRUE(op.kind == GemmKind::QkT || op.kind == GemmKind::Av);
+        EXPECT_TRUE(op.dynamic);
+    }
+    for (const auto &op : w.moduleOps(Module::Ffn)) {
+        EXPECT_TRUE(op.kind == GemmKind::Ffn1 ||
+                    op.kind == GemmKind::Ffn2);
+        EXPECT_FALSE(op.dynamic);
+    }
+    EXPECT_EQ(w.totalMacs(), w.moduleMacs(Module::Mha) +
+                                 w.moduleMacs(Module::Ffn) +
+                                 w.moduleMacs(Module::Other));
+}
+
+TEST(Workload, OnlyAttentionOpsAreDynamic)
+{
+    for (const auto &model : figure13Models()) {
+        Workload w = extractWorkload(model);
+        for (const auto &op : w.ops) {
+            bool is_attention =
+                op.kind == GemmKind::QkT || op.kind == GemmKind::Av;
+            EXPECT_EQ(op.dynamic, is_attention) << toString(op.kind);
+        }
+    }
+}
+
+TEST(Workload, BertHasNoPatchEmbed)
+{
+    Workload w = extractWorkload(bertBase(128));
+    for (const auto &op : w.ops)
+        EXPECT_NE(op.kind, GemmKind::PatchEmbed);
+}
+
+TEST(Workload, MacsScaleWithModelSize)
+{
+    size_t tiny = extractWorkload(deitTiny()).totalMacs();
+    size_t small = extractWorkload(deitSmall()).totalMacs();
+    size_t base = extractWorkload(deitBase()).totalMacs();
+    EXPECT_LT(tiny, small);
+    EXPECT_LT(small, base);
+    // DeiT-S has 2x width of DeiT-T -> ~4x the GEMM MACs (minus the
+    // attention seq^2 terms that scale linearly in width).
+    EXPECT_NEAR(static_cast<double>(small) / tiny, 3.6, 0.6);
+}
+
+// ---- sparse attention (Fig. 16) --------------------------------------
+
+Matrix
+randomMatrix(size_t rows, size_t cols, Rng &rng)
+{
+    Matrix m(rows, cols);
+    for (double &v : m.data())
+        v = rng.uniform(-1.0, 1.0);
+    return m;
+}
+
+class WindowAttentionTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>>
+{
+};
+
+TEST_P(WindowAttentionTest, BlockedMatchesDenseMasked)
+{
+    auto [seq, window, block] = GetParam();
+    WindowAttentionConfig cfg{seq, window, block, 8};
+    Rng rng(seq * 100 + window * 10 + block);
+    Matrix q = randomMatrix(seq, 8, rng);
+    Matrix k = randomMatrix(seq, 8, rng);
+    Matrix v = randomMatrix(seq, 8, rng);
+    Matrix dense = windowAttentionDense(q, k, v, cfg);
+    Matrix blocked = windowAttentionBlocked(q, k, v, cfg);
+    EXPECT_LT(blocked.maxAbsDiff(dense), 1e-12)
+        << "seq=" << seq << " w=" << window << " b=" << block;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, WindowAttentionTest,
+    ::testing::Values(std::make_tuple(16, 5, 4),
+                      std::make_tuple(32, 7, 8),
+                      std::make_tuple(33, 9, 8),
+                      std::make_tuple(64, 15, 16),
+                      std::make_tuple(17, 3, 5),
+                      std::make_tuple(8, 7, 2)));
+
+TEST(SparseAttention, WorkloadSavesMacs)
+{
+    WindowAttentionConfig cfg{197, 15, 16, 64};
+    SparseAttentionWorkload w = blockifyWindowAttention(cfg);
+    EXPECT_GT(w.savings(), 3.0);   // local window << full attention
+    EXPECT_LT(w.sparse_macs, w.dense_macs);
+    EXPECT_EQ(w.qk_ops.size(), 13u); // ceil(197 / 16) query chunks
+    // Every chunk op is dense and dynamic.
+    for (const auto &op : w.qk_ops)
+        EXPECT_TRUE(op.dynamic);
+}
+
+TEST(SparseAttention, SavingsGrowAsWindowShrinks)
+{
+    double prev = 0.0;
+    for (size_t window : {63, 31, 15, 7}) {
+        WindowAttentionConfig cfg{256, window, 16, 64};
+        double s = blockifyWindowAttention(cfg).savings();
+        EXPECT_GT(s, prev);
+        prev = s;
+    }
+}
+
+TEST(SparseAttention, RejectsEvenWindow)
+{
+    WindowAttentionConfig cfg{16, 4, 4, 8};
+    EXPECT_EXIT({ blockifyWindowAttention(cfg); },
+                ::testing::ExitedWithCode(1), "odd");
+}
+
+// ---- LLM decode workloads (Section VI-B) ------------------------------
+
+TEST(LlmDecode, ArithmeticIntensityIsLow)
+{
+    DecodeConfig cfg{deitBase(), 512, 1, 8};
+    DecodeStep step = decodeStepWorkload(cfg);
+    // Single-token decode: ~1 MAC per weight byte -> memory bound.
+    EXPECT_LT(step.arithmeticIntensity(), 4.0);
+    EXPECT_GT(step.macs, 0u);
+    EXPECT_GT(step.weight_bytes, 0u);
+}
+
+TEST(LlmDecode, BatchingRaisesIntensity)
+{
+    double prev = 0.0;
+    for (size_t batch : {1, 4, 16, 64}) {
+        DecodeConfig cfg{bertLarge(1), 512, batch, 8};
+        double ai = decodeStepWorkload(cfg).arithmeticIntensity();
+        EXPECT_GT(ai, prev) << "batch=" << batch;
+        prev = ai;
+    }
+}
+
+TEST(LlmDecode, KvBytesScaleWithContextAndBatch)
+{
+    DecodeConfig short_ctx{bertBase(1), 128, 1, 8};
+    DecodeConfig long_ctx{bertBase(1), 1024, 1, 8};
+    EXPECT_EQ(decodeStepWorkload(long_ctx).kv_bytes,
+              8u * decodeStepWorkload(short_ctx).kv_bytes);
+
+    DecodeConfig batched{bertBase(1), 128, 4, 8};
+    EXPECT_EQ(decodeStepWorkload(batched).kv_bytes,
+              4u * decodeStepWorkload(short_ctx).kv_bytes);
+    // Weight traffic does NOT scale with batch — that is the point.
+    EXPECT_EQ(decodeStepWorkload(batched).weight_bytes,
+              decodeStepWorkload(short_ctx).weight_bytes);
+}
+
+TEST(LlmDecode, GemmParamCountMatchesArchitecture)
+{
+    auto cfg = bertBase(128);
+    size_t per_layer = 4 * cfg.dim * cfg.dim +
+                       2 * cfg.dim * cfg.mlp_hidden;
+    EXPECT_EQ(gemmParamCount(cfg),
+              per_layer * cfg.depth + cfg.dim * cfg.num_classes);
+}
+
+} // namespace

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * ltsim — command-line driver for the Lightening-Transformer simulator.
+ *
+ * Evaluate any paper workload on any modelled accelerator:
+ *
+ *   ltsim --model deit-t --arch lt-b --bits 4
+ *   ltsim --model bert-large --seq 320 --arch mrr --module mha
+ *   ltsim --model deit-b --arch mzi --bits 8 --csv
+ *   ltsim --list
+ *
+ * Options:
+ *   --model  deit-t | deit-s | deit-b | bert-base | bert-large
+ *   --seq    sequence length for BERT models (default 128 / 320)
+ *   --arch   lt-b | lt-l | lt-crossbar-b | lt-broadcast-b | mrr | mzi
+ *   --bits   4 | 8 (datapath precision, default 4)
+ *   --module mha | ffn | all (default all)
+ *   --csv    emit one machine-readable CSV row instead of the table
+ *   --chip   also print the chip area/power breakdown (LT archs only)
+ */
+
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "arch/chip_model.hh"
+#include "arch/performance_model.hh"
+#include "baselines/mrr_accelerator.hh"
+#include "baselines/mzi_accelerator.hh"
+#include "nn/model_zoo.hh"
+#include "nn/workload.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace {
+
+using namespace lt;
+
+struct Options
+{
+    std::string model = "deit-t";
+    std::string arch = "lt-b";
+    std::string module = "all";
+    size_t seq = 0;
+    int bits = 4;
+    bool csv = false;
+    bool chip = false;
+};
+
+void
+usage()
+{
+    std::cout <<
+        "usage: ltsim [--model M] [--arch A] [--bits B] [--seq N]\n"
+        "             [--module mha|ffn|all] [--csv] [--chip] [--list]\n"
+        "models: deit-t deit-s deit-b bert-base bert-large\n"
+        "archs:  lt-b lt-l lt-crossbar-b lt-broadcast-b mrr mzi\n";
+}
+
+std::optional<nn::PaperModelConfig>
+resolveModel(const Options &opt)
+{
+    if (opt.model == "deit-t")
+        return nn::deitTiny();
+    if (opt.model == "deit-s")
+        return nn::deitSmall();
+    if (opt.model == "deit-b")
+        return nn::deitBase();
+    if (opt.model == "bert-base")
+        return nn::bertBase(opt.seq ? opt.seq : 128);
+    if (opt.model == "bert-large")
+        return nn::bertLarge(opt.seq ? opt.seq : 320);
+    return std::nullopt;
+}
+
+std::optional<arch::ArchConfig>
+resolveLtArch(const Options &opt)
+{
+    arch::ArchConfig cfg;
+    if (opt.arch == "lt-b")
+        cfg = arch::ArchConfig::ltBase();
+    else if (opt.arch == "lt-l")
+        cfg = arch::ArchConfig::ltLarge();
+    else if (opt.arch == "lt-crossbar-b")
+        cfg = arch::ArchConfig::ltCrossbarBase();
+    else if (opt.arch == "lt-broadcast-b")
+        cfg = arch::ArchConfig::ltBroadcastBase();
+    else
+        return std::nullopt;
+    cfg.precision_bits = opt.bits;
+    return cfg;
+}
+
+std::vector<nn::GemmOp>
+selectOps(const nn::Workload &wl, const std::string &module)
+{
+    if (module == "mha")
+        return wl.moduleOps(nn::Module::Mha);
+    if (module == "ffn")
+        return wl.moduleOps(nn::Module::Ffn);
+    return wl.ops;
+}
+
+void
+printReport(const arch::PerfReport &r, const Options &opt)
+{
+    if (opt.csv) {
+        std::cout << r.accelerator << "," << r.workload << ","
+                  << opt.module << "," << opt.bits << ","
+                  << units::fmtSci(r.energy.total(), 6) << ","
+                  << units::fmtSci(r.latency.total(), 6) << ","
+                  << units::fmtSci(r.edp(), 6) << "\n";
+        return;
+    }
+    Table table({"accelerator", "workload", "module", "bits",
+                 "energy", "latency", "EDP [J*s]", "FPS"});
+    table.addRow({r.accelerator, r.workload, opt.module,
+                  std::to_string(opt.bits),
+                  units::fmtEnergy(r.energy.total()),
+                  units::fmtTime(r.latency.total()),
+                  units::fmtSci(r.edp(), 3),
+                  units::fmtFixed(1.0 / r.latency.total(), 0)});
+    table.print(std::cout);
+
+    Table breakdown({"component", "energy", "share [%]"});
+    const auto &e = r.energy;
+    auto row = [&](const char *name, double v) {
+        if (v > 0.0)
+            breakdown.addRow({name, units::fmtEnergy(v),
+                              units::fmtFixed(v / e.total() * 100.0,
+                                              1)});
+    };
+    row("laser", e.laser);
+    row("op1 DAC", e.op1_dac);
+    row("op1 modulation", e.op1_mod);
+    row("op2 DAC", e.op2_dac);
+    row("op2 modulation", e.op2_mod);
+    row("detection (PD+TIA)", e.detection);
+    row("ADC", e.adc);
+    row("data movement", e.data_movement);
+    row("static (mem+digital)", e.static_other);
+    breakdown.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                lt_fatal("missing value after ", arg);
+            return argv[++i];
+        };
+        if (arg == "--model")
+            opt.model = next();
+        else if (arg == "--arch")
+            opt.arch = next();
+        else if (arg == "--module")
+            opt.module = next();
+        else if (arg == "--seq")
+            opt.seq = static_cast<size_t>(std::stoul(next()));
+        else if (arg == "--bits")
+            opt.bits = std::stoi(next());
+        else if (arg == "--csv")
+            opt.csv = true;
+        else if (arg == "--chip")
+            opt.chip = true;
+        else if (arg == "--list") {
+            usage();
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            lt_fatal("unknown argument ", arg);
+        }
+    }
+    if (opt.bits != 4 && opt.bits != 8)
+        lt_fatal("--bits must be 4 or 8");
+    if (opt.module != "mha" && opt.module != "ffn" &&
+        opt.module != "all")
+        lt_fatal("--module must be mha, ffn, or all");
+
+    auto model = resolveModel(opt);
+    if (!model) {
+        usage();
+        lt_fatal("unknown model ", opt.model);
+    }
+    nn::Workload wl = nn::extractWorkload(*model);
+    auto ops = selectOps(wl, opt.module);
+    std::string label = wl.model + "/" + opt.module;
+
+    if (auto lt_cfg = resolveLtArch(opt)) {
+        arch::LtPerformanceModel perf(*lt_cfg);
+        printReport(perf.evaluateOps(ops, label), opt);
+        if (opt.chip && !opt.csv) {
+            arch::ChipModel chip(*lt_cfg);
+            auto a = chip.area();
+            auto p = chip.power(opt.bits);
+            std::cout << "\nchip: "
+                      << units::fmtAreaMm2(a.total()) << ", "
+                      << units::fmtPower(p.total()) << " peak, "
+                      << units::fmtFixed(chip.opticalTops(), 1)
+                      << " TOPS\n";
+        }
+        return 0;
+    }
+    if (opt.arch == "mrr") {
+        baselines::MrrConfig cfg;
+        cfg.precision_bits = opt.bits;
+        baselines::MrrAccelerator mrr(cfg);
+        printReport(mrr.evaluateOps(ops, label), opt);
+        return 0;
+    }
+    if (opt.arch == "mzi") {
+        baselines::MziConfig zc;
+        zc.precision_bits = opt.bits;
+        baselines::MziAccelerator mzi(zc);
+        baselines::MrrConfig mc;
+        mc.precision_bits = opt.bits;
+        baselines::MrrAccelerator mha_fallback(mc);
+        arch::PerfReport r;
+        r.accelerator = "MZI-array+MRR(MHA)";
+        r.workload = label;
+        for (const auto &op : ops) {
+            r += op.dynamic ? mha_fallback.evaluateGemm(op)
+                            : mzi.evaluateGemm(op);
+        }
+        printReport(r, opt);
+        return 0;
+    }
+    usage();
+    lt_fatal("unknown arch ", opt.arch);
+}
