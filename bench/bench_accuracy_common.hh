@@ -12,6 +12,7 @@
 
 #include <memory>
 
+#include "nn/execution_engine.hh"
 #include "nn/gemm_backend.hh"
 #include "nn/transformer.hh"
 #include "train/datasets.hh"
@@ -114,7 +115,7 @@ photonicVisionAccuracy(TrainedVisionTask &task,
     dcfg.input_bits = task.quant.act_bits;
     dcfg.noise = noise;
     dcfg.seed = seed;
-    nn::PhotonicBackend backend(dcfg, core::EvalMode::Noisy);
+    nn::ExecutionEngine backend(dcfg, core::EvalMode::Noisy);
     nn::RunContext ctx{&backend, task.quant};
     return train::Trainer::evaluateVision(
         *task.model, task.test_set->samples(), ctx);
@@ -130,7 +131,7 @@ photonicSequenceAccuracy(TrainedSequenceTask &task,
     dcfg.input_bits = task.quant.act_bits;
     dcfg.noise = noise;
     dcfg.seed = seed;
-    nn::PhotonicBackend backend(dcfg, core::EvalMode::Noisy);
+    nn::ExecutionEngine backend(dcfg, core::EvalMode::Noisy);
     nn::RunContext ctx{&backend, task.quant};
     return train::Trainer::evaluateSequence(
         *task.model, task.test_set->samples(), ctx);

@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "nn/execution_engine.hh"
 #include "nn/gemm_backend.hh"
 #include "nn/transformer.hh"
 #include "train/datasets.hh"
@@ -76,7 +77,9 @@ main()
         dcfg.input_bits = 4;
         dcfg.noise.magnitude_noise_std = s.mag;
         dcfg.noise.phase_noise_std_deg = s.phase_deg;
-        nn::PhotonicBackend photonic(dcfg, core::EvalMode::Noisy);
+        // Every GEMM runs on the multi-core execution engine (8 DPTC
+        // replicas, LT-B's nt * nc), sharded over the thread pool.
+        nn::ExecutionEngine photonic(dcfg, core::EvalMode::Noisy);
         nn::RunContext ctx{&photonic, tcfg.quant};
         double acc = train::Trainer::evaluateVision(
             model, test_set.samples(), ctx);

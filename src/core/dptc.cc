@@ -10,11 +10,8 @@
 namespace lt {
 namespace core {
 
-namespace {
-
-/** Max absolute value of a matrix (beta normalization factor). */
 double
-maxAbs(const Matrix &m)
+Dptc::maxAbs(const Matrix &m)
 {
     double beta = 0.0;
     for (double v : m.data())
@@ -22,22 +19,17 @@ maxAbs(const Matrix &m)
     return beta;
 }
 
-/** Normalize into [-1, 1] and optionally quantize to `bits`. */
 Matrix
-normalizeAndQuantize(const Matrix &m, double beta, int bits,
-                     bool quantize)
+Dptc::normalizeQuantize(const Matrix &m, double beta, int bits)
 {
     Matrix out(m.rows(), m.cols());
     if (beta <= 0.0)
         return out;
-    for (size_t i = 0; i < m.data().size(); ++i) {
-        double v = m.data()[i] / beta;
-        out.data()[i] = quantize ? quantizeSymmetricUnit(v, bits) : v;
-    }
+    for (size_t i = 0; i < m.data().size(); ++i)
+        out.data()[i] =
+            quantizeSymmetricUnit(m.data()[i] / beta, bits);
     return out;
 }
-
-} // namespace
 
 Dptc::Dptc(const DptcConfig &cfg)
     : cfg_(cfg), ddot_(cfg.nlambda, cfg.noise), rng_(cfg.seed)
@@ -53,7 +45,8 @@ Dptc::Dptc(const DptcConfig &cfg)
 void
 Dptc::multiplyNormalized(const Matrix &a_hat, const Matrix &b_hat,
                          size_t row0, size_t col0, size_t k0,
-                         EvalMode mode, double scale, Matrix &out)
+                         EvalMode mode, double scale, Rng &rng,
+                         Matrix &out) const
 {
     const size_t rows = std::min(cfg_.nh, a_hat.rows() - row0);
     const size_t cols = std::min(cfg_.nv, b_hat.cols() - col0);
@@ -70,10 +63,10 @@ Dptc::multiplyNormalized(const Matrix &a_hat, const Matrix &b_hat,
             if (mode == EvalMode::Noisy) {
                 io = cfg_.channel_calibration
                          ? calibratedNoisyDot(ddot_, calibration_, x,
-                                              y, rng_)
-                         : ddot_.analyticNoisyDot(x, y, rng_);
+                                              y, rng)
+                         : ddot_.analyticNoisyDot(x, y, rng);
                 if (cfg_.noise.enable_systematic_noise) {
-                    double eps = rng_.gaussian(
+                    double eps = rng.gaussian(
                         0.0, cfg_.noise.systematic_output_std);
                     io *= (1.0 + eps);
                 }
@@ -97,44 +90,69 @@ Dptc::multiply(const Matrix &a, const Matrix &b, EvalMode mode)
     }
     if (mode == EvalMode::Ideal) {
         Matrix out(a.rows(), b.cols(), 0.0);
-        multiplyNormalized(a, b, 0, 0, 0, mode, 1.0, out);
+        multiplyNormalized(a, b, 0, 0, 0, mode, 1.0, rng_, out);
         return out;
     }
     double beta_a = maxAbs(a);
     double beta_b = maxAbs(b);
-    Matrix a_hat = normalizeAndQuantize(a, beta_a, cfg_.input_bits, true);
-    Matrix b_hat = normalizeAndQuantize(b, beta_b, cfg_.input_bits, true);
+    Matrix a_hat = normalizeQuantize(a, beta_a, cfg_.input_bits);
+    Matrix b_hat = normalizeQuantize(b, beta_b, cfg_.input_bits);
     Matrix out(a.rows(), b.cols(), 0.0);
-    multiplyNormalized(a_hat, b_hat, 0, 0, 0, mode, beta_a * beta_b, out);
+    multiplyNormalized(a_hat, b_hat, 0, 0, 0, mode, beta_a * beta_b,
+                       rng_, out);
     return out;
 }
 
+void
+Dptc::gemmTiles(const Matrix &a_hat, const Matrix &b_hat, EvalMode mode,
+                double scale, size_t tile_begin, size_t tile_end,
+                Matrix &out, uint64_t stream_seed) const
+{
+    auto cdiv = [](size_t a, size_t b) { return (a + b - 1) / b; };
+    const size_t tiles_c = cdiv(b_hat.cols(), cfg_.nv);
+    const size_t tiles_k = cdiv(a_hat.cols(), cfg_.nlambda);
+
+    Rng unused(0); // non-noisy modes never draw from it
+    for (size_t t = tile_begin; t < tile_end; ++t) {
+        const size_t r0 = (t / tiles_c) * cfg_.nh;
+        const size_t c0 = (t % tiles_c) * cfg_.nv;
+        if (mode == EvalMode::Noisy) {
+            // Counter-based seeding: (stream, output-tile index)
+            // alone determines the tile's noise; its k-slices consume
+            // the stream in fixed ascending order.
+            Rng tile_rng(deriveSeed(stream_seed, t));
+            for (size_t tk = 0; tk < tiles_k; ++tk)
+                multiplyNormalized(a_hat, b_hat, r0, c0,
+                                   tk * cfg_.nlambda, mode, scale,
+                                   tile_rng, out);
+        } else {
+            for (size_t tk = 0; tk < tiles_k; ++tk)
+                multiplyNormalized(a_hat, b_hat, r0, c0,
+                                   tk * cfg_.nlambda, mode, scale,
+                                   unused, out);
+        }
+    }
+}
+
 Matrix
-Dptc::gemm(const Matrix &a, const Matrix &b, EvalMode mode)
+Dptc::gemm(const Matrix &a, const Matrix &b, EvalMode mode) const
 {
     if (a.cols() != b.rows())
         lt_fatal("Dptc::gemm inner dimension mismatch: ", a.cols(),
                  " vs ", b.rows());
     Matrix out(a.rows(), b.cols(), 0.0);
+    const size_t tiles = outputTilesFor(a.rows(), b.cols());
     if (mode == EvalMode::Ideal) {
-        for (size_t r0 = 0; r0 < a.rows(); r0 += cfg_.nh)
-            for (size_t c0 = 0; c0 < b.cols(); c0 += cfg_.nv)
-                for (size_t k0 = 0; k0 < a.cols(); k0 += cfg_.nlambda)
-                    multiplyNormalized(a, b, r0, c0, k0, mode, 1.0, out);
+        gemmTiles(a, b, mode, 1.0, 0, tiles, out, cfg_.seed);
         return out;
     }
 
     double beta_a = maxAbs(a);
     double beta_b = maxAbs(b);
-    Matrix a_hat = normalizeAndQuantize(a, beta_a, cfg_.input_bits, true);
-    Matrix b_hat = normalizeAndQuantize(b, beta_b, cfg_.input_bits, true);
-    double scale = beta_a * beta_b;
-
-    for (size_t r0 = 0; r0 < a.rows(); r0 += cfg_.nh)
-        for (size_t c0 = 0; c0 < b.cols(); c0 += cfg_.nv)
-            for (size_t k0 = 0; k0 < a.cols(); k0 += cfg_.nlambda)
-                multiplyNormalized(a_hat, b_hat, r0, c0, k0, mode, scale,
-                                   out);
+    Matrix a_hat = normalizeQuantize(a, beta_a, cfg_.input_bits);
+    Matrix b_hat = normalizeQuantize(b, beta_b, cfg_.input_bits);
+    gemmTiles(a_hat, b_hat, mode, beta_a * beta_b, 0, tiles, out,
+              cfg_.seed);
     return out;
 }
 

@@ -74,28 +74,82 @@ class Dptc
     /**
      * One-shot matrix multiply: a is [nh, nlambda], b is [nlambda, nv].
      * Dimension mismatches are fatal (caller tiles larger GEMMs).
+     * Noise draws advance the core's stateful member RNG.
      */
     Matrix multiply(const Matrix &a, const Matrix &b, EvalMode mode);
 
     /**
      * Arbitrary GEMM [m, k] x [k, n] tiled over DPTC invocations with
      * digital accumulation of partial products (OS dataflow).
+     *
+     * Noise is seeded per output tile from (stream seed, tile index)
+     * — see deriveSeed() — so the result is a pure function of
+     * (operands, config, stream): bit-identical whether the tiles run
+     * sequentially here or sharded across the ExecutionEngine's
+     * worker cores. This entry point always uses stream seed
+     * DptcConfig::seed; the engine derives a fresh stream per call so
+     * repeated GEMMs draw independent noise.
      */
-    Matrix gemm(const Matrix &a, const Matrix &b, EvalMode mode);
+    Matrix gemm(const Matrix &a, const Matrix &b, EvalMode mode) const;
+
+    /**
+     * Process output tiles [tile_begin, tile_end) of a tiled GEMM on
+     * pre-normalized operands, accumulating every k-slice of each
+     * output tile into `out` (which must be [a_hat.rows(),
+     * b_hat.cols()], zero-filled in the covered region). Output tiles
+     * are numbered row-major: tile = tr * ceil(n/nv) + tc. Thread-safe
+     * for disjoint tile ranges — this is the unit the ExecutionEngine
+     * shards across core replicas.
+     *
+     * Each output tile draws its noise from an Rng seeded
+     * deriveSeed(stream_seed, tile); its k-slices consume that stream
+     * in fixed ascending order (a tile never spans shards).
+     *
+     * @param scale multiplies every output (beta_a * beta_b; 1 for
+     *        Ideal mode on raw operands)
+     * @param stream_seed base seed of this GEMM's noise stream
+     */
+    void gemmTiles(const Matrix &a_hat, const Matrix &b_hat,
+                   EvalMode mode, double scale, size_t tile_begin,
+                   size_t tile_end, Matrix &out,
+                   uint64_t stream_seed) const;
+
+    /** Output-tile count of a tiled [m,k]x[k,n] GEMM (rows x cols). */
+    size_t
+    outputTilesFor(size_t m, size_t n) const
+    {
+        auto cdiv = [](size_t a, size_t b) { return (a + b - 1) / b; };
+        return cdiv(m, cfg_.nh) * cdiv(n, cfg_.nv);
+    }
 
     /** Number of one-shot invocations a tiled [m,k]x[k,n] GEMM needs. */
     size_t invocationsFor(size_t m, size_t k, size_t n) const;
+
+    /** Max absolute value of a matrix (beta normalization factor). */
+    static double maxAbs(const Matrix &m);
+
+    /**
+     * Scale into [-1, 1] by beta and quantize to `bits` (the shared
+     * operand-preparation step of multiply()/gemm(), exposed so the
+     * ExecutionEngine normalizes once per GEMM, not once per tile).
+     */
+    static Matrix normalizeQuantize(const Matrix &m, double beta,
+                                    int bits);
 
     Rng &rng() { return rng_; }
 
   private:
     /**
-     * Core of multiply() on pre-normalized (and pre-quantized) operands;
-     * `scale` multiplies every output (beta_a * beta_b).
+     * One core invocation on pre-normalized (and pre-quantized)
+     * operands; `scale` multiplies every output (beta_a * beta_b).
+     * All noise draws come from `rng`, which the caller seeds — either
+     * the stateful member (multiply()) or a per-tile counter-derived
+     * generator (gemm()/gemmTiles()).
      */
     void multiplyNormalized(const Matrix &a_hat, const Matrix &b_hat,
                             size_t row0, size_t col0, size_t k0,
-                            EvalMode mode, double scale, Matrix &out);
+                            EvalMode mode, double scale, Rng &rng,
+                            Matrix &out) const;
 
     DptcConfig cfg_;
     DDot ddot_;

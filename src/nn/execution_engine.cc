@@ -1,0 +1,132 @@
+#include "execution_engine.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/parallel.hh"
+
+namespace lt {
+namespace nn {
+
+ExecutionEngine::ExecutionEngine(const EngineConfig &cfg) : cfg_(cfg)
+{
+    size_t replicas = cfg.num_cores > 0
+                          ? cfg.num_cores
+                          : ThreadPool::global().numThreads();
+    cores_.reserve(replicas);
+    for (size_t i = 0; i < replicas; ++i)
+        cores_.emplace_back(cfg.dptc);
+}
+
+ExecutionEngine::ExecutionEngine(const core::DptcConfig &dcfg,
+                                 core::EvalMode mode, size_t num_cores)
+    : ExecutionEngine(EngineConfig{dcfg, mode, num_cores})
+{
+}
+
+Matrix
+ExecutionEngine::gemmOneProduct(const Matrix &a, const Matrix &b,
+                                bool parallel_tiles,
+                                const core::Dptc &proto,
+                                uint64_t stream_seed)
+{
+    if (a.cols() != b.rows())
+        lt_fatal("ExecutionEngine::gemm inner dimension mismatch: ",
+                 a.cols(), " vs ", b.rows());
+
+    const size_t tiles = proto.outputTilesFor(a.rows(), b.cols());
+    Matrix out(a.rows(), b.cols(), 0.0);
+
+    const core::EvalMode mode = cfg_.mode;
+    double scale = 1.0;
+    const Matrix *a_hat = &a;
+    const Matrix *b_hat = &b;
+    Matrix a_norm, b_norm;
+    if (mode != core::EvalMode::Ideal) {
+        double beta_a = core::Dptc::maxAbs(a);
+        double beta_b = core::Dptc::maxAbs(b);
+        int bits = proto.config().input_bits;
+        a_norm = core::Dptc::normalizeQuantize(a, beta_a, bits);
+        b_norm = core::Dptc::normalizeQuantize(b, beta_b, bits);
+        scale = beta_a * beta_b;
+        a_hat = &a_norm;
+        b_hat = &b_norm;
+    }
+
+    if (!parallel_tiles || tiles == 1) {
+        proto.gemmTiles(*a_hat, *b_hat, mode, scale, 0, tiles, out,
+                        stream_seed);
+        return out;
+    }
+
+    // Shard output tiles across the core replicas. Shards own disjoint
+    // output regions and every tile's noise is counter-seeded, so the
+    // split affects wall-clock only, never the result.
+    ThreadPool::global().parallelFor(
+        tiles,
+        [&](size_t begin, size_t end, size_t shard) {
+            cores_[shard % cores_.size()].gemmTiles(
+                *a_hat, *b_hat, mode, scale, begin, end, out,
+                stream_seed);
+        },
+        cores_.size());
+    return out;
+}
+
+Matrix
+ExecutionEngine::gemm(const Matrix &a, const Matrix &b)
+{
+    stats_.record(a.rows(), a.cols(), b.cols());
+    uint64_t stream = deriveSeed(cfg_.dptc.seed,
+                                 next_stream_.fetch_add(1));
+    return gemmOneProduct(a, b, /*parallel_tiles=*/true,
+                          cores_.front(), stream);
+}
+
+std::vector<Matrix>
+ExecutionEngine::gemmBatch(
+    const std::vector<std::pair<const Matrix *, const Matrix *>>
+        &products)
+{
+    std::vector<Matrix> results(products.size());
+    // Stream ids are claimed for the whole batch up front, in product
+    // order — the assignment must not depend on which thread runs
+    // which product.
+    const uint64_t stream_base =
+        next_stream_.fetch_add(products.size());
+    auto streamOf = [&](size_t i) {
+        return deriveSeed(cfg_.dptc.seed, stream_base + i);
+    };
+    // Serving regime: enough independent products to keep every core
+    // busy — shard whole products across cores and run each one
+    // sequentially inside its shard. Otherwise parallelize tiles
+    // within each product.
+    const bool shard_products = products.size() >= cores_.size();
+    if (!shard_products) {
+        for (size_t i = 0; i < products.size(); ++i) {
+            stats_.record(products[i].first->rows(),
+                          products[i].first->cols(),
+                          products[i].second->cols());
+            results[i] = gemmOneProduct(*products[i].first,
+                                        *products[i].second, true,
+                                        cores_.front(), streamOf(i));
+        }
+        return results;
+    }
+    for (const auto &[pa, pb] : products)
+        stats_.record(pa->rows(), pa->cols(), pb->cols());
+    ThreadPool::global().parallelFor(
+        products.size(),
+        [&](size_t begin, size_t end, size_t shard) {
+            const core::Dptc &replica = cores_[shard % cores_.size()];
+            for (size_t i = begin; i < end; ++i)
+                results[i] = gemmOneProduct(*products[i].first,
+                                            *products[i].second, false,
+                                            replica, streamOf(i));
+        },
+        cores_.size());
+    return results;
+}
+
+} // namespace nn
+} // namespace lt

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * ExecutionEngine: the multi-core, batched GEMM execution layer.
+ *
+ * The Lightening-Transformer accelerator is an array of Nt x Nc DPTC
+ * tensor cores, each computing one-shot [Nh, Nlambda] x [Nlambda, Nv]
+ * tiles in parallel (paper Section IV). This engine is the software
+ * mirror of that layout: it owns a pool of identical DPTC core
+ * replicas, shards a tiled GEMM's output tiles across them on the
+ * global thread pool, and accumulates k-slices digitally per output
+ * tile (output-stationary, like the hardware).
+ *
+ * Determinism: each engine call is assigned a stream id in call
+ * order, and every output tile seeds its noise from (stream, tile
+ * index) — see Dptc::gemmTiles. Results are therefore bit-identical
+ * at any thread count, and a freshly-constructed engine replays the
+ * exact same sequence of noisy results for the same sequence of
+ * calls — while distinct calls (heads, layers, samples, repeats)
+ * still draw independent noise, as the stateful pre-refactor RNG
+ * did. The engine is the backend behind PhotonicBackend and the
+ * batched model-evaluation paths.
+ */
+
+#ifndef LT_NN_EXECUTION_ENGINE_HH
+#define LT_NN_EXECUTION_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/dptc.hh"
+#include "nn/gemm_backend.hh"
+
+namespace lt {
+namespace nn {
+
+/** Engine geometry and evaluation fidelity. */
+struct EngineConfig
+{
+    core::DptcConfig dptc;
+    core::EvalMode mode = core::EvalMode::Noisy;
+
+    /**
+     * DPTC core replicas to shard tiles across. Mirrors
+     * arch::ArchConfig's cores per chip (LT-B: nt * nc = 4 * 2 = 8,
+     * Table IV); 0 means one replica per thread-pool worker.
+     */
+    size_t num_cores = 8;
+};
+
+/** Multi-core tiled GEMM executor over DPTC replicas. */
+class ExecutionEngine : public GemmBackend
+{
+  public:
+    explicit ExecutionEngine(const EngineConfig &cfg);
+    ExecutionEngine(const core::DptcConfig &dcfg, core::EvalMode mode,
+                    size_t num_cores = 8);
+
+    /**
+     * Tiled [m,k] x [k,n] product: operands are beta-normalized and
+     * quantized once, then output tiles are sharded across the core
+     * replicas. Bit-identical at any thread count; consumes the next
+     * stream id, so repeated calls draw fresh noise.
+     */
+    Matrix gemm(const Matrix &a, const Matrix &b) override;
+
+    /**
+     * Batched execution: run many independent products in one call.
+     * Large batches shard whole products across cores (the serving
+     * regime: many small GEMMs); small batches run each product with
+     * intra-GEMM tile parallelism. Stream ids are assigned to the
+     * products in order before dispatch, so results match gemm()
+     * called per product in order on an engine with the same call
+     * history — regardless of which core runs which product.
+     */
+    std::vector<Matrix>
+    gemmBatch(const std::vector<std::pair<const Matrix *,
+                                          const Matrix *>> &products)
+        override;
+
+    core::EvalMode mode() const { return cfg_.mode; }
+    size_t numCores() const { return cores_.size(); }
+
+    /** Core replica i (replica 0 doubles as the legacy dptc() view). */
+    core::Dptc &core(size_t i = 0) { return cores_.at(i); }
+    const core::Dptc &core(size_t i = 0) const { return cores_.at(i); }
+
+  private:
+    Matrix gemmOneProduct(const Matrix &a, const Matrix &b,
+                          bool parallel_tiles, const core::Dptc &proto,
+                          uint64_t stream_seed);
+
+    EngineConfig cfg_;
+
+    /**
+     * One Dptc per shard. The replicas are functionally identical
+     * today (gemmTiles is const and counter-seeded), but they mirror
+     * the hardware's per-core state — per-core calibration tables and
+     * device variations land here in later PRs — and fix the shard
+     * count.
+     */
+    std::vector<core::Dptc> cores_;
+
+    /** Next noise-stream id, consumed in call order. */
+    std::atomic<uint64_t> next_stream_{0};
+};
+
+} // namespace nn
+} // namespace lt
+
+#endif // LT_NN_EXECUTION_ENGINE_HH

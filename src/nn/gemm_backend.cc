@@ -1,5 +1,7 @@
 #include "gemm_backend.hh"
 
+#include "nn/execution_engine.hh"
+
 namespace lt {
 namespace nn {
 
@@ -7,20 +9,53 @@ Matrix
 IdealBackend::gemm(const Matrix &a, const Matrix &b)
 {
     stats_.record(a.rows(), a.cols(), b.cols());
-    return a * b;
+    return matmul(a, b);
 }
 
 PhotonicBackend::PhotonicBackend(const core::DptcConfig &cfg,
                                  core::EvalMode mode)
-    : dptc_(cfg), mode_(mode)
+    : engine_(std::make_unique<ExecutionEngine>(cfg, mode))
 {
 }
+
+PhotonicBackend::~PhotonicBackend() = default;
 
 Matrix
 PhotonicBackend::gemm(const Matrix &a, const Matrix &b)
 {
-    stats_.record(a.rows(), a.cols(), b.cols());
-    return dptc_.gemm(a, b, mode_);
+    return engine_->gemm(a, b);
+}
+
+std::vector<Matrix>
+PhotonicBackend::gemmBatch(
+    const std::vector<std::pair<const Matrix *, const Matrix *>>
+        &products)
+{
+    return engine_->gemmBatch(products);
+}
+
+const GemmStats &
+PhotonicBackend::stats() const
+{
+    return engine_->stats();
+}
+
+void
+PhotonicBackend::resetStats()
+{
+    engine_->resetStats();
+}
+
+core::Dptc &
+PhotonicBackend::dptc()
+{
+    return engine_->core(0);
+}
+
+core::EvalMode
+PhotonicBackend::mode() const
+{
+    return engine_->mode();
 }
 
 } // namespace nn

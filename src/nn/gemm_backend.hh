@@ -5,14 +5,20 @@
  * Every matrix multiply in the model (weight projections and the
  * dynamic attention products QK^T / AV) routes through a GemmBackend,
  * so the same network can run on exact arithmetic (the paper's "GPU"
- * reference) or on the noisy photonic DPTC functional model.
+ * reference) or on the noisy photonic DPTC functional model. The
+ * photonic path is executed by the multi-core ExecutionEngine
+ * (nn/execution_engine.hh), which shards GEMM tiles across DPTC core
+ * replicas on the global thread pool.
  */
 
 #ifndef LT_NN_GEMM_BACKEND_HH
 #define LT_NN_GEMM_BACKEND_HH
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/dptc.hh"
 #include "util/linalg.hh"
@@ -20,24 +26,30 @@
 namespace lt {
 namespace nn {
 
-/** Statistics a backend gathers while the model runs. */
+class ExecutionEngine;
+
+/**
+ * Statistics a backend gathers while the model runs. Counters are
+ * atomic: tiles and batched products record concurrently once GEMMs
+ * run on the thread pool.
+ */
 struct GemmStats
 {
-    size_t calls = 0;
-    size_t macs = 0;
+    std::atomic<size_t> calls{0};
+    std::atomic<size_t> macs{0};
 
     void
     record(size_t m, size_t k, size_t n)
     {
-        ++calls;
-        macs += m * k * n;
+        calls.fetch_add(1, std::memory_order_relaxed);
+        macs.fetch_add(m * k * n, std::memory_order_relaxed);
     }
 
     void
     reset()
     {
-        calls = 0;
-        macs = 0;
+        calls.store(0, std::memory_order_relaxed);
+        macs.store(0, std::memory_order_relaxed);
     }
 };
 
@@ -50,8 +62,25 @@ class GemmBackend
     /** Compute a [m,k] x [k,n] product. */
     virtual Matrix gemm(const Matrix &a, const Matrix &b) = 0;
 
-    const GemmStats &stats() const { return stats_; }
-    void resetStats() { stats_.reset(); }
+    /**
+     * Execute many independent products in one call. Results equal
+     * gemm() applied per product, in order; multi-core backends
+     * override this to shard products across their replicas (attention
+     * batches per-head QK^T / AV through here).
+     */
+    virtual std::vector<Matrix>
+    gemmBatch(const std::vector<std::pair<const Matrix *,
+                                          const Matrix *>> &products)
+    {
+        std::vector<Matrix> results;
+        results.reserve(products.size());
+        for (const auto &[a, b] : products)
+            results.push_back(gemm(*a, *b));
+        return results;
+    }
+
+    virtual const GemmStats &stats() const { return stats_; }
+    virtual void resetStats() { stats_.reset(); }
 
   protected:
     GemmStats stats_;
@@ -65,24 +94,38 @@ class IdealBackend : public GemmBackend
 };
 
 /**
- * Photonic GEMM: tiles the product over a DPTC core functional model
+ * Photonic GEMM: tiles the product over the DPTC functional model
  * with the configured noise (Eq. 9), beta normalization, and DAC
  * quantization. This is the paper's "software model" forward path.
+ * Execution is delegated to a multi-core ExecutionEngine; results are
+ * bit-identical at any thread count (counter-seeded tile noise).
  */
 class PhotonicBackend : public GemmBackend
 {
   public:
     explicit PhotonicBackend(const core::DptcConfig &cfg,
                              core::EvalMode mode = core::EvalMode::Noisy);
+    ~PhotonicBackend() override;
 
     Matrix gemm(const Matrix &a, const Matrix &b) override;
 
-    core::Dptc &dptc() { return dptc_; }
-    core::EvalMode mode() const { return mode_; }
+    std::vector<Matrix>
+    gemmBatch(const std::vector<std::pair<const Matrix *,
+                                          const Matrix *>> &products)
+        override;
+
+    /** The first core replica (legacy single-core view). */
+    core::Dptc &dptc();
+    core::EvalMode mode() const;
+
+    /** Stats live on the wrapped engine — one source of truth. */
+    const GemmStats &stats() const override;
+    void resetStats() override;
+
+    ExecutionEngine &engine() { return *engine_; }
 
   private:
-    core::Dptc dptc_;
-    core::EvalMode mode_;
+    std::unique_ptr<ExecutionEngine> engine_;
 };
 
 } // namespace nn

@@ -192,8 +192,10 @@ MultiHeadSelfAttention::forward(const Matrix &x, RunContext &ctx)
     cached_v_.assign(heads_, Matrix());
     cached_p_.assign(heads_, Matrix());
 
-    Matrix context(tokens, dim_, 0.0);
-    double inv_sqrt_dk = 1.0 / std::sqrt(static_cast<double>(dk_));
+    // Per-head operands first, so the dynamic MMs can run as one
+    // batch on the execution engine (each head's product keeps its
+    // own noise stream — batching never changes results).
+    std::vector<Matrix> kh_t(heads_);
     for (size_t h = 0; h < heads_; ++h) {
         Matrix qh = sliceCols(q, h * dk_, dk_);
         Matrix kh = sliceCols(k, h * dk_, dk_);
@@ -205,23 +207,39 @@ MultiHeadSelfAttention::forward(const Matrix &x, RunContext &ctx)
             kh = fakeQuant(kh, ctx.quant.act_bits);
             vh = fakeQuant(vh, ctx.quant.act_bits);
         }
-        // QK^T: the first dynamic MM.
-        Matrix scores = ctx.backend->gemm(qh, kh.transposed());
-        for (double &s : scores.data())
-            s *= inv_sqrt_dk;
-        Matrix p = rowSoftmax(scores);
-        Matrix p_enc = ctx.quant.enabled
-                           ? fakeQuant(p, ctx.quant.act_bits)
-                           : p;
-        // AV: the second dynamic MM.
-        Matrix ctx_h = ctx.backend->gemm(p_enc, vh);
-        pasteCols(context, ctx_h, h * dk_);
-
+        kh_t[h] = kh.transposed();
         cached_q_[h] = std::move(qh);
         cached_k_[h] = std::move(kh);
         cached_v_[h] = std::move(vh);
-        cached_p_[h] = std::move(p_enc);
     }
+
+    // QK^T: the first dynamic MM, batched over heads.
+    std::vector<std::pair<const Matrix *, const Matrix *>> qk_ops;
+    qk_ops.reserve(heads_);
+    for (size_t h = 0; h < heads_; ++h)
+        qk_ops.emplace_back(&cached_q_[h], &kh_t[h]);
+    std::vector<Matrix> scores = ctx.backend->gemmBatch(qk_ops);
+
+    double inv_sqrt_dk = 1.0 / std::sqrt(static_cast<double>(dk_));
+    for (size_t h = 0; h < heads_; ++h) {
+        for (double &s : scores[h].data())
+            s *= inv_sqrt_dk;
+        Matrix p = rowSoftmax(scores[h]);
+        cached_p_[h] = ctx.quant.enabled
+                           ? fakeQuant(p, ctx.quant.act_bits)
+                           : std::move(p);
+    }
+
+    // AV: the second dynamic MM, batched over heads.
+    std::vector<std::pair<const Matrix *, const Matrix *>> av_ops;
+    av_ops.reserve(heads_);
+    for (size_t h = 0; h < heads_; ++h)
+        av_ops.emplace_back(&cached_p_[h], &cached_v_[h]);
+    std::vector<Matrix> ctx_heads = ctx.backend->gemmBatch(av_ops);
+
+    Matrix context(tokens, dim_, 0.0);
+    for (size_t h = 0; h < heads_; ++h)
+        pasteCols(context, ctx_heads[h], h * dk_);
     return wo_.forward(context, ctx);
 }
 

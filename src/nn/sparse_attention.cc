@@ -2,9 +2,11 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "nn/tensor_ops.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace lt {
 namespace nn {
@@ -51,54 +53,179 @@ windowAttentionDense(const Matrix &q, const Matrix &k, const Matrix &v,
     return p * v;
 }
 
-Matrix
-windowAttentionBlocked(const Matrix &q, const Matrix &k, const Matrix &v,
-                       const WindowAttentionConfig &cfg)
+namespace {
+
+/** One Q chunk's geometry: its rows and the key span they touch. */
+struct ChunkSpan
 {
-    validate(q, k, v, cfg);
-    const double inv_sqrt_dk =
-        1.0 / std::sqrt(static_cast<double>(cfg.head_dim));
-    Matrix out(cfg.seq_len, cfg.head_dim, 0.0);
+    size_t q0, q1;       ///< query rows [q0, q1)
+    size_t span0, span1; ///< union of the rows' windows (key span)
 
-    for (size_t q0 = 0; q0 < cfg.seq_len; q0 += cfg.block) {
-        size_t q1 = std::min(q0 + cfg.block, cfg.seq_len);
-        // Union of the chunk's windows -> the key span to gather.
-        size_t span0 = cfg.windowStart(q0);
-        size_t span1 = cfg.windowEnd(q1 - 1);
-        size_t span = span1 - span0;
+    size_t rows() const { return q1 - q0; }
+    size_t span() const { return span1 - span0; }
+};
 
-        // Chunked dense QK^T on the gathered span.
-        Matrix scores(q1 - q0, span);
-        for (size_t i = q0; i < q1; ++i) {
-            for (size_t j = span0; j < span1; ++j) {
-                double s = 0.0;
-                for (size_t c = 0; c < cfg.head_dim; ++c)
-                    s += q(i, c) * k(j, c);
-                scores(i - q0, j - span0) = s * inv_sqrt_dk;
-            }
-        }
-        // Per-row masking of span entries outside the token's own
-        // window (the span covers the union, not each row's window).
-        for (size_t i = q0; i < q1; ++i) {
-            size_t w0 = cfg.windowStart(i);
-            size_t w1 = cfg.windowEnd(i);
-            for (size_t j = span0; j < span1; ++j) {
-                if (j < w0 || j >= w1)
-                    scores(i - q0, j - span0) =
-                        -std::numeric_limits<double>::infinity();
-            }
-        }
-        Matrix p = rowSoftmax(scores);
-        // Compressed AV: multiply against the gathered V rows.
-        for (size_t i = 0; i < p.rows(); ++i) {
-            for (size_t c = 0; c < cfg.head_dim; ++c) {
-                double s = 0.0;
-                for (size_t j = 0; j < span; ++j)
-                    s += p(i, j) * v(span0 + j, c);
-                out(q0 + i, c) = s;
-            }
+/** The chunk starting at q0 (shared by both execution pipelines). */
+ChunkSpan
+chunkSpanAt(const WindowAttentionConfig &cfg, size_t q0)
+{
+    ChunkSpan ch;
+    ch.q0 = q0;
+    ch.q1 = std::min(q0 + cfg.block, cfg.seq_len);
+    ch.span0 = cfg.windowStart(q0);
+    ch.span1 = cfg.windowEnd(ch.q1 - 1);
+    return ch;
+}
+
+/**
+ * Mask span entries outside each row's own window to -inf (the span
+ * covers the chunk's union, not each row's window). `scores` is the
+ * chunk-local [rows, span] score matrix.
+ */
+void
+maskOutOfWindow(const WindowAttentionConfig &cfg, const ChunkSpan &ch,
+                Matrix &scores)
+{
+    for (size_t i = ch.q0; i < ch.q1; ++i) {
+        size_t w0 = cfg.windowStart(i);
+        size_t w1 = cfg.windowEnd(i);
+        for (size_t j = ch.span0; j < ch.span1; ++j) {
+            if (j < w0 || j >= w1)
+                scores(i - ch.q0, j - ch.span0) =
+                    -std::numeric_limits<double>::infinity();
         }
     }
+}
+
+/**
+ * The host (backend-free) chunk pipeline: scores, mask, softmax, AV
+ * for one Q chunk. Writes only output rows [q0, q1) — chunks are
+ * independent, which is what lets windowAttentionBlocked shard them.
+ */
+void
+chunkPipelineHost(const Matrix &q, const Matrix &k, const Matrix &v,
+                  const WindowAttentionConfig &cfg, size_t chunk_q0,
+                  Matrix &out)
+{
+    const double inv_sqrt_dk =
+        1.0 / std::sqrt(static_cast<double>(cfg.head_dim));
+    ChunkSpan ch = chunkSpanAt(cfg, chunk_q0);
+    size_t q0 = ch.q0, q1 = ch.q1;
+    size_t span0 = ch.span0, span1 = ch.span1;
+    size_t span = ch.span();
+
+    // Chunked dense QK^T on the gathered span.
+    Matrix scores(q1 - q0, span);
+    for (size_t i = q0; i < q1; ++i) {
+        for (size_t j = span0; j < span1; ++j) {
+            double s = 0.0;
+            for (size_t c = 0; c < cfg.head_dim; ++c)
+                s += q(i, c) * k(j, c);
+            scores(i - q0, j - span0) = s * inv_sqrt_dk;
+        }
+    }
+    maskOutOfWindow(cfg, ch, scores);
+    Matrix p = rowSoftmax(scores);
+    // Compressed AV: multiply against the gathered V rows.
+    for (size_t i = 0; i < p.rows(); ++i) {
+        for (size_t c = 0; c < cfg.head_dim; ++c) {
+            double s = 0.0;
+            for (size_t j = 0; j < span; ++j)
+                s += p(i, j) * v(span0 + j, c);
+            out(q0 + i, c) = s;
+        }
+    }
+}
+
+/**
+ * Backend chunk pipeline: materialize the chunk operands, batch every
+ * chunk's QK^T through gemmBatch, mask + softmax, then batch the
+ * compressed AV products. This is the Fig. 16 workload running on the
+ * execution engine as a list of small dense GEMMs.
+ */
+Matrix
+blockedOnBackend(const Matrix &q, const Matrix &k, const Matrix &v,
+                 const WindowAttentionConfig &cfg, GemmBackend &backend)
+{
+    const double inv_sqrt_dk =
+        1.0 / std::sqrt(static_cast<double>(cfg.head_dim));
+    struct Chunk
+    {
+        ChunkSpan span;
+        Matrix q_chunk;  ///< [rows, dk]
+        Matrix kt_span;  ///< [dk, span] gathered K^T
+        Matrix v_span;   ///< [span, dk] gathered V rows
+        Matrix p;        ///< masked softmax probabilities
+    };
+    std::vector<Chunk> chunks;
+    for (size_t q0 = 0; q0 < cfg.seq_len; q0 += cfg.block) {
+        Chunk ch;
+        ch.span = chunkSpanAt(cfg, q0);
+        size_t rows = ch.span.rows();
+        size_t span = ch.span.span();
+        ch.q_chunk = Matrix(rows, cfg.head_dim);
+        for (size_t i = 0; i < rows; ++i)
+            for (size_t c = 0; c < cfg.head_dim; ++c)
+                ch.q_chunk(i, c) = q(ch.span.q0 + i, c);
+        ch.kt_span = Matrix(cfg.head_dim, span);
+        for (size_t j = 0; j < span; ++j)
+            for (size_t c = 0; c < cfg.head_dim; ++c)
+                ch.kt_span(c, j) = k(ch.span.span0 + j, c);
+        ch.v_span = Matrix(span, cfg.head_dim);
+        for (size_t j = 0; j < span; ++j)
+            for (size_t c = 0; c < cfg.head_dim; ++c)
+                ch.v_span(j, c) = v(ch.span.span0 + j, c);
+        chunks.push_back(std::move(ch));
+    }
+
+    std::vector<std::pair<const Matrix *, const Matrix *>> qk_ops;
+    qk_ops.reserve(chunks.size());
+    for (const Chunk &ch : chunks)
+        qk_ops.emplace_back(&ch.q_chunk, &ch.kt_span);
+    std::vector<Matrix> scores = backend.gemmBatch(qk_ops);
+
+    for (size_t ci = 0; ci < chunks.size(); ++ci) {
+        Chunk &ch = chunks[ci];
+        Matrix &s = scores[ci];
+        for (double &x : s.data())
+            x *= inv_sqrt_dk;
+        maskOutOfWindow(cfg, ch.span, s);
+        ch.p = rowSoftmax(s);
+    }
+
+    std::vector<std::pair<const Matrix *, const Matrix *>> av_ops;
+    av_ops.reserve(chunks.size());
+    for (const Chunk &ch : chunks)
+        av_ops.emplace_back(&ch.p, &ch.v_span);
+    std::vector<Matrix> ctx = backend.gemmBatch(av_ops);
+
+    Matrix out(cfg.seq_len, cfg.head_dim, 0.0);
+    for (size_t ci = 0; ci < chunks.size(); ++ci) {
+        const Chunk &ch = chunks[ci];
+        for (size_t i = 0; i < ch.span.rows(); ++i)
+            for (size_t c = 0; c < cfg.head_dim; ++c)
+                out(ch.span.q0 + i, c) = ctx[ci](i, c);
+    }
+    return out;
+}
+
+} // namespace
+
+Matrix
+windowAttentionBlocked(const Matrix &q, const Matrix &k, const Matrix &v,
+                       const WindowAttentionConfig &cfg,
+                       GemmBackend *backend)
+{
+    validate(q, k, v, cfg);
+    if (backend)
+        return blockedOnBackend(q, k, v, cfg, *backend);
+
+    Matrix out(cfg.seq_len, cfg.head_dim, 0.0);
+    const size_t num_chunks =
+        (cfg.seq_len + cfg.block - 1) / cfg.block;
+    ThreadPool::global().parallelForEach(num_chunks, [&](size_t ci) {
+        chunkPipelineHost(q, k, v, cfg, ci * cfg.block, out);
+    });
     return out;
 }
 

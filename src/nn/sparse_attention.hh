@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "nn/gemm_backend.hh"
 #include "nn/workload.hh"
 #include "util/linalg.hh"
 
@@ -64,11 +65,19 @@ Matrix windowAttentionDense(const Matrix &q, const Matrix &k,
 /**
  * Blockified implementation (Fig. 16): per Q chunk, gather the key
  * span its window covers, run chunked dense QK^T / softmax / AV.
- * Bit-identical to windowAttentionDense.
+ *
+ * With no backend, the chunk pipeline runs on the host and matches
+ * windowAttentionDense to round-off; chunks own disjoint output
+ * rows and are sharded across the global thread pool. With a backend,
+ * the chunked QK^T and AV products are batched through
+ * GemmBackend::gemmBatch — this is how the sparse workload executes
+ * on the photonic ExecutionEngine (quantization + noise apply, so
+ * outputs then track, rather than equal, the dense reference).
  */
 Matrix windowAttentionBlocked(const Matrix &q, const Matrix &k,
                               const Matrix &v,
-                              const WindowAttentionConfig &cfg);
+                              const WindowAttentionConfig &cfg,
+                              GemmBackend *backend = nullptr);
 
 /** Chunked-GEMM workload of one blockified window-attention head. */
 struct SparseAttentionWorkload

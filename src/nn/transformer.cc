@@ -97,6 +97,51 @@ TransformerClassifier::forwardSequence(const std::vector<int> &tokens,
     return forwardCommon(std::move(x), ctx);
 }
 
+std::vector<Matrix>
+TransformerClassifier::forwardVisionBatch(
+    const std::vector<const Matrix *> &batch, RunContext &ctx)
+{
+    std::vector<Matrix> logits;
+    logits.reserve(batch.size());
+    for (const Matrix *patches : batch)
+        logits.push_back(forwardVision(*patches, ctx));
+    return logits;
+}
+
+std::vector<Matrix>
+TransformerClassifier::forwardVisionBatch(
+    const std::vector<Matrix> &batch, RunContext &ctx)
+{
+    std::vector<const Matrix *> ptrs;
+    ptrs.reserve(batch.size());
+    for (const Matrix &m : batch)
+        ptrs.push_back(&m);
+    return forwardVisionBatch(ptrs, ctx);
+}
+
+std::vector<Matrix>
+TransformerClassifier::forwardSequenceBatch(
+    const std::vector<const std::vector<int> *> &batch,
+    RunContext &ctx)
+{
+    std::vector<Matrix> logits;
+    logits.reserve(batch.size());
+    for (const auto *tokens : batch)
+        logits.push_back(forwardSequence(*tokens, ctx));
+    return logits;
+}
+
+std::vector<Matrix>
+TransformerClassifier::forwardSequenceBatch(
+    const std::vector<std::vector<int>> &batch, RunContext &ctx)
+{
+    std::vector<const std::vector<int> *> ptrs;
+    ptrs.reserve(batch.size());
+    for (const auto &tokens : batch)
+        ptrs.push_back(&tokens);
+    return forwardSequenceBatch(ptrs, ctx);
+}
+
 void
 TransformerClassifier::backward(const Matrix &dlogits)
 {

@@ -64,6 +64,34 @@ class TransformerClassifier
     Matrix forwardSequence(const std::vector<int> &tokens,
                            RunContext &ctx);
 
+    /**
+     * Batched vision inference: one logits matrix per sample, equal to
+     * calling forwardVision() per sample in order. Layer forward
+     * caches make the model object stateful, so samples stream through
+     * sequentially; the parallel axis is the execution engine sharding
+     * each sample's GEMM tiles (and per-head attention batches) across
+     * its cores. Inference-only: afterwards the backward caches refer
+     * to the last sample.
+     */
+    std::vector<Matrix>
+    forwardVisionBatch(const std::vector<const Matrix *> &batch,
+                       RunContext &ctx);
+
+    /** Convenience overload over owned matrices. */
+    std::vector<Matrix>
+    forwardVisionBatch(const std::vector<Matrix> &batch,
+                       RunContext &ctx);
+
+    /** Batched sequence inference (see forwardVisionBatch). */
+    std::vector<Matrix> forwardSequenceBatch(
+        const std::vector<const std::vector<int> *> &batch,
+        RunContext &ctx);
+
+    /** Convenience overload over owned token vectors. */
+    std::vector<Matrix>
+    forwardSequenceBatch(const std::vector<std::vector<int>> &batch,
+                         RunContext &ctx);
+
     /** Backward from dL/dlogits through the whole network. */
     void backward(const Matrix &dlogits);
 

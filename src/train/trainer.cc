@@ -79,11 +79,17 @@ Trainer::evaluateVision(nn::TransformerClassifier &model,
                         const std::vector<VisionSample> &data,
                         nn::RunContext &ctx)
 {
+    // Evaluation is inference-only, so it rides the batched forward
+    // path (per-sample GEMMs execute on the engine's core shards).
+    std::vector<const Matrix *> batch;
+    batch.reserve(data.size());
+    for (const auto &s : data)
+        batch.push_back(&s.patches);
+    std::vector<Matrix> logits = model.forwardVisionBatch(batch, ctx);
     size_t correct = 0;
-    for (const auto &s : data) {
-        Matrix logits = model.forwardVision(s.patches, ctx);
-        size_t best = nn::argmaxRow(logits, 0);
-        correct += best == static_cast<size_t>(s.label) ? 1 : 0;
+    for (size_t i = 0; i < data.size(); ++i) {
+        size_t best = nn::argmaxRow(logits[i], 0);
+        correct += best == static_cast<size_t>(data[i].label) ? 1 : 0;
     }
     return static_cast<double>(correct) /
            static_cast<double>(data.size());
@@ -94,11 +100,16 @@ Trainer::evaluateSequence(nn::TransformerClassifier &model,
                           const std::vector<SequenceSample> &data,
                           nn::RunContext &ctx)
 {
+    std::vector<const std::vector<int> *> batch;
+    batch.reserve(data.size());
+    for (const auto &s : data)
+        batch.push_back(&s.tokens);
+    std::vector<Matrix> logits =
+        model.forwardSequenceBatch(batch, ctx);
     size_t correct = 0;
-    for (const auto &s : data) {
-        Matrix logits = model.forwardSequence(s.tokens, ctx);
-        size_t best = nn::argmaxRow(logits, 0);
-        correct += best == static_cast<size_t>(s.label) ? 1 : 0;
+    for (size_t i = 0; i < data.size(); ++i) {
+        size_t best = nn::argmaxRow(logits[i], 0);
+        correct += best == static_cast<size_t>(data[i].label) ? 1 : 0;
     }
     return static_cast<double>(correct) /
            static_cast<double>(data.size());

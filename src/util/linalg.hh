@@ -54,6 +54,18 @@ class Matrix
     std::vector<double> data_;
 };
 
+/**
+ * Blocked, transposed-B dense matrix product C = A * B.
+ *
+ * B is packed into row-major B^T once so the inner kernel reduces to
+ * contiguous dot products; the output is processed in L2-sized row/col
+ * blocks, and row blocks are sharded across ThreadPool::global().
+ * Every output element is accumulated in a fixed k-ascending order by
+ * exactly one shard, so results are bit-identical at any thread count.
+ * Matrix::operator* delegates here; the naive triple loop is gone.
+ */
+Matrix matmul(const Matrix &a, const Matrix &b);
+
 /** Result of a singular value decomposition A = U * diag(s) * V^T. */
 struct SvdResult
 {

@@ -17,6 +17,29 @@
 namespace lt {
 
 /**
+ * SplitMix64 finalizer: a cheap, high-quality bit mixer used to derive
+ * decorrelated seeds from (base seed, counter) pairs. Counter-based
+ * seeding is what makes the parallel execution engine deterministic:
+ * every tile's noise stream depends only on its tile index, never on
+ * which thread happens to run it.
+ */
+inline uint64_t
+splitMix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Derive the seed for stream `counter` of generator family `base`. */
+inline uint64_t
+deriveSeed(uint64_t base, uint64_t counter)
+{
+    return splitMix64(base ^ splitMix64(counter));
+}
+
+/**
  * A seeded Mersenne-Twister wrapper with the distributions the simulator
  * needs. Copyable; copies advance independently.
  */
