@@ -10,10 +10,16 @@
  * Also asserts the determinism contract on every row: the result at
  * N threads must be bit-identical to the 1-thread result.
  *
- * Usage: bench_engine_scaling [--csv]
+ * Usage: bench_engine_scaling [--csv] [--json [path]]
+ *
+ * --csv prints the rows as CSV on stdout (the CI smoke mode);
+ * --json writes the per-PR perf-trajectory snapshot (default path
+ * BENCH_engine.json, committed at the repo root so the scaling
+ * numbers are diffable across PRs).
  */
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -58,7 +64,23 @@ struct Row
 int
 main(int argc, char **argv)
 {
-    bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+    bool csv = false;
+    bool json = false;
+    std::string json_path = "BENCH_engine.json";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--json") {
+            json = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                json_path = argv[++i];
+        } else {
+            std::cerr << "usage: bench_engine_scaling [--csv] "
+                         "[--json [path]]\n";
+            return 2;
+        }
+    }
 
     Rng rng(0xBE7C);
     Matrix a(kDim, kDim), b(kDim, kDim);
@@ -108,6 +130,38 @@ main(int argc, char **argv)
     }
     ThreadPool::setGlobalThreads(0);
 
+    if (json) {
+        // The committed perf-trajectory snapshot: one object per
+        // thread count, plus enough host context to interpret it.
+        std::ofstream out(json_path);
+        out << "{\n  \"bench\": \"engine_scaling\",\n"
+            << "  \"gemm\": \"" << kDim << "x" << kDim << "x" << kDim
+            << "\",\n  \"hardware_threads\": "
+            << std::thread::hardware_concurrency() << ",\n"
+            << "  \"rows\": [\n";
+        for (size_t i = 0; i < rows.size(); ++i) {
+            const Row &r = rows[i];
+            out << "    {\"threads\": " << r.threads
+                << ", \"photonic_s\": " << r.photonic_s
+                << ", \"photonic_gmacs\": " << r.photonic_gmacs
+                << ", \"photonic_speedup\": " << r.photonic_speedup
+                << ", \"bit_identical\": "
+                << (r.identical ? "true" : "false")
+                << ", \"matmul_s\": " << r.matmul_s
+                << ", \"matmul_speedup\": " << r.matmul_speedup << "}"
+                << (i + 1 < rows.size() ? "," : "") << "\n";
+        }
+        out << "  ]\n}\n";
+        // stderr: keeps the CSV stream clean when modes are combined.
+        std::cerr << "wrote " << json_path << "\n";
+    }
+
+    // The determinism contract is this bench's CI signal: any
+    // non-bit-identical row is a hard failure in every output mode.
+    bool all_identical = true;
+    for (const Row &r : rows)
+        all_identical &= r.identical;
+
     if (csv) {
         std::cout << "threads,photonic_s,photonic_gmacs,"
                      "photonic_speedup,bit_identical,matmul_s,"
@@ -117,7 +171,12 @@ main(int argc, char **argv)
                       << r.photonic_gmacs << "," << r.photonic_speedup
                       << "," << (r.identical ? 1 : 0) << ","
                       << r.matmul_s << "," << r.matmul_speedup << "\n";
-        return 0;
+    }
+    if (csv || json) {
+        if (!all_identical)
+            std::cerr << "DETERMINISM VIOLATION: results differ "
+                         "across thread counts\n";
+        return all_identical ? 0 : 1;
     }
 
     printBanner(std::cout, "Execution-engine scaling: 256^3 GEMM "
@@ -140,5 +199,5 @@ main(int argc, char **argv)
         << "\nDeterminism: every thread count must report "
            "bit-identical = yes\n(counter-seeded tile noise). Speedup "
            "saturates at min(hardware threads,\nengine cores).\n";
-    return 0;
+    return all_identical ? 0 : 1;
 }

@@ -3,16 +3,23 @@
  * Section VI-B reproduction: autoregressive LLM decode on the
  * photonic accelerator. Shows (a) the low arithmetic intensity of
  * token-by-token generation makes the workload memory-bound and
- * under-utilizes the photonic compute, and (b) batching requests
- * recovers intensity — the paper's proposed mitigation.
+ * under-utilizes the photonic compute, (b) batching requests recovers
+ * intensity — the paper's proposed mitigation — and (c) the same
+ * decode traffic EXECUTING on the functional model through
+ * nn::InferenceSession, with the engine's measured MACs cross-checked
+ * against the analytic decodeStepWorkload() prediction step by step.
  */
 
 #include <algorithm>
+#include <chrono>
 #include <iostream>
 
 #include "arch/performance_model.hh"
 #include "bench_common.hh"
+#include "nn/execution_engine.hh"
+#include "nn/inference_session.hh"
 #include "nn/llm_workload.hh"
+#include "nn/tensor_ops.hh"
 #include "util/csv.hh"
 
 int
@@ -78,6 +85,77 @@ main()
            "keeps\nlong-context attention memory-bound regardless of "
            "batch — exactly why the\npaper proposes Q/K recomputation "
            "and FlashAttention-style tiling for LLMs.\n"
-           "(series written to llm_decode.csv)\n";
-    return 0;
+           "(series written to llm_decode.csv)\n\n";
+
+    // ---- executed decode: InferenceSession on the engine ------------
+
+    printBanner(std::cout,
+                "Executed decode: InferenceSession vs analytic "
+                "workload");
+
+    nn::TransformerConfig tcfg;
+    tcfg.dim = 32;
+    tcfg.depth = 2;
+    tcfg.heads = 2;
+    tcfg.mlp_hidden = 64;
+    tcfg.vocab_size = 64;
+    tcfg.num_classes = 64;
+    tcfg.max_tokens = 64;
+    tcfg.pooling = nn::Pooling::LastToken;
+    tcfg.causal = true;
+    nn::TransformerClassifier lm(tcfg);
+
+    nn::PaperModelConfig analytic;
+    analytic.name = "tiny-decoder";
+    analytic.dim = tcfg.dim;
+    analytic.depth = tcfg.depth;
+    analytic.heads = tcfg.heads;
+    analytic.mlp_hidden = tcfg.mlp_hidden;
+    analytic.seq_len = tcfg.max_tokens;
+    analytic.patch_dim = 0;
+    analytic.num_classes = tcfg.num_classes;
+
+    core::DptcConfig dptc;
+    dptc.input_bits = 8;
+    nn::ExecutionEngine engine(dptc, core::EvalMode::Noisy);
+    nn::InferenceSession session(lm, engine, nn::QuantConfig::w8a8());
+
+    std::vector<int> prompt{1, 2, 3, 4, 5, 6, 7, 8};
+    Matrix logits = session.prefill(prompt);
+
+    const int kSteps = 24;
+    size_t measured_total = 0, predicted_total = 0;
+    bool all_match = true;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int step = 0; step < kSteps; ++step) {
+        int next = static_cast<int>(nn::argmaxRow(logits, 0));
+        nn::DecodeConfig dcfg{analytic, session.contextLen(), 1, 8,
+                              /*include_head=*/true};
+        size_t predicted = nn::decodeStepWorkload(dcfg).macs;
+        engine.resetStats();
+        logits = session.decodeStep(next);
+        size_t measured = engine.stats().macs.load();
+        all_match &= measured == predicted;
+        measured_total += measured;
+        predicted_total += predicted;
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    double wall_s = std::chrono::duration<double>(t1 - t0).count();
+
+    Table exec({"generated tokens", "context end", "measured MACs",
+                "predicted MACs", "MACs match", "sim tokens/s"});
+    exec.addRow({std::to_string(kSteps),
+                 std::to_string(session.contextLen()),
+                 std::to_string(measured_total),
+                 std::to_string(predicted_total),
+                 all_match ? "yes (every step)" : "NO",
+                 units::fmtFixed(kSteps / wall_s, 1)});
+    exec.print(std::cout);
+
+    std::cout << "\nThe K/V cache grows a row per step, so measured "
+                 "MACs rise linearly with\ncontext — and equal the "
+                 "analytic Section VI-B prediction exactly on\nevery "
+                 "step (include_head accounts for the LM head the "
+                 "session runs).\n";
+    return all_match ? 0 : 1;
 }

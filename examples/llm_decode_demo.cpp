@@ -1,18 +1,28 @@
 /**
  * @file
- * LLM decode on the photonic accelerator (paper Section VI-B): shows
- * how the per-token decode step of an autoregressive model is
- * memory-bound at batch 1 and how batching trades KV-cache traffic
- * for much better photonic-compute utilization.
+ * LLM decode on the photonic accelerator (paper Section VI-B), in two
+ * parts:
  *
- * Build & run:  ./build/examples/llm_decode_demo
+ *  1. an analytic roofline of a BERT-large-sized decoder: per-token
+ *     decode is memory-bound at batch 1, and batching trades KV-cache
+ *     traffic for much better photonic-compute utilization;
+ *  2. a LIVE decode loop: an nn::InferenceSession generating tokens
+ *     autoregressively on the noisy photonic ExecutionEngine with a
+ *     growing K/V cache, cross-checking the MACs the engine actually
+ *     executed per step against the analytic decodeStepWorkload()
+ *     prediction.
+ *
+ * Build & run:  ./build/llm_decode_demo
  */
 
 #include <algorithm>
 #include <iostream>
 
 #include "arch/performance_model.hh"
+#include "nn/execution_engine.hh"
+#include "nn/inference_session.hh"
 #include "nn/llm_workload.hh"
+#include "nn/tensor_ops.hh"
 #include "util/table.hh"
 #include "util/units.hh"
 
@@ -63,6 +73,75 @@ main()
                  "several-fold — the paper's Section VI-B strategy. "
                  "The KV-cache\nstream keeps long-context attention "
                  "memory-bound, motivating the Q/K\nrecomputation and "
-                 "tiling ideas the paper cites.\n";
-    return 0;
+                 "tiling ideas the paper cites.\n\n";
+
+    // ---- part 2: a real decode loop on the functional model ----------
+
+    printBanner(std::cout,
+                "Live decode: InferenceSession on the noisy photonic "
+                "engine");
+
+    // A small causal LM (head width == vocab) the functional model can
+    // actually execute; greedy decoding feeds the argmax logit back in.
+    nn::TransformerConfig tcfg;
+    tcfg.dim = 32;
+    tcfg.depth = 2;
+    tcfg.heads = 2;
+    tcfg.mlp_hidden = 64;
+    tcfg.vocab_size = 64;
+    tcfg.num_classes = 64;
+    tcfg.max_tokens = 48;
+    tcfg.pooling = nn::Pooling::LastToken;
+    tcfg.causal = true;
+    nn::TransformerClassifier lm(tcfg);
+
+    nn::PaperModelConfig analytic;
+    analytic.name = "tiny-decoder";
+    analytic.dim = tcfg.dim;
+    analytic.depth = tcfg.depth;
+    analytic.heads = tcfg.heads;
+    analytic.mlp_hidden = tcfg.mlp_hidden;
+    analytic.seq_len = tcfg.max_tokens;
+    analytic.patch_dim = 0;
+    analytic.num_classes = tcfg.num_classes;
+
+    core::DptcConfig dptc;
+    dptc.input_bits = 8;
+    nn::ExecutionEngine engine(dptc, core::EvalMode::Noisy);
+    nn::InferenceSession session(lm, engine, nn::QuantConfig::w8a8());
+
+    std::vector<int> prompt{3, 14, 15, 9, 26, 5, 35, 8};
+    Matrix logits = session.prefill(prompt);
+    std::cout << "prompt of " << prompt.size()
+              << " tokens prefilled; generating greedily:\n\n";
+
+    Table live({"step", "context", "token", "measured MACs",
+                "predicted MACs", "match"});
+    bool all_match = true;
+    for (int step = 0; step < 16; ++step) {
+        int next = static_cast<int>(nn::argmaxRow(logits, 0));
+        nn::DecodeConfig dcfg{analytic, session.contextLen(), 1, 8,
+                              /*include_head=*/true};
+        size_t predicted = nn::decodeStepWorkload(dcfg).macs;
+        engine.resetStats();
+        logits = session.decodeStep(next);
+        size_t measured = engine.stats().macs.load();
+        bool match = measured == predicted;
+        all_match &= match;
+        live.addRow({std::to_string(step),
+                     std::to_string(session.contextLen()),
+                     std::to_string(next), std::to_string(measured),
+                     std::to_string(predicted),
+                     match ? "yes" : "NO"});
+    }
+    live.print(std::cout);
+
+    std::cout << "\nmeasured == predicted on every step: "
+              << (all_match ? "yes" : "NO")
+              << "\nThe session's skinny per-head QK^T / AV rows (the "
+                 "[1, dk] x [dk, ctx]\ntraffic the roofline above "
+                 "prices) execute on the engine via gemmBatch;\nthe "
+                 "analytic Section VI-B model and the executed loop "
+                 "agree MAC-for-MAC.\n";
+    return all_match ? 0 : 1;
 }

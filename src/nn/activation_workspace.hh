@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Per-request activation caches for the stateless inference API.
+ *
+ * Every layer used to stash its forward activations in member fields,
+ * which made a model object stateful: two samples could not be in
+ * flight at once, and `forward*Batch` had to stream samples
+ * sequentially. This header factors all of those caches into plain
+ * structs owned by the *caller*:
+ *
+ *  - a forward pass is a pure function of (weights, input, workspace):
+ *    it writes only the workspace it was handed, so one weight set can
+ *    serve N concurrent requests with N workspaces;
+ *  - training keeps manual backprop by owning one workspace and
+ *    passing it to forward and then backward;
+ *  - `InferenceSession` (nn/inference_session.hh) owns a workspace
+ *    plus a growing per-layer K/V cache for autoregressive decode.
+ *
+ * The structs mirror the module tree of TransformerClassifier. They
+ * are cheap to default-construct; matrices are (re)shaped on first
+ * use, so one workspace can be reused across samples of different
+ * lengths.
+ */
+
+#ifndef LT_NN_ACTIVATION_WORKSPACE_HH
+#define LT_NN_ACTIVATION_WORKSPACE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/linalg.hh"
+
+namespace lt {
+namespace nn {
+
+/** Linear forward cache: quantized input and weight used by backward. */
+struct LinearCache
+{
+    Matrix x;   ///< (fake-quantized) forward input
+    Matrix wq;  ///< (fake-quantized) forward weight
+};
+
+/** LayerNorm forward cache. */
+struct LayerNormCache
+{
+    Matrix xhat;                  ///< normalized activations
+    std::vector<double> inv_std;  ///< per-row 1/sqrt(var + eps)
+};
+
+/** GELU forward cache. */
+struct GeluCache
+{
+    Matrix x;  ///< pre-activation input
+};
+
+/** Token-embedding forward cache (which rows were gathered). */
+struct TokenEmbeddingCache
+{
+    std::vector<int> tokens;
+};
+
+/** Multi-head self-attention forward caches (per head). */
+struct AttentionCache
+{
+    LinearCache wq, wk, wv, wo;
+    std::vector<Matrix> q;  ///< quantized per-head Q
+    std::vector<Matrix> k;
+    std::vector<Matrix> v;
+    std::vector<Matrix> p;  ///< attention probabilities
+};
+
+/** Feed-forward (Linear -> GELU -> Linear) caches. */
+struct FeedForwardCache
+{
+    LinearCache fc1, fc2;
+    GeluCache act;
+};
+
+/** One encoder block's caches. */
+struct TransformerBlockCache
+{
+    LayerNormCache ln1, ln2;
+    AttentionCache attn;
+    FeedForwardCache ffn;
+};
+
+/**
+ * Growing K/V operands of one attention layer for incremental decode.
+ * Values live in the same (quantized) domain the attention forward
+ * caches: what the accelerator would hold in its KV SRAM/HBM. K is
+ * stored pre-transposed ([dk, tokens]) — exactly the right operand
+ * layout for the per-step QK^T row, so a decode step appends one
+ * column instead of re-transposing the whole cache.
+ */
+struct AttentionKvCache
+{
+    std::vector<Matrix> k_t;  ///< per head [dk, tokens] (K transposed)
+    std::vector<Matrix> v;    ///< per head [tokens, dk]
+    size_t tokens = 0;        ///< cached context length
+};
+
+/**
+ * All activation state of one TransformerClassifier forward pass.
+ * Pass a fresh (or reused) workspace per request; pass the same
+ * workspace to backward() to train.
+ */
+struct ActivationWorkspace
+{
+    LinearCache patch_embed;
+    TokenEmbeddingCache token_embed;
+    std::vector<TransformerBlockCache> blocks;
+    LayerNormCache final_ln;
+    LinearCache head;
+
+    // Classifier-level bookkeeping (was TransformerClassifier state).
+    size_t tokens = 0;       ///< token count incl. CLS
+    Matrix pooled_in;        ///< final-LN output (pooling input)
+    bool last_was_vision = false;
+};
+
+} // namespace nn
+} // namespace lt
+
+#endif // LT_NN_ACTIVATION_WORKSPACE_HH

@@ -76,11 +76,15 @@ ExecutionEngine::gemmOneProduct(const Matrix &a, const Matrix &b,
 Matrix
 ExecutionEngine::gemm(const Matrix &a, const Matrix &b)
 {
+    return gemm(a, b, next_stream_.fetch_add(1));
+}
+
+Matrix
+ExecutionEngine::gemm(const Matrix &a, const Matrix &b, uint64_t stream)
+{
     stats_.record(a.rows(), a.cols(), b.cols());
-    uint64_t stream = deriveSeed(cfg_.dptc.seed,
-                                 next_stream_.fetch_add(1));
-    return gemmOneProduct(a, b, /*parallel_tiles=*/true,
-                          cores_.front(), stream);
+    return gemmOneProduct(a, b, /*parallel_tiles=*/true, cores_.front(),
+                          deriveSeed(cfg_.dptc.seed, stream));
 }
 
 std::vector<Matrix>
@@ -88,14 +92,37 @@ ExecutionEngine::gemmBatch(
     const std::vector<std::pair<const Matrix *, const Matrix *>>
         &products)
 {
-    std::vector<Matrix> results(products.size());
-    // Stream ids are claimed for the whole batch up front, in product
-    // order — the assignment must not depend on which thread runs
-    // which product.
+    // Internal stream ids are claimed for the whole batch up front, in
+    // product order — the assignment must not depend on which thread
+    // runs which product.
     const uint64_t stream_base =
         next_stream_.fetch_add(products.size());
-    auto streamOf = [&](size_t i) {
-        return deriveSeed(cfg_.dptc.seed, stream_base + i);
+    return gemmBatchImpl(
+        products, [&](size_t i) { return stream_base + i; });
+}
+
+std::vector<Matrix>
+ExecutionEngine::gemmBatch(
+    const std::vector<std::pair<const Matrix *, const Matrix *>>
+        &products,
+    const std::vector<uint64_t> &streams)
+{
+    if (streams.size() != products.size())
+        lt_fatal("gemmBatch: ", streams.size(), " streams for ",
+                 products.size(), " products");
+    return gemmBatchImpl(products,
+                         [&](size_t i) { return streams[i]; });
+}
+
+std::vector<Matrix>
+ExecutionEngine::gemmBatchImpl(
+    const std::vector<std::pair<const Matrix *, const Matrix *>>
+        &products,
+    const std::function<uint64_t(size_t)> &streamOf)
+{
+    std::vector<Matrix> results(products.size());
+    auto seedOf = [&](size_t i) {
+        return deriveSeed(cfg_.dptc.seed, streamOf(i));
     };
     // Serving regime: enough independent products to keep every core
     // busy — shard whole products across cores and run each one
@@ -109,7 +136,7 @@ ExecutionEngine::gemmBatch(
                           products[i].second->cols());
             results[i] = gemmOneProduct(*products[i].first,
                                         *products[i].second, true,
-                                        cores_.front(), streamOf(i));
+                                        cores_.front(), seedOf(i));
         }
         return results;
     }
@@ -122,7 +149,7 @@ ExecutionEngine::gemmBatch(
             for (size_t i = begin; i < end; ++i)
                 results[i] = gemmOneProduct(*products[i].first,
                                             *products[i].second, false,
-                                            replica, streamOf(i));
+                                            replica, seedOf(i));
         },
         cores_.size());
     return results;

@@ -10,15 +10,18 @@
  * global thread pool, and accumulates k-slices digitally per output
  * tile (output-stationary, like the hardware).
  *
- * Determinism: each engine call is assigned a stream id in call
- * order, and every output tile seeds its noise from (stream, tile
- * index) — see Dptc::gemmTiles. Results are therefore bit-identical
- * at any thread count, and a freshly-constructed engine replays the
- * exact same sequence of noisy results for the same sequence of
- * calls — while distinct calls (heads, layers, samples, repeats)
- * still draw independent noise, as the stateful pre-refactor RNG
- * did. The engine is the backend behind PhotonicBackend and the
- * batched model-evaluation paths.
+ * Determinism: every output tile seeds its noise from (stream, tile
+ * index) — see Dptc::gemmTiles — so results are bit-identical at any
+ * thread count. Streams come in two flavours:
+ *
+ *  - stream-addressed calls (gemm/gemmBatch with explicit stream ids,
+ *    used by the stateless model forwards via RunContext::stream) are
+ *    pure functions of (operands, config, stream): independent of
+ *    engine call history and of how many requests run concurrently;
+ *  - legacy stream-less calls consume an internal counter in call
+ *    order, so a freshly-constructed engine replays the exact same
+ *    sequence of noisy results for the same sequence of calls, while
+ *    distinct calls draw independent noise.
  */
 
 #ifndef LT_NN_EXECUTION_ENGINE_HH
@@ -26,6 +29,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -61,9 +65,18 @@ class ExecutionEngine : public GemmBackend
      * Tiled [m,k] x [k,n] product: operands are beta-normalized and
      * quantized once, then output tiles are sharded across the core
      * replicas. Bit-identical at any thread count; consumes the next
-     * stream id, so repeated calls draw fresh noise.
+     * internal stream id, so repeated calls draw fresh noise.
      */
     Matrix gemm(const Matrix &a, const Matrix &b) override;
+
+    /**
+     * Stream-addressed product: noise depends only on (operands,
+     * config, stream) — the engine's internal counter is untouched,
+     * so concurrent requests with their own NoiseStream lanes get
+     * results identical to running alone.
+     */
+    Matrix gemm(const Matrix &a, const Matrix &b,
+                uint64_t stream) override;
 
     /**
      * Batched execution: run many independent products in one call.
@@ -79,10 +92,16 @@ class ExecutionEngine : public GemmBackend
                                           const Matrix *>> &products)
         override;
 
+    /** Stream-addressed batch: product i draws from streams[i]. */
+    std::vector<Matrix>
+    gemmBatch(const std::vector<std::pair<const Matrix *,
+                                          const Matrix *>> &products,
+              const std::vector<uint64_t> &streams) override;
+
     core::EvalMode mode() const { return cfg_.mode; }
     size_t numCores() const { return cores_.size(); }
 
-    /** Core replica i (replica 0 doubles as the legacy dptc() view). */
+    /** Core replica i (replica 0 is the pre-refactor single core). */
     core::Dptc &core(size_t i = 0) { return cores_.at(i); }
     const core::Dptc &core(size_t i = 0) const { return cores_.at(i); }
 
@@ -90,6 +109,11 @@ class ExecutionEngine : public GemmBackend
     Matrix gemmOneProduct(const Matrix &a, const Matrix &b,
                           bool parallel_tiles, const core::Dptc &proto,
                           uint64_t stream_seed);
+
+    std::vector<Matrix>
+    gemmBatchImpl(const std::vector<std::pair<const Matrix *,
+                                              const Matrix *>> &products,
+                  const std::function<uint64_t(size_t)> &streamOf);
 
     EngineConfig cfg_;
 
@@ -102,7 +126,7 @@ class ExecutionEngine : public GemmBackend
      */
     std::vector<core::Dptc> cores_;
 
-    /** Next noise-stream id, consumed in call order. */
+    /** Next internal stream id, consumed in (stream-less) call order. */
     std::atomic<uint64_t> next_stream_{0};
 };
 

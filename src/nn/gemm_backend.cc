@@ -26,12 +26,27 @@ PhotonicBackend::gemm(const Matrix &a, const Matrix &b)
     return engine_->gemm(a, b);
 }
 
+Matrix
+PhotonicBackend::gemm(const Matrix &a, const Matrix &b, uint64_t stream)
+{
+    return engine_->gemm(a, b, stream);
+}
+
 std::vector<Matrix>
 PhotonicBackend::gemmBatch(
     const std::vector<std::pair<const Matrix *, const Matrix *>>
         &products)
 {
     return engine_->gemmBatch(products);
+}
+
+std::vector<Matrix>
+PhotonicBackend::gemmBatch(
+    const std::vector<std::pair<const Matrix *, const Matrix *>>
+        &products,
+    const std::vector<uint64_t> &streams)
+{
+    return engine_->gemmBatch(products, streams);
 }
 
 const GemmStats &

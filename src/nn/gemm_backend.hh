@@ -9,6 +9,14 @@
  * photonic path is executed by the multi-core ExecutionEngine
  * (nn/execution_engine.hh), which shards GEMM tiles across DPTC core
  * replicas on the global thread pool.
+ *
+ * Noise addressing: stateless-inference forwards name the noise stream
+ * of every product explicitly (a NoiseStream carried by RunContext),
+ * so results are a pure function of (operands, config, stream) — they
+ * do not depend on backend call history, thread scheduling, or how
+ * many other requests execute concurrently. The stream-less gemm()
+ * entry points remain for direct use (benches, ad-hoc products) and
+ * consume an internal per-engine counter as before.
  */
 
 #ifndef LT_NN_GEMM_BACKEND_HH
@@ -16,17 +24,55 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "core/dptc.hh"
 #include "util/linalg.hh"
+#include "util/rng.hh"
 
 namespace lt {
 namespace nn {
 
 class ExecutionEngine;
+
+/**
+ * Deterministic noise-stream allocator: yields decorrelated 64-bit
+ * stream ids from a (base, counter) pair via the splitMix64 seed
+ * derivation. A forward pass draws one id per GEMM in fixed call
+ * order, so noisy results depend only on the stream a RunContext was
+ * constructed with — never on which thread ran the product or on what
+ * else the backend executed in between. Independent requests (batch
+ * samples, decode sessions) take decorrelated lanes via lane().
+ */
+class NoiseStream
+{
+  public:
+    NoiseStream() = default;
+    explicit NoiseStream(uint64_t base) : base_(base) {}
+
+    /** Claim the next stream id (call-order deterministic). */
+    uint64_t
+    next()
+    {
+        return deriveSeed(base_, count_++);
+    }
+
+    /** Decorrelated child stream for independent request/sample i. */
+    NoiseStream
+    lane(uint64_t i) const
+    {
+        return NoiseStream(deriveSeed(base_, i));
+    }
+
+    uint64_t base() const { return base_; }
+
+  private:
+    uint64_t base_ = 0;
+    uint64_t count_ = 0;
+};
 
 /**
  * Statistics a backend gathers while the model runs. Counters are
@@ -63,6 +109,19 @@ class GemmBackend
     virtual Matrix gemm(const Matrix &a, const Matrix &b) = 0;
 
     /**
+     * Stream-addressed product: `stream` names the noise stream this
+     * GEMM draws from, making the result independent of backend call
+     * history. Backends without per-call stochastic state ignore the
+     * id (the default delegates to gemm()).
+     */
+    virtual Matrix
+    gemm(const Matrix &a, const Matrix &b, uint64_t stream)
+    {
+        (void)stream;
+        return gemm(a, b);
+    }
+
+    /**
      * Execute many independent products in one call. Results equal
      * gemm() applied per product, in order; multi-core backends
      * override this to shard products across their replicas (attention
@@ -79,6 +138,20 @@ class GemmBackend
         return results;
     }
 
+    /**
+     * Stream-addressed batch: product i draws from streams[i].
+     * Results equal gemm(a_i, b_i, streams[i]) per product, in order,
+     * regardless of which core executes which product.
+     */
+    virtual std::vector<Matrix>
+    gemmBatch(const std::vector<std::pair<const Matrix *,
+                                          const Matrix *>> &products,
+              const std::vector<uint64_t> &streams)
+    {
+        (void)streams;
+        return gemmBatch(products);
+    }
+
     virtual const GemmStats &stats() const { return stats_; }
     virtual void resetStats() { stats_.reset(); }
 
@@ -90,6 +163,8 @@ class GemmBackend
 class IdealBackend : public GemmBackend
 {
   public:
+    using GemmBackend::gemm;
+
     Matrix gemm(const Matrix &a, const Matrix &b) override;
 };
 
@@ -108,14 +183,28 @@ class PhotonicBackend : public GemmBackend
     ~PhotonicBackend() override;
 
     Matrix gemm(const Matrix &a, const Matrix &b) override;
+    Matrix gemm(const Matrix &a, const Matrix &b,
+                uint64_t stream) override;
 
     std::vector<Matrix>
     gemmBatch(const std::vector<std::pair<const Matrix *,
                                           const Matrix *>> &products)
         override;
+    std::vector<Matrix>
+    gemmBatch(const std::vector<std::pair<const Matrix *,
+                                          const Matrix *>> &products,
+              const std::vector<uint64_t> &streams) override;
 
-    /** The first core replica (legacy single-core view). */
+    /**
+     * @deprecated Legacy single-core view from before the multi-core
+     * engine refactor. Use engine().core(i) to reach a specific DPTC
+     * replica (replica 0 is what this returned), or engine() for the
+     * execution layer itself. Kept one deprecation cycle for external
+     * callers; no in-tree call sites remain.
+     */
+    [[deprecated("use engine().core(0) / engine() instead")]]
     core::Dptc &dptc();
+
     core::EvalMode mode() const;
 
     /** Stats live on the wrapped engine — one source of truth. */

@@ -1,0 +1,124 @@
+#include "inference_session.hh"
+
+#include <stdexcept>
+#include <string>
+
+namespace lt {
+namespace nn {
+
+namespace {
+
+/** Session lanes live in their own family, apart from batch lanes. */
+constexpr uint64_t kSessionLaneSalt = 0x5e55'10f7ULL;
+
+} // namespace
+
+InferenceSession::InferenceSession(const TransformerClassifier &model,
+                                   GemmBackend &backend,
+                                   const QuantConfig &quant,
+                                   uint64_t request_id)
+    : model_(&model),
+      ctx_{&backend, quant,
+           NoiseStream(kSessionLaneSalt).lane(request_id)}
+{
+    const TransformerConfig &cfg = model.config();
+    if (cfg.vocab_size == 0)
+        throw std::invalid_argument(
+            "InferenceSession requires a sequence-mode model "
+            "(vocab_size > 0)");
+    if (!cfg.causal)
+        throw std::invalid_argument(
+            "InferenceSession requires causal attention "
+            "(TransformerConfig::causal) — with bidirectional "
+            "attention every new token would invalidate the K/V "
+            "cache");
+    if (cfg.pooling == Pooling::ClsToken)
+        throw std::invalid_argument(
+            "InferenceSession requires Mean or LastToken pooling");
+    kv_.resize(cfg.depth);
+}
+
+Matrix
+InferenceSession::prefill(const std::vector<int> &tokens)
+{
+    if (len_ != 0)
+        throw std::invalid_argument(
+            "prefill on a session that already holds " +
+            std::to_string(len_) + " tokens");
+    if (tokens.empty())
+        throw std::invalid_argument("prefill with an empty prompt");
+
+    // One causal full-sequence forward over the prompt (validates the
+    // token count and ids), then lift the per-head quantized K/V the
+    // attention layers already materialized into the decode cache.
+    Matrix logits = model_->forwardSequence(tokens, ws_, ctx_);
+    for (size_t l = 0; l < kv_.size(); ++l)
+        model_->block(l).attention().seedKvCache(ws_.blocks[l].attn,
+                                                 kv_[l]);
+
+    if (model_->config().pooling == Pooling::Mean) {
+        // Running sum of final-LN rows, in row order — matches the
+        // full-sequence mean pooling summation exactly.
+        pooled_sum_ = Matrix(1, model_->config().dim, 0.0);
+        for (size_t r = 0; r < ws_.pooled_in.rows(); ++r)
+            for (size_t c = 0; c < ws_.pooled_in.cols(); ++c)
+                pooled_sum_(0, c) += ws_.pooled_in(r, c);
+    }
+
+    tokens_ = tokens;
+    len_ = tokens.size();
+    return logits;
+}
+
+Matrix
+InferenceSession::decodeStep(int token)
+{
+    if (len_ == 0)
+        return prefill({token});
+    const TransformerConfig &cfg = model_->config();
+    if (len_ + 1 > cfg.max_tokens)
+        throw std::invalid_argument(
+            "decode past the positional table: context of " +
+            std::to_string(len_ + 1) + " tokens exceeds max_tokens = " +
+            std::to_string(cfg.max_tokens));
+
+    // Embed the new token at position len_ (identical to the row the
+    // full-sequence forward would build).
+    Matrix x = model_->token_embed_->embedRow(token);
+    for (size_t c = 0; c < cfg.dim; ++c)
+        x(0, c) += model_->pos_(len_, c);
+
+    // One row through every block, attending to the K/V cache.
+    if (ws_.blocks.size() != model_->depth())
+        ws_.blocks.resize(model_->depth());
+    for (size_t l = 0; l < model_->depth(); ++l)
+        x = model_->block(l).decodeStep(x, kv_[l], ws_.blocks[l],
+                                        ctx_);
+
+    Matrix normed = model_->final_ln_.forward(x, ws_.final_ln);
+    tokens_.push_back(token);
+    len_ += 1;
+    return logitsFromNormedRow(normed);
+}
+
+Matrix
+InferenceSession::logitsFromNormedRow(const Matrix &normed_row)
+{
+    const TransformerConfig &cfg = model_->config();
+    Matrix pooled(1, cfg.dim);
+    if (cfg.pooling == Pooling::Mean) {
+        for (size_t c = 0; c < cfg.dim; ++c)
+            pooled_sum_(0, c) += normed_row(0, c);
+        // Divide (not multiply by a reciprocal): bit-matches the
+        // full-sequence mean pooling.
+        for (size_t c = 0; c < cfg.dim; ++c)
+            pooled(0, c) =
+                pooled_sum_(0, c) / static_cast<double>(len_);
+    } else {
+        pooled = normed_row;
+    }
+    return model_->head_.forward(pooled, ws_.head, ctx_);
+}
+
+} // namespace nn
+} // namespace lt

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * InferenceSession: request-scoped autoregressive decode on the
+ * photonic execution engine (paper Section VI-B made concrete).
+ *
+ * A session owns everything one decode request needs — an
+ * ActivationWorkspace for scratch activations, a RunContext with the
+ * request's own NoiseStream lane, and a growing per-layer K/V cache —
+ * while sharing the model weights with every other session:
+ *
+ *   InferenceSession s(model, backend);
+ *   Matrix logits = s.prefill(prompt_tokens);
+ *   for (...) logits = s.decodeStep(next_token);
+ *
+ * prefill() runs the prompt as one (causal) full-sequence forward and
+ * lifts the per-head K/V the forward already materialized into the
+ * cache; decodeStep() then pushes a single token row through every
+ * layer, routing the skinny per-head QK^T / AV products against the
+ * cache through GemmBackend::gemmBatch — the exact low-intensity
+ * traffic nn/llm_workload.hh's analytic decodeStepWorkload() models
+ * (bench_llm_decode cross-checks the two).
+ *
+ * Determinism: each session draws noise from its own lane (derived
+ * from `request_id`), so its logits are bit-identical whether it runs
+ * alone or interleaved with any number of concurrent sessions.
+ *
+ * Parity contract (tested in tests/test_decode.cc): with quantization
+ * disabled, prefill + decodeStep logits equal the full-sequence
+ * forward of the same prefix at every step — exactly on IdealBackend
+ * and the Ideal-mode engine (all layers are row-wise or causal), and
+ * within noise tolerance on the noisy photonic engine (per-row
+ * operand quantization and per-call noise streams differ from the
+ * full-sequence pass, as they would on the real datapath).
+ */
+
+#ifndef LT_NN_INFERENCE_SESSION_HH
+#define LT_NN_INFERENCE_SESSION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/activation_workspace.hh"
+#include "nn/transformer.hh"
+
+namespace lt {
+namespace nn {
+
+/** One autoregressive decode request against a shared model. */
+class InferenceSession
+{
+  public:
+    /**
+     * @param model sequence-mode, causal, Mean or LastToken pooling
+     *        (throws std::invalid_argument otherwise)
+     * @param backend executes every GEMM of this session
+     * @param quant operand fake-quantization (mirrors RunContext)
+     * @param request_id selects the session's noise lane: sessions
+     *        with distinct ids draw decorrelated noise; the same id
+     *        replays bit-identically on a same-config backend
+     */
+    InferenceSession(const TransformerClassifier &model,
+                     GemmBackend &backend,
+                     const QuantConfig &quant = QuantConfig::disabled(),
+                     uint64_t request_id = 0);
+
+    /**
+     * Ingest the prompt (one full-sequence forward), seed the K/V
+     * cache, and return the prompt's logits [1, num_classes]. Must be
+     * the first call on a session; throws std::invalid_argument on an
+     * empty prompt, a too-long prompt, or a second prefill.
+     */
+    Matrix prefill(const std::vector<int> &tokens);
+
+    /**
+     * Append one token and return the logits after it — equal to a
+     * full-sequence forward over the whole context (see the parity
+     * contract above). A decodeStep on a fresh session is a prefill
+     * of one token. Throws std::invalid_argument when the context
+     * would exceed TransformerConfig::max_tokens.
+     */
+    Matrix decodeStep(int token);
+
+    /** Tokens currently in the K/V cache. */
+    size_t contextLen() const { return len_; }
+
+    /** The tokens consumed so far (prompt + decoded). */
+    const std::vector<int> &tokens() const { return tokens_; }
+
+    const TransformerClassifier &model() const { return *model_; }
+
+  private:
+    Matrix logitsFromNormedRow(const Matrix &normed_row);
+
+    const TransformerClassifier *model_;
+    RunContext ctx_;
+    ActivationWorkspace ws_;
+    std::vector<AttentionKvCache> kv_;  ///< one per layer
+    std::vector<int> tokens_;
+    Matrix pooled_sum_;  ///< running final-LN row sum (Mean pooling)
+    size_t len_ = 0;
+};
+
+} // namespace nn
+} // namespace lt
+
+#endif // LT_NN_INFERENCE_SESSION_HH

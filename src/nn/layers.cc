@@ -1,6 +1,9 @@
 #include "layers.hh"
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "util/logging.hh"
 
@@ -20,15 +23,17 @@ Linear::Linear(size_t in, size_t out, Rng &rng, bool bias)
 }
 
 Matrix
-Linear::forward(const Matrix &x, RunContext &ctx)
+Linear::forward(const Matrix &x, LinearCache &cache,
+                RunContext &ctx) const
 {
     if (x.cols() != w_.rows())
         lt_panic("Linear forward: input dim ", x.cols(),
                  " != weight rows ", w_.rows());
-    cached_x_ = ctx.quant.enabled ? fakeQuant(x, ctx.quant.act_bits) : x;
-    cached_wq_ =
+    cache.x = ctx.quant.enabled ? fakeQuant(x, ctx.quant.act_bits) : x;
+    cache.wq =
         ctx.quant.enabled ? fakeQuant(w_, ctx.quant.weight_bits) : w_;
-    Matrix y = ctx.backend->gemm(cached_x_, cached_wq_);
+    Matrix y =
+        ctx.backend->gemm(cache.x, cache.wq, ctx.stream.next());
     if (has_bias_) {
         for (size_t r = 0; r < y.rows(); ++r)
             for (size_t c = 0; c < y.cols(); ++c)
@@ -38,12 +43,12 @@ Linear::forward(const Matrix &x, RunContext &ctx)
 }
 
 Matrix
-Linear::backward(const Matrix &dy)
+Linear::backward(const Matrix &dy, const LinearCache &cache)
 {
     // STE: gradients flow through the quantizer unchanged; the matmul
     // gradients use the quantized forward values.
-    Matrix dx = dy * cached_wq_.transposed();
-    Matrix dw = cached_x_.transposed() * dy;
+    Matrix dx = dy * cache.wq.transposed();
+    Matrix dw = cache.x.transposed() * dy;
     addInPlace(dw_, dw);
     if (has_bias_) {
         for (size_t r = 0; r < dy.rows(); ++r)
@@ -79,12 +84,12 @@ LayerNorm::LayerNorm(size_t dim, double eps)
 }
 
 Matrix
-LayerNorm::forward(const Matrix &x)
+LayerNorm::forward(const Matrix &x, LayerNormCache &cache) const
 {
     const size_t rows = x.rows();
     const size_t dim = x.cols();
-    cached_xhat_ = Matrix(rows, dim);
-    cached_inv_std_.assign(rows, 0.0);
+    cache.xhat = Matrix(rows, dim);
+    cache.inv_std.assign(rows, 0.0);
     Matrix y(rows, dim);
     for (size_t r = 0; r < rows; ++r) {
         double mean = 0.0;
@@ -98,10 +103,10 @@ LayerNorm::forward(const Matrix &x)
         }
         var /= static_cast<double>(dim);
         double inv_std = 1.0 / std::sqrt(var + eps_);
-        cached_inv_std_[r] = inv_std;
+        cache.inv_std[r] = inv_std;
         for (size_t c = 0; c < dim; ++c) {
             double xh = (x(r, c) - mean) * inv_std;
-            cached_xhat_(r, c) = xh;
+            cache.xhat(r, c) = xh;
             y(r, c) = gamma_(0, c) * xh + beta_(0, c);
         }
     }
@@ -109,7 +114,7 @@ LayerNorm::forward(const Matrix &x)
 }
 
 Matrix
-LayerNorm::backward(const Matrix &dy)
+LayerNorm::backward(const Matrix &dy, const LayerNormCache &cache)
 {
     const size_t rows = dy.rows();
     const size_t dim = dy.cols();
@@ -120,16 +125,16 @@ LayerNorm::backward(const Matrix &dy)
         for (size_t c = 0; c < dim; ++c) {
             double dxhat = dy(r, c) * gamma_(0, c);
             sum_dxhat += dxhat;
-            sum_dxhat_xhat += dxhat * cached_xhat_(r, c);
-            dgamma_(0, c) += dy(r, c) * cached_xhat_(r, c);
+            sum_dxhat_xhat += dxhat * cache.xhat(r, c);
+            dgamma_(0, c) += dy(r, c) * cache.xhat(r, c);
             dbeta_(0, c) += dy(r, c);
         }
         double inv_n = 1.0 / static_cast<double>(dim);
         for (size_t c = 0; c < dim; ++c) {
             double dxhat = dy(r, c) * gamma_(0, c);
-            dx(r, c) = cached_inv_std_[r] *
+            dx(r, c) = cache.inv_std[r] *
                        (dxhat - inv_n * sum_dxhat -
-                        cached_xhat_(r, c) * inv_n * sum_dxhat_xhat);
+                        cache.xhat(r, c) * inv_n * sum_dxhat_xhat);
         }
     }
     return dx;
@@ -154,23 +159,23 @@ LayerNorm::visitParams(const ParamVisitor &fn)
 // ------------------------------------------------------------------ Gelu
 
 Matrix
-Gelu::forward(const Matrix &x)
+Gelu::forward(const Matrix &x, GeluCache &cache) const
 {
-    cached_x_ = x;
+    cache.x = x;
     return gelu(x);
 }
 
 Matrix
-Gelu::backward(const Matrix &dy)
+Gelu::backward(const Matrix &dy, const GeluCache &cache) const
 {
-    return geluBackward(cached_x_, dy);
+    return geluBackward(cache.x, dy);
 }
 
 // ------------------------------------------- MultiHeadSelfAttention
 
 MultiHeadSelfAttention::MultiHeadSelfAttention(size_t dim, size_t heads,
-                                               Rng &rng)
-    : dim_(dim), heads_(heads), dk_(dim / heads),
+                                               Rng &rng, bool causal)
+    : dim_(dim), heads_(heads), dk_(dim / heads), causal_(causal),
       wq_(dim, dim, rng), wk_(dim, dim, rng), wv_(dim, dim, rng),
       wo_(dim, dim, rng)
 {
@@ -180,17 +185,18 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(size_t dim, size_t heads,
 }
 
 Matrix
-MultiHeadSelfAttention::forward(const Matrix &x, RunContext &ctx)
+MultiHeadSelfAttention::forward(const Matrix &x, AttentionCache &cache,
+                                RunContext &ctx) const
 {
     const size_t tokens = x.rows();
-    Matrix q = wq_.forward(x, ctx);
-    Matrix k = wk_.forward(x, ctx);
-    Matrix v = wv_.forward(x, ctx);
+    Matrix q = wq_.forward(x, cache.wq, ctx);
+    Matrix k = wk_.forward(x, cache.wk, ctx);
+    Matrix v = wv_.forward(x, cache.wv, ctx);
 
-    cached_q_.assign(heads_, Matrix());
-    cached_k_.assign(heads_, Matrix());
-    cached_v_.assign(heads_, Matrix());
-    cached_p_.assign(heads_, Matrix());
+    cache.q.assign(heads_, Matrix());
+    cache.k.assign(heads_, Matrix());
+    cache.v.assign(heads_, Matrix());
+    cache.p.assign(heads_, Matrix());
 
     // Per-head operands first, so the dynamic MMs can run as one
     // batch on the execution engine (each head's product keeps its
@@ -208,45 +214,66 @@ MultiHeadSelfAttention::forward(const Matrix &x, RunContext &ctx)
             vh = fakeQuant(vh, ctx.quant.act_bits);
         }
         kh_t[h] = kh.transposed();
-        cached_q_[h] = std::move(qh);
-        cached_k_[h] = std::move(kh);
-        cached_v_[h] = std::move(vh);
+        cache.q[h] = std::move(qh);
+        cache.k[h] = std::move(kh);
+        cache.v[h] = std::move(vh);
     }
 
-    // QK^T: the first dynamic MM, batched over heads.
+    // QK^T: the first dynamic MM, batched over heads. Stream ids are
+    // drawn per product in head order before dispatch.
     std::vector<std::pair<const Matrix *, const Matrix *>> qk_ops;
+    std::vector<uint64_t> qk_streams;
     qk_ops.reserve(heads_);
-    for (size_t h = 0; h < heads_; ++h)
-        qk_ops.emplace_back(&cached_q_[h], &kh_t[h]);
-    std::vector<Matrix> scores = ctx.backend->gemmBatch(qk_ops);
+    qk_streams.reserve(heads_);
+    for (size_t h = 0; h < heads_; ++h) {
+        qk_ops.emplace_back(&cache.q[h], &kh_t[h]);
+        qk_streams.push_back(ctx.stream.next());
+    }
+    std::vector<Matrix> scores =
+        ctx.backend->gemmBatch(qk_ops, qk_streams);
 
     double inv_sqrt_dk = 1.0 / std::sqrt(static_cast<double>(dk_));
     for (size_t h = 0; h < heads_; ++h) {
         for (double &s : scores[h].data())
             s *= inv_sqrt_dk;
+        if (causal_) {
+            // Token i attends only to j <= i: mask the future to -inf
+            // before the softmax (exactly what the incremental decode
+            // path never computes).
+            for (size_t r = 0; r < tokens; ++r)
+                for (size_t c = r + 1; c < tokens; ++c)
+                    scores[h](r, c) =
+                        -std::numeric_limits<double>::infinity();
+        }
         Matrix p = rowSoftmax(scores[h]);
-        cached_p_[h] = ctx.quant.enabled
-                           ? fakeQuant(p, ctx.quant.act_bits)
-                           : std::move(p);
+        cache.p[h] = ctx.quant.enabled
+                         ? fakeQuant(p, ctx.quant.act_bits)
+                         : std::move(p);
     }
 
     // AV: the second dynamic MM, batched over heads.
     std::vector<std::pair<const Matrix *, const Matrix *>> av_ops;
+    std::vector<uint64_t> av_streams;
     av_ops.reserve(heads_);
-    for (size_t h = 0; h < heads_; ++h)
-        av_ops.emplace_back(&cached_p_[h], &cached_v_[h]);
-    std::vector<Matrix> ctx_heads = ctx.backend->gemmBatch(av_ops);
+    av_streams.reserve(heads_);
+    for (size_t h = 0; h < heads_; ++h) {
+        av_ops.emplace_back(&cache.p[h], &cache.v[h]);
+        av_streams.push_back(ctx.stream.next());
+    }
+    std::vector<Matrix> ctx_heads =
+        ctx.backend->gemmBatch(av_ops, av_streams);
 
     Matrix context(tokens, dim_, 0.0);
     for (size_t h = 0; h < heads_; ++h)
         pasteCols(context, ctx_heads[h], h * dk_);
-    return wo_.forward(context, ctx);
+    return wo_.forward(context, cache.wo, ctx);
 }
 
 Matrix
-MultiHeadSelfAttention::backward(const Matrix &dy)
+MultiHeadSelfAttention::backward(const Matrix &dy,
+                                 const AttentionCache &cache)
 {
-    Matrix dcontext = wo_.backward(dy);
+    Matrix dcontext = wo_.backward(dy, cache.wo);
     const size_t tokens = dcontext.rows();
     Matrix dq(tokens, dim_, 0.0);
     Matrix dk_full(tokens, dim_, 0.0);
@@ -255,10 +282,10 @@ MultiHeadSelfAttention::backward(const Matrix &dy)
 
     for (size_t h = 0; h < heads_; ++h) {
         Matrix dctx_h = sliceCols(dcontext, h * dk_, dk_);
-        const Matrix &p = cached_p_[h];
-        const Matrix &qh = cached_q_[h];
-        const Matrix &kh = cached_k_[h];
-        const Matrix &vh = cached_v_[h];
+        const Matrix &p = cache.p[h];
+        const Matrix &qh = cache.q[h];
+        const Matrix &kh = cache.k[h];
+        const Matrix &vh = cache.v[h];
 
         Matrix dp = dctx_h * vh.transposed();
         Matrix dvh = p.transposed() * dctx_h;
@@ -273,10 +300,107 @@ MultiHeadSelfAttention::backward(const Matrix &dy)
         pasteCols(dv, dvh, h * dk_);
     }
 
-    Matrix dx = wq_.backward(dq);
-    addInPlace(dx, wk_.backward(dk_full));
-    addInPlace(dx, wv_.backward(dv));
+    Matrix dx = wq_.backward(dq, cache.wq);
+    addInPlace(dx, wk_.backward(dk_full, cache.wk));
+    addInPlace(dx, wv_.backward(dv, cache.wv));
     return dx;
+}
+
+Matrix
+MultiHeadSelfAttention::decodeStep(const Matrix &x,
+                                   AttentionKvCache &kv,
+                                   AttentionCache &scratch,
+                                   RunContext &ctx) const
+{
+    if (!causal_)
+        throw std::invalid_argument(
+            "decodeStep requires causal attention: a K/V cache only "
+            "holds the past");
+    if (x.rows() != 1 || x.cols() != dim_)
+        throw std::invalid_argument(
+            "decodeStep expects one [1, dim] token row");
+
+    Matrix q = wq_.forward(x, scratch.wq, ctx);
+    Matrix k = wk_.forward(x, scratch.wk, ctx);
+    Matrix v = wv_.forward(x, scratch.wv, ctx);
+
+    if (kv.k_t.size() != heads_) {
+        kv.k_t.assign(heads_, Matrix());
+        kv.v.assign(heads_, Matrix());
+        kv.tokens = 0;
+    }
+
+    // Append this token's per-head K/V to the cache (K as a column of
+    // the pre-transposed operand) and build the per-head query rows,
+    // all in the quantized operand domain.
+    std::vector<Matrix> qh(heads_);
+    for (size_t h = 0; h < heads_; ++h) {
+        Matrix q_row = sliceCols(q, h * dk_, dk_);
+        Matrix k_row = sliceCols(k, h * dk_, dk_);
+        Matrix v_row = sliceCols(v, h * dk_, dk_);
+        if (ctx.quant.enabled) {
+            q_row = fakeQuant(q_row, ctx.quant.act_bits);
+            k_row = fakeQuant(k_row, ctx.quant.act_bits);
+            v_row = fakeQuant(v_row, ctx.quant.act_bits);
+        }
+        appendColumn(kv.k_t[h], k_row);
+        appendRow(kv.v[h], v_row);
+        qh[h] = std::move(q_row);
+    }
+    kv.tokens += 1;
+
+    // QK^T against the cache: per head a skinny [1, dk] x [dk, t] row
+    // — the low-intensity decode traffic — batched on the backend.
+    std::vector<std::pair<const Matrix *, const Matrix *>> qk_ops;
+    std::vector<uint64_t> qk_streams;
+    qk_ops.reserve(heads_);
+    qk_streams.reserve(heads_);
+    for (size_t h = 0; h < heads_; ++h) {
+        qk_ops.emplace_back(&qh[h], &kv.k_t[h]);
+        qk_streams.push_back(ctx.stream.next());
+    }
+    std::vector<Matrix> scores =
+        ctx.backend->gemmBatch(qk_ops, qk_streams);
+
+    double inv_sqrt_dk = 1.0 / std::sqrt(static_cast<double>(dk_));
+    std::vector<Matrix> probs(heads_);
+    for (size_t h = 0; h < heads_; ++h) {
+        for (double &s : scores[h].data())
+            s *= inv_sqrt_dk;
+        Matrix p = rowSoftmax(scores[h]);
+        probs[h] = ctx.quant.enabled
+                       ? fakeQuant(p, ctx.quant.act_bits)
+                       : std::move(p);
+    }
+
+    // AV against the cache: [1, t] x [t, dk] per head.
+    std::vector<std::pair<const Matrix *, const Matrix *>> av_ops;
+    std::vector<uint64_t> av_streams;
+    av_ops.reserve(heads_);
+    av_streams.reserve(heads_);
+    for (size_t h = 0; h < heads_; ++h) {
+        av_ops.emplace_back(&probs[h], &kv.v[h]);
+        av_streams.push_back(ctx.stream.next());
+    }
+    std::vector<Matrix> ctx_heads =
+        ctx.backend->gemmBatch(av_ops, av_streams);
+
+    Matrix context(1, dim_, 0.0);
+    for (size_t h = 0; h < heads_; ++h)
+        pasteCols(context, ctx_heads[h], h * dk_);
+    return wo_.forward(context, scratch.wo, ctx);
+}
+
+void
+MultiHeadSelfAttention::seedKvCache(const AttentionCache &cache,
+                                    AttentionKvCache &kv) const
+{
+    // One transpose per prefill; decode then appends columns.
+    kv.k_t.resize(cache.k.size());
+    for (size_t h = 0; h < cache.k.size(); ++h)
+        kv.k_t[h] = cache.k[h].transposed();
+    kv.v = cache.v;
+    kv.tokens = cache.k.empty() ? 0 : cache.k.front().rows();
 }
 
 void
@@ -305,15 +429,20 @@ FeedForward::FeedForward(size_t dim, size_t hidden, Rng &rng)
 }
 
 Matrix
-FeedForward::forward(const Matrix &x, RunContext &ctx)
+FeedForward::forward(const Matrix &x, FeedForwardCache &cache,
+                     RunContext &ctx) const
 {
-    return fc2_.forward(act_.forward(fc1_.forward(x, ctx)), ctx);
+    return fc2_.forward(
+        act_.forward(fc1_.forward(x, cache.fc1, ctx), cache.act),
+        cache.fc2, ctx);
 }
 
 Matrix
-FeedForward::backward(const Matrix &dy)
+FeedForward::backward(const Matrix &dy, const FeedForwardCache &cache)
 {
-    return fc1_.backward(act_.backward(fc2_.backward(dy)));
+    return fc1_.backward(
+        act_.backward(fc2_.backward(dy, cache.fc2), cache.act),
+        cache.fc1);
 }
 
 void
@@ -333,34 +462,55 @@ FeedForward::visitParams(const ParamVisitor &fn)
 // ------------------------------------------------------ TransformerBlock
 
 TransformerBlock::TransformerBlock(size_t dim, size_t heads,
-                                   size_t mlp_hidden, Rng &rng)
-    : ln1_(dim), attn_(dim, heads, rng), ln2_(dim),
+                                   size_t mlp_hidden, Rng &rng,
+                                   bool causal)
+    : ln1_(dim), attn_(dim, heads, rng, causal), ln2_(dim),
       ffn_(dim, mlp_hidden, rng)
 {
 }
 
 Matrix
-TransformerBlock::forward(const Matrix &x, RunContext &ctx)
+TransformerBlock::forward(const Matrix &x, TransformerBlockCache &cache,
+                          RunContext &ctx) const
 {
     // x' = x + MHA(LN(x))
-    Matrix h = attn_.forward(ln1_.forward(x), ctx);
+    Matrix h =
+        attn_.forward(ln1_.forward(x, cache.ln1), cache.attn, ctx);
     addInPlace(h, x);
     // y = x' + FFN(LN(x'))
-    Matrix y = ffn_.forward(ln2_.forward(h), ctx);
+    Matrix y = ffn_.forward(ln2_.forward(h, cache.ln2), cache.ffn, ctx);
     addInPlace(y, h);
     return y;
 }
 
 Matrix
-TransformerBlock::backward(const Matrix &dy)
+TransformerBlock::backward(const Matrix &dy,
+                           const TransformerBlockCache &cache)
 {
     // Through the FFN residual.
-    Matrix dh = ln2_.backward(ffn_.backward(dy));
+    Matrix dh = ln2_.backward(ffn_.backward(dy, cache.ffn), cache.ln2);
     addInPlace(dh, dy);
     // Through the attention residual.
-    Matrix dx = ln1_.backward(attn_.backward(dh));
+    Matrix dx =
+        ln1_.backward(attn_.backward(dh, cache.attn), cache.ln1);
     addInPlace(dx, dh);
     return dx;
+}
+
+Matrix
+TransformerBlock::decodeStep(const Matrix &x, AttentionKvCache &kv,
+                             TransformerBlockCache &scratch,
+                             RunContext &ctx) const
+{
+    // LayerNorm, FFN, and the residuals are row-wise: running them on
+    // the single new row matches the full-sequence forward exactly.
+    Matrix h = attn_.decodeStep(ln1_.forward(x, scratch.ln1), kv,
+                                scratch.attn, ctx);
+    addInPlace(h, x);
+    Matrix y =
+        ffn_.forward(ln2_.forward(h, scratch.ln2), scratch.ffn, ctx);
+    addInPlace(y, h);
+    return y;
 }
 
 void
@@ -391,27 +541,45 @@ TokenEmbedding::TokenEmbedding(size_t vocab, size_t dim, Rng &rng)
 }
 
 Matrix
-TokenEmbedding::forward(const std::vector<int> &tokens)
+TokenEmbedding::forward(const std::vector<int> &tokens,
+                        TokenEmbeddingCache &cache) const
 {
-    cached_tokens_ = tokens;
+    cache.tokens = tokens;
     Matrix out(tokens.size(), table_.cols());
     for (size_t t = 0; t < tokens.size(); ++t) {
         int id = tokens[t];
         if (id < 0 || static_cast<size_t>(id) >= table_.rows())
-            lt_fatal("token id ", id, " outside vocab ", table_.rows());
+            throw std::invalid_argument(
+                "token id " + std::to_string(id) +
+                " outside vocabulary of " +
+                std::to_string(table_.rows()));
         for (size_t c = 0; c < table_.cols(); ++c)
             out(t, c) = table_(static_cast<size_t>(id), c);
     }
     return out;
 }
 
-void
-TokenEmbedding::backward(const Matrix &dy)
+Matrix
+TokenEmbedding::embedRow(int token) const
 {
-    if (dy.rows() != cached_tokens_.size())
+    if (token < 0 || static_cast<size_t>(token) >= table_.rows())
+        throw std::invalid_argument(
+            "token id " + std::to_string(token) +
+            " outside vocabulary of " + std::to_string(table_.rows()));
+    Matrix out(1, table_.cols());
+    for (size_t c = 0; c < table_.cols(); ++c)
+        out(0, c) = table_(static_cast<size_t>(token), c);
+    return out;
+}
+
+void
+TokenEmbedding::backward(const Matrix &dy,
+                         const TokenEmbeddingCache &cache)
+{
+    if (dy.rows() != cache.tokens.size())
         lt_panic("TokenEmbedding backward shape mismatch");
-    for (size_t t = 0; t < cached_tokens_.size(); ++t) {
-        auto id = static_cast<size_t>(cached_tokens_[t]);
+    for (size_t t = 0; t < cache.tokens.size(); ++t) {
+        auto id = static_cast<size_t>(cache.tokens[t]);
         for (size_t c = 0; c < table_.cols(); ++c)
             dtable_(id, c) += dy(t, c);
     }

@@ -3,15 +3,23 @@
  * Transformer building-block layers with manual backward passes.
  *
  * Every layer follows the same contract:
- *  - forward(x, ctx) runs the layer, caching what backward needs;
- *  - backward(dy) returns dL/dx and accumulates parameter gradients;
+ *  - forward(x, cache, ctx) is a *pure function* of (weights, input):
+ *    it is const on the layer and writes what backward needs into the
+ *    caller-owned cache (see nn/activation_workspace.hh), so one
+ *    weight set can serve many concurrent requests, each with its own
+ *    workspace;
+ *  - backward(dy, cache) returns dL/dx and accumulates parameter
+ *    gradients (training is the one stateful client);
  *  - visitParams(fn) exposes (param, grad) pairs to the optimizer.
  *
  * All matrix products route through the RunContext's GemmBackend, so a
  * model built from these layers can execute on exact arithmetic or on
- * the noisy photonic DPTC functional model. Quantization follows the
- * paper's noise-aware training recipe: weights and activations are
- * fake-quantized in forward, gradients pass straight through (STE).
+ * the noisy photonic DPTC functional model. Each product draws its
+ * noise-stream id from the RunContext's NoiseStream in fixed call
+ * order, making noisy results independent of thread scheduling and of
+ * concurrent requests. Quantization follows the paper's noise-aware
+ * training recipe: weights and activations are fake-quantized in
+ * forward, gradients pass straight through (STE).
  */
 
 #ifndef LT_NN_LAYERS_HH
@@ -20,6 +28,7 @@
 #include <functional>
 #include <vector>
 
+#include "nn/activation_workspace.hh"
 #include "nn/gemm_backend.hh"
 #include "nn/quant.hh"
 #include "nn/tensor_ops.hh"
@@ -29,11 +38,18 @@
 namespace lt {
 namespace nn {
 
-/** Execution context threaded through every forward pass. */
+/**
+ * Execution context threaded through every forward pass: which GEMM
+ * backend runs the products, how operands are quantized, and which
+ * noise stream the products draw from. Copy a context and give it a
+ * distinct stream lane (NoiseStream::lane) to run requests
+ * concurrently with decorrelated, scheduling-independent noise.
+ */
 struct RunContext
 {
     GemmBackend *backend;
     QuantConfig quant;
+    NoiseStream stream{};
 };
 
 /** Callback type used to expose (parameter, gradient) pairs. */
@@ -45,8 +61,9 @@ class Linear
   public:
     Linear(size_t in, size_t out, Rng &rng, bool bias = true);
 
-    Matrix forward(const Matrix &x, RunContext &ctx);
-    Matrix backward(const Matrix &dy);
+    Matrix forward(const Matrix &x, LinearCache &cache,
+                   RunContext &ctx) const;
+    Matrix backward(const Matrix &dy, const LinearCache &cache);
 
     void zeroGrad();
     void visitParams(const ParamVisitor &fn);
@@ -62,8 +79,6 @@ class Linear
     Matrix b_;   ///< [1, out]
     Matrix dw_;
     Matrix db_;
-    Matrix cached_x_;  ///< quantized input from forward
-    Matrix cached_wq_; ///< quantized weight from forward
     bool has_bias_;
 };
 
@@ -73,8 +88,8 @@ class LayerNorm
   public:
     explicit LayerNorm(size_t dim, double eps = 1e-5);
 
-    Matrix forward(const Matrix &x);
-    Matrix backward(const Matrix &dy);
+    Matrix forward(const Matrix &x, LayerNormCache &cache) const;
+    Matrix backward(const Matrix &dy, const LayerNormCache &cache);
 
     void zeroGrad();
     void visitParams(const ParamVisitor &fn);
@@ -84,52 +99,66 @@ class LayerNorm
     Matrix beta_;   ///< [1, dim]
     Matrix dgamma_;
     Matrix dbeta_;
-    Matrix cached_xhat_;
-    std::vector<double> cached_inv_std_;
     double eps_;
 };
 
-/** GELU activation (stateless apart from the forward cache). */
+/** GELU activation (stateless; the cache holds the forward input). */
 class Gelu
 {
   public:
-    Matrix forward(const Matrix &x);
-    Matrix backward(const Matrix &dy);
-
-  private:
-    Matrix cached_x_;
+    Matrix forward(const Matrix &x, GeluCache &cache) const;
+    Matrix backward(const Matrix &dy, const GeluCache &cache) const;
 };
 
 /**
  * Multi-head self-attention (paper Eq. 2). The QK^T and AV products
  * are the *dynamic* matrix multiplies that motivate the whole paper;
  * they execute on the RunContext backend exactly like weight GEMMs.
+ * With `causal`, token i attends only to tokens <= i (decoder mode) —
+ * the configuration incremental decode requires.
  */
 class MultiHeadSelfAttention
 {
   public:
-    MultiHeadSelfAttention(size_t dim, size_t heads, Rng &rng);
+    MultiHeadSelfAttention(size_t dim, size_t heads, Rng &rng,
+                           bool causal = false);
 
-    Matrix forward(const Matrix &x, RunContext &ctx);
-    Matrix backward(const Matrix &dy);
+    Matrix forward(const Matrix &x, AttentionCache &cache,
+                   RunContext &ctx) const;
+    Matrix backward(const Matrix &dy, const AttentionCache &cache);
+
+    /**
+     * Incremental decode: run ONE new token row [1, dim] against the
+     * session's growing K/V cache. The row's K/V are appended to the
+     * cache (in the quantized domain the cache stores), and the
+     * per-head QK^T / AV score and context rows execute as one
+     * gemmBatch on the backend — this is the skinny, memory-bound
+     * traffic of paper Section VI-B actually running on the engine.
+     * Requires causal attention (the cache only holds the past).
+     */
+    Matrix decodeStep(const Matrix &x, AttentionKvCache &kv,
+                      AttentionCache &scratch, RunContext &ctx) const;
+
+    /**
+     * Seed a decode K/V cache from a prefill forward's caches (the
+     * per-head quantized K/V the forward already materialized).
+     */
+    void seedKvCache(const AttentionCache &cache,
+                     AttentionKvCache &kv) const;
 
     void zeroGrad();
     void visitParams(const ParamVisitor &fn);
 
     size_t heads() const { return heads_; }
     size_t headDim() const { return dk_; }
+    bool causal() const { return causal_; }
 
   private:
     size_t dim_;
     size_t heads_;
     size_t dk_;
+    bool causal_;
     Linear wq_, wk_, wv_, wo_;
-
-    // Forward caches (per head).
-    std::vector<Matrix> cached_q_;  ///< quantized per-head Q
-    std::vector<Matrix> cached_k_;
-    std::vector<Matrix> cached_v_;
-    std::vector<Matrix> cached_p_;  ///< attention probabilities
 };
 
 /** Feed-forward network: Linear -> GELU -> Linear. */
@@ -138,8 +167,9 @@ class FeedForward
   public:
     FeedForward(size_t dim, size_t hidden, Rng &rng);
 
-    Matrix forward(const Matrix &x, RunContext &ctx);
-    Matrix backward(const Matrix &dy);
+    Matrix forward(const Matrix &x, FeedForwardCache &cache,
+                   RunContext &ctx) const;
+    Matrix backward(const Matrix &dy, const FeedForwardCache &cache);
 
     void zeroGrad();
     void visitParams(const ParamVisitor &fn);
@@ -158,10 +188,19 @@ class TransformerBlock
 {
   public:
     TransformerBlock(size_t dim, size_t heads, size_t mlp_hidden,
-                     Rng &rng);
+                     Rng &rng, bool causal = false);
 
-    Matrix forward(const Matrix &x, RunContext &ctx);
-    Matrix backward(const Matrix &dy);
+    Matrix forward(const Matrix &x, TransformerBlockCache &cache,
+                   RunContext &ctx) const;
+    Matrix backward(const Matrix &dy,
+                    const TransformerBlockCache &cache);
+
+    /** Incremental decode of one token row (see attention). */
+    Matrix decodeStep(const Matrix &x, AttentionKvCache &kv,
+                      TransformerBlockCache &scratch,
+                      RunContext &ctx) const;
+
+    const MultiHeadSelfAttention &attention() const { return attn_; }
 
     void zeroGrad();
     void visitParams(const ParamVisitor &fn);
@@ -179,17 +218,26 @@ class TokenEmbedding
   public:
     TokenEmbedding(size_t vocab, size_t dim, Rng &rng);
 
-    /** Look up a token sequence -> [seq, dim]. */
-    Matrix forward(const std::vector<int> &tokens);
-    void backward(const Matrix &dy);
+    /**
+     * Look up a token sequence -> [seq, dim]. Ids outside the
+     * vocabulary throw std::invalid_argument.
+     */
+    Matrix forward(const std::vector<int> &tokens,
+                   TokenEmbeddingCache &cache) const;
+
+    /** Single-token lookup -> [1, dim] (incremental decode). */
+    Matrix embedRow(int token) const;
+
+    void backward(const Matrix &dy, const TokenEmbeddingCache &cache);
 
     void zeroGrad();
     void visitParams(const ParamVisitor &fn);
 
+    size_t vocabSize() const { return table_.rows(); }
+
   private:
     Matrix table_;  ///< [vocab, dim]
     Matrix dtable_;
-    std::vector<int> cached_tokens_;
 };
 
 } // namespace nn

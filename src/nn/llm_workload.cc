@@ -42,6 +42,9 @@ decodeStepWorkload(const DecodeConfig &cfg)
     step.ops.push_back({GemmKind::OutProj, b, d, d, L, false});
     step.ops.push_back({GemmKind::Ffn1, b, d, m.mlp_hidden, L, false});
     step.ops.push_back({GemmKind::Ffn2, b, m.mlp_hidden, d, L, false});
+    if (cfg.include_head)
+        step.ops.push_back(
+            {GemmKind::Head, b, d, m.num_classes, 1, false});
 
     for (const auto &op : step.ops)
         step.macs += op.macs();

@@ -28,6 +28,15 @@ struct DecodeConfig
     size_t context_len;  ///< tokens already in the KV cache
     size_t batch = 1;    ///< concurrent requests batched together
     int bits = 8;        ///< datapath precision (weights + KV cache)
+
+    /**
+     * Include the classifier/LM-head GEMM ([b, d] x [d, num_classes])
+     * in the step. Off by default (the Section VI-B roofline numbers
+     * predate the head); the executed decode loop
+     * (nn::InferenceSession) always runs its head, so MAC cross-checks
+     * against engine stats set this.
+     */
+    bool include_head = false;
 };
 
 /** The cost profile of generating one token. */

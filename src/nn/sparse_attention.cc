@@ -145,7 +145,8 @@ chunkPipelineHost(const Matrix &q, const Matrix &k, const Matrix &v,
  */
 Matrix
 blockedOnBackend(const Matrix &q, const Matrix &k, const Matrix &v,
-                 const WindowAttentionConfig &cfg, GemmBackend &backend)
+                 const WindowAttentionConfig &cfg, GemmBackend &backend,
+                 NoiseStream *stream)
 {
     const double inv_sqrt_dk =
         1.0 / std::sqrt(static_cast<double>(cfg.head_dim));
@@ -178,11 +179,25 @@ blockedOnBackend(const Matrix &q, const Matrix &k, const Matrix &v,
         chunks.push_back(std::move(ch));
     }
 
+    // With a caller-supplied NoiseStream, draw one id per product (in
+    // chunk order) so results are history-independent.
+    auto batchOn = [&](const std::vector<std::pair<const Matrix *,
+                                                   const Matrix *>>
+                           &ops) {
+        if (!stream)
+            return backend.gemmBatch(ops);
+        std::vector<uint64_t> streams;
+        streams.reserve(ops.size());
+        for (size_t i = 0; i < ops.size(); ++i)
+            streams.push_back(stream->next());
+        return backend.gemmBatch(ops, streams);
+    };
+
     std::vector<std::pair<const Matrix *, const Matrix *>> qk_ops;
     qk_ops.reserve(chunks.size());
     for (const Chunk &ch : chunks)
         qk_ops.emplace_back(&ch.q_chunk, &ch.kt_span);
-    std::vector<Matrix> scores = backend.gemmBatch(qk_ops);
+    std::vector<Matrix> scores = batchOn(qk_ops);
 
     for (size_t ci = 0; ci < chunks.size(); ++ci) {
         Chunk &ch = chunks[ci];
@@ -197,7 +212,7 @@ blockedOnBackend(const Matrix &q, const Matrix &k, const Matrix &v,
     av_ops.reserve(chunks.size());
     for (const Chunk &ch : chunks)
         av_ops.emplace_back(&ch.p, &ch.v_span);
-    std::vector<Matrix> ctx = backend.gemmBatch(av_ops);
+    std::vector<Matrix> ctx = batchOn(av_ops);
 
     Matrix out(cfg.seq_len, cfg.head_dim, 0.0);
     for (size_t ci = 0; ci < chunks.size(); ++ci) {
@@ -214,11 +229,11 @@ blockedOnBackend(const Matrix &q, const Matrix &k, const Matrix &v,
 Matrix
 windowAttentionBlocked(const Matrix &q, const Matrix &k, const Matrix &v,
                        const WindowAttentionConfig &cfg,
-                       GemmBackend *backend)
+                       GemmBackend *backend, NoiseStream *stream)
 {
     validate(q, k, v, cfg);
     if (backend)
-        return blockedOnBackend(q, k, v, cfg, *backend);
+        return blockedOnBackend(q, k, v, cfg, *backend, stream);
 
     Matrix out(cfg.seq_len, cfg.head_dim, 0.0);
     const size_t num_chunks =

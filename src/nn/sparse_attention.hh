@@ -73,11 +73,18 @@ Matrix windowAttentionDense(const Matrix &q, const Matrix &k,
  * GemmBackend::gemmBatch — this is how the sparse workload executes
  * on the photonic ExecutionEngine (quantization + noise apply, so
  * outputs then track, rather than equal, the dense reference).
+ *
+ * When `stream` is supplied, every chunked product draws its noise
+ * stream from it (in chunk order), making the result independent of
+ * the backend's call history — the same stateless-addressing contract
+ * the model forwards use. Without it, the backend's internal counter
+ * is consumed as before.
  */
 Matrix windowAttentionBlocked(const Matrix &q, const Matrix &k,
                               const Matrix &v,
                               const WindowAttentionConfig &cfg,
-                              GemmBackend *backend = nullptr);
+                              GemmBackend *backend = nullptr,
+                              NoiseStream *stream = nullptr);
 
 /** Chunked-GEMM workload of one blockified window-attention head. */
 struct SparseAttentionWorkload

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/logging.hh"
 
@@ -24,6 +25,46 @@ scaled(const Matrix &a, double s)
     for (double &v : out.data())
         v *= s;
     return out;
+}
+
+void
+appendRow(Matrix &m, const Matrix &row)
+{
+    if (row.rows() != 1)
+        lt_panic("appendRow expects a [1, n] row");
+    if (m.rows() == 0) {
+        m = row;
+        return;
+    }
+    if (m.cols() != row.cols())
+        lt_panic("appendRow width mismatch: ", m.cols(), " vs ",
+                 row.cols());
+    Matrix grown(m.rows() + 1, m.cols());
+    std::copy(m.data().begin(), m.data().end(), grown.data().begin());
+    for (size_t c = 0; c < m.cols(); ++c)
+        grown(m.rows(), c) = row(0, c);
+    m = std::move(grown);
+}
+
+void
+appendColumn(Matrix &m, const Matrix &row)
+{
+    if (row.rows() != 1)
+        lt_panic("appendColumn expects a [1, n] row");
+    if (m.rows() == 0) {
+        m = row.transposed();
+        return;
+    }
+    if (m.rows() != row.cols())
+        lt_panic("appendColumn height mismatch: ", m.rows(), " vs ",
+                 row.cols());
+    Matrix grown(m.rows(), m.cols() + 1);
+    for (size_t r = 0; r < m.rows(); ++r) {
+        for (size_t c = 0; c < m.cols(); ++c)
+            grown(r, c) = m(r, c);
+        grown(r, m.cols()) = row(0, r);
+    }
+    m = std::move(grown);
 }
 
 Matrix

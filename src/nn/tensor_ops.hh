@@ -23,6 +23,19 @@ Matrix sliceCols(const Matrix &m, size_t c0, size_t cols);
 /** Write `block` into m at column offset c0. */
 void pasteCols(Matrix &m, const Matrix &block, size_t c0);
 
+/**
+ * Append `row` ([1, n]) below m ([r, n]; an empty m adopts the row's
+ * width). The growth primitive of the decode V caches.
+ */
+void appendRow(Matrix &m, const Matrix &row);
+
+/**
+ * Append `row` ([1, n]) as a new COLUMN of m ([n, c] -> [n, c+1]; an
+ * empty m becomes row^T). Grows the pre-transposed decode K caches
+ * without re-transposing them every step.
+ */
+void appendColumn(Matrix &m, const Matrix &row);
+
 /** Row-wise softmax. */
 Matrix rowSoftmax(const Matrix &scores);
 

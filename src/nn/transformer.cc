@@ -1,6 +1,12 @@
 #include "transformer.hh"
 
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace lt {
 namespace nn {
@@ -15,6 +21,10 @@ TransformerClassifier::TransformerClassifier(const TransformerConfig &cfg)
     if ((cfg.patch_dim > 0) == (cfg.vocab_size > 0))
         lt_fatal("TransformerConfig must set exactly one of patch_dim "
                  "(vision) or vocab_size (sequence)");
+    if (cfg.causal && cfg.pooling == Pooling::ClsToken)
+        lt_fatal("causal attention is incompatible with ClsToken "
+                 "pooling (a front CLS token sees nothing under the "
+                 "mask); use Mean or LastToken");
     if (cfg.patch_dim > 0)
         patch_embed_.emplace(cfg.patch_dim, cfg.dim, init_rng_);
     else
@@ -28,18 +38,24 @@ TransformerClassifier::TransformerClassifier(const TransformerConfig &cfg)
     blocks_.reserve(cfg.depth);
     for (size_t i = 0; i < cfg.depth; ++i) {
         blocks_.push_back(std::make_unique<TransformerBlock>(
-            cfg.dim, cfg.heads, cfg.mlp_hidden, init_rng_));
+            cfg.dim, cfg.heads, cfg.mlp_hidden, init_rng_,
+            cfg.causal));
     }
 }
 
 Matrix
-TransformerClassifier::forwardCommon(Matrix x, RunContext &ctx)
+TransformerClassifier::forwardCommon(Matrix x, ActivationWorkspace &ws,
+                                     RunContext &ctx) const
 {
     const bool use_cls = cfg_.pooling == Pooling::ClsToken;
     size_t tokens = x.rows() + (use_cls ? 1 : 0);
+    if (tokens == 0)
+        throw std::invalid_argument("forward on an empty sequence");
     if (tokens > cfg_.max_tokens)
-        lt_fatal("sequence of ", tokens, " tokens exceeds max_tokens ",
-                 cfg_.max_tokens);
+        throw std::invalid_argument(
+            "sequence of " + std::to_string(tokens) +
+            " tokens exceeds the positional table (max_tokens = " +
+            std::to_string(cfg_.max_tokens) + ")");
     Matrix seq(tokens, cfg_.dim);
     size_t offset = 0;
     if (use_cls) {
@@ -54,63 +70,118 @@ TransformerClassifier::forwardCommon(Matrix x, RunContext &ctx)
         for (size_t c = 0; c < cfg_.dim; ++c)
             seq(r, c) += pos_(r, c);
 
-    cached_tokens_ = tokens;
-    for (auto &block : blocks_)
-        seq = block->forward(seq, ctx);
-    Matrix normed = final_ln_.forward(seq);
-    cached_pooled_in_ = normed;
+    ws.tokens = tokens;
+    if (ws.blocks.size() != blocks_.size())
+        ws.blocks.resize(blocks_.size());
+    for (size_t i = 0; i < blocks_.size(); ++i)
+        seq = blocks_[i]->forward(seq, ws.blocks[i], ctx);
+    Matrix normed = final_ln_.forward(seq, ws.final_ln);
+    ws.pooled_in = normed;
 
     Matrix pooled(1, cfg_.dim);
-    if (use_cls) {
+    switch (cfg_.pooling) {
+    case Pooling::ClsToken:
         for (size_t c = 0; c < cfg_.dim; ++c)
             pooled(0, c) = normed(0, c);
-    } else {
+        break;
+    case Pooling::Mean:
         for (size_t c = 0; c < cfg_.dim; ++c) {
             double s = 0.0;
             for (size_t r = 0; r < tokens; ++r)
                 s += normed(r, c);
             pooled(0, c) = s / static_cast<double>(tokens);
         }
+        break;
+    case Pooling::LastToken:
+        for (size_t c = 0; c < cfg_.dim; ++c)
+            pooled(0, c) = normed(tokens - 1, c);
+        break;
     }
-    return head_.forward(pooled, ctx);
+    return head_.forward(pooled, ws.head, ctx);
 }
 
 Matrix
 TransformerClassifier::forwardVision(const Matrix &patches,
-                                     RunContext &ctx)
+                                     ActivationWorkspace &ws,
+                                     RunContext &ctx) const
 {
     if (!patch_embed_)
         lt_fatal("forwardVision called on a sequence-mode model");
-    last_was_vision_ = true;
-    Matrix x = patch_embed_->forward(patches, ctx);
-    return forwardCommon(std::move(x), ctx);
+    if (patches.rows() == 0)
+        throw std::invalid_argument("forward on an empty patch set");
+    if (patches.cols() != cfg_.patch_dim)
+        throw std::invalid_argument(
+            "patch width " + std::to_string(patches.cols()) +
+            " != configured patch_dim " +
+            std::to_string(cfg_.patch_dim));
+    ws.last_was_vision = true;
+    Matrix x = patch_embed_->forward(patches, ws.patch_embed, ctx);
+    return forwardCommon(std::move(x), ws, ctx);
 }
 
 Matrix
 TransformerClassifier::forwardSequence(const std::vector<int> &tokens,
-                                       RunContext &ctx)
+                                       ActivationWorkspace &ws,
+                                       RunContext &ctx) const
 {
     if (!token_embed_)
         lt_fatal("forwardSequence called on a vision-mode model");
-    last_was_vision_ = false;
-    Matrix x = token_embed_->forward(tokens);
-    return forwardCommon(std::move(x), ctx);
+    if (tokens.empty())
+        throw std::invalid_argument("forward on an empty sequence");
+    ws.last_was_vision = false;
+    Matrix x = token_embed_->forward(tokens, ws.token_embed);
+    return forwardCommon(std::move(x), ws, ctx);
 }
+
+namespace {
+
+/**
+ * Run `n` independent samples concurrently on the global pool, giving
+ * sample i the NoiseStream lane i of a base stream consumed from the
+ * caller's context. Exceptions (e.g. validation failures) are captured
+ * on the worker and rethrown on the caller.
+ */
+template <typename RunSample>
+void
+parallelSamples(size_t n, RunContext &ctx, RunSample &&run)
+{
+    NoiseStream lanes(ctx.stream.next());
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    ThreadPool::global().parallelForEach(n, [&](size_t i) {
+        try {
+            RunContext sample_ctx{ctx.backend, ctx.quant,
+                                  lanes.lane(i)};
+            run(i, sample_ctx);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!error)
+                error = std::current_exception();
+        }
+    });
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace
 
 std::vector<Matrix>
 TransformerClassifier::forwardVisionBatch(
-    const std::vector<const Matrix *> &batch, RunContext &ctx)
+    const std::vector<const Matrix *> &batch, RunContext &ctx) const
 {
-    std::vector<Matrix> logits;
-    logits.reserve(batch.size());
-    for (const Matrix *patches : batch)
-        logits.push_back(forwardVision(*patches, ctx));
+    std::vector<Matrix> logits(batch.size());
+    parallelSamples(batch.size(), ctx,
+                    [&](size_t i, RunContext &sample_ctx) {
+                        ActivationWorkspace ws;
+                        logits[i] = forwardVision(*batch[i], ws,
+                                                  sample_ctx);
+                    });
     return logits;
 }
 
 std::vector<Matrix>
 TransformerClassifier::forwardVisionBatch(
-    const std::vector<Matrix> &batch, RunContext &ctx)
+    const std::vector<Matrix> &batch, RunContext &ctx) const
 {
     std::vector<const Matrix *> ptrs;
     ptrs.reserve(batch.size());
@@ -122,18 +193,21 @@ TransformerClassifier::forwardVisionBatch(
 std::vector<Matrix>
 TransformerClassifier::forwardSequenceBatch(
     const std::vector<const std::vector<int> *> &batch,
-    RunContext &ctx)
+    RunContext &ctx) const
 {
-    std::vector<Matrix> logits;
-    logits.reserve(batch.size());
-    for (const auto *tokens : batch)
-        logits.push_back(forwardSequence(*tokens, ctx));
+    std::vector<Matrix> logits(batch.size());
+    parallelSamples(batch.size(), ctx,
+                    [&](size_t i, RunContext &sample_ctx) {
+                        ActivationWorkspace ws;
+                        logits[i] = forwardSequence(*batch[i], ws,
+                                                    sample_ctx);
+                    });
     return logits;
 }
 
 std::vector<Matrix>
 TransformerClassifier::forwardSequenceBatch(
-    const std::vector<std::vector<int>> &batch, RunContext &ctx)
+    const std::vector<std::vector<int>> &batch, RunContext &ctx) const
 {
     std::vector<const std::vector<int> *> ptrs;
     ptrs.reserve(batch.size());
@@ -143,46 +217,55 @@ TransformerClassifier::forwardSequenceBatch(
 }
 
 void
-TransformerClassifier::backward(const Matrix &dlogits)
+TransformerClassifier::backward(const Matrix &dlogits,
+                                const ActivationWorkspace &ws)
 {
-    const bool use_cls = cfg_.pooling == Pooling::ClsToken;
-    Matrix dpooled = head_.backward(dlogits);
+    const size_t tokens = ws.tokens;
+    Matrix dpooled = head_.backward(dlogits, ws.head);
 
-    Matrix dnormed(cached_tokens_, cfg_.dim, 0.0);
-    if (use_cls) {
+    Matrix dnormed(tokens, cfg_.dim, 0.0);
+    switch (cfg_.pooling) {
+    case Pooling::ClsToken:
         for (size_t c = 0; c < cfg_.dim; ++c)
             dnormed(0, c) = dpooled(0, c);
-    } else {
-        double inv_n = 1.0 / static_cast<double>(cached_tokens_);
-        for (size_t r = 0; r < cached_tokens_; ++r)
+        break;
+    case Pooling::Mean: {
+        double inv_n = 1.0 / static_cast<double>(tokens);
+        for (size_t r = 0; r < tokens; ++r)
             for (size_t c = 0; c < cfg_.dim; ++c)
                 dnormed(r, c) = dpooled(0, c) * inv_n;
+        break;
+    }
+    case Pooling::LastToken:
+        for (size_t c = 0; c < cfg_.dim; ++c)
+            dnormed(tokens - 1, c) = dpooled(0, c);
+        break;
     }
 
-    Matrix dseq = final_ln_.backward(dnormed);
-    for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it)
-        dseq = (*it)->backward(dseq);
+    Matrix dseq = final_ln_.backward(dnormed, ws.final_ln);
+    for (size_t i = blocks_.size(); i-- > 0;)
+        dseq = blocks_[i]->backward(dseq, ws.blocks[i]);
 
     // Positional gradients over all tokens.
-    for (size_t r = 0; r < cached_tokens_; ++r)
+    for (size_t r = 0; r < tokens; ++r)
         for (size_t c = 0; c < cfg_.dim; ++c)
             dpos_(r, c) += dseq(r, c);
 
     size_t offset = 0;
-    if (use_cls) {
+    if (cfg_.pooling == Pooling::ClsToken) {
         for (size_t c = 0; c < cfg_.dim; ++c)
             dcls_(0, c) += dseq(0, c);
         offset = 1;
     }
-    Matrix dx(cached_tokens_ - offset, cfg_.dim);
+    Matrix dx(tokens - offset, cfg_.dim);
     for (size_t r = 0; r < dx.rows(); ++r)
         for (size_t c = 0; c < cfg_.dim; ++c)
             dx(r, c) = dseq(r + offset, c);
 
-    if (last_was_vision_)
-        patch_embed_->backward(dx);
+    if (ws.last_was_vision)
+        patch_embed_->backward(dx, ws.patch_embed);
     else
-        token_embed_->backward(dx);
+        token_embed_->backward(dx, ws.token_embed);
 }
 
 void

@@ -31,17 +31,20 @@ EpochStats
 Trainer::trainImpl(const std::vector<Sample> &data, ForwardFn &&forward)
 {
     nn::RunContext ctx{&backend_, cfg_.quant};
+    // Training owns ONE workspace: forward fills it, backward consumes
+    // it. This is the stateful client of the otherwise-pure forwards.
+    nn::ActivationWorkspace ws;
     EpochStats last{0.0, 0.0};
     for (size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
         double loss_sum = 0.0;
         size_t correct = 0;
         for (const auto &sample : data) {
             optimizer_.zeroGrad();
-            Matrix logits = forward(sample, ctx);
+            Matrix logits = forward(sample, ws, ctx);
             LossResult lr = softmaxCrossEntropy(logits, sample.label);
             loss_sum += lr.loss;
             correct += lr.correct ? 1 : 0;
-            model_.backward(lr.dlogits);
+            model_.backward(lr.dlogits, ws);
             optimizer_.step();
         }
         last.loss = loss_sum / static_cast<double>(data.size());
@@ -60,8 +63,9 @@ EpochStats
 Trainer::trainVision(const std::vector<VisionSample> &data)
 {
     return trainImpl(data, [this](const VisionSample &s,
+                                  nn::ActivationWorkspace &ws,
                                   nn::RunContext &ctx) {
-        return model_.forwardVision(s.patches, ctx);
+        return model_.forwardVision(s.patches, ws, ctx);
     });
 }
 
@@ -69,8 +73,9 @@ EpochStats
 Trainer::trainSequence(const std::vector<SequenceSample> &data)
 {
     return trainImpl(data, [this](const SequenceSample &s,
+                                  nn::ActivationWorkspace &ws,
                                   nn::RunContext &ctx) {
-        return model_.forwardSequence(s.tokens, ctx);
+        return model_.forwardSequence(s.tokens, ws, ctx);
     });
 }
 
@@ -80,7 +85,8 @@ Trainer::evaluateVision(nn::TransformerClassifier &model,
                         nn::RunContext &ctx)
 {
     // Evaluation is inference-only, so it rides the batched forward
-    // path (per-sample GEMMs execute on the engine's core shards).
+    // path: samples run concurrently, each with its own workspace and
+    // noise lane.
     std::vector<const Matrix *> batch;
     batch.reserve(data.size());
     for (const auto &s : data)

@@ -37,6 +37,10 @@ class NoisyTrainingBackend : public nn::GemmBackend
     {
     }
 
+    // Training is sequential; the stateful member RNG ignores the
+    // stream-addressed entry points (they fall through to gemm()).
+    using nn::GemmBackend::gemm;
+
     Matrix gemm(const Matrix &a, const Matrix &b) override;
 
   private:

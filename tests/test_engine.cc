@@ -8,9 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdint>
+#include <mutex>
 #include <tuple>
 #include <vector>
 
@@ -175,6 +179,28 @@ TEST(ExecutionEngine, GemmBatchMatchesPerProductGemm)
             << "product " << i;
 }
 
+TEST(ExecutionEngine, StreamAddressedGemmIsHistoryIndependent)
+{
+    // Explicit-stream products are pure functions of (operands,
+    // config, stream): unrelated traffic before/around them must not
+    // change the result — the property that lets concurrent requests
+    // share one engine.
+    core::DptcConfig dcfg;
+    Rng rng(23);
+    Matrix a = randomMatrix(15, 18, rng);
+    Matrix b = randomMatrix(18, 11, rng);
+
+    nn::ExecutionEngine fresh(dcfg, core::EvalMode::Noisy);
+    Matrix expected = fresh.gemm(a, b, /*stream=*/42);
+
+    nn::ExecutionEngine busy(dcfg, core::EvalMode::Noisy);
+    for (int i = 0; i < 5; ++i)
+        busy.gemm(a, b); // unrelated internal-counter traffic
+    EXPECT_EQ(busy.gemm(a, b, 42).maxAbsDiff(expected), 0.0);
+    // ...and distinct streams draw distinct noise.
+    EXPECT_GT(busy.gemm(a, b, 43).maxAbsDiff(expected), 0.0);
+}
+
 // ---- blocked matmul ---------------------------------------------------
 
 TEST(Matmul, BlockedMatchesNaiveOnRectangularShapes)
@@ -219,7 +245,31 @@ TEST(Matmul, ShapeMismatchFatal)
 
 // ---- batched model forward -------------------------------------------
 
-TEST(ForwardBatch, VisionLogitsMatchPerSampleCalls)
+/**
+ * The sequential per-sample reference the batch entry points promise
+ * to match bit-exactly: sample i runs alone with a fresh workspace on
+ * NoiseStream lane i of a base stream consumed from the context.
+ */
+std::vector<Matrix>
+sequentialVisionReference(const nn::TransformerClassifier &model,
+                          const std::vector<Matrix> &batch,
+                          nn::GemmBackend &backend,
+                          const nn::QuantConfig &quant)
+{
+    nn::RunContext ctx{&backend, quant};
+    nn::NoiseStream lanes(ctx.stream.next());
+    std::vector<Matrix> logits;
+    logits.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+        nn::ActivationWorkspace ws;
+        nn::RunContext sample_ctx{&backend, quant, lanes.lane(i)};
+        logits.push_back(
+            model.forwardVision(batch[i], ws, sample_ctx));
+    }
+    return logits;
+}
+
+TEST(ForwardBatch, VisionLogitsMatchSequentialReference)
 {
     nn::TransformerConfig cfg;
     cfg.dim = 16;
@@ -233,35 +283,148 @@ TEST(ForwardBatch, VisionLogitsMatchPerSampleCalls)
 
     Rng rng(55);
     std::vector<Matrix> batch;
-    for (int i = 0; i < 6; ++i)
+    for (int i = 0; i < 8; ++i)
         batch.push_back(randomMatrix(8, 12, rng));
 
-    // Ideal backend: exact equality sample by sample.
+    // Ideal backend: streams are ignored, so batch == per-sample.
     nn::IdealBackend ideal;
     nn::RunContext ctx{&ideal, nn::QuantConfig::disabled()};
     std::vector<Matrix> batched = model.forwardVisionBatch(batch, ctx);
     ASSERT_EQ(batched.size(), batch.size());
+    std::vector<Matrix> reference = sequentialVisionReference(
+        model, batch, ideal, nn::QuantConfig::disabled());
     for (size_t i = 0; i < batch.size(); ++i)
-        EXPECT_EQ(
-            batched[i].maxAbsDiff(model.forwardVision(batch[i], ctx)),
-            0.0)
+        EXPECT_EQ(batched[i].maxAbsDiff(reference[i]), 0.0)
             << "sample " << i;
 
-    // Noisy engine backend: stream ids advance identically whether
-    // the samples go through the batch entry point or one-by-one, so
-    // two fresh engines with the same call history agree exactly.
+    // Noisy engine: every sample's noise is addressed by its stream
+    // lane, not by engine call history — the concurrent batch matches
+    // the sequential per-sample reference bit-exactly.
     core::DptcConfig dcfg;
     nn::ExecutionEngine batch_engine(dcfg, core::EvalMode::Noisy);
     nn::RunContext batch_ctx{&batch_engine, nn::QuantConfig::w8a8()};
     std::vector<Matrix> noisy_batched =
         model.forwardVisionBatch(batch, batch_ctx);
     nn::ExecutionEngine seq_engine(dcfg, core::EvalMode::Noisy);
-    nn::RunContext seq_ctx{&seq_engine, nn::QuantConfig::w8a8()};
+    std::vector<Matrix> noisy_reference = sequentialVisionReference(
+        model, batch, seq_engine, nn::QuantConfig::w8a8());
     for (size_t i = 0; i < batch.size(); ++i)
-        EXPECT_EQ(noisy_batched[i].maxAbsDiff(
-                      model.forwardVision(batch[i], seq_ctx)),
-                  0.0)
+        EXPECT_EQ(noisy_batched[i].maxAbsDiff(noisy_reference[i]), 0.0)
             << "sample " << i;
+}
+
+TEST(ForwardBatch, BitIdenticalAcrossThreadCounts)
+{
+    // The acceptance bar of the workspace refactor: 8 samples through
+    // the noisy engine, identical logits at 1/2/8 threads.
+    nn::TransformerConfig cfg;
+    cfg.dim = 16;
+    cfg.depth = 1;
+    cfg.heads = 2;
+    cfg.mlp_hidden = 32;
+    cfg.num_classes = 4;
+    cfg.max_tokens = 9;
+    cfg.patch_dim = 12;
+    nn::TransformerClassifier model(cfg);
+
+    Rng rng(56);
+    std::vector<Matrix> batch;
+    for (int i = 0; i < 8; ++i)
+        batch.push_back(randomMatrix(8, 12, rng));
+
+    core::DptcConfig dcfg;
+    std::vector<std::vector<Matrix>> runs;
+    for (size_t threads : {1u, 2u, 8u}) {
+        ThreadPool::setGlobalThreads(threads);
+        nn::ExecutionEngine engine(dcfg, core::EvalMode::Noisy);
+        nn::RunContext ctx{&engine, nn::QuantConfig::w8a8()};
+        runs.push_back(model.forwardVisionBatch(batch, ctx));
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(runs[0][i].maxAbsDiff(runs[1][i]), 0.0) << i;
+        EXPECT_EQ(runs[0][i].maxAbsDiff(runs[2][i]), 0.0) << i;
+    }
+    ThreadPool::setGlobalThreads(0);
+}
+
+/**
+ * Pool-utilization probe: a backend whose gemm() briefly waits for a
+ * second concurrent gemm before proceeding. If the batch entry point
+ * really runs samples concurrently (distinct workspaces on distinct
+ * workers), two samples' GEMMs overlap almost immediately and the
+ * high-water mark reaches >= 2; a sequential implementation can never
+ * overlap and every wait times out (bounded, so the test still
+ * finishes — and then fails the assertion).
+ */
+class ConcurrencyProbeBackend : public nn::GemmBackend
+{
+  public:
+    using nn::GemmBackend::gemm;
+
+    Matrix
+    gemm(const Matrix &a, const Matrix &b) override
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            ++in_flight_;
+            max_in_flight_ = std::max(max_in_flight_, in_flight_);
+            cv_.notify_all();
+            if (max_in_flight_ < 2 && waits_ < 8) {
+                ++waits_;
+                cv_.wait_for(lock, std::chrono::milliseconds(500),
+                             [&] { return in_flight_ >= 2; });
+                max_in_flight_ = std::max(max_in_flight_, in_flight_);
+            }
+        }
+        Matrix out = matmul(a, b);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --in_flight_;
+        }
+        cv_.notify_all();
+        return out;
+    }
+
+    int
+    maxInFlight()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return max_in_flight_;
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    int in_flight_ = 0;
+    int max_in_flight_ = 0;
+    int waits_ = 0;
+};
+
+TEST(ForwardBatch, RunsSamplesConcurrentlyOnThePool)
+{
+    nn::TransformerConfig cfg;
+    cfg.dim = 16;
+    cfg.depth = 1;
+    cfg.heads = 2;
+    cfg.mlp_hidden = 32;
+    cfg.num_classes = 4;
+    cfg.max_tokens = 9;
+    cfg.patch_dim = 12;
+    nn::TransformerClassifier model(cfg);
+
+    Rng rng(57);
+    std::vector<Matrix> batch;
+    for (int i = 0; i < 8; ++i)
+        batch.push_back(randomMatrix(8, 12, rng));
+
+    ThreadPool::setGlobalThreads(8); // >= 4 workers
+    ConcurrencyProbeBackend probe;
+    nn::RunContext ctx{&probe, nn::QuantConfig::disabled()};
+    std::vector<Matrix> logits = model.forwardVisionBatch(batch, ctx);
+    ASSERT_EQ(logits.size(), batch.size());
+    EXPECT_GE(probe.maxInFlight(), 2)
+        << "forwardVisionBatch streamed samples sequentially";
+    ThreadPool::setGlobalThreads(0);
 }
 
 TEST(ForwardBatch, SequenceLogitsMatchPerSampleCalls)
@@ -283,9 +446,11 @@ TEST(ForwardBatch, SequenceLogitsMatchPerSampleCalls)
     std::vector<Matrix> batched =
         model.forwardSequenceBatch(batch, ctx);
     ASSERT_EQ(batched.size(), batch.size());
+    nn::ActivationWorkspace ws;
+    nn::RunContext ref_ctx{&ideal, nn::QuantConfig::disabled()};
     for (size_t i = 0; i < batch.size(); ++i)
         EXPECT_EQ(batched[i].maxAbsDiff(
-                      model.forwardSequence(batch[i], ctx)),
+                      model.forwardSequence(batch[i], ws, ref_ctx)),
                   0.0)
             << "sample " << i;
 }

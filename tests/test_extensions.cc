@@ -247,9 +247,10 @@ TEST(Serialization, RoundTripPreservesLogits)
     train::ShapeDataset ds(3, 7);
     nn::IdealBackend backend;
     nn::RunContext ctx{&backend, nn::QuantConfig::disabled()};
+    nn::ActivationWorkspace ws;
     for (const auto &s : ds.samples()) {
-        Matrix a = original.forwardVision(s.patches, ctx);
-        Matrix b = restored.forwardVision(s.patches, ctx);
+        Matrix a = original.forwardVision(s.patches, ws, ctx);
+        Matrix b = restored.forwardVision(s.patches, ws, ctx);
         EXPECT_LT(a.maxAbsDiff(b), 1e-15);
     }
     std::remove(path.c_str());

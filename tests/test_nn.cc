@@ -8,11 +8,13 @@
 
 #include <cmath>
 #include <functional>
+#include <stdexcept>
 
 #include "nn/gemm_backend.hh"
 #include "nn/layers.hh"
 #include "nn/quant.hh"
 #include "nn/tensor_ops.hh"
+#include "nn/transformer.hh"
 #include "util/rng.hh"
 
 namespace {
@@ -239,13 +241,16 @@ TEST(GradCheckTest, Linear)
     IdealBackend backend;
     RunContext ctx{&backend, QuantConfig::disabled()};
     Linear layer(5, 4, rng);
+    LinearCache cache;
     Matrix x = randomMatrix(3, 5, rng);
 
-    auto fwd = [&](Matrix &in) { return layer.forward(in, ctx); };
+    auto fwd = [&](Matrix &in) {
+        return layer.forward(in, cache, ctx);
+    };
     auto bwd = [&](const Matrix &dy) {
         layer.zeroGrad();
-        layer.forward(x, ctx);
-        return layer.backward(dy);
+        layer.forward(x, cache, ctx);
+        return layer.backward(dy, cache);
     };
     GradCheck::checkInput(x, fwd, bwd, rng);
     GradCheck::checkParams(
@@ -257,13 +262,14 @@ TEST(GradCheckTest, LayerNorm)
 {
     Rng rng(11);
     LayerNorm layer(6);
+    LayerNormCache cache;
     Matrix x = randomMatrix(4, 6, rng, 2.0);
 
-    auto fwd = [&](Matrix &in) { return layer.forward(in); };
+    auto fwd = [&](Matrix &in) { return layer.forward(in, cache); };
     auto bwd = [&](const Matrix &dy) {
         layer.zeroGrad();
-        layer.forward(x);
-        return layer.backward(dy);
+        layer.forward(x, cache);
+        return layer.backward(dy, cache);
     };
     GradCheck::checkInput(x, fwd, bwd, rng);
     GradCheck::checkParams(
@@ -275,11 +281,12 @@ TEST(GradCheckTest, Gelu)
 {
     Rng rng(12);
     Gelu layer;
+    GeluCache cache;
     Matrix x = randomMatrix(3, 5, rng, 2.0);
-    auto fwd = [&](Matrix &in) { return layer.forward(in); };
+    auto fwd = [&](Matrix &in) { return layer.forward(in, cache); };
     auto bwd = [&](const Matrix &dy) {
-        layer.forward(x);
-        return layer.backward(dy);
+        layer.forward(x, cache);
+        return layer.backward(dy, cache);
     };
     GradCheck::checkInput(x, fwd, bwd, rng);
 }
@@ -302,18 +309,67 @@ TEST(GradCheckTest, MultiHeadSelfAttention)
     IdealBackend backend;
     RunContext ctx{&backend, QuantConfig::disabled()};
     MultiHeadSelfAttention attn(8, 2, rng);
+    AttentionCache cache;
     Matrix x = randomMatrix(5, 8, rng);
 
-    auto fwd = [&](Matrix &in) { return attn.forward(in, ctx); };
+    auto fwd = [&](Matrix &in) {
+        return attn.forward(in, cache, ctx);
+    };
     auto bwd = [&](const Matrix &dy) {
         attn.zeroGrad();
-        attn.forward(x, ctx);
-        return attn.backward(dy);
+        attn.forward(x, cache, ctx);
+        return attn.backward(dy, cache);
     };
     GradCheck::checkInput(x, fwd, bwd, rng);
     GradCheck::checkParams(
         x, fwd, bwd,
         [&](const ParamVisitor &fn) { attn.visitParams(fn); }, rng);
+}
+
+TEST(GradCheckTest, CausalAttention)
+{
+    // The causal mask must also be consistent with backward: gradients
+    // through masked (zero-probability) scores vanish.
+    Rng rng(141);
+    IdealBackend backend;
+    RunContext ctx{&backend, QuantConfig::disabled()};
+    MultiHeadSelfAttention attn(8, 2, rng, /*causal=*/true);
+    AttentionCache cache;
+    Matrix x = randomMatrix(5, 8, rng);
+
+    auto fwd = [&](Matrix &in) {
+        return attn.forward(in, cache, ctx);
+    };
+    auto bwd = [&](const Matrix &dy) {
+        attn.zeroGrad();
+        attn.forward(x, cache, ctx);
+        return attn.backward(dy, cache);
+    };
+    GradCheck::checkInput(x, fwd, bwd, rng);
+}
+
+TEST(Layers, CausalAttentionRowPrefixInvariance)
+{
+    // Under the causal mask, row i of the output depends only on rows
+    // <= i: truncating the input must reproduce the leading rows.
+    Rng rng(142);
+    IdealBackend backend;
+    RunContext ctx{&backend, QuantConfig::disabled()};
+    MultiHeadSelfAttention attn(8, 2, rng, /*causal=*/true);
+    Matrix x = randomMatrix(6, 8, rng);
+    AttentionCache full_cache;
+    Matrix full = attn.forward(x, full_cache, ctx);
+
+    Matrix prefix(4, 8);
+    for (size_t r = 0; r < 4; ++r)
+        for (size_t c = 0; c < 8; ++c)
+            prefix(r, c) = x(r, c);
+    AttentionCache prefix_cache;
+    Matrix out = attn.forward(prefix, prefix_cache, ctx);
+    for (size_t r = 0; r < 4; ++r)
+        for (size_t c = 0; c < 8; ++c)
+            EXPECT_NEAR(out(r, c), full(r, c), 1e-12)
+                << r << "," << c;
 }
 
 TEST(GradCheckTest, TransformerBlock)
@@ -322,13 +378,16 @@ TEST(GradCheckTest, TransformerBlock)
     IdealBackend backend;
     RunContext ctx{&backend, QuantConfig::disabled()};
     TransformerBlock block(8, 2, 16, rng);
+    TransformerBlockCache cache;
     Matrix x = randomMatrix(4, 8, rng);
 
-    auto fwd = [&](Matrix &in) { return block.forward(in, ctx); };
+    auto fwd = [&](Matrix &in) {
+        return block.forward(in, cache, ctx);
+    };
     auto bwd = [&](const Matrix &dy) {
         block.zeroGrad();
-        block.forward(x, ctx);
-        return block.backward(dy);
+        block.forward(x, cache, ctx);
+        return block.backward(dy, cache);
     };
     GradCheck::checkInput(x, fwd, bwd, rng);
 }
@@ -337,13 +396,14 @@ TEST(GradCheckTest, TokenEmbedding)
 {
     Rng rng(16);
     TokenEmbedding emb(10, 6, rng);
+    TokenEmbeddingCache cache;
     std::vector<int> tokens{1, 4, 9, 4};
 
-    Matrix y = emb.forward(tokens);
+    Matrix y = emb.forward(tokens, cache);
     Matrix w = randomMatrix(y.rows(), y.cols(), rng);
     emb.zeroGrad();
-    emb.forward(tokens);
-    emb.backward(w);
+    emb.forward(tokens, cache);
+    emb.backward(w, cache);
 
     std::vector<std::pair<Matrix *, Matrix *>> params;
     emb.visitParams([&](Matrix &p, Matrix &g) {
@@ -355,7 +415,7 @@ TEST(GradCheckTest, TokenEmbedding)
     for (size_t i = 0; i < table->data().size(); ++i) {
         double orig = table->data()[i];
         auto loss = [&]() {
-            Matrix out = emb.forward(tokens);
+            Matrix out = emb.forward(tokens, cache);
             double s = 0.0;
             for (size_t j = 0; j < out.data().size(); ++j)
                 s += out.data()[j] * w.data()[j];
@@ -383,6 +443,101 @@ TEST(Layers, AttentionRejectsIndivisibleHeads)
     Rng rng(18);
     EXPECT_EXIT({ MultiHeadSelfAttention attn(10, 3, rng); },
                 ::testing::ExitedWithCode(1), "not divisible");
+}
+
+// ---- forward-path input validation ------------------------------------
+
+TEST(ForwardValidation, TooManyPatchesThrows)
+{
+    TransformerConfig cfg;
+    cfg.dim = 16;
+    cfg.depth = 1;
+    cfg.heads = 2;
+    cfg.mlp_hidden = 32;
+    cfg.max_tokens = 9; // 8 patches + CLS
+    cfg.patch_dim = 12;
+    TransformerClassifier model(cfg);
+    IdealBackend backend;
+    RunContext ctx{&backend, QuantConfig::disabled()};
+    ActivationWorkspace ws;
+
+    Rng rng(19);
+    Matrix ok = randomMatrix(8, 12, rng);
+    EXPECT_NO_THROW(model.forwardVision(ok, ws, ctx));
+    // 9 patches + CLS = 10 > max_tokens: must throw, not read past
+    // the positional-embedding table.
+    Matrix too_many = randomMatrix(9, 12, rng);
+    EXPECT_THROW(model.forwardVision(too_many, ws, ctx),
+                 std::invalid_argument);
+}
+
+TEST(ForwardValidation, WrongPatchWidthThrows)
+{
+    TransformerConfig cfg;
+    cfg.dim = 16;
+    cfg.depth = 1;
+    cfg.heads = 2;
+    cfg.mlp_hidden = 32;
+    cfg.max_tokens = 9;
+    cfg.patch_dim = 12;
+    TransformerClassifier model(cfg);
+    IdealBackend backend;
+    RunContext ctx{&backend, QuantConfig::disabled()};
+    ActivationWorkspace ws;
+
+    Rng rng(20);
+    Matrix wrong_width = randomMatrix(4, 10, rng);
+    EXPECT_THROW(model.forwardVision(wrong_width, ws, ctx),
+                 std::invalid_argument);
+}
+
+TEST(ForwardValidation, TooManyTokensAndBadIdsThrow)
+{
+    TransformerConfig cfg;
+    cfg.dim = 16;
+    cfg.depth = 1;
+    cfg.heads = 2;
+    cfg.mlp_hidden = 32;
+    cfg.max_tokens = 5; // 4 tokens + CLS
+    cfg.vocab_size = 10;
+    TransformerClassifier model(cfg);
+    IdealBackend backend;
+    RunContext ctx{&backend, QuantConfig::disabled()};
+    ActivationWorkspace ws;
+
+    EXPECT_NO_THROW(model.forwardSequence({1, 2, 3, 4}, ws, ctx));
+    EXPECT_THROW(model.forwardSequence({1, 2, 3, 4, 5}, ws, ctx),
+                 std::invalid_argument);
+    EXPECT_THROW(model.forwardSequence({1, 12}, ws, ctx),
+                 std::invalid_argument);
+    EXPECT_THROW(model.forwardSequence({-1}, ws, ctx),
+                 std::invalid_argument);
+    EXPECT_THROW(model.forwardSequence({}, ws, ctx),
+                 std::invalid_argument);
+}
+
+TEST(ForwardValidation, BatchEntryPointsPropagateWorkerThrows)
+{
+    // Validation failures inside the parallel batch must surface on
+    // the caller, not kill a pool worker.
+    TransformerConfig cfg;
+    cfg.dim = 16;
+    cfg.depth = 1;
+    cfg.heads = 2;
+    cfg.mlp_hidden = 32;
+    cfg.max_tokens = 9;
+    cfg.patch_dim = 12;
+    TransformerClassifier model(cfg);
+    IdealBackend backend;
+    RunContext ctx{&backend, QuantConfig::disabled()};
+
+    Rng rng(21);
+    std::vector<Matrix> batch;
+    for (int i = 0; i < 3; ++i)
+        batch.push_back(randomMatrix(8, 12, rng));
+    batch.push_back(randomMatrix(20, 12, rng)); // too many patches
+    EXPECT_THROW(model.forwardVisionBatch(batch, ctx),
+                 std::invalid_argument);
 }
 
 } // namespace

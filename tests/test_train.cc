@@ -181,9 +181,10 @@ TEST(Transformer, VisionForwardShapeAndDeterminism)
     nn::TransformerClassifier model(tinyVisionConfig());
     nn::IdealBackend backend;
     nn::RunContext ctx{&backend, nn::QuantConfig::disabled()};
+    nn::ActivationWorkspace ws;
     ShapeDataset ds(4, 3);
-    Matrix l1 = model.forwardVision(ds.samples()[0].patches, ctx);
-    Matrix l2 = model.forwardVision(ds.samples()[0].patches, ctx);
+    Matrix l1 = model.forwardVision(ds.samples()[0].patches, ws, ctx);
+    Matrix l2 = model.forwardVision(ds.samples()[0].patches, ws, ctx);
     EXPECT_EQ(l1.rows(), 1u);
     EXPECT_EQ(l1.cols(), 4u);
     EXPECT_LT(l1.maxAbsDiff(l2), 1e-15);
@@ -198,13 +199,14 @@ TEST(Transformer, WholeModelGradientCheck)
     nn::TransformerClassifier model(cfg);
     nn::IdealBackend backend;
     nn::RunContext ctx{&backend, nn::QuantConfig::disabled()};
+    nn::ActivationWorkspace ws;
     ShapeDataset ds(1, 5);
     const auto &sample = ds.samples()[0];
 
     model.zeroGrad();
-    Matrix logits = model.forwardVision(sample.patches, ctx);
+    Matrix logits = model.forwardVision(sample.patches, ws, ctx);
     LossResult lr = softmaxCrossEntropy(logits, sample.label);
-    model.backward(lr.dlogits);
+    model.backward(lr.dlogits, ws);
 
     std::vector<std::pair<Matrix *, Matrix *>> params;
     model.visitParams([&](Matrix &w, Matrix &g) {
@@ -218,15 +220,17 @@ TEST(Transformer, WholeModelGradientCheck)
         for (size_t i = 0; i < w->data().size(); i += stride) {
             double orig = w->data()[i];
             w->data()[i] = orig + eps;
-            double lp = softmaxCrossEntropy(
-                            model.forwardVision(sample.patches, ctx),
-                            sample.label)
-                            .loss;
+            double lp =
+                softmaxCrossEntropy(
+                    model.forwardVision(sample.patches, ws, ctx),
+                    sample.label)
+                    .loss;
             w->data()[i] = orig - eps;
-            double lm = softmaxCrossEntropy(
-                            model.forwardVision(sample.patches, ctx),
-                            sample.label)
-                            .loss;
+            double lm =
+                softmaxCrossEntropy(
+                    model.forwardVision(sample.patches, ws, ctx),
+                    sample.label)
+                    .loss;
             w->data()[i] = orig;
             double numeric = (lp - lm) / (2.0 * eps);
             EXPECT_NEAR(g->data()[i], numeric, 5e-5);
