@@ -1,0 +1,146 @@
+/**
+ * @file
+ * End-to-end continuous-batching demo: a serve::Server on the noisy
+ * photonic engine, hammered by concurrent client threads.
+ *
+ * Three clients submit staggered generation requests (some with tight
+ * deadlines) against one shared ExecutionEngine while the serving
+ * thread continuously admits, prefills, and lockstep-decodes them
+ * through nn::BatchedDecoder. At the end the demo prints each
+ * client's tokens and the server's metrics — queue depth, TTFT,
+ * per-token latency percentiles, throughput, and the engine's fused
+ * dispatch counters.
+ *
+ *   cmake --build build && ./build/serve_demo
+ */
+
+#include <chrono>
+#include <future>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "nn/execution_engine.hh"
+#include "serve/server.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace lt;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Continuous-batching serve demo (3 clients, "
+                "noisy engine)");
+
+    // A small causal LM stand-in and the shared multi-core engine.
+    nn::TransformerConfig cfg;
+    cfg.dim = 32;
+    cfg.depth = 2;
+    cfg.heads = 2;
+    cfg.mlp_hidden = 64;
+    cfg.vocab_size = 64;
+    cfg.num_classes = 64;
+    cfg.max_tokens = 64;
+    cfg.pooling = nn::Pooling::LastToken;
+    cfg.causal = true;
+    nn::TransformerClassifier model(cfg);
+
+    core::DptcConfig dptc;
+    dptc.input_bits = 8;
+    nn::ExecutionEngine engine(dptc, core::EvalMode::Noisy);
+
+    serve::ServerConfig scfg;
+    scfg.scheduler.max_batch = 6;
+    scfg.quant = nn::QuantConfig::w8a8();
+    serve::Server server(model, engine, scfg);
+    server.start();
+
+    // Load generator: each client thread submits a burst of requests
+    // with its own prompt mix and waits on the futures.
+    const size_t kClients = 3, kPerClient = 4;
+    struct Outcome
+    {
+        uint64_t id;
+        size_t tokens;
+        bool expired;
+        double ttft_ms;
+        double total_ms;
+    };
+    std::vector<std::future<std::vector<Outcome>>> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+        clients.push_back(std::async(std::launch::async, [&, c] {
+            Rng rng(0xC11E + c);
+            std::vector<Outcome> outcomes;
+            for (size_t i = 0; i < kPerClient; ++i) {
+                serve::Request req;
+                size_t prompt_len =
+                    4 + static_cast<size_t>(rng.uniformInt(0, 6));
+                for (size_t t = 0; t < prompt_len; ++t)
+                    req.prompt.push_back(static_cast<int>(
+                        rng.uniformInt(0, 63)));
+                req.max_new_tokens =
+                    6 + static_cast<size_t>(rng.uniformInt(0, 10));
+                if (i == kPerClient - 1)
+                    // The last request of each client is latency-
+                    // critical: expire it rather than serve it late.
+                    req.deadline = std::chrono::milliseconds(250);
+                auto future = server.submit(std::move(req));
+                serve::RequestResult r = future.get();
+                outcomes.push_back({r.request_id,
+                                    r.generated.size(), r.expired,
+                                    r.ttft_ms, r.total_ms});
+                // Staggered arrivals: keep the batch composition
+                // changing mid-flight.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(3 * (c + 1)));
+            }
+            return outcomes;
+        }));
+    }
+
+    Table table({"client", "request", "tokens", "expired",
+                 "TTFT [ms]", "total [ms]"});
+    for (size_t c = 0; c < kClients; ++c) {
+        std::vector<Outcome> outcomes = clients[c].get();
+        for (const Outcome &o : outcomes)
+            table.addRow({std::to_string(c), std::to_string(o.id),
+                          std::to_string(o.tokens),
+                          o.expired ? "yes" : "no",
+                          units::fmtFixed(o.ttft_ms, 2),
+                          units::fmtFixed(o.total_ms, 2)});
+    }
+    server.drain();
+    table.print(std::cout);
+
+    serve::MetricsSnapshot m = server.metrics();
+    Table stats({"submitted", "completed", "expired", "tokens",
+                 "tokens/s", "TTFT p50/p99 [ms]",
+                 "token p50/p99 [ms]", "decode ticks",
+                 "engine batches"});
+    stats.addRow({std::to_string(m.submitted),
+                  std::to_string(m.completed),
+                  std::to_string(m.expired),
+                  std::to_string(m.tokens_generated),
+                  units::fmtFixed(m.tokens_per_s, 1),
+                  units::fmtFixed(m.ttft_p50_ms, 1) + " / " +
+                      units::fmtFixed(m.ttft_p99_ms, 1),
+                  units::fmtFixed(m.token_p50_ms, 1) + " / " +
+                      units::fmtFixed(m.token_p99_ms, 1),
+                  std::to_string(m.decode_ticks),
+                  std::to_string(m.engine_batch_calls)});
+    stats.print(std::cout);
+
+    std::cout
+        << "\nAll requests decoded in lockstep on one engine: each "
+           "fused step issues\nO(layers) gemmBatch dispatches however "
+           "many requests are active, and every\nrequest's logits are "
+           "bit-identical to running it alone on its noise lane\n"
+           "(tests/test_serve.cc and bench_serve_throughput assert "
+           "both).\n";
+
+    bool ok = m.completed == m.submitted && m.tokens_generated > 0;
+    return ok ? 0 : 1;
+}

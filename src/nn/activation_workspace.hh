@@ -97,6 +97,22 @@ struct AttentionKvCache
     std::vector<Matrix> k_t;  ///< per head [dk, tokens] (K transposed)
     std::vector<Matrix> v;    ///< per head [tokens, dk]
     size_t tokens = 0;        ///< cached context length
+
+    /**
+     * Reserve backing capacity for a context of `max_tokens` so every
+     * decode step appends allocation-free: V rows grow in amortized
+     * O(1) and the pre-transposed K re-strides inside the reserved
+     * buffer. InferenceSession calls this once per layer at prefill
+     * (the caches must already hold the seeded heads).
+     */
+    void
+    reserve(size_t max_tokens)
+    {
+        for (Matrix &k : k_t)
+            k.reserve(k.rows() * max_tokens);
+        for (Matrix &v_h : v)
+            v_h.reserve(max_tokens * v_h.cols());
+    }
 };
 
 /**

@@ -1,0 +1,112 @@
+#include "batched_decoder.hh"
+
+#include <stdexcept>
+#include <string>
+
+namespace lt {
+namespace nn {
+
+std::vector<Matrix>
+BatchedDecoder::step(const std::vector<InferenceSession *> &sessions,
+                     const std::vector<int> &tokens)
+{
+    const size_t n = sessions.size();
+    if (n == 0)
+        throw std::invalid_argument(
+            "BatchedDecoder::step on an empty batch");
+    if (tokens.size() != n)
+        throw std::invalid_argument(
+            "BatchedDecoder::step: " + std::to_string(tokens.size()) +
+            " tokens for " + std::to_string(n) + " sessions");
+
+    // Validate everything BEFORE mutating any session: a failed batch
+    // must not leave some K/V caches advanced and others not.
+    const TransformerClassifier *model = nullptr;
+    GemmBackend *backend = nullptr;
+    for (size_t i = 0; i < n; ++i) {
+        InferenceSession *s = sessions[i];
+        if (s == nullptr)
+            throw std::invalid_argument(
+                "BatchedDecoder::step: null session");
+        for (size_t j = 0; j < i; ++j)
+            if (sessions[j] == s)
+                throw std::invalid_argument(
+                    "BatchedDecoder::step: session appears twice in "
+                    "one batch (it would decode two tokens at once)");
+        if (i == 0) {
+            model = s->model_;
+            backend = s->ctx_.backend;
+        } else if (s->model_ != model) {
+            throw std::invalid_argument(
+                "BatchedDecoder::step: all sessions must share one "
+                "model (the fused projections read one weight set)");
+        } else if (s->ctx_.backend != backend) {
+            throw std::invalid_argument(
+                "BatchedDecoder::step: all sessions must share one "
+                "backend");
+        }
+        if (s->len_ == 0)
+            throw std::invalid_argument(
+                "BatchedDecoder::step: session " + std::to_string(i) +
+                " is not prefilled — a fresh session's first token is "
+                "full-sequence prefill traffic, not a decode step");
+        if (s->len_ + 1 > model->config().max_tokens)
+            throw std::invalid_argument(
+                "BatchedDecoder::step: session " + std::to_string(i) +
+                " would decode past the positional table: context of " +
+                std::to_string(s->len_ + 1) + " tokens exceeds "
+                "max_tokens = " +
+                std::to_string(model->config().max_tokens));
+    }
+    const TransformerConfig &cfg = model->config();
+
+    // Embed each request's new token at ITS position (identical to
+    // the row the solo decodeStep builds).
+    std::vector<Matrix> xs(n);
+    std::vector<RunContext *> ctxs(n);
+    for (size_t i = 0; i < n; ++i) {
+        InferenceSession &s = *sessions[i];
+        xs[i] = model->token_embed_->embedRow(tokens[i]);
+        for (size_t c = 0; c < cfg.dim; ++c)
+            xs[i](0, c) += model->pos_(s.len_, c);
+        ctxs[i] = &s.ctx_;
+    }
+
+    // Lockstep through the layers: every projection and both dynamic
+    // attention products fuse the N requests into one gemmBatch.
+    std::vector<AttentionKvCache *> kvs(n);
+    for (size_t l = 0; l < model->depth(); ++l) {
+        for (size_t i = 0; i < n; ++i)
+            kvs[i] = &sessions[i]->kv_[l];
+        xs = model->block(l).decodeStepBatch(xs, kvs, ctxs);
+    }
+
+    // Final LN + pooling per request (row-wise), then the LM head as
+    // one fused batch — the session's logitsFromNormedRow, verbatim.
+    LayerNormCache ln_scratch;
+    std::vector<Matrix> pooled(n);
+    for (size_t i = 0; i < n; ++i) {
+        InferenceSession &s = *sessions[i];
+        Matrix normed = model->final_ln_.forward(xs[i], ln_scratch);
+        if (cfg.pooling == Pooling::Mean) {
+            pooled[i] = Matrix(1, cfg.dim);
+            for (size_t c = 0; c < cfg.dim; ++c) {
+                s.pooled_sum_(0, c) += normed(0, c);
+                pooled[i](0, c) = s.pooled_sum_(0, c) /
+                                  static_cast<double>(s.len_ + 1);
+            }
+        } else {
+            pooled[i] = std::move(normed);
+        }
+    }
+    std::vector<Matrix> logits = model->head_.forwardBatch(pooled, ctxs);
+
+    for (size_t i = 0; i < n; ++i) {
+        sessions[i]->tokens_.push_back(tokens[i]);
+        sessions[i]->len_ += 1;
+    }
+    return logits;
+}
+
+} // namespace nn
+} // namespace lt

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * BatchedDecoder: cross-request lockstep decode — the compute kernel
+ * of continuous batching (serve/batch_scheduler.hh).
+ *
+ * A single decode step is the low-intensity skinny-GEMM regime where
+ * DPTC tile occupancy collapses (nn/llm_workload.hh models it;
+ * bench_llm_decode measures it): each projection runs one [1, dim]
+ * row against a [dim, dim] weight. BatchedDecoder::step advances N
+ * InferenceSessions one token each *together*, per layer, fusing the
+ * same-shape row-GEMMs of all N requests into single stream-addressed
+ * gemmBatch calls — so the engine sees O(layers) dispatches per step
+ * instead of O(layers x requests), and each dispatch carries enough
+ * independent products to shard across every DPTC core replica.
+ *
+ * Correctness contract (the headline): because stream-addressed
+ * products are pure functions of (operands, config, stream) and each
+ * session draws from its own request_id lane in the solo call order,
+ * the logits of a batched step are BIT-IDENTICAL to each session
+ * running decodeStep alone — at any batch size, on the noisy engine.
+ * tests/test_serve.cc asserts this at concurrency 1..16.
+ */
+
+#ifndef LT_NN_BATCHED_DECODER_HH
+#define LT_NN_BATCHED_DECODER_HH
+
+#include <vector>
+
+#include "nn/inference_session.hh"
+
+namespace lt {
+namespace nn {
+
+/** Lockstep per-layer decode driver over InferenceSessions. */
+class BatchedDecoder
+{
+  public:
+    /**
+     * Advance every session one decode step in lockstep: session i
+     * ingests tokens[i] and receives the logits decodeStep(tokens[i])
+     * would return, bit-identically; the sessions' K/V caches and
+     * noise lanes advance exactly as in the solo calls.
+     *
+     * Requirements (std::invalid_argument otherwise): at least one
+     * session; one token per session; no duplicate sessions; all
+     * sessions share one model and one backend; every session is
+     * prefilled (a fresh session's first token is a prefill, which is
+     * full-sequence traffic, not decode); and no session's context may
+     * exceed TransformerConfig::max_tokens. Validation happens before
+     * any session is touched.
+     */
+    static std::vector<Matrix>
+    step(const std::vector<InferenceSession *> &sessions,
+         const std::vector<int> &tokens);
+};
+
+} // namespace nn
+} // namespace lt
+
+#endif // LT_NN_BATCHED_DECODER_HH

@@ -120,6 +120,7 @@ ExecutionEngine::gemmBatchImpl(
         &products,
     const std::function<uint64_t(size_t)> &streamOf)
 {
+    stats_.recordBatch();
     std::vector<Matrix> results(products.size());
     auto seedOf = [&](size_t i) {
         return deriveSeed(cfg_.dptc.seed, streamOf(i));

@@ -61,12 +61,6 @@ PhotonicBackend::resetStats()
     engine_->resetStats();
 }
 
-core::Dptc &
-PhotonicBackend::dptc()
-{
-    return engine_->core(0);
-}
-
 core::EvalMode
 PhotonicBackend::mode() const
 {

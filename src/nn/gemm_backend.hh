@@ -84,6 +84,14 @@ struct GemmStats
     std::atomic<size_t> calls{0};
     std::atomic<size_t> macs{0};
 
+    /**
+     * gemmBatch invocations (one per batch, however many products it
+     * carries). The continuous-batching acceptance metric: a fused
+     * decode step dispatches O(layers) batches regardless of how many
+     * requests ride in each (bench_serve_throughput reports it).
+     */
+    std::atomic<size_t> batch_calls{0};
+
     void
     record(size_t m, size_t k, size_t n)
     {
@@ -92,10 +100,17 @@ struct GemmStats
     }
 
     void
+    recordBatch()
+    {
+        batch_calls.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void
     reset()
     {
         calls.store(0, std::memory_order_relaxed);
         macs.store(0, std::memory_order_relaxed);
+        batch_calls.store(0, std::memory_order_relaxed);
     }
 };
 
@@ -131,6 +146,7 @@ class GemmBackend
     gemmBatch(const std::vector<std::pair<const Matrix *,
                                           const Matrix *>> &products)
     {
+        stats_.recordBatch();
         std::vector<Matrix> results;
         results.reserve(products.size());
         for (const auto &[a, b] : products)
@@ -194,16 +210,6 @@ class PhotonicBackend : public GemmBackend
     gemmBatch(const std::vector<std::pair<const Matrix *,
                                           const Matrix *>> &products,
               const std::vector<uint64_t> &streams) override;
-
-    /**
-     * @deprecated Legacy single-core view from before the multi-core
-     * engine refactor. Use engine().core(i) to reach a specific DPTC
-     * replica (replica 0 is what this returned), or engine() for the
-     * execution layer itself. Kept one deprecation cycle for external
-     * callers; no in-tree call sites remain.
-     */
-    [[deprecated("use engine().core(0) / engine() instead")]]
-    core::Dptc &dptc();
 
     core::EvalMode mode() const;
 

@@ -52,9 +52,13 @@ InferenceSession::prefill(const std::vector<int> &tokens)
     // token count and ids), then lift the per-head quantized K/V the
     // attention layers already materialized into the decode cache.
     Matrix logits = model_->forwardSequence(tokens, ws_, ctx_);
-    for (size_t l = 0; l < kv_.size(); ++l)
+    for (size_t l = 0; l < kv_.size(); ++l) {
         model_->block(l).attention().seedKvCache(ws_.blocks[l].attn,
                                                  kv_[l]);
+        // Reserve the full-context footprint once: every decode step
+        // then appends K/V without reallocating the cache matrices.
+        kv_[l].reserve(model_->config().max_tokens);
+    }
 
     if (model_->config().pooling == Pooling::Mean) {
         // Running sum of final-LN rows, in row order — matches the

@@ -89,6 +89,8 @@ class InferenceSession
     const TransformerClassifier &model() const { return *model_; }
 
   private:
+    friend class BatchedDecoder;
+
     Matrix logitsFromNormedRow(const Matrix &normed_row);
 
     const TransformerClassifier *model_;

@@ -1,5 +1,6 @@
 #include "layers.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -40,6 +41,74 @@ Linear::forward(const Matrix &x, LinearCache &cache,
                 y(r, c) += b_(0, c);
     }
     return y;
+}
+
+std::vector<Matrix>
+Linear::forwardBatch(const std::vector<Matrix> &xs,
+                     const std::vector<RunContext *> &ctxs) const
+{
+    if (xs.size() != ctxs.size())
+        lt_panic("Linear::forwardBatch: ", xs.size(), " inputs for ",
+                 ctxs.size(), " contexts");
+    if (xs.empty())
+        return {};
+    GemmBackend *backend = ctxs.front()->backend;
+
+    // Quantize the shared weight once per distinct bit width among the
+    // contexts (fakeQuant is deterministic, so one quantization equals
+    // the per-call quantization of the solo forward bit-for-bit).
+    // Collect the distinct widths first: the vector must not grow
+    // while product pointers into it are live.
+    std::vector<int> bit_widths;
+    for (const RunContext *ctx : ctxs)
+        if (ctx->quant.enabled &&
+            std::find(bit_widths.begin(), bit_widths.end(),
+                      ctx->quant.weight_bits) == bit_widths.end())
+            bit_widths.push_back(ctx->quant.weight_bits);
+    std::vector<Matrix> wq;
+    wq.reserve(bit_widths.size());
+    for (int bits : bit_widths)
+        wq.push_back(fakeQuant(w_, bits));
+    auto weightFor = [&](const QuantConfig &q) -> const Matrix & {
+        if (!q.enabled)
+            return w_;
+        size_t i = static_cast<size_t>(
+            std::find(bit_widths.begin(), bit_widths.end(),
+                      q.weight_bits) -
+            bit_widths.begin());
+        return wq[i];
+    };
+
+    std::vector<Matrix> xq(xs.size());
+    std::vector<std::pair<const Matrix *, const Matrix *>> products;
+    std::vector<uint64_t> streams;
+    products.reserve(xs.size());
+    streams.reserve(xs.size());
+    for (size_t i = 0; i < xs.size(); ++i) {
+        if (xs[i].cols() != w_.rows())
+            lt_panic("Linear::forwardBatch: input dim ", xs[i].cols(),
+                     " != weight rows ", w_.rows());
+        if (ctxs[i]->backend != backend)
+            lt_panic("Linear::forwardBatch: contexts disagree on the "
+                     "backend");
+        const Matrix *x = &xs[i];
+        if (ctxs[i]->quant.enabled) {
+            xq[i] = fakeQuant(xs[i], ctxs[i]->quant.act_bits);
+            x = &xq[i];
+        }
+        products.emplace_back(x, &weightFor(ctxs[i]->quant));
+        // Exactly the one draw the solo forward makes, in index order.
+        streams.push_back(ctxs[i]->stream.next());
+    }
+
+    std::vector<Matrix> ys = backend->gemmBatch(products, streams);
+    if (has_bias_) {
+        for (Matrix &y : ys)
+            for (size_t r = 0; r < y.rows(); ++r)
+                for (size_t c = 0; c < y.cols(); ++c)
+                    y(r, c) += b_(0, c);
+    }
+    return ys;
 }
 
 Matrix
@@ -391,6 +460,114 @@ MultiHeadSelfAttention::decodeStep(const Matrix &x,
     return wo_.forward(context, scratch.wo, ctx);
 }
 
+std::vector<Matrix>
+MultiHeadSelfAttention::decodeStepBatch(
+    const std::vector<Matrix> &xs,
+    const std::vector<AttentionKvCache *> &kvs,
+    const std::vector<RunContext *> &ctxs) const
+{
+    if (!causal_)
+        throw std::invalid_argument(
+            "decodeStepBatch requires causal attention: a K/V cache "
+            "only holds the past");
+    const size_t n = xs.size();
+    if (kvs.size() != n || ctxs.size() != n)
+        lt_panic("decodeStepBatch: ", n, " rows vs ", kvs.size(),
+                 " caches vs ", ctxs.size(), " contexts");
+    if (n == 0)
+        return {};
+    for (const Matrix &x : xs)
+        if (x.rows() != 1 || x.cols() != dim_)
+            throw std::invalid_argument(
+                "decodeStepBatch expects one [1, dim] token row per "
+                "request");
+    GemmBackend *backend = ctxs.front()->backend;
+
+    // Q/K/V projections, each fused across the N requests (request i
+    // draws its wq, then wk, then wv stream — the solo order).
+    std::vector<Matrix> q = wq_.forwardBatch(xs, ctxs);
+    std::vector<Matrix> k = wk_.forwardBatch(xs, ctxs);
+    std::vector<Matrix> v = wv_.forwardBatch(xs, ctxs);
+
+    // Per request: append this token's per-head K/V to ITS cache and
+    // build the per-head query rows, in the quantized operand domain
+    // (identical to the solo decodeStep mutation).
+    std::vector<std::vector<Matrix>> qh(n);
+    for (size_t i = 0; i < n; ++i) {
+        AttentionKvCache &kv = *kvs[i];
+        if (kv.k_t.size() != heads_) {
+            kv.k_t.assign(heads_, Matrix());
+            kv.v.assign(heads_, Matrix());
+            kv.tokens = 0;
+        }
+        qh[i].resize(heads_);
+        for (size_t h = 0; h < heads_; ++h) {
+            Matrix q_row = sliceCols(q[i], h * dk_, dk_);
+            Matrix k_row = sliceCols(k[i], h * dk_, dk_);
+            Matrix v_row = sliceCols(v[i], h * dk_, dk_);
+            if (ctxs[i]->quant.enabled) {
+                int bits = ctxs[i]->quant.act_bits;
+                q_row = fakeQuant(q_row, bits);
+                k_row = fakeQuant(k_row, bits);
+                v_row = fakeQuant(v_row, bits);
+            }
+            appendColumn(kv.k_t[h], k_row);
+            appendRow(kv.v[h], v_row);
+            qh[i][h] = std::move(q_row);
+        }
+        kv.tokens += 1;
+    }
+
+    // All N*heads QK^T rows in one batch. Request i draws its head
+    // streams in head order, exactly as solo; the (i, h) grouping of
+    // the dispatch is invisible to the stream-addressed backend.
+    std::vector<std::pair<const Matrix *, const Matrix *>> qk_ops;
+    std::vector<uint64_t> qk_streams;
+    qk_ops.reserve(n * heads_);
+    qk_streams.reserve(n * heads_);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t h = 0; h < heads_; ++h) {
+            qk_ops.emplace_back(&qh[i][h], &kvs[i]->k_t[h]);
+            qk_streams.push_back(ctxs[i]->stream.next());
+        }
+    std::vector<Matrix> scores = backend->gemmBatch(qk_ops, qk_streams);
+
+    double inv_sqrt_dk = 1.0 / std::sqrt(static_cast<double>(dk_));
+    std::vector<Matrix> probs(n * heads_);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t h = 0; h < heads_; ++h) {
+            Matrix &s = scores[i * heads_ + h];
+            for (double &e : s.data())
+                e *= inv_sqrt_dk;
+            Matrix p = rowSoftmax(s);
+            probs[i * heads_ + h] =
+                ctxs[i]->quant.enabled
+                    ? fakeQuant(p, ctxs[i]->quant.act_bits)
+                    : std::move(p);
+        }
+
+    // All N*heads AV rows in one batch.
+    std::vector<std::pair<const Matrix *, const Matrix *>> av_ops;
+    std::vector<uint64_t> av_streams;
+    av_ops.reserve(n * heads_);
+    av_streams.reserve(n * heads_);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t h = 0; h < heads_; ++h) {
+            av_ops.emplace_back(&probs[i * heads_ + h], &kvs[i]->v[h]);
+            av_streams.push_back(ctxs[i]->stream.next());
+        }
+    std::vector<Matrix> ctx_heads =
+        backend->gemmBatch(av_ops, av_streams);
+
+    std::vector<Matrix> contexts(n);
+    for (size_t i = 0; i < n; ++i) {
+        contexts[i] = Matrix(1, dim_, 0.0);
+        for (size_t h = 0; h < heads_; ++h)
+            pasteCols(contexts[i], ctx_heads[i * heads_ + h], h * dk_);
+    }
+    return wo_.forwardBatch(contexts, ctxs);
+}
+
 void
 MultiHeadSelfAttention::seedKvCache(const AttentionCache &cache,
                                     AttentionKvCache &kv) const
@@ -435,6 +612,16 @@ FeedForward::forward(const Matrix &x, FeedForwardCache &cache,
     return fc2_.forward(
         act_.forward(fc1_.forward(x, cache.fc1, ctx), cache.act),
         cache.fc2, ctx);
+}
+
+std::vector<Matrix>
+FeedForward::forwardBatch(const std::vector<Matrix> &xs,
+                          const std::vector<RunContext *> &ctxs) const
+{
+    std::vector<Matrix> h = fc1_.forwardBatch(xs, ctxs);
+    for (Matrix &row : h)
+        row = gelu(row); // same elementwise map Gelu::forward applies
+    return fc2_.forwardBatch(h, ctxs);
 }
 
 Matrix
@@ -510,6 +697,30 @@ TransformerBlock::decodeStep(const Matrix &x, AttentionKvCache &kv,
     Matrix y =
         ffn_.forward(ln2_.forward(h, scratch.ln2), scratch.ffn, ctx);
     addInPlace(y, h);
+    return y;
+}
+
+std::vector<Matrix>
+TransformerBlock::decodeStepBatch(
+    const std::vector<Matrix> &xs,
+    const std::vector<AttentionKvCache *> &kvs,
+    const std::vector<RunContext *> &ctxs) const
+{
+    const size_t n = xs.size();
+    // LayerNorm and the residual adds are row-wise pure functions: run
+    // them per request (scratch caches are inference-discarded).
+    LayerNormCache ln_scratch;
+    std::vector<Matrix> normed(n);
+    for (size_t i = 0; i < n; ++i)
+        normed[i] = ln1_.forward(xs[i], ln_scratch);
+    std::vector<Matrix> h = attn_.decodeStepBatch(normed, kvs, ctxs);
+    for (size_t i = 0; i < n; ++i)
+        addInPlace(h[i], xs[i]);
+    for (size_t i = 0; i < n; ++i)
+        normed[i] = ln2_.forward(h[i], ln_scratch);
+    std::vector<Matrix> y = ffn_.forwardBatch(normed, ctxs);
+    for (size_t i = 0; i < n; ++i)
+        addInPlace(y[i], h[i]);
     return y;
 }
 

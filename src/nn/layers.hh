@@ -65,6 +65,21 @@ class Linear
                    RunContext &ctx) const;
     Matrix backward(const Matrix &dy, const LinearCache &cache);
 
+    /**
+     * Serving entry point: run xs[i] through this layer under
+     * ctxs[i]'s quantization and noise lane, with the N products fused
+     * into ONE stream-addressed gemmBatch on the shared backend.
+     * Result i is bit-identical to forward(xs[i], cache, *ctxs[i])
+     * (stream-addressed products are pure functions of (operands,
+     * config, stream), so fusing never changes values). Each ctx draws
+     * exactly one stream id, in index order — the same draw the solo
+     * forward makes. Inference-only: no backward caches are written.
+     * All ctxs must share one backend.
+     */
+    std::vector<Matrix>
+    forwardBatch(const std::vector<Matrix> &xs,
+                 const std::vector<RunContext *> &ctxs) const;
+
     void zeroGrad();
     void visitParams(const ParamVisitor &fn);
 
@@ -140,6 +155,22 @@ class MultiHeadSelfAttention
                       AttentionCache &scratch, RunContext &ctx) const;
 
     /**
+     * Cross-request lockstep decode: one new token row per request,
+     * each against its own K/V cache and noise lane, with the
+     * same-shape projection row-GEMMs of all N requests fused into
+     * single gemmBatch calls (one per projection, one for all N*heads
+     * QK^T rows, one for all N*heads AV rows). Result i and the
+     * mutation of kvs[i] are bit-identical to
+     * decodeStep(xs[i], *kvs[i], scratch, *ctxs[i]) running alone —
+     * the continuous-batching correctness contract. All ctxs must
+     * share one backend.
+     */
+    std::vector<Matrix>
+    decodeStepBatch(const std::vector<Matrix> &xs,
+                    const std::vector<AttentionKvCache *> &kvs,
+                    const std::vector<RunContext *> &ctxs) const;
+
+    /**
      * Seed a decode K/V cache from a prefill forward's caches (the
      * per-head quantized K/V the forward already materialized).
      */
@@ -171,6 +202,15 @@ class FeedForward
                    RunContext &ctx) const;
     Matrix backward(const Matrix &dy, const FeedForwardCache &cache);
 
+    /**
+     * Serving entry point: xs[i] under ctxs[i], both projections fused
+     * across requests (one gemmBatch per Linear). Bit-identical per
+     * request to the solo forward; inference-only.
+     */
+    std::vector<Matrix>
+    forwardBatch(const std::vector<Matrix> &xs,
+                 const std::vector<RunContext *> &ctxs) const;
+
     void zeroGrad();
     void visitParams(const ParamVisitor &fn);
 
@@ -199,6 +239,18 @@ class TransformerBlock
     Matrix decodeStep(const Matrix &x, AttentionKvCache &kv,
                       TransformerBlockCache &scratch,
                       RunContext &ctx) const;
+
+    /**
+     * Cross-request lockstep decode of one token row per request (see
+     * MultiHeadSelfAttention::decodeStepBatch): LayerNorms and
+     * residuals run row-wise per request, every projection fuses
+     * across requests. Bit-identical per request to the solo
+     * decodeStep.
+     */
+    std::vector<Matrix>
+    decodeStepBatch(const std::vector<Matrix> &xs,
+                    const std::vector<AttentionKvCache *> &kvs,
+                    const std::vector<RunContext *> &ctxs) const;
 
     const MultiHeadSelfAttention &attention() const { return attn_; }
 

@@ -39,11 +39,10 @@ appendRow(Matrix &m, const Matrix &row)
     if (m.cols() != row.cols())
         lt_panic("appendRow width mismatch: ", m.cols(), " vs ",
                  row.cols());
-    Matrix grown(m.rows() + 1, m.cols());
-    std::copy(m.data().begin(), m.data().end(), grown.data().begin());
+    const size_t r = m.rows();
+    m.resizeRows(r + 1); // in place: amortized O(1) once reserved
     for (size_t c = 0; c < m.cols(); ++c)
-        grown(m.rows(), c) = row(0, c);
-    m = std::move(grown);
+        m(r, c) = row(0, c);
 }
 
 void
@@ -58,13 +57,10 @@ appendColumn(Matrix &m, const Matrix &row)
     if (m.rows() != row.cols())
         lt_panic("appendColumn height mismatch: ", m.rows(), " vs ",
                  row.cols());
-    Matrix grown(m.rows(), m.cols() + 1);
-    for (size_t r = 0; r < m.rows(); ++r) {
-        for (size_t c = 0; c < m.cols(); ++c)
-            grown(r, c) = m(r, c);
-        grown(r, m.cols()) = row(0, r);
-    }
-    m = std::move(grown);
+    const size_t c = m.cols();
+    m.resizeCols(c + 1); // in-place re-stride: no realloc once reserved
+    for (size_t r = 0; r < m.rows(); ++r)
+        m(r, c) = row(0, r);
 }
 
 Matrix

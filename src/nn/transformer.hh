@@ -32,6 +32,7 @@ namespace lt {
 namespace nn {
 
 class InferenceSession;
+class BatchedDecoder;
 
 /** How the final token representation is pooled for classification. */
 enum class Pooling { ClsToken, Mean, LastToken };
@@ -143,6 +144,7 @@ class TransformerClassifier
 
   private:
     friend class InferenceSession;
+    friend class BatchedDecoder;
 
     Matrix forwardCommon(Matrix x, ActivationWorkspace &ws,
                          RunContext &ctx) const;

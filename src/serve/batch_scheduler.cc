@@ -1,0 +1,164 @@
+#include "batch_scheduler.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "nn/tensor_ops.hh"
+
+namespace lt {
+namespace serve {
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point t0,
+        std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+} // namespace
+
+BatchScheduler::BatchScheduler(const nn::TransformerClassifier &model,
+                               nn::GemmBackend &backend,
+                               const nn::QuantConfig &quant,
+                               const SchedulerConfig &cfg,
+                               Metrics *metrics)
+    : model_(model), backend_(backend), quant_(quant), cfg_(cfg),
+      metrics_(metrics)
+{
+}
+
+size_t
+BatchScheduler::tick(RequestQueue &queue)
+{
+    // (a) Retire requests whose deadline passed mid-generation: they
+    // complete now with their partial output.
+    auto now = std::chrono::steady_clock::now();
+    for (Active &a : active_)
+        if (a.pending.deadline && now > *a.pending.deadline)
+            finish(a, /*expired=*/true);
+    retireFinished();
+
+    // (b) Admission + prefill of waiting requests into free slots.
+    admit(queue);
+
+    // (c) One fused decode step for every active request.
+    decodeTick();
+    retireFinished();
+
+    active_count_.store(active_.size(), std::memory_order_relaxed);
+    if (metrics_)
+        metrics_->setGauges(queue.depth(), active_.size());
+    return active_.size();
+}
+
+void
+BatchScheduler::admit(RequestQueue &queue)
+{
+    if (active_.size() >= cfg_.max_batch)
+        return;
+    std::vector<PendingRequest> taken =
+        queue.take(cfg_.max_batch - active_.size());
+    for (PendingRequest &pending : taken) {
+        Active a;
+        a.pending = std::move(pending);
+
+        // A request that spent its whole deadline in the queue expires
+        // without touching the engine (load-shedding under backlog).
+        auto now = std::chrono::steady_clock::now();
+        if (a.pending.deadline && now > *a.pending.deadline) {
+            finish(a, /*expired=*/true);
+            continue;
+        }
+
+        a.session = std::make_unique<nn::InferenceSession>(
+            model_, backend_, quant_, a.pending.id);
+        Matrix logits = a.session->prefill(a.pending.request.prompt);
+        a.last_token = std::chrono::steady_clock::now();
+        a.ttft_ms = msSince(a.pending.enqueued, a.last_token);
+        int first = static_cast<int>(nn::argmaxRow(logits, 0));
+        a.generated.push_back(first);
+        if (a.pending.request.record_logits)
+            a.step_logits.push_back(std::move(logits));
+        if (metrics_)
+            metrics_->onPrefill(a.ttft_ms);
+
+        if (a.generated.size() >= a.pending.request.max_new_tokens) {
+            finish(a, /*expired=*/false);
+            continue;
+        }
+        active_.push_back(std::move(a));
+    }
+}
+
+void
+BatchScheduler::decodeTick()
+{
+    if (active_.empty())
+        return;
+    std::vector<nn::InferenceSession *> sessions;
+    std::vector<int> feed;
+    sessions.reserve(active_.size());
+    feed.reserve(active_.size());
+    for (Active &a : active_) {
+        sessions.push_back(a.session.get());
+        feed.push_back(a.generated.back());
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<Matrix> logits =
+        nn::BatchedDecoder::step(sessions, feed);
+    auto t1 = std::chrono::steady_clock::now();
+
+    for (size_t i = 0; i < active_.size(); ++i) {
+        Active &a = active_[i];
+        a.generated.push_back(
+            static_cast<int>(nn::argmaxRow(logits[i], 0)));
+        if (a.pending.request.record_logits)
+            a.step_logits.push_back(std::move(logits[i]));
+        if (metrics_)
+            metrics_->recordTokenLatency(msSince(a.last_token, t1));
+        a.last_token = t1;
+        if (a.generated.size() >= a.pending.request.max_new_tokens)
+            finish(a, /*expired=*/false);
+    }
+    if (metrics_)
+        metrics_->onDecodeTick(active_.size(),
+                               msSince(t0, t1));
+}
+
+void
+BatchScheduler::finish(Active &request, bool expired)
+{
+    RequestResult result;
+    result.request_id = request.pending.id;
+    result.generated = std::move(request.generated);
+    result.step_logits = std::move(request.step_logits);
+    result.expired = expired;
+    result.total_ms = msSince(request.pending.enqueued,
+                              std::chrono::steady_clock::now());
+    // An expired-in-queue request never produced a first token; its
+    // TTFT is the (missed) total.
+    result.ttft_ms =
+        result.generated.empty() ? result.total_ms : request.ttft_ms;
+    request.session.reset();
+    request.generated.clear();
+    request.step_logits.clear();
+    request.pending.promise.set_value(std::move(result));
+    if (metrics_)
+        metrics_->onComplete(expired);
+}
+
+void
+BatchScheduler::retireFinished()
+{
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [](const Active &a) {
+                                     return a.session == nullptr;
+                                 }),
+                  active_.end());
+}
+
+} // namespace serve
+} // namespace lt

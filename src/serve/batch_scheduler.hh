@@ -1,0 +1,116 @@
+/**
+ * @file
+ * BatchScheduler: the continuous-batching loop of the serve layer.
+ *
+ * Every tick() (a) retires requests that missed their deadline,
+ * (b) admits waiting requests into free slots and runs their prefills,
+ * then (c) advances ALL active sessions one decode step together
+ * through nn::BatchedDecoder — so the engine sees one fused gemmBatch
+ * per projection per layer (O(layers) dispatches) no matter how many
+ * requests are in flight. Requests join and leave the running batch
+ * between any two ticks; the batch never drains to admit new work
+ * (continuous batching, not static batching).
+ *
+ * Decoding is greedy: token 0 is the argmax of the prefill logits,
+ * token k the argmax of the decode step that re-ingested token k-1.
+ * Because every session decodes on its own request_id noise lane, the
+ * tokens (and logits) of a request are bit-identical to a solo
+ * InferenceSession run — whatever the concurrency mix was.
+ *
+ * Single-consumer: tick() must be called from one thread at a time
+ * (serve::Server owns that thread; tests may tick manually).
+ */
+
+#ifndef LT_SERVE_BATCH_SCHEDULER_HH
+#define LT_SERVE_BATCH_SCHEDULER_HH
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "nn/batched_decoder.hh"
+#include "serve/metrics.hh"
+#include "serve/request_queue.hh"
+
+namespace lt {
+namespace serve {
+
+/** Continuous-batching knobs. */
+struct SchedulerConfig
+{
+    /**
+     * Max concurrent decode sessions (the admission bound). Mirrors
+     * the batch the accelerator's SRAM/HBM budget would sustain;
+     * bench_serve_throughput sweeps it 1..16.
+     */
+    size_t max_batch = 8;
+};
+
+/** Admits, prefills, and lockstep-decodes concurrent requests. */
+class BatchScheduler
+{
+  public:
+    /**
+     * @param model shared decoder (InferenceSession's requirements)
+     * @param backend shared GEMM engine for every session
+     * @param quant operand quantization applied to every request
+     * @param metrics optional sink (may be nullptr)
+     */
+    BatchScheduler(const nn::TransformerClassifier &model,
+                   nn::GemmBackend &backend,
+                   const nn::QuantConfig &quant,
+                   const SchedulerConfig &cfg,
+                   Metrics *metrics = nullptr);
+
+    /**
+     * One scheduler tick: expire, admit + prefill, fused decode step,
+     * retire finished requests. Returns the number of requests still
+     * active afterwards (0 = idle).
+     */
+    size_t tick(RequestQueue &queue);
+
+    /**
+     * Requests in flight as of the last completed tick. Safe to poll
+     * from other threads while the serving thread ticks (mid-tick
+     * admissions/retirements become visible at tick end).
+     */
+    size_t
+    activeRequests() const
+    {
+        return active_count_.load(std::memory_order_relaxed);
+    }
+
+    const SchedulerConfig &config() const { return cfg_; }
+
+  private:
+    /** One admitted request mid-generation. */
+    struct Active
+    {
+        PendingRequest pending;
+        std::unique_ptr<nn::InferenceSession> session;
+        std::vector<int> generated;
+        std::vector<Matrix> step_logits;
+        std::chrono::steady_clock::time_point last_token;
+        double ttft_ms = 0.0; ///< submit -> prefill completion
+    };
+
+    void admit(RequestQueue &queue);
+    void decodeTick();
+    void finish(Active &request, bool expired);
+    void retireFinished();
+
+    const nn::TransformerClassifier &model_;
+    nn::GemmBackend &backend_;
+    nn::QuantConfig quant_;
+    SchedulerConfig cfg_;
+    Metrics *metrics_;
+    std::vector<Active> active_;
+
+    /** active_.size() snapshot for cross-thread introspection. */
+    std::atomic<size_t> active_count_{0};
+};
+
+} // namespace serve
+} // namespace lt
+
+#endif // LT_SERVE_BATCH_SCHEDULER_HH

@@ -1,0 +1,105 @@
+#include "metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lt {
+namespace serve {
+
+namespace {
+
+/** Nearest-rank percentile of an unsorted sample set. */
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    double rank = std::ceil(p / 100.0 *
+                            static_cast<double>(samples.size()));
+    size_t idx = rank < 1.0 ? 0 : static_cast<size_t>(rank) - 1;
+    return samples[std::min(idx, samples.size() - 1)];
+}
+
+} // namespace
+
+void
+Metrics::onSubmit()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto now = std::chrono::steady_clock::now();
+    if (!saw_activity_) {
+        saw_activity_ = true;
+        first_activity_ = now;
+    }
+    last_activity_ = now;
+    counts_.submitted += 1;
+}
+
+void
+Metrics::onPrefill(double ttft_ms)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    last_activity_ = std::chrono::steady_clock::now();
+    counts_.prefills += 1;
+    counts_.tokens_generated += 1; // the prefill's argmax token
+    ttft_ms_.push_back(ttft_ms);
+}
+
+void
+Metrics::onDecodeTick(size_t batch_size, double tick_ms)
+{
+    (void)tick_ms;
+    std::lock_guard<std::mutex> lock(mu_);
+    last_activity_ = std::chrono::steady_clock::now();
+    counts_.decode_ticks += 1;
+    counts_.tokens_generated += batch_size;
+}
+
+void
+Metrics::recordTokenLatency(double ms)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    token_ms_.push_back(ms);
+}
+
+void
+Metrics::onComplete(bool expired)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    last_activity_ = std::chrono::steady_clock::now();
+    counts_.completed += 1;
+    if (expired)
+        counts_.expired += 1;
+}
+
+void
+Metrics::setGauges(size_t queue_depth, size_t active_requests)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counts_.queue_depth = queue_depth;
+    counts_.active_requests = active_requests;
+}
+
+MetricsSnapshot
+Metrics::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    MetricsSnapshot snap = counts_;
+    snap.ttft_p50_ms = percentile(ttft_ms_, 50.0);
+    snap.ttft_p99_ms = percentile(ttft_ms_, 99.0);
+    snap.token_p50_ms = percentile(token_ms_, 50.0);
+    snap.token_p99_ms = percentile(token_ms_, 99.0);
+    if (saw_activity_) {
+        double wall_s = std::chrono::duration<double>(last_activity_ -
+                                                      first_activity_)
+                            .count();
+        if (wall_s > 0.0)
+            snap.tokens_per_s =
+                static_cast<double>(snap.tokens_generated) / wall_s;
+    }
+    return snap;
+}
+
+} // namespace serve
+} // namespace lt

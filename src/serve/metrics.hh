@@ -1,0 +1,87 @@
+/**
+ * @file
+ * serve::Metrics — the serving-quality sink of the continuous-batching
+ * layer: queue depth, time-to-first-token, per-token latency
+ * percentiles, throughput, and (via the server) engine work counters.
+ *
+ * The scheduler records samples as requests move through admission,
+ * prefill, and fused decode; snapshot() folds them into the numbers a
+ * serving dashboard would plot. Thread-safe: clients may snapshot
+ * while the scheduler ticks.
+ */
+
+#ifndef LT_SERVE_METRICS_HH
+#define LT_SERVE_METRICS_HH
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace lt {
+namespace serve {
+
+/** Point-in-time summary of a server's activity. */
+struct MetricsSnapshot
+{
+    // Request lifecycle counters.
+    size_t submitted = 0;
+    size_t completed = 0;
+    size_t expired = 0;   ///< deadline misses (subset of completed)
+    size_t prefills = 0;
+    size_t decode_ticks = 0;  ///< fused batched decode steps executed
+    size_t tokens_generated = 0;
+
+    // Gauges at snapshot time.
+    size_t queue_depth = 0;
+    size_t active_requests = 0;
+
+    // Latency distributions (milliseconds).
+    double ttft_p50_ms = 0.0;
+    double ttft_p99_ms = 0.0;
+    double token_p50_ms = 0.0;
+    double token_p99_ms = 0.0;
+
+    /** Generated tokens per second of serving wall clock. */
+    double tokens_per_s = 0.0;
+
+    // Engine work, filled by Server::metrics() from backend stats.
+    size_t engine_macs = 0;
+    size_t engine_gemm_calls = 0;
+    size_t engine_batch_calls = 0;
+};
+
+/** Thread-safe metrics accumulator. */
+class Metrics
+{
+  public:
+    void onSubmit();
+    void onPrefill(double ttft_ms);
+    void onDecodeTick(size_t batch_size, double tick_ms);
+    void recordTokenLatency(double ms);
+    void onComplete(bool expired);
+    void setGauges(size_t queue_depth, size_t active_requests);
+
+    /**
+     * Fold the samples into a snapshot. Percentiles use the
+     * nearest-rank method; tokens_per_s divides generated tokens by
+     * the wall time between the first submission and the last
+     * recorded activity. Engine counters are zero here — the Server
+     * overlays them from its backend.
+     */
+    MetricsSnapshot snapshot() const;
+
+  private:
+    mutable std::mutex mu_;
+    MetricsSnapshot counts_; ///< counters + gauges (latencies unused)
+    std::vector<double> ttft_ms_;
+    std::vector<double> token_ms_;
+    bool saw_activity_ = false;
+    std::chrono::steady_clock::time_point first_activity_;
+    std::chrono::steady_clock::time_point last_activity_;
+};
+
+} // namespace serve
+} // namespace lt
+
+#endif // LT_SERVE_METRICS_HH

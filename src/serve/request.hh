@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Request/result types of the continuous-batching serve layer.
+ *
+ * A request is a prompt plus a generation budget (and optionally a
+ * deadline); the server answers with the greedy-decoded tokens and,
+ * when asked, every step's logits — the artifact the bit-identity
+ * contract is asserted on (serve/server.hh).
+ */
+
+#ifndef LT_SERVE_REQUEST_HH
+#define LT_SERVE_REQUEST_HH
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/linalg.hh"
+
+namespace lt {
+namespace serve {
+
+/** One generation request submitted to the server. */
+struct Request
+{
+    /** Prompt token ids (must be non-empty and in-vocabulary). */
+    std::vector<int> prompt;
+
+    /**
+     * Tokens to generate (> 0). The first comes from the prefill
+     * logits; each later one from a decode step that re-ingests its
+     * predecessor — so the request consumes
+     * prompt.size() + max_new_tokens - 1 positions of the model's
+     * positional table (validated at submit).
+     */
+    size_t max_new_tokens = 0;
+
+    /**
+     * Optional completion deadline, relative to submission. A request
+     * that misses it completes early with RequestResult::expired set
+     * and whatever tokens it generated so far.
+     */
+    std::optional<std::chrono::milliseconds> deadline;
+
+    /**
+     * Keep every step's logits in the result ([0] = prefill, then one
+     * per decode step; generated[k] = argmax of step_logits[k]). Off
+     * by default — it is the bit-identity test hook, not a serving
+     * feature.
+     */
+    bool record_logits = false;
+
+    /**
+     * Noise lane of the request (see InferenceSession). Defaults to a
+     * server-assigned sequential id; fix it to make a server run
+     * reproducible against a solo InferenceSession with the same id.
+     */
+    std::optional<uint64_t> request_id;
+};
+
+/** What the server promises back for one request. */
+struct RequestResult
+{
+    uint64_t request_id = 0;
+
+    /** Greedy-decoded tokens, at most max_new_tokens. */
+    std::vector<int> generated;
+
+    /** Per-step logits when Request::record_logits was set. */
+    std::vector<Matrix> step_logits;
+
+    /** Deadline missed: `generated` holds the partial output. */
+    bool expired = false;
+
+    /** Submit -> first generated token (prefill complete). */
+    double ttft_ms = 0.0;
+
+    /** Submit -> completion. */
+    double total_ms = 0.0;
+};
+
+} // namespace serve
+} // namespace lt
+
+#endif // LT_SERVE_REQUEST_HH

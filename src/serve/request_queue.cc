@@ -1,0 +1,78 @@
+#include "request_queue.hh"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lt {
+namespace serve {
+
+std::future<RequestResult>
+RequestQueue::submit(Request request, uint64_t id)
+{
+    PendingRequest pending;
+    pending.request = std::move(request);
+    pending.id = id;
+    pending.enqueued = std::chrono::steady_clock::now();
+    if (pending.request.deadline)
+        pending.deadline = pending.enqueued + *pending.request.deadline;
+    std::future<RequestResult> future = pending.promise.get_future();
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (closed_)
+            throw std::runtime_error(
+                "RequestQueue::submit after close (the server was "
+                "drained or stopped)");
+        queue_.push_back(std::move(pending));
+    }
+    cv_.notify_all();
+    return future;
+}
+
+std::vector<PendingRequest>
+RequestQueue::take(size_t max_requests)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<PendingRequest> taken;
+    while (!queue_.empty() && taken.size() < max_requests) {
+        taken.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+    }
+    return taken;
+}
+
+bool
+RequestQueue::waitForWork(std::chrono::milliseconds timeout)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, timeout,
+                 [&] { return !queue_.empty() || closed_; });
+    return !queue_.empty();
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+}
+
+size_t
+RequestQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+} // namespace serve
+} // namespace lt

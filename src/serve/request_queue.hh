@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Thread-safe request queue between submitting clients and the
+ * scheduler tick.
+ *
+ * Clients call submit() from any thread and hold the returned future;
+ * the scheduler (one consumer) drains with take() each tick and
+ * blocks in waitForWork() while idle. close() flips the queue into a
+ * rejecting state for the server's drain/shutdown path — submissions
+ * after close throw, which is the "submit after drain" misuse
+ * contract tests/test_serve.cc pins down.
+ */
+
+#ifndef LT_SERVE_REQUEST_QUEUE_HH
+#define LT_SERVE_REQUEST_QUEUE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serve/request.hh"
+
+namespace lt {
+namespace serve {
+
+/** A queued request with its promise and submission timestamps. */
+struct PendingRequest
+{
+    Request request;
+    uint64_t id = 0;
+    std::promise<RequestResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+    /** Absolute deadline (enqueued + Request::deadline), if any. */
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+};
+
+/** MPSC queue: many submitting threads, one scheduler consumer. */
+class RequestQueue
+{
+  public:
+    /**
+     * Enqueue a request (id pre-assigned by the server) and return
+     * the future its result will arrive on. Throws std::runtime_error
+     * once the queue is closed.
+     */
+    std::future<RequestResult> submit(Request request, uint64_t id);
+
+    /** Pop up to max_requests in FIFO order (non-blocking). */
+    std::vector<PendingRequest> take(size_t max_requests);
+
+    /**
+     * Block until the queue is non-empty, closed, or `timeout`
+     * elapsed. Returns true when work is available.
+     */
+    bool waitForWork(std::chrono::milliseconds timeout);
+
+    /** Reject all future submits (drained queues stay drained). */
+    void close();
+
+    bool closed() const;
+    size_t depth() const;
+    bool empty() const { return depth() == 0; }
+
+  private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<PendingRequest> queue_;
+    bool closed_ = false;
+};
+
+} // namespace serve
+} // namespace lt
+
+#endif // LT_SERVE_REQUEST_QUEUE_HH

@@ -1,0 +1,140 @@
+#include "server.hh"
+
+#include <stdexcept>
+#include <string>
+
+namespace lt {
+namespace serve {
+
+Server::Server(const nn::TransformerClassifier &model,
+               nn::GemmBackend &backend, ServerConfig cfg)
+    : model_(model), backend_(backend), cfg_(cfg),
+      scheduler_(model, backend, cfg.quant, cfg.scheduler, &metrics_)
+{
+    const nn::TransformerConfig &mcfg = model.config();
+    if (mcfg.vocab_size == 0 || !mcfg.causal)
+        throw std::invalid_argument(
+            "serve::Server requires a causal sequence model "
+            "(vocab_size > 0, TransformerConfig::causal)");
+    if (mcfg.num_classes != mcfg.vocab_size)
+        throw std::invalid_argument(
+            "serve::Server requires an LM head (num_classes == "
+            "vocab_size): greedy decode feeds argmax logits back as "
+            "token ids");
+    if (cfg_.scheduler.max_batch == 0)
+        throw std::invalid_argument(
+            "serve::Server: max_batch must be positive");
+}
+
+Server::~Server()
+{
+    try {
+        drain();
+    } catch (...) {
+        // Destructor must not throw; a drain failure here means
+        // promises were already broken and futures will surface it.
+    }
+}
+
+std::future<RequestResult>
+Server::submit(Request request)
+{
+    const nn::TransformerConfig &mcfg = model_.config();
+    if (request.prompt.empty())
+        throw std::invalid_argument(
+            "serve::Server::submit: empty prompt");
+    if (request.max_new_tokens == 0)
+        throw std::invalid_argument(
+            "serve::Server::submit: max_new_tokens must be positive "
+            "(a request that generates nothing is not a request)");
+    // The request consumes prompt + (max_new_tokens - 1) positions:
+    // the final token is returned without being re-ingested. A prompt
+    // already at max_tokens therefore leaves no room to decode.
+    if (request.prompt.size() + request.max_new_tokens - 1 >
+        mcfg.max_tokens)
+        throw std::invalid_argument(
+            "serve::Server::submit: prompt of " +
+            std::to_string(request.prompt.size()) + " tokens + " +
+            std::to_string(request.max_new_tokens) +
+            " generated tokens exceeds the positional table "
+            "(max_tokens = " +
+            std::to_string(mcfg.max_tokens) + ")");
+    for (int t : request.prompt)
+        if (t < 0 || static_cast<size_t>(t) >= mcfg.vocab_size)
+            throw std::invalid_argument(
+                "serve::Server::submit: prompt token " +
+                std::to_string(t) + " outside vocabulary of " +
+                std::to_string(mcfg.vocab_size));
+
+    uint64_t id = request.request_id
+                      ? *request.request_id
+                      : next_id_.fetch_add(1);
+    std::future<RequestResult> future =
+        queue_.submit(std::move(request), id);
+    metrics_.onSubmit(); // only requests the queue actually accepted
+    return future;
+}
+
+void
+Server::start()
+{
+    bool expected = false;
+    if (!running_.compare_exchange_strong(expected, true))
+        return;
+    worker_ = std::thread([this] { serveLoop(); });
+}
+
+void
+Server::serveLoop()
+{
+    while (true) {
+        size_t active = scheduler_.tick(queue_);
+        if (active == 0 && queue_.empty()) {
+            if (drain_requested_.load())
+                break;
+            queue_.waitForWork(cfg_.idle_poll);
+        }
+    }
+}
+
+void
+Server::drain()
+{
+    drain_requested_.store(true);
+    queue_.close(); // reject new submits; wake the serving thread
+    if (running_.load()) {
+        worker_.join();
+        running_.store(false);
+    } else {
+        runUntilIdle();
+    }
+}
+
+size_t
+Server::runUntilIdle()
+{
+    if (running_.load())
+        throw std::logic_error(
+            "Server::runUntilIdle while the serving thread runs — "
+            "use one pump per server");
+    size_t ticks = 0;
+    while (scheduler_.tick(queue_) > 0 || !queue_.empty())
+        ++ticks;
+    return ticks;
+}
+
+MetricsSnapshot
+Server::metrics() const
+{
+    MetricsSnapshot snap = metrics_.snapshot();
+    const nn::GemmStats &stats = backend_.stats();
+    snap.engine_macs = stats.macs.load(std::memory_order_relaxed);
+    snap.engine_gemm_calls =
+        stats.calls.load(std::memory_order_relaxed);
+    snap.engine_batch_calls =
+        stats.batch_calls.load(std::memory_order_relaxed);
+    return snap;
+}
+
+} // namespace serve
+} // namespace lt

@@ -23,6 +23,37 @@ Matrix::identity(size_t n)
     return m;
 }
 
+void
+Matrix::resizeRows(size_t new_rows)
+{
+    if (new_rows < rows_)
+        lt_panic("Matrix::resizeRows only grows: ", rows_, " -> ",
+                 new_rows);
+    data_.resize(new_rows * cols_, 0.0);
+    rows_ = new_rows;
+}
+
+void
+Matrix::resizeCols(size_t new_cols)
+{
+    if (new_cols < cols_)
+        lt_panic("Matrix::resizeCols only grows: ", cols_, " -> ",
+                 new_cols);
+    if (new_cols == cols_)
+        return;
+    data_.resize(rows_ * new_cols, 0.0);
+    // Re-stride back to front so source and destination ranges of a
+    // row never clobber each other.
+    for (size_t r = rows_; r-- > 0;) {
+        std::copy_backward(data_.begin() + r * cols_,
+                           data_.begin() + r * cols_ + cols_,
+                           data_.begin() + r * new_cols + cols_);
+        std::fill(data_.begin() + r * new_cols + cols_,
+                  data_.begin() + (r + 1) * new_cols, 0.0);
+    }
+    cols_ = new_cols;
+}
+
 Matrix
 Matrix::transposed() const
 {

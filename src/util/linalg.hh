@@ -39,6 +39,34 @@ class Matrix
     Matrix transposed() const;
     Matrix operator*(const Matrix &rhs) const;
 
+    /**
+     * Reserve backing storage for `elems` doubles so subsequent
+     * in-place growth (resizeRows/resizeCols) never reallocates. The
+     * decode K/V caches reserve their max_tokens footprint once at
+     * prefill and then append per step allocation-free.
+     */
+    void reserve(size_t elems) { data_.reserve(elems); }
+
+    /** Backing capacity in doubles (growth headroom introspection). */
+    size_t capacity() const { return data_.capacity(); }
+
+    /**
+     * Grow the row count in place. Row-major layout means existing
+     * rows keep their offsets: no element moves, and with reserved
+     * capacity no reallocation either — amortized O(1) per appended
+     * row beyond the O(cols) write of the new cells (zero-filled).
+     * Shrinking is not supported.
+     */
+    void resizeRows(size_t new_rows);
+
+    /**
+     * Grow the column count in place. Row r's payload shifts from
+     * offset r*cols to r*new_cols (back-to-front, overlap-safe); new
+     * cells are zero-filled. With reserved capacity this moves
+     * elements but never reallocates. Shrinking is not supported.
+     */
+    void resizeCols(size_t new_cols);
+
     /** Max absolute elementwise difference to another matrix. */
     double maxAbsDiff(const Matrix &other) const;
 

@@ -33,6 +33,81 @@ randomMatrix(size_t rows, size_t cols, Rng &rng, double scale = 1.0)
 
 // ---- tensor ops -------------------------------------------------------
 
+TEST(TensorOps, AppendRowGrowsInPlaceOnceReserved)
+{
+    Rng rng(0xA11);
+    Matrix m = randomMatrix(2, 5, rng);
+    Matrix expected = m;
+    m.reserve(6 * 5); // decode-cache pattern: reserve the max context
+    const double *backing = m.data().data();
+    for (size_t step = 0; step < 4; ++step) {
+        Matrix row = randomMatrix(1, 5, rng);
+        appendRow(m, row);
+        appendRow(expected, row); // self-consistency of values below
+    }
+    EXPECT_EQ(m.rows(), 6u);
+    EXPECT_EQ(m.data().data(), backing)
+        << "reserved appendRow must not reallocate";
+    EXPECT_EQ(m.maxAbsDiff(expected), 0.0);
+}
+
+TEST(TensorOps, AppendColumnGrowsInPlaceOnceReserved)
+{
+    Rng rng(0xA12);
+    Matrix m = randomMatrix(4, 2, rng);
+    // Reference via the transposed row view.
+    Matrix ref_t = m.transposed();
+    m.reserve(4 * 6);
+    const double *backing = m.data().data();
+    for (size_t step = 0; step < 4; ++step) {
+        Matrix row = randomMatrix(1, 4, rng);
+        appendColumn(m, row);
+        appendRow(ref_t, row);
+    }
+    EXPECT_EQ(m.cols(), 6u);
+    EXPECT_EQ(m.data().data(), backing)
+        << "reserved appendColumn must not reallocate";
+    EXPECT_EQ(m.maxAbsDiff(ref_t.transposed()), 0.0);
+}
+
+TEST(TensorOps, ResizeColsZeroFillsTheNewCells)
+{
+    Matrix m(3, 2);
+    int v = 1;
+    for (double &x : m.data())
+        x = v++;
+    m.resizeCols(4);
+    for (size_t r = 0; r < 3; ++r) {
+        EXPECT_EQ(m(r, 0), 1.0 + 2 * static_cast<double>(r));
+        EXPECT_EQ(m(r, 1), 2.0 + 2 * static_cast<double>(r));
+        EXPECT_EQ(m(r, 2), 0.0);
+        EXPECT_EQ(m(r, 3), 0.0);
+    }
+}
+
+TEST(TensorOps, KvCacheReserveMakesDecodeAppendsAllocationFree)
+{
+    Rng rng(0xCAFE);
+    AttentionKvCache kv;
+    const size_t dk = 4, prefill = 3, max_tokens = 12;
+    kv.k_t.push_back(randomMatrix(dk, prefill, rng));
+    kv.v.push_back(randomMatrix(prefill, dk, rng));
+    kv.tokens = prefill;
+    kv.reserve(max_tokens);
+    const double *k_backing = kv.k_t[0].data().data();
+    const double *v_backing = kv.v[0].data().data();
+    for (size_t t = prefill; t < max_tokens; ++t) {
+        Matrix row = randomMatrix(1, dk, rng);
+        appendColumn(kv.k_t[0], row);
+        appendRow(kv.v[0], row);
+        kv.tokens += 1;
+    }
+    EXPECT_EQ(kv.k_t[0].cols(), max_tokens);
+    EXPECT_EQ(kv.v[0].rows(), max_tokens);
+    EXPECT_EQ(kv.k_t[0].data().data(), k_backing);
+    EXPECT_EQ(kv.v[0].data().data(), v_backing);
+}
+
 TEST(TensorOps, RowSoftmaxNormalizes)
 {
     Rng rng(1);

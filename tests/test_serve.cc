@@ -1,0 +1,531 @@
+/**
+ * @file
+ * Tests for the continuous-batching serve layer and its compute
+ * kernel, nn::BatchedDecoder.
+ *
+ * The headline contract: with quantization fixed and per-request
+ * request_id noise lanes, the logits (and greedy tokens) the server
+ * produces at ANY concurrency are bit-identical to each request run
+ * alone on a fresh InferenceSession against a same-config backend —
+ * asserted here on the noisy photonic engine at concurrency 1..16.
+ * Plus: the scheduler's O(layers) dispatch bound, the gemmBatch
+ * permutation property behind it, admission-control behaviour,
+ * deadline expiry, metrics sanity, and the misuse paths
+ * (submit-after-drain, zero max_new_tokens, prompt at max_tokens).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/batched_decoder.hh"
+#include "nn/execution_engine.hh"
+#include "nn/inference_session.hh"
+#include "nn/tensor_ops.hh"
+#include "serve/server.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace lt;
+
+nn::TransformerConfig
+lmConfig(size_t max_tokens = 48)
+{
+    nn::TransformerConfig cfg;
+    cfg.dim = 16;
+    cfg.depth = 2;
+    cfg.heads = 2;
+    cfg.mlp_hidden = 32;
+    cfg.num_classes = 24;
+    cfg.vocab_size = 24;
+    cfg.max_tokens = max_tokens;
+    cfg.pooling = nn::Pooling::LastToken;
+    cfg.causal = true;
+    return cfg;
+}
+
+core::DptcConfig
+noisyDptc()
+{
+    core::DptcConfig dcfg;
+    dcfg.input_bits = 8;
+    return dcfg;
+}
+
+std::vector<int>
+promptFor(uint64_t id, size_t len, size_t vocab)
+{
+    Rng rng(0x5e3 + id);
+    std::vector<int> tokens(len);
+    for (int &t : tokens)
+        t = static_cast<int>(
+            rng.uniformInt(0, static_cast<int64_t>(vocab) - 1));
+    return tokens;
+}
+
+/**
+ * The solo reference of one request: fresh engine (same config),
+ * fresh session on the request's lane, greedy decode. Returns the
+ * per-step logits ([0] = prefill) and the token chain.
+ */
+struct SoloRun
+{
+    std::vector<Matrix> step_logits;
+    std::vector<int> generated;
+};
+
+SoloRun
+soloReference(const nn::TransformerClassifier &model,
+              const std::vector<int> &prompt, size_t max_new,
+              uint64_t request_id, const nn::QuantConfig &quant)
+{
+    nn::ExecutionEngine engine(noisyDptc(), core::EvalMode::Noisy);
+    nn::InferenceSession session(model, engine, quant, request_id);
+    SoloRun run;
+    Matrix logits = session.prefill(prompt);
+    run.generated.push_back(
+        static_cast<int>(nn::argmaxRow(logits, 0)));
+    run.step_logits.push_back(std::move(logits));
+    while (run.generated.size() < max_new) {
+        Matrix next = session.decodeStep(run.generated.back());
+        run.generated.push_back(
+            static_cast<int>(nn::argmaxRow(next, 0)));
+        run.step_logits.push_back(std::move(next));
+    }
+    return run;
+}
+
+// ---- the bit-identity acceptance contract -----------------------------
+
+TEST(Serve, LogitsBitIdenticalToSoloAtEveryConcurrency)
+{
+    nn::TransformerClassifier model(lmConfig());
+    const nn::QuantConfig quant = nn::QuantConfig::w8a8();
+    const size_t kPrompt = 5, kNew = 6;
+
+    for (size_t concurrency : {1u, 2u, 4u, 8u, 16u}) {
+        nn::ExecutionEngine engine(noisyDptc(), core::EvalMode::Noisy);
+        serve::ServerConfig scfg;
+        scfg.scheduler.max_batch = concurrency;
+        scfg.quant = quant;
+        serve::Server server(model, engine, scfg);
+
+        std::vector<std::future<serve::RequestResult>> futures;
+        for (uint64_t id = 0; id < concurrency; ++id) {
+            serve::Request req;
+            req.prompt =
+                promptFor(id, kPrompt, model.config().vocab_size);
+            req.max_new_tokens = kNew;
+            req.record_logits = true;
+            req.request_id = id;
+            futures.push_back(server.submit(std::move(req)));
+        }
+        server.runUntilIdle();
+
+        for (uint64_t id = 0; id < concurrency; ++id) {
+            serve::RequestResult result = futures[id].get();
+            SoloRun solo = soloReference(
+                model,
+                promptFor(id, kPrompt, model.config().vocab_size),
+                kNew, id, quant);
+            EXPECT_EQ(result.generated, solo.generated)
+                << "concurrency " << concurrency << " request " << id;
+            ASSERT_EQ(result.step_logits.size(),
+                      solo.step_logits.size());
+            for (size_t s = 0; s < solo.step_logits.size(); ++s)
+                EXPECT_EQ(result.step_logits[s].maxAbsDiff(
+                              solo.step_logits[s]),
+                          0.0)
+                    << "concurrency " << concurrency << " request "
+                    << id << " step " << s;
+        }
+    }
+}
+
+TEST(Serve, StaggeredArrivalsJoinTheRunningBatchBitIdentically)
+{
+    // Continuous batching: requests admitted MID-generation of others
+    // must still match their solo runs exactly.
+    nn::TransformerClassifier model(lmConfig());
+    const nn::QuantConfig quant = nn::QuantConfig::w8a8();
+    nn::ExecutionEngine engine(noisyDptc(), core::EvalMode::Noisy);
+
+    serve::Metrics metrics;
+    serve::SchedulerConfig cfg;
+    cfg.max_batch = 4;
+    serve::BatchScheduler scheduler(model, engine, quant, cfg,
+                                    &metrics);
+    serve::RequestQueue queue;
+
+    auto submit = [&](uint64_t id, size_t max_new) {
+        serve::Request req;
+        req.prompt = promptFor(id, 4, model.config().vocab_size);
+        req.max_new_tokens = max_new;
+        req.record_logits = true;
+        return queue.submit(std::move(req), id);
+    };
+
+    // Two early requests, two more arriving after two ticks.
+    auto f0 = submit(0, 8);
+    auto f1 = submit(1, 3);
+    scheduler.tick(queue);
+    scheduler.tick(queue);
+    auto f2 = submit(2, 5);
+    auto f3 = submit(3, 4);
+    while (scheduler.tick(queue) > 0 || !queue.empty()) {
+    }
+
+    std::vector<std::future<serve::RequestResult>> futures;
+    futures.push_back(std::move(f0));
+    futures.push_back(std::move(f1));
+    futures.push_back(std::move(f2));
+    futures.push_back(std::move(f3));
+    const size_t max_new[] = {8, 3, 5, 4};
+    for (uint64_t id = 0; id < 4; ++id) {
+        serve::RequestResult result = futures[id].get();
+        SoloRun solo = soloReference(
+            model, promptFor(id, 4, model.config().vocab_size),
+            max_new[id], id, quant);
+        EXPECT_EQ(result.generated, solo.generated) << "request " << id;
+        ASSERT_EQ(result.step_logits.size(), solo.step_logits.size());
+        for (size_t s = 0; s < solo.step_logits.size(); ++s)
+            EXPECT_EQ(result.step_logits[s].maxAbsDiff(
+                          solo.step_logits[s]),
+                      0.0)
+                << "request " << id << " step " << s;
+    }
+}
+
+// ---- O(layers) dispatch bound -----------------------------------------
+
+TEST(Serve, FusedDecodeStepDispatchesOLayersBatches)
+{
+    // The engine must see the same number of gemmBatch dispatches per
+    // decode step whether 2 or 12 requests ride in it: per layer one
+    // batch per projection (wq, wk, wv, wo, fc1, fc2) plus the fused
+    // QK^T and AV batches, plus the LM head = 8 * depth + 1.
+    nn::TransformerClassifier model(lmConfig());
+    nn::ExecutionEngine engine(noisyDptc(), core::EvalMode::Noisy);
+    const size_t expected = 8 * model.config().depth + 1;
+
+    for (size_t n : {1u, 2u, 12u}) {
+        std::vector<std::unique_ptr<nn::InferenceSession>> sessions;
+        std::vector<nn::InferenceSession *> ptrs;
+        std::vector<int> feed;
+        for (uint64_t id = 0; id < n; ++id) {
+            sessions.push_back(std::make_unique<nn::InferenceSession>(
+                model, engine, nn::QuantConfig::w8a8(), id));
+            sessions.back()->prefill(
+                promptFor(id, 4, model.config().vocab_size));
+            ptrs.push_back(sessions.back().get());
+            feed.push_back(static_cast<int>(id) % 24);
+        }
+        engine.resetStats();
+        nn::BatchedDecoder::step(ptrs, feed);
+        EXPECT_EQ(engine.stats().batch_calls.load(), expected)
+            << "batch of " << n;
+        // ... while the per-product count grows with n, as it must.
+        EXPECT_EQ(engine.stats().calls.load(),
+                  n * (model.config().depth *
+                           (6 + 2 * model.config().heads) +
+                       1));
+    }
+}
+
+// ---- the property the fusion rests on ---------------------------------
+
+TEST(Serve, GemmBatchIsPermutationInvariantPerStream)
+{
+    // Stream-addressed gemmBatch must be a pure function of
+    // (operands, config, stream) per product: permuting the
+    // product/stream order permutes the results and changes nothing
+    // else. This is exactly what lets the scheduler regroup N
+    // requests' GEMMs arbitrarily without touching their values.
+    Rng rng(0xBA7C);
+    nn::ExecutionEngine engine(noisyDptc(), core::EvalMode::Noisy);
+
+    for (int trial = 0; trial < 3; ++trial) {
+        const size_t kProducts = 10;
+        std::vector<Matrix> as, bs;
+        std::vector<uint64_t> streams;
+        for (size_t i = 0; i < kProducts; ++i) {
+            // Varied skinny shapes, decode-like.
+            size_t m = 1 + static_cast<size_t>(rng.uniformInt(0, 2));
+            size_t k = 4 + static_cast<size_t>(rng.uniformInt(0, 12));
+            size_t n = 2 + static_cast<size_t>(rng.uniformInt(0, 20));
+            Matrix a(m, k), b(k, n);
+            for (double &v : a.data())
+                v = rng.uniform(-1.0, 1.0);
+            for (double &v : b.data())
+                v = rng.uniform(-1.0, 1.0);
+            as.push_back(std::move(a));
+            bs.push_back(std::move(b));
+            streams.push_back(
+                static_cast<uint64_t>(rng.uniformInt(0, 1 << 30)));
+        }
+        std::vector<std::pair<const Matrix *, const Matrix *>> ops;
+        for (size_t i = 0; i < kProducts; ++i)
+            ops.emplace_back(&as[i], &bs[i]);
+        std::vector<Matrix> base = engine.gemmBatch(ops, streams);
+
+        std::vector<size_t> perm(kProducts);
+        std::iota(perm.begin(), perm.end(), 0);
+        for (size_t i = kProducts - 1; i > 0; --i)
+            std::swap(perm[i],
+                      perm[static_cast<size_t>(rng.uniformInt(
+                          0, static_cast<int64_t>(i)))]);
+
+        std::vector<std::pair<const Matrix *, const Matrix *>> pops;
+        std::vector<uint64_t> pstreams;
+        for (size_t i : perm) {
+            pops.emplace_back(&as[i], &bs[i]);
+            pstreams.push_back(streams[i]);
+        }
+        std::vector<Matrix> permuted =
+            engine.gemmBatch(pops, pstreams);
+        for (size_t i = 0; i < kProducts; ++i)
+            EXPECT_EQ(permuted[i].maxAbsDiff(base[perm[i]]), 0.0)
+                << "trial " << trial << " product " << i;
+    }
+}
+
+// ---- BatchedDecoder guards --------------------------------------------
+
+TEST(Serve, BatchedDecoderRejectsMalformedBatches)
+{
+    nn::TransformerClassifier model(lmConfig());
+    nn::TransformerClassifier other(lmConfig());
+    nn::IdealBackend backend, backend2;
+
+    nn::InferenceSession a(model, backend), b(model, backend),
+        on_other_model(other, backend),
+        on_other_backend(model, backend2), fresh(model, backend);
+    a.prefill({1, 2});
+    b.prefill({3, 4});
+    on_other_model.prefill({1, 2});
+    on_other_backend.prefill({1, 2});
+
+    EXPECT_THROW(nn::BatchedDecoder::step({}, {}),
+                 std::invalid_argument);
+    EXPECT_THROW(nn::BatchedDecoder::step({&a, &b}, {1}),
+                 std::invalid_argument);
+    EXPECT_THROW(nn::BatchedDecoder::step({&a, &a}, {1, 2}),
+                 std::invalid_argument);
+    EXPECT_THROW(nn::BatchedDecoder::step({&a, nullptr}, {1, 2}),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        nn::BatchedDecoder::step({&a, &on_other_model}, {1, 2}),
+        std::invalid_argument);
+    EXPECT_THROW(
+        nn::BatchedDecoder::step({&a, &on_other_backend}, {1, 2}),
+        std::invalid_argument);
+    EXPECT_THROW(nn::BatchedDecoder::step({&a, &fresh}, {1, 2}),
+                 std::invalid_argument);
+
+    // Context exhaustion is caught BEFORE any session advances.
+    nn::TransformerConfig tiny = lmConfig(/*max_tokens=*/3);
+    nn::TransformerClassifier small(tiny);
+    nn::InferenceSession full(small, backend), room(small, backend);
+    full.prefill({1, 2, 3});
+    room.prefill({1});
+    EXPECT_THROW(nn::BatchedDecoder::step({&room, &full}, {1, 2}),
+                 std::invalid_argument);
+    EXPECT_EQ(room.contextLen(), 1u); // untouched by the failed batch
+}
+
+// ---- server misuse paths ----------------------------------------------
+
+TEST(Serve, SubmitValidationAndDrainRejection)
+{
+    nn::TransformerClassifier model(lmConfig(/*max_tokens=*/10));
+    nn::IdealBackend backend;
+    serve::Server server(model, backend);
+
+    serve::Request ok;
+    ok.prompt = {1, 2, 3};
+    ok.max_new_tokens = 4;
+
+    serve::Request empty_prompt = ok;
+    empty_prompt.prompt.clear();
+    EXPECT_THROW(server.submit(empty_prompt), std::invalid_argument);
+
+    serve::Request zero_new = ok;
+    zero_new.max_new_tokens = 0;
+    EXPECT_THROW(server.submit(zero_new), std::invalid_argument);
+
+    // A prompt already at max_tokens leaves no room to decode.
+    serve::Request at_capacity = ok;
+    at_capacity.prompt.assign(10, 1);
+    EXPECT_THROW(server.submit(at_capacity), std::invalid_argument);
+
+    // Prompt + budget straddling the table is rejected up front, not
+    // mid-generation.
+    serve::Request straddles = ok;
+    straddles.prompt.assign(8, 1);
+    straddles.max_new_tokens = 4;
+    EXPECT_THROW(server.submit(straddles), std::invalid_argument);
+
+    // The largest admissible budget for that prompt passes.
+    serve::Request fits = ok;
+    fits.prompt.assign(8, 1);
+    fits.max_new_tokens = 3;
+    auto future = server.submit(fits);
+
+    serve::Request out_of_vocab = ok;
+    out_of_vocab.prompt = {1, 99};
+    EXPECT_THROW(server.submit(out_of_vocab), std::invalid_argument);
+
+    server.runUntilIdle();
+    EXPECT_EQ(future.get().generated.size(), 3u);
+
+    server.drain();
+    EXPECT_THROW(server.submit(ok), std::runtime_error);
+}
+
+TEST(Serve, RejectsNonLmModels)
+{
+    nn::IdealBackend backend;
+
+    nn::TransformerConfig mismatched_head = lmConfig();
+    mismatched_head.num_classes = 7; // != vocab_size: argmax is not a token
+    nn::TransformerClassifier bad_head(mismatched_head);
+    EXPECT_THROW(serve::Server(bad_head, backend),
+                 std::invalid_argument);
+
+    nn::TransformerConfig bidi = lmConfig();
+    bidi.causal = false;
+    bidi.pooling = nn::Pooling::Mean;
+    nn::TransformerClassifier encoder(bidi);
+    EXPECT_THROW(serve::Server(encoder, backend),
+                 std::invalid_argument);
+}
+
+// ---- admission control, deadlines, metrics ----------------------------
+
+TEST(Serve, SchedulerHonoursMaxBatch)
+{
+    nn::TransformerClassifier model(lmConfig());
+    nn::IdealBackend backend;
+    serve::SchedulerConfig cfg;
+    cfg.max_batch = 2;
+    serve::BatchScheduler scheduler(
+        model, backend, nn::QuantConfig::disabled(), cfg, nullptr);
+    serve::RequestQueue queue;
+
+    std::vector<std::future<serve::RequestResult>> futures;
+    for (uint64_t id = 0; id < 5; ++id) {
+        serve::Request req;
+        req.prompt = {1, 2};
+        req.max_new_tokens = 4;
+        futures.push_back(queue.submit(std::move(req), id));
+    }
+    size_t ticks = 0;
+    while (scheduler.tick(queue) > 0 || !queue.empty()) {
+        EXPECT_LE(scheduler.activeRequests(), 2u);
+        ++ticks;
+    }
+    EXPECT_GE(ticks, 5u); // 5 requests of 4 tokens can't fit 2-wide fast
+    for (auto &f : futures)
+        EXPECT_EQ(f.get().generated.size(), 4u);
+}
+
+TEST(Serve, DeadlineExpiryShedsLoad)
+{
+    nn::TransformerClassifier model(lmConfig());
+    nn::IdealBackend backend;
+    serve::Server server(model, backend);
+
+    serve::Request doomed;
+    doomed.prompt = {1, 2, 3};
+    doomed.max_new_tokens = 8;
+    doomed.deadline = std::chrono::milliseconds(0);
+    auto future = server.submit(doomed);
+    server.runUntilIdle();
+
+    serve::RequestResult result = future.get();
+    EXPECT_TRUE(result.expired);
+    EXPECT_LT(result.generated.size(), 8u);
+    EXPECT_EQ(server.metrics().expired, 1u);
+}
+
+TEST(Serve, MetricsAccountForTheWholeRun)
+{
+    nn::TransformerClassifier model(lmConfig());
+    nn::ExecutionEngine engine(noisyDptc(), core::EvalMode::Noisy);
+    serve::ServerConfig scfg;
+    scfg.scheduler.max_batch = 4;
+    scfg.quant = nn::QuantConfig::w8a8();
+    serve::Server server(model, engine, scfg);
+
+    const size_t kRequests = 6, kNew = 5;
+    std::vector<std::future<serve::RequestResult>> futures;
+    for (uint64_t id = 0; id < kRequests; ++id) {
+        serve::Request req;
+        req.prompt = promptFor(id, 4, model.config().vocab_size);
+        req.max_new_tokens = kNew;
+        futures.push_back(server.submit(std::move(req)));
+    }
+    server.runUntilIdle();
+    for (auto &f : futures)
+        EXPECT_EQ(f.get().generated.size(), kNew);
+
+    serve::MetricsSnapshot snap = server.metrics();
+    EXPECT_EQ(snap.submitted, kRequests);
+    EXPECT_EQ(snap.completed, kRequests);
+    EXPECT_EQ(snap.expired, 0u);
+    EXPECT_EQ(snap.prefills, kRequests);
+    EXPECT_EQ(snap.tokens_generated, kRequests * kNew);
+    EXPECT_EQ(snap.queue_depth, 0u);
+    EXPECT_EQ(snap.active_requests, 0u);
+    EXPECT_GT(snap.decode_ticks, 0u);
+    EXPECT_GT(snap.ttft_p50_ms, 0.0);
+    EXPECT_LE(snap.ttft_p50_ms, snap.ttft_p99_ms);
+    EXPECT_GT(snap.token_p50_ms, 0.0);
+    EXPECT_LE(snap.token_p50_ms, snap.token_p99_ms);
+    EXPECT_GT(snap.tokens_per_s, 0.0);
+    EXPECT_GT(snap.engine_macs, 0u);
+    EXPECT_GT(snap.engine_batch_calls, 0u);
+}
+
+TEST(Serve, ThreadedServerDrainsConcurrentClients)
+{
+    // The background serving thread + concurrent submitters: every
+    // future resolves, nothing deadlocks, drain() joins cleanly.
+    nn::TransformerClassifier model(lmConfig());
+    nn::IdealBackend backend;
+    serve::ServerConfig scfg;
+    scfg.scheduler.max_batch = 3;
+    serve::Server server(model, backend, scfg);
+    server.start();
+
+    const size_t kClients = 3, kPerClient = 4;
+    std::vector<std::future<std::vector<size_t>>> clients;
+    for (size_t c = 0; c < kClients; ++c)
+        clients.push_back(std::async(std::launch::async, [&, c] {
+            std::vector<size_t> token_counts;
+            for (size_t i = 0; i < kPerClient; ++i) {
+                serve::Request req;
+                req.prompt = promptFor(c * 16 + i, 3,
+                                       model.config().vocab_size);
+                req.max_new_tokens = 3 + (i % 3);
+                auto fut = server.submit(std::move(req));
+                token_counts.push_back(fut.get().generated.size());
+            }
+            return token_counts;
+        }));
+    for (size_t c = 0; c < kClients; ++c) {
+        std::vector<size_t> counts = clients[c].get();
+        for (size_t i = 0; i < kPerClient; ++i)
+            EXPECT_EQ(counts[i], 3 + (i % 3)) << "client " << c;
+    }
+    server.drain();
+    EXPECT_EQ(server.metrics().completed, kClients * kPerClient);
+}
+
+} // namespace
