@@ -10,12 +10,26 @@
  * Also asserts the determinism contract on every row: the result at
  * N threads must be bit-identical to the 1-thread result.
  *
+ * Decode-regime scenario: skinny [1, d] x [d, d] noisy GEMMs — the
+ * continuous-batching steady state — with the weight-plan cache on
+ * vs off. "off" replays the pre-plan path exactly (per-step maxAbs +
+ * normalizeQuantize + reference-kernel gemmTiles); "on" serves the
+ * weight from one pre-encoded plan through the packed kernel. The
+ * two columns must be bit-identical (this pins the packed-kernel
+ * rewrite in CI) and the cache hit/miss counters must show zero
+ * steady-state re-encodes. The scenario runs with encoding noise off
+ * (dispersion + systematic output noise only): under full encoding
+ * noise the per-MAC Gaussian draws dominate and no amount of operand
+ * caching moves the needle — the regime where caching matters is
+ * exactly the calibrated/systematic-noise serving configuration.
+ *
  * Usage: bench_engine_scaling [--csv] [--json [path]]
  *
- * --csv prints the rows as CSV on stdout (the CI smoke mode);
- * --json writes the per-PR perf-trajectory snapshot (default path
- * BENCH_engine.json, committed at the repo root so the scaling
- * numbers are diffable across PRs).
+ * --csv prints the rows as CSV on stdout (the CI smoke mode) and
+ * exits nonzero on any bit-identity violation or a zero decode
+ * cache-hit rate; --json writes the per-PR perf-trajectory snapshot
+ * (default path BENCH_engine.json, committed at the repo root so the
+ * scaling numbers are diffable across PRs).
  */
 
 #include <chrono>
@@ -58,6 +72,99 @@ struct Row
     double matmul_s;
     double matmul_speedup;
 };
+
+struct DecodeResult
+{
+    size_t dim;
+    size_t steps;
+    double cache_on_ms;   ///< per-step, weight served from a plan
+    double cache_off_ms;  ///< per-step, pre-plan re-encode + ref kernel
+    double speedup;
+    bool identical;       ///< cached outputs == uncached, bitwise
+    size_t hits;
+    size_t misses;
+};
+
+/** The decode-regime cache on/off comparison (see file header). */
+DecodeResult
+runDecodeScenario()
+{
+    constexpr size_t kDecodeDim = 256;
+    constexpr size_t kSteps = 32;
+    constexpr int kDecodeReps = 3;
+
+    core::DptcConfig dcfg;
+    dcfg.input_bits = 8;
+    dcfg.noise.enable_encoding_noise = false;
+
+    Rng rng(0xDEC0DE);
+    Matrix w(kDecodeDim, kDecodeDim);
+    for (double &v : w.data())
+        v = rng.uniform(-1.0, 1.0);
+    std::vector<Matrix> xs(kSteps);
+    for (Matrix &x : xs) {
+        x = Matrix(1, kDecodeDim);
+        for (double &v : x.data())
+            v = rng.uniform(-1.0, 1.0);
+    }
+
+    nn::ExecutionEngine engine(dcfg, core::EvalMode::Noisy);
+    core::Dptc reference(dcfg);
+
+    // Cache on: encode the stationary operand once, then run every
+    // step against the plan (stream id = step, replayed identically
+    // by the off column).
+    engine.resetStats();
+    core::EncodedOperand plan = engine.encodeWeight(w);
+    std::vector<Matrix> on_out(kSteps);
+    double on_best = 1e30;
+    for (int r = 0; r < kDecodeReps; ++r)
+        on_best = std::min(on_best, secondsOf([&] {
+                               for (size_t s = 0; s < kSteps; ++s)
+                                   on_out[s] =
+                                       engine.gemm(xs[s], plan, s);
+                           }));
+    const size_t hits = engine.stats().encode_cache_hits.load();
+    const size_t misses = engine.stats().encode_cache_misses.load();
+
+    // Cache off: the pre-plan path, verbatim — per-step beta
+    // normalization + quantization of BOTH operands and the
+    // reference (unpacked) tile kernel, seeded exactly like the
+    // engine's stream-addressed gemm.
+    std::vector<Matrix> off_out(kSteps);
+    double off_best = 1e30;
+    for (int r = 0; r < kDecodeReps; ++r)
+        off_best = std::min(
+            off_best, secondsOf([&] {
+                for (size_t s = 0; s < kSteps; ++s) {
+                    double beta_a = core::Dptc::maxAbs(xs[s]);
+                    double beta_b = core::Dptc::maxAbs(w);
+                    Matrix a_hat = core::Dptc::normalizeQuantize(
+                        xs[s], beta_a, dcfg.input_bits);
+                    Matrix b_hat = core::Dptc::normalizeQuantize(
+                        w, beta_b, dcfg.input_bits);
+                    off_out[s] = Matrix(1, kDecodeDim, 0.0);
+                    reference.gemmTiles(
+                        a_hat, b_hat, core::EvalMode::Noisy,
+                        beta_a * beta_b, 0,
+                        reference.outputTilesFor(1, kDecodeDim),
+                        off_out[s], deriveSeed(dcfg.seed, s));
+                }
+            }));
+
+    DecodeResult res;
+    res.dim = kDecodeDim;
+    res.steps = kSteps;
+    res.cache_on_ms = on_best / kSteps * 1e3;
+    res.cache_off_ms = off_best / kSteps * 1e3;
+    res.speedup = res.cache_off_ms / res.cache_on_ms;
+    res.identical = true;
+    for (size_t s = 0; s < kSteps; ++s)
+        res.identical &= on_out[s].maxAbsDiff(off_out[s]) == 0.0;
+    res.hits = hits;
+    res.misses = misses;
+    return res;
+}
 
 } // namespace
 
@@ -130,6 +237,8 @@ main(int argc, char **argv)
     }
     ThreadPool::setGlobalThreads(0);
 
+    DecodeResult decode = runDecodeScenario();
+
     if (json) {
         // The committed perf-trajectory snapshot: one object per
         // thread count, plus enough host context to interpret it.
@@ -151,16 +260,31 @@ main(int argc, char **argv)
                 << ", \"matmul_speedup\": " << r.matmul_speedup << "}"
                 << (i + 1 < rows.size() ? "," : "") << "\n";
         }
-        out << "  ]\n}\n";
+        out << "  ],\n"
+            << "  \"decode\": {\"gemm\": \"1x" << decode.dim << "x"
+            << decode.dim << "\", \"steps\": " << decode.steps
+            << ", \"noise\": \"systematic+dispersion\""
+            << ", \"cache_off_ms_per_step\": " << decode.cache_off_ms
+            << ", \"cache_on_ms_per_step\": " << decode.cache_on_ms
+            << ", \"cache_speedup\": " << decode.speedup
+            << ", \"bit_identical\": "
+            << (decode.identical ? "true" : "false")
+            << ", \"encode_cache_hits\": " << decode.hits
+            << ", \"encode_cache_misses\": " << decode.misses
+            << "}\n}\n";
         // stderr: keeps the CSV stream clean when modes are combined.
         std::cerr << "wrote " << json_path << "\n";
     }
 
-    // The determinism contract is this bench's CI signal: any
-    // non-bit-identical row is a hard failure in every output mode.
+    // The determinism contracts are this bench's CI signal: a
+    // non-bit-identical scaling row, a cached-vs-uncached decode
+    // mismatch, or a dead encode cache is a hard failure in every
+    // output mode.
     bool all_identical = true;
     for (const Row &r : rows)
         all_identical &= r.identical;
+    const bool decode_ok =
+        decode.identical && decode.hits > 0 && decode.misses <= 1;
 
     if (csv) {
         std::cout << "threads,photonic_s,photonic_gmacs,"
@@ -171,12 +295,28 @@ main(int argc, char **argv)
                       << r.photonic_gmacs << "," << r.photonic_speedup
                       << "," << (r.identical ? 1 : 0) << ","
                       << r.matmul_s << "," << r.matmul_speedup << "\n";
+        std::cout << "\ndecode_gemm,cache_off_ms_per_step,"
+                     "cache_on_ms_per_step,cache_speedup,"
+                     "bit_identical,encode_cache_hits,"
+                     "encode_cache_misses\n"
+                  << "1x" << decode.dim << "x" << decode.dim << ","
+                  << decode.cache_off_ms << "," << decode.cache_on_ms
+                  << "," << decode.speedup << ","
+                  << (decode.identical ? 1 : 0) << "," << decode.hits
+                  << "," << decode.misses << "\n";
     }
     if (csv || json) {
         if (!all_identical)
             std::cerr << "DETERMINISM VIOLATION: results differ "
                          "across thread counts\n";
-        return all_identical ? 0 : 1;
+        if (!decode.identical)
+            std::cerr << "DETERMINISM VIOLATION: cached decode GEMMs "
+                         "differ from the uncached reference\n";
+        else if (!decode_ok)
+            std::cerr << "ENCODE CACHE VIOLATION: hits=" << decode.hits
+                      << " misses=" << decode.misses
+                      << " (want hits > 0, misses <= 1)\n";
+        return all_identical && decode_ok ? 0 : 1;
     }
 
     printBanner(std::cout, "Execution-engine scaling: 256^3 GEMM "
@@ -199,5 +339,29 @@ main(int argc, char **argv)
         << "\nDeterminism: every thread count must report "
            "bit-identical = yes\n(counter-seeded tile noise). Speedup "
            "saturates at min(hardware threads,\nengine cores).\n";
-    return all_identical ? 0 : 1;
+
+    printBanner(std::cout,
+                "Decode regime: 1x" + std::to_string(decode.dim) +
+                    "x" + std::to_string(decode.dim) +
+                    " noisy GEMM, weight-plan cache on vs off");
+    Table dtable({"cache", "ms/step", "speedup", "bit-identical",
+                  "enc hits", "enc misses"});
+    dtable.addRow({"off (re-encode)",
+                   units::fmtFixed(decode.cache_off_ms, 3), "1.00x",
+                   "-", "-", "-"});
+    dtable.addRow({"on (plan)",
+                   units::fmtFixed(decode.cache_on_ms, 3),
+                   units::fmtFixed(decode.speedup, 2) + "x",
+                   decode.identical ? "yes" : "NO",
+                   std::to_string(decode.hits),
+                   std::to_string(decode.misses)});
+    dtable.print(std::cout);
+    std::cout
+        << "\nThe stationary weight operand is encoded once "
+           "(Dptc::encode) and reused;\ncached results must be "
+           "bit-identical to the per-step re-encode path.\nScenario "
+           "noise: dispersion + systematic output term (encoding "
+           "noise off —\nwith it on, per-MAC Gaussian draws dominate "
+           "and caching is invisible).\n";
+    return all_identical && decode_ok ? 0 : 1;
 }

@@ -80,7 +80,10 @@ main()
         // Every GEMM runs on the multi-core execution engine (8 DPTC
         // replicas, LT-B's nt * nc), sharded over the thread pool.
         nn::ExecutionEngine photonic(dcfg, core::EvalMode::Noisy);
-        nn::RunContext ctx{&photonic, tcfg.quant};
+        // Inference context: static weights are fake-quantized and
+        // encoded once per engine (WeightPlan cache), not per sample.
+        nn::RunContext ctx{&photonic, tcfg.quant, nn::NoiseStream{},
+                           /*inference=*/true};
         double acc = train::Trainer::evaluateVision(
             model, test_set.samples(), ctx);
         table.addRow({s.name, units::fmtFixed(acc * 100.0, 1),

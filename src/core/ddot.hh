@@ -85,6 +85,20 @@ class DDot
                             std::span<const double> y, Rng &rng) const;
 
     /**
+     * The hot-loop form of analyticNoisyDot(): identical arithmetic
+     * and RNG draw order (bit-identical results), restructured for
+     * the packed tile kernel — per-channel coefficients come from
+     * flat precomputed arrays instead of the struct vector, the
+     * noiseless per-channel gain is hoisted when encoding noise is
+     * off, and when only phase drift is active the draws batch
+     * through Rng::fillGaussian into `dphi_scratch` (caller-owned,
+     * at least n doubles; may be null when encoding noise is off).
+     */
+    double analyticNoisyDotPacked(const double *x, const double *y,
+                                  size_t n, Rng &rng,
+                                  double *dphi_scratch) const;
+
+    /**
      * Per-channel noiseless contribution coefficients, exposing the
      * multiplicative factor 2*t*k*(-sin phi) and additive factor
      * (2k^2 - 1)/2 for channel i (used by tests and the fast GEMM
@@ -96,6 +110,19 @@ class DDot
   private:
     NoiseConfig noise_;
     std::vector<ChannelCoefficients> channels_;
+
+    // Flat per-channel coefficient arrays mirroring channels_,
+    // precomputed once so the packed kernel never re-derives them:
+    //   mult_base_[i]  = 2 * t_i * k_i
+    //   add_coef_[i]   = 2 * k_i^2 - 1
+    //   phase_base_[i] = -pi/2 + phase_error_i
+    //   mult_noiseless_[i] = mult_base_[i] * (-sin(phase_base_[i]))
+    // (the exact subexpressions analyticNoisyDot computes, in the
+    // same association order, so reuse is bit-identical).
+    std::vector<double> mult_base_;
+    std::vector<double> add_coef_;
+    std::vector<double> phase_base_;
+    std::vector<double> mult_noiseless_;
 };
 
 } // namespace core

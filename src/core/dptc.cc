@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "util/logging.hh"
@@ -29,6 +30,75 @@ Dptc::normalizeQuantize(const Matrix &m, double beta, int bits)
         out.data()[i] =
             quantizeSymmetricUnit(m.data()[i] / beta, bits);
     return out;
+}
+
+EncodedOperand
+Dptc::encode(const Matrix &m, OperandSide side, EvalMode mode) const
+{
+    EncodedOperand op;
+    op.rows_ = m.rows();
+    op.cols_ = m.cols();
+    op.side_ = side;
+    if (mode == EvalMode::Ideal) {
+        // Raw values, unit scale: x / 1.0 quantized to 0 bits is x.
+        op.beta_ = 1.0;
+        op.bits_ = 0;
+    } else {
+        op.beta_ = maxAbs(m);
+        op.bits_ = cfg_.input_bits;
+    }
+
+    auto cdiv = [](size_t a, size_t b) { return (a + b - 1) / b; };
+    // Matches normalizeQuantize element-for-element: all-zero
+    // operands (beta == 0) encode to zeros.
+    auto q = [&](double v) {
+        return op.beta_ > 0.0
+                   ? quantizeSymmetricUnit(v / op.beta_, op.bits_)
+                   : 0.0;
+    };
+
+    if (side == OperandSide::A) {
+        // Row-major panels: identical layout to the dense matrix, so
+        // a row's k-slice is one contiguous pointer.
+        op.data_.resize(m.rows() * m.cols());
+        for (size_t i = 0; i < m.data().size(); ++i)
+            op.data_[i] = q(m.data()[i]);
+        return op;
+    }
+
+    // B side: pack each (column tile, k-slice) block as contiguous
+    // columns. Blocks are padded to nv x nlambda so indexing is
+    // uniform; padding is zero and never read (the kernel bounds its
+    // loops by the true operand edges).
+    op.nv_ = cfg_.nv;
+    op.nlambda_ = cfg_.nlambda;
+    op.tiles_k_ = cdiv(m.rows(), cfg_.nlambda);
+    const size_t tiles_c = cdiv(m.cols(), cfg_.nv);
+    op.data_.assign(tiles_c * op.tiles_k_ * cfg_.nv * cfg_.nlambda,
+                    0.0);
+    for (size_t k = 0; k < m.rows(); ++k) {
+        const size_t tk = k / cfg_.nlambda;
+        const size_t ki = k % cfg_.nlambda;
+        for (size_t c = 0; c < m.cols(); ++c) {
+            const size_t tc = c / cfg_.nv;
+            const size_t ci = c % cfg_.nv;
+            op.data_[((tc * op.tiles_k_ + tk) * cfg_.nv + ci) *
+                         cfg_.nlambda +
+                     ki] = q(m(k, c));
+        }
+    }
+    return op;
+}
+
+bool
+Dptc::acceptsEncoded(const EncodedOperand &op, EvalMode mode) const
+{
+    const int bits = mode == EvalMode::Ideal ? 0 : cfg_.input_bits;
+    if (op.bits_ != bits)
+        return false;
+    if (op.side_ == OperandSide::B)
+        return op.nv_ == cfg_.nv && op.nlambda_ == cfg_.nlambda;
+    return true;
 }
 
 Dptc::Dptc(const DptcConfig &cfg)
@@ -88,18 +158,15 @@ Dptc::multiply(const Matrix &a, const Matrix &b, EvalMode mode)
                  "] exceeds core geometry [", cfg_.nh, ",", cfg_.nlambda,
                  "]x[", cfg_.nlambda, ",", cfg_.nv, "]");
     }
-    if (mode == EvalMode::Ideal) {
-        Matrix out(a.rows(), b.cols(), 0.0);
-        multiplyNormalized(a, b, 0, 0, 0, mode, 1.0, rng_, out);
-        return out;
-    }
-    double beta_a = maxAbs(a);
-    double beta_b = maxAbs(b);
-    Matrix a_hat = normalizeQuantize(a, beta_a, cfg_.input_bits);
-    Matrix b_hat = normalizeQuantize(b, beta_b, cfg_.input_bits);
+    // One shared encoding implementation (encode() handles the
+    // Ideal-mode raw/unit-beta case too); noise draws advance the
+    // stateful member RNG exactly as before.
+    EncodedOperand ea = encode(a, OperandSide::A, mode);
+    EncodedOperand eb = encode(b, OperandSide::B, mode);
     Matrix out(a.rows(), b.cols(), 0.0);
-    multiplyNormalized(a_hat, b_hat, 0, 0, 0, mode, beta_a * beta_b,
-                       rng_, out);
+    std::vector<double> dphi(cfg_.nlambda);
+    packedSlice(ea, eb, 0, 0, 0, mode, ea.beta() * eb.beta(), rng_,
+                out, dphi.data());
     return out;
 }
 
@@ -134,6 +201,95 @@ Dptc::gemmTiles(const Matrix &a_hat, const Matrix &b_hat, EvalMode mode,
     }
 }
 
+void
+Dptc::packedSlice(const EncodedOperand &a, const EncodedOperand &b,
+                  size_t r0, size_t tc, size_t tk, EvalMode mode,
+                  double scale, Rng &rng, Matrix &out,
+                  double *dphi) const
+{
+    const size_t k0 = tk * cfg_.nlambda;
+    const size_t c0 = tc * cfg_.nv;
+    const size_t rows = std::min(cfg_.nh, a.rows() - r0);
+    const size_t cols = std::min(cfg_.nv, b.cols() - c0);
+    const size_t depth = std::min(cfg_.nlambda, a.cols() - k0);
+
+    const bool calibrated = cfg_.channel_calibration;
+    const bool systematic = cfg_.noise.enable_systematic_noise;
+    const double sys_std = cfg_.noise.systematic_output_std;
+
+    for (size_t r = 0; r < rows; ++r) {
+        // Hoisted x gather: one contiguous slice of the A panel,
+        // shared by every column of this (tile, k-slice).
+        const double *x = a.row(r0 + r) + k0;
+        for (size_t c = 0; c < cols; ++c) {
+            const double *y = b.tileColumn(tc, tk, c);
+            double io;
+            if (mode == EvalMode::Noisy) {
+                io = calibrated
+                         ? calibratedNoisyDot(
+                               ddot_, calibration_,
+                               std::span<const double>(x, depth),
+                               std::span<const double>(y, depth), rng)
+                         : ddot_.analyticNoisyDotPacked(x, y, depth,
+                                                        rng, dphi);
+                if (systematic) {
+                    double eps = rng.gaussian(0.0, sys_std);
+                    io *= (1.0 + eps);
+                }
+            } else {
+                io = DDot::idealDot(
+                    std::span<const double>(x, depth),
+                    std::span<const double>(y, depth));
+            }
+            out(r0 + r, c0 + c) += io * scale;
+        }
+    }
+}
+
+void
+Dptc::gemmTiles(const EncodedOperand &a, const EncodedOperand &b,
+                EvalMode mode, double scale, size_t tile_begin,
+                size_t tile_end, Matrix &out,
+                uint64_t stream_seed) const
+{
+    if (a.side() != OperandSide::A || b.side() != OperandSide::B ||
+        !acceptsEncoded(a, mode) || !acceptsEncoded(b, mode))
+        lt_fatal("Dptc::gemmTiles: operands not encoded for this "
+                 "core geometry/mode");
+    if (a.cols() != b.rows())
+        lt_fatal("Dptc::gemmTiles inner dimension mismatch: ",
+                 a.cols(), " vs ", b.rows());
+
+    auto cdiv = [](size_t x, size_t y) { return (x + y - 1) / y; };
+    const size_t tiles_c = cdiv(b.cols(), cfg_.nv);
+    const size_t tiles_k = cdiv(a.cols(), cfg_.nlambda);
+
+    // Per-shard workspace: the bulk phase-draw buffer, allocated once
+    // per call (one call per shard under the ExecutionEngine) — the
+    // hot loop itself never allocates.
+    std::vector<double> dphi(cfg_.nlambda);
+
+    Rng unused(0); // non-noisy modes never draw from it
+    for (size_t t = tile_begin; t < tile_end; ++t) {
+        const size_t r0 = (t / tiles_c) * cfg_.nh;
+        const size_t tc = t % tiles_c;
+        if (mode == EvalMode::Noisy) {
+            // Counter-based seeding, identical to the reference
+            // kernel: (stream, output-tile index) alone determines
+            // the tile's noise; its k-slices consume the stream in
+            // fixed ascending order.
+            Rng tile_rng(deriveSeed(stream_seed, t));
+            for (size_t tk = 0; tk < tiles_k; ++tk)
+                packedSlice(a, b, r0, tc, tk, mode, scale, tile_rng,
+                            out, dphi.data());
+        } else {
+            for (size_t tk = 0; tk < tiles_k; ++tk)
+                packedSlice(a, b, r0, tc, tk, mode, scale, unused,
+                            out, dphi.data());
+        }
+    }
+}
+
 Matrix
 Dptc::gemm(const Matrix &a, const Matrix &b, EvalMode mode) const
 {
@@ -142,16 +298,9 @@ Dptc::gemm(const Matrix &a, const Matrix &b, EvalMode mode) const
                  " vs ", b.rows());
     Matrix out(a.rows(), b.cols(), 0.0);
     const size_t tiles = outputTilesFor(a.rows(), b.cols());
-    if (mode == EvalMode::Ideal) {
-        gemmTiles(a, b, mode, 1.0, 0, tiles, out, cfg_.seed);
-        return out;
-    }
-
-    double beta_a = maxAbs(a);
-    double beta_b = maxAbs(b);
-    Matrix a_hat = normalizeQuantize(a, beta_a, cfg_.input_bits);
-    Matrix b_hat = normalizeQuantize(b, beta_b, cfg_.input_bits);
-    gemmTiles(a_hat, b_hat, mode, beta_a * beta_b, 0, tiles, out,
+    EncodedOperand ea = encode(a, OperandSide::A, mode);
+    EncodedOperand eb = encode(b, OperandSide::B, mode);
+    gemmTiles(ea, eb, mode, ea.beta() * eb.beta(), 0, tiles, out,
               cfg_.seed);
     return out;
 }

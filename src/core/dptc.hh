@@ -21,6 +21,7 @@
 
 #include "core/calibration.hh"
 #include "core/ddot.hh"
+#include "core/encoded_operand.hh"
 #include "core/noise_model.hh"
 #include "util/linalg.hh"
 #include "util/rng.hh"
@@ -93,17 +94,23 @@ class Dptc
     Matrix gemm(const Matrix &a, const Matrix &b, EvalMode mode) const;
 
     /**
-     * Process output tiles [tile_begin, tile_end) of a tiled GEMM on
-     * pre-normalized operands, accumulating every k-slice of each
-     * output tile into `out` (which must be [a_hat.rows(),
-     * b_hat.cols()], zero-filled in the covered region). Output tiles
-     * are numbered row-major: tile = tr * ceil(n/nv) + tc. Thread-safe
-     * for disjoint tile ranges — this is the unit the ExecutionEngine
-     * shards across core replicas.
+     * REFERENCE KERNEL: process output tiles [tile_begin, tile_end)
+     * of a tiled GEMM on pre-normalized dense operands, accumulating
+     * every k-slice of each output tile into `out` (which must be
+     * [a_hat.rows(), b_hat.cols()], zero-filled in the covered
+     * region). Output tiles are numbered row-major: tile =
+     * tr * ceil(n/nv) + tc.
      *
      * Each output tile draws its noise from an Rng seeded
      * deriveSeed(stream_seed, tile); its k-slices consume that stream
      * in fixed ascending order (a tile never spans shards).
+     *
+     * This is the pre-packing implementation (strided B-column
+     * gathers, per-slice scratch), kept as the golden reference the
+     * packed overload below is pinned bit-identical against (tests)
+     * and as the "cache off" column of bench_engine_scaling's
+     * decode-regime scenario. Hot paths use the EncodedOperand
+     * overload.
      *
      * @param scale multiplies every output (beta_a * beta_b; 1 for
      *        Ideal mode on raw operands)
@@ -113,6 +120,43 @@ class Dptc
                    EvalMode mode, double scale, size_t tile_begin,
                    size_t tile_end, Matrix &out,
                    uint64_t stream_seed) const;
+
+    /**
+     * PACKED KERNEL: same contract as the reference gemmTiles, on
+     * pre-encoded operands (Dptc::encode). Bit-identical to the
+     * reference kernel — element visit order and RNG draw order are
+     * preserved exactly — but cache-friendly: the x row-slice is one
+     * contiguous pointer, every B-tile column is a contiguous packed
+     * run (packed once at encode time instead of re-gathered Nh times
+     * per tile), per-channel noise coefficients come from flat
+     * arrays, and the only scratch (the bulk phase-draw buffer) is a
+     * per-call workspace hoisted out of the hot loop — no allocations
+     * per tile or k-slice. Thread-safe for disjoint tile ranges; this
+     * is the unit the ExecutionEngine shards across core replicas.
+     *
+     * `scale` is normally a.beta() * b.beta(); operands must have
+     * been encoded for this core's geometry and mode (fatal
+     * otherwise).
+     */
+    void gemmTiles(const EncodedOperand &a, const EncodedOperand &b,
+                   EvalMode mode, double scale, size_t tile_begin,
+                   size_t tile_end, Matrix &out,
+                   uint64_t stream_seed) const;
+
+    /**
+     * Prepare one operand for the packed kernel: beta normalization
+     * (maxAbs), DAC quantization to input_bits, and the side-specific
+     * packed layout, fused in one pass. Ideal mode encodes raw values
+     * with beta = 1 and no quantization. This is the single encoding
+     * implementation behind multiply(), gemm(), and the
+     * ExecutionEngine (and the unit the nn-layer WeightPlan caches
+     * hold on to across calls).
+     */
+    EncodedOperand encode(const Matrix &m, OperandSide side,
+                          EvalMode mode) const;
+
+    /** True when `op` was encoded compatibly with this core + mode. */
+    bool acceptsEncoded(const EncodedOperand &op, EvalMode mode) const;
 
     /** Output-tile count of a tiled [m,k]x[k,n] GEMM (rows x cols). */
     size_t
@@ -150,6 +194,18 @@ class Dptc
                             size_t row0, size_t col0, size_t k0,
                             EvalMode mode, double scale, Rng &rng,
                             Matrix &out) const;
+
+    /**
+     * One (output tile, k-slice) of the packed kernel: rows/cols
+     * bounded by the operand edges, x and y read as contiguous
+     * pointers into the encoded layouts. `dphi` is the caller's
+     * per-shard phase-draw workspace (>= nlambda doubles). RNG draw
+     * order matches multiplyNormalized exactly.
+     */
+    void packedSlice(const EncodedOperand &a, const EncodedOperand &b,
+                     size_t r0, size_t tc, size_t tk, EvalMode mode,
+                     double scale, Rng &rng, Matrix &out,
+                     double *dphi) const;
 
     DptcConfig cfg_;
     DDot ddot_;

@@ -1,0 +1,30 @@
+#include "encoded_operand.hh"
+
+namespace lt {
+namespace core {
+
+Matrix
+EncodedOperand::normalized() const
+{
+    Matrix out(rows_, cols_, 0.0);
+    if (side_ == OperandSide::A) {
+        for (size_t i = 0; i < out.data().size(); ++i)
+            out.data()[i] = data_[i];
+        return out;
+    }
+    for (size_t k = 0; k < rows_; ++k) {
+        const size_t tk = k / nlambda_;
+        const size_t ki = k % nlambda_;
+        for (size_t c = 0; c < cols_; ++c) {
+            const size_t tc = c / nv_;
+            const size_t ci = c % nv_;
+            out(k, c) =
+                data_[((tc * tiles_k_ + tk) * nv_ + ci) * nlambda_ +
+                      ki];
+        }
+    }
+    return out;
+}
+
+} // namespace core
+} // namespace lt

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * EncodedOperand: a GEMM operand prepared once for the DPTC datapath.
+ *
+ * The paper's DPTC is *dynamically operated*: operands stream through
+ * DAC + MZM encoding every shot, so a stationary operand (layer
+ * weights during decode) costs the same to re-encode on every GEMM —
+ * in the software model that was a full maxAbs + normalizeQuantize
+ * pass over the weight matrix per call, plus a strided re-gather of
+ * every B-tile column inside the tile kernel. An EncodedOperand is
+ * the once-per-weight-version result of that preparation:
+ *
+ *  - beta:   the max-abs normalization scale (Section III-B),
+ *  - data:   the beta-normalized, DAC-quantized values, laid out for
+ *            the tile kernel:
+ *              A side — row-major panels (a row's k-slice is one
+ *              contiguous read, exactly the hoisted x-gather),
+ *              B side — column-major-packed tiles: for each (output
+ *              column tile, k-slice) block, the up-to-Nv columns are
+ *              stored as contiguous length-Nlambda runs, so the hot
+ *              loop reads each y-vector as a straight pointer walk
+ *              instead of Nh strided gathers per tile.
+ *
+ * Dptc::encode() is the only producer; Dptc::gemmTiles() (the packed
+ * overload) is the consumer. Encoding is pure and deterministic, so a
+ * GEMM on pre-encoded operands is bit-identical to encoding inline.
+ */
+
+#ifndef LT_CORE_ENCODED_OPERAND_HH
+#define LT_CORE_ENCODED_OPERAND_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/linalg.hh"
+
+namespace lt {
+namespace core {
+
+/** Which side of the product an operand was packed for. */
+enum class OperandSide
+{
+    A,  ///< left operand [m, k]: row-major panels
+    B,  ///< right operand [k, n]: column-major-packed tiles
+};
+
+/** A beta-normalized, quantized, kernel-layout GEMM operand. */
+class EncodedOperand
+{
+  public:
+    EncodedOperand() = default;
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    /** Max-abs normalization scale (1.0 for Ideal-mode encodes). */
+    double beta() const { return beta_; }
+
+    /** DAC width the values were quantized to (0 = raw, Ideal mode). */
+    int bits() const { return bits_; }
+
+    OperandSide side() const { return side_; }
+
+    bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+    /** A side: pointer to the contiguous row `r` (length cols()). */
+    const double *
+    row(size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+
+    /**
+     * B side: pointer to the contiguous packed column `c` (local to
+     * the tile, length nlambda) of k-slice `tk` in column tile `tc`.
+     */
+    const double *
+    tileColumn(size_t tc, size_t tk, size_t c) const
+    {
+        return data_.data() +
+               ((tc * tiles_k_ + tk) * nv_ + c) * nlambda_;
+    }
+
+    /** B-side packing geometry (0 on A-side operands). */
+    size_t packedNv() const { return nv_; }
+    size_t packedNlambda() const { return nlambda_; }
+
+    /**
+     * Unpack to a dense [rows, cols] matrix of the normalized,
+     * quantized values (what Dptc::normalizeQuantize would return).
+     * Test/diagnostic helper, not a hot path.
+     */
+    Matrix normalized() const;
+
+  private:
+    friend class Dptc;
+
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    double beta_ = 0.0;
+    int bits_ = 0;
+    OperandSide side_ = OperandSide::A;
+
+    // B-side tile geometry the data was packed for.
+    size_t nv_ = 0;
+    size_t nlambda_ = 0;
+    size_t tiles_k_ = 0;
+
+    std::vector<double> data_;
+};
+
+} // namespace core
+} // namespace lt
+
+#endif // LT_CORE_ENCODED_OPERAND_HH

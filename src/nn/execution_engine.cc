@@ -25,37 +25,20 @@ ExecutionEngine::ExecutionEngine(const core::DptcConfig &dcfg,
 }
 
 Matrix
-ExecutionEngine::gemmOneProduct(const Matrix &a, const Matrix &b,
+ExecutionEngine::gemmOneProduct(const core::EncodedOperand &a,
+                                const core::EncodedOperand &b,
                                 bool parallel_tiles,
                                 const core::Dptc &proto,
                                 uint64_t stream_seed)
 {
-    if (a.cols() != b.rows())
-        lt_fatal("ExecutionEngine::gemm inner dimension mismatch: ",
-                 a.cols(), " vs ", b.rows());
-
     const size_t tiles = proto.outputTilesFor(a.rows(), b.cols());
     Matrix out(a.rows(), b.cols(), 0.0);
 
     const core::EvalMode mode = cfg_.mode;
-    double scale = 1.0;
-    const Matrix *a_hat = &a;
-    const Matrix *b_hat = &b;
-    Matrix a_norm, b_norm;
-    if (mode != core::EvalMode::Ideal) {
-        double beta_a = core::Dptc::maxAbs(a);
-        double beta_b = core::Dptc::maxAbs(b);
-        int bits = proto.config().input_bits;
-        a_norm = core::Dptc::normalizeQuantize(a, beta_a, bits);
-        b_norm = core::Dptc::normalizeQuantize(b, beta_b, bits);
-        scale = beta_a * beta_b;
-        a_hat = &a_norm;
-        b_hat = &b_norm;
-    }
+    const double scale = a.beta() * b.beta();
 
     if (!parallel_tiles || tiles == 1) {
-        proto.gemmTiles(*a_hat, *b_hat, mode, scale, 0, tiles, out,
-                        stream_seed);
+        proto.gemmTiles(a, b, mode, scale, 0, tiles, out, stream_seed);
         return out;
     }
 
@@ -66,11 +49,27 @@ ExecutionEngine::gemmOneProduct(const Matrix &a, const Matrix &b,
         tiles,
         [&](size_t begin, size_t end, size_t shard) {
             cores_[shard % cores_.size()].gemmTiles(
-                *a_hat, *b_hat, mode, scale, begin, end, out,
-                stream_seed);
+                a, b, mode, scale, begin, end, out, stream_seed);
         },
         cores_.size());
     return out;
+}
+
+Matrix
+ExecutionEngine::runProduct(const ProductRef &p, bool parallel_tiles,
+                            const core::Dptc &proto,
+                            uint64_t stream_seed)
+{
+    // Activations are encoded per call; the right operand is either
+    // encoded here too (dense) or arrives pre-encoded (weight plan).
+    core::EncodedOperand ea =
+        proto.encode(*p.a, core::OperandSide::A, cfg_.mode);
+    if (p.b_plan != nullptr)
+        return gemmOneProduct(ea, *p.b_plan, parallel_tiles, proto,
+                              stream_seed);
+    core::EncodedOperand eb =
+        proto.encode(*p.b, core::OperandSide::B, cfg_.mode);
+    return gemmOneProduct(ea, eb, parallel_tiles, proto, stream_seed);
 }
 
 Matrix
@@ -82,9 +81,47 @@ ExecutionEngine::gemm(const Matrix &a, const Matrix &b)
 Matrix
 ExecutionEngine::gemm(const Matrix &a, const Matrix &b, uint64_t stream)
 {
+    if (a.cols() != b.rows())
+        lt_fatal("ExecutionEngine::gemm inner dimension mismatch: ",
+                 a.cols(), " vs ", b.rows());
     stats_.record(a.rows(), a.cols(), b.cols());
-    return gemmOneProduct(a, b, /*parallel_tiles=*/true, cores_.front(),
-                          deriveSeed(cfg_.dptc.seed, stream));
+    return runProduct(ProductRef{&a, &b, nullptr},
+                      /*parallel_tiles=*/true, cores_.front(),
+                      deriveSeed(cfg_.dptc.seed, stream));
+}
+
+void
+ExecutionEngine::validateEncoded(const Matrix &a,
+                                 const core::EncodedOperand &w) const
+{
+    if (w.side() != core::OperandSide::B)
+        lt_fatal("ExecutionEngine: weight plan must be encoded for "
+                 "the B side");
+    if (!cores_.front().acceptsEncoded(w, cfg_.mode))
+        lt_fatal("ExecutionEngine: weight plan encoded for a "
+                 "different core geometry/mode");
+    if (a.cols() != w.rows())
+        lt_fatal("ExecutionEngine::gemm inner dimension mismatch: ",
+                 a.cols(), " vs ", w.rows());
+}
+
+core::EncodedOperand
+ExecutionEngine::encodeWeight(const Matrix &w)
+{
+    stats_.encode_cache_misses.fetch_add(1, std::memory_order_relaxed);
+    return cores_.front().encode(w, core::OperandSide::B, cfg_.mode);
+}
+
+Matrix
+ExecutionEngine::gemm(const Matrix &a, const core::EncodedOperand &w,
+                      uint64_t stream)
+{
+    validateEncoded(a, w);
+    stats_.record(a.rows(), a.cols(), w.cols());
+    stats_.encode_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    return runProduct(ProductRef{&a, nullptr, &w},
+                      /*parallel_tiles=*/true, cores_.front(),
+                      deriveSeed(cfg_.dptc.seed, stream));
 }
 
 std::vector<Matrix>
@@ -97,8 +134,12 @@ ExecutionEngine::gemmBatch(
     // runs which product.
     const uint64_t stream_base =
         next_stream_.fetch_add(products.size());
-    return gemmBatchImpl(
-        products, [&](size_t i) { return stream_base + i; });
+    std::vector<ProductRef> refs;
+    refs.reserve(products.size());
+    for (const auto &[pa, pb] : products)
+        refs.push_back(ProductRef{pa, pb, nullptr});
+    return gemmBatchImpl(refs,
+                         [&](size_t i) { return stream_base + i; });
 }
 
 std::vector<Matrix>
@@ -110,14 +151,39 @@ ExecutionEngine::gemmBatch(
     if (streams.size() != products.size())
         lt_fatal("gemmBatch: ", streams.size(), " streams for ",
                  products.size(), " products");
-    return gemmBatchImpl(products,
+    std::vector<ProductRef> refs;
+    refs.reserve(products.size());
+    for (const auto &[pa, pb] : products)
+        refs.push_back(ProductRef{pa, pb, nullptr});
+    return gemmBatchImpl(refs,
+                         [&](size_t i) { return streams[i]; });
+}
+
+std::vector<Matrix>
+ExecutionEngine::gemmBatch(
+    const std::vector<
+        std::pair<const Matrix *, const core::EncodedOperand *>>
+        &products,
+    const std::vector<uint64_t> &streams)
+{
+    if (streams.size() != products.size())
+        lt_fatal("gemmBatch: ", streams.size(), " streams for ",
+                 products.size(), " products");
+    std::vector<ProductRef> refs;
+    refs.reserve(products.size());
+    for (const auto &[pa, pw] : products) {
+        validateEncoded(*pa, *pw);
+        refs.push_back(ProductRef{pa, nullptr, pw});
+    }
+    stats_.encode_cache_hits.fetch_add(products.size(),
+                                       std::memory_order_relaxed);
+    return gemmBatchImpl(refs,
                          [&](size_t i) { return streams[i]; });
 }
 
 std::vector<Matrix>
 ExecutionEngine::gemmBatchImpl(
-    const std::vector<std::pair<const Matrix *, const Matrix *>>
-        &products,
+    const std::vector<ProductRef> &products,
     const std::function<uint64_t(size_t)> &streamOf)
 {
     stats_.recordBatch();
@@ -125,32 +191,34 @@ ExecutionEngine::gemmBatchImpl(
     auto seedOf = [&](size_t i) {
         return deriveSeed(cfg_.dptc.seed, streamOf(i));
     };
+    auto colsOf = [](const ProductRef &p) {
+        return p.b_plan != nullptr ? p.b_plan->cols() : p.b->cols();
+    };
+    for (const ProductRef &p : products) {
+        if (p.a->cols() !=
+            (p.b_plan != nullptr ? p.b_plan->rows() : p.b->rows()))
+            lt_fatal("ExecutionEngine::gemmBatch inner dimension "
+                     "mismatch");
+        stats_.record(p.a->rows(), p.a->cols(), colsOf(p));
+    }
     // Serving regime: enough independent products to keep every core
     // busy — shard whole products across cores and run each one
     // sequentially inside its shard. Otherwise parallelize tiles
     // within each product.
     const bool shard_products = products.size() >= cores_.size();
     if (!shard_products) {
-        for (size_t i = 0; i < products.size(); ++i) {
-            stats_.record(products[i].first->rows(),
-                          products[i].first->cols(),
-                          products[i].second->cols());
-            results[i] = gemmOneProduct(*products[i].first,
-                                        *products[i].second, true,
-                                        cores_.front(), seedOf(i));
-        }
+        for (size_t i = 0; i < products.size(); ++i)
+            results[i] = runProduct(products[i], true, cores_.front(),
+                                    seedOf(i));
         return results;
     }
-    for (const auto &[pa, pb] : products)
-        stats_.record(pa->rows(), pa->cols(), pb->cols());
     ThreadPool::global().parallelFor(
         products.size(),
         [&](size_t begin, size_t end, size_t shard) {
             const core::Dptc &replica = cores_[shard % cores_.size()];
             for (size_t i = begin; i < end; ++i)
-                results[i] = gemmOneProduct(*products[i].first,
-                                            *products[i].second, false,
-                                            replica, seedOf(i));
+                results[i] = runProduct(products[i], false, replica,
+                                        seedOf(i));
         },
         cores_.size());
     return results;

@@ -51,6 +51,15 @@ struct EngineConfig
      * Table IV); 0 means one replica per thread-pool worker.
      */
     size_t num_cores = 8;
+
+    /**
+     * Serve pre-encoded weight operands (supportsWeightPlans()). Off
+     * forces the nn layers down the per-call re-encode path — the
+     * "cache off" side of the cached-vs-uncached identity tests and
+     * of bench_engine_scaling's decode-regime scenario. Results are
+     * bit-identical either way.
+     */
+    bool weight_plans = true;
 };
 
 /** Multi-core tiled GEMM executor over DPTC replicas. */
@@ -98,6 +107,34 @@ class ExecutionEngine : public GemmBackend
                                           const Matrix *>> &products,
               const std::vector<uint64_t> &streams) override;
 
+    // ---- pre-encoded weight operands -----------------------------
+    // The decode/serve steady state: the stationary operand of every
+    // projection GEMM is encoded once (encodeWeight) and reused, so a
+    // step re-encodes only its activations. Bit-identical to the
+    // dense-operand calls (encoding is deterministic).
+
+    bool supportsWeightPlans() const override
+    {
+        return cfg_.weight_plans;
+    }
+
+    /** Encode a weight once (counts one encode_cache_miss). */
+    core::EncodedOperand encodeWeight(const Matrix &w) override;
+
+    /**
+     * Stream-addressed product against a pre-encoded weight (counts
+     * one encode_cache_hit). The activation is encoded per call.
+     */
+    Matrix gemm(const Matrix &a, const core::EncodedOperand &w,
+                uint64_t stream) override;
+
+    /** Stream-addressed batch against pre-encoded weights. */
+    std::vector<Matrix>
+    gemmBatch(const std::vector<
+                  std::pair<const Matrix *,
+                            const core::EncodedOperand *>> &products,
+              const std::vector<uint64_t> &streams) override;
+
     core::EvalMode mode() const { return cfg_.mode; }
     size_t numCores() const { return cores_.size(); }
 
@@ -106,14 +143,32 @@ class ExecutionEngine : public GemmBackend
     const core::Dptc &core(size_t i = 0) const { return cores_.at(i); }
 
   private:
-    Matrix gemmOneProduct(const Matrix &a, const Matrix &b,
+    /**
+     * One product in the unified batch representation: dense left
+     * operand plus either a dense right operand (encoded per call)
+     * or a pre-encoded weight plan.
+     */
+    struct ProductRef
+    {
+        const Matrix *a;
+        const Matrix *b;                    ///< dense right operand…
+        const core::EncodedOperand *b_plan; ///< …or pre-encoded plan
+    };
+
+    Matrix gemmOneProduct(const core::EncodedOperand &a,
+                          const core::EncodedOperand &b,
                           bool parallel_tiles, const core::Dptc &proto,
                           uint64_t stream_seed);
 
+    Matrix runProduct(const ProductRef &p, bool parallel_tiles,
+                      const core::Dptc &proto, uint64_t stream_seed);
+
     std::vector<Matrix>
-    gemmBatchImpl(const std::vector<std::pair<const Matrix *,
-                                              const Matrix *>> &products,
+    gemmBatchImpl(const std::vector<ProductRef> &products,
                   const std::function<uint64_t(size_t)> &streamOf);
+
+    void validateEncoded(const Matrix &a,
+                         const core::EncodedOperand &w) const;
 
     EngineConfig cfg_;
 

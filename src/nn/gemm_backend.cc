@@ -1,9 +1,42 @@
 #include "gemm_backend.hh"
 
 #include "nn/execution_engine.hh"
+#include "util/logging.hh"
 
 namespace lt {
 namespace nn {
+
+core::EncodedOperand
+GemmBackend::encodeWeight(const Matrix &w)
+{
+    (void)w;
+    lt_fatal("encodeWeight on a backend without weight-plan support "
+             "(check supportsWeightPlans() first)");
+}
+
+Matrix
+GemmBackend::gemm(const Matrix &a, const core::EncodedOperand &w,
+                  uint64_t stream)
+{
+    (void)a;
+    (void)w;
+    (void)stream;
+    lt_fatal("encoded-operand gemm on a backend without weight-plan "
+             "support (check supportsWeightPlans() first)");
+}
+
+std::vector<Matrix>
+GemmBackend::gemmBatch(
+    const std::vector<
+        std::pair<const Matrix *, const core::EncodedOperand *>>
+        &products,
+    const std::vector<uint64_t> &streams)
+{
+    (void)products;
+    (void)streams;
+    lt_fatal("encoded-operand gemmBatch on a backend without "
+             "weight-plan support (check supportsWeightPlans() first)");
+}
 
 Matrix
 IdealBackend::gemm(const Matrix &a, const Matrix &b)
@@ -47,6 +80,35 @@ PhotonicBackend::gemmBatch(
     const std::vector<uint64_t> &streams)
 {
     return engine_->gemmBatch(products, streams);
+}
+
+Matrix
+PhotonicBackend::gemm(const Matrix &a, const core::EncodedOperand &w,
+                      uint64_t stream)
+{
+    return engine_->gemm(a, w, stream);
+}
+
+std::vector<Matrix>
+PhotonicBackend::gemmBatch(
+    const std::vector<
+        std::pair<const Matrix *, const core::EncodedOperand *>>
+        &products,
+    const std::vector<uint64_t> &streams)
+{
+    return engine_->gemmBatch(products, streams);
+}
+
+bool
+PhotonicBackend::supportsWeightPlans() const
+{
+    return engine_->supportsWeightPlans();
+}
+
+core::EncodedOperand
+PhotonicBackend::encodeWeight(const Matrix &w)
+{
+    return engine_->encodeWeight(w);
 }
 
 const GemmStats &

@@ -92,6 +92,19 @@ struct GemmStats
      */
     std::atomic<size_t> batch_calls{0};
 
+    /**
+     * Encoded-operand cache effectiveness. A *hit* is one GEMM
+     * product served from a pre-encoded weight operand (no maxAbs /
+     * quantize / pack on the weight); a *miss* is one encodeWeight()
+     * call (a plan being built or rebuilt after a weight-version
+     * bump). Steady-state decode must show misses == 0 — the
+     * acceptance counter of the weight-plan cache (tested in
+     * tests/test_decode.cc, surfaced by serve::Metrics and the bench
+     * JSON snapshots).
+     */
+    std::atomic<size_t> encode_cache_hits{0};
+    std::atomic<size_t> encode_cache_misses{0};
+
     void
     record(size_t m, size_t k, size_t n)
     {
@@ -111,6 +124,8 @@ struct GemmStats
         calls.store(0, std::memory_order_relaxed);
         macs.store(0, std::memory_order_relaxed);
         batch_calls.store(0, std::memory_order_relaxed);
+        encode_cache_hits.store(0, std::memory_order_relaxed);
+        encode_cache_misses.store(0, std::memory_order_relaxed);
     }
 };
 
@@ -118,7 +133,17 @@ struct GemmStats
 class GemmBackend
 {
   public:
+    GemmBackend() : uid_(nextUid()) {}
     virtual ~GemmBackend() = default;
+
+    /**
+     * Process-unique identity of this backend instance. Never reused
+     * across the process lifetime, unlike the object's address —
+     * caches keyed on it (the nn-layer WeightPlanCache) cannot serve
+     * a stale entry to a new backend that happens to be allocated
+     * where a destroyed one lived.
+     */
+    uint64_t uid() const { return uid_; }
 
     /** Compute a [m,k] x [k,n] product. */
     virtual Matrix gemm(const Matrix &a, const Matrix &b) = 0;
@@ -168,11 +193,60 @@ class GemmBackend
         return gemmBatch(products);
     }
 
+    // ---- pre-encoded (static weight) operands --------------------
+    //
+    // Backends that execute on the DPTC datapath can accept the right
+    // operand pre-encoded (core::EncodedOperand — beta + quantized +
+    // packed, built once by encodeWeight). Results are bit-identical
+    // to passing the dense weight: encoding is deterministic, so
+    // caching it only removes repeated work. Layers gate on
+    // supportsWeightPlans() and fall back to dense operands
+    // otherwise.
+
+    /** True when this backend executes pre-encoded weight operands. */
+    virtual bool supportsWeightPlans() const { return false; }
+
+    /**
+     * Encode a static (weight) operand once for reuse across GEMMs.
+     * Counts one encode_cache_miss (a plan build). Only valid on
+     * backends with supportsWeightPlans().
+     */
+    virtual core::EncodedOperand encodeWeight(const Matrix &w);
+
+    /**
+     * Stream-addressed product against a pre-encoded weight. Equals
+     * gemm(a, w_dense, stream) bit-for-bit when `w` encodes w_dense.
+     * Counts one encode_cache_hit.
+     */
+    virtual Matrix gemm(const Matrix &a, const core::EncodedOperand &w,
+                        uint64_t stream);
+
+    /**
+     * Stream-addressed batch against pre-encoded weights (product i:
+     * as[i] x *encoded[i], stream streams[i]). Counts one
+     * encode_cache_hit per product.
+     */
+    virtual std::vector<Matrix>
+    gemmBatch(const std::vector<
+                  std::pair<const Matrix *,
+                            const core::EncodedOperand *>> &products,
+              const std::vector<uint64_t> &streams);
+
     virtual const GemmStats &stats() const { return stats_; }
     virtual void resetStats() { stats_.reset(); }
 
   protected:
     GemmStats stats_;
+
+  private:
+    static uint64_t
+    nextUid()
+    {
+        static std::atomic<uint64_t> next{1};
+        return next.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    uint64_t uid_;
 };
 
 /** Exact double-precision GEMM (digital reference). */
@@ -201,6 +275,8 @@ class PhotonicBackend : public GemmBackend
     Matrix gemm(const Matrix &a, const Matrix &b) override;
     Matrix gemm(const Matrix &a, const Matrix &b,
                 uint64_t stream) override;
+    Matrix gemm(const Matrix &a, const core::EncodedOperand &w,
+                uint64_t stream) override;
 
     std::vector<Matrix>
     gemmBatch(const std::vector<std::pair<const Matrix *,
@@ -210,6 +286,14 @@ class PhotonicBackend : public GemmBackend
     gemmBatch(const std::vector<std::pair<const Matrix *,
                                           const Matrix *>> &products,
               const std::vector<uint64_t> &streams) override;
+    std::vector<Matrix>
+    gemmBatch(const std::vector<
+                  std::pair<const Matrix *,
+                            const core::EncodedOperand *>> &products,
+              const std::vector<uint64_t> &streams) override;
+
+    bool supportsWeightPlans() const override;
+    core::EncodedOperand encodeWeight(const Matrix &w) override;
 
     core::EvalMode mode() const;
 

@@ -19,7 +19,8 @@ InferenceSession::InferenceSession(const TransformerClassifier &model,
                                    uint64_t request_id)
     : model_(&model),
       ctx_{&backend, quant,
-           NoiseStream(kSessionLaneSalt).lane(request_id)}
+           NoiseStream(kSessionLaneSalt).lane(request_id),
+           /*inference=*/true}
 {
     const TransformerConfig &cfg = model.config();
     if (cfg.vocab_size == 0)

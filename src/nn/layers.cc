@@ -11,6 +11,43 @@
 namespace lt {
 namespace nn {
 
+// ------------------------------------------------------- WeightPlanCache
+
+std::shared_ptr<const core::EncodedOperand>
+WeightPlanCache::fetch(GemmBackend &backend, int bits, uint64_t version,
+                       const std::function<Matrix()> &materialize)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Entry &e : entries_) {
+        if (e.backend_uid != backend.uid() || e.bits != bits)
+            continue;
+        if (e.version == version)
+            return e.plan;
+        // Stale: the weight changed since this plan was encoded.
+        // Re-encode in place (encodeWeight counts the miss).
+        e.version = version;
+        e.plan = std::make_shared<const core::EncodedOperand>(
+            backend.encodeWeight(materialize()));
+        return e.plan;
+    }
+    // Bound the footprint: transient backends (an engine per eval
+    // run) must not accumulate dead plans — evict the oldest entry.
+    if (entries_.size() >= kMaxEntries)
+        entries_.erase(entries_.begin());
+    entries_.push_back(
+        Entry{backend.uid(), bits, version,
+              std::make_shared<const core::EncodedOperand>(
+                  backend.encodeWeight(materialize()))});
+    return entries_.back().plan;
+}
+
+void
+WeightPlanCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+}
+
 // ---------------------------------------------------------------- Linear
 
 Linear::Linear(size_t in, size_t out, Rng &rng, bool bias)
@@ -23,6 +60,25 @@ Linear::Linear(size_t in, size_t out, Rng &rng, bool bias)
         v = rng.uniform(-limit, limit);
 }
 
+void
+Linear::addBias(Matrix &y) const
+{
+    if (!has_bias_)
+        return;
+    for (size_t r = 0; r < y.rows(); ++r)
+        for (size_t c = 0; c < y.cols(); ++c)
+            y(r, c) += b_(0, c);
+}
+
+std::shared_ptr<const core::EncodedOperand>
+Linear::planFor(GemmBackend &backend, const QuantConfig &quant) const
+{
+    const int bits = quant.enabled ? quant.weight_bits : -1;
+    return plans_.fetch(backend, bits, weightVersion(), [&] {
+        return quant.enabled ? fakeQuant(w_, quant.weight_bits) : w_;
+    });
+}
+
 Matrix
 Linear::forward(const Matrix &x, LinearCache &cache,
                 RunContext &ctx) const
@@ -30,16 +86,29 @@ Linear::forward(const Matrix &x, LinearCache &cache,
     if (x.cols() != w_.rows())
         lt_panic("Linear forward: input dim ", x.cols(),
                  " != weight rows ", w_.rows());
+    if (ctx.inference && ctx.backend->supportsWeightPlans()) {
+        // Steady-state inference: the static weight comes from the
+        // version-keyed plan cache — zero fakeQuant / maxAbs /
+        // quantize / pack work on it per step — and the backward
+        // caches are skipped. Bit-identical to the generic path
+        // below (encoding is deterministic).
+        auto plan = planFor(*ctx.backend, ctx.quant);
+        const Matrix *xq = &x;
+        Matrix xq_store;
+        if (ctx.quant.enabled) {
+            xq_store = fakeQuant(x, ctx.quant.act_bits);
+            xq = &xq_store;
+        }
+        Matrix y = ctx.backend->gemm(*xq, *plan, ctx.stream.next());
+        addBias(y);
+        return y;
+    }
     cache.x = ctx.quant.enabled ? fakeQuant(x, ctx.quant.act_bits) : x;
     cache.wq =
         ctx.quant.enabled ? fakeQuant(w_, ctx.quant.weight_bits) : w_;
     Matrix y =
         ctx.backend->gemm(cache.x, cache.wq, ctx.stream.next());
-    if (has_bias_) {
-        for (size_t r = 0; r < y.rows(); ++r)
-            for (size_t c = 0; c < y.cols(); ++c)
-                y(r, c) += b_(0, c);
-    }
+    addBias(y);
     return y;
 }
 
@@ -54,35 +123,11 @@ Linear::forwardBatch(const std::vector<Matrix> &xs,
         return {};
     GemmBackend *backend = ctxs.front()->backend;
 
-    // Quantize the shared weight once per distinct bit width among the
-    // contexts (fakeQuant is deterministic, so one quantization equals
-    // the per-call quantization of the solo forward bit-for-bit).
-    // Collect the distinct widths first: the vector must not grow
-    // while product pointers into it are live.
-    std::vector<int> bit_widths;
-    for (const RunContext *ctx : ctxs)
-        if (ctx->quant.enabled &&
-            std::find(bit_widths.begin(), bit_widths.end(),
-                      ctx->quant.weight_bits) == bit_widths.end())
-            bit_widths.push_back(ctx->quant.weight_bits);
-    std::vector<Matrix> wq;
-    wq.reserve(bit_widths.size());
-    for (int bits : bit_widths)
-        wq.push_back(fakeQuant(w_, bits));
-    auto weightFor = [&](const QuantConfig &q) -> const Matrix & {
-        if (!q.enabled)
-            return w_;
-        size_t i = static_cast<size_t>(
-            std::find(bit_widths.begin(), bit_widths.end(),
-                      q.weight_bits) -
-            bit_widths.begin());
-        return wq[i];
-    };
-
+    // Validate and quantize the activations, and draw exactly the one
+    // stream id per context the solo forward makes, in index order.
     std::vector<Matrix> xq(xs.size());
-    std::vector<std::pair<const Matrix *, const Matrix *>> products;
+    std::vector<const Matrix *> act(xs.size());
     std::vector<uint64_t> streams;
-    products.reserve(xs.size());
     streams.reserve(xs.size());
     for (size_t i = 0; i < xs.size(); ++i) {
         if (xs[i].cols() != w_.rows())
@@ -91,23 +136,76 @@ Linear::forwardBatch(const std::vector<Matrix> &xs,
         if (ctxs[i]->backend != backend)
             lt_panic("Linear::forwardBatch: contexts disagree on the "
                      "backend");
-        const Matrix *x = &xs[i];
+        act[i] = &xs[i];
         if (ctxs[i]->quant.enabled) {
             xq[i] = fakeQuant(xs[i], ctxs[i]->quant.act_bits);
-            x = &xq[i];
+            act[i] = &xq[i];
         }
-        products.emplace_back(x, &weightFor(ctxs[i]->quant));
-        // Exactly the one draw the solo forward makes, in index order.
         streams.push_back(ctxs[i]->stream.next());
     }
 
-    std::vector<Matrix> ys = backend->gemmBatch(products, streams);
-    if (has_bias_) {
-        for (Matrix &y : ys)
-            for (size_t r = 0; r < y.rows(); ++r)
-                for (size_t c = 0; c < y.cols(); ++c)
-                    y(r, c) += b_(0, c);
+    // Group the contexts by weight width once (key -1 = quantization
+    // disabled), so the shared static weight is prepared exactly once
+    // per distinct width regardless of which representation the
+    // backend executes (fakeQuant and encoding are deterministic, so
+    // one preparation equals the per-call work of the solo forward
+    // bit-for-bit).
+    auto keyOf = [](const QuantConfig &q) {
+        return q.enabled ? q.weight_bits : -1;
+    };
+    std::vector<int> keys;
+    std::vector<size_t> key_idx(xs.size());
+    for (size_t i = 0; i < xs.size(); ++i) {
+        int key = keyOf(ctxs[i]->quant);
+        auto it = std::find(keys.begin(), keys.end(), key);
+        key_idx[i] = static_cast<size_t>(it - keys.begin());
+        if (it == keys.end())
+            keys.push_back(key);
     }
+
+    // The serving entry point is inference-only by contract, so when
+    // the backend executes encoded operands the weight comes from the
+    // version-keyed plan cache: zero re-encodes in steady state.
+    // Results are bit-identical to the dense fallback.
+    std::vector<Matrix> ys;
+    if (backend->supportsWeightPlans()) {
+        std::vector<std::shared_ptr<const core::EncodedOperand>> plans;
+        plans.reserve(keys.size());
+        for (int key : keys) {
+            QuantConfig q;
+            q.enabled = key >= 0;
+            q.weight_bits = key;
+            plans.push_back(planFor(*backend, q));
+        }
+        std::vector<
+            std::pair<const Matrix *, const core::EncodedOperand *>>
+            products;
+        products.reserve(xs.size());
+        for (size_t i = 0; i < xs.size(); ++i)
+            products.emplace_back(act[i], plans[key_idx[i]].get());
+        ys = backend->gemmBatch(products, streams);
+    } else {
+        // Dense fallback: one quantized weight per distinct width
+        // (built before taking pointers — the vector must not grow
+        // while product pointers into it are live; key -1 uses the
+        // raw weight in place).
+        std::vector<Matrix> wq(keys.size());
+        std::vector<const Matrix *> dense(keys.size(), &w_);
+        for (size_t k = 0; k < keys.size(); ++k)
+            if (keys[k] >= 0) {
+                wq[k] = fakeQuant(w_, keys[k]);
+                dense[k] = &wq[k];
+            }
+        std::vector<std::pair<const Matrix *, const Matrix *>>
+            products;
+        products.reserve(xs.size());
+        for (size_t i = 0; i < xs.size(); ++i)
+            products.emplace_back(act[i], dense[key_idx[i]]);
+        ys = backend->gemmBatch(products, streams);
+    }
+
+    for (Matrix &y : ys)
+        addBias(y);
     return ys;
 }
 
@@ -139,6 +237,10 @@ Linear::zeroGrad()
 void
 Linear::visitParams(const ParamVisitor &fn)
 {
+    // The visitor holds mutable weight refs (optimizer steps,
+    // checkpoint loads): assume an update and invalidate cached
+    // plans by bumping the version.
+    version_.fetch_add(1, std::memory_order_relaxed);
     fn(w_, dw_);
     if (has_bias_)
         fn(b_, db_);

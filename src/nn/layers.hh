@@ -25,7 +25,10 @@
 #ifndef LT_NN_LAYERS_HH
 #define LT_NN_LAYERS_HH
 
+#include <atomic>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "nn/activation_workspace.hh"
@@ -50,10 +53,91 @@ struct RunContext
     GemmBackend *backend;
     QuantConfig quant;
     NoiseStream stream{};
+
+    /**
+     * Inference-only pass: layers may serve static weights from
+     * their version-keyed WeightPlan caches (fake-quantized and
+     * encoded once on the backend, reused across steps) and skip
+     * writing the backward caches. Results are bit-identical either
+     * way — stream-addressed products are pure functions of
+     * (operands, config, stream) — but calling backward() on caches
+     * written under this flag is invalid. Set by InferenceSession and
+     * the serve layer; the *Batch serving entry points are
+     * inference-only by contract and use plans regardless.
+     */
+    bool inference = false;
 };
 
 /** Callback type used to expose (parameter, gradient) pairs. */
 using ParamVisitor = std::function<void(Matrix &, Matrix &)>;
+
+/**
+ * Version-keyed cache of encoded static-weight operands ("weight
+ * plans"). A plan is the once-per-weight-version result of
+ * fake-quantizing a layer weight and encoding it on a backend
+ * (GemmBackend::encodeWeight): beta + DAC-quantized values in the
+ * packed tile layout. Keyed by (backend identity, fakeQuant weight
+ * width, weight version) — a Trainer weight update bumps the layer's
+ * version (see Linear::visitParams), so the next inference fetch
+ * re-encodes instead of serving a stale plan. Backends are identified
+ * by their process-unique uid (not their address), so a cache can
+ * never hand a plan encoded for a destroyed backend to a new one
+ * reusing its storage; the entry list is capped (oldest evicted), so
+ * transient backends cannot grow it without bound.
+ *
+ * Thread-safe (concurrent batch samples share one layer). Copying or
+ * moving a layer does not copy its plans — they re-materialize on
+ * first use against whatever backend the copy runs on.
+ */
+class WeightPlanCache
+{
+  public:
+    WeightPlanCache() = default;
+    WeightPlanCache(const WeightPlanCache &) noexcept {}
+    WeightPlanCache(WeightPlanCache &&) noexcept {}
+    WeightPlanCache &
+    operator=(const WeightPlanCache &) noexcept
+    {
+        clear();
+        return *this;
+    }
+    WeightPlanCache &
+    operator=(WeightPlanCache &&) noexcept
+    {
+        clear();
+        return *this;
+    }
+
+    /**
+     * Return the plan for (backend, bits, version), calling
+     * materialize() for the (fake-quantized) dense weight and
+     * encoding it on the backend only on a miss. `bits` is the
+     * fakeQuant weight width, or -1 when quantization is disabled.
+     * Hit/miss lands on the backend's GemmStats encode_cache_*
+     * counters (misses via encodeWeight, hits when the returned plan
+     * is executed).
+     */
+    std::shared_ptr<const core::EncodedOperand>
+    fetch(GemmBackend &backend, int bits, uint64_t version,
+          const std::function<Matrix()> &materialize);
+
+    void clear();
+
+  private:
+    /** Distinct (backend, width) pairs to retain; oldest evicted. */
+    static constexpr size_t kMaxEntries = 4;
+
+    struct Entry
+    {
+        uint64_t backend_uid;
+        int bits;
+        uint64_t version;
+        std::shared_ptr<const core::EncodedOperand> plan;
+    };
+
+    mutable std::mutex mu_;
+    std::vector<Entry> entries_;
+};
 
 /** Fully-connected layer Y = X W + b. */
 class Linear
@@ -81,20 +165,60 @@ class Linear
                  const std::vector<RunContext *> &ctxs) const;
 
     void zeroGrad();
+
+    /**
+     * Expose (param, grad) pairs. Handing out mutable weight refs
+     * counts as a weight update: the weight version is bumped, so
+     * cached WeightPlans for the old values are invalidated (the
+     * Trainer's optimizer step goes through here).
+     */
     void visitParams(const ParamVisitor &fn);
 
     size_t inFeatures() const { return w_.rows(); }
     size_t outFeatures() const { return w_.cols(); }
 
-    Matrix &weight() { return w_; }
-    Matrix &bias() { return b_; }
+    /** Mutable weight access bumps the version (plan invalidation). */
+    Matrix &
+    weight()
+    {
+        version_.fetch_add(1, std::memory_order_relaxed);
+        return w_;
+    }
+    Matrix &
+    bias()
+    {
+        version_.fetch_add(1, std::memory_order_relaxed);
+        return b_;
+    }
+
+    /** Monotonic weight-version counter keying the plan cache. */
+    uint64_t
+    weightVersion() const
+    {
+        return version_.load(std::memory_order_relaxed);
+    }
 
   private:
+    /** Fetch (or build) this layer's weight plan for ctx's backend. */
+    std::shared_ptr<const core::EncodedOperand>
+    planFor(GemmBackend &backend, const QuantConfig &quant) const;
+
+    void addBias(Matrix &y) const;
+
     Matrix w_;   ///< [in, out]
     Matrix b_;   ///< [1, out]
     Matrix dw_;
     Matrix db_;
     bool has_bias_;
+
+    /**
+     * Atomic so a weight update on one thread (checkpoint hot-reload,
+     * optimizer step) and a concurrent inference thread's plan lookup
+     * are an ordering question, not a data race: the reader sees
+     * either the old or the new version, never a torn value.
+     */
+    std::atomic<uint64_t> version_{0};
+    mutable WeightPlanCache plans_;
 };
 
 /** Per-row layer normalization with learned gamma/beta. */

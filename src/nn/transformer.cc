@@ -151,7 +151,7 @@ parallelSamples(size_t n, RunContext &ctx, RunSample &&run)
     ThreadPool::global().parallelForEach(n, [&](size_t i) {
         try {
             RunContext sample_ctx{ctx.backend, ctx.quant,
-                                  lanes.lane(i)};
+                                  lanes.lane(i), ctx.inference};
             run(i, sample_ctx);
         } catch (...) {
             std::lock_guard<std::mutex> lock(error_mutex);

@@ -49,6 +49,16 @@ struct MetricsSnapshot
     size_t engine_macs = 0;
     size_t engine_gemm_calls = 0;
     size_t engine_batch_calls = 0;
+
+    /**
+     * Weight-plan (encoded-operand) cache effectiveness: hits are
+     * weight GEMMs served from a pre-encoded plan, misses are plan
+     * (re)encodes. A healthy steady-state decode server shows misses
+     * frozen at one-per-(layer-weight, width) while hits grow with
+     * every tick.
+     */
+    size_t engine_encode_cache_hits = 0;
+    size_t engine_encode_cache_misses = 0;
 };
 
 /** Thread-safe metrics accumulator. */

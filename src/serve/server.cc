@@ -133,6 +133,10 @@ Server::metrics() const
         stats.calls.load(std::memory_order_relaxed);
     snap.engine_batch_calls =
         stats.batch_calls.load(std::memory_order_relaxed);
+    snap.engine_encode_cache_hits =
+        stats.encode_cache_hits.load(std::memory_order_relaxed);
+    snap.engine_encode_cache_misses =
+        stats.encode_cache_misses.load(std::memory_order_relaxed);
     return snap;
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <random>
+#include <span>
 #include <vector>
 
 namespace lt {
@@ -100,6 +101,31 @@ class Rng
         for (auto &x : v)
             x = gaussian(mean, stddev);
         return v;
+    }
+
+    /**
+     * Bulk Gaussian fill into caller-owned storage. Reproduces the
+     * per-call gaussian() draw sequence EXACTLY — each element draws
+     * from a fresh std::normal_distribution (no saved second polar
+     * value carries over between elements) and a non-positive stddev
+     * writes `mean` without consuming engine state — so replacing a
+     * loop of gaussian() calls with one fillGaussian() never changes
+     * a noise stream. The DPTC tile kernel uses it to batch the
+     * constant-std phase-drift draws of a dot product.
+     */
+    void
+    fillGaussian(std::span<double> out, double mean = 0.0,
+                 double stddev = 1.0)
+    {
+        if (stddev <= 0.0) {
+            for (double &x : out)
+                x = mean;
+            return;
+        }
+        for (double &x : out) {
+            std::normal_distribution<double> dist(mean, stddev);
+            x = dist(engine_);
+        }
     }
 
     /** Derive a child generator with decorrelated state. */

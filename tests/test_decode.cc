@@ -13,11 +13,13 @@
 #include <stdexcept>
 #include <vector>
 
+#include "nn/batched_decoder.hh"
 #include "nn/execution_engine.hh"
 #include "nn/gemm_backend.hh"
 #include "nn/inference_session.hh"
 #include "nn/llm_workload.hh"
 #include "nn/transformer.hh"
+#include "util/parallel.hh"
 #include "util/rng.hh"
 
 namespace {
@@ -294,6 +296,77 @@ TEST(InferenceSession, MeasuredMacsMatchAnalyticDecodeWorkload)
         EXPECT_EQ(backend.stats().macs.load(), predicted.macs)
             << "context " << session.contextLen();
     }
+}
+
+// ---- weight-plan cache in the decode path -----------------------------
+
+TEST(DecodeWeightPlans, SteadyStateDecodeNeverReencodesWeights)
+{
+    // The acceptance counter of the encoding cache: after the first
+    // pass has built every layer's plan, a decode step performs ZERO
+    // weight re-encodes (encode_cache_misses frozen) while every
+    // projection GEMM is served from a plan (hits grow). 13 static
+    // weights in this model: 2 blocks x (wq, wk, wv, wo, fc1, fc2)
+    // plus the LM head.
+    nn::TransformerClassifier model(decoderConfig());
+    core::DptcConfig dcfg;
+    dcfg.input_bits = 8;
+    nn::ExecutionEngine engine(dcfg, core::EvalMode::Noisy);
+
+    nn::InferenceSession session(model, engine,
+                                 nn::QuantConfig::w8a8(), 1);
+    session.prefill({1, 2, 3, 4});
+    session.decodeStep(5); // plans are warm after prefill already
+
+    engine.resetStats();
+    session.decodeStep(6);
+    EXPECT_EQ(engine.stats().encode_cache_misses.load(), 0u);
+    EXPECT_EQ(engine.stats().encode_cache_hits.load(), 13u);
+
+    // The batched (serve) decode path shares the same plans.
+    nn::InferenceSession other(model, engine,
+                               nn::QuantConfig::w8a8(), 2);
+    other.prefill({3, 2, 1});
+    engine.resetStats();
+    nn::BatchedDecoder::step({&session, &other}, {7, 8});
+    EXPECT_EQ(engine.stats().encode_cache_misses.load(), 0u);
+    EXPECT_GT(engine.stats().encode_cache_hits.load(), 0u);
+}
+
+TEST(DecodeWeightPlans, CachedDecodeBitIdenticalToUncached)
+{
+    // Cache on vs off is a pure wall-clock decision: with identical
+    // request ids the logits of every step must match bit-for-bit,
+    // at every thread count.
+    nn::TransformerClassifier model(decoderConfig());
+    core::DptcConfig dcfg;
+    dcfg.input_bits = 8;
+
+    for (size_t threads : {1u, 2u, 8u}) {
+        ThreadPool::setGlobalThreads(threads);
+        nn::EngineConfig on_cfg{dcfg, core::EvalMode::Noisy, 8, true};
+        nn::EngineConfig off_cfg{dcfg, core::EvalMode::Noisy, 8,
+                                 false};
+        nn::ExecutionEngine e_on(on_cfg), e_off(off_cfg);
+        nn::InferenceSession cached(model, e_on,
+                                    nn::QuantConfig::w8a8(), 9);
+        nn::InferenceSession uncached(model, e_off,
+                                      nn::QuantConfig::w8a8(), 9);
+
+        Matrix l_on = cached.prefill({1, 2, 3});
+        Matrix l_off = uncached.prefill({1, 2, 3});
+        EXPECT_EQ(l_on.maxAbsDiff(l_off), 0.0)
+            << "prefill, threads " << threads;
+        for (int step = 0; step < 5; ++step) {
+            l_on = cached.decodeStep(4 + step);
+            l_off = uncached.decodeStep(4 + step);
+            EXPECT_EQ(l_on.maxAbsDiff(l_off), 0.0)
+                << "step " << step << ", threads " << threads;
+        }
+        EXPECT_GT(e_on.stats().encode_cache_hits.load(), 0u);
+        EXPECT_EQ(e_off.stats().encode_cache_hits.load(), 0u);
+    }
+    ThreadPool::setGlobalThreads(0);
 }
 
 } // namespace

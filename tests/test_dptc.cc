@@ -191,6 +191,236 @@ TEST(Dptc, OversizeOneShotFatal)
                 ::testing::ExitedWithCode(1), "exceeds core geometry");
 }
 
+// ---- EncodedOperand + packed kernel ----------------------------------
+
+/** Deterministic operand used by the golden fixtures (do not change:
+ *  the pinned values below were captured against exactly this). */
+Matrix
+goldenMatrix(size_t rows, size_t cols, uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix m(rows, cols);
+    for (double &v : m.data())
+        v = rng.uniform(-1.0, 1.0);
+    return m;
+}
+
+/** Bit-exact probes of a golden output: sequential data sum plus
+ *  three spot entries, compared with EXPECT_EQ (no tolerance). */
+struct GoldenProbes
+{
+    double sum, first, last, mid;
+};
+
+void
+expectGolden(const Matrix &out, const GoldenProbes &g)
+{
+    double sum = 0.0;
+    for (double v : out.data())
+        sum += v;
+    EXPECT_EQ(sum, g.sum);
+    EXPECT_EQ(out(0, 0), g.first);
+    EXPECT_EQ(out(out.rows() - 1, out.cols() - 1), g.last);
+    EXPECT_EQ(out(out.rows() / 2, out.cols() / 2), g.mid);
+}
+
+// The fixtures pin the noisy outputs of the packed tile kernel
+// bit-exact to the pre-rewrite (gather-based) kernel: the values
+// below were captured from the seed implementation before
+// EncodedOperand existed. Any drift in element visit order, RNG draw
+// order, or arithmetic association in the kernel or the encoding
+// path fails these with no tolerance to hide behind.
+
+TEST(PackedKernelGolden, DefaultNoiseGemm)
+{
+    DptcConfig cfg; // 12^3 geometry, 4-bit, paper-default noise
+    Dptc dptc(cfg);
+    Matrix a = goldenMatrix(13, 25, 101);
+    Matrix b = goldenMatrix(25, 11, 202);
+    expectGolden(dptc.gemm(a, b, EvalMode::Noisy),
+                 {-0x1.9b9dacd91b1f9p+4, -0x1.4c538b623a0d4p-1,
+                  0x1.086856304b4f1p+1, 0x1.0e7d1fcd7af4fp-1});
+}
+
+TEST(PackedKernelGolden, MagnitudeZeroPhaseOnly)
+{
+    // magnitude_noise_std == 0 exercises the bulk fillGaussian phase
+    // path: the zero-std magnitude draws consume no engine state, so
+    // the draws batch — the sequence must still match the
+    // per-element reference.
+    DptcConfig cfg;
+    cfg.input_bits = 8;
+    cfg.noise.magnitude_noise_std = 0.0;
+    Dptc dptc(cfg);
+    Matrix a = goldenMatrix(12, 12, 707);
+    Matrix b = goldenMatrix(12, 12, 808);
+    expectGolden(dptc.gemm(a, b, EvalMode::Noisy),
+                 {-0x1.bd11892381543p+3, 0x1.82608246de0efp-1,
+                  -0x1.a0fedd9f29ad4p-3, 0x1.fbad20954a508p-1});
+}
+
+TEST(PackedKernelGolden, CalibratedGemm)
+{
+    DptcConfig cfg;
+    cfg.input_bits = 8;
+    cfg.channel_calibration = true;
+    Dptc dptc(cfg);
+    Matrix a = goldenMatrix(13, 13, 909);
+    Matrix b = goldenMatrix(13, 13, 1010);
+    expectGolden(dptc.gemm(a, b, EvalMode::Noisy),
+                 {-0x1.3c0921d783bf5p+3, -0x1.64065fc34f746p-1,
+                  -0x1.6c8f6a172f801p-2, -0x1.7a71066fd75bep-1});
+}
+
+TEST(PackedKernelGolden, StatefulMultiplySequence)
+{
+    // multiply() now encodes through Dptc::encode but must advance
+    // the stateful member RNG exactly as before: two back-to-back
+    // calls pin the draw sequence across calls.
+    DptcConfig cfg;
+    Dptc dptc(cfg);
+    Matrix a = goldenMatrix(12, 12, 111);
+    Matrix b = goldenMatrix(12, 12, 222);
+    expectGolden(dptc.multiply(a, b, EvalMode::Noisy),
+                 {-0x1.3f643f2a02bc9p+3, 0x1.3fe12308019e9p-1,
+                  -0x1.808ada65454aap+0, 0x1.3a17e0f621765p+0});
+    expectGolden(dptc.multiply(a, b, EvalMode::Noisy),
+                 {-0x1.1dd45e8af3b5p+3, 0x1.50e83db8eba1p-1,
+                  -0x1.8539899fdd18cp+0, 0x1.5c4adcbcbb452p+0});
+}
+
+TEST(PackedKernelGolden, QuantizedSixBit)
+{
+    DptcConfig cfg;
+    cfg.input_bits = 6;
+    cfg.noise = NoiseConfig::ideal();
+    Dptc dptc(cfg);
+    Matrix a = goldenMatrix(10, 14, 333);
+    Matrix b = goldenMatrix(14, 10, 444);
+    expectGolden(dptc.gemm(a, b, EvalMode::Quantized),
+                 {0x1.152fa8192ee1dp+0, 0x1.e02c606272817p-2,
+                  -0x1.576f6bee40f1cp-1, -0x1.ece4a6c09ad64p-1});
+}
+
+TEST(EncodedOperand, EncodeMatchesNormalizeQuantize)
+{
+    DptcConfig cfg;
+    cfg.input_bits = 5;
+    Dptc dptc(cfg);
+    Matrix m = goldenMatrix(17, 23, 55);
+    for (OperandSide side : {OperandSide::A, OperandSide::B}) {
+        EncodedOperand op = dptc.encode(m, side, EvalMode::Noisy);
+        EXPECT_EQ(op.beta(), Dptc::maxAbs(m));
+        EXPECT_EQ(op.bits(), 5);
+        EXPECT_EQ(op.rows(), 17u);
+        EXPECT_EQ(op.cols(), 23u);
+        // The packed values, unpacked, are exactly the reference
+        // normalize+quantize pass.
+        Matrix ref =
+            Dptc::normalizeQuantize(m, Dptc::maxAbs(m), 5);
+        EXPECT_EQ(op.normalized().maxAbsDiff(ref), 0.0);
+    }
+}
+
+TEST(EncodedOperand, IdealEncodeIsRaw)
+{
+    DptcConfig cfg;
+    cfg.input_bits = 4;
+    Dptc dptc(cfg);
+    Matrix m = goldenMatrix(9, 26, 66);
+    EncodedOperand op = dptc.encode(m, OperandSide::B, EvalMode::Ideal);
+    EXPECT_EQ(op.beta(), 1.0);
+    EXPECT_EQ(op.bits(), 0);
+    EXPECT_EQ(op.normalized().maxAbsDiff(m), 0.0);
+}
+
+TEST(EncodedOperand, ZeroOperandEncodesToZeros)
+{
+    DptcConfig cfg;
+    Dptc dptc(cfg);
+    Matrix zero(7, 7, 0.0);
+    EncodedOperand op = dptc.encode(zero, OperandSide::B,
+                                    EvalMode::Noisy);
+    EXPECT_EQ(op.beta(), 0.0);
+    EXPECT_EQ(op.normalized().maxAbsDiff(zero), 0.0);
+}
+
+TEST(EncodedOperand, PackedKernelMatchesReferenceKernel)
+{
+    // The equivalence the goldens pin at fixed points, swept across
+    // shapes (partial tiles in every dimension) and noise configs:
+    // encode + packed gemmTiles must equal normalizeQuantize +
+    // reference gemmTiles bit-for-bit.
+    struct Shape
+    {
+        size_t m, k, n;
+    };
+    const Shape shapes[] = {{1, 1, 1},   {12, 12, 12}, {13, 25, 11},
+                            {1, 40, 7},  {24, 24, 24}, {50, 17, 29},
+                            {5, 64, 1}};
+    NoiseConfig paper = NoiseConfig::paperDefault();
+    NoiseConfig phase_only = paper;
+    phase_only.magnitude_noise_std = 0.0;
+    NoiseConfig no_encoding = paper;
+    no_encoding.enable_encoding_noise = false;
+    const NoiseConfig configs[] = {paper, phase_only, no_encoding};
+
+    uint64_t seed = 9000;
+    for (const NoiseConfig &noise : configs) {
+        DptcConfig cfg;
+        cfg.input_bits = 8;
+        cfg.noise = noise;
+        Dptc dptc(cfg);
+        for (const Shape &s : shapes) {
+            Matrix a = goldenMatrix(s.m, s.k, seed++);
+            Matrix b = goldenMatrix(s.k, s.n, seed++);
+            const size_t tiles = dptc.outputTilesFor(s.m, s.n);
+
+            double beta_a = Dptc::maxAbs(a);
+            double beta_b = Dptc::maxAbs(b);
+            Matrix a_hat = Dptc::normalizeQuantize(a, beta_a, 8);
+            Matrix b_hat = Dptc::normalizeQuantize(b, beta_b, 8);
+            Matrix ref(s.m, s.n, 0.0);
+            dptc.gemmTiles(a_hat, b_hat, EvalMode::Noisy,
+                           beta_a * beta_b, 0, tiles, ref, 0xFEED);
+
+            EncodedOperand ea =
+                dptc.encode(a, OperandSide::A, EvalMode::Noisy);
+            EncodedOperand eb =
+                dptc.encode(b, OperandSide::B, EvalMode::Noisy);
+            Matrix packed(s.m, s.n, 0.0);
+            dptc.gemmTiles(ea, eb, EvalMode::Noisy,
+                           ea.beta() * eb.beta(), 0, tiles, packed,
+                           0xFEED);
+
+            EXPECT_EQ(packed.maxAbsDiff(ref), 0.0)
+                << s.m << "x" << s.k << "x" << s.n;
+        }
+    }
+}
+
+TEST(EncodedOperand, GemmTilesRejectsMismatchedGeometry)
+{
+    DptcConfig small; // 12^3, 4-bit
+    DptcConfig big;
+    big.nlambda = 16;
+    big.input_bits = 4;
+    Dptc producer(big), consumer(small);
+    Matrix a = goldenMatrix(4, 8, 77);
+    Matrix b = goldenMatrix(8, 4, 88);
+    EncodedOperand ea =
+        consumer.encode(a, OperandSide::A, EvalMode::Noisy);
+    EncodedOperand eb_wrong =
+        producer.encode(b, OperandSide::B, EvalMode::Noisy);
+    Matrix out(4, 4, 0.0);
+    EXPECT_EXIT(
+        {
+            consumer.gemmTiles(ea, eb_wrong, EvalMode::Noisy, 1.0, 0,
+                               1, out, 0);
+        },
+        ::testing::ExitedWithCode(1), "not encoded for this core");
+}
+
 // ---- Eq. 6 encoding-cost algebra -------------------------------------
 
 TEST(EncodeCost, PaperExampleTwelveCubed)

@@ -243,6 +243,199 @@ TEST(Matmul, ShapeMismatchFatal)
                 "mismatch");
 }
 
+// ---- encoded weight operands (WeightPlans) ---------------------------
+
+TEST(EncodedWeights, EngineGoldenStreamAddressed)
+{
+    // Pinned against the pre-rewrite engine (per-call encode +
+    // gather-based kernel): the stream-addressed noisy result of the
+    // encoded path must stay bit-exact across the refactor.
+    core::DptcConfig dcfg;
+    dcfg.input_bits = 8;
+    dcfg.seed = 0xABCDEF;
+    nn::ExecutionEngine engine(dcfg, core::EvalMode::Noisy);
+    Rng ra(303), rb(404);
+    Matrix a = randomMatrix(5, 30, ra);
+    Matrix b = randomMatrix(30, 9, rb);
+    Matrix out = engine.gemm(a, b, 7);
+    double sum = 0.0;
+    for (double v : out.data())
+        sum += v;
+    EXPECT_EQ(sum, 0x1.c40b3f24be5fap+3);
+    EXPECT_EQ(out(0, 0), 0x1.34aeadf49ee53p+0);
+    EXPECT_EQ(out(4, 8), 0x1.1a8b37480b9c5p+1);
+    EXPECT_EQ(out(2, 4), 0x1.5a03914a23239p+0);
+}
+
+TEST(EncodedWeights, EngineGoldenDecodeShape)
+{
+    // The decode-regime configuration of bench_engine_scaling:
+    // systematic + dispersion noise, m = 1.
+    core::DptcConfig dcfg;
+    dcfg.input_bits = 8;
+    dcfg.noise.enable_encoding_noise = false;
+    nn::ExecutionEngine engine(dcfg, core::EvalMode::Noisy);
+    Rng ra(505), rb(606);
+    Matrix a = randomMatrix(1, 40, ra);
+    Matrix b = randomMatrix(40, 7, rb);
+    Matrix out = engine.gemm(a, b, 3);
+    double sum = 0.0;
+    for (double v : out.data())
+        sum += v;
+    EXPECT_EQ(sum, -0x1.3549fb36559e7p+2);
+    EXPECT_EQ(out(0, 0), -0x1.ac7ae72f453c9p+1);
+    EXPECT_EQ(out(0, 6), -0x1.2e16443cf5fe4p+1);
+    EXPECT_EQ(out(0, 3), -0x1.102618e950f6cp-2);
+}
+
+TEST(EncodedWeights, PlanGemmMatchesDenseAcrossThreadCounts)
+{
+    // A pre-encoded weight must execute bit-identically to the dense
+    // operand — same stream, any thread count, single and batched.
+    core::DptcConfig dcfg;
+    dcfg.input_bits = 8;
+    Rng rng(91);
+    Matrix w = randomMatrix(40, 24, rng);
+    std::vector<Matrix> as;
+    for (int i = 0; i < 3; ++i)
+        as.push_back(randomMatrix(7, 40, rng));
+
+    for (size_t threads : {1u, 2u, 8u}) {
+        ThreadPool::setGlobalThreads(threads);
+        nn::ExecutionEngine engine(dcfg, core::EvalMode::Noisy);
+        core::EncodedOperand plan = engine.encodeWeight(w);
+
+        EXPECT_EQ(engine.gemm(as[0], plan, 5)
+                      .maxAbsDiff(engine.gemm(as[0], w, 5)),
+                  0.0);
+
+        std::vector<std::pair<const Matrix *,
+                              const core::EncodedOperand *>>
+            planned;
+        std::vector<std::pair<const Matrix *, const Matrix *>> dense;
+        std::vector<uint64_t> streams;
+        for (size_t i = 0; i < as.size(); ++i) {
+            planned.emplace_back(&as[i], &plan);
+            dense.emplace_back(&as[i], &w);
+            streams.push_back(100 + i);
+        }
+        std::vector<Matrix> ys_plan =
+            engine.gemmBatch(planned, streams);
+        std::vector<Matrix> ys_dense =
+            engine.gemmBatch(dense, streams);
+        for (size_t i = 0; i < as.size(); ++i)
+            EXPECT_EQ(ys_plan[i].maxAbsDiff(ys_dense[i]), 0.0)
+                << "threads " << threads << " product " << i;
+    }
+    ThreadPool::setGlobalThreads(0);
+}
+
+TEST(EncodedWeights, CountersTrackHitsAndMisses)
+{
+    core::DptcConfig dcfg;
+    dcfg.input_bits = 8;
+    nn::ExecutionEngine engine(dcfg, core::EvalMode::Noisy);
+    Rng rng(92);
+    Matrix w = randomMatrix(12, 12, rng);
+    Matrix x = randomMatrix(1, 12, rng);
+
+    engine.resetStats();
+    core::EncodedOperand plan = engine.encodeWeight(w);
+    EXPECT_EQ(engine.stats().encode_cache_misses.load(), 1u);
+    EXPECT_EQ(engine.stats().encode_cache_hits.load(), 0u);
+    for (uint64_t s = 0; s < 3; ++s)
+        engine.gemm(x, plan, s);
+    EXPECT_EQ(engine.stats().encode_cache_hits.load(), 3u);
+    // Dense calls tick neither counter.
+    engine.gemm(x, w, 9);
+    EXPECT_EQ(engine.stats().encode_cache_misses.load(), 1u);
+    EXPECT_EQ(engine.stats().encode_cache_hits.load(), 3u);
+}
+
+TEST(WeightPlanCache, InferenceForwardUsesPlansBitIdentically)
+{
+    // Linear::forward under an inference context serves the weight
+    // from its plan cache; a plans-disabled engine with the same
+    // config must produce bit-identical outputs via the re-encode
+    // path — and only the plans-enabled engine may tick the cache
+    // counters.
+    core::DptcConfig dcfg;
+    dcfg.input_bits = 8;
+    nn::EngineConfig on_cfg{dcfg, core::EvalMode::Noisy, 8, true};
+    nn::EngineConfig off_cfg{dcfg, core::EvalMode::Noisy, 8, false};
+    nn::ExecutionEngine e_on(on_cfg), e_off(off_cfg);
+    EXPECT_TRUE(e_on.supportsWeightPlans());
+    EXPECT_FALSE(e_off.supportsWeightPlans());
+
+    Rng rng(93);
+    nn::Linear lin(20, 12, rng);
+    Matrix x = randomMatrix(3, 20, rng);
+
+    nn::LinearCache scratch;
+    for (int call = 0; call < 3; ++call) {
+        nn::RunContext on_ctx{&e_on, nn::QuantConfig::w8a8(),
+                              nn::NoiseStream(44), true};
+        nn::RunContext off_ctx{&e_off, nn::QuantConfig::w8a8(),
+                               nn::NoiseStream(44), true};
+        Matrix y_on = lin.forward(x, scratch, on_ctx);
+        Matrix y_off = lin.forward(x, scratch, off_ctx);
+        EXPECT_EQ(y_on.maxAbsDiff(y_off), 0.0) << "call " << call;
+    }
+    EXPECT_EQ(e_on.stats().encode_cache_misses.load(), 1u);
+    EXPECT_EQ(e_on.stats().encode_cache_hits.load(), 3u);
+    EXPECT_EQ(e_off.stats().encode_cache_misses.load(), 0u);
+    EXPECT_EQ(e_off.stats().encode_cache_hits.load(), 0u);
+}
+
+TEST(WeightPlanCache, WeightUpdateInvalidatesStalePlan)
+{
+    // Mutating the weight (via the accessor or visitParams — the
+    // optimizer path) bumps the version: the next inference forward
+    // re-encodes instead of serving the stale plan, and its output
+    // equals the plans-off path over the NEW weights.
+    core::DptcConfig dcfg;
+    dcfg.input_bits = 8;
+    nn::EngineConfig off_cfg{dcfg, core::EvalMode::Noisy, 8, false};
+    nn::ExecutionEngine e_on(dcfg, core::EvalMode::Noisy);
+    nn::ExecutionEngine e_off(off_cfg);
+
+    Rng rng(94);
+    nn::Linear lin(16, 10, rng);
+    Matrix x = randomMatrix(2, 16, rng);
+    nn::LinearCache scratch;
+
+    auto forwardOn = [&] {
+        nn::RunContext ctx{&e_on, nn::QuantConfig::w8a8(),
+                           nn::NoiseStream(45), true};
+        return lin.forward(x, scratch, ctx);
+    };
+    auto forwardOff = [&] {
+        nn::RunContext ctx{&e_off, nn::QuantConfig::w8a8(),
+                           nn::NoiseStream(45), true};
+        return lin.forward(x, scratch, ctx);
+    };
+
+    Matrix before = forwardOn();
+    EXPECT_EQ(e_on.stats().encode_cache_misses.load(), 1u);
+    const uint64_t v0 = lin.weightVersion();
+
+    // Update through the accessor (bumps the version)…
+    lin.weight()(0, 0) += 0.75;
+    EXPECT_GT(lin.weightVersion(), v0);
+    Matrix after = forwardOn();
+    EXPECT_EQ(e_on.stats().encode_cache_misses.load(), 2u);
+    EXPECT_GT(after.maxAbsDiff(before), 0.0);
+    EXPECT_EQ(after.maxAbsDiff(forwardOff()), 0.0);
+
+    // …and through visitParams (the Trainer's optimizer route).
+    const uint64_t v1 = lin.weightVersion();
+    lin.visitParams([](Matrix &w, Matrix &) { w(0, 1) -= 0.5; });
+    EXPECT_GT(lin.weightVersion(), v1);
+    Matrix stepped = forwardOn();
+    EXPECT_EQ(e_on.stats().encode_cache_misses.load(), 3u);
+    EXPECT_EQ(stepped.maxAbsDiff(forwardOff()), 0.0);
+}
+
 // ---- batched model forward -------------------------------------------
 
 /**

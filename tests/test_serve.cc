@@ -491,6 +491,13 @@ TEST(Serve, MetricsAccountForTheWholeRun)
     EXPECT_GT(snap.tokens_per_s, 0.0);
     EXPECT_GT(snap.engine_macs, 0u);
     EXPECT_GT(snap.engine_batch_calls, 0u);
+    // The weight-plan cache serves every projection after warmup:
+    // hits grow with the serving work, misses stay frozen at one per
+    // static layer weight (encoded once, never again).
+    EXPECT_GT(snap.engine_encode_cache_hits,
+              snap.engine_encode_cache_misses);
+    EXPECT_EQ(snap.engine_encode_cache_misses,
+              model.config().depth * 6 + 1);
 }
 
 TEST(Serve, ThreadedServerDrainsConcurrentClients)

@@ -165,6 +165,27 @@ TEST(Rng, ForkDecorrelates)
     EXPECT_NE(child.uniform(), a.uniform());
 }
 
+TEST(Rng, FillGaussianMatchesPerCallSequence)
+{
+    // fillGaussian is a drop-in replacement for a loop of gaussian()
+    // calls: the value sequence AND the engine-state consumption must
+    // match exactly (fresh-distribution semantics per element — no
+    // cached second polar value leaks between elements). The DPTC
+    // packed kernel relies on this to batch phase draws.
+    Rng bulk(0xF111), percall(0xF111);
+    std::vector<double> out(257);
+    bulk.fillGaussian(out, 0.25, 1.5);
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], percall.gaussian(0.25, 1.5)) << i;
+
+    // Non-positive std writes the mean and consumes no engine state…
+    bulk.fillGaussian(out, 7.0, 0.0);
+    for (double v : out)
+        EXPECT_EQ(v, 7.0);
+    // …so the two generators stay bit-synchronized afterwards.
+    EXPECT_EQ(bulk.gaussian(0.0, 1.0), percall.gaussian(0.0, 1.0));
+}
+
 TEST(Table, AlignmentAndCsv)
 {
     Table t({"name", "value"});
