@@ -125,6 +125,7 @@ main()
 
     const int kSteps = 24;
     size_t measured_total = 0, predicted_total = 0;
+    size_t kv_hits_total = 0, kv_misses_total = 0;
     bool all_match = true;
     auto t0 = std::chrono::steady_clock::now();
     for (int step = 0; step < kSteps; ++step) {
@@ -138,17 +139,35 @@ main()
         all_match &= measured == predicted;
         measured_total += measured;
         predicted_total += predicted;
+        kv_hits_total += engine.stats().kv_encode_hits.load();
+        kv_misses_total += engine.stats().kv_encode_misses.load();
     }
     auto t1 = std::chrono::steady_clock::now();
     double wall_s = std::chrono::duration<double>(t1 - t0).count();
 
+    // Encoded-K/V smoke (CI gate): every attention product of every
+    // step must be served from the encoded cache (2 products per head
+    // per layer per step), and K/V encodes must stay at the rare
+    // beta-growth requants — a dead cache re-encodes every operand
+    // every step (= kv_hits_total misses) and fails loudly here.
+    const size_t kv_products_per_step =
+        2 * tcfg.heads * tcfg.depth;
+    const size_t kv_expected_hits = kv_products_per_step * kSteps;
+    const size_t kv_miss_budget = kv_products_per_step * 2;
+    const bool kv_ok = kv_hits_total == kv_expected_hits &&
+                       kv_misses_total <= kv_miss_budget;
+
     Table exec({"generated tokens", "context end", "measured MACs",
-                "predicted MACs", "MACs match", "sim tokens/s"});
+                "predicted MACs", "MACs match", "kv enc hits/misses",
+                "sim tokens/s"});
     exec.addRow({std::to_string(kSteps),
                  std::to_string(session.contextLen()),
                  std::to_string(measured_total),
                  std::to_string(predicted_total),
                  all_match ? "yes (every step)" : "NO",
+                 std::to_string(kv_hits_total) + "/" +
+                     std::to_string(kv_misses_total) +
+                     (kv_ok ? "" : " (KV CACHE DEAD)"),
                  units::fmtFixed(kSteps / wall_s, 1)});
     exec.print(std::cout);
 
@@ -156,6 +175,14 @@ main()
                  "MACs rise linearly with\ncontext — and equal the "
                  "analytic Section VI-B prediction exactly on\nevery "
                  "step (include_head accounts for the LM head the "
-                 "session runs).\n";
-    return all_match ? 0 : 1;
+                 "session runs).\nEvery attention product is "
+                 "dispatched on the encoded K/V cache (O(dk)\npacked "
+                 "appends per token); K/V encodes stay at the rare "
+                 "beta-growth requants.\n";
+    if (!kv_ok)
+        std::cerr << "KV CACHE VIOLATION: hits=" << kv_hits_total
+                  << " (want " << kv_expected_hits
+                  << "), misses=" << kv_misses_total << " (budget "
+                  << kv_miss_budget << ")\n";
+    return all_match && kv_ok ? 0 : 1;
 }

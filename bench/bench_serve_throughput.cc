@@ -86,8 +86,10 @@ struct Row
     double token_p50_ms;
     double token_p99_ms;
     size_t engine_macs;
-    size_t encode_cache_hits;
-    size_t encode_cache_misses;
+    size_t weight_encode_hits;
+    size_t weight_encode_misses;
+    size_t kv_encode_hits;
+    size_t kv_encode_misses;
     size_t batch_calls_per_step;
     bool o_layers; ///< dispatch count independent of batch size
     bool bit_identical;
@@ -203,8 +205,10 @@ main(int argc, char **argv)
         row.token_p50_ms = snap.token_p50_ms;
         row.token_p99_ms = snap.token_p99_ms;
         row.engine_macs = snap.engine_macs;
-        row.encode_cache_hits = snap.engine_encode_cache_hits;
-        row.encode_cache_misses = snap.engine_encode_cache_misses;
+        row.weight_encode_hits = snap.engine_weight_encode_hits;
+        row.weight_encode_misses = snap.engine_weight_encode_misses;
+        row.kv_encode_hits = snap.engine_kv_encode_hits;
+        row.kv_encode_misses = snap.engine_kv_encode_misses;
         row.batch_calls_per_step = probeDispatches(model, concurrency);
         row.o_layers =
             row.batch_calls_per_step == expected_dispatches;
@@ -216,15 +220,18 @@ main(int argc, char **argv)
     if (csv) {
         std::cout << "concurrency,wall_s,tokens_per_s,ttft_p50_ms,"
                      "token_p50_ms,token_p99_ms,engine_macs,"
-                     "encode_cache_hits,encode_cache_misses,"
+                     "weight_encode_hits,weight_encode_misses,"
+                     "kv_encode_hits,kv_encode_misses,"
                      "batch_calls_per_step,o_layers,bit_identical\n";
         for (const Row &r : rows)
             std::cout << r.concurrency << "," << r.wall_s << ","
                       << r.tokens_per_s << "," << r.ttft_p50_ms << ","
                       << r.token_p50_ms << "," << r.token_p99_ms
                       << "," << r.engine_macs << ","
-                      << r.encode_cache_hits << ","
-                      << r.encode_cache_misses << ","
+                      << r.weight_encode_hits << ","
+                      << r.weight_encode_misses << ","
+                      << r.kv_encode_hits << ","
+                      << r.kv_encode_misses << ","
                       << r.batch_calls_per_step << ","
                       << (r.o_layers ? 1 : 0) << ","
                       << (r.bit_identical ? 1 : 0) << "\n";
@@ -281,9 +288,12 @@ main(int argc, char **argv)
                 << ", \"token_p50_ms\": " << r.token_p50_ms
                 << ", \"token_p99_ms\": " << r.token_p99_ms
                 << ", \"engine_macs\": " << r.engine_macs
-                << ", \"encode_cache_hits\": " << r.encode_cache_hits
-                << ", \"encode_cache_misses\": "
-                << r.encode_cache_misses
+                << ", \"weight_encode_hits\": "
+                << r.weight_encode_hits
+                << ", \"weight_encode_misses\": "
+                << r.weight_encode_misses
+                << ", \"kv_encode_hits\": " << r.kv_encode_hits
+                << ", \"kv_encode_misses\": " << r.kv_encode_misses
                 << ", \"batch_calls_per_step\": "
                 << r.batch_calls_per_step
                 << ", \"bit_identical\": "

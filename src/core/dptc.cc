@@ -12,11 +12,26 @@ namespace lt {
 namespace core {
 
 double
-Dptc::maxAbs(const Matrix &m)
+Dptc::maxAbs(const ConstMatrixView &m)
 {
     double beta = 0.0;
-    for (double v : m.data())
-        beta = std::max(beta, std::abs(v));
+    if (m.rowsContiguous()) {
+        // Contiguous logical rows: walk each row's run directly (the
+        // dense-Matrix fast path, ld == cols for a full view).
+        for (size_t r = 0; r < m.rows(); ++r) {
+            const double *row = m.rowPtr(r);
+            for (size_t c = 0; c < m.cols(); ++c)
+                beta = std::max(beta, std::abs(row[c]));
+        }
+        return beta;
+    }
+    // Transposed views: the underlying storage rows are the logical
+    // columns; max is order-insensitive, so walk storage order.
+    for (size_t c = 0; c < m.cols(); ++c) {
+        const double *col = m.colPtr(c);
+        for (size_t r = 0; r < m.rows(); ++r)
+            beta = std::max(beta, std::abs(col[r]));
+    }
     return beta;
 }
 
@@ -33,7 +48,8 @@ Dptc::normalizeQuantize(const Matrix &m, double beta, int bits)
 }
 
 EncodedOperand
-Dptc::encode(const Matrix &m, OperandSide side, EvalMode mode) const
+Dptc::encode(const ConstMatrixView &m, OperandSide side,
+             EvalMode mode) const
 {
     EncodedOperand op;
     op.rows_ = m.rows();
@@ -43,26 +59,26 @@ Dptc::encode(const Matrix &m, OperandSide side, EvalMode mode) const
         // Raw values, unit scale: x / 1.0 quantized to 0 bits is x.
         op.beta_ = 1.0;
         op.bits_ = 0;
+        op.dynamic_beta_ = false;
     } else {
         op.beta_ = maxAbs(m);
         op.bits_ = cfg_.input_bits;
+        op.dynamic_beta_ = true;
     }
 
     auto cdiv = [](size_t a, size_t b) { return (a + b - 1) / b; };
-    // Matches normalizeQuantize element-for-element: all-zero
-    // operands (beta == 0) encode to zeros.
-    auto q = [&](double v) {
-        return op.beta_ > 0.0
-                   ? quantizeSymmetricUnit(v / op.beta_, op.bits_)
-                   : 0.0;
-    };
+    // One quantization rule for fresh encodes AND incremental appends
+    // (beta_/bits_ are set above, so the operand's own quantizer is
+    // exactly the element map appendColumn/appendRow will apply).
+    auto q = [&](double v) { return op.quantizeValue(v); };
 
     if (side == OperandSide::A) {
-        // Row-major panels: identical layout to the dense matrix, so
+        // Row-major panels: identical layout to the dense operand, so
         // a row's k-slice is one contiguous pointer.
         op.data_.resize(m.rows() * m.cols());
-        for (size_t i = 0; i < m.data().size(); ++i)
-            op.data_[i] = q(m.data()[i]);
+        for (size_t r = 0; r < m.rows(); ++r)
+            for (size_t c = 0; c < m.cols(); ++c)
+                op.data_[r * m.cols() + c] = q(m(r, c));
         return op;
     }
 
@@ -73,6 +89,7 @@ Dptc::encode(const Matrix &m, OperandSide side, EvalMode mode) const
     op.nv_ = cfg_.nv;
     op.nlambda_ = cfg_.nlambda;
     op.tiles_k_ = cdiv(m.rows(), cfg_.nlambda);
+    op.tiles_k_cap_ = op.tiles_k_;
     const size_t tiles_c = cdiv(m.cols(), cfg_.nv);
     op.data_.assign(tiles_c * op.tiles_k_ * cfg_.nv * cfg_.nlambda,
                     0.0);
@@ -291,7 +308,8 @@ Dptc::gemmTiles(const EncodedOperand &a, const EncodedOperand &b,
 }
 
 Matrix
-Dptc::gemm(const Matrix &a, const Matrix &b, EvalMode mode) const
+Dptc::gemm(const ConstMatrixView &a, const ConstMatrixView &b,
+           EvalMode mode) const
 {
     if (a.cols() != b.rows())
         lt_fatal("Dptc::gemm inner dimension mismatch: ", a.cols(),

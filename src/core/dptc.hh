@@ -89,9 +89,18 @@ class Dptc
      * sequentially here or sharded across the ExecutionEngine's
      * worker cores. This entry point always uses stream seed
      * DptcConfig::seed; the engine derives a fresh stream per call so
-     * repeated GEMMs draw independent noise.
+     * repeated GEMMs draw independent noise. The view overload
+     * encodes strided/transposed operands in place; results are
+     * bit-identical to materializing the views first.
      */
-    Matrix gemm(const Matrix &a, const Matrix &b, EvalMode mode) const;
+    Matrix gemm(const ConstMatrixView &a, const ConstMatrixView &b,
+                EvalMode mode) const;
+
+    Matrix
+    gemm(const Matrix &a, const Matrix &b, EvalMode mode) const
+    {
+        return gemm(a.view(), b.view(), mode);
+    }
 
     /**
      * REFERENCE KERNEL: process output tiles [tile_begin, tile_end)
@@ -150,10 +159,19 @@ class Dptc
      * with beta = 1 and no quantization. This is the single encoding
      * implementation behind multiply(), gemm(), and the
      * ExecutionEngine (and the unit the nn-layer WeightPlan caches
-     * hold on to across calls).
+     * hold on to across calls). The view overload reads strided /
+     * transposed operands in place (the decode K cache encodes its
+     * packed K^T straight from the row-major K mirror); encoding a
+     * view is bit-identical to encoding its materialized copy.
      */
-    EncodedOperand encode(const Matrix &m, OperandSide side,
+    EncodedOperand encode(const ConstMatrixView &m, OperandSide side,
                           EvalMode mode) const;
+
+    EncodedOperand
+    encode(const Matrix &m, OperandSide side, EvalMode mode) const
+    {
+        return encode(m.view(), side, mode);
+    }
 
     /** True when `op` was encoded compatibly with this core + mode. */
     bool acceptsEncoded(const EncodedOperand &op, EvalMode mode) const;
@@ -169,8 +187,14 @@ class Dptc
     /** Number of one-shot invocations a tiled [m,k]x[k,n] GEMM needs. */
     size_t invocationsFor(size_t m, size_t k, size_t n) const;
 
-    /** Max absolute value of a matrix (beta normalization factor). */
-    static double maxAbs(const Matrix &m);
+    /** Max absolute value of an operand (beta normalization factor). */
+    static double maxAbs(const ConstMatrixView &m);
+
+    static double
+    maxAbs(const Matrix &m)
+    {
+        return maxAbs(m.view());
+    }
 
     /**
      * Scale into [-1, 1] by beta and quantize to `bits` (the shared

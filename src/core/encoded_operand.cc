@@ -1,7 +1,152 @@
 #include "encoded_operand.hh"
 
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/quantize.hh"
+
 namespace lt {
 namespace core {
+
+double
+EncodedOperand::quantizeValue(double v) const
+{
+    // Matches Dptc::encode element-for-element: all-zero operands
+    // (beta == 0) encode to zeros.
+    return beta_ > 0.0 ? quantizeSymmetricUnit(v / beta_, bits_) : 0.0;
+}
+
+void
+EncodedOperand::growKTileCapacity(size_t new_cap)
+{
+    if (new_cap <= tiles_k_cap_)
+        return;
+    // Re-stride the column-tile blocks onto the wider k stride. This
+    // is the cold path reserve() exists to avoid: with the decode
+    // caches reserved at prefill, appends never land here.
+    const size_t blocks = blockCapacity();
+    const size_t old_block = tiles_k_cap_ * nv_ * nlambda_;
+    const size_t new_block = new_cap * nv_ * nlambda_;
+    std::vector<double> grown(blocks * new_block, 0.0);
+    for (size_t tc = 0; tc < blocks; ++tc)
+        std::copy(data_.begin() + tc * old_block,
+                  data_.begin() + tc * old_block + old_block,
+                  grown.begin() + tc * new_block);
+    data_ = std::move(grown);
+    tiles_k_cap_ = new_cap;
+}
+
+void
+EncodedOperand::reserve(size_t max_rows, size_t max_cols)
+{
+    if (side_ != OperandSide::B)
+        lt_fatal("EncodedOperand::reserve: only B-side operands grow");
+    auto cdiv = [](size_t a, size_t b) { return (a + b - 1) / b; };
+    growKTileCapacity(
+        std::max(tiles_k_cap_, cdiv(std::max(max_rows, rows_),
+                                    nlambda_)));
+    const size_t blocks =
+        std::max(blockCapacity(),
+                 cdiv(std::max(max_cols, cols_), nv_));
+    data_.resize(blocks * tiles_k_cap_ * nv_ * nlambda_, 0.0);
+}
+
+bool
+EncodedOperand::appendColumn(const double *vals, size_t n)
+{
+    if (side_ != OperandSide::B)
+        lt_fatal("EncodedOperand::appendColumn: A-side operands are "
+                 "row-major panels, not packed columns");
+    if (n != rows_)
+        lt_fatal("EncodedOperand::appendColumn: column of ", n,
+                 " values on a ", rows_, "-row operand");
+    if (dynamic_beta_)
+        for (size_t k = 0; k < n; ++k)
+            if (std::abs(vals[k]) > beta_)
+                return false; // fresh re-encode would pick a new beta
+    const size_t tc = cols_ / nv_;
+    const size_t ci = cols_ % nv_;
+    if (tc >= blockCapacity()) {
+        // Unreserved growth: extend by whole blocks, geometrically,
+        // so repeated appends stay amortized O(k).
+        const size_t block = tiles_k_cap_ * nv_ * nlambda_;
+        const size_t want = (tc + 1) * block;
+        if (data_.capacity() < want)
+            data_.reserve(std::max(want, 2 * data_.capacity()));
+        data_.resize(want, 0.0);
+    }
+    // One contiguous nlambda-run per k-slice: the packed layout's
+    // append is a straight quantize-and-store walk.
+    for (size_t tk = 0; tk * nlambda_ < rows_; ++tk) {
+        double *run =
+            data_.data() +
+            ((tc * tiles_k_cap_ + tk) * nv_ + ci) * nlambda_;
+        const size_t depth = std::min(nlambda_, rows_ - tk * nlambda_);
+        for (size_t ki = 0; ki < depth; ++ki)
+            run[ki] = quantizeValue(vals[tk * nlambda_ + ki]);
+    }
+    cols_ += 1;
+    return true;
+}
+
+bool
+EncodedOperand::appendRow(const double *vals, size_t n)
+{
+    if (side_ != OperandSide::B)
+        lt_fatal("EncodedOperand::appendRow: A-side operands are "
+                 "row-major panels; append to the dense mirror");
+    if (n != cols_)
+        lt_fatal("EncodedOperand::appendRow: row of ", n,
+                 " values on a ", cols_, "-column operand");
+    if (dynamic_beta_)
+        for (size_t c = 0; c < n; ++c)
+            if (std::abs(vals[c]) > beta_)
+                return false;
+    const size_t tk = rows_ / nlambda_;
+    const size_t ki = rows_ % nlambda_;
+    if (tk >= tiles_k_cap_)
+        growKTileCapacity(std::max<size_t>(tk + 1, 2 * tiles_k_cap_));
+    if (blockCapacity() == 0 && cols_ > 0)
+        data_.resize(((cols_ - 1) / nv_ + 1) * tiles_k_cap_ * nv_ *
+                         nlambda_,
+                     0.0);
+    for (size_t c = 0; c < cols_; ++c)
+        data_[(((c / nv_) * tiles_k_cap_ + tk) * nv_ + c % nv_) *
+                  nlambda_ +
+              ki] = quantizeValue(vals[c]);
+    rows_ += 1;
+    tiles_k_ = tk + 1;
+    return true;
+}
+
+void
+EncodedOperand::requantize(const ConstMatrixView &m, double new_beta)
+{
+    if (side_ != OperandSide::B)
+        lt_fatal("EncodedOperand::requantize: only B-side operands "
+                 "grow in place");
+    if (m.rows() < rows_ || m.cols() < cols_)
+        lt_fatal("EncodedOperand::requantize only grows: [", rows_,
+                 ",", cols_, "] -> [", m.rows(), ",", m.cols(), "]");
+    auto cdiv = [](size_t a, size_t b) { return (a + b - 1) / b; };
+    rows_ = m.rows();
+    cols_ = m.cols();
+    beta_ = new_beta;
+    tiles_k_ = cdiv(rows_, nlambda_);
+    growKTileCapacity(tiles_k_);
+    const size_t blocks =
+        std::max(blockCapacity(), cdiv(cols_, nv_));
+    data_.resize(blocks * tiles_k_cap_ * nv_ * nlambda_, 0.0);
+    for (size_t k = 0; k < rows_; ++k) {
+        const size_t tk = k / nlambda_;
+        const size_t ki = k % nlambda_;
+        for (size_t c = 0; c < cols_; ++c)
+            data_[(((c / nv_) * tiles_k_cap_ + tk) * nv_ + c % nv_) *
+                      nlambda_ +
+                  ki] = quantizeValue(m(k, c));
+    }
+}
 
 Matrix
 EncodedOperand::normalized() const
@@ -19,7 +164,8 @@ EncodedOperand::normalized() const
             const size_t tc = c / nv_;
             const size_t ci = c % nv_;
             out(k, c) =
-                data_[((tc * tiles_k_ + tk) * nv_ + ci) * nlambda_ +
+                data_[((tc * tiles_k_cap_ + tk) * nv_ + ci) *
+                          nlambda_ +
                       ki];
         }
     }

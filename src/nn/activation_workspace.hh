@@ -25,9 +25,12 @@
 #ifndef LT_NN_ACTIVATION_WORKSPACE_HH
 #define LT_NN_ACTIVATION_WORKSPACE_HH
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "core/encoded_operand.hh"
 #include "util/linalg.hh"
 
 namespace lt {
@@ -87,31 +90,71 @@ struct TransformerBlockCache
 /**
  * Growing K/V operands of one attention layer for incremental decode.
  * Values live in the same (quantized) domain the attention forward
- * caches: what the accelerator would hold in its KV SRAM/HBM. K is
- * stored pre-transposed ([dk, tokens]) — exactly the right operand
- * layout for the per-step QK^T row, so a decode step appends one
- * column instead of re-transposing the whole cache.
+ * caches: what the accelerator would hold in its KV SRAM/HBM.
+ *
+ * Both dense mirrors are row-major [tokens, dk] per head, so a decode
+ * step appends one token as one amortized-O(dk) row write to each —
+ * the QK^T dispatch reads K through a *transposed view*
+ * (ConstMatrixView), so no pre-transposed copy is re-strided per
+ * step.
+ *
+ * When the serving backend executes encoded operands
+ * (GemmBackend::supportsKvPlans()), the cache additionally holds the
+ * *encoded* forms the DPTC kernel actually consumes: per-head packed
+ * K^T ([dk, tokens], growing by one packed column per token) and
+ * packed V ([tokens, dk], growing by one packed row). The attention
+ * decode entry points keep them in sync with the dense mirrors and
+ * dispatch on them directly — zero per-step K/V re-encodes in steady
+ * state; the dense mirrors remain the requantization source when a
+ * new token's magnitude outgrows the cached beta, and the operands of
+ * record for backends without encoded execution.
  */
 struct AttentionKvCache
 {
-    std::vector<Matrix> k_t;  ///< per head [dk, tokens] (K transposed)
-    std::vector<Matrix> v;    ///< per head [tokens, dk]
-    size_t tokens = 0;        ///< cached context length
+    std::vector<Matrix> k;  ///< per head [tokens, dk]
+    std::vector<Matrix> v;  ///< per head [tokens, dk]
+    size_t tokens = 0;      ///< cached context length
+
+    /** Context length reserve() provisioned for (0 = unreserved). */
+    size_t reserved_tokens = 0;
+
+    /**
+     * Encoded mirrors, maintained by the attention decode path when
+     * the backend supports them (empty otherwise): packed K^T / V of
+     * every head, in the backend's core geometry.
+     */
+    std::vector<core::EncodedOperand> ek_t;  ///< per head [dk, tokens]
+    std::vector<core::EncodedOperand> ev;    ///< per head [tokens, dk]
+
+    /**
+     * GemmBackend::uid() the encoded mirrors were built for (0 =
+     * inactive). A cache handed to a different backend rebuilds its
+     * mirrors on the next decode step instead of dispatching
+     * encodings packed for foreign core geometry.
+     */
+    uint64_t encoded_backend_uid = 0;
 
     /**
      * Reserve backing capacity for a context of `max_tokens` so every
-     * decode step appends allocation-free: V rows grow in amortized
-     * O(1) and the pre-transposed K re-strides inside the reserved
-     * buffer. InferenceSession calls this once per layer at prefill
-     * (the caches must already hold the seeded heads).
+     * decode step appends allocation-free: the dense K/V mirrors grow
+     * rows in amortized O(1) inside reserved vectors, and the encoded
+     * mirrors pre-size their packed-block storage (k-tile stride
+     * included), so the block backing pointers stay stable across the
+     * whole decode. InferenceSession calls this once per layer at
+     * prefill (the caches must already hold the seeded heads).
      */
     void
     reserve(size_t max_tokens)
     {
-        for (Matrix &k : k_t)
-            k.reserve(k.rows() * max_tokens);
+        reserved_tokens = std::max(reserved_tokens, max_tokens);
+        for (Matrix &k_h : k)
+            k_h.reserve(max_tokens * k_h.cols());
         for (Matrix &v_h : v)
             v_h.reserve(max_tokens * v_h.cols());
+        for (core::EncodedOperand &e : ek_t)
+            e.reserve(e.rows(), max_tokens);
+        for (core::EncodedOperand &e : ev)
+            e.reserve(max_tokens, e.cols());
     }
 };
 

@@ -60,66 +60,113 @@ ExecutionEngine::runProduct(const ProductRef &p, bool parallel_tiles,
                             const core::Dptc &proto,
                             uint64_t stream_seed)
 {
-    // Activations are encoded per call; the right operand is either
-    // encoded here too (dense) or arrives pre-encoded (weight plan).
+    // Activations are encoded per call, straight from their views;
+    // the right operand is either encoded here too (a view) or
+    // arrives pre-encoded (weight plan / encoded K-V cache).
     core::EncodedOperand ea =
-        proto.encode(*p.a, core::OperandSide::A, cfg_.mode);
+        proto.encode(p.a, core::OperandSide::A, cfg_.mode);
     if (p.b_plan != nullptr)
         return gemmOneProduct(ea, *p.b_plan, parallel_tiles, proto,
                               stream_seed);
     core::EncodedOperand eb =
-        proto.encode(*p.b, core::OperandSide::B, cfg_.mode);
+        proto.encode(p.b, core::OperandSide::B, cfg_.mode);
     return gemmOneProduct(ea, eb, parallel_tiles, proto, stream_seed);
 }
 
 Matrix
 ExecutionEngine::gemm(const Matrix &a, const Matrix &b)
 {
-    return gemm(a, b, next_stream_.fetch_add(1));
+    return gemm(a.view(), b.view(), next_stream_.fetch_add(1));
 }
 
 Matrix
 ExecutionEngine::gemm(const Matrix &a, const Matrix &b, uint64_t stream)
 {
+    return gemm(a.view(), b.view(), stream);
+}
+
+Matrix
+ExecutionEngine::gemm(const ConstMatrixView &a, const ConstMatrixView &b,
+                      uint64_t stream)
+{
     if (a.cols() != b.rows())
         lt_fatal("ExecutionEngine::gemm inner dimension mismatch: ",
                  a.cols(), " vs ", b.rows());
     stats_.record(a.rows(), a.cols(), b.cols());
-    return runProduct(ProductRef{&a, &b, nullptr},
+    return runProduct(ProductRef{a, b, nullptr},
                       /*parallel_tiles=*/true, cores_.front(),
                       deriveSeed(cfg_.dptc.seed, stream));
 }
 
 void
-ExecutionEngine::validateEncoded(const Matrix &a,
+ExecutionEngine::validateEncoded(const ConstMatrixView &a,
                                  const core::EncodedOperand &w) const
 {
     if (w.side() != core::OperandSide::B)
-        lt_fatal("ExecutionEngine: weight plan must be encoded for "
-                 "the B side");
+        lt_fatal("ExecutionEngine: pre-encoded operand must be "
+                 "encoded for the B side");
     if (!cores_.front().acceptsEncoded(w, cfg_.mode))
-        lt_fatal("ExecutionEngine: weight plan encoded for a "
+        lt_fatal("ExecutionEngine: pre-encoded operand packed for a "
                  "different core geometry/mode");
     if (a.cols() != w.rows())
         lt_fatal("ExecutionEngine::gemm inner dimension mismatch: ",
                  a.cols(), " vs ", w.rows());
 }
 
+void
+ExecutionEngine::recordEncodedHit(const core::EncodedOperand &w)
+{
+    auto &counter = w.kind() == core::OperandKind::KvCache
+                        ? stats_.kv_encode_hits
+                        : stats_.weight_encode_hits;
+    counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 core::EncodedOperand
 ExecutionEngine::encodeWeight(const Matrix &w)
 {
-    stats_.encode_cache_misses.fetch_add(1, std::memory_order_relaxed);
-    return cores_.front().encode(w, core::OperandSide::B, cfg_.mode);
+    stats_.weight_encode_misses.fetch_add(1, std::memory_order_relaxed);
+    core::EncodedOperand op =
+        cores_.front().encode(w, core::OperandSide::B, cfg_.mode);
+    op.setKind(core::OperandKind::Weight);
+    return op;
+}
+
+void
+ExecutionEngine::encodeKvInto(core::EncodedOperand &op,
+                              const ConstMatrixView &m,
+                              core::OperandSide side)
+{
+    if (!cfg_.kv_plans)
+        lt_fatal("encodeKvInto on an engine with kv_plans disabled "
+                 "(check supportsKvPlans() first)");
+    if (side != core::OperandSide::B)
+        lt_fatal("encodeKvInto: decode K/V operands are B-side");
+    stats_.kv_encode_misses.fetch_add(1, std::memory_order_relaxed);
+    const core::Dptc &proto = cores_.front();
+    const bool rebuildable =
+        !op.empty() && op.side() == core::OperandSide::B &&
+        proto.acceptsEncoded(op, cfg_.mode) && m.rows() >= op.rows() &&
+        m.cols() >= op.cols();
+    if (rebuildable && cfg_.mode != core::EvalMode::Ideal) {
+        // Beta-growth requantization: rewrite the values in place so
+        // the reserved packed capacity (and the block backing
+        // pointers) survive. Bit-identical to a fresh encode.
+        op.requantize(m, core::Dptc::maxAbs(m));
+    } else {
+        op = proto.encode(m, core::OperandSide::B, cfg_.mode);
+    }
+    op.setKind(core::OperandKind::KvCache);
 }
 
 Matrix
 ExecutionEngine::gemm(const Matrix &a, const core::EncodedOperand &w,
                       uint64_t stream)
 {
-    validateEncoded(a, w);
+    validateEncoded(a.view(), w);
     stats_.record(a.rows(), a.cols(), w.cols());
-    stats_.encode_cache_hits.fetch_add(1, std::memory_order_relaxed);
-    return runProduct(ProductRef{&a, nullptr, &w},
+    recordEncodedHit(w);
+    return runProduct(ProductRef{a.view(), ConstMatrixView(), &w},
                       /*parallel_tiles=*/true, cores_.front(),
                       deriveSeed(cfg_.dptc.seed, stream));
 }
@@ -137,7 +184,7 @@ ExecutionEngine::gemmBatch(
     std::vector<ProductRef> refs;
     refs.reserve(products.size());
     for (const auto &[pa, pb] : products)
-        refs.push_back(ProductRef{pa, pb, nullptr});
+        refs.push_back(ProductRef{pa->view(), pb->view(), nullptr});
     return gemmBatchImpl(refs,
                          [&](size_t i) { return stream_base + i; });
 }
@@ -154,7 +201,24 @@ ExecutionEngine::gemmBatch(
     std::vector<ProductRef> refs;
     refs.reserve(products.size());
     for (const auto &[pa, pb] : products)
-        refs.push_back(ProductRef{pa, pb, nullptr});
+        refs.push_back(ProductRef{pa->view(), pb->view(), nullptr});
+    return gemmBatchImpl(refs,
+                         [&](size_t i) { return streams[i]; });
+}
+
+std::vector<Matrix>
+ExecutionEngine::gemmBatch(
+    const std::vector<std::pair<ConstMatrixView, ConstMatrixView>>
+        &products,
+    const std::vector<uint64_t> &streams)
+{
+    if (streams.size() != products.size())
+        lt_fatal("gemmBatch: ", streams.size(), " streams for ",
+                 products.size(), " products");
+    std::vector<ProductRef> refs;
+    refs.reserve(products.size());
+    for (const auto &[va, vb] : products)
+        refs.push_back(ProductRef{va, vb, nullptr});
     return gemmBatchImpl(refs,
                          [&](size_t i) { return streams[i]; });
 }
@@ -166,17 +230,31 @@ ExecutionEngine::gemmBatch(
         &products,
     const std::vector<uint64_t> &streams)
 {
+    std::vector<std::pair<ConstMatrixView, const core::EncodedOperand *>>
+        views;
+    views.reserve(products.size());
+    for (const auto &[pa, pw] : products)
+        views.emplace_back(pa->view(), pw);
+    return gemmBatch(views, streams);
+}
+
+std::vector<Matrix>
+ExecutionEngine::gemmBatch(
+    const std::vector<
+        std::pair<ConstMatrixView, const core::EncodedOperand *>>
+        &products,
+    const std::vector<uint64_t> &streams)
+{
     if (streams.size() != products.size())
         lt_fatal("gemmBatch: ", streams.size(), " streams for ",
                  products.size(), " products");
     std::vector<ProductRef> refs;
     refs.reserve(products.size());
-    for (const auto &[pa, pw] : products) {
-        validateEncoded(*pa, *pw);
-        refs.push_back(ProductRef{pa, nullptr, pw});
+    for (const auto &[va, pw] : products) {
+        validateEncoded(va, *pw);
+        recordEncodedHit(*pw);
+        refs.push_back(ProductRef{va, ConstMatrixView(), pw});
     }
-    stats_.encode_cache_hits.fetch_add(products.size(),
-                                       std::memory_order_relaxed);
     return gemmBatchImpl(refs,
                          [&](size_t i) { return streams[i]; });
 }
@@ -192,14 +270,14 @@ ExecutionEngine::gemmBatchImpl(
         return deriveSeed(cfg_.dptc.seed, streamOf(i));
     };
     auto colsOf = [](const ProductRef &p) {
-        return p.b_plan != nullptr ? p.b_plan->cols() : p.b->cols();
+        return p.b_plan != nullptr ? p.b_plan->cols() : p.b.cols();
     };
     for (const ProductRef &p : products) {
-        if (p.a->cols() !=
-            (p.b_plan != nullptr ? p.b_plan->rows() : p.b->rows()))
+        if (p.a.cols() !=
+            (p.b_plan != nullptr ? p.b_plan->rows() : p.b.rows()))
             lt_fatal("ExecutionEngine::gemmBatch inner dimension "
                      "mismatch");
-        stats_.record(p.a->rows(), p.a->cols(), colsOf(p));
+        stats_.record(p.a.rows(), p.a.cols(), colsOf(p));
     }
     // Serving regime: enough independent products to keep every core
     // busy — shard whole products across cores and run each one

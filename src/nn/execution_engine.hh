@@ -60,6 +60,16 @@ struct EngineConfig
      * bit-identical either way.
      */
     bool weight_plans = true;
+
+    /**
+     * Serve encoded K/V cache operands (supportsKvPlans()): the
+     * decode path keeps per-head K^T/V encoded and appends one
+     * packed column/row per token instead of re-encoding the whole
+     * cache every step. Off forces per-step K/V re-encodes (the PR 4
+     * steady state — the baseline column of bench_engine_scaling's
+     * decode scenario). Results are bit-identical either way.
+     */
+    bool kv_plans = true;
 };
 
 /** Multi-core tiled GEMM executor over DPTC replicas. */
@@ -107,6 +117,21 @@ class ExecutionEngine : public GemmBackend
                                           const Matrix *>> &products,
               const std::vector<uint64_t> &streams) override;
 
+    // ---- stride-aware operand views ------------------------------
+    // Views execute natively: operands are encoded straight from the
+    // viewed storage (Dptc::encode reads through the leading
+    // dimension / transposed flag), so a transposed or column-block
+    // operand costs no materialized copy — and results are
+    // bit-identical to passing the materialized equivalent.
+
+    Matrix gemm(const ConstMatrixView &a, const ConstMatrixView &b,
+                uint64_t stream) override;
+
+    std::vector<Matrix>
+    gemmBatch(const std::vector<std::pair<ConstMatrixView,
+                                          ConstMatrixView>> &products,
+              const std::vector<uint64_t> &streams) override;
+
     // ---- pre-encoded weight operands -----------------------------
     // The decode/serve steady state: the stationary operand of every
     // projection GEMM is encoded once (encodeWeight) and reused, so a
@@ -118,22 +143,43 @@ class ExecutionEngine : public GemmBackend
         return cfg_.weight_plans;
     }
 
-    /** Encode a weight once (counts one encode_cache_miss). */
+    /** Encode a weight once (counts one weight_encode_miss). */
     core::EncodedOperand encodeWeight(const Matrix &w) override;
 
     /**
-     * Stream-addressed product against a pre-encoded weight (counts
-     * one encode_cache_hit). The activation is encoded per call.
+     * Stream-addressed product against a pre-encoded right operand
+     * (counts one weight/kv encode hit by the operand's kind). The
+     * activation is encoded per call.
      */
     Matrix gemm(const Matrix &a, const core::EncodedOperand &w,
                 uint64_t stream) override;
 
-    /** Stream-addressed batch against pre-encoded weights. */
+    /** Stream-addressed batch against pre-encoded right operands. */
     std::vector<Matrix>
     gemmBatch(const std::vector<
                   std::pair<const Matrix *,
                             const core::EncodedOperand *>> &products,
               const std::vector<uint64_t> &streams) override;
+
+    /** View-A variant of the pre-encoded batch. */
+    std::vector<Matrix>
+    gemmBatch(const std::vector<
+                  std::pair<ConstMatrixView,
+                            const core::EncodedOperand *>> &products,
+              const std::vector<uint64_t> &streams) override;
+
+    // ---- encoded K/V caches --------------------------------------
+
+    bool supportsKvPlans() const override { return cfg_.kv_plans; }
+
+    /**
+     * (Re)build a growing K/V operand's encoding: a fresh packed
+     * encode when `op` is empty or was packed for another geometry,
+     * an in-place requantization (capacity preserved) otherwise.
+     * Counts one kv_encode_miss either way.
+     */
+    void encodeKvInto(core::EncodedOperand &op, const ConstMatrixView &m,
+                      core::OperandSide side) override;
 
     core::EvalMode mode() const { return cfg_.mode; }
     size_t numCores() const { return cores_.size(); }
@@ -144,15 +190,16 @@ class ExecutionEngine : public GemmBackend
 
   private:
     /**
-     * One product in the unified batch representation: dense left
-     * operand plus either a dense right operand (encoded per call)
-     * or a pre-encoded weight plan.
+     * One product in the unified batch representation: a left
+     * operand view plus either a right operand view (encoded per
+     * call) or a pre-encoded operand (weight plan / encoded K-V
+     * cache).
      */
     struct ProductRef
     {
-        const Matrix *a;
-        const Matrix *b;                    ///< dense right operand…
-        const core::EncodedOperand *b_plan; ///< …or pre-encoded plan
+        ConstMatrixView a;
+        ConstMatrixView b;                  ///< right operand view…
+        const core::EncodedOperand *b_plan; ///< …or pre-encoded form
     };
 
     Matrix gemmOneProduct(const core::EncodedOperand &a,
@@ -167,8 +214,11 @@ class ExecutionEngine : public GemmBackend
     gemmBatchImpl(const std::vector<ProductRef> &products,
                   const std::function<uint64_t(size_t)> &streamOf);
 
-    void validateEncoded(const Matrix &a,
+    void validateEncoded(const ConstMatrixView &a,
                          const core::EncodedOperand &w) const;
+
+    /** Count one encoded-dispatch hit on the kind-matched counter. */
+    void recordEncodedHit(const core::EncodedOperand &w);
 
     EngineConfig cfg_;
 

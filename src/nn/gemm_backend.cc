@@ -38,11 +38,62 @@ GemmBackend::gemmBatch(
              "weight-plan support (check supportsWeightPlans() first)");
 }
 
+std::vector<Matrix>
+GemmBackend::gemmBatch(
+    const std::vector<
+        std::pair<ConstMatrixView, const core::EncodedOperand *>>
+        &products,
+    const std::vector<uint64_t> &streams)
+{
+    (void)products;
+    (void)streams;
+    lt_fatal("encoded-operand gemmBatch on a backend without "
+             "weight-plan support (check supportsWeightPlans() first)");
+}
+
+void
+GemmBackend::encodeKvInto(core::EncodedOperand &op,
+                          const ConstMatrixView &m,
+                          core::OperandSide side)
+{
+    (void)op;
+    (void)m;
+    (void)side;
+    lt_fatal("encodeKvInto on a backend without encoded-K/V support "
+             "(check supportsKvPlans() first)");
+}
+
 Matrix
 IdealBackend::gemm(const Matrix &a, const Matrix &b)
 {
     stats_.record(a.rows(), a.cols(), b.cols());
     return matmul(a, b);
+}
+
+Matrix
+IdealBackend::gemm(const ConstMatrixView &a, const ConstMatrixView &b,
+                   uint64_t stream)
+{
+    (void)stream;
+    stats_.record(a.rows(), a.cols(), b.cols());
+    return matmul(a, b);
+}
+
+std::vector<Matrix>
+IdealBackend::gemmBatch(
+    const std::vector<std::pair<ConstMatrixView, ConstMatrixView>>
+        &products,
+    const std::vector<uint64_t> &streams)
+{
+    (void)streams;
+    stats_.recordBatch();
+    std::vector<Matrix> results;
+    results.reserve(products.size());
+    for (const auto &[a, b] : products) {
+        stats_.record(a.rows(), a.cols(), b.cols());
+        results.push_back(matmul(a, b));
+    }
+    return results;
 }
 
 PhotonicBackend::PhotonicBackend(const core::DptcConfig &cfg,
@@ -83,6 +134,22 @@ PhotonicBackend::gemmBatch(
 }
 
 Matrix
+PhotonicBackend::gemm(const ConstMatrixView &a,
+                      const ConstMatrixView &b, uint64_t stream)
+{
+    return engine_->gemm(a, b, stream);
+}
+
+std::vector<Matrix>
+PhotonicBackend::gemmBatch(
+    const std::vector<std::pair<ConstMatrixView, ConstMatrixView>>
+        &products,
+    const std::vector<uint64_t> &streams)
+{
+    return engine_->gemmBatch(products, streams);
+}
+
+Matrix
 PhotonicBackend::gemm(const Matrix &a, const core::EncodedOperand &w,
                       uint64_t stream)
 {
@@ -99,6 +166,16 @@ PhotonicBackend::gemmBatch(
     return engine_->gemmBatch(products, streams);
 }
 
+std::vector<Matrix>
+PhotonicBackend::gemmBatch(
+    const std::vector<
+        std::pair<ConstMatrixView, const core::EncodedOperand *>>
+        &products,
+    const std::vector<uint64_t> &streams)
+{
+    return engine_->gemmBatch(products, streams);
+}
+
 bool
 PhotonicBackend::supportsWeightPlans() const
 {
@@ -109,6 +186,20 @@ core::EncodedOperand
 PhotonicBackend::encodeWeight(const Matrix &w)
 {
     return engine_->encodeWeight(w);
+}
+
+bool
+PhotonicBackend::supportsKvPlans() const
+{
+    return engine_->supportsKvPlans();
+}
+
+void
+PhotonicBackend::encodeKvInto(core::EncodedOperand &op,
+                              const ConstMatrixView &m,
+                              core::OperandSide side)
+{
+    engine_->encodeKvInto(op, m, side);
 }
 
 const GemmStats &

@@ -93,17 +93,30 @@ struct GemmStats
     std::atomic<size_t> batch_calls{0};
 
     /**
-     * Encoded-operand cache effectiveness. A *hit* is one GEMM
-     * product served from a pre-encoded weight operand (no maxAbs /
-     * quantize / pack on the weight); a *miss* is one encodeWeight()
-     * call (a plan being built or rebuilt after a weight-version
-     * bump). Steady-state decode must show misses == 0 — the
-     * acceptance counter of the weight-plan cache (tested in
+     * Encoded-operand cache effectiveness, split by operand class so
+     * a dead K/V cache fails as loudly as a dead weight cache:
+     *
+     *  - weight_encode_*: static weight plans. A *hit* is one GEMM
+     *    product served from a pre-encoded weight operand (no maxAbs
+     *    / quantize / pack on the weight); a *miss* is one
+     *    encodeWeight() call (a plan being built or rebuilt after a
+     *    weight-version bump).
+     *  - kv_encode_*: the growing decode K/V operands. A *hit* is
+     *    one attention product dispatched on a cached encoded K/V
+     *    operand (grown by an O(k) packed append instead of a fresh
+     *    encode); a *miss* is one encodeKv() build or requantization
+     *    (cache seeding at prefill, a beta outgrown by a new token,
+     *    or a cache re-homed to a different backend).
+     *
+     * Steady-state decode must show BOTH miss counters == 0 — the
+     * acceptance counters of the encoded-operand caches (tested in
      * tests/test_decode.cc, surfaced by serve::Metrics and the bench
      * JSON snapshots).
      */
-    std::atomic<size_t> encode_cache_hits{0};
-    std::atomic<size_t> encode_cache_misses{0};
+    std::atomic<size_t> weight_encode_hits{0};
+    std::atomic<size_t> weight_encode_misses{0};
+    std::atomic<size_t> kv_encode_hits{0};
+    std::atomic<size_t> kv_encode_misses{0};
 
     void
     record(size_t m, size_t k, size_t n)
@@ -124,8 +137,10 @@ struct GemmStats
         calls.store(0, std::memory_order_relaxed);
         macs.store(0, std::memory_order_relaxed);
         batch_calls.store(0, std::memory_order_relaxed);
-        encode_cache_hits.store(0, std::memory_order_relaxed);
-        encode_cache_misses.store(0, std::memory_order_relaxed);
+        weight_encode_hits.store(0, std::memory_order_relaxed);
+        weight_encode_misses.store(0, std::memory_order_relaxed);
+        kv_encode_hits.store(0, std::memory_order_relaxed);
+        kv_encode_misses.store(0, std::memory_order_relaxed);
     }
 };
 
@@ -193,6 +208,46 @@ class GemmBackend
         return gemmBatch(products);
     }
 
+    // ---- stride-aware operand views ------------------------------
+    //
+    // A ConstMatrixView names an operand inside someone else's
+    // storage (leading dimension, optional transposed read), so
+    // callers stop materializing re-strided copies: attention
+    // dispatches QK^T against a transposed view of the K cache, and a
+    // column block of a projection output is a view, not a slice
+    // copy. Results are bit-identical to materializing the views and
+    // calling the dense overloads — the default implementations do
+    // exactly that; DPTC-datapath backends read the views in place.
+
+    /** Stream-addressed product on operand views. */
+    virtual Matrix
+    gemm(const ConstMatrixView &a, const ConstMatrixView &b,
+         uint64_t stream)
+    {
+        Matrix ad = a.dense();
+        Matrix bd = b.dense();
+        return gemm(ad, bd, stream);
+    }
+
+    /** Stream-addressed batch on operand views. */
+    virtual std::vector<Matrix>
+    gemmBatch(const std::vector<std::pair<ConstMatrixView,
+                                          ConstMatrixView>> &products,
+              const std::vector<uint64_t> &streams)
+    {
+        std::vector<Matrix> dense;
+        dense.reserve(2 * products.size());
+        std::vector<std::pair<const Matrix *, const Matrix *>> refs;
+        refs.reserve(products.size());
+        for (const auto &[a, b] : products) {
+            dense.push_back(a.dense());
+            dense.push_back(b.dense());
+            refs.emplace_back(&dense[dense.size() - 2],
+                              &dense[dense.size() - 1]);
+        }
+        return gemmBatch(refs, streams);
+    }
+
     // ---- pre-encoded (static weight) operands --------------------
     //
     // Backends that execute on the DPTC datapath can accept the right
@@ -208,7 +263,7 @@ class GemmBackend
 
     /**
      * Encode a static (weight) operand once for reuse across GEMMs.
-     * Counts one encode_cache_miss (a plan build). Only valid on
+     * Counts one weight_encode_miss (a plan build). Only valid on
      * backends with supportsWeightPlans().
      */
     virtual core::EncodedOperand encodeWeight(const Matrix &w);
@@ -216,21 +271,55 @@ class GemmBackend
     /**
      * Stream-addressed product against a pre-encoded weight. Equals
      * gemm(a, w_dense, stream) bit-for-bit when `w` encodes w_dense.
-     * Counts one encode_cache_hit.
+     * Counts one weight_encode_hit (kv_encode_hit for KvCache-kind
+     * operands).
      */
     virtual Matrix gemm(const Matrix &a, const core::EncodedOperand &w,
                         uint64_t stream);
 
     /**
-     * Stream-addressed batch against pre-encoded weights (product i:
-     * as[i] x *encoded[i], stream streams[i]). Counts one
-     * encode_cache_hit per product.
+     * Stream-addressed batch against pre-encoded right operands
+     * (product i: as[i] x *encoded[i], stream streams[i]). Counts one
+     * weight_encode_hit or kv_encode_hit per product, by the
+     * operand's OperandKind.
      */
     virtual std::vector<Matrix>
     gemmBatch(const std::vector<
                   std::pair<const Matrix *,
                             const core::EncodedOperand *>> &products,
               const std::vector<uint64_t> &streams);
+
+    /** View-A variant of the pre-encoded batch. */
+    virtual std::vector<Matrix>
+    gemmBatch(const std::vector<
+                  std::pair<ConstMatrixView,
+                            const core::EncodedOperand *>> &products,
+              const std::vector<uint64_t> &streams);
+
+    // ---- encoded K/V caches (growing activation operands) --------
+    //
+    // The decode K/V caches are *dynamic* operands that grow by one
+    // token per step. Backends on the DPTC datapath can hold them in
+    // encoded form: encodeKvInto() (re)builds the packed encoding —
+    // cache seeding at prefill, or a requantization when a new
+    // token's magnitude outgrows the cached beta — and the owner
+    // appends subsequent tokens in place via
+    // EncodedOperand::appendColumn/appendRow (O(k), no backend
+    // round-trip). Dispatching on the cached encoding is
+    // bit-identical to re-encoding the dense operand every step.
+
+    /** True when this backend executes encoded K/V cache operands. */
+    virtual bool supportsKvPlans() const { return false; }
+
+    /**
+     * Build (or requantize in place, preserving reserved packed
+     * capacity) the encoded form of a growing K/V operand. Counts
+     * one kv_encode_miss. Only valid on backends with
+     * supportsKvPlans().
+     */
+    virtual void encodeKvInto(core::EncodedOperand &op,
+                              const ConstMatrixView &m,
+                              core::OperandSide side);
 
     virtual const GemmStats &stats() const { return stats_; }
     virtual void resetStats() { stats_.reset(); }
@@ -256,6 +345,19 @@ class IdealBackend : public GemmBackend
     using GemmBackend::gemm;
 
     Matrix gemm(const Matrix &a, const Matrix &b) override;
+
+    /**
+     * Views execute on the view-aware matmul directly (the B^T pack
+     * of a transposed view is a straight copy) — bit-identical to
+     * materializing the view first.
+     */
+    Matrix gemm(const ConstMatrixView &a, const ConstMatrixView &b,
+                uint64_t stream) override;
+
+    std::vector<Matrix>
+    gemmBatch(const std::vector<std::pair<ConstMatrixView,
+                                          ConstMatrixView>> &products,
+              const std::vector<uint64_t> &streams) override;
 };
 
 /**
@@ -278,6 +380,9 @@ class PhotonicBackend : public GemmBackend
     Matrix gemm(const Matrix &a, const core::EncodedOperand &w,
                 uint64_t stream) override;
 
+    Matrix gemm(const ConstMatrixView &a, const ConstMatrixView &b,
+                uint64_t stream) override;
+
     std::vector<Matrix>
     gemmBatch(const std::vector<std::pair<const Matrix *,
                                           const Matrix *>> &products)
@@ -287,13 +392,26 @@ class PhotonicBackend : public GemmBackend
                                           const Matrix *>> &products,
               const std::vector<uint64_t> &streams) override;
     std::vector<Matrix>
+    gemmBatch(const std::vector<std::pair<ConstMatrixView,
+                                          ConstMatrixView>> &products,
+              const std::vector<uint64_t> &streams) override;
+    std::vector<Matrix>
     gemmBatch(const std::vector<
                   std::pair<const Matrix *,
+                            const core::EncodedOperand *>> &products,
+              const std::vector<uint64_t> &streams) override;
+    std::vector<Matrix>
+    gemmBatch(const std::vector<
+                  std::pair<ConstMatrixView,
                             const core::EncodedOperand *>> &products,
               const std::vector<uint64_t> &streams) override;
 
     bool supportsWeightPlans() const override;
     core::EncodedOperand encodeWeight(const Matrix &w) override;
+
+    bool supportsKvPlans() const override;
+    void encodeKvInto(core::EncodedOperand &op, const ConstMatrixView &m,
+                      core::OperandSide side) override;
 
     core::EvalMode mode() const;
 

@@ -54,10 +54,15 @@ InferenceSession::prefill(const std::vector<int> &tokens)
     // attention layers already materialized into the decode cache.
     Matrix logits = model_->forwardSequence(tokens, ws_, ctx_);
     for (size_t l = 0; l < kv_.size(); ++l) {
+        // Seed dense + (on encoded-operand backends) encoded K/V
+        // mirrors: the per-head encodes are paid once here, so every
+        // decode step appends instead of re-encoding.
         model_->block(l).attention().seedKvCache(ws_.blocks[l].attn,
-                                                 kv_[l]);
-        // Reserve the full-context footprint once: every decode step
-        // then appends K/V without reallocating the cache matrices.
+                                                 kv_[l],
+                                                 *ctx_.backend);
+        // Reserve the full-context footprint once — dense rows and
+        // packed encoded blocks both — so every decode step appends
+        // without reallocating (or re-striding) the cache storage.
         kv_[l].reserve(model_->config().max_tokens);
     }
 

@@ -372,7 +372,6 @@ MultiHeadSelfAttention::forward(const Matrix &x, AttentionCache &cache,
     // Per-head operands first, so the dynamic MMs can run as one
     // batch on the execution engine (each head's product keeps its
     // own noise stream — batching never changes results).
-    std::vector<Matrix> kh_t(heads_);
     for (size_t h = 0; h < heads_; ++h) {
         Matrix qh = sliceCols(q, h * dk_, dk_);
         Matrix kh = sliceCols(k, h * dk_, dk_);
@@ -384,20 +383,22 @@ MultiHeadSelfAttention::forward(const Matrix &x, AttentionCache &cache,
             kh = fakeQuant(kh, ctx.quant.act_bits);
             vh = fakeQuant(vh, ctx.quant.act_bits);
         }
-        kh_t[h] = kh.transposed();
         cache.q[h] = std::move(qh);
         cache.k[h] = std::move(kh);
         cache.v[h] = std::move(vh);
     }
 
-    // QK^T: the first dynamic MM, batched over heads. Stream ids are
-    // drawn per product in head order before dispatch.
-    std::vector<std::pair<const Matrix *, const Matrix *>> qk_ops;
+    // QK^T: the first dynamic MM, batched over heads. The transposed
+    // K operand is a stride-aware view of the cached K — no
+    // materialized K^T copy. Stream ids are drawn per product in
+    // head order before dispatch.
+    std::vector<std::pair<ConstMatrixView, ConstMatrixView>> qk_ops;
     std::vector<uint64_t> qk_streams;
     qk_ops.reserve(heads_);
     qk_streams.reserve(heads_);
     for (size_t h = 0; h < heads_; ++h) {
-        qk_ops.emplace_back(&cache.q[h], &kh_t[h]);
+        qk_ops.emplace_back(cache.q[h].view(),
+                            cache.k[h].transposedView());
         qk_streams.push_back(ctx.stream.next());
     }
     std::vector<Matrix> scores =
@@ -477,6 +478,63 @@ MultiHeadSelfAttention::backward(const Matrix &dy,
     return dx;
 }
 
+bool
+MultiHeadSelfAttention::prepareKvEncoded(AttentionKvCache &kv,
+                                         GemmBackend &backend) const
+{
+    if (!backend.supportsKvPlans()) {
+        kv.ek_t.clear();
+        kv.ev.clear();
+        kv.encoded_backend_uid = 0;
+        return false;
+    }
+    if (kv.encoded_backend_uid != backend.uid() ||
+        kv.ek_t.size() != heads_ || kv.ev.size() != heads_) {
+        // Re-home: encodings packed for another backend's core
+        // geometry are dropped; syncKvEncodedHead rebuilds them from
+        // the dense mirrors on the next append.
+        kv.ek_t.assign(heads_, core::EncodedOperand());
+        kv.ev.assign(heads_, core::EncodedOperand());
+        kv.encoded_backend_uid = backend.uid();
+    }
+    return true;
+}
+
+void
+MultiHeadSelfAttention::syncKvEncodedHead(AttentionKvCache &kv,
+                                          size_t h,
+                                          const Matrix &k_row,
+                                          const Matrix &v_row,
+                                          GemmBackend &backend) const
+{
+    // K^T mirror: the new token is one packed column — one contiguous
+    // nlambda-run per k-slice. appendColumn refuses when the cached
+    // beta no longer covers the row (a fresh encode would pick a new
+    // beta); encodeKvInto then requantizes in place from the dense
+    // mirror, preserving the reserved packed capacity.
+    core::EncodedOperand &ekt = kv.ek_t[h];
+    const Matrix &k_h = kv.k[h];
+    const bool k_in_sync =
+        ekt.rows() == dk_ && ekt.cols() + 1 == k_h.rows();
+    if (!(k_in_sync && ekt.appendColumn(k_row.data().data(), dk_))) {
+        backend.encodeKvInto(ekt, k_h.transposedView(),
+                             core::OperandSide::B);
+        if (kv.reserved_tokens > 0)
+            ekt.reserve(dk_, kv.reserved_tokens);
+    }
+
+    // V mirror: the new token is one packed row.
+    core::EncodedOperand &ev_h = kv.ev[h];
+    const Matrix &v_h = kv.v[h];
+    const bool v_in_sync =
+        ev_h.cols() == dk_ && ev_h.rows() + 1 == v_h.rows();
+    if (!(v_in_sync && ev_h.appendRow(v_row.data().data(), dk_))) {
+        backend.encodeKvInto(ev_h, v_h.view(), core::OperandSide::B);
+        if (kv.reserved_tokens > 0)
+            ev_h.reserve(kv.reserved_tokens, dk_);
+    }
+}
+
 Matrix
 MultiHeadSelfAttention::decodeStep(const Matrix &x,
                                    AttentionKvCache &kv,
@@ -495,15 +553,18 @@ MultiHeadSelfAttention::decodeStep(const Matrix &x,
     Matrix k = wk_.forward(x, scratch.wk, ctx);
     Matrix v = wv_.forward(x, scratch.wv, ctx);
 
-    if (kv.k_t.size() != heads_) {
-        kv.k_t.assign(heads_, Matrix());
+    if (kv.k.size() != heads_) {
+        kv.k.assign(heads_, Matrix());
         kv.v.assign(heads_, Matrix());
         kv.tokens = 0;
     }
+    const bool encoded = prepareKvEncoded(kv, *ctx.backend);
 
-    // Append this token's per-head K/V to the cache (K as a column of
-    // the pre-transposed operand) and build the per-head query rows,
-    // all in the quantized operand domain.
+    // Append this token's per-head K/V to the cache — an amortized
+    // O(dk) row write to each dense mirror, plus (on encoded-operand
+    // backends) an O(dk) packed append to the encoded mirrors — and
+    // build the per-head query rows, all in the quantized operand
+    // domain.
     std::vector<Matrix> qh(heads_);
     for (size_t h = 0; h < heads_; ++h) {
         Matrix q_row = sliceCols(q, h * dk_, dk_);
@@ -514,24 +575,41 @@ MultiHeadSelfAttention::decodeStep(const Matrix &x,
             k_row = fakeQuant(k_row, ctx.quant.act_bits);
             v_row = fakeQuant(v_row, ctx.quant.act_bits);
         }
-        appendColumn(kv.k_t[h], k_row);
+        appendRow(kv.k[h], k_row);
         appendRow(kv.v[h], v_row);
+        if (encoded)
+            syncKvEncodedHead(kv, h, k_row, v_row, *ctx.backend);
         qh[h] = std::move(q_row);
     }
     kv.tokens += 1;
 
     // QK^T against the cache: per head a skinny [1, dk] x [dk, t] row
     // — the low-intensity decode traffic — batched on the backend.
-    std::vector<std::pair<const Matrix *, const Matrix *>> qk_ops;
+    // Encoded-operand backends dispatch straight on the cached packed
+    // K^T (zero re-encodes); others read K through a transposed view
+    // (zero re-strided copies). Bit-identical either way.
     std::vector<uint64_t> qk_streams;
-    qk_ops.reserve(heads_);
     qk_streams.reserve(heads_);
-    for (size_t h = 0; h < heads_; ++h) {
-        qk_ops.emplace_back(&qh[h], &kv.k_t[h]);
+    for (size_t h = 0; h < heads_; ++h)
         qk_streams.push_back(ctx.stream.next());
+    std::vector<Matrix> scores;
+    if (encoded) {
+        std::vector<
+            std::pair<ConstMatrixView, const core::EncodedOperand *>>
+            qk_ops;
+        qk_ops.reserve(heads_);
+        for (size_t h = 0; h < heads_; ++h)
+            qk_ops.emplace_back(qh[h].view(), &kv.ek_t[h]);
+        scores = ctx.backend->gemmBatch(qk_ops, qk_streams);
+    } else {
+        std::vector<std::pair<ConstMatrixView, ConstMatrixView>>
+            qk_ops;
+        qk_ops.reserve(heads_);
+        for (size_t h = 0; h < heads_; ++h)
+            qk_ops.emplace_back(qh[h].view(),
+                                kv.k[h].transposedView());
+        scores = ctx.backend->gemmBatch(qk_ops, qk_streams);
     }
-    std::vector<Matrix> scores =
-        ctx.backend->gemmBatch(qk_ops, qk_streams);
 
     double inv_sqrt_dk = 1.0 / std::sqrt(static_cast<double>(dk_));
     std::vector<Matrix> probs(heads_);
@@ -544,17 +622,29 @@ MultiHeadSelfAttention::decodeStep(const Matrix &x,
                        : std::move(p);
     }
 
-    // AV against the cache: [1, t] x [t, dk] per head.
-    std::vector<std::pair<const Matrix *, const Matrix *>> av_ops;
+    // AV against the cache: [1, t] x [t, dk] per head, on the cached
+    // encoded V when available.
     std::vector<uint64_t> av_streams;
-    av_ops.reserve(heads_);
     av_streams.reserve(heads_);
-    for (size_t h = 0; h < heads_; ++h) {
-        av_ops.emplace_back(&probs[h], &kv.v[h]);
+    for (size_t h = 0; h < heads_; ++h)
         av_streams.push_back(ctx.stream.next());
+    std::vector<Matrix> ctx_heads;
+    if (encoded) {
+        std::vector<
+            std::pair<ConstMatrixView, const core::EncodedOperand *>>
+            av_ops;
+        av_ops.reserve(heads_);
+        for (size_t h = 0; h < heads_; ++h)
+            av_ops.emplace_back(probs[h].view(), &kv.ev[h]);
+        ctx_heads = ctx.backend->gemmBatch(av_ops, av_streams);
+    } else {
+        std::vector<std::pair<ConstMatrixView, ConstMatrixView>>
+            av_ops;
+        av_ops.reserve(heads_);
+        for (size_t h = 0; h < heads_; ++h)
+            av_ops.emplace_back(probs[h].view(), kv.v[h].view());
+        ctx_heads = ctx.backend->gemmBatch(av_ops, av_streams);
     }
-    std::vector<Matrix> ctx_heads =
-        ctx.backend->gemmBatch(av_ops, av_streams);
 
     Matrix context(1, dim_, 0.0);
     for (size_t h = 0; h < heads_; ++h)
@@ -593,15 +683,18 @@ MultiHeadSelfAttention::decodeStepBatch(
 
     // Per request: append this token's per-head K/V to ITS cache and
     // build the per-head query rows, in the quantized operand domain
-    // (identical to the solo decodeStep mutation).
+    // (identical to the solo decodeStep mutation, encoded mirrors
+    // included).
+    const bool encoded = backend->supportsKvPlans();
     std::vector<std::vector<Matrix>> qh(n);
     for (size_t i = 0; i < n; ++i) {
         AttentionKvCache &kv = *kvs[i];
-        if (kv.k_t.size() != heads_) {
-            kv.k_t.assign(heads_, Matrix());
+        if (kv.k.size() != heads_) {
+            kv.k.assign(heads_, Matrix());
             kv.v.assign(heads_, Matrix());
             kv.tokens = 0;
         }
+        prepareKvEncoded(kv, *backend);
         qh[i].resize(heads_);
         for (size_t h = 0; h < heads_; ++h) {
             Matrix q_row = sliceCols(q[i], h * dk_, dk_);
@@ -613,8 +706,10 @@ MultiHeadSelfAttention::decodeStepBatch(
                 k_row = fakeQuant(k_row, bits);
                 v_row = fakeQuant(v_row, bits);
             }
-            appendColumn(kv.k_t[h], k_row);
+            appendRow(kv.k[h], k_row);
             appendRow(kv.v[h], v_row);
+            if (encoded)
+                syncKvEncodedHead(kv, h, k_row, v_row, *backend);
             qh[i][h] = std::move(q_row);
         }
         kv.tokens += 1;
@@ -623,16 +718,34 @@ MultiHeadSelfAttention::decodeStepBatch(
     // All N*heads QK^T rows in one batch. Request i draws its head
     // streams in head order, exactly as solo; the (i, h) grouping of
     // the dispatch is invisible to the stream-addressed backend.
-    std::vector<std::pair<const Matrix *, const Matrix *>> qk_ops;
+    // Encoded-K/V backends dispatch on the cached packed K^T; others
+    // read each K mirror through a transposed view.
     std::vector<uint64_t> qk_streams;
-    qk_ops.reserve(n * heads_);
     qk_streams.reserve(n * heads_);
     for (size_t i = 0; i < n; ++i)
-        for (size_t h = 0; h < heads_; ++h) {
-            qk_ops.emplace_back(&qh[i][h], &kvs[i]->k_t[h]);
+        for (size_t h = 0; h < heads_; ++h)
             qk_streams.push_back(ctxs[i]->stream.next());
-        }
-    std::vector<Matrix> scores = backend->gemmBatch(qk_ops, qk_streams);
+    std::vector<Matrix> scores;
+    if (encoded) {
+        std::vector<
+            std::pair<ConstMatrixView, const core::EncodedOperand *>>
+            qk_ops;
+        qk_ops.reserve(n * heads_);
+        for (size_t i = 0; i < n; ++i)
+            for (size_t h = 0; h < heads_; ++h)
+                qk_ops.emplace_back(qh[i][h].view(),
+                                    &kvs[i]->ek_t[h]);
+        scores = backend->gemmBatch(qk_ops, qk_streams);
+    } else {
+        std::vector<std::pair<ConstMatrixView, ConstMatrixView>>
+            qk_ops;
+        qk_ops.reserve(n * heads_);
+        for (size_t i = 0; i < n; ++i)
+            for (size_t h = 0; h < heads_; ++h)
+                qk_ops.emplace_back(qh[i][h].view(),
+                                    kvs[i]->k[h].transposedView());
+        scores = backend->gemmBatch(qk_ops, qk_streams);
+    }
 
     double inv_sqrt_dk = 1.0 / std::sqrt(static_cast<double>(dk_));
     std::vector<Matrix> probs(n * heads_);
@@ -648,18 +761,34 @@ MultiHeadSelfAttention::decodeStepBatch(
                     : std::move(p);
         }
 
-    // All N*heads AV rows in one batch.
-    std::vector<std::pair<const Matrix *, const Matrix *>> av_ops;
+    // All N*heads AV rows in one batch, on the cached encoded V when
+    // available.
     std::vector<uint64_t> av_streams;
-    av_ops.reserve(n * heads_);
     av_streams.reserve(n * heads_);
     for (size_t i = 0; i < n; ++i)
-        for (size_t h = 0; h < heads_; ++h) {
-            av_ops.emplace_back(&probs[i * heads_ + h], &kvs[i]->v[h]);
+        for (size_t h = 0; h < heads_; ++h)
             av_streams.push_back(ctxs[i]->stream.next());
-        }
-    std::vector<Matrix> ctx_heads =
-        backend->gemmBatch(av_ops, av_streams);
+    std::vector<Matrix> ctx_heads;
+    if (encoded) {
+        std::vector<
+            std::pair<ConstMatrixView, const core::EncodedOperand *>>
+            av_ops;
+        av_ops.reserve(n * heads_);
+        for (size_t i = 0; i < n; ++i)
+            for (size_t h = 0; h < heads_; ++h)
+                av_ops.emplace_back(probs[i * heads_ + h].view(),
+                                    &kvs[i]->ev[h]);
+        ctx_heads = backend->gemmBatch(av_ops, av_streams);
+    } else {
+        std::vector<std::pair<ConstMatrixView, ConstMatrixView>>
+            av_ops;
+        av_ops.reserve(n * heads_);
+        for (size_t i = 0; i < n; ++i)
+            for (size_t h = 0; h < heads_; ++h)
+                av_ops.emplace_back(probs[i * heads_ + h].view(),
+                                    kvs[i]->v[h].view());
+        ctx_heads = backend->gemmBatch(av_ops, av_streams);
+    }
 
     std::vector<Matrix> contexts(n);
     for (size_t i = 0; i < n; ++i) {
@@ -674,12 +803,34 @@ void
 MultiHeadSelfAttention::seedKvCache(const AttentionCache &cache,
                                     AttentionKvCache &kv) const
 {
-    // One transpose per prefill; decode then appends columns.
-    kv.k_t.resize(cache.k.size());
-    for (size_t h = 0; h < cache.k.size(); ++h)
-        kv.k_t[h] = cache.k[h].transposed();
+    // Both mirrors keep the forward's row-major [tokens, dk] layout —
+    // no transpose at all; the QK^T dispatch reads K through a
+    // transposed view, and decode appends rows.
+    kv.k = cache.k;
     kv.v = cache.v;
     kv.tokens = cache.k.empty() ? 0 : cache.k.front().rows();
+    kv.ek_t.clear();
+    kv.ev.clear();
+    kv.encoded_backend_uid = 0;
+}
+
+void
+MultiHeadSelfAttention::seedKvCache(const AttentionCache &cache,
+                                    AttentionKvCache &kv,
+                                    GemmBackend &backend) const
+{
+    seedKvCache(cache, kv);
+    if (!prepareKvEncoded(kv, backend))
+        return;
+    // Encode the prompt's K/V once, here, so every decode step is an
+    // append: the prefill cost the paper's encoded-operand case
+    // amortizes (counts 2 * heads kv_encode misses per layer).
+    for (size_t h = 0; h < heads_; ++h) {
+        backend.encodeKvInto(kv.ek_t[h], kv.k[h].transposedView(),
+                             core::OperandSide::B);
+        backend.encodeKvInto(kv.ev[h], kv.v[h].view(),
+                             core::OperandSide::B);
+    }
 }
 
 void

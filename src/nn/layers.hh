@@ -113,7 +113,7 @@ class WeightPlanCache
      * materialize() for the (fake-quantized) dense weight and
      * encoding it on the backend only on a miss. `bits` is the
      * fakeQuant weight width, or -1 when quantization is disabled.
-     * Hit/miss lands on the backend's GemmStats encode_cache_*
+     * Hit/miss lands on the backend's GemmStats weight_encode_*
      * counters (misses via encodeWeight, hits when the returned plan
      * is executed).
      */
@@ -297,9 +297,19 @@ class MultiHeadSelfAttention
     /**
      * Seed a decode K/V cache from a prefill forward's caches (the
      * per-head quantized K/V the forward already materialized).
+     * Dense mirrors only; any previous encoded mirrors are dropped.
      */
     void seedKvCache(const AttentionCache &cache,
                      AttentionKvCache &kv) const;
+
+    /**
+     * Seed and, when the backend executes encoded K/V operands,
+     * build the encoded mirrors up front (counts the per-head
+     * kv_encode misses here, at prefill, so steady-state decode
+     * performs zero K/V encodes).
+     */
+    void seedKvCache(const AttentionCache &cache, AttentionKvCache &kv,
+                     GemmBackend &backend) const;
 
     void zeroGrad();
     void visitParams(const ParamVisitor &fn);
@@ -309,6 +319,26 @@ class MultiHeadSelfAttention
     bool causal() const { return causal_; }
 
   private:
+    /**
+     * Activate (or deactivate) kv's encoded mirrors for `backend`:
+     * sizes the per-head operand vectors and re-homes them when the
+     * cache last ran on a different backend. Returns whether encoded
+     * dispatch is in effect.
+     */
+    bool prepareKvEncoded(AttentionKvCache &kv,
+                          GemmBackend &backend) const;
+
+    /**
+     * Bring head h's encoded mirrors up to date after the dense
+     * appends of one token: the O(dk) packed append when the cached
+     * beta still covers the new row, a full (counted) rebuild —
+     * requantization in place — when it does not or the mirror is
+     * out of sync.
+     */
+    void syncKvEncodedHead(AttentionKvCache &kv, size_t h,
+                           const Matrix &k_row, const Matrix &v_row,
+                           GemmBackend &backend) const;
+
     size_t dim_;
     size_t heads_;
     size_t dk_;

@@ -51,14 +51,21 @@ struct MetricsSnapshot
     size_t engine_batch_calls = 0;
 
     /**
-     * Weight-plan (encoded-operand) cache effectiveness: hits are
-     * weight GEMMs served from a pre-encoded plan, misses are plan
-     * (re)encodes. A healthy steady-state decode server shows misses
-     * frozen at one-per-(layer-weight, width) while hits grow with
-     * every tick.
+     * Encoded-operand cache effectiveness, split by operand class.
+     * Weight side: hits are weight GEMMs served from a pre-encoded
+     * plan, misses are plan (re)encodes — a healthy steady-state
+     * decode server shows misses frozen at one-per-(layer-weight,
+     * width) while hits grow with every tick. KV side: hits are
+     * attention products dispatched on cached encoded K/V operands
+     * (grown by O(k) packed appends), misses are K/V cache encodes
+     * (prefill seeding and beta-growth requantizations) — a dead KV
+     * cache shows zero hits here as loudly as a dead weight cache
+     * does on the weight counters.
      */
-    size_t engine_encode_cache_hits = 0;
-    size_t engine_encode_cache_misses = 0;
+    size_t engine_weight_encode_hits = 0;
+    size_t engine_weight_encode_misses = 0;
+    size_t engine_kv_encode_hits = 0;
+    size_t engine_kv_encode_misses = 0;
 };
 
 /** Thread-safe metrics accumulator. */

@@ -133,10 +133,14 @@ Server::metrics() const
         stats.calls.load(std::memory_order_relaxed);
     snap.engine_batch_calls =
         stats.batch_calls.load(std::memory_order_relaxed);
-    snap.engine_encode_cache_hits =
-        stats.encode_cache_hits.load(std::memory_order_relaxed);
-    snap.engine_encode_cache_misses =
-        stats.encode_cache_misses.load(std::memory_order_relaxed);
+    snap.engine_weight_encode_hits =
+        stats.weight_encode_hits.load(std::memory_order_relaxed);
+    snap.engine_weight_encode_misses =
+        stats.weight_encode_misses.load(std::memory_order_relaxed);
+    snap.engine_kv_encode_hits =
+        stats.kv_encode_hits.load(std::memory_order_relaxed);
+    snap.engine_kv_encode_misses =
+        stats.kv_encode_misses.load(std::memory_order_relaxed);
     return snap;
 }
 

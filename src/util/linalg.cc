@@ -14,6 +14,35 @@ Matrix::Matrix(size_t rows, size_t cols, double fill)
 {
 }
 
+ConstMatrixView::ConstMatrixView(const Matrix &m)
+    : data_(m.data().data()), rows_(m.rows()), cols_(m.cols()),
+      ld_(m.cols())
+{
+}
+
+Matrix
+ConstMatrixView::dense() const
+{
+    Matrix out(rows_, cols_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            out(r, c) = (*this)(r, c);
+    return out;
+}
+
+double
+ConstMatrixView::maxAbsDiff(const ConstMatrixView &other) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        lt_panic("ConstMatrixView::maxAbsDiff shape mismatch");
+    double m = 0.0;
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            m = std::max(m,
+                         std::abs((*this)(r, c) - other(r, c)));
+    return m;
+}
+
 Matrix
 Matrix::identity(size_t n)
 {
@@ -101,6 +130,12 @@ constexpr size_t kMatmulBlock = 64;
 Matrix
 matmul(const Matrix &a, const Matrix &b)
 {
+    return matmul(a.view(), b.view());
+}
+
+Matrix
+matmul(const ConstMatrixView &a, const ConstMatrixView &b)
+{
     if (a.cols() != b.rows())
         lt_panic("matrix multiply shape mismatch: ", a.rows(), "x",
                  a.cols(), " * ", b.rows(), "x", b.cols());
@@ -112,8 +147,32 @@ matmul(const Matrix &a, const Matrix &b)
         return out;
 
     // Pack B^T once: row c of bt is column c of B, contiguous in k.
-    Matrix bt = b.transposed();
-    const double *a_data = a.data().data();
+    // For a transposed-B view the columns are already contiguous in
+    // the underlying storage, so the pack is a straight row copy.
+    Matrix bt(n, k);
+    if (b.colsContiguous()) {
+        for (size_t c = 0; c < n; ++c)
+            std::copy(b.colPtr(c), b.colPtr(c) + k,
+                      bt.data().data() + c * k);
+    } else {
+        for (size_t c = 0; c < n; ++c)
+            for (size_t i = 0; i < k; ++i)
+                bt(c, i) = b(i, c);
+    }
+
+    // A rows must be contiguous for the dot kernel; a transposed-A
+    // view is packed once (the copy its caller no longer makes).
+    Matrix a_pack;
+    const double *a_data;
+    size_t a_ld;
+    if (a.rowsContiguous()) {
+        a_data = a.data();
+        a_ld = a.ld();
+    } else {
+        a_pack = a.dense();
+        a_data = a_pack.data().data();
+        a_ld = k;
+    }
     const double *bt_data = bt.data().data();
     double *out_data = out.data().data();
 
@@ -121,7 +180,7 @@ matmul(const Matrix &a, const Matrix &b)
         for (size_t c0 = 0; c0 < n; c0 += kMatmulBlock) {
             size_t c1 = std::min(c0 + kMatmulBlock, n);
             for (size_t r = r0; r < r1; ++r) {
-                const double *arow = a_data + r * k;
+                const double *arow = a_data + r * a_ld;
                 double *orow = out_data + r * n;
                 for (size_t c = c0; c < c1; ++c)
                     orow[c] = dotKernel(arow, bt_data + c * k, k);

@@ -18,6 +18,108 @@
 
 namespace lt {
 
+class Matrix;
+
+/**
+ * Non-owning, stride-aware read view of a dense operand.
+ *
+ * A view names a logical [rows, cols] operand inside someone else's
+ * row-major storage without copying it:
+ *
+ *  - `ld` is the leading dimension: the element stride between
+ *    consecutive storage rows (>= the storage row length), so a view
+ *    can address a column block of a wider matrix;
+ *  - `transposed` flips the read: element (r, c) of a transposed view
+ *    reads storage element (c, r) — the pre-transposed K operand of
+ *    the decode QK^T row is a transposed view of the K cache, not a
+ *    re-strided copy.
+ *
+ * Views are the operand currency of the GEMM stack (util::matmul,
+ * Dptc::encode, GemmBackend::gemm/gemmBatch): every consumer that
+ * used to force callers to materialize `m.transposed()` or
+ * `sliceCols(...)` accepts a view instead. A view borrows storage —
+ * the viewed matrix must outlive every call the view is passed to.
+ */
+class ConstMatrixView
+{
+  public:
+    ConstMatrixView() = default;
+
+    /** View of a full matrix (also an implicit conversion). */
+    ConstMatrixView(const Matrix &m);
+
+    /**
+     * Raw view: logical [rows, cols] over `data`, reading element
+     * (r, c) at data[r * ld + c], or data[c * ld + r] when
+     * `transposed` (the buffer then holds the [cols, rows] layout).
+     */
+    ConstMatrixView(const double *data, size_t rows, size_t cols,
+                    size_t ld, bool transposed = false)
+        : data_(data), rows_(rows), cols_(cols), ld_(ld),
+          transposed_(transposed)
+    {
+    }
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t ld() const { return ld_; }
+    bool transposed() const { return transposed_; }
+    bool empty() const { return rows_ == 0 || cols_ == 0; }
+    const double *data() const { return data_; }
+
+    double
+    operator()(size_t r, size_t c) const
+    {
+        return transposed_ ? data_[c * ld_ + r] : data_[r * ld_ + c];
+    }
+
+    /**
+     * True when logical row r is one contiguous run of cols() doubles
+     * (any untransposed view); rowPtr() is only valid then.
+     */
+    bool rowsContiguous() const { return !transposed_; }
+
+    /** Pointer to contiguous logical row r (untransposed views). */
+    const double *
+    rowPtr(size_t r) const
+    {
+        return data_ + r * ld_;
+    }
+
+    /**
+     * True when logical column c is one contiguous run of rows()
+     * doubles (any transposed view); colPtr() is only valid then.
+     */
+    bool colsContiguous() const { return transposed_; }
+
+    /** Pointer to contiguous logical column c (transposed views). */
+    const double *
+    colPtr(size_t c) const
+    {
+        return data_ + c * ld_;
+    }
+
+    /** The same storage read as the [cols, rows] transpose. */
+    ConstMatrixView
+    transposedView() const
+    {
+        return ConstMatrixView(data_, cols_, rows_, ld_, !transposed_);
+    }
+
+    /** Materialize to an owning row-major matrix (not a hot path). */
+    Matrix dense() const;
+
+    /** Max absolute elementwise difference (shape-checked). */
+    double maxAbsDiff(const ConstMatrixView &other) const;
+
+  private:
+    const double *data_ = nullptr;
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    size_t ld_ = 0;
+    bool transposed_ = false;
+};
+
 /** Minimal row-major dense matrix of doubles. */
 class Matrix
 {
@@ -38,6 +140,35 @@ class Matrix
 
     Matrix transposed() const;
     Matrix operator*(const Matrix &rhs) const;
+
+    /** Stride-aware read view of the whole matrix. */
+    ConstMatrixView
+    view() const
+    {
+        return ConstMatrixView(data_.data(), rows_, cols_, cols_);
+    }
+
+    /**
+     * Read view of the transpose — the [cols, rows] operand GEMM
+     * consumers see, without materializing transposed().
+     */
+    ConstMatrixView
+    transposedView() const
+    {
+        return ConstMatrixView(data_.data(), cols_, rows_, cols_,
+                               /*transposed=*/true);
+    }
+
+    /**
+     * Read view of the column block [c0, c0 + n): a leading-dimension
+     * view into this matrix, replacing sliceCols copies for read-only
+     * consumers.
+     */
+    ConstMatrixView
+    colsView(size_t c0, size_t n) const
+    {
+        return ConstMatrixView(data_.data() + c0, rows_, n, cols_);
+    }
 
     /**
      * Reserve backing storage for `elems` doubles so subsequent
@@ -93,6 +224,15 @@ class Matrix
  * Matrix::operator* delegates here; the naive triple loop is gone.
  */
 Matrix matmul(const Matrix &a, const Matrix &b);
+
+/**
+ * View overload: same kernel, same blocking, same accumulation order
+ * — bit-identical to materializing the views and calling the Matrix
+ * overload — but transposed/strided operands are read in place (a
+ * transposed-B view's columns are already contiguous, so the internal
+ * B^T pack degenerates to a straight copy).
+ */
+Matrix matmul(const ConstMatrixView &a, const ConstMatrixView &b);
 
 /** Result of a singular value decomposition A = U * diag(s) * V^T. */
 struct SvdResult

@@ -8,10 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "core/dptc.hh"
 #include "core/encode_cost.hh"
 #include "core/ptc_interface.hh"
+#include "nn/tensor_ops.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 
@@ -419,6 +421,199 @@ TEST(EncodedOperand, GemmTilesRejectsMismatchedGeometry)
                                1, out, 0);
         },
         ::testing::ExitedWithCode(1), "not encoded for this core");
+}
+
+// ---- operand views into the encoder ----------------------------------
+
+TEST(EncodedOperand, EncodeFromViewMatchesEncodeFromCopy)
+{
+    // The view-vs-copy equivalence property at the encoder: encoding
+    // a transposed (or column-block) view is bit-identical to
+    // materializing the view and encoding the copy — beta, packed
+    // data, and geometry all equal. This is what lets the decode K
+    // cache stay row-major and encode its packed K^T through a view.
+    DptcConfig cfg;
+    cfg.input_bits = 8;
+    Dptc dptc(cfg);
+    Rng rng(0x11EE);
+    for (EvalMode mode : {EvalMode::Noisy, EvalMode::Ideal}) {
+        Matrix k = randomMatrix(29, 8, rng); // [tokens, dk]
+        Matrix k_t = k.transposed();
+        for (OperandSide side : {OperandSide::A, OperandSide::B}) {
+            EncodedOperand from_view =
+                dptc.encode(k.transposedView(), side, mode);
+            EncodedOperand from_copy = dptc.encode(k_t, side, mode);
+            EXPECT_EQ(from_view.beta(), from_copy.beta());
+            EXPECT_EQ(from_view.rows(), from_copy.rows());
+            EXPECT_EQ(from_view.cols(), from_copy.cols());
+            EXPECT_EQ(from_view.normalized().maxAbsDiff(
+                          from_copy.normalized()),
+                      0.0);
+        }
+
+        Matrix wide = randomMatrix(12, 20, rng);
+        Matrix sliced(12, 6);
+        for (size_t r = 0; r < 12; ++r)
+            for (size_t c = 0; c < 6; ++c)
+                sliced(r, c) = wide(r, c + 7);
+        EncodedOperand from_block =
+            dptc.encode(wide.colsView(7, 6), OperandSide::B, mode);
+        EncodedOperand from_slice =
+            dptc.encode(sliced, OperandSide::B, mode);
+        EXPECT_EQ(from_block.beta(), from_slice.beta());
+        EXPECT_EQ(from_block.normalized().maxAbsDiff(
+                      from_slice.normalized()),
+                  0.0);
+    }
+}
+
+// ---- incremental appends (encoded K/V caches) ------------------------
+
+TEST(EncodedOperand, AppendColumnMatchesFullReencodeAcrossSweep)
+{
+    // The K-cache growth contract, hex-exact: growing a packed B-side
+    // operand one column at a time must be indistinguishable — beta,
+    // every packed value, and the noisy GEMM outputs — from freshly
+    // encoding the grown dense operand, across shapes that cross tile
+    // boundaries and every noise config the kernel branches on.
+    struct Shape
+    {
+        size_t dk, t0, steps;
+    };
+    const Shape shapes[] = {
+        {8, 1, 14},  // sub-tile k, crosses one nv boundary
+        {12, 5, 20}, // exact nlambda k
+        {17, 11, 26} // partial tiles in both dimensions
+    };
+    NoiseConfig paper = NoiseConfig::paperDefault();
+    NoiseConfig no_encoding = paper;
+    no_encoding.enable_encoding_noise = false;
+    const NoiseConfig configs[] = {paper, no_encoding};
+
+    uint64_t seed = 0xA99;
+    for (const NoiseConfig &noise : configs) {
+        DptcConfig cfg;
+        cfg.input_bits = 8;
+        cfg.noise = noise;
+        Dptc dptc(cfg);
+        for (const Shape &s : shapes) {
+            Rng rng(seed++);
+            // Dense K^T grows a column per step.
+            Matrix k_t = randomMatrix(s.dk, s.t0, rng);
+            EncodedOperand grown =
+                dptc.encode(k_t, OperandSide::B, EvalMode::Noisy);
+            grown.reserve(s.dk, s.t0 + s.steps);
+            const double *backing = grown.packedData();
+
+            for (size_t step = 0; step < s.steps; ++step) {
+                Matrix col = randomMatrix(1, s.dk, rng);
+                nn::appendColumn(k_t, col);
+                if (!grown.appendColumn(col.data().data(), s.dk)) {
+                    // Beta outgrown: requantize in place (the
+                    // engine's encodeKvInto path) — still bit-equal
+                    // to the fresh encode below.
+                    grown.requantize(k_t.view(),
+                                     Dptc::maxAbs(k_t));
+                }
+                EncodedOperand fresh = dptc.encode(
+                    k_t, OperandSide::B, EvalMode::Noisy);
+                ASSERT_EQ(grown.beta(), fresh.beta());
+                ASSERT_EQ(grown.cols(), fresh.cols());
+                ASSERT_EQ(grown.normalized().maxAbsDiff(
+                              fresh.normalized()),
+                          0.0)
+                    << "dk=" << s.dk << " step=" << step;
+
+                // And the noisy kernel on the grown encoding equals
+                // the kernel on the fresh one, bit for bit (this
+                // reads through the reserved k-tile stride).
+                Matrix q = randomMatrix(1, s.dk, rng);
+                EncodedOperand eq =
+                    dptc.encode(q, OperandSide::A, EvalMode::Noisy);
+                const size_t tiles =
+                    dptc.outputTilesFor(1, k_t.cols());
+                Matrix out_grown(1, k_t.cols(), 0.0);
+                Matrix out_fresh(1, k_t.cols(), 0.0);
+                dptc.gemmTiles(eq, grown, EvalMode::Noisy,
+                               eq.beta() * grown.beta(), 0, tiles,
+                               out_grown, 0xBEEF);
+                dptc.gemmTiles(eq, fresh, EvalMode::Noisy,
+                               eq.beta() * fresh.beta(), 0, tiles,
+                               out_fresh, 0xBEEF);
+                ASSERT_EQ(out_grown.maxAbsDiff(out_fresh), 0.0);
+            }
+            // Reserved growth never moved the packed blocks.
+            EXPECT_EQ(grown.packedData(), backing);
+        }
+    }
+}
+
+TEST(EncodedOperand, AppendRowMatchesFullReencodeAcrossSweep)
+{
+    // The V-cache growth contract: one packed row per token, same
+    // hex-exact equivalence (rows cross k-slice boundaries, so this
+    // exercises the reserved k-tile stride directly).
+    struct Shape
+    {
+        size_t dk, t0, steps;
+    };
+    const Shape shapes[] = {{8, 3, 15}, {12, 12, 14}, {26, 7, 19}};
+    uint64_t seed = 0xB77;
+    for (const Shape &s : shapes) {
+        DptcConfig cfg;
+        cfg.input_bits = 8;
+        Dptc dptc(cfg);
+        Rng rng(seed++);
+        Matrix v = randomMatrix(s.t0, s.dk, rng); // [tokens, dk]
+        EncodedOperand grown =
+            dptc.encode(v, OperandSide::B, EvalMode::Noisy);
+        grown.reserve(s.t0 + s.steps, s.dk);
+        const double *backing = grown.packedData();
+
+        for (size_t step = 0; step < s.steps; ++step) {
+            Matrix row = randomMatrix(1, s.dk, rng);
+            nn::appendRow(v, row);
+            if (!grown.appendRow(row.data().data(), s.dk))
+                grown.requantize(v.view(), Dptc::maxAbs(v));
+            EncodedOperand fresh =
+                dptc.encode(v, OperandSide::B, EvalMode::Noisy);
+            ASSERT_EQ(grown.beta(), fresh.beta());
+            ASSERT_EQ(grown.rows(), fresh.rows());
+            ASSERT_EQ(
+                grown.normalized().maxAbsDiff(fresh.normalized()),
+                0.0)
+                << "dk=" << s.dk << " step=" << step;
+        }
+        EXPECT_EQ(grown.packedData(), backing);
+    }
+}
+
+TEST(EncodedOperand, AppendRefusesWhenBetaOutgrown)
+{
+    // A value beyond the cached beta must refuse the append (without
+    // writing) — a fresh re-encode would pick a larger beta, so the
+    // owner has to requantize. Ideal-mode encodings pin beta = 1 and
+    // never refuse.
+    DptcConfig cfg;
+    cfg.input_bits = 8;
+    Dptc dptc(cfg);
+    Rng rng(0xC55);
+    Matrix k_t = randomMatrix(6, 4, rng); // values in [-1, 1]
+    EncodedOperand op =
+        dptc.encode(k_t, OperandSide::B, EvalMode::Noisy);
+    const double beta_before = op.beta();
+    const size_t cols_before = op.cols();
+
+    std::vector<double> big(6, 0.0);
+    big[2] = 5.0; // beyond any [-1, 1] beta
+    EXPECT_FALSE(op.appendColumn(big.data(), 6));
+    EXPECT_EQ(op.cols(), cols_before);
+    EXPECT_EQ(op.beta(), beta_before);
+
+    EncodedOperand ideal =
+        dptc.encode(k_t, OperandSide::B, EvalMode::Ideal);
+    EXPECT_TRUE(ideal.appendColumn(big.data(), 6));
+    EXPECT_EQ(ideal.cols(), cols_before + 1);
 }
 
 // ---- Eq. 6 encoding-cost algebra -------------------------------------

@@ -341,15 +341,15 @@ TEST(EncodedWeights, CountersTrackHitsAndMisses)
 
     engine.resetStats();
     core::EncodedOperand plan = engine.encodeWeight(w);
-    EXPECT_EQ(engine.stats().encode_cache_misses.load(), 1u);
-    EXPECT_EQ(engine.stats().encode_cache_hits.load(), 0u);
+    EXPECT_EQ(engine.stats().weight_encode_misses.load(), 1u);
+    EXPECT_EQ(engine.stats().weight_encode_hits.load(), 0u);
     for (uint64_t s = 0; s < 3; ++s)
         engine.gemm(x, plan, s);
-    EXPECT_EQ(engine.stats().encode_cache_hits.load(), 3u);
+    EXPECT_EQ(engine.stats().weight_encode_hits.load(), 3u);
     // Dense calls tick neither counter.
     engine.gemm(x, w, 9);
-    EXPECT_EQ(engine.stats().encode_cache_misses.load(), 1u);
-    EXPECT_EQ(engine.stats().encode_cache_hits.load(), 3u);
+    EXPECT_EQ(engine.stats().weight_encode_misses.load(), 1u);
+    EXPECT_EQ(engine.stats().weight_encode_hits.load(), 3u);
 }
 
 TEST(WeightPlanCache, InferenceForwardUsesPlansBitIdentically)
@@ -381,10 +381,10 @@ TEST(WeightPlanCache, InferenceForwardUsesPlansBitIdentically)
         Matrix y_off = lin.forward(x, scratch, off_ctx);
         EXPECT_EQ(y_on.maxAbsDiff(y_off), 0.0) << "call " << call;
     }
-    EXPECT_EQ(e_on.stats().encode_cache_misses.load(), 1u);
-    EXPECT_EQ(e_on.stats().encode_cache_hits.load(), 3u);
-    EXPECT_EQ(e_off.stats().encode_cache_misses.load(), 0u);
-    EXPECT_EQ(e_off.stats().encode_cache_hits.load(), 0u);
+    EXPECT_EQ(e_on.stats().weight_encode_misses.load(), 1u);
+    EXPECT_EQ(e_on.stats().weight_encode_hits.load(), 3u);
+    EXPECT_EQ(e_off.stats().weight_encode_misses.load(), 0u);
+    EXPECT_EQ(e_off.stats().weight_encode_hits.load(), 0u);
 }
 
 TEST(WeightPlanCache, WeightUpdateInvalidatesStalePlan)
@@ -416,14 +416,14 @@ TEST(WeightPlanCache, WeightUpdateInvalidatesStalePlan)
     };
 
     Matrix before = forwardOn();
-    EXPECT_EQ(e_on.stats().encode_cache_misses.load(), 1u);
+    EXPECT_EQ(e_on.stats().weight_encode_misses.load(), 1u);
     const uint64_t v0 = lin.weightVersion();
 
     // Update through the accessor (bumps the version)…
     lin.weight()(0, 0) += 0.75;
     EXPECT_GT(lin.weightVersion(), v0);
     Matrix after = forwardOn();
-    EXPECT_EQ(e_on.stats().encode_cache_misses.load(), 2u);
+    EXPECT_EQ(e_on.stats().weight_encode_misses.load(), 2u);
     EXPECT_GT(after.maxAbsDiff(before), 0.0);
     EXPECT_EQ(after.maxAbsDiff(forwardOff()), 0.0);
 
@@ -432,7 +432,7 @@ TEST(WeightPlanCache, WeightUpdateInvalidatesStalePlan)
     lin.visitParams([](Matrix &w, Matrix &) { w(0, 1) -= 0.5; });
     EXPECT_GT(lin.weightVersion(), v1);
     Matrix stepped = forwardOn();
-    EXPECT_EQ(e_on.stats().encode_cache_misses.load(), 3u);
+    EXPECT_EQ(e_on.stats().weight_encode_misses.load(), 3u);
     EXPECT_EQ(stepped.maxAbsDiff(forwardOff()), 0.0);
 }
 

@@ -206,6 +206,96 @@ TEST(Clements, RejectsNonOrthogonal)
                 ::testing::ExitedWithCode(1), "not orthogonal");
 }
 
+// ---- stride-aware operand views ---------------------------------------
+
+TEST(MatrixView, AccessorsReadThroughStrideAndTranspose)
+{
+    Rng rng(0x71E);
+    Matrix m = randomMatrix(5, 7, rng);
+
+    ConstMatrixView full = m.view();
+    EXPECT_EQ(full.rows(), 5u);
+    EXPECT_EQ(full.cols(), 7u);
+    EXPECT_TRUE(full.rowsContiguous());
+    for (size_t r = 0; r < 5; ++r)
+        for (size_t c = 0; c < 7; ++c)
+            EXPECT_EQ(full(r, c), m(r, c));
+
+    ConstMatrixView t = m.transposedView();
+    EXPECT_EQ(t.rows(), 7u);
+    EXPECT_EQ(t.cols(), 5u);
+    EXPECT_TRUE(t.colsContiguous());
+    Matrix mt = m.transposed();
+    EXPECT_EQ(t.dense().maxAbsDiff(mt), 0.0);
+    // A transposed view's columns are the storage rows.
+    for (size_t c = 0; c < 5; ++c)
+        EXPECT_EQ(t.colPtr(c), m.data().data() + c * 7);
+
+    // Double transpose is the identity view.
+    EXPECT_EQ(t.transposedView().dense().maxAbsDiff(m), 0.0);
+
+    // Column-block view: a leading-dimension window, no copy.
+    ConstMatrixView block = m.colsView(2, 3);
+    EXPECT_EQ(block.ld(), 7u);
+    for (size_t r = 0; r < 5; ++r) {
+        EXPECT_EQ(block.rowPtr(r), m.data().data() + r * 7 + 2);
+        for (size_t c = 0; c < 3; ++c)
+            EXPECT_EQ(block(r, c), m(r, c + 2));
+    }
+}
+
+TEST(MatrixView, MatmulOnViewsBitIdenticalToMaterializedCopies)
+{
+    // The view-vs-copy equivalence property: for every operand
+    // presentation (plain, transposed view, column-block view) the
+    // product must be BIT-identical to materializing the view and
+    // multiplying dense — same kernel, same blocking, same
+    // accumulation order. Shapes straddle the parallel-dispatch
+    // threshold so both the inline and the pool path are pinned.
+    Rng rng(0x71F);
+    struct Shape
+    {
+        size_t m, k, n;
+    };
+    for (const Shape &s : {Shape{3, 5, 4}, Shape{12, 24, 12},
+                           Shape{64, 33, 65}, Shape{40, 64, 40}}) {
+        Matrix a = randomMatrix(s.m, s.k, rng);
+        Matrix bt = randomMatrix(s.n, s.k, rng); // holds B^T
+        Matrix b = bt.transposed();
+
+        Matrix ref = matmul(a, b);
+        EXPECT_EQ(matmul(a.view(), b.view()).maxAbsDiff(ref), 0.0);
+        // Transposed-B view over the B^T storage.
+        EXPECT_EQ(matmul(a.view(), bt.transposedView())
+                      .maxAbsDiff(ref),
+                  0.0);
+        // Transposed-A view over the A^T storage.
+        Matrix at = a.transposed();
+        EXPECT_EQ(matmul(at.transposedView(), b.view())
+                      .maxAbsDiff(ref),
+                  0.0);
+        // Both transposed.
+        EXPECT_EQ(matmul(at.transposedView(), bt.transposedView())
+                      .maxAbsDiff(ref),
+                  0.0);
+    }
+}
+
+TEST(MatrixView, ColumnBlockViewMatmulMatchesSlicedCopy)
+{
+    Rng rng(0x720);
+    Matrix wide = randomMatrix(9, 12, rng);
+    Matrix b = randomMatrix(4, 6, rng);
+    // Multiply a [9, 4] column block of `wide` without slicing it.
+    Matrix sliced(9, 4);
+    for (size_t r = 0; r < 9; ++r)
+        for (size_t c = 0; c < 4; ++c)
+            sliced(r, c) = wide(r, c + 5);
+    EXPECT_EQ(matmul(wide.colsView(5, 4), b.view())
+                  .maxAbsDiff(matmul(sliced, b)),
+              0.0);
+}
+
 TEST(MziMapping, FullPipelineReconstructsWeight)
 {
     Rng rng(77);

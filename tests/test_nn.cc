@@ -87,24 +87,28 @@ TEST(TensorOps, ResizeColsZeroFillsTheNewCells)
 
 TEST(TensorOps, KvCacheReserveMakesDecodeAppendsAllocationFree)
 {
+    // Both dense mirrors are row-major [tokens, dk] now — a decode
+    // step appends one row to each in amortized O(dk); the QK^T
+    // dispatch reads K through a transposed view instead of
+    // re-striding a pre-transposed copy.
     Rng rng(0xCAFE);
     AttentionKvCache kv;
     const size_t dk = 4, prefill = 3, max_tokens = 12;
-    kv.k_t.push_back(randomMatrix(dk, prefill, rng));
+    kv.k.push_back(randomMatrix(prefill, dk, rng));
     kv.v.push_back(randomMatrix(prefill, dk, rng));
     kv.tokens = prefill;
     kv.reserve(max_tokens);
-    const double *k_backing = kv.k_t[0].data().data();
+    const double *k_backing = kv.k[0].data().data();
     const double *v_backing = kv.v[0].data().data();
     for (size_t t = prefill; t < max_tokens; ++t) {
         Matrix row = randomMatrix(1, dk, rng);
-        appendColumn(kv.k_t[0], row);
+        appendRow(kv.k[0], row);
         appendRow(kv.v[0], row);
         kv.tokens += 1;
     }
-    EXPECT_EQ(kv.k_t[0].cols(), max_tokens);
+    EXPECT_EQ(kv.k[0].rows(), max_tokens);
     EXPECT_EQ(kv.v[0].rows(), max_tokens);
-    EXPECT_EQ(kv.k_t[0].data().data(), k_backing);
+    EXPECT_EQ(kv.k[0].data().data(), k_backing);
     EXPECT_EQ(kv.v[0].data().data(), v_backing);
 }
 

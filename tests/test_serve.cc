@@ -494,10 +494,18 @@ TEST(Serve, MetricsAccountForTheWholeRun)
     // The weight-plan cache serves every projection after warmup:
     // hits grow with the serving work, misses stay frozen at one per
     // static layer weight (encoded once, never again).
-    EXPECT_GT(snap.engine_encode_cache_hits,
-              snap.engine_encode_cache_misses);
-    EXPECT_EQ(snap.engine_encode_cache_misses,
+    EXPECT_GT(snap.engine_weight_encode_hits,
+              snap.engine_weight_encode_misses);
+    EXPECT_EQ(snap.engine_weight_encode_misses,
               model.config().depth * 6 + 1);
+    // The encoded-K/V cache serves every attention product of every
+    // decode tick: hits grow with the generated tokens, misses stay
+    // at the per-request prefill seeding (K^T and V per head per
+    // layer) plus any beta-growth requantizations.
+    EXPECT_GT(snap.engine_kv_encode_hits, snap.engine_kv_encode_misses);
+    EXPECT_GE(snap.engine_kv_encode_misses,
+              kRequests * model.config().depth *
+                  model.config().heads * 2);
 }
 
 TEST(Serve, ThreadedServerDrainsConcurrentClients)
