@@ -50,6 +50,7 @@
 #include "nn/execution_engine.hh"
 #include "nn/inference_session.hh"
 #include "nn/transformer.hh"
+#include "util/fast_rng.hh"
 #include "util/linalg.hh"
 #include "util/parallel.hh"
 #include "util/rng.hh"
@@ -62,6 +63,15 @@ using namespace lt;
 
 constexpr size_t kDim = 256; ///< 256 x 256 x 256 GEMM
 constexpr int kReps = 3;
+
+/**
+ * The decode perf gate of the fast-noise-pipeline PR: the committed
+ * bit-exact cache-on ms/step BEFORE the pipeline rewrite (PR 5's
+ * BENCH_engine.json). The rewritten bit-exact path must beat it by at
+ * least 1.5x, and the Fast sampler must beat the bit-exact path.
+ */
+constexpr double kPreRewriteDecodeMsPerStep = 7.42;
+constexpr double kDecodeSpeedupGate = 1.5;
 
 double
 secondsOf(const std::function<void()> &fn)
@@ -91,9 +101,13 @@ struct DecodeResult
     double plans_off_ms;     ///< per-step, every operand re-encoded
     double weight_plans_ms;  ///< per-step, PR 4 state: weights cached
     double kv_plans_ms;      ///< per-step, weights + encoded K/V
+    double fast_ms;          ///< per-step, caches + NoiseSampler::Fast
     double speedup;          ///< plans_off / kv_plans
     double kv_speedup;       ///< weight_plans / kv_plans (this PR)
-    bool identical;          ///< all three columns bitwise equal
+    double fast_speedup;     ///< kv_plans / fast (bit-exact vs Fast)
+    bool identical;          ///< bit-exact columns bitwise equal
+    size_t draws_per_step;      ///< Gaussian draws/step, bit-exact
+    size_t fast_draws_per_step; ///< Gaussian draws/step, Fast
     size_t kv_requants;      ///< beta-growth requants over the run
     // Steady-state gate, measured over the record-free tail window:
     // every product a cache hit, ZERO encodes of either class.
@@ -103,6 +117,55 @@ struct DecodeResult
     size_t kv_misses;        ///< want 0
 };
 
+/** Per-draw cost of the three Gaussian pipelines [ns]. */
+struct RngBenchResult
+{
+    double scalar_ns;  ///< Rng::gaussian per-call (blocked engine)
+    double blocked_ns; ///< Rng::fillGaussian bulk fill
+    double fast_ns;    ///< FastRng::fillGaussian (Ziggurat)
+};
+
+/** ns/draw of scalar vs blocked-bulk vs Fast sampling. */
+RngBenchResult
+runRngMicrobench()
+{
+    constexpr size_t kDraws = 2'000'000;
+    constexpr size_t kBuf = 4096;
+    RngBenchResult res;
+    double sink = 0.0;
+    {
+        Rng rng(1);
+        double s = secondsOf([&] {
+            double acc = 0.0;
+            for (size_t i = 0; i < kDraws; ++i)
+                acc += rng.gaussian(0.0, 1.0);
+            sink += acc;
+        });
+        res.scalar_ns = s / kDraws * 1e9;
+    }
+    std::vector<double> buf(kBuf);
+    {
+        Rng rng(2);
+        double s = secondsOf([&] {
+            for (size_t i = 0; i < kDraws / kBuf; ++i)
+                rng.fillGaussian(buf, 0.0, 1.0);
+        });
+        res.blocked_ns = s / ((kDraws / kBuf) * kBuf) * 1e9;
+    }
+    {
+        FastRng rng(3);
+        double s = secondsOf([&] {
+            for (size_t i = 0; i < kDraws / kBuf; ++i)
+                rng.fillGaussian(buf, 0.0, 1.0);
+        });
+        res.fast_ns = s / ((kDraws / kBuf) * kBuf) * 1e9;
+    }
+    sink += buf[0];
+    if (sink == 0.12345) // defeat dead-code elimination of the loops
+        std::cerr << "";
+    return res;
+}
+
 /** The decode-regime cache comparison (see file header). */
 DecodeResult
 runDecodeScenario()
@@ -110,7 +173,7 @@ runDecodeScenario()
     constexpr size_t kDecodeDim = 256;
     constexpr size_t kPrompt = 96;
     constexpr size_t kSteps = 32;
-    constexpr int kDecodeReps = 3;
+    constexpr int kDecodeReps = 6;
 
     core::DptcConfig dcfg;
     dcfg.input_bits = 8;
@@ -145,6 +208,14 @@ runDecodeScenario()
         nn::EngineConfig{dcfg, core::EvalMode::Noisy, 8, true, false});
     nn::ExecutionEngine kv_engine(
         nn::EngineConfig{dcfg, core::EvalMode::Noisy, 8, true, true});
+    // The Fast-sampler column: same caches, same request id, Ziggurat
+    // noise stream (deterministic, but NOT bitwise comparable to the
+    // bit-exact columns — it is excluded from the identity gate).
+    core::DptcConfig fast_cfg = dcfg;
+    fast_cfg.noise.sampler = core::NoiseSampler::Fast;
+    nn::ExecutionEngine fast_engine(
+        nn::EngineConfig{fast_cfg, core::EvalMode::Noisy, 8, true,
+                         true});
 
     auto runColumn = [&](nn::ExecutionEngine &engine,
                          std::vector<Matrix> &out, double &best_s) {
@@ -169,11 +240,17 @@ runDecodeScenario()
         }
     };
 
-    std::vector<Matrix> off_out, weights_out, kv_out;
-    double off_s, weights_s, kv_s;
+    std::vector<Matrix> off_out, weights_out, kv_out, fast_out;
+    double off_s, weights_s, kv_s, fast_s;
     runColumn(off_engine, off_out, off_s);
     runColumn(weights_engine, weights_out, weights_s);
     runColumn(kv_engine, kv_out, kv_s);
+    // Stats survive from the last measured rep (31 steps): the
+    // bit-exact draw load of one decode step.
+    const size_t kv_draws = kv_engine.stats().gaussian_draws.load();
+    runColumn(fast_engine, fast_out, fast_s);
+    const size_t fast_draws =
+        fast_engine.stats().gaussian_draws.load();
     // Beta-growth requantizations over the whole measured run: a new
     // token whose magnitude sets a per-operand record forces one
     // (bit-identity-preserving) in-place requant; records decay like
@@ -207,8 +284,12 @@ runDecodeScenario()
     res.plans_off_ms = off_s / (kSteps - 1) * 1e3;
     res.weight_plans_ms = weights_s / (kSteps - 1) * 1e3;
     res.kv_plans_ms = kv_s / (kSteps - 1) * 1e3;
+    res.fast_ms = fast_s / (kSteps - 1) * 1e3;
     res.speedup = res.plans_off_ms / res.kv_plans_ms;
     res.kv_speedup = res.weight_plans_ms / res.kv_plans_ms;
+    res.fast_speedup = res.kv_plans_ms / res.fast_ms;
+    res.draws_per_step = kv_draws / (kSteps - 1);
+    res.fast_draws_per_step = fast_draws / (kSteps - 1);
     res.identical = off_out.size() == weights_out.size() &&
                     off_out.size() == kv_out.size();
     for (size_t s = 0; res.identical && s < off_out.size(); ++s)
@@ -295,6 +376,7 @@ main(int argc, char **argv)
     ThreadPool::setGlobalThreads(0);
 
     DecodeResult decode = runDecodeScenario();
+    RngBenchResult rngb = runRngMicrobench();
 
     if (json) {
         // The committed perf-trajectory snapshot: one object per
@@ -318,6 +400,9 @@ main(int argc, char **argv)
                 << (i + 1 < rows.size() ? "," : "") << "\n";
         }
         out << "  ],\n"
+            << "  \"rng\": {\"scalar_ns_per_draw\": " << rngb.scalar_ns
+            << ", \"blocked_ns_per_draw\": " << rngb.blocked_ns
+            << ", \"fast_ns_per_draw\": " << rngb.fast_ns << "},\n"
             << "  \"decode\": {\"model\": \"dim" << decode.dim
             << "x2L8H\", \"prompt\": " << decode.prompt
             << ", \"steps\": " << decode.steps
@@ -326,8 +411,15 @@ main(int argc, char **argv)
             << ", \"weight_plans_ms_per_step\": "
             << decode.weight_plans_ms
             << ", \"cache_on_ms_per_step\": " << decode.kv_plans_ms
+            << ", \"fast_sampler_ms_per_step\": " << decode.fast_ms
             << ", \"cache_speedup\": " << decode.speedup
             << ", \"kv_cache_speedup_vs_pr4\": " << decode.kv_speedup
+            << ", \"fast_speedup_vs_bitexact\": "
+            << decode.fast_speedup
+            << ", \"gaussian_draws_per_step\": "
+            << decode.draws_per_step
+            << ", \"fast_gaussian_draws_per_step\": "
+            << decode.fast_draws_per_step
             << ", \"bit_identical\": "
             << (decode.identical ? "true" : "false")
             << ", \"kv_requants_over_run\": " << decode.kv_requants
@@ -355,6 +447,14 @@ main(int argc, char **argv)
     const bool decode_ok = decode.identical && decode.weight_hits > 0 &&
                            decode.weight_misses == 0 &&
                            decode.kv_hits > 0 && decode.kv_misses == 0;
+    // Noise-pipeline perf gates: the rewritten bit-exact path must
+    // hold >= 1.5x over the committed pre-rewrite decode baseline, and
+    // the Fast sampler must beat the bit-exact path outright.
+    const bool bitexact_fast_enough =
+        decode.kv_plans_ms <=
+        kPreRewriteDecodeMsPerStep / kDecodeSpeedupGate;
+    const bool fast_beats_bitexact = decode.fast_ms < decode.kv_plans_ms;
+    const bool perf_ok = bitexact_fast_enough && fast_beats_bitexact;
 
     if (csv) {
         std::cout << "threads,photonic_s,photonic_gmacs,"
@@ -368,7 +468,11 @@ main(int argc, char **argv)
                       << std::thread::hardware_concurrency() << "\n";
         std::cout << "\ndecode_model,cache_off_ms_per_step,"
                      "weight_plans_ms_per_step,cache_on_ms_per_step,"
+                     "fast_sampler_ms_per_step,"
                      "cache_speedup,kv_cache_speedup_vs_pr4,"
+                     "fast_speedup_vs_bitexact,"
+                     "gaussian_draws_per_step,"
+                     "fast_gaussian_draws_per_step,"
                      "bit_identical,kv_requants_over_run,"
                      "steady_weight_encode_hits,"
                      "steady_weight_encode_misses,"
@@ -376,13 +480,21 @@ main(int argc, char **argv)
                   << "dim" << decode.dim << "x2L8H,"
                   << decode.plans_off_ms << ","
                   << decode.weight_plans_ms << ","
-                  << decode.kv_plans_ms << "," << decode.speedup << ","
+                  << decode.kv_plans_ms << "," << decode.fast_ms << ","
+                  << decode.speedup << ","
                   << decode.kv_speedup << ","
+                  << decode.fast_speedup << ","
+                  << decode.draws_per_step << ","
+                  << decode.fast_draws_per_step << ","
                   << (decode.identical ? 1 : 0) << ","
                   << decode.kv_requants << "," << decode.weight_hits
                   << "," << decode.weight_misses << ","
                   << decode.kv_hits << "," << decode.kv_misses
                   << "\n";
+        std::cout << "\nrng_scalar_ns_per_draw,rng_blocked_ns_per_draw,"
+                     "rng_fast_ns_per_draw\n"
+                  << rngb.scalar_ns << "," << rngb.blocked_ns << ","
+                  << rngb.fast_ns << "\n";
     }
     if (csv || json) {
         if (!all_identical)
@@ -399,7 +511,20 @@ main(int argc, char **argv)
                       << " misses=" << decode.kv_misses
                       << " (want hits > 0 and steady-state misses == "
                          "0 on both)\n";
-        return all_identical && decode_ok ? 0 : 1;
+        if (!bitexact_fast_enough)
+            std::cerr << "NOISE PIPELINE PERF VIOLATION: bit-exact "
+                         "decode "
+                      << decode.kv_plans_ms << " ms/step > "
+                      << kPreRewriteDecodeMsPerStep / kDecodeSpeedupGate
+                      << " (committed pre-rewrite baseline "
+                      << kPreRewriteDecodeMsPerStep << " / "
+                      << kDecodeSpeedupGate << "x gate)\n";
+        if (!fast_beats_bitexact)
+            std::cerr << "NOISE PIPELINE PERF VIOLATION: Fast sampler "
+                      << decode.fast_ms
+                      << " ms/step not faster than bit-exact "
+                      << decode.kv_plans_ms << "\n";
+        return all_identical && decode_ok && perf_ok ? 0 : 1;
     }
 
     printBanner(std::cout, "Execution-engine scaling: 256^3 GEMM "
@@ -430,34 +555,65 @@ main(int argc, char **argv)
                     std::to_string(decode.steps) +
                     " steps), encoded-operand caches");
     Table dtable({"cache state", "ms/step", "speedup", "bit-identical",
-                  "w hits/misses", "kv hits/misses"});
+                  "draws/step", "w hits/misses", "kv hits/misses"});
     dtable.addRow({"plans off",
                    units::fmtFixed(decode.plans_off_ms, 3), "1.00x",
-                   "-", "-", "-"});
+                   "-", "-", "-", "-"});
     dtable.addRow({"weight plans (PR4)",
                    units::fmtFixed(decode.weight_plans_ms, 3),
                    units::fmtFixed(decode.plans_off_ms /
                                        decode.weight_plans_ms,
                                    2) +
                        "x",
-                   "-", "-", "-"});
+                   "-", "-", "-", "-"});
     dtable.addRow({"weight+kv plans",
                    units::fmtFixed(decode.kv_plans_ms, 3),
                    units::fmtFixed(decode.speedup, 2) + "x",
                    decode.identical ? "yes" : "NO",
+                   std::to_string(decode.draws_per_step),
                    std::to_string(decode.weight_hits) + "/" +
                        std::to_string(decode.weight_misses),
                    std::to_string(decode.kv_hits) + "/" +
                        std::to_string(decode.kv_misses)});
+    dtable.addRow({"+ fast sampler",
+                   units::fmtFixed(decode.fast_ms, 3),
+                   units::fmtFixed(decode.plans_off_ms / decode.fast_ms,
+                                   2) +
+                       "x",
+                   "n/a",
+                   std::to_string(decode.fast_draws_per_step), "-",
+                   "-"});
     dtable.print(std::cout);
     std::cout
         << "\nStationary weights are encoded once per version; the "
            "growing K/V caches are\nencoded once at prefill and grown "
-           "by O(dk) packed appends per token.\nAll cache states must "
-           "produce bit-identical logits, and steady-state\nmisses "
-           "must be zero on both caches. Scenario noise: dispersion + "
-           "systematic\noutput term (encoding noise off — with it on, "
-           "per-MAC Gaussian draws dominate\nand caching is "
-           "invisible).\n";
+           "by O(dk) packed appends per token.\nAll bit-exact cache "
+           "states must produce bit-identical logits, and "
+           "steady-state\nmisses must be zero on both caches. The "
+           "fast-sampler row draws Ziggurat noise\n(deterministic, "
+           "different stream — excluded from the identity gate). "
+           "Scenario\nnoise: dispersion + systematic output term "
+           "(encoding noise off — with it on,\nper-MAC Gaussian draws "
+           "dominate and caching is invisible).\n";
+
+    printBanner(std::cout, "Gaussian draw pipelines: ns/draw");
+    Table rtable({"pipeline", "ns/draw"});
+    rtable.addRow({"Rng::gaussian (scalar, blocked engine)",
+                   units::fmtFixed(rngb.scalar_ns, 1)});
+    rtable.addRow({"Rng::fillGaussian (bulk, bit-exact)",
+                   units::fmtFixed(rngb.blocked_ns, 1)});
+    rtable.addRow({"FastRng::fillGaussian (Ziggurat)",
+                   units::fmtFixed(rngb.fast_ns, 1)});
+    rtable.print(std::cout);
+    std::cout << "\nDecode perf gates (enforced in --csv/--json): "
+                 "bit-exact cache-on <= "
+              << units::fmtFixed(kPreRewriteDecodeMsPerStep /
+                                     kDecodeSpeedupGate,
+                                 3)
+              << " ms/step\n(committed pre-rewrite baseline "
+              << units::fmtFixed(kPreRewriteDecodeMsPerStep, 2) << " / "
+              << units::fmtFixed(kDecodeSpeedupGate, 1)
+              << "x), and Fast < bit-exact. This run: "
+              << (perf_ok ? "PASS" : "FAIL") << ".\n";
     return all_identical && decode_ok ? 0 : 1;
 }

@@ -5,19 +5,104 @@
  * (0.02..0.08) and phase-noise std (1..7 degrees), against the
  * digital reference. Paper outcome: degradation within ~0.5% at the
  * paper's operating points, growing gracefully with noise.
+ *
+ * `--fast-gate` instead runs the statistical-equivalence gate of the
+ * Fast noise sampler (NoiseSampler::Fast): accuracy under the fast
+ * Ziggurat sampler must track the bit-exact sampler within a
+ * tolerance at the paper default and at the harshest point of each
+ * sweep. Exits nonzero on violation (CI keys on this).
  */
 
+#include <cmath>
+#include <cstring>
 #include <iostream>
 
 #include "bench_accuracy_common.hh"
 #include "bench_common.hh"
 #include "util/csv.hh"
 
+namespace {
+
+/**
+ * Fast-sampler statistical-equivalence gate: the two samplers draw
+ * from different generators, so per-sample logits differ — but over
+ * a test set the accuracy under matched noise levels must agree
+ * within tolerance, or the fast sampler is NOT a drop-in for
+ * accuracy studies.
+ */
 int
-main()
+runFastGate()
 {
     using namespace lt;
     using namespace lt::bench;
+
+    printBanner(std::cout,
+                "Fast-sampler gate: accuracy, fast vs bit-exact");
+
+    std::cout << "training 4-bit vision substitute (DeiT-T stand-in)"
+              << "...\n";
+    TrainedVisionTask vision = trainVisionTask(4);
+
+    constexpr double kTolerance = 0.08;
+
+    struct Point
+    {
+        const char *name;
+        double magnitude_std;
+        double phase_deg;
+    };
+    const Point points[] = {
+        {"paper default", -1.0, -1.0}, // keep paperDefault() values
+        {"magnitude 0.08", 0.08, -1.0},
+        {"phase 7 deg", -1.0, 7.0},
+    };
+
+    Table table({"operating point", "bit-exact acc [%]",
+                 "fast acc [%]", "|delta| [%]", "gate"});
+    bool ok = true;
+    for (const Point &p : points) {
+        core::NoiseConfig noise = core::NoiseConfig::paperDefault();
+        if (p.magnitude_std >= 0.0)
+            noise.magnitude_noise_std = p.magnitude_std;
+        if (p.phase_deg >= 0.0)
+            noise.phase_noise_std_deg = p.phase_deg;
+
+        noise.sampler = core::NoiseSampler::BitExact;
+        double acc_exact = photonicVisionAccuracy(vision, noise, 12);
+        noise.sampler = core::NoiseSampler::Fast;
+        double acc_fast = photonicVisionAccuracy(vision, noise, 12);
+
+        double delta = std::abs(acc_fast - acc_exact);
+        bool point_ok = delta <= kTolerance;
+        ok &= point_ok;
+        table.addRow({p.name,
+                      units::fmtFixed(acc_exact * 100.0, 1),
+                      units::fmtFixed(acc_fast * 100.0, 1),
+                      units::fmtFixed(delta * 100.0, 1),
+                      point_ok ? "PASS" : "FAIL"});
+        if (!point_ok)
+            std::cerr << "FAST SAMPLER ACCURACY VIOLATION ("
+                      << p.name << "): bit-exact " << acc_exact
+                      << " vs fast " << acc_fast << " (tolerance "
+                      << kTolerance << ")\n";
+    }
+    table.print(std::cout);
+    std::cout << "\nGate: |acc_fast - acc_bitexact| <= "
+              << units::fmtFixed(kTolerance, 2)
+              << " at every operating point.\n";
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace lt;
+    using namespace lt::bench;
+
+    if (argc > 1 && std::strcmp(argv[1], "--fast-gate") == 0)
+        return runFastGate();
 
     printBanner(std::cout,
                 "Fig. 15: accuracy vs encoding magnitude/phase noise");

@@ -59,10 +59,11 @@ modelConfig()
 }
 
 core::DptcConfig
-dptcConfig()
+dptcConfig(core::NoiseSampler sampler = core::NoiseSampler::BitExact)
 {
     core::DptcConfig dcfg;
     dcfg.input_bits = 8;
+    dcfg.noise.sampler = sampler;
     return dcfg;
 }
 
@@ -90,6 +91,10 @@ struct Row
     size_t weight_encode_misses;
     size_t kv_encode_hits;
     size_t kv_encode_misses;
+    size_t gaussian_draws;      ///< bit-exact run, engine-wide
+    double fast_tokens_per_s;   ///< same sweep, Fast noise sampler
+    size_t fast_gaussian_draws;
+    bool fast_bit_identical;    ///< Fast solo == Fast batched
     size_t batch_calls_per_step;
     bool o_layers; ///< dispatch count independent of batch size
     bool bit_identical;
@@ -149,8 +154,20 @@ main(int argc, char **argv)
     std::vector<Row> rows;
     bool all_ok = true;
 
-    for (size_t concurrency : sweep) {
-        nn::ExecutionEngine engine(dptcConfig(),
+    // Serve one full sweep level through a fresh server and verify
+    // every request solo-vs-batched bit-for-bit on a same-sampler
+    // solo engine. Both samplers satisfy the identity: per-request
+    // noise lanes are counter-derived, so determinism never depends
+    // on which generator backs the draws.
+    struct ServeOutcome
+    {
+        double wall_s;
+        bool identical;
+        serve::MetricsSnapshot snap;
+    };
+    auto serveOnce = [&](size_t concurrency,
+                         core::NoiseSampler sampler) {
+        nn::ExecutionEngine engine(dptcConfig(sampler),
                                    core::EvalMode::Noisy);
         serve::ServerConfig scfg;
         scfg.scheduler.max_batch = concurrency;
@@ -175,7 +192,7 @@ main(int argc, char **argv)
         bool identical = true;
         for (uint64_t id = 0; id < concurrency; ++id) {
             serve::RequestResult result = futures[id].get();
-            nn::ExecutionEngine solo_engine(dptcConfig(),
+            nn::ExecutionEngine solo_engine(dptcConfig(sampler),
                                             core::EvalMode::Noisy);
             nn::InferenceSession solo(model, solo_engine, quant, id);
             Matrix logits =
@@ -195,10 +212,24 @@ main(int argc, char **argv)
             identical &= result.generated == generated;
         }
 
-        serve::MetricsSnapshot snap = server.metrics();
+        ServeOutcome outcome;
+        outcome.wall_s =
+            std::chrono::duration<double>(t1 - t0).count();
+        outcome.identical = identical;
+        outcome.snap = server.metrics();
+        return outcome;
+    };
+
+    for (size_t concurrency : sweep) {
+        ServeOutcome exact =
+            serveOnce(concurrency, core::NoiseSampler::BitExact);
+        ServeOutcome fast =
+            serveOnce(concurrency, core::NoiseSampler::Fast);
+
+        const serve::MetricsSnapshot &snap = exact.snap;
         Row row;
         row.concurrency = concurrency;
-        row.wall_s = std::chrono::duration<double>(t1 - t0).count();
+        row.wall_s = exact.wall_s;
         row.tokens_per_s =
             static_cast<double>(snap.tokens_generated) / row.wall_s;
         row.ttft_p50_ms = snap.ttft_p50_ms;
@@ -209,63 +240,83 @@ main(int argc, char **argv)
         row.weight_encode_misses = snap.engine_weight_encode_misses;
         row.kv_encode_hits = snap.engine_kv_encode_hits;
         row.kv_encode_misses = snap.engine_kv_encode_misses;
+        row.gaussian_draws = snap.engine_gaussian_draws;
+        row.fast_tokens_per_s =
+            static_cast<double>(fast.snap.tokens_generated) /
+            fast.wall_s;
+        row.fast_gaussian_draws = fast.snap.engine_gaussian_draws;
+        row.fast_bit_identical = fast.identical;
+        bool identical = exact.identical;
         row.batch_calls_per_step = probeDispatches(model, concurrency);
         row.o_layers =
             row.batch_calls_per_step == expected_dispatches;
         row.bit_identical = identical;
-        all_ok &= row.o_layers && row.bit_identical;
+        all_ok &= row.o_layers && row.bit_identical &&
+                  row.fast_bit_identical;
         rows.push_back(row);
     }
 
     if (csv) {
-        std::cout << "concurrency,wall_s,tokens_per_s,ttft_p50_ms,"
+        std::cout << "concurrency,wall_s,tokens_per_s,"
+                     "fast_tokens_per_s,ttft_p50_ms,"
                      "token_p50_ms,token_p99_ms,engine_macs,"
                      "weight_encode_hits,weight_encode_misses,"
                      "kv_encode_hits,kv_encode_misses,"
-                     "batch_calls_per_step,o_layers,bit_identical\n";
+                     "gaussian_draws,fast_gaussian_draws,"
+                     "batch_calls_per_step,o_layers,bit_identical,"
+                     "fast_bit_identical\n";
         for (const Row &r : rows)
             std::cout << r.concurrency << "," << r.wall_s << ","
-                      << r.tokens_per_s << "," << r.ttft_p50_ms << ","
+                      << r.tokens_per_s << ","
+                      << r.fast_tokens_per_s << ","
+                      << r.ttft_p50_ms << ","
                       << r.token_p50_ms << "," << r.token_p99_ms
                       << "," << r.engine_macs << ","
                       << r.weight_encode_hits << ","
                       << r.weight_encode_misses << ","
                       << r.kv_encode_hits << ","
                       << r.kv_encode_misses << ","
+                      << r.gaussian_draws << ","
+                      << r.fast_gaussian_draws << ","
                       << r.batch_calls_per_step << ","
                       << (r.o_layers ? 1 : 0) << ","
-                      << (r.bit_identical ? 1 : 0) << "\n";
+                      << (r.bit_identical ? 1 : 0) << ","
+                      << (r.fast_bit_identical ? 1 : 0) << "\n";
     } else {
         printBanner(
             std::cout,
             "Continuous-batching serve throughput (noisy engine)");
         Table table({"concurrency", "wall [s]", "tokens/s",
-                     "TTFT p50 [ms]", "token p50 [ms]",
-                     "token p99 [ms]", "gemmBatch/step",
-                     "bit-identical"});
+                     "fast tok/s", "TTFT p50 [ms]", "token p50 [ms]",
+                     "token p99 [ms]", "gauss draws",
+                     "gemmBatch/step", "bit-identical"});
         for (const Row &r : rows)
             table.addRow(
                 {std::to_string(r.concurrency),
                  units::fmtFixed(r.wall_s, 3),
                  units::fmtFixed(r.tokens_per_s, 1),
+                 units::fmtFixed(r.fast_tokens_per_s, 1),
                  units::fmtFixed(r.ttft_p50_ms, 2),
                  units::fmtFixed(r.token_p50_ms, 2),
                  units::fmtFixed(r.token_p99_ms, 2),
+                 std::to_string(r.gaussian_draws),
                  std::to_string(r.batch_calls_per_step) +
                      (r.o_layers ? " (= 8L+1)" : " (NOT O(layers))"),
-                 r.bit_identical ? "yes" : "NO"});
+                 std::string(r.bit_identical ? "yes" : "NO") + "/" +
+                     (r.fast_bit_identical ? "yes" : "NO")});
         table.print(std::cout);
         std::cout
             << "\nEvery request's logits are checked bit-for-bit "
-               "against a solo session on its\nown noise lane; the "
-               "fused decode step dispatches 8*depth+1 engine "
-               "batches at\nevery concurrency (O(layers), not "
-               "O(layers x requests)). Prompt "
-            << kPromptTokens << " tokens,\n"
-            << kNewTokens
-            << " generated per request. Wall time includes prefills "
-               "and verification-\nfree serving only; the container "
-               "may expose a single hardware thread.\n";
+               "against a solo session on its\nown noise lane — for "
+               "the bit-exact sampler AND the fast Ziggurat sampler\n"
+               "(the bit-identical column is exact/fast); the "
+               "fused decode step dispatches\n8*depth+1 engine "
+               "batches at every concurrency (O(layers), not "
+               "O(layers x\nrequests)). Prompt "
+            << kPromptTokens << " tokens, " << kNewTokens
+            << " generated per request. Wall time\nincludes prefills "
+               "and verification-free serving only; the container "
+               "may\nexpose a single hardware thread.\n";
     }
 
     if (json) {
@@ -284,6 +335,7 @@ main(int argc, char **argv)
             out << "    {\"concurrency\": " << r.concurrency
                 << ", \"wall_s\": " << r.wall_s
                 << ", \"tokens_per_s\": " << r.tokens_per_s
+                << ", \"fast_tokens_per_s\": " << r.fast_tokens_per_s
                 << ", \"ttft_p50_ms\": " << r.ttft_p50_ms
                 << ", \"token_p50_ms\": " << r.token_p50_ms
                 << ", \"token_p99_ms\": " << r.token_p99_ms
@@ -294,10 +346,15 @@ main(int argc, char **argv)
                 << r.weight_encode_misses
                 << ", \"kv_encode_hits\": " << r.kv_encode_hits
                 << ", \"kv_encode_misses\": " << r.kv_encode_misses
+                << ", \"gaussian_draws\": " << r.gaussian_draws
+                << ", \"fast_gaussian_draws\": "
+                << r.fast_gaussian_draws
                 << ", \"batch_calls_per_step\": "
                 << r.batch_calls_per_step
                 << ", \"bit_identical\": "
-                << (r.bit_identical ? "true" : "false") << "}"
+                << (r.bit_identical ? "true" : "false")
+                << ", \"fast_bit_identical\": "
+                << (r.fast_bit_identical ? "true" : "false") << "}"
                 << (i + 1 < rows.size() ? "," : "") << "\n";
         }
         out << "  ]\n}\n";

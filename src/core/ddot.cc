@@ -147,59 +147,6 @@ DDot::analyticNoisyDot(std::span<const double> x,
 }
 
 double
-DDot::analyticNoisyDotPacked(const double *x, const double *y, size_t n,
-                             Rng &rng, double *dphi_scratch) const
-{
-    if (n > channels_.size())
-        lt_panic("analyticNoisyDotPacked: vector length exceeds "
-                 "wavelengths");
-
-    double io = 0.0;
-    if (!noise_.enable_encoding_noise) {
-        // No draws at all: the whole per-channel gain is static and
-        // was hoisted into mult_noiseless_ at construction.
-        for (size_t i = 0; i < n; ++i) {
-            double add = add_coef_[i] * (x[i] * x[i] - y[i] * y[i]) /
-                         2.0;
-            io += mult_noiseless_[i] * x[i] * y[i] + add;
-        }
-        return io;
-    }
-
-    const double mag = noise_.magnitude_noise_std;
-    const double phase_std = noise_.phaseNoiseStdRad();
-    if (mag == 0.0) {
-        // Magnitude draws have zero std, so they return the mean
-        // without consuming engine state: the engine sequence is
-        // exactly n constant-std phase draws — one bulk fill.
-        rng.fillGaussian(std::span<double>(dphi_scratch, n), 0.0,
-                         phase_std);
-        for (size_t i = 0; i < n; ++i) {
-            double xh = x[i] + 0.0; // the zero magnitude draw
-            double yh = y[i] + 0.0;
-            double phi = phase_base_[i] + dphi_scratch[i];
-            double mult = mult_base_[i] * (-std::sin(phi));
-            double add = add_coef_[i] * (xh * xh - yh * yh) / 2.0;
-            io += mult * xh * yh + add;
-        }
-        return io;
-    }
-
-    for (size_t i = 0; i < n; ++i) {
-        // drawEncoding()'s exact order: x magnitude, y magnitude,
-        // phase drift.
-        double xh = x[i] + rng.gaussian(0.0, mag * std::abs(x[i]));
-        double yh = y[i] + rng.gaussian(0.0, mag * std::abs(y[i]));
-        double dphi = rng.gaussian(0.0, phase_std);
-        double phi = phase_base_[i] + dphi;
-        double mult = mult_base_[i] * (-std::sin(phi));
-        double add = add_coef_[i] * (xh * xh - yh * yh) / 2.0;
-        io += mult * xh * yh + add;
-    }
-    return io;
-}
-
-double
 DDot::multiplicativeGain(size_t channel) const
 {
     const auto &ch = channels_.at(channel);

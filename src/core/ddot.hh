@@ -22,6 +22,7 @@
 #ifndef LT_CORE_DDOT_HH
 #define LT_CORE_DDOT_HH
 
+#include <cmath>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -30,10 +31,44 @@
 #include "photonics/coupler.hh"
 #include "photonics/phase_shifter.hh"
 #include "photonics/wavelength.hh"
+#include "util/fast_rng.hh"
+#include "util/logging.hh"
 #include "util/rng.hh"
 
 namespace lt {
 namespace core {
+
+/**
+ * Caller-owned workspace of the packed noise pipeline: one allocation
+ * per kernel shard (never per tile or dot product) backing the bulk
+ * draw buffers of analyticNoisyDotPacked and the per-slice systematic
+ * eps batch of the DPTC kernel. Layout over one vector:
+ *
+ *   [0, 3n)      per-element stddevs (x-mag, y-mag, phase interleaved)
+ *   [3n, 6n)     the matching bulk draws
+ *   [6n, 6n+e)   per-slice systematic eps draws (e = nh * nv)
+ *
+ * where n is the wavelength count. The phase-only path reuses the
+ * stddev region as its dphi buffer (the two paths are exclusive).
+ */
+struct NoiseScratch
+{
+    void
+    ensure(size_t nlambda, size_t eps_capacity)
+    {
+        nlambda_ = nlambda;
+        buf_.resize(6 * nlambda + eps_capacity);
+    }
+
+    double *stds() { return buf_.data(); }
+    double *draws() { return buf_.data() + 3 * nlambda_; }
+    double *dphi() { return buf_.data(); }
+    double *eps() { return buf_.data() + 6 * nlambda_; }
+
+  private:
+    std::vector<double> buf_;
+    size_t nlambda_ = 0;
+};
 
 /**
  * Per-wavelength circuit coefficients, precomputed from the coupler and
@@ -86,17 +121,40 @@ class DDot
 
     /**
      * The hot-loop form of analyticNoisyDot(): identical arithmetic
-     * and RNG draw order (bit-identical results), restructured for
-     * the packed tile kernel — per-channel coefficients come from
-     * flat precomputed arrays instead of the struct vector, the
-     * noiseless per-channel gain is hoisted when encoding noise is
-     * off, and when only phase drift is active the draws batch
-     * through Rng::fillGaussian into `dphi_scratch` (caller-owned,
-     * at least n doubles; may be null when encoding noise is off).
+     * and RNG draw order (bit-identical results for RngT = Rng),
+     * restructured for the packed tile kernel — per-channel
+     * coefficients come from flat precomputed arrays instead of the
+     * struct vector, the noiseless per-channel gain is hoisted when
+     * encoding noise is off, and every stochastic path draws in bulk:
+     * phase-only dots batch through fillGaussian, and the full
+     * encoding-noise path hoists the |x[i]|-scaled magnitude stddevs
+     * into array form and takes ONE fillGaussianScaled call for the
+     * whole dot product (x-mag, y-mag, phase interleaved in
+     * drawEncoding order) instead of 3 scalar draws per MAC.
+     * `scratch` must have been ensure()d for >= n wavelengths.
+     *
+     * Instantiated for Rng (bit-exact) and FastRng (the Fast sampler
+     * of NoiseSampler — same draw order, different stream).
      */
+    template <typename RngT>
     double analyticNoisyDotPacked(const double *x, const double *y,
-                                  size_t n, Rng &rng,
-                                  double *dphi_scratch) const;
+                                  size_t n, RngT &rng,
+                                  NoiseScratch &scratch) const;
+
+    /**
+     * Two encoding-noise-free packed dots sharing one x row. Each
+     * accumulator follows exactly the arithmetic and association
+     * order of analyticNoisyDotPacked's noiseless branch, so each
+     * result is bit-identical to the corresponding single call — the
+     * pairing only interleaves the two independent accumulation
+     * chains so they pipeline instead of serializing on FP-add
+     * latency. Callers must only use this when
+     * noise.enable_encoding_noise is false (the branch that takes no
+     * draws).
+     */
+    void noiselessDotPackedPair(const double *x, const double *y0,
+                                const double *y1, size_t n,
+                                double &io0, double &io1) const;
 
     /**
      * Per-channel noiseless contribution coefficients, exposing the
@@ -124,6 +182,95 @@ class DDot
     std::vector<double> phase_base_;
     std::vector<double> mult_noiseless_;
 };
+
+// Defined in the header so the packed tile kernel's slice loop can
+// inline it: the call fires once per output element per k-slice, and a
+// cross-TU call was a measurable fraction of decode time.
+template <typename RngT>
+inline double
+DDot::analyticNoisyDotPacked(const double *x, const double *y, size_t n,
+                             RngT &rng, NoiseScratch &scratch) const
+{
+    if (n > channels_.size())
+        lt_panic("analyticNoisyDotPacked: vector length exceeds "
+                 "wavelengths");
+
+    double io = 0.0;
+    if (!noise_.enable_encoding_noise) {
+        // No draws at all: the whole per-channel gain is static and
+        // was hoisted into mult_noiseless_ at construction.
+        for (size_t i = 0; i < n; ++i) {
+            double add = add_coef_[i] * (x[i] * x[i] - y[i] * y[i]) /
+                         2.0;
+            io += mult_noiseless_[i] * x[i] * y[i] + add;
+        }
+        return io;
+    }
+
+    const double mag = noise_.magnitude_noise_std;
+    const double phase_std = noise_.phaseNoiseStdRad();
+    if (mag == 0.0) {
+        // Magnitude draws have zero std, so they return the mean
+        // without consuming engine state: the engine sequence is
+        // exactly n constant-std phase draws — one bulk fill.
+        double *dphi = scratch.dphi();
+        rng.fillGaussian(std::span<double>(dphi, n), 0.0, phase_std);
+        for (size_t i = 0; i < n; ++i) {
+            double xh = x[i] + 0.0; // the zero magnitude draw
+            double yh = y[i] + 0.0;
+            double phi = phase_base_[i] + dphi[i];
+            double mult = mult_base_[i] * (-std::sin(phi));
+            double add = add_coef_[i] * (xh * xh - yh * yh) / 2.0;
+            io += mult * xh * yh + add;
+        }
+        return io;
+    }
+
+    // Full encoding noise: hoist the |value|-scaled stddevs into array
+    // form — interleaved exactly in drawEncoding()'s draw order
+    // (x magnitude, y magnitude, phase drift per element) — and take
+    // ONE bulk scaled fill for the whole dot product. Zero-magnitude
+    // elements keep the no-consume rule inside fillGaussianScaled, so
+    // the engine sequence matches the 3-scalar-draws-per-MAC loop
+    // bit-for-bit.
+    double *stds = scratch.stds();
+    double *draws = scratch.draws();
+    for (size_t i = 0; i < n; ++i) {
+        stds[3 * i] = mag * std::abs(x[i]);
+        stds[3 * i + 1] = mag * std::abs(y[i]);
+        stds[3 * i + 2] = phase_std;
+    }
+    rng.fillGaussianScaled(std::span<double>(draws, 3 * n),
+                           std::span<const double>(stds, 3 * n), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        double xh = x[i] + draws[3 * i];
+        double yh = y[i] + draws[3 * i + 1];
+        double phi = phase_base_[i] + draws[3 * i + 2];
+        double mult = mult_base_[i] * (-std::sin(phi));
+        double add = add_coef_[i] * (xh * xh - yh * yh) / 2.0;
+        io += mult * xh * yh + add;
+    }
+    return io;
+}
+
+inline void
+DDot::noiselessDotPackedPair(const double *x, const double *y0,
+                             const double *y1, size_t n, double &io0,
+                             double &io1) const
+{
+    double a0 = 0.0;
+    double a1 = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        double xi = x[i];
+        double x2 = xi * xi;
+        double add0 = add_coef_[i] * (x2 - y0[i] * y0[i]) / 2.0;
+        double add1 = add_coef_[i] * (x2 - y1[i] * y1[i]) / 2.0;
+        a0 += mult_noiseless_[i] * xi * y0[i] + add0;
+        a1 += mult_noiseless_[i] * xi * y1[i] + add1;
+    }
+    io0 = a0;
+    io1 = a1;
+}
 
 } // namespace core
 } // namespace lt

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "util/logging.hh"
@@ -177,13 +178,15 @@ Dptc::multiply(const Matrix &a, const Matrix &b, EvalMode mode)
     }
     // One shared encoding implementation (encode() handles the
     // Ideal-mode raw/unit-beta case too); noise draws advance the
-    // stateful member RNG exactly as before.
+    // stateful member RNG exactly as before (always BitExact — the
+    // member Rng IS the historical stream).
     EncodedOperand ea = encode(a, OperandSide::A, mode);
     EncodedOperand eb = encode(b, OperandSide::B, mode);
     Matrix out(a.rows(), b.cols(), 0.0);
-    std::vector<double> dphi(cfg_.nlambda);
+    NoiseScratch scratch;
+    scratch.ensure(cfg_.nlambda, cfg_.nh * cfg_.nv);
     packedSlice(ea, eb, 0, 0, 0, mode, ea.beta() * eb.beta(), rng_,
-                out, dphi.data());
+                out, scratch);
     return out;
 }
 
@@ -218,11 +221,12 @@ Dptc::gemmTiles(const Matrix &a_hat, const Matrix &b_hat, EvalMode mode,
     }
 }
 
+template <typename RngT>
 void
 Dptc::packedSlice(const EncodedOperand &a, const EncodedOperand &b,
                   size_t r0, size_t tc, size_t tk, EvalMode mode,
-                  double scale, Rng &rng, Matrix &out,
-                  double *dphi) const
+                  double scale, RngT &rng, Matrix &out,
+                  NoiseScratch &scratch) const
 {
     const size_t k0 = tk * cfg_.nlambda;
     const size_t c0 = tc * cfg_.nv;
@@ -234,6 +238,49 @@ Dptc::packedSlice(const EncodedOperand &a, const EncodedOperand &b,
     const bool systematic = cfg_.noise.enable_systematic_noise;
     const double sys_std = cfg_.noise.systematic_output_std;
 
+    if (mode == EvalMode::Noisy && systematic && !calibrated &&
+        !cfg_.noise.enable_encoding_noise) {
+        // The slice's ONLY stochastic term is the per-output
+        // systematic eps: the stream sequence is exactly rows*cols
+        // consecutive constant-std draws in (r, c) order, so batch
+        // them through one bulk fill (sequence-exact) instead of a
+        // scalar draw per output — the dominant-draw path of the
+        // decode serving regime (encoding noise off).
+        double *eps = scratch.eps();
+        rng.fillGaussian(std::span<double>(eps, rows * cols), 0.0,
+                         sys_std);
+        size_t idx = 0;
+        for (size_t r = 0; r < rows; ++r) {
+            const double *x = a.row(r0 + r) + k0;
+            size_t c = 0;
+            // Column pairs: the dots take no draws here (encoding
+            // noise is off), so two independent accumulation chains
+            // can pipeline; each result is bit-identical to the
+            // single-dot call.
+            for (; c + 1 < cols; c += 2) {
+                const double *y0 = b.tileColumn(tc, tk, c);
+                const double *y1 = b.tileColumn(tc, tk, c + 1);
+                double io0;
+                double io1;
+                ddot_.noiselessDotPackedPair(x, y0, y1, depth, io0,
+                                             io1);
+                io0 *= (1.0 + eps[idx]);
+                io1 *= (1.0 + eps[idx + 1]);
+                idx += 2;
+                out(r0 + r, c0 + c) += io0 * scale;
+                out(r0 + r, c0 + c + 1) += io1 * scale;
+            }
+            for (; c < cols; ++c) {
+                const double *y = b.tileColumn(tc, tk, c);
+                double io = ddot_.analyticNoisyDotPacked(x, y, depth,
+                                                         rng, scratch);
+                io *= (1.0 + eps[idx++]);
+                out(r0 + r, c0 + c) += io * scale;
+            }
+        }
+        return;
+    }
+
     for (size_t r = 0; r < rows; ++r) {
         // Hoisted x gather: one contiguous slice of the A panel,
         // shared by every column of this (tile, k-slice).
@@ -242,13 +289,22 @@ Dptc::packedSlice(const EncodedOperand &a, const EncodedOperand &b,
             const double *y = b.tileColumn(tc, tk, c);
             double io;
             if (mode == EvalMode::Noisy) {
-                io = calibrated
-                         ? calibratedNoisyDot(
-                               ddot_, calibration_,
-                               std::span<const double>(x, depth),
-                               std::span<const double>(y, depth), rng)
-                         : ddot_.analyticNoisyDotPacked(x, y, depth,
-                                                        rng, dphi);
+                if (calibrated) {
+                    // Calibration probes draw from the historical
+                    // stream; the calibrated dot is BitExact-only.
+                    if constexpr (std::is_same_v<RngT, Rng>) {
+                        io = calibratedNoisyDot(
+                            ddot_, calibration_,
+                            std::span<const double>(x, depth),
+                            std::span<const double>(y, depth), rng);
+                    } else {
+                        lt_fatal("packedSlice: channel calibration "
+                                 "requires the BitExact sampler");
+                    }
+                } else {
+                    io = ddot_.analyticNoisyDotPacked(x, y, depth, rng,
+                                                      scratch);
+                }
                 if (systematic) {
                     double eps = rng.gaussian(0.0, sys_std);
                     io *= (1.0 + eps);
@@ -266,8 +322,8 @@ Dptc::packedSlice(const EncodedOperand &a, const EncodedOperand &b,
 void
 Dptc::gemmTiles(const EncodedOperand &a, const EncodedOperand &b,
                 EvalMode mode, double scale, size_t tile_begin,
-                size_t tile_end, Matrix &out,
-                uint64_t stream_seed) const
+                size_t tile_end, Matrix &out, uint64_t stream_seed,
+                uint64_t *gaussian_draws) const
 {
     if (a.side() != OperandSide::A || b.side() != OperandSide::B ||
         !acceptsEncoded(a, mode) || !acceptsEncoded(b, mode))
@@ -281,16 +337,32 @@ Dptc::gemmTiles(const EncodedOperand &a, const EncodedOperand &b,
     const size_t tiles_c = cdiv(b.cols(), cfg_.nv);
     const size_t tiles_k = cdiv(a.cols(), cfg_.nlambda);
 
-    // Per-shard workspace: the bulk phase-draw buffer, allocated once
+    // Per-shard workspace: the bulk noise-draw buffers, allocated once
     // per call (one call per shard under the ExecutionEngine) — the
     // hot loop itself never allocates.
-    std::vector<double> dphi(cfg_.nlambda);
+    NoiseScratch scratch;
+    scratch.ensure(cfg_.nlambda, cfg_.nh * cfg_.nv);
+    uint64_t draws = 0;
+
+    const bool fast = mode == EvalMode::Noisy &&
+                      cfg_.noise.sampler == NoiseSampler::Fast &&
+                      !cfg_.channel_calibration;
 
     Rng unused(0); // non-noisy modes never draw from it
     for (size_t t = tile_begin; t < tile_end; ++t) {
         const size_t r0 = (t / tiles_c) * cfg_.nh;
         const size_t tc = t % tiles_c;
-        if (mode == EvalMode::Noisy) {
+        if (fast) {
+            // Fast sampler, same counter-based addressing: the tile's
+            // noise is a pure function of (stream, tile index), so
+            // results stay thread-count-invariant — just on the
+            // Ziggurat stream instead of the bit-exact one.
+            FastRng tile_rng(deriveSeed(stream_seed, t));
+            for (size_t tk = 0; tk < tiles_k; ++tk)
+                packedSlice(a, b, r0, tc, tk, mode, scale, tile_rng,
+                            out, scratch);
+            draws += tile_rng.drawCount();
+        } else if (mode == EvalMode::Noisy) {
             // Counter-based seeding, identical to the reference
             // kernel: (stream, output-tile index) alone determines
             // the tile's noise; its k-slices consume the stream in
@@ -298,13 +370,16 @@ Dptc::gemmTiles(const EncodedOperand &a, const EncodedOperand &b,
             Rng tile_rng(deriveSeed(stream_seed, t));
             for (size_t tk = 0; tk < tiles_k; ++tk)
                 packedSlice(a, b, r0, tc, tk, mode, scale, tile_rng,
-                            out, dphi.data());
+                            out, scratch);
+            draws += tile_rng.drawCount();
         } else {
             for (size_t tk = 0; tk < tiles_k; ++tk)
                 packedSlice(a, b, r0, tc, tk, mode, scale, unused,
-                            out, dphi.data());
+                            out, scratch);
         }
     }
+    if (gaussian_draws != nullptr)
+        *gaussian_draws += draws;
 }
 
 Matrix

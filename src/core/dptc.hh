@@ -146,11 +146,21 @@ class Dptc
      * `scale` is normally a.beta() * b.beta(); operands must have
      * been encoded for this core's geometry and mode (fatal
      * otherwise).
+     *
+     * Noise draws follow cfg_.noise.sampler: BitExact replays the
+     * historical std:: stream bit-for-bit through the blocked Rng
+     * pipeline (per-slice systematic eps draws and per-dot encoding
+     * draws batch through bulk fills, sequence-exact); Fast runs the
+     * Ziggurat sampler seeded by the SAME deriveSeed(stream, tile)
+     * scheme — still thread-count-invariant and deterministic, not
+     * stream-compatible. When `gaussian_draws` is non-null the
+     * Gaussian draws this call takes are added to it (the engine
+     * folds shard counts into GemmStats::gaussian_draws).
      */
     void gemmTiles(const EncodedOperand &a, const EncodedOperand &b,
                    EvalMode mode, double scale, size_t tile_begin,
-                   size_t tile_end, Matrix &out,
-                   uint64_t stream_seed) const;
+                   size_t tile_end, Matrix &out, uint64_t stream_seed,
+                   uint64_t *gaussian_draws = nullptr) const;
 
     /**
      * Prepare one operand for the packed kernel: beta normalization
@@ -222,14 +232,21 @@ class Dptc
     /**
      * One (output tile, k-slice) of the packed kernel: rows/cols
      * bounded by the operand edges, x and y read as contiguous
-     * pointers into the encoded layouts. `dphi` is the caller's
-     * per-shard phase-draw workspace (>= nlambda doubles). RNG draw
-     * order matches multiplyNormalized exactly.
+     * pointers into the encoded layouts. `scratch` is the caller's
+     * per-shard noise workspace (ensure()d for nlambda wavelengths
+     * and nh*nv eps draws). RNG draw order matches
+     * multiplyNormalized exactly for RngT = Rng: when the slice's
+     * only stochastic term is the systematic output noise, its
+     * rows*cols eps draws batch through one bulk fill (the draws are
+     * consecutive in the stream, so this is sequence-exact).
+     * Instantiated for Rng and FastRng; the channel-calibrated path
+     * is BitExact-only.
      */
+    template <typename RngT>
     void packedSlice(const EncodedOperand &a, const EncodedOperand &b,
                      size_t r0, size_t tc, size_t tk, EvalMode mode,
-                     double scale, Rng &rng, Matrix &out,
-                     double *dphi) const;
+                     double scale, RngT &rng, Matrix &out,
+                     NoiseScratch &scratch) const;
 
     DptcConfig cfg_;
     DDot ddot_;

@@ -22,6 +22,29 @@
 namespace lt {
 namespace core {
 
+/**
+ * Which draw pipeline the stochastic noise terms sample from.
+ *
+ *  - BitExact (default): the blocked reimplementation of
+ *    std::normal_distribution over std::mt19937_64 (util/rng.hh) —
+ *    every noise stream is bit-identical to the historical per-call
+ *    std:: path, so all golden digests apply.
+ *  - Fast: the Ziggurat sampler over a counter-based generator
+ *    (util/fast_rng.hh) — statistically equivalent (moment/KS-gated)
+ *    and still deterministic per (seed, stream, tile) and
+ *    thread-count-invariant, but NOT draw-sequence-compatible with
+ *    BitExact: results differ bitwise, so bit-identity gates pinned
+ *    to the BitExact stream do not apply. Fast applies to the packed
+ *    counter-seeded tile kernel (the engine path); the reference
+ *    kernel, the stateful Dptc::multiply(), and channel-calibrated
+ *    dots always draw BitExact.
+ */
+enum class NoiseSampler
+{
+    BitExact,
+    Fast,
+};
+
 /** Knobs for every stochastic / dispersive effect in the optical path. */
 struct NoiseConfig
 {
@@ -42,6 +65,9 @@ struct NoiseConfig
 
     /** Enable the systematic output term. */
     bool enable_systematic_noise = true;
+
+    /** Draw pipeline for the stochastic terms (see NoiseSampler). */
+    NoiseSampler sampler = NoiseSampler::BitExact;
 
     double
     phaseNoiseStdRad() const

@@ -38,20 +38,34 @@ ExecutionEngine::gemmOneProduct(const core::EncodedOperand &a,
     const double scale = a.beta() * b.beta();
 
     if (!parallel_tiles || tiles == 1) {
-        proto.gemmTiles(a, b, mode, scale, 0, tiles, out, stream_seed);
+        uint64_t draws = 0;
+        proto.gemmTiles(a, b, mode, scale, 0, tiles, out, stream_seed,
+                        &draws);
+        if (draws != 0)
+            stats_.gaussian_draws.fetch_add(draws,
+                                            std::memory_order_relaxed);
         return out;
     }
 
     // Shard output tiles across the core replicas. Shards own disjoint
     // output regions and every tile's noise is counter-seeded, so the
-    // split affects wall-clock only, never the result.
+    // split affects wall-clock only, never the result. Draw counts
+    // accumulate per shard and fold into the shared atomic once.
+    std::vector<uint64_t> shard_draws(cores_.size(), 0);
     ThreadPool::global().parallelFor(
         tiles,
         [&](size_t begin, size_t end, size_t shard) {
             cores_[shard % cores_.size()].gemmTiles(
-                a, b, mode, scale, begin, end, out, stream_seed);
+                a, b, mode, scale, begin, end, out, stream_seed,
+                &shard_draws[shard % cores_.size()]);
         },
         cores_.size());
+    uint64_t draws = 0;
+    for (uint64_t d : shard_draws)
+        draws += d;
+    if (draws != 0)
+        stats_.gaussian_draws.fetch_add(draws,
+                                        std::memory_order_relaxed);
     return out;
 }
 

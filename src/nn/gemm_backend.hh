@@ -118,6 +118,16 @@ struct GemmStats
     std::atomic<size_t> kv_encode_hits{0};
     std::atomic<size_t> kv_encode_misses{0};
 
+    /**
+     * Gaussian noise draws the DPTC kernels took (encoding magnitude
+     * and phase draws plus per-output systematic eps draws), summed
+     * across shards. The noise pipeline's load metric: decode-regime
+     * cost is dominated by these draws, so the counter is surfaced by
+     * serve::Metrics and the bench JSON snapshots to pin how much
+     * sampling each configuration pays for.
+     */
+    std::atomic<size_t> gaussian_draws{0};
+
     void
     record(size_t m, size_t k, size_t n)
     {
@@ -141,6 +151,7 @@ struct GemmStats
         weight_encode_misses.store(0, std::memory_order_relaxed);
         kv_encode_hits.store(0, std::memory_order_relaxed);
         kv_encode_misses.store(0, std::memory_order_relaxed);
+        gaussian_draws.store(0, std::memory_order_relaxed);
     }
 };
 

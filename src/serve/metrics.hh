@@ -66,6 +66,12 @@ struct MetricsSnapshot
     size_t engine_weight_encode_misses = 0;
     size_t engine_kv_encode_hits = 0;
     size_t engine_kv_encode_misses = 0;
+
+    /**
+     * Gaussian noise draws the DPTC kernels took while serving — the
+     * noise pipeline's load metric (see GemmStats::gaussian_draws).
+     */
+    size_t engine_gaussian_draws = 0;
 };
 
 /** Thread-safe metrics accumulator. */

@@ -141,6 +141,8 @@ Server::metrics() const
         stats.kv_encode_hits.load(std::memory_order_relaxed);
     snap.engine_kv_encode_misses =
         stats.kv_encode_misses.load(std::memory_order_relaxed);
+    snap.engine_gaussian_draws =
+        stats.gaussian_draws.load(std::memory_order_relaxed);
     return snap;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 namespace lt {
 namespace train {
@@ -10,9 +11,13 @@ namespace {
 
 using Image = std::vector<double>; // kImageSize^2 grayscale
 
-/** Draw one shape class into a blank image with jitter. */
+/**
+ * Draw one shape class into a blank image with jitter. `noise` is the
+ * caller's preallocated bulk-draw buffer (>= kImageSize^2), reused
+ * across images so dataset generation never allocates per sample.
+ */
 Image
-drawShape(int label, Rng &rng)
+drawShape(int label, Rng &rng, std::span<double> noise)
 {
     constexpr int n = static_cast<int>(ShapeDataset::kImageSize);
     Image img(static_cast<size_t>(n * n), 0.0);
@@ -59,10 +64,12 @@ drawShape(int label, Rng &rng)
         break;
     }
 
-    // Pixel noise.
-    for (double &p : img) {
-        p += rng.gaussian(0.0, 0.08);
-        p = std::clamp(p, 0.0, 1.0);
+    // Pixel noise: one bulk fill for the whole image (sequence-exact
+    // vs the historical per-pixel scalar draws).
+    rng.fillGaussian(noise.first(img.size()), 0.0, 0.08);
+    for (size_t i = 0; i < img.size(); ++i) {
+        img[i] += noise[i];
+        img[i] = std::clamp(img[i], 0.0, 1.0);
     }
     return img;
 }
@@ -92,13 +99,15 @@ patchify(const Image &img)
 ShapeDataset::ShapeDataset(size_t n, uint64_t seed)
 {
     Rng rng(seed);
+    std::vector<double> noise(kImageSize * kImageSize);
     samples_.reserve(n);
     for (size_t i = 0; i < n; ++i) {
         int label = static_cast<int>(i % kNumClasses);
-        samples_.push_back({patchify(drawShape(label, rng)), label});
+        samples_.push_back(
+            {patchify(drawShape(label, rng, noise)), label});
     }
     // Shuffle so batches are class-mixed.
-    std::shuffle(samples_.begin(), samples_.end(), rng.engine());
+    std::shuffle(samples_.begin(), samples_.end(), rng.urbg());
 }
 
 NeedleDataset::NeedleDataset(size_t n, uint64_t seed)
@@ -122,7 +131,7 @@ NeedleDataset::NeedleDataset(size_t n, uint64_t seed)
         }
         samples_.push_back(std::move(s));
     }
-    std::shuffle(samples_.begin(), samples_.end(), rng.engine());
+    std::shuffle(samples_.begin(), samples_.end(), rng.urbg());
 }
 
 } // namespace train

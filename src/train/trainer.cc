@@ -12,8 +12,15 @@ NoisyTrainingBackend::gemm(const Matrix &a, const Matrix &b)
     stats_.record(a.rows(), a.cols(), b.cols());
     Matrix out = a * b;
     if (noise_std_ > 0.0) {
-        for (double &v : out.data())
-            v *= 1.0 + rng_.gaussian(0.0, noise_std_);
+        // One bulk fill per GEMM output (sequence-exact vs the
+        // historical per-element scalar draws); the scratch buffer is
+        // a member so steady-state training never reallocates it.
+        noise_scratch_.resize(out.data().size());
+        rng_.fillGaussian(noise_scratch_, 0.0, noise_std_);
+        stats_.gaussian_draws.fetch_add(noise_scratch_.size(),
+                                        std::memory_order_relaxed);
+        for (size_t i = 0; i < out.data().size(); ++i)
+            out.data()[i] *= 1.0 + noise_scratch_[i];
     }
     return out;
 }

@@ -46,6 +46,7 @@ class NoisyTrainingBackend : public nn::GemmBackend
   private:
     double noise_std_;
     Rng rng_;
+    std::vector<double> noise_scratch_; ///< bulk-draw buffer, reused
 };
 
 /** Hyper-parameters of a training run. */

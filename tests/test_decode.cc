@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -172,6 +173,38 @@ TEST(InferenceSession, SameRequestIdReplaysBitIdentically)
     ASSERT_EQ(first.size(), second.size());
     for (size_t i = 0; i < first.size(); ++i)
         EXPECT_EQ(first[i].maxAbsDiff(second[i]), 0.0) << "step " << i;
+}
+
+TEST(InferenceSession, FastSamplerDecodeReplaysBitIdentically)
+{
+    // NoiseSampler::Fast keeps the (request, stream, tile) addressing
+    // of the bit-exact path, so a full prefill+decode run replays
+    // bit-identically — just on the Ziggurat stream.
+    nn::TransformerClassifier model(decoderConfig());
+    core::DptcConfig dcfg;
+    dcfg.noise.sampler = core::NoiseSampler::Fast;
+    const auto tokens = tokenStream(12, model.config().vocab_size, 7);
+    std::vector<int> prompt(tokens.begin(), tokens.begin() + 4);
+
+    std::vector<Matrix> first, second;
+    for (int run = 0; run < 2; ++run) {
+        nn::ExecutionEngine engine(dcfg, core::EvalMode::Noisy);
+        nn::InferenceSession session(model, engine,
+                                     nn::QuantConfig::w8a8(),
+                                     /*request_id=*/5);
+        auto &out = run == 0 ? first : second;
+        out.push_back(session.prefill(prompt));
+        for (size_t s = 4; s < tokens.size(); ++s)
+            out.push_back(session.decodeStep(tokens[s]));
+    }
+    ASSERT_EQ(first.size(), second.size());
+    double total_mag = 0.0;
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].maxAbsDiff(second[i]), 0.0) << "step " << i;
+        for (double v : first[i].data())
+            total_mag += std::abs(v);
+    }
+    EXPECT_GT(total_mag, 0.0); // the run actually produced logits
 }
 
 TEST(InferenceSession, ResultsIndependentOfConcurrentSessions)

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -398,6 +399,88 @@ TEST(EncodedOperand, PackedKernelMatchesReferenceKernel)
             EXPECT_EQ(packed.maxAbsDiff(ref), 0.0)
                 << s.m << "x" << s.k << "x" << s.n;
         }
+    }
+}
+
+// ---- NoiseSampler::Fast (Ziggurat over the counter scheme) -----------
+
+TEST(FastSampler, DeterministicAndDivergesFromBitExact)
+{
+    DptcConfig fast_cfg;
+    fast_cfg.noise.sampler = NoiseSampler::Fast;
+    Dptc fast1(fast_cfg), fast2(fast_cfg);
+    Dptc exact{DptcConfig{}};
+
+    Matrix a = goldenMatrix(20, 30, 555);
+    Matrix b = goldenMatrix(30, 15, 666);
+    Matrix f1 = fast1.gemm(a, b, EvalMode::Noisy);
+    Matrix f2 = fast2.gemm(a, b, EvalMode::Noisy);
+    Matrix ex = exact.gemm(a, b, EvalMode::Noisy);
+
+    // Fast is deterministic per (operands, config, stream)…
+    EXPECT_EQ(f1.maxAbsDiff(f2), 0.0);
+    // …draws a genuinely different stream than BitExact…
+    EXPECT_GT(f1.maxAbsDiff(ex), 0.0);
+    // …and is statistically the same noise: both track the ideal
+    // product within the same noise budget.
+    Matrix ideal = exact.gemm(a, b, EvalMode::Ideal);
+    double scale = std::max(1e-12, Dptc::maxAbs(ideal));
+    EXPECT_LT(f1.maxAbsDiff(ideal) / scale, 0.5);
+    EXPECT_LT(ex.maxAbsDiff(ideal) / scale, 0.5);
+}
+
+TEST(FastSampler, TileRangeSplitInvariant)
+{
+    // The Fast stream is counter-seeded per tile, so splitting the
+    // tile range (what engine sharding does) cannot change results.
+    DptcConfig cfg;
+    cfg.input_bits = 8;
+    cfg.noise.sampler = NoiseSampler::Fast;
+    Dptc dptc(cfg);
+    Matrix a = goldenMatrix(37, 29, 777);
+    Matrix b = goldenMatrix(29, 26, 888);
+    EncodedOperand ea = dptc.encode(a, OperandSide::A, EvalMode::Noisy);
+    EncodedOperand eb = dptc.encode(b, OperandSide::B, EvalMode::Noisy);
+    const size_t tiles = dptc.outputTilesFor(a.rows(), b.cols());
+    const double scale = ea.beta() * eb.beta();
+
+    Matrix whole(a.rows(), b.cols(), 0.0);
+    dptc.gemmTiles(ea, eb, EvalMode::Noisy, scale, 0, tiles, whole,
+                   0xFA57);
+    for (size_t mid : {size_t{1}, tiles / 3, tiles / 2, tiles - 1}) {
+        Matrix split(a.rows(), b.cols(), 0.0);
+        dptc.gemmTiles(ea, eb, EvalMode::Noisy, scale, 0, mid, split,
+                       0xFA57);
+        dptc.gemmTiles(ea, eb, EvalMode::Noisy, scale, mid, tiles,
+                       split, 0xFA57);
+        EXPECT_EQ(split.maxAbsDiff(whole), 0.0) << "mid " << mid;
+    }
+}
+
+TEST(FastSampler, DrawCountMatchesNoiseModel)
+{
+    // Encoding noise off + systematic on: exactly one eps draw per
+    // (output element, k-slice) and nothing else, for both samplers.
+    for (NoiseSampler sampler :
+         {NoiseSampler::BitExact, NoiseSampler::Fast}) {
+        DptcConfig cfg;
+        cfg.input_bits = 8;
+        cfg.noise.enable_encoding_noise = false;
+        cfg.noise.sampler = sampler;
+        Dptc dptc(cfg);
+        Matrix a = goldenMatrix(25, 30, 123);
+        Matrix b = goldenMatrix(30, 14, 321);
+        EncodedOperand ea =
+            dptc.encode(a, OperandSide::A, EvalMode::Noisy);
+        EncodedOperand eb =
+            dptc.encode(b, OperandSide::B, EvalMode::Noisy);
+        const size_t tiles = dptc.outputTilesFor(a.rows(), b.cols());
+        Matrix out(a.rows(), b.cols(), 0.0);
+        uint64_t draws = 0;
+        dptc.gemmTiles(ea, eb, EvalMode::Noisy, ea.beta() * eb.beta(),
+                       0, tiles, out, 0xC0DE, &draws);
+        auto cdiv = [](size_t x, size_t y) { return (x + y - 1) / y; };
+        EXPECT_EQ(draws, a.rows() * b.cols() * cdiv(a.cols(), 12u));
     }
 }
 

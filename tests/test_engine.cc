@@ -74,6 +74,60 @@ TEST(ExecutionEngine, NoisyGemmBitIdenticalAcrossThreadCounts)
     ThreadPool::setGlobalThreads(0);
 }
 
+TEST(ExecutionEngine, FastSamplerBitIdenticalAcrossThreadCounts)
+{
+    // The Fast (Ziggurat) sampler rides the same counter-seeded tile
+    // scheme, so its results must also be invariant to how many
+    // threads shard the tiles.
+    core::DptcConfig dcfg;
+    dcfg.input_bits = 8;
+    dcfg.noise.sampler = core::NoiseSampler::Fast;
+    Rng rng(43);
+    Matrix a = randomMatrix(50, 40, rng);
+    Matrix b = randomMatrix(40, 30, rng);
+
+    std::vector<Matrix> results;
+    for (size_t threads : {1u, 2u, 8u}) {
+        ThreadPool::setGlobalThreads(threads);
+        nn::ExecutionEngine engine(dcfg, core::EvalMode::Noisy);
+        results.push_back(engine.gemm(a, b, /*stream=*/17));
+    }
+    EXPECT_EQ(results[0].maxAbsDiff(results[1]), 0.0);
+    EXPECT_EQ(results[0].maxAbsDiff(results[2]), 0.0);
+    ThreadPool::setGlobalThreads(0);
+}
+
+TEST(ExecutionEngine, GaussianDrawCounterExactInStats)
+{
+    // Encoding noise off + systematic on: the kernels take exactly one
+    // eps draw per (output element, k-slice). The engine must fold the
+    // per-shard counts into GemmStats::gaussian_draws losslessly, at
+    // any thread count, for both samplers.
+    for (core::NoiseSampler sampler :
+         {core::NoiseSampler::BitExact, core::NoiseSampler::Fast}) {
+        core::DptcConfig dcfg;
+        dcfg.input_bits = 8;
+        dcfg.noise.enable_encoding_noise = false;
+        dcfg.noise.sampler = sampler;
+        Rng rng(19);
+        Matrix a = randomMatrix(40, 30, rng);
+        Matrix b = randomMatrix(30, 26, rng);
+        auto cdiv = [](size_t x, size_t y) { return (x + y - 1) / y; };
+        const size_t expected =
+            a.rows() * b.cols() * cdiv(a.cols(), dcfg.nlambda);
+        for (size_t threads : {1u, 4u}) {
+            ThreadPool::setGlobalThreads(threads);
+            nn::ExecutionEngine engine(dcfg, core::EvalMode::Noisy);
+            engine.gemm(a, b);
+            EXPECT_EQ(engine.stats().gaussian_draws.load(), expected)
+                << "threads " << threads;
+            engine.resetStats();
+            EXPECT_EQ(engine.stats().gaussian_draws.load(), 0u);
+        }
+        ThreadPool::setGlobalThreads(0);
+    }
+}
+
 TEST(ExecutionEngine, DptcGemmIsAPureFunction)
 {
     // The sequential tiled path: noise depends only on (operands,

@@ -5,9 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <random>
 #include <sstream>
+#include <vector>
 
+#include "util/fast_rng.hh"
 #include "util/quantize.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
@@ -184,6 +189,182 @@ TEST(Rng, FillGaussianMatchesPerCallSequence)
         EXPECT_EQ(v, 7.0);
     // …so the two generators stay bit-synchronized afterwards.
     EXPECT_EQ(bulk.gaussian(0.0, 1.0), percall.gaussian(0.0, 1.0));
+}
+
+TEST(Rng, RawStreamMatchesStdMt19937_64)
+{
+    // The blocked engine must be u64-for-u64 identical to
+    // std::mt19937_64 — this is the foundation the whole bit-exact
+    // contract stands on, checked across several refill boundaries.
+    for (uint64_t seed : {0ULL, 1ULL, 42ULL, 0x4c54'2024ULL}) {
+        Rng rng(seed);
+        std::mt19937_64 ref(seed);
+        for (int i = 0; i < 2000; ++i)
+            ASSERT_EQ(rng.nextU64(), ref()) << "seed " << seed
+                                            << " draw " << i;
+    }
+}
+
+TEST(Rng, DistributionsMatchStdSequences)
+{
+    // Every distribution method replays the exact value sequence of
+    // the std:: distribution it replaces, drawn over one shared
+    // engine — interleaved, so consumption counts must agree too.
+    Rng rng(0xD15C0);
+    std::mt19937_64 ref(0xD15C0);
+    for (int i = 0; i < 5000; ++i) {
+        {
+            // gaussian(): a FRESH std::normal_distribution per draw
+            // (the historical per-call pattern; no saved second value).
+            std::normal_distribution<double> d(0.5, 2.0);
+            ASSERT_EQ(rng.gaussian(0.5, 2.0), d(ref)) << i;
+        }
+        {
+            std::uniform_real_distribution<double> d(-1.0, 3.0);
+            ASSERT_EQ(rng.uniform(-1.0, 3.0), d(ref)) << i;
+        }
+        {
+            std::uniform_int_distribution<int64_t> d(-7, 900);
+            ASSERT_EQ(rng.uniformInt(-7, 900), d(ref)) << i;
+        }
+        {
+            std::bernoulli_distribution d(0.3);
+            ASSERT_EQ(rng.bernoulli(0.3), d(ref)) << i;
+        }
+    }
+}
+
+TEST(Rng, FillGaussianScaledMatchesPerCall)
+{
+    // Per-element stddevs with zero-std holes interleaved: values AND
+    // consumption must match the scalar loop, including the rule that
+    // a non-positive std writes the mean and consumes nothing.
+    Rng bulk(0xCAFE), percall(0xCAFE);
+    std::vector<double> stds(700), out(700);
+    Rng stdgen(99);
+    for (size_t i = 0; i < stds.size(); ++i) {
+        if (i % 3 == 2 || i % 17 == 0)
+            stds[i] = 0.0; // holes
+        else
+            stds[i] = stdgen.uniform(0.01, 2.0);
+    }
+    bulk.fillGaussianScaled(out, stds, 0.125);
+    for (size_t i = 0; i < out.size(); ++i)
+        ASSERT_EQ(out[i], percall.gaussian(0.125, stds[i])) << i;
+    // Generators stay bit-synchronized afterwards.
+    EXPECT_EQ(bulk.gaussian(0.0, 1.0), percall.gaussian(0.0, 1.0));
+}
+
+TEST(Rng, VectorHelpersDelegateToBulkFills)
+{
+    Rng a(31), b(31);
+    std::vector<double> u = a.uniformVector(123, -2.0, 2.0);
+    std::vector<double> fu(123);
+    b.fillUniform(fu, -2.0, 2.0);
+    EXPECT_EQ(u, fu);
+
+    std::vector<double> g = a.gaussianVector(123, 0.5, 1.5);
+    std::vector<double> fg(123);
+    b.fillGaussian(fg, 0.5, 1.5);
+    EXPECT_EQ(g, fg);
+}
+
+TEST(Rng, ShuffleViaUrbgMatchesStdEngine)
+{
+    // std::shuffle over the urbg() facade permutes exactly as handing
+    // it the underlying std::mt19937_64 would (the dataset builders'
+    // class-mixing shuffles are pinned by this).
+    std::vector<int> mine(257), ref(257);
+    std::iota(mine.begin(), mine.end(), 0);
+    std::iota(ref.begin(), ref.end(), 0);
+    Rng rng(0x5AFE);
+    std::mt19937_64 eng(0x5AFE);
+    std::shuffle(mine.begin(), mine.end(), rng.urbg());
+    std::shuffle(ref.begin(), ref.end(), eng);
+    EXPECT_EQ(mine, ref);
+}
+
+TEST(Rng, DrawCountCountsAcceptedGaussians)
+{
+    Rng rng(8);
+    EXPECT_EQ(rng.drawCount(), 0u);
+    rng.gaussian(0.0, 1.0);
+    EXPECT_EQ(rng.drawCount(), 1u);
+    rng.gaussian(0.0, 0.0); // zero-std: no draw
+    EXPECT_EQ(rng.drawCount(), 1u);
+    std::vector<double> out(100);
+    rng.fillGaussian(out, 0.0, 1.0);
+    EXPECT_EQ(rng.drawCount(), 101u);
+    std::vector<double> stds(50, 1.0), scaled(50);
+    for (size_t i = 0; i < stds.size(); i += 2)
+        stds[i] = 0.0;
+    rng.fillGaussianScaled(scaled, stds);
+    EXPECT_EQ(rng.drawCount(), 126u);
+}
+
+TEST(FastRng, GaussianMomentsAtSeveralPoints)
+{
+    // The Fast sampler's statistical-equivalence gate: mean, stddev,
+    // and excess kurtosis at several (mean, std) operating points.
+    struct Point
+    {
+        double mean, std;
+    };
+    for (const Point p : {Point{0.0, 1.0}, Point{1.5, 0.5},
+                          Point{-2.0, 0.03}}) {
+        FastRng rng(0xFA57 + static_cast<uint64_t>(p.std * 1000));
+        const int n = 400000;
+        double s1 = 0.0, s2 = 0.0, s3 = 0.0, s4 = 0.0;
+        for (int i = 0; i < n; ++i) {
+            double z = (rng.gaussian(p.mean, p.std) - p.mean) / p.std;
+            s1 += z;
+            s2 += z * z;
+            s3 += z * z * z;
+            s4 += z * z * z * z;
+        }
+        EXPECT_NEAR(s1 / n, 0.0, 6e-3) << p.mean << "," << p.std;
+        EXPECT_NEAR(s2 / n, 1.0, 8e-3) << p.mean << "," << p.std;
+        EXPECT_NEAR(s3 / n, 0.0, 2e-2) << p.mean << "," << p.std;
+        EXPECT_NEAR(s4 / n, 3.0, 6e-2) << p.mean << "," << p.std;
+    }
+}
+
+TEST(FastRng, KolmogorovSmirnovAgainstNormalCdf)
+{
+    // One-sample KS against Phi; D * sqrt(n) < 1.95 rejects only at
+    // alpha ~= 0.001 — a real distribution defect (a broken layer
+    // table, a biased tail) blows far past this.
+    FastRng rng(0x4B5);
+    const size_t n = 200000;
+    std::vector<double> xs(n);
+    for (double &x : xs)
+        x = rng.gaussian(0.0, 1.0);
+    std::sort(xs.begin(), xs.end());
+    auto phi = [](double x) {
+        return 0.5 * std::erfc(-x / std::sqrt(2.0));
+    };
+    double d = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        double f = phi(xs[i]);
+        d = std::max(d, std::abs(f - static_cast<double>(i) / n));
+        d = std::max(d, std::abs(static_cast<double>(i + 1) / n - f));
+    }
+    EXPECT_LT(d * std::sqrt(static_cast<double>(n)), 1.95);
+}
+
+TEST(FastRng, DeterministicAndCounted)
+{
+    FastRng a(77), b(77);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.gaussian(0.0, 1.0), b.gaussian(0.0, 1.0)) << i;
+    EXPECT_EQ(a.drawCount(), 1000u);
+    a.gaussian(3.0, 0.0); // zero-std: no draw, no state consumed
+    EXPECT_EQ(a.drawCount(), 1000u);
+    EXPECT_EQ(a.gaussian(0.0, 1.0), b.gaussian(0.0, 1.0));
+
+    // Distinct seeds diverge.
+    FastRng c(78);
+    EXPECT_NE(c.gaussian(0.0, 1.0), b.gaussian(0.0, 1.0));
 }
 
 TEST(Table, AlignmentAndCsv)
