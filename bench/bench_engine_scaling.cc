@@ -115,6 +115,14 @@ struct DecodeResult
     size_t weight_misses;    ///< want 0
     size_t kv_hits;
     size_t kv_misses;        ///< want 0
+    // KV memory of the run, in the serve layer's two models: what a
+    // dense max_tokens reservation holds for the session's lifetime
+    // vs the block-paged footprint of the tokens actually cached
+    // (serve/kv_pool geometry: block_tokens x 2 x dim doubles/layer).
+    size_t kv_context_tokens;       ///< final K/V tokens per layer
+    size_t kv_dense_reserve_bytes;  ///< max_tokens worst case
+    size_t kv_paged_resident_bytes; ///< blocks covering the context
+    size_t kv_block_tokens;
 };
 
 /** Per-draw cost of the three Gaussian pipelines [ns]. */
@@ -301,6 +309,18 @@ runDecodeScenario()
     res.weight_misses = kv_engine.stats().weight_encode_misses.load();
     res.kv_hits = kv_engine.stats().kv_encode_hits.load();
     res.kv_misses = kv_engine.stats().kv_encode_misses.load();
+
+    constexpr size_t kBlockTokens = 16;
+    const size_t bytes_per_token_layer =
+        2 * kDecodeDim * sizeof(double);
+    res.kv_context_tokens = kPrompt + kSteps;
+    res.kv_block_tokens = kBlockTokens;
+    res.kv_dense_reserve_bytes =
+        mcfg.max_tokens * mcfg.depth * bytes_per_token_layer;
+    res.kv_paged_resident_bytes =
+        mcfg.depth *
+        ((res.kv_context_tokens + kBlockTokens - 1) / kBlockTokens) *
+        kBlockTokens * bytes_per_token_layer;
     return res;
 }
 
@@ -429,7 +449,13 @@ main(int argc, char **argv)
             << decode.weight_misses
             << ", \"steady_kv_encode_hits\": " << decode.kv_hits
             << ", \"steady_kv_encode_misses\": " << decode.kv_misses
-            << "}\n}\n";
+            << ", \"kv_context_tokens\": "
+            << decode.kv_context_tokens
+            << ", \"kv_block_tokens\": " << decode.kv_block_tokens
+            << ", \"kv_dense_reserve_bytes\": "
+            << decode.kv_dense_reserve_bytes
+            << ", \"kv_paged_resident_bytes\": "
+            << decode.kv_paged_resident_bytes << "}\n}\n";
         // stderr: keeps the CSV stream clean when modes are combined.
         std::cerr << "wrote " << json_path << "\n";
     }

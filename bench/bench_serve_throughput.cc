@@ -13,11 +13,24 @@
  * i.e. O(layers), not O(layers x requests). Any mismatch exits
  * nonzero, which is what the CI smoke keys on.
  *
+ * On top of the sweep, a fixed-memory-budget comparison exercises the
+ * paged KV block pool (serve/kv_pool): the same concurrency and block
+ * budget served twice — independent prompts vs a shared system-prompt
+ * prefix — with nonzero-exit gates that (a) the shared workload uses
+ * fewer blocks (one copy-on-write prefix, N-1 cache hits), (b) paged
+ * resident KV bytes stay under the dense-reserve model's
+ * max_tokens x concurrency footprint while tracking the tokens
+ * actually cached, and (c) shared-prefix logits stay bit-identical to
+ * each request run solo. It also reports the max sustainable
+ * concurrency under the budget for the dense-reserve vs paged models.
+ *
  * Usage: bench_serve_throughput [--csv] [--json [path]]
- *                               [--concurrency N]
+ *                               [--concurrency N] [--pool-smoke]
  *
  * --json writes the committed BENCH_serve.json perf snapshot;
- * --concurrency restricts the sweep (the CI smoke runs one level).
+ * --concurrency restricts the sweep (the CI smoke runs one level);
+ * --pool-smoke runs ONLY the pool comparison + its gates (the CI
+ * memory-budget smoke).
  */
 
 #include <chrono>
@@ -31,6 +44,7 @@
 #include "bench_common.hh"
 #include "nn/batched_decoder.hh"
 #include "nn/execution_engine.hh"
+#include "serve/kv_pool/kv_block_pool.hh"
 #include "serve/server.hh"
 #include "util/csv.hh"
 #include "util/rng.hh"
@@ -100,6 +114,210 @@ struct Row
     bool bit_identical;
 };
 
+// ---- the fixed-memory-budget pool comparison --------------------------
+
+constexpr size_t kPoolBlockTokens = 8;  ///< k-tile aligned
+constexpr size_t kPoolBlocks = 64;      ///< the fixed budget
+constexpr size_t kPoolConcurrency = 8;
+constexpr size_t kSharedPrefixTokens = 6;
+
+struct PoolOutcome
+{
+    size_t block_tokens = kPoolBlockTokens;
+    size_t total_blocks = kPoolBlocks;
+    size_t block_bytes = 0;
+
+    // Same budget, same concurrency, two workloads.
+    size_t indep_peak_used_blocks = 0;
+    size_t indep_peak_resident_bytes = 0;
+    size_t shared_peak_used_blocks = 0;
+    size_t shared_peak_resident_bytes = 0;
+    size_t shared_peak_shared_blocks = 0;
+    size_t prefix_hits = 0;
+    size_t prefix_misses = 0;
+
+    // The dense-reserve memory model the pool replaces: every session
+    // holds max_tokens of contiguous K/V for its whole lifetime.
+    size_t dense_reserve_bytes = 0;
+
+    // Max sustainable concurrency under the same byte budget.
+    size_t max_concurrency_dense = 0;
+    size_t max_concurrency_paged = 0;
+    size_t max_concurrency_paged_shared = 0;
+
+    // Nonzero-exit gates.
+    bool shared_uses_fewer_blocks = false;
+    bool resident_under_dense_reserve = false;
+    bool resident_tracks_tokens = false;
+    bool hits_are_n_minus_1 = false;
+    bool shared_bit_identical = false;
+
+    bool
+    ok() const
+    {
+        return shared_uses_fewer_blocks &&
+               resident_under_dense_reserve &&
+               resident_tracks_tokens && hits_are_n_minus_1 &&
+               shared_bit_identical;
+    }
+};
+
+PoolOutcome
+runPoolComparison(const nn::TransformerClassifier &model,
+                  const nn::QuantConfig &quant)
+{
+    PoolOutcome out;
+    const size_t vocab = model.config().vocab_size;
+    const std::vector<int> system_prompt = promptFor(0xF00D, vocab);
+
+    serve::KvPoolConfig pool_cfg;
+    pool_cfg.block_tokens = kPoolBlockTokens;
+    pool_cfg.num_blocks = kPoolBlocks;
+
+    auto makeRequest = [&](uint64_t id, bool shared) {
+        serve::Request req;
+        if (shared) {
+            // Common kSharedPrefixTokens-token system prompt, then an
+            // id-unique tail of the same total prompt length.
+            req.prompt.assign(system_prompt.begin(),
+                              system_prompt.begin() +
+                                  kSharedPrefixTokens);
+            std::vector<int> tail = promptFor(id, vocab);
+            req.prompt.insert(req.prompt.end(), tail.begin(),
+                              tail.begin() +
+                                  static_cast<std::ptrdiff_t>(
+                                      kPromptTokens -
+                                      kSharedPrefixTokens));
+            req.shared_prefix_tokens = kSharedPrefixTokens;
+        } else {
+            req.prompt = promptFor(id, vocab);
+        }
+        req.max_new_tokens = kNewTokens;
+        req.record_logits = shared; // only the shared path verifies
+        req.request_id = id;
+        return req;
+    };
+
+    auto serveWorkload = [&](bool shared) {
+        nn::ExecutionEngine engine(dptcConfig(),
+                                   core::EvalMode::Noisy);
+        serve::ServerConfig scfg;
+        scfg.scheduler.max_batch = kPoolConcurrency;
+        scfg.quant = quant;
+        scfg.kv_pool = pool_cfg;
+        serve::Server server(model, engine, scfg);
+        std::vector<std::future<serve::RequestResult>> futures;
+        for (uint64_t id = 0; id < kPoolConcurrency; ++id)
+            futures.push_back(
+                server.submit(makeRequest(id, shared)));
+        server.runUntilIdle();
+        std::vector<serve::RequestResult> results;
+        for (auto &f : futures)
+            results.push_back(f.get());
+        return std::make_pair(server.metrics(), std::move(results));
+    };
+
+    auto indep = serveWorkload(false);
+    auto shared = serveWorkload(true);
+
+    const serve::KvPoolStats &ip = indep.first.kv_pool;
+    const serve::KvPoolStats &sp = shared.first.kv_pool;
+    out.block_bytes = ip.block_bytes;
+    out.indep_peak_used_blocks = ip.peak_used_blocks;
+    out.indep_peak_resident_bytes = ip.peak_resident_bytes;
+    out.shared_peak_used_blocks = sp.peak_used_blocks;
+    out.shared_peak_resident_bytes = sp.peak_resident_bytes;
+    out.shared_peak_shared_blocks = sp.peak_shared_blocks;
+    out.prefix_hits = sp.prefix_hits;
+    out.prefix_misses = sp.prefix_misses;
+
+    const nn::TransformerConfig &mcfg = model.config();
+    const size_t bytes_per_token_layer = 2 * mcfg.dim * sizeof(double);
+    out.dense_reserve_bytes = kPoolConcurrency * mcfg.max_tokens *
+                              mcfg.depth * bytes_per_token_layer;
+
+    // Max sustainable concurrency under the SAME byte budget
+    // (kPoolBlocks blocks), per memory model: dense-reserve holds
+    // max_tokens per request; paged holds each request's worst case
+    // (prompt tail + generation budget), and sharing additionally
+    // amortizes the prefix across all requests.
+    const size_t budget_blocks = kPoolBlocks;
+    const size_t dense_blocks_per_req =
+        mcfg.depth *
+        ((mcfg.max_tokens + kPoolBlockTokens - 1) / kPoolBlockTokens);
+    const size_t paged_blocks_per_req =
+        mcfg.depth * ((kPromptTokens + kNewTokens +
+                       kPoolBlockTokens - 1) /
+                      kPoolBlockTokens);
+    const size_t shared_prefix_blocks =
+        mcfg.depth * ((kSharedPrefixTokens + kPoolBlockTokens - 1) /
+                      kPoolBlockTokens);
+    const size_t shared_tail_blocks_per_req =
+        mcfg.depth *
+        ((kPromptTokens - kSharedPrefixTokens + kNewTokens +
+          kPoolBlockTokens - 1) /
+         kPoolBlockTokens);
+    out.max_concurrency_dense = budget_blocks / dense_blocks_per_req;
+    out.max_concurrency_paged = budget_blocks / paged_blocks_per_req;
+    out.max_concurrency_paged_shared =
+        (budget_blocks - shared_prefix_blocks) /
+        shared_tail_blocks_per_req;
+
+    // Gate (a): one copy-on-write prefix instead of N private copies.
+    out.shared_uses_fewer_blocks =
+        out.shared_peak_used_blocks < out.indep_peak_used_blocks;
+    out.hits_are_n_minus_1 =
+        out.prefix_misses == 1 &&
+        out.prefix_hits == kPoolConcurrency - 1;
+
+    // Gate (b): resident KV bytes scale with the tokens actually
+    // cached, not with max_tokens x concurrency.
+    out.resident_under_dense_reserve =
+        out.indep_peak_resident_bytes < out.dense_reserve_bytes &&
+        out.shared_peak_resident_bytes < out.dense_reserve_bytes;
+    const size_t expected_indep_resident =
+        kPoolConcurrency * mcfg.depth *
+        ((kPromptTokens + kNewTokens - 1 + kPoolBlockTokens - 1) /
+         kPoolBlockTokens) *
+        ip.block_bytes;
+    const size_t expected_shared_resident =
+        (shared_prefix_blocks +
+         kPoolConcurrency * mcfg.depth *
+             ((kPromptTokens - kSharedPrefixTokens + kNewTokens - 1 +
+               kPoolBlockTokens - 1) /
+              kPoolBlockTokens)) *
+        sp.block_bytes;
+    out.resident_tracks_tokens =
+        out.indep_peak_resident_bytes == expected_indep_resident &&
+        out.shared_peak_resident_bytes == expected_shared_resident;
+
+    // Gate (c): the shared-prefix results are bit-identical to each
+    // request run SOLO on a fresh engine (1-wide paged server).
+    bool identical = true;
+    for (uint64_t id = 0; id < kPoolConcurrency; ++id) {
+        nn::ExecutionEngine solo_engine(dptcConfig(),
+                                        core::EvalMode::Noisy);
+        serve::ServerConfig solo_cfg;
+        solo_cfg.scheduler.max_batch = 1;
+        solo_cfg.quant = quant;
+        solo_cfg.kv_pool = pool_cfg;
+        serve::Server solo(model, solo_engine, solo_cfg);
+        auto fut = solo.submit(makeRequest(id, true));
+        solo.runUntilIdle();
+        serve::RequestResult solo_result = fut.get();
+        const serve::RequestResult &batched = shared.second[id];
+        identical &= batched.generated == solo_result.generated;
+        identical &= batched.step_logits.size() ==
+                     solo_result.step_logits.size();
+        for (size_t s = 0;
+             identical && s < solo_result.step_logits.size(); ++s)
+            identical &= batched.step_logits[s].maxAbsDiff(
+                             solo_result.step_logits[s]) == 0.0;
+    }
+    out.shared_bit_identical = identical;
+    return out;
+}
+
 /** One decode step's engine gemmBatch dispatch count at batch size n. */
 size_t
 probeDispatches(const nn::TransformerClassifier &model, size_t n)
@@ -128,6 +346,7 @@ main(int argc, char **argv)
 {
     bool csv = false;
     bool json = false;
+    bool pool_smoke = false;
     std::string json_path = "BENCH_serve.json";
     std::vector<size_t> sweep{1, 2, 4, 8, 16};
     for (int i = 1; i < argc; ++i) {
@@ -140,9 +359,12 @@ main(int argc, char **argv)
                 json_path = argv[++i];
         } else if (arg == "--concurrency" && i + 1 < argc) {
             sweep = {static_cast<size_t>(std::stoul(argv[++i]))};
+        } else if (arg == "--pool-smoke") {
+            pool_smoke = true;
         } else {
             std::cerr << "usage: bench_serve_throughput [--csv] "
-                         "[--json [path]] [--concurrency N]\n";
+                         "[--json [path]] [--concurrency N] "
+                         "[--pool-smoke]\n";
             return 2;
         }
     }
@@ -153,6 +375,35 @@ main(int argc, char **argv)
 
     std::vector<Row> rows;
     bool all_ok = true;
+
+    if (pool_smoke) {
+        // CI memory-budget smoke: just the pool comparison + gates.
+        PoolOutcome pool = runPoolComparison(model, quant);
+        std::cout << "kv_pool smoke: budget " << pool.total_blocks
+                  << " blocks x " << pool.block_bytes
+                  << " B, peak used indep/shared "
+                  << pool.indep_peak_used_blocks << "/"
+                  << pool.shared_peak_used_blocks
+                  << " blocks, peak resident indep/shared "
+                  << pool.indep_peak_resident_bytes << "/"
+                  << pool.shared_peak_resident_bytes
+                  << " B (dense reserve " << pool.dense_reserve_bytes
+                  << " B), prefix hits/misses " << pool.prefix_hits
+                  << "/" << pool.prefix_misses << "\n"
+                  << "gates: shared_fewer_blocks="
+                  << (pool.shared_uses_fewer_blocks ? "ok" : "FAIL")
+                  << " resident_under_dense="
+                  << (pool.resident_under_dense_reserve ? "ok"
+                                                        : "FAIL")
+                  << " resident_tracks_tokens="
+                  << (pool.resident_tracks_tokens ? "ok" : "FAIL")
+                  << " hits_n_minus_1="
+                  << (pool.hits_are_n_minus_1 ? "ok" : "FAIL")
+                  << " bit_identical="
+                  << (pool.shared_bit_identical ? "ok" : "FAIL")
+                  << "\n";
+        return pool.ok() ? 0 : 1;
+    }
 
     // Serve one full sweep level through a fresh server and verify
     // every request solo-vs-batched bit-for-bit on a same-sampler
@@ -256,6 +507,10 @@ main(int argc, char **argv)
         rows.push_back(row);
     }
 
+    // The paged-KV fixed-memory-budget comparison + its gates.
+    PoolOutcome pool = runPoolComparison(model, quant);
+    all_ok &= pool.ok();
+
     if (csv) {
         std::cout << "concurrency,wall_s,tokens_per_s,"
                      "fast_tokens_per_s,ttft_p50_ms,"
@@ -282,6 +537,19 @@ main(int argc, char **argv)
                       << (r.o_layers ? 1 : 0) << ","
                       << (r.bit_identical ? 1 : 0) << ","
                       << (r.fast_bit_identical ? 1 : 0) << "\n";
+        std::cout << "\npool_blocks,pool_block_tokens,"
+                     "indep_peak_used_blocks,shared_peak_used_blocks,"
+                     "indep_peak_resident_bytes,"
+                     "shared_peak_resident_bytes,dense_reserve_bytes,"
+                     "prefix_hits,prefix_misses,pool_gates_ok\n"
+                  << pool.total_blocks << "," << pool.block_tokens
+                  << "," << pool.indep_peak_used_blocks << ","
+                  << pool.shared_peak_used_blocks << ","
+                  << pool.indep_peak_resident_bytes << ","
+                  << pool.shared_peak_resident_bytes << ","
+                  << pool.dense_reserve_bytes << ","
+                  << pool.prefix_hits << "," << pool.prefix_misses
+                  << "," << (pool.ok() ? 1 : 0) << "\n";
     } else {
         printBanner(
             std::cout,
@@ -317,6 +585,47 @@ main(int argc, char **argv)
             << " generated per request. Wall time\nincludes prefills "
                "and verification-free serving only; the container "
                "may\nexpose a single hardware thread.\n";
+
+        printBanner(std::cout,
+                    "Paged KV memory: fixed budget of " +
+                        std::to_string(pool.total_blocks) +
+                        " blocks x " +
+                        std::to_string(pool.block_tokens) +
+                        " tokens (" +
+                        std::to_string(pool.block_bytes) + " B)");
+        Table ptable({"workload", "peak used [blk]",
+                      "peak resident [B]", "shared [blk]",
+                      "prefix hit/miss"});
+        ptable.addRow({"independent",
+                       std::to_string(pool.indep_peak_used_blocks),
+                       std::to_string(pool.indep_peak_resident_bytes),
+                       "0", "-"});
+        ptable.addRow(
+            {"shared prefix",
+             std::to_string(pool.shared_peak_used_blocks),
+             std::to_string(pool.shared_peak_resident_bytes),
+             std::to_string(pool.shared_peak_shared_blocks),
+             std::to_string(pool.prefix_hits) + "/" +
+                 std::to_string(pool.prefix_misses)});
+        ptable.print(std::cout);
+        std::cout
+            << "\nDense-reserve footprint at the same concurrency: "
+            << pool.dense_reserve_bytes
+            << " B (max_tokens x C).\nMax sustainable concurrency "
+               "under the same budget: dense-reserve "
+            << pool.max_concurrency_dense << ", paged "
+            << pool.max_concurrency_paged << ", paged+shared-prefix "
+            << pool.max_concurrency_paged_shared
+            << ".\nGates: shared uses fewer blocks "
+            << (pool.shared_uses_fewer_blocks ? "ok" : "FAIL")
+            << ", resident < dense reserve "
+            << (pool.resident_under_dense_reserve ? "ok" : "FAIL")
+            << ", resident tracks tokens "
+            << (pool.resident_tracks_tokens ? "ok" : "FAIL")
+            << ",\n       prefix hits = N-1 "
+            << (pool.hits_are_n_minus_1 ? "ok" : "FAIL")
+            << ", shared-vs-solo bit-identical "
+            << (pool.shared_bit_identical ? "ok" : "FAIL") << ".\n";
     }
 
     if (json) {
@@ -357,7 +666,45 @@ main(int argc, char **argv)
                 << (r.fast_bit_identical ? "true" : "false") << "}"
                 << (i + 1 < rows.size() ? "," : "") << "\n";
         }
-        out << "  ]\n}\n";
+        out << "  ],\n"
+            << "  \"kv_pool\": {\"block_tokens\": "
+            << pool.block_tokens << ", \"num_blocks\": "
+            << pool.total_blocks << ", \"block_bytes\": "
+            << pool.block_bytes << ", \"concurrency\": "
+            << kPoolConcurrency << ", \"shared_prefix_tokens\": "
+            << kSharedPrefixTokens
+            << ",\n    \"indep_peak_used_blocks\": "
+            << pool.indep_peak_used_blocks
+            << ", \"indep_peak_resident_bytes\": "
+            << pool.indep_peak_resident_bytes
+            << ", \"shared_peak_used_blocks\": "
+            << pool.shared_peak_used_blocks
+            << ", \"shared_peak_resident_bytes\": "
+            << pool.shared_peak_resident_bytes
+            << ",\n    \"shared_peak_shared_blocks\": "
+            << pool.shared_peak_shared_blocks
+            << ", \"prefix_hits\": " << pool.prefix_hits
+            << ", \"prefix_misses\": " << pool.prefix_misses
+            << ", \"dense_reserve_bytes\": "
+            << pool.dense_reserve_bytes
+            << ",\n    \"max_concurrency_dense\": "
+            << pool.max_concurrency_dense
+            << ", \"max_concurrency_paged\": "
+            << pool.max_concurrency_paged
+            << ", \"max_concurrency_paged_shared\": "
+            << pool.max_concurrency_paged_shared
+            << ",\n    \"shared_uses_fewer_blocks\": "
+            << (pool.shared_uses_fewer_blocks ? "true" : "false")
+            << ", \"resident_under_dense_reserve\": "
+            << (pool.resident_under_dense_reserve ? "true" : "false")
+            << ", \"resident_tracks_tokens\": "
+            << (pool.resident_tracks_tokens ? "true" : "false")
+            << ",\n    \"hits_are_n_minus_1\": "
+            << (pool.hits_are_n_minus_1 ? "true" : "false")
+            << ", \"shared_bit_identical\": "
+            << (pool.shared_bit_identical ? "true" : "false")
+            << "}\n";
+        out << "}\n";
         std::cout << "wrote " << json_path << "\n";
     }
 

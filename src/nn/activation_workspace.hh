@@ -28,6 +28,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/encoded_operand.hh"
@@ -109,11 +110,68 @@ struct TransformerBlockCache
  * new token's magnitude outgrows the cached beta, and the operands of
  * record for backends without encoded execution.
  */
+/**
+ * Immutable, shareable K/V of one attention layer over a fixed token
+ * range — the per-layer payload of a shared prompt prefix (see
+ * nn::KvPrefix / serve::KvBlockPool). A segment is computed once by a
+ * full forward over exactly its tokens on a content-addressed noise
+ * lane, so its values are a pure function of (model weights, backend
+ * config, tokens): every request mapping the same prefix — and every
+ * recompute after eviction — reads bit-identical K/V. Requests attach
+ * a segment to their AttentionKvCache via shared_ptr (the
+ * copy-on-write rule: segments are never mutated; a request's own
+ * tokens append to the cache's private tail mirrors instead).
+ */
+struct KvLayerSegment
+{
+    size_t tokens = 0;      ///< prefix length this segment covers
+
+    std::vector<Matrix> k;  ///< per head [tokens, dk], quantized domain
+    std::vector<Matrix> v;  ///< per head [tokens, dk]
+
+    /**
+     * Encoded mirrors (packed K^T / V per head), built once at segment
+     * construction when the backend executes encoded operands; empty
+     * otherwise. Read-only thereafter — shared dispatch never
+     * re-encodes a prefix.
+     */
+    std::vector<core::EncodedOperand> ek_t;  ///< per head [dk, tokens]
+    std::vector<core::EncodedOperand> ev;    ///< per head [tokens, dk]
+
+    /** GemmBackend::uid() the encoded mirrors target (0 = none). */
+    uint64_t encoded_backend_uid = 0;
+};
+
 struct AttentionKvCache
 {
     std::vector<Matrix> k;  ///< per head [tokens, dk]
     std::vector<Matrix> v;  ///< per head [tokens, dk]
-    size_t tokens = 0;      ///< cached context length
+    size_t tokens = 0;      ///< cached context length (private tail)
+
+    /**
+     * Optional shared prefix preceding the private tail: attention
+     * decode reads the first sharedTokens() positions of the context
+     * from this immutable segment (QK^T and AV each split into a
+     * segment product plus a tail product; one softmax spans both) and
+     * appends new tokens to the private mirrors above. Null for the
+     * default non-paged path, which this struct then serves exactly as
+     * before — segment-aware dispatch is opt-in per request.
+     */
+    std::shared_ptr<const KvLayerSegment> segment;
+
+    /** Tokens contributed by the shared prefix segment (0 = none). */
+    size_t
+    sharedTokens() const
+    {
+        return segment ? segment->tokens : 0;
+    }
+
+    /** Full attention context length: shared prefix + private tail. */
+    size_t
+    contextTokens() const
+    {
+        return sharedTokens() + tokens;
+    }
 
     /** Context length reserve() provisioned for (0 = unreserved). */
     size_t reserved_tokens = 0;

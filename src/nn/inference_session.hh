@@ -37,6 +37,7 @@
 #define LT_NN_INFERENCE_SESSION_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "nn/activation_workspace.hh"
@@ -44,6 +45,59 @@
 
 namespace lt {
 namespace nn {
+
+/**
+ * Immutable K/V of a prompt prefix, shareable across sessions — the
+ * unit the serve-layer KV block pool refcounts and evicts.
+ *
+ * A prefix is computed by InferenceSession::buildKvPrefix as ONE full
+ * forward over exactly its tokens on a *content-addressed* noise lane
+ * (derived from hashPrefixTokens, not from any request id), which
+ * makes it a pure function of (model weights, backend config, tokens):
+ *
+ *  - every request that maps the prefix reads bit-identical K/V, so a
+ *    shared-cache hit equals a solo run that computed its own prefix;
+ *  - an evicted prefix recomputes to the same bits on readmission;
+ *  - computing it never advances any request's noise lane, so cache
+ *    hits and misses leave request logits untouched.
+ *
+ * Note the quantized prefix K/V is a function of the prefix tokens
+ * ONLY (per-operand quantization scans just these rows) — which is
+ * precisely why sharing requires this dedicated forward instead of
+ * slicing one request's prefill cache, and why the paged/shared path
+ * is opt-in per request rather than a transparent rewrite of the
+ * default contiguous path.
+ */
+struct KvPrefix
+{
+    std::vector<int> tokens;            ///< the prefix token ids
+    std::vector<KvLayerSegment> layers; ///< one segment per layer
+    Matrix pooled_sum; ///< final-LN row sum over the prefix (Mean)
+
+    size_t length() const { return tokens.size(); }
+};
+
+/** FNV-1a over token ids: prefix cache key + content noise lane. */
+uint64_t hashPrefixTokens(const std::vector<int> &tokens);
+
+/**
+ * How prefill should provision K/V memory for one request. The
+ * default plan (no prefix, reserve_tokens = 0) reproduces the
+ * historical behavior byte-for-byte: no shared segments,
+ * max_tokens-sized reservation.
+ */
+struct SessionKvPlan
+{
+    /** Shared prompt prefix to map copy-on-write (may be null). */
+    std::shared_ptr<const KvPrefix> prefix;
+
+    /**
+     * Context length to reserve K/V backing for (prompt + expected
+     * generation); 0 = the model's full max_tokens, the dense-reserve
+     * worst case the paged serve path replaces.
+     */
+    size_t reserve_tokens = 0;
+};
 
 /** One autoregressive decode request against a shared model. */
 class InferenceSession
@@ -70,6 +124,36 @@ class InferenceSession
      * empty prompt, a too-long prompt, or a second prefill.
      */
     Matrix prefill(const std::vector<int> &tokens);
+
+    /**
+     * Prefill under an explicit K/V plan. With a shared prefix, the
+     * prefix's tokens must equal the prompt's head (and leave at least
+     * one suffix token): the session maps the prefix segments
+     * copy-on-write — no forward runs over those positions — seeds the
+     * pooled state from the prefix, reserves backing only for the
+     * request's own tail, and ingests the suffix tokens through the
+     * incremental decode path on the request's own noise lane. Without
+     * a prefix this is the ordinary prefill with a right-sized
+     * reservation. Throws std::invalid_argument on a prompt/prefix
+     * mismatch or any ordinary prefill violation.
+     */
+    Matrix prefill(const std::vector<int> &tokens,
+                   const SessionKvPlan &plan);
+
+    /**
+     * Compute the shareable K/V of `tokens` as a prompt prefix: one
+     * full-sequence forward on the content-addressed noise lane, its
+     * per-layer quantized K/V (and, on encoded-operand backends, the
+     * packed encodings) harvested into an immutable KvPrefix. Pure
+     * function of (model, backend config, quant, tokens) — see the
+     * KvPrefix contract. Throws std::invalid_argument for models an
+     * InferenceSession would reject, empty/too-long prefixes, or
+     * out-of-vocabulary ids.
+     */
+    static std::shared_ptr<const KvPrefix>
+    buildKvPrefix(const TransformerClassifier &model,
+                  GemmBackend &backend, const QuantConfig &quant,
+                  const std::vector<int> &tokens);
 
     /**
      * Append one token and return the logits after it — equal to a

@@ -588,67 +588,143 @@ MultiHeadSelfAttention::decodeStep(const Matrix &x,
     // Encoded-operand backends dispatch straight on the cached packed
     // K^T (zero re-encodes); others read K through a transposed view
     // (zero re-strided copies). Bit-identical either way.
+    //
+    // With a shared prefix segment attached, every head contributes
+    // TWO products — segment K^T first, then the private tail K^T —
+    // whose score rows concatenate into one context-wide row before a
+    // single softmax. With no segment the loops below degenerate to
+    // exactly the historical one-product-per-head path: same operands,
+    // same dispatch, same stream draws.
+    const KvLayerSegment *seg = kv.segment.get();
+    if (seg && seg->k.size() != heads_)
+        throw std::invalid_argument(
+            "decodeStep: shared K/V segment holds " +
+            std::to_string(seg->k.size()) +
+            " heads for an attention of " + std::to_string(heads_));
+    const size_t p_tokens = seg ? seg->tokens : 0;
+    const size_t per_head = seg ? 2 : 1;
+    // Segment encodings are immutable; dispatch on them only when they
+    // were packed for THIS backend's core geometry. A mismatch demotes
+    // the whole step to dense views — values are bit-identical either
+    // way (the encoded/dense parity contract), only the dispatch path
+    // differs.
+    const bool seg_encoded =
+        seg == nullptr ||
+        (seg->encoded_backend_uid == ctx.backend->uid() &&
+         seg->ek_t.size() == heads_ && seg->ev.size() == heads_);
+    const bool dispatch_encoded = encoded && seg_encoded;
+
     std::vector<uint64_t> qk_streams;
-    qk_streams.reserve(heads_);
-    for (size_t h = 0; h < heads_; ++h)
+    qk_streams.reserve(heads_ * per_head);
+    for (size_t h = 0; h < heads_ * per_head; ++h)
         qk_streams.push_back(ctx.stream.next());
     std::vector<Matrix> scores;
-    if (encoded) {
+    if (dispatch_encoded) {
         std::vector<
             std::pair<ConstMatrixView, const core::EncodedOperand *>>
             qk_ops;
-        qk_ops.reserve(heads_);
-        for (size_t h = 0; h < heads_; ++h)
+        qk_ops.reserve(heads_ * per_head);
+        for (size_t h = 0; h < heads_; ++h) {
+            if (seg)
+                qk_ops.emplace_back(qh[h].view(), &seg->ek_t[h]);
             qk_ops.emplace_back(qh[h].view(), &kv.ek_t[h]);
+        }
         scores = ctx.backend->gemmBatch(qk_ops, qk_streams);
     } else {
         std::vector<std::pair<ConstMatrixView, ConstMatrixView>>
             qk_ops;
-        qk_ops.reserve(heads_);
-        for (size_t h = 0; h < heads_; ++h)
+        qk_ops.reserve(heads_ * per_head);
+        for (size_t h = 0; h < heads_; ++h) {
+            if (seg)
+                qk_ops.emplace_back(qh[h].view(),
+                                    seg->k[h].transposedView());
             qk_ops.emplace_back(qh[h].view(),
                                 kv.k[h].transposedView());
+        }
         scores = ctx.backend->gemmBatch(qk_ops, qk_streams);
     }
 
     double inv_sqrt_dk = 1.0 / std::sqrt(static_cast<double>(dk_));
     std::vector<Matrix> probs(heads_);
     for (size_t h = 0; h < heads_; ++h) {
-        for (double &s : scores[h].data())
+        Matrix row;
+        if (seg) {
+            // One score row over the whole context — segment columns,
+            // then tail columns — so the softmax (and its
+            // quantization) spans shared and private positions
+            // together, as a contiguous cache would.
+            row = Matrix(1, p_tokens + kv.tokens);
+            const Matrix &s_seg = scores[h * 2];
+            const Matrix &s_tail = scores[h * 2 + 1];
+            for (size_t c = 0; c < p_tokens; ++c)
+                row(0, c) = s_seg(0, c);
+            for (size_t c = 0; c < kv.tokens; ++c)
+                row(0, p_tokens + c) = s_tail(0, c);
+        } else {
+            row = std::move(scores[h]);
+        }
+        for (double &s : row.data())
             s *= inv_sqrt_dk;
-        Matrix p = rowSoftmax(scores[h]);
+        Matrix p = rowSoftmax(row);
         probs[h] = ctx.quant.enabled
                        ? fakeQuant(p, ctx.quant.act_bits)
                        : std::move(p);
     }
 
     // AV against the cache: [1, t] x [t, dk] per head, on the cached
-    // encoded V when available.
+    // encoded V when available. The segment's probability columns and
+    // the tail's are leading-dimension views of the one quantized row,
+    // and each head's context is the fixed-order sum segment + tail.
     std::vector<uint64_t> av_streams;
-    av_streams.reserve(heads_);
-    for (size_t h = 0; h < heads_; ++h)
+    av_streams.reserve(heads_ * per_head);
+    for (size_t h = 0; h < heads_ * per_head; ++h)
         av_streams.push_back(ctx.stream.next());
     std::vector<Matrix> ctx_heads;
-    if (encoded) {
+    if (dispatch_encoded) {
         std::vector<
             std::pair<ConstMatrixView, const core::EncodedOperand *>>
             av_ops;
-        av_ops.reserve(heads_);
-        for (size_t h = 0; h < heads_; ++h)
-            av_ops.emplace_back(probs[h].view(), &kv.ev[h]);
+        av_ops.reserve(heads_ * per_head);
+        for (size_t h = 0; h < heads_; ++h) {
+            if (seg) {
+                av_ops.emplace_back(probs[h].colsView(0, p_tokens),
+                                    &seg->ev[h]);
+                av_ops.emplace_back(
+                    probs[h].colsView(p_tokens, kv.tokens),
+                    &kv.ev[h]);
+            } else {
+                av_ops.emplace_back(probs[h].view(), &kv.ev[h]);
+            }
+        }
         ctx_heads = ctx.backend->gemmBatch(av_ops, av_streams);
     } else {
         std::vector<std::pair<ConstMatrixView, ConstMatrixView>>
             av_ops;
-        av_ops.reserve(heads_);
-        for (size_t h = 0; h < heads_; ++h)
-            av_ops.emplace_back(probs[h].view(), kv.v[h].view());
+        av_ops.reserve(heads_ * per_head);
+        for (size_t h = 0; h < heads_; ++h) {
+            if (seg) {
+                av_ops.emplace_back(probs[h].colsView(0, p_tokens),
+                                    seg->v[h].view());
+                av_ops.emplace_back(
+                    probs[h].colsView(p_tokens, kv.tokens),
+                    kv.v[h].view());
+            } else {
+                av_ops.emplace_back(probs[h].view(), kv.v[h].view());
+            }
+        }
         ctx_heads = ctx.backend->gemmBatch(av_ops, av_streams);
     }
 
     Matrix context(1, dim_, 0.0);
-    for (size_t h = 0; h < heads_; ++h)
-        pasteCols(context, ctx_heads[h], h * dk_);
+    for (size_t h = 0; h < heads_; ++h) {
+        if (seg) {
+            Matrix head_ctx = std::move(ctx_heads[h * 2]);
+            addInPlace(head_ctx, ctx_heads[h * 2 + 1]);
+            pasteCols(context, head_ctx, h * dk_);
+        } else {
+            pasteCols(context, ctx_heads[h], h * dk_);
+        }
+    }
     return wo_.forward(context, scratch.wo, ctx);
 }
 
@@ -715,86 +791,173 @@ MultiHeadSelfAttention::decodeStepBatch(
         kv.tokens += 1;
     }
 
-    // All N*heads QK^T rows in one batch. Request i draws its head
-    // streams in head order, exactly as solo; the (i, h) grouping of
-    // the dispatch is invisible to the stream-addressed backend.
-    // Encoded-K/V backends dispatch on the cached packed K^T; others
-    // read each K mirror through a transposed view.
+    // All QK^T rows in one batch. Request i draws its head streams in
+    // head order — and, when it carries a shared prefix segment, its
+    // segment stream before its tail stream per head — exactly as
+    // solo; the (i, h) grouping of the dispatch is invisible to the
+    // stream-addressed backend. Encoded-K/V backends dispatch on the
+    // cached packed K^T; others read each K mirror through a
+    // transposed view. Requests with and without segments mix freely
+    // in one batch: op_base[i] indexes request i's products.
+    std::vector<const KvLayerSegment *> segs(n);
+    std::vector<size_t> op_base(n);
+    size_t total_ops = 0;
+    bool all_segs_encoded = true;
+    for (size_t i = 0; i < n; ++i) {
+        segs[i] = kvs[i]->segment.get();
+        if (segs[i] && segs[i]->k.size() != heads_)
+            throw std::invalid_argument(
+                "decodeStepBatch: request " + std::to_string(i) +
+                "'s shared K/V segment holds " +
+                std::to_string(segs[i]->k.size()) +
+                " heads for an attention of " +
+                std::to_string(heads_));
+        if (segs[i] &&
+            !(segs[i]->encoded_backend_uid == backend->uid() &&
+              segs[i]->ek_t.size() == heads_ &&
+              segs[i]->ev.size() == heads_))
+            all_segs_encoded = false;
+        op_base[i] = total_ops;
+        total_ops += heads_ * (segs[i] ? 2 : 1);
+    }
+    // One foreign-geometry segment demotes the whole batch to dense
+    // dispatch — values are bit-identical either way, and a mixed
+    // encoded/dense operand vector is not a batch the backend API
+    // expresses.
+    const bool dispatch_encoded = encoded && all_segs_encoded;
+
     std::vector<uint64_t> qk_streams;
-    qk_streams.reserve(n * heads_);
+    qk_streams.reserve(total_ops);
     for (size_t i = 0; i < n; ++i)
-        for (size_t h = 0; h < heads_; ++h)
+        for (size_t h = 0; h < heads_ * (segs[i] ? 2 : 1); ++h)
             qk_streams.push_back(ctxs[i]->stream.next());
     std::vector<Matrix> scores;
-    if (encoded) {
+    if (dispatch_encoded) {
         std::vector<
             std::pair<ConstMatrixView, const core::EncodedOperand *>>
             qk_ops;
-        qk_ops.reserve(n * heads_);
+        qk_ops.reserve(total_ops);
         for (size_t i = 0; i < n; ++i)
-            for (size_t h = 0; h < heads_; ++h)
+            for (size_t h = 0; h < heads_; ++h) {
+                if (segs[i])
+                    qk_ops.emplace_back(qh[i][h].view(),
+                                        &segs[i]->ek_t[h]);
                 qk_ops.emplace_back(qh[i][h].view(),
                                     &kvs[i]->ek_t[h]);
+            }
         scores = backend->gemmBatch(qk_ops, qk_streams);
     } else {
         std::vector<std::pair<ConstMatrixView, ConstMatrixView>>
             qk_ops;
-        qk_ops.reserve(n * heads_);
+        qk_ops.reserve(total_ops);
         for (size_t i = 0; i < n; ++i)
-            for (size_t h = 0; h < heads_; ++h)
+            for (size_t h = 0; h < heads_; ++h) {
+                if (segs[i])
+                    qk_ops.emplace_back(
+                        qh[i][h].view(),
+                        segs[i]->k[h].transposedView());
                 qk_ops.emplace_back(qh[i][h].view(),
                                     kvs[i]->k[h].transposedView());
+            }
         scores = backend->gemmBatch(qk_ops, qk_streams);
     }
 
     double inv_sqrt_dk = 1.0 / std::sqrt(static_cast<double>(dk_));
     std::vector<Matrix> probs(n * heads_);
-    for (size_t i = 0; i < n; ++i)
+    for (size_t i = 0; i < n; ++i) {
+        const size_t p_tokens = segs[i] ? segs[i]->tokens : 0;
         for (size_t h = 0; h < heads_; ++h) {
-            Matrix &s = scores[i * heads_ + h];
-            for (double &e : s.data())
+            Matrix row;
+            if (segs[i]) {
+                // Concatenate segment + tail score columns, then one
+                // softmax over the whole context (see decodeStep).
+                row = Matrix(1, p_tokens + kvs[i]->tokens);
+                const Matrix &s_seg = scores[op_base[i] + h * 2];
+                const Matrix &s_tail = scores[op_base[i] + h * 2 + 1];
+                for (size_t c = 0; c < p_tokens; ++c)
+                    row(0, c) = s_seg(0, c);
+                for (size_t c = 0; c < kvs[i]->tokens; ++c)
+                    row(0, p_tokens + c) = s_tail(0, c);
+            } else {
+                row = std::move(scores[op_base[i] + h]);
+            }
+            for (double &e : row.data())
                 e *= inv_sqrt_dk;
-            Matrix p = rowSoftmax(s);
+            Matrix p = rowSoftmax(row);
             probs[i * heads_ + h] =
                 ctxs[i]->quant.enabled
                     ? fakeQuant(p, ctxs[i]->quant.act_bits)
                     : std::move(p);
         }
+    }
 
-    // All N*heads AV rows in one batch, on the cached encoded V when
-    // available.
+    // All AV rows in one batch, on the cached encoded V when
+    // available; segment and tail probability columns are
+    // leading-dimension views of each quantized row.
     std::vector<uint64_t> av_streams;
-    av_streams.reserve(n * heads_);
+    av_streams.reserve(total_ops);
     for (size_t i = 0; i < n; ++i)
-        for (size_t h = 0; h < heads_; ++h)
+        for (size_t h = 0; h < heads_ * (segs[i] ? 2 : 1); ++h)
             av_streams.push_back(ctxs[i]->stream.next());
     std::vector<Matrix> ctx_heads;
-    if (encoded) {
+    if (dispatch_encoded) {
         std::vector<
             std::pair<ConstMatrixView, const core::EncodedOperand *>>
             av_ops;
-        av_ops.reserve(n * heads_);
-        for (size_t i = 0; i < n; ++i)
-            for (size_t h = 0; h < heads_; ++h)
-                av_ops.emplace_back(probs[i * heads_ + h].view(),
-                                    &kvs[i]->ev[h]);
+        av_ops.reserve(total_ops);
+        for (size_t i = 0; i < n; ++i) {
+            const size_t p_tokens = segs[i] ? segs[i]->tokens : 0;
+            for (size_t h = 0; h < heads_; ++h) {
+                const Matrix &p = probs[i * heads_ + h];
+                if (segs[i]) {
+                    av_ops.emplace_back(p.colsView(0, p_tokens),
+                                        &segs[i]->ev[h]);
+                    av_ops.emplace_back(
+                        p.colsView(p_tokens, kvs[i]->tokens),
+                        &kvs[i]->ev[h]);
+                } else {
+                    av_ops.emplace_back(p.view(), &kvs[i]->ev[h]);
+                }
+            }
+        }
         ctx_heads = backend->gemmBatch(av_ops, av_streams);
     } else {
         std::vector<std::pair<ConstMatrixView, ConstMatrixView>>
             av_ops;
-        av_ops.reserve(n * heads_);
-        for (size_t i = 0; i < n; ++i)
-            for (size_t h = 0; h < heads_; ++h)
-                av_ops.emplace_back(probs[i * heads_ + h].view(),
-                                    kvs[i]->v[h].view());
+        av_ops.reserve(total_ops);
+        for (size_t i = 0; i < n; ++i) {
+            const size_t p_tokens = segs[i] ? segs[i]->tokens : 0;
+            for (size_t h = 0; h < heads_; ++h) {
+                const Matrix &p = probs[i * heads_ + h];
+                if (segs[i]) {
+                    av_ops.emplace_back(p.colsView(0, p_tokens),
+                                        segs[i]->v[h].view());
+                    av_ops.emplace_back(
+                        p.colsView(p_tokens, kvs[i]->tokens),
+                        kvs[i]->v[h].view());
+                } else {
+                    av_ops.emplace_back(p.view(), kvs[i]->v[h].view());
+                }
+            }
+        }
         ctx_heads = backend->gemmBatch(av_ops, av_streams);
     }
 
     std::vector<Matrix> contexts(n);
     for (size_t i = 0; i < n; ++i) {
         contexts[i] = Matrix(1, dim_, 0.0);
-        for (size_t h = 0; h < heads_; ++h)
-            pasteCols(contexts[i], ctx_heads[i * heads_ + h], h * dk_);
+        for (size_t h = 0; h < heads_; ++h) {
+            if (segs[i]) {
+                Matrix head_ctx =
+                    std::move(ctx_heads[op_base[i] + h * 2]);
+                addInPlace(head_ctx,
+                           ctx_heads[op_base[i] + h * 2 + 1]);
+                pasteCols(contexts[i], head_ctx, h * dk_);
+            } else {
+                pasteCols(contexts[i], ctx_heads[op_base[i] + h],
+                          h * dk_);
+            }
+        }
     }
     return wo_.forwardBatch(contexts, ctxs);
 }

@@ -23,9 +23,9 @@ BatchScheduler::BatchScheduler(const nn::TransformerClassifier &model,
                                nn::GemmBackend &backend,
                                const nn::QuantConfig &quant,
                                const SchedulerConfig &cfg,
-                               Metrics *metrics)
+                               Metrics *metrics, KvBlockPool *pool)
     : model_(model), backend_(backend), quant_(quant), cfg_(cfg),
-      metrics_(metrics)
+      metrics_(metrics), pool_(pool)
 {
 }
 
@@ -56,17 +56,31 @@ BatchScheduler::tick(RequestQueue &queue)
 void
 BatchScheduler::admit(RequestQueue &queue)
 {
-    if (active_.size() >= cfg_.max_batch)
-        return;
-    std::vector<PendingRequest> taken =
-        queue.take(cfg_.max_batch - active_.size());
-    for (PendingRequest &pending : taken) {
+    while (active_.size() < cfg_.max_batch) {
+        auto now = std::chrono::steady_clock::now();
+        // Pop the queue front only when it is servable this tick: an
+        // expired request always pops (it retires without touching
+        // the engine or the pool), otherwise the pool budget — free
+        // blocks plus evictable idle prefixes — must cover its
+        // worst-case reservation. Strict FIFO: an unservable front
+        // waits in place and nothing overtakes it.
+        std::optional<PendingRequest> taken =
+            queue.takeIf([&](const PendingRequest &p) {
+                if (p.deadline && now > *p.deadline)
+                    return true;
+                if (!pool_)
+                    return true;
+                return pool_->canAdmit(p.request.prompt,
+                                       p.request.shared_prefix_tokens,
+                                       p.request.max_new_tokens);
+            });
+        if (!taken)
+            break;
         Active a;
-        a.pending = std::move(pending);
+        a.pending = std::move(*taken);
 
         // A request that spent its whole deadline in the queue expires
         // without touching the engine (load-shedding under backlog).
-        auto now = std::chrono::steady_clock::now();
         if (a.pending.deadline && now > *a.pending.deadline) {
             finish(a, /*expired=*/true);
             continue;
@@ -74,7 +88,27 @@ BatchScheduler::admit(RequestQueue &queue)
 
         a.session = std::make_unique<nn::InferenceSession>(
             model_, backend_, quant_, a.pending.id);
-        Matrix logits = a.session->prefill(a.pending.request.prompt);
+        Matrix logits;
+        if (pool_) {
+            // Reserve the worst-case tail (and acquire or compute the
+            // shared prefix) up front, then prefill under a plan that
+            // right-sizes the session's K/V backing to the request's
+            // own context budget — resident bytes track real tokens.
+            a.admission = pool_->admit(
+                a.pending.request.prompt,
+                a.pending.request.shared_prefix_tokens,
+                a.pending.request.max_new_tokens);
+            nn::SessionKvPlan plan;
+            plan.prefix = a.admission.prefix;
+            plan.reserve_tokens =
+                a.pending.request.prompt.size() +
+                a.pending.request.max_new_tokens - 1;
+            logits = a.session->prefill(a.pending.request.prompt, plan);
+            pool_->noteContext(a.admission.table,
+                               a.session->contextLen());
+        } else {
+            logits = a.session->prefill(a.pending.request.prompt);
+        }
         a.last_token = std::chrono::steady_clock::now();
         a.ttft_ms = msSince(a.pending.enqueued, a.last_token);
         int first = static_cast<int>(nn::argmaxRow(logits, 0));
@@ -120,6 +154,12 @@ BatchScheduler::decodeTick()
         if (metrics_)
             metrics_->recordTokenLatency(msSince(a.last_token, t1));
         a.last_token = t1;
+        if (pool_)
+            // The step re-ingested one token: materialize any block
+            // boundary the context just crossed (always within the
+            // admission reservation, so this cannot fail under load).
+            pool_->noteContext(a.admission.table,
+                               a.session->contextLen());
         if (a.generated.size() >= a.pending.request.max_new_tokens)
             finish(a, /*expired=*/false);
     }
@@ -145,6 +185,11 @@ BatchScheduler::finish(Active &request, bool expired)
     request.session.reset();
     request.generated.clear();
     request.step_logits.clear();
+    if (pool_)
+        // Return the blocks and drop the prefix ref (a no-op for the
+        // empty admission of an expired-in-queue request). The prefix
+        // itself stays cached, idle, until LRU eviction needs it.
+        pool_->release(request.admission);
     request.pending.promise.set_value(std::move(result));
     if (metrics_)
         metrics_->onComplete(expired);

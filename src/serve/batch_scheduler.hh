@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "nn/batched_decoder.hh"
+#include "serve/kv_pool/kv_block_pool.hh"
 #include "serve/metrics.hh"
 #include "serve/request_queue.hh"
 
@@ -55,12 +56,20 @@ class BatchScheduler
      * @param backend shared GEMM engine for every session
      * @param quant operand quantization applied to every request
      * @param metrics optional sink (may be nullptr)
+     * @param pool optional paged KV pool (may be nullptr = the
+     *        historical dense-reserve mode). With a pool, admission
+     *        gates on the free-block budget instead of slot count
+     *        alone — the front of the queue waits (strict FIFO, no
+     *        overtaking) until enough blocks are free or evictable,
+     *        prefills run under a right-sized SessionKvPlan, and
+     *        completion/expiry releases the request's blocks.
      */
     BatchScheduler(const nn::TransformerClassifier &model,
                    nn::GemmBackend &backend,
                    const nn::QuantConfig &quant,
                    const SchedulerConfig &cfg,
-                   Metrics *metrics = nullptr);
+                   Metrics *metrics = nullptr,
+                   KvBlockPool *pool = nullptr);
 
     /**
      * One scheduler tick: expire, admit + prefill, fused decode step,
@@ -92,6 +101,8 @@ class BatchScheduler
         std::vector<Matrix> step_logits;
         std::chrono::steady_clock::time_point last_token;
         double ttft_ms = 0.0; ///< submit -> prefill completion
+        /** Pool blocks + shared prefix (paged mode only). */
+        KvBlockPool::Admission admission;
     };
 
     void admit(RequestQueue &queue);
@@ -104,6 +115,7 @@ class BatchScheduler
     nn::QuantConfig quant_;
     SchedulerConfig cfg_;
     Metrics *metrics_;
+    KvBlockPool *pool_;
     std::vector<Active> active_;
 
     /** active_.size() snapshot for cross-thread introspection. */

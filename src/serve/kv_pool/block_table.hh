@@ -1,0 +1,66 @@
+/**
+ * @file
+ * BlockTable: one request's map from its logical K/V token range to
+ * the physical pool blocks backing it.
+ *
+ * A table is created by KvBlockPool::admit with a *reservation* (the
+ * worst-case tail of the request: suffix prompt + generation budget,
+ * in blocks across all layers) and materializes physical blocks
+ * lazily as the context actually grows (KvBlockPool::noteContext) —
+ * resident KV therefore scales with tokens used, not with
+ * max_tokens × concurrency. The shared prompt prefix, if any, is NOT
+ * in the table: those blocks belong to the pool's refcounted prefix
+ * entry the request maps copy-on-write.
+ *
+ * Only the pool mutates a table (friend); requests just carry it.
+ */
+
+#ifndef LT_SERVE_KV_POOL_BLOCK_TABLE_HH
+#define LT_SERVE_KV_POOL_BLOCK_TABLE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lt {
+namespace serve {
+
+/** Physical block id inside one KvBlockPool (dense, 0-based). */
+using BlockId = uint32_t;
+
+/** Per-request logical-to-physical block mapping. */
+class BlockTable
+{
+  public:
+    /** Whether admit() reserved anything into this table. */
+    bool mapped() const { return reserved_blocks_ > 0; }
+
+    /** Blocks debited from the pool budget at admission. */
+    size_t reservedBlocks() const { return reserved_blocks_; }
+
+    /** Blocks materialized so far (<= reservedBlocks()). */
+    size_t residentBlocks() const { return blocks_.size(); }
+
+    /** Tail tokens (beyond the shared prefix) noted so far. */
+    size_t tailTokens() const { return tail_tokens_; }
+
+    /** Shared-prefix tokens preceding this table's range. */
+    size_t prefixTokens() const { return prefix_tokens_; }
+
+    /** Physical ids, layer-major (ceil(tail/B) per layer). */
+    const std::vector<BlockId> &blocks() const { return blocks_; }
+
+  private:
+    friend class KvBlockPool;
+
+    size_t layers_ = 0;
+    size_t prefix_tokens_ = 0;
+    size_t reserved_blocks_ = 0;
+    size_t tail_tokens_ = 0;
+    std::vector<BlockId> blocks_;
+};
+
+} // namespace serve
+} // namespace lt
+
+#endif // LT_SERVE_KV_POOL_BLOCK_TABLE_HH

@@ -1,0 +1,365 @@
+#include "serve/kv_pool/kv_block_pool.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace lt {
+namespace serve {
+
+namespace {
+
+size_t
+ceilDiv(size_t a, size_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+KvBlockPool::KvBlockPool(const nn::TransformerClassifier &model,
+                         nn::GemmBackend &backend,
+                         const nn::QuantConfig &quant,
+                         const KvPoolConfig &cfg)
+    : model_(model),
+      backend_(backend),
+      quant_(quant),
+      cfg_(cfg),
+      layers_(model.depth()),
+      block_bytes_(cfg.block_tokens * 2 * model.config().dim *
+                   sizeof(double))
+{
+    if (cfg_.block_tokens == 0)
+        throw std::invalid_argument(
+            "KvBlockPool: block_tokens must be positive");
+    if (cfg_.num_blocks == 0)
+        throw std::invalid_argument(
+            "KvBlockPool: num_blocks must be positive (0 means "
+            "paging is disabled — don't construct a pool)");
+    if (layers_ == 0)
+        throw std::invalid_argument(
+            "KvBlockPool: model has no layers");
+
+    // Hand out low ids first (pop_back), purely cosmetic in traces.
+    free_ids_.reserve(cfg_.num_blocks);
+    for (size_t i = cfg_.num_blocks; i > 0; --i)
+        free_ids_.push_back(static_cast<BlockId>(i - 1));
+}
+
+size_t
+KvBlockPool::blocksForTokens(size_t tokens) const
+{
+    if (tokens == 0)
+        return 0;
+    return layers_ * ceilDiv(tokens, cfg_.block_tokens);
+}
+
+bool
+KvBlockPool::fitsEver(size_t prompt_tokens, size_t prefix_tokens,
+                      size_t max_new_tokens) const
+{
+    if (prefix_tokens >= prompt_tokens && prompt_tokens > 0)
+        return false;
+    // Worst-case context: the whole prompt plus every generated token
+    // except the last (which is returned before it is ever cached...
+    // conservatively count it anyway: the session caches each decoded
+    // token, so the final context is prompt + max_new - 1 ingested
+    // tokens — but an admission reserves prompt + max_new to keep the
+    // arithmetic obviously safe).
+    const size_t tail_tokens =
+        prompt_tokens - prefix_tokens + max_new_tokens;
+    const size_t need =
+        blocksForTokens(tail_tokens) + blocksForTokens(prefix_tokens);
+    return need <= cfg_.num_blocks;
+}
+
+KvBlockPool::PrefixEntry *
+KvBlockPool::findEntryLocked(uint64_t key,
+                             const std::vector<int> &tokens)
+{
+    for (PrefixEntry &e : entries_)
+        if (e.key == key && e.tokens == tokens)
+            return &e;
+    return nullptr;
+}
+
+size_t
+KvBlockPool::evictableBlocksLocked(const PrefixEntry *keep) const
+{
+    size_t n = 0;
+    for (const PrefixEntry &e : entries_)
+        if (e.refs == 0 && &e != keep)
+            n += e.blocks.size();
+    return n;
+}
+
+bool
+KvBlockPool::canAdmit(const std::vector<int> &prompt,
+                      size_t prefix_tokens,
+                      size_t max_new_tokens) const
+{
+    if (prefix_tokens >= prompt.size())
+        return false;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t tail_tokens =
+        prompt.size() - prefix_tokens + max_new_tokens;
+    size_t need = blocksForTokens(tail_tokens);
+
+    const PrefixEntry *hit = nullptr;
+    if (prefix_tokens > 0) {
+        const std::vector<int> prefix(
+            prompt.begin(),
+            prompt.begin() + static_cast<std::ptrdiff_t>(prefix_tokens));
+        hit = const_cast<KvBlockPool *>(this)->findEntryLocked(
+            nn::hashPrefixTokens(prefix), prefix);
+        if (!hit)
+            need += blocksForTokens(prefix_tokens);
+    }
+    // A cache hit pins the entry before any eviction runs (admit bumps
+    // refs first), so it must never be counted evictable here.
+    return need <= freeBudgetLocked() + evictableBlocksLocked(hit);
+}
+
+bool
+KvBlockPool::ensureFreeLocked(size_t need)
+{
+    if (need <= freeBudgetLocked())
+        return true;
+    // Evict idle prefixes strictly LRU (oldest last_use first) until
+    // the budget covers the request.
+    while (need > freeBudgetLocked()) {
+        PrefixEntry *victim = nullptr;
+        for (PrefixEntry &e : entries_)
+            if (e.refs == 0 &&
+                (!victim || e.last_use < victim->last_use))
+                victim = &e;
+        if (!victim)
+            return false;
+        recycleBlocksLocked(victim->blocks);
+        counters_.evictions += 1;
+        entries_.erase(entries_.begin() + (victim - entries_.data()));
+    }
+    return true;
+}
+
+void
+KvBlockPool::allocBlocksLocked(std::vector<BlockId> &out, size_t count)
+{
+    // Physical ids only exist for resident blocks; reservations are
+    // pure budget arithmetic until noteContext materializes them.
+    for (size_t i = 0; i < count; ++i) {
+        out.push_back(free_ids_.back());
+        free_ids_.pop_back();
+    }
+}
+
+void
+KvBlockPool::recycleBlocksLocked(std::vector<BlockId> &blocks)
+{
+    for (BlockId id : blocks)
+        free_ids_.push_back(id);
+    committed_ -= blocks.size();
+    resident_ -= blocks.size();
+    blocks.clear();
+}
+
+void
+KvBlockPool::bumpPeaksLocked()
+{
+    counters_.peak_used_blocks =
+        std::max(counters_.peak_used_blocks, committed_);
+    counters_.peak_resident_blocks =
+        std::max(counters_.peak_resident_blocks, resident_);
+    counters_.peak_resident_bytes =
+        std::max(counters_.peak_resident_bytes,
+                 resident_ * block_bytes_);
+    counters_.peak_shared_blocks =
+        std::max(counters_.peak_shared_blocks, sharedBlocksLocked());
+}
+
+size_t
+KvBlockPool::sharedBlocksLocked() const
+{
+    size_t n = 0;
+    for (const PrefixEntry &e : entries_)
+        if (e.refs >= 2)
+            n += e.blocks.size();
+    return n;
+}
+
+KvBlockPool::Admission
+KvBlockPool::admit(const std::vector<int> &prompt, size_t prefix_tokens,
+                   size_t max_new_tokens)
+{
+    if (prompt.empty())
+        throw std::invalid_argument("KvBlockPool::admit: empty prompt");
+    if (prefix_tokens >= prompt.size())
+        throw std::invalid_argument(
+            "KvBlockPool::admit: shared prefix of " +
+            std::to_string(prefix_tokens) +
+            " tokens must leave at least one suffix token of the " +
+            std::to_string(prompt.size()) + "-token prompt");
+
+    std::unique_lock<std::mutex> lock(mu_);
+
+    Admission adm;
+    const size_t tail_tokens =
+        prompt.size() - prefix_tokens + max_new_tokens;
+    const size_t need_tail = blocksForTokens(tail_tokens);
+
+    if (prefix_tokens > 0) {
+        std::vector<int> prefix(
+            prompt.begin(),
+            prompt.begin() + static_cast<std::ptrdiff_t>(prefix_tokens));
+        const uint64_t key = nn::hashPrefixTokens(prefix);
+        PrefixEntry *entry = findEntryLocked(key, prefix);
+        if (entry) {
+            // Pin the hit BEFORE any eviction below: a just-hit idle
+            // entry must never become its own request's victim.
+            entry->refs += 1;
+            entry->last_use = ++lru_clock_;
+            counters_.prefix_hits += 1;
+            adm.prefix = entry->data;
+        } else {
+            const size_t need_prefix = blocksForTokens(prefix_tokens);
+            if (!ensureFreeLocked(need_prefix + need_tail))
+                throw std::logic_error(
+                    "KvBlockPool::admit without a true canAdmit: "
+                    "prefix + tail reservation exceeds the budget");
+            counters_.prefix_misses += 1;
+            if (ever_seen_.count(key))
+                counters_.recomputes += 1;
+            ever_seen_.insert(key);
+
+            // Compute the shareable K/V under the lock: admission is
+            // single-consumer, and a half-registered entry must not be
+            // observable. Content-addressed, so bit-equal to what any
+            // solo run (or a post-eviction recompute) produces.
+            std::shared_ptr<const nn::KvPrefix> data =
+                nn::InferenceSession::buildKvPrefix(model_, backend_,
+                                                    quant_, prefix);
+            PrefixEntry fresh;
+            fresh.key = key;
+            fresh.tokens = std::move(prefix);
+            fresh.data = data;
+            allocBlocksLocked(fresh.blocks, need_prefix);
+            committed_ += need_prefix;
+            resident_ += need_prefix;
+            fresh.refs = 1;
+            fresh.last_use = ++lru_clock_;
+            entries_.push_back(std::move(fresh));
+            adm.prefix = std::move(data);
+        }
+    }
+
+    if (!ensureFreeLocked(need_tail)) {
+        // Roll back the prefix ref so a caller that swallows the
+        // logic_error doesn't leak a pin.
+        if (adm.prefix)
+            dropPrefixRefLocked(adm);
+        throw std::logic_error(
+            "KvBlockPool::admit without a true canAdmit: tail "
+            "reservation exceeds the budget");
+    }
+    adm.table.layers_ = layers_;
+    adm.table.prefix_tokens_ = prefix_tokens;
+    adm.table.reserved_blocks_ = need_tail;
+    committed_ += need_tail;
+    bumpPeaksLocked();
+    return adm;
+}
+
+void
+KvBlockPool::noteContext(BlockTable &table, size_t context_tokens)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (context_tokens < table.prefix_tokens_)
+        throw std::logic_error(
+            "KvBlockPool::noteContext: context shorter than the "
+            "shared prefix");
+    const size_t tail = context_tokens - table.prefix_tokens_;
+    if (tail < table.tail_tokens_)
+        throw std::logic_error(
+            "KvBlockPool::noteContext: context shrank");
+    const size_t want =
+        layers_ * ceilDiv(tail, cfg_.block_tokens);
+    if (want > table.reserved_blocks_)
+        throw std::logic_error(
+            "KvBlockPool::noteContext: context of " +
+            std::to_string(context_tokens) +
+            " tokens outgrew the admission reservation of " +
+            std::to_string(table.reserved_blocks_) + " blocks");
+    const size_t have = table.blocks_.size();
+    if (want > have) {
+        // Materialize within the reservation: these blocks were
+        // already committed at admission, so they never touch the
+        // free budget — only the resident gauge moves.
+        allocBlocksLocked(table.blocks_, want - have);
+        resident_ += want - have;
+    }
+    table.tail_tokens_ = tail;
+    bumpPeaksLocked();
+}
+
+void
+KvBlockPool::release(Admission &admission)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    BlockTable &table = admission.table;
+    if (table.reserved_blocks_ > 0) {
+        // Return physical ids of materialized blocks, then refund the
+        // still-unmaterialized remainder of the reservation.
+        const size_t resident = table.blocks_.size();
+        for (BlockId id : table.blocks_)
+            free_ids_.push_back(id);
+        table.blocks_.clear();
+        resident_ -= resident;
+        committed_ -= table.reserved_blocks_;
+        table.reserved_blocks_ = 0;
+        table.tail_tokens_ = 0;
+    }
+    if (admission.prefix)
+        dropPrefixRefLocked(admission);
+}
+
+void
+KvBlockPool::dropPrefixRefLocked(Admission &admission)
+{
+    // Find the entry by identity of the shared data (an evicted key
+    // may have been recomputed into a NEW entry while this request
+    // still mapped the old data — identity, not key, disambiguates).
+    for (PrefixEntry &e : entries_) {
+        if (e.data == admission.prefix) {
+            if (e.refs == 0)
+                throw std::logic_error(
+                    "KvBlockPool: releasing a prefix with zero refs");
+            e.refs -= 1;
+            e.last_use = ++lru_clock_;
+            admission.prefix.reset();
+            return;
+        }
+    }
+    // Entry gone: impossible today (mapped entries are never evicted),
+    // but dropping the reference is still the right cleanup.
+    admission.prefix.reset();
+}
+
+KvPoolStats
+KvBlockPool::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    KvPoolStats s = counters_;
+    s.total_blocks = cfg_.num_blocks;
+    s.used_blocks = committed_;
+    s.free_blocks = cfg_.num_blocks - committed_;
+    s.resident_blocks = resident_;
+    s.shared_blocks = sharedBlocksLocked();
+    s.prefix_entries = entries_.size();
+    s.block_bytes = block_bytes_;
+    s.resident_bytes = resident_ * block_bytes_;
+    return s;
+}
+
+} // namespace serve
+} // namespace lt

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * KvBlockPool — the fixed-budget paged KV-cache memory manager of the
+ * serve layer.
+ *
+ * The pool owns a fixed number of page-sized token blocks (one block =
+ * block_tokens tokens of one layer's K+V, all heads) and three things
+ * built on them:
+ *
+ *  - per-request BlockTables: admission reserves the request's
+ *    worst-case tail (suffix prompt + generation budget) against the
+ *    budget, and blocks materialize lazily as the context grows — so
+ *    resident KV bytes track tokens actually cached, not
+ *    max_tokens × concurrency (the dense-reserve model this replaces);
+ *
+ *  - a prefix-sharing index: requests naming a shared prompt prefix
+ *    (hash over its token ids) map one refcounted, immutable
+ *    nn::KvPrefix copy-on-write — a system prompt served to N users is
+ *    computed and encoded ONCE (prefix_hits counts the N-1 reuses);
+ *
+ *  - LRU eviction with recompute-on-readmission: a prefix whose last
+ *    request released it stays cached (idle) until admission pressure
+ *    evicts it, and a later request for the same tokens recomputes it
+ *    — bit-identically, because prefixes are content-addressed pure
+ *    functions (see nn::KvPrefix). Blocks mapped by any live request
+ *    (refs > 0) are never evicted.
+ *
+ * Budget discipline: admission is the only gate. canAdmit() answers
+ * whether a request fits free + evictable-idle blocks right now (the
+ * scheduler defers it FIFO otherwise); fitsEver() answers whether it
+ * could fit an empty pool (submit-time std::invalid_argument
+ * otherwise). Because the worst-case tail is reserved up front,
+ * mid-decode exhaustion is impossible by construction.
+ *
+ * Threading: admit/noteContext/release are single-consumer (the
+ * scheduler tick thread); stats() may be called from any thread.
+ */
+
+#ifndef LT_SERVE_KV_POOL_KV_BLOCK_POOL_HH
+#define LT_SERVE_KV_POOL_KV_BLOCK_POOL_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "nn/inference_session.hh"
+#include "serve/kv_pool/block_table.hh"
+#include "serve/kv_pool/kv_pool_stats.hh"
+
+namespace lt {
+namespace serve {
+
+/** Fixed-budget block pool with prefix sharing and LRU eviction. */
+class KvBlockPool
+{
+  public:
+    /**
+     * @param model shared decoder (layer count / dim size the block
+     *        geometry derives from; prefix computation runs on it)
+     * @param backend engine prefixes are computed and encoded on
+     * @param quant operand quantization of every request
+     * @param cfg block size + budget; throws std::invalid_argument
+     *        when block_tokens or num_blocks is zero
+     */
+    KvBlockPool(const nn::TransformerClassifier &model,
+                nn::GemmBackend &backend, const nn::QuantConfig &quant,
+                const KvPoolConfig &cfg);
+
+    const KvPoolConfig &config() const { return cfg_; }
+    size_t blockTokens() const { return cfg_.block_tokens; }
+    size_t totalBlocks() const { return cfg_.num_blocks; }
+
+    /** Dense K+V payload bytes one block holds (one layer, all heads). */
+    size_t blockBytes() const { return block_bytes_; }
+
+    /** Blocks (across ALL layers) a context of `tokens` tokens needs. */
+    size_t blocksForTokens(size_t tokens) const;
+
+    /**
+     * What one admission handed out: the shared prefix mapping (null
+     * when the request shares nothing) plus the request's own block
+     * table. Pass back to release() when the request completes or
+     * expires.
+     */
+    struct Admission
+    {
+        std::shared_ptr<const nn::KvPrefix> prefix;
+        BlockTable table;
+    };
+
+    /**
+     * Could this request EVER be admitted — worst-case tail plus a
+     * cold prefix against the whole budget? False means submit must
+     * reject (std::invalid_argument), not queue: no amount of
+     * eviction frees enough blocks.
+     */
+    bool fitsEver(size_t prompt_tokens, size_t prefix_tokens,
+                  size_t max_new_tokens) const;
+
+    /**
+     * Can this request be admitted NOW: free blocks plus evictable
+     * idle prefixes cover its tail reservation (and its prefix, when
+     * not already cached). The scheduler stops admitting — FIFO order
+     * is preserved, nothing is dropped — while this is false.
+     */
+    bool canAdmit(const std::vector<int> &prompt,
+                  size_t prefix_tokens, size_t max_new_tokens) const;
+
+    /**
+     * Admit one request: acquire (hit) or compute (miss) its shared
+     * prefix, evicting idle prefixes LRU-first as needed, and reserve
+     * its worst-case tail. Must follow a true canAdmit() on the same
+     * consumer thread; throws std::logic_error if the budget cannot
+     * honor the reservation (a scheduler bug, not load).
+     */
+    Admission admit(const std::vector<int> &prompt,
+                    size_t prefix_tokens, size_t max_new_tokens);
+
+    /**
+     * Record the request's context length after prefill / each decode
+     * step: materializes tail blocks (within the admission
+     * reservation) so resident accounting tracks real token growth.
+     */
+    void noteContext(BlockTable &table, size_t context_tokens);
+
+    /**
+     * Return an admission's blocks to the pool and drop its prefix
+     * reference. A prefix whose refcount reaches zero becomes an idle
+     * LRU candidate but keeps its blocks until evicted — the warm
+     * cache a returning prompt hits.
+     */
+    void release(Admission &admission);
+
+    /** Snapshot counters + gauges (thread-safe). */
+    KvPoolStats stats() const;
+
+  private:
+    /** One cached shared prefix and the blocks pinned under it. */
+    struct PrefixEntry
+    {
+        uint64_t key = 0;         ///< hashPrefixTokens(tokens)
+        std::vector<int> tokens;  ///< exact ids (collision guard)
+        std::shared_ptr<const nn::KvPrefix> data;
+        std::vector<BlockId> blocks;
+        size_t refs = 0;
+        uint64_t last_use = 0;    ///< LRU clock at last acquire/release
+    };
+
+    size_t freeBudgetLocked() const { return cfg_.num_blocks - committed_; }
+    void dropPrefixRefLocked(Admission &admission);
+    PrefixEntry *findEntryLocked(uint64_t key,
+                                 const std::vector<int> &tokens);
+    size_t evictableBlocksLocked(const PrefixEntry *keep) const;
+    bool ensureFreeLocked(size_t need);
+    void allocBlocksLocked(std::vector<BlockId> &out, size_t count);
+    void recycleBlocksLocked(std::vector<BlockId> &blocks);
+    void bumpPeaksLocked();
+    size_t sharedBlocksLocked() const;
+
+    const nn::TransformerClassifier &model_;
+    nn::GemmBackend &backend_;
+    nn::QuantConfig quant_;
+    KvPoolConfig cfg_;
+    size_t layers_;
+    size_t block_bytes_;
+
+    mutable std::mutex mu_;
+    std::vector<BlockId> free_ids_;
+    size_t committed_ = 0; ///< reservations + resident prefix blocks
+    size_t resident_ = 0;  ///< materialized blocks (<= committed_)
+    std::vector<PrefixEntry> entries_;
+    std::unordered_set<uint64_t> ever_seen_; ///< recompute detection
+    uint64_t lru_clock_ = 0;
+    KvPoolStats counters_; ///< hits/misses/evictions/recomputes/peaks
+};
+
+} // namespace serve
+} // namespace lt
+
+#endif // LT_SERVE_KV_POOL_KV_BLOCK_POOL_HH

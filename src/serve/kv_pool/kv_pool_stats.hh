@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Configuration and observability types of the paged KV-cache pool —
+ * dependency-free so serve::Metrics can embed the stats without
+ * pulling the pool (and the nn layer) into its header.
+ */
+
+#ifndef LT_SERVE_KV_POOL_KV_POOL_STATS_HH
+#define LT_SERVE_KV_POOL_KV_POOL_STATS_HH
+
+#include <cstddef>
+
+namespace lt {
+namespace serve {
+
+/** Paged KV memory knobs (ServerConfig::kv_pool). */
+struct KvPoolConfig
+{
+    /**
+     * Tokens per block. Aligned to the DPTC core's k-tile (the packed
+     * encoded-operand capacity stride EncodedOperand::reserve already
+     * quantizes to), so a block boundary is also a packed-tile
+     * boundary and block-sized appends never split a tile.
+     */
+    size_t block_tokens = 16;
+
+    /**
+     * Fixed block budget of the whole server — THE memory model: one
+     * block holds block_tokens tokens of one layer's K+V (all heads).
+     * 0 disables paging entirely; the serve layer then reserves the
+     * historical max_tokens per session (dense-reserve mode), and
+     * every paged code path is bypassed byte-for-byte.
+     */
+    size_t num_blocks = 0;
+
+    bool enabled() const { return num_blocks > 0; }
+};
+
+/**
+ * Point-in-time pool counters, embedded in serve::MetricsSnapshot and
+ * the bench JSON snapshots. "Used" counts committed blocks — admission
+ * reservations plus resident prefix entries — the quantity admission
+ * gates on; "resident" counts blocks actually materialized by tokens,
+ * the quantity KV bytes scale with (strictly ≤ used).
+ */
+struct KvPoolStats
+{
+    size_t total_blocks = 0;
+    size_t free_blocks = 0;     ///< total - used (admission headroom)
+    size_t used_blocks = 0;     ///< committed: reservations + prefixes
+    size_t resident_blocks = 0; ///< materialized by actual tokens
+    size_t shared_blocks = 0;   ///< blocks of prefixes with refs >= 2
+
+    size_t prefix_entries = 0;  ///< prefixes currently cached
+    size_t prefix_hits = 0;     ///< admissions served a cached prefix
+    size_t prefix_misses = 0;   ///< admissions that computed one
+    size_t evictions = 0;       ///< idle prefixes LRU-evicted
+    size_t recomputes = 0;      ///< misses whose key was evicted before
+
+    size_t block_bytes = 0;     ///< dense K+V payload bytes per block
+    size_t resident_bytes = 0;  ///< resident_blocks * block_bytes
+
+    size_t peak_used_blocks = 0;
+    size_t peak_resident_blocks = 0;
+    size_t peak_resident_bytes = 0;
+    size_t peak_shared_blocks = 0;
+};
+
+} // namespace serve
+} // namespace lt
+
+#endif // LT_SERVE_KV_POOL_KV_POOL_STATS_HH

@@ -79,6 +79,8 @@ Metrics::setGauges(size_t queue_depth, size_t active_requests)
     std::lock_guard<std::mutex> lock(mu_);
     counts_.queue_depth = queue_depth;
     counts_.active_requests = active_requests;
+    counts_.peak_active_requests =
+        std::max(counts_.peak_active_requests, active_requests);
 }
 
 MetricsSnapshot

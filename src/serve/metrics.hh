@@ -18,6 +18,8 @@
 #include <mutex>
 #include <vector>
 
+#include "serve/kv_pool/kv_pool_stats.hh"
+
 namespace lt {
 namespace serve {
 
@@ -35,6 +37,7 @@ struct MetricsSnapshot
     // Gauges at snapshot time.
     size_t queue_depth = 0;
     size_t active_requests = 0;
+    size_t peak_active_requests = 0; ///< high-water concurrency
 
     // Latency distributions (milliseconds).
     double ttft_p50_ms = 0.0;
@@ -72,6 +75,15 @@ struct MetricsSnapshot
      * noise pipeline's load metric (see GemmStats::gaussian_draws).
      */
     size_t engine_gaussian_draws = 0;
+
+    /**
+     * Paged KV-cache pool state, overlaid by Server::metrics() when
+     * ServerConfig::kv_pool is enabled (all-zero otherwise): blocks
+     * in use / free / resident / shared, prefix hit-miss-eviction-
+     * recompute counters, and resident KV bytes — the memory story of
+     * the serve layer.
+     */
+    KvPoolStats kv_pool;
 };
 
 /** Thread-safe metrics accumulator. */

@@ -57,6 +57,19 @@ struct Request
      * reproducible against a solo InferenceSession with the same id.
      */
     std::optional<uint64_t> request_id;
+
+    /**
+     * Leading prompt tokens shared with other requests (a system
+     * prompt, few-shot header, ...). On a paged server
+     * (ServerConfig::kv_pool) those positions are served from ONE
+     * refcounted, copy-on-write KV prefix — computed once, mapped by
+     * every request naming the same tokens — without changing the
+     * request's logits (the prefix is content-addressed; see
+     * nn::KvPrefix). Must leave at least one suffix token. 0 (the
+     * default) shares nothing; nonzero requires paging and throws
+     * std::invalid_argument at submit otherwise.
+     */
+    size_t shared_prefix_tokens = 0;
 };
 
 /** What the server promises back for one request. */

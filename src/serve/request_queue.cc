@@ -41,6 +41,18 @@ RequestQueue::take(size_t max_requests)
     return taken;
 }
 
+std::optional<PendingRequest>
+RequestQueue::takeIf(
+    const std::function<bool(const PendingRequest &)> &pred)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty() || !pred(queue_.front()))
+        return std::nullopt;
+    std::optional<PendingRequest> taken(std::move(queue_.front()));
+    queue_.pop_front();
+    return taken;
+}
+
 bool
 RequestQueue::waitForWork(std::chrono::milliseconds timeout)
 {

@@ -17,6 +17,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <optional>
@@ -51,6 +52,16 @@ class RequestQueue
 
     /** Pop up to max_requests in FIFO order (non-blocking). */
     std::vector<PendingRequest> take(size_t max_requests);
+
+    /**
+     * Pop the FRONT request iff `pred` accepts it; nullopt when the
+     * queue is empty or the front is rejected. Strictly FIFO — a
+     * rejected front blocks everything behind it, which is exactly
+     * the no-starvation admission order the paged scheduler wants
+     * (a big request waiting for blocks is never overtaken).
+     */
+    std::optional<PendingRequest>
+    takeIf(const std::function<bool(const PendingRequest &)> &pred);
 
     /**
      * Block until the queue is non-empty, closed, or `timeout`

@@ -9,7 +9,12 @@ namespace serve {
 Server::Server(const nn::TransformerClassifier &model,
                nn::GemmBackend &backend, ServerConfig cfg)
     : model_(model), backend_(backend), cfg_(cfg),
-      scheduler_(model, backend, cfg.quant, cfg.scheduler, &metrics_)
+      pool_(cfg.kv_pool.enabled()
+                ? std::make_unique<KvBlockPool>(model, backend,
+                                                cfg.quant, cfg.kv_pool)
+                : nullptr),
+      scheduler_(model, backend, cfg.quant, cfg.scheduler, &metrics_,
+                 pool_.get())
 {
     const nn::TransformerConfig &mcfg = model.config();
     if (mcfg.vocab_size == 0 || !mcfg.causal)
@@ -65,6 +70,34 @@ Server::submit(Request request)
                 "serve::Server::submit: prompt token " +
                 std::to_string(t) + " outside vocabulary of " +
                 std::to_string(mcfg.vocab_size));
+    if (request.shared_prefix_tokens > 0) {
+        if (!pool_)
+            throw std::invalid_argument(
+                "serve::Server::submit: shared_prefix_tokens requires "
+                "paged KV memory (enable ServerConfig::kv_pool)");
+        if (request.shared_prefix_tokens >= request.prompt.size())
+            throw std::invalid_argument(
+                "serve::Server::submit: shared prefix of " +
+                std::to_string(request.shared_prefix_tokens) +
+                " tokens must leave at least one suffix token of the " +
+                std::to_string(request.prompt.size()) +
+                "-token prompt");
+    }
+    // A request whose worst-case footprint exceeds the WHOLE block
+    // budget would wedge the FIFO queue forever — reject it now, at
+    // submit, rather than let it starve everything behind it.
+    if (pool_ && !pool_->fitsEver(request.prompt.size(),
+                                  request.shared_prefix_tokens,
+                                  request.max_new_tokens))
+        throw std::invalid_argument(
+            "serve::Server::submit: request needs " +
+            std::to_string(pool_->blocksForTokens(
+                request.prompt.size() - request.shared_prefix_tokens +
+                request.max_new_tokens) +
+                pool_->blocksForTokens(request.shared_prefix_tokens)) +
+            " KV blocks but the pool only has " +
+            std::to_string(pool_->totalBlocks()) +
+            " — it can never be admitted");
 
     uint64_t id = request.request_id
                       ? *request.request_id
@@ -143,6 +176,8 @@ Server::metrics() const
         stats.kv_encode_misses.load(std::memory_order_relaxed);
     snap.engine_gaussian_draws =
         stats.gaussian_draws.load(std::memory_order_relaxed);
+    if (pool_)
+        snap.kv_pool = pool_->stats();
     return snap;
 }
 

@@ -33,6 +33,7 @@
 
 #include <atomic>
 #include <future>
+#include <memory>
 #include <thread>
 
 #include "nn/transformer.hh"
@@ -53,6 +54,17 @@ struct ServerConfig
 
     /** Idle poll period of the serving thread. */
     std::chrono::milliseconds idle_poll{1};
+
+    /**
+     * Paged KV-cache memory (serve/kv_pool). Disabled by default
+     * (num_blocks = 0): every session reserves its own max_tokens of
+     * contiguous K/V, the historical dense-reserve model, and the
+     * paged code paths are bypassed entirely. Enabled, admission
+     * gates on the fixed block budget, resident KV bytes track the
+     * tokens actually cached, and requests may share prompt prefixes
+     * copy-on-write (Request::shared_prefix_tokens).
+     */
+    KvPoolConfig kv_pool{};
 };
 
 /** Owns the queue, the scheduler, and (optionally) a serving thread. */
@@ -106,6 +118,9 @@ class Server
     size_t activeRequests() const { return scheduler_.activeRequests(); }
     const nn::TransformerClassifier &model() const { return model_; }
 
+    /** The paged KV pool, or nullptr in dense-reserve mode. */
+    const KvBlockPool *kvPool() const { return pool_.get(); }
+
   private:
     void serveLoop();
 
@@ -114,6 +129,7 @@ class Server
     ServerConfig cfg_;
     Metrics metrics_;
     RequestQueue queue_;
+    std::unique_ptr<KvBlockPool> pool_; ///< before scheduler_: it borrows
     BatchScheduler scheduler_;
 
     std::thread worker_;

@@ -148,6 +148,102 @@ TEST(Serve, LogitsBitIdenticalToSoloAtEveryConcurrency)
     }
 }
 
+TEST(Serve, SharedPrefixConcurrencyPreservesTheNoiseLaneContract)
+{
+    // The PR 3 noise-lane contract, extended to paged serving with a
+    // shared system prompt: a request mapping a copy-on-write prefix
+    // must still be bit-identical to itself run solo (same request_id,
+    // fresh engine, same sharing config) at any concurrency — the
+    // prefix is content-addressed, so hit, miss, and solo all read
+    // the same bits.
+    nn::TransformerClassifier model(lmConfig());
+    const nn::QuantConfig quant = nn::QuantConfig::w8a8();
+    const size_t kNew = 4;
+    const std::vector<int> system_prompt =
+        promptFor(77, 6, model.config().vocab_size);
+
+    serve::KvPoolConfig pool_cfg;
+    pool_cfg.block_tokens = 4;
+    pool_cfg.num_blocks = 64;
+
+    auto makeRequest = [&](uint64_t id) {
+        serve::Request req;
+        req.prompt = system_prompt;
+        std::vector<int> tail =
+            promptFor(0x700 + id, 2, model.config().vocab_size);
+        req.prompt.insert(req.prompt.end(), tail.begin(), tail.end());
+        req.max_new_tokens = kNew;
+        req.record_logits = true;
+        req.request_id = id;
+        req.shared_prefix_tokens = system_prompt.size();
+        return req;
+    };
+
+    auto runAt = [&](size_t concurrency, uint64_t id) {
+        nn::ExecutionEngine engine(noisyDptc(), core::EvalMode::Noisy);
+        serve::ServerConfig scfg;
+        scfg.scheduler.max_batch = concurrency;
+        scfg.quant = quant;
+        scfg.kv_pool = pool_cfg;
+        serve::Server server(model, engine, scfg);
+        std::vector<std::future<serve::RequestResult>> futures;
+        for (uint64_t r = 0; r < concurrency; ++r)
+            futures.push_back(server.submit(makeRequest(r)));
+        server.runUntilIdle();
+        return futures[id].get();
+    };
+
+    for (size_t concurrency : {2u, 6u}) {
+        for (uint64_t id = 0; id < concurrency; ++id) {
+            serve::RequestResult shared = runAt(concurrency, id);
+            serve::RequestResult solo = runAt(1, 0);
+            // Solo serves request 0's prompt; compare only id 0 across
+            // concurrencies, and all ids against each other's servers.
+            if (id == 0) {
+                EXPECT_EQ(shared.generated, solo.generated)
+                    << "concurrency " << concurrency;
+                ASSERT_EQ(shared.step_logits.size(),
+                          solo.step_logits.size());
+                for (size_t s = 0; s < solo.step_logits.size(); ++s)
+                    EXPECT_EQ(shared.step_logits[s].maxAbsDiff(
+                                  solo.step_logits[s]),
+                              0.0)
+                        << "concurrency " << concurrency << " step "
+                        << s;
+            } else {
+                // Every other id: identical to a 1-wide server that
+                // admitted requests 0..id sequentially — id's prefix
+                // arrives via a HIT there and via concurrent sharing
+                // here; both must read the same bits.
+                nn::ExecutionEngine engine(noisyDptc(),
+                                           core::EvalMode::Noisy);
+                serve::ServerConfig scfg;
+                scfg.scheduler.max_batch = 1;
+                scfg.quant = quant;
+                scfg.kv_pool = pool_cfg;
+                serve::Server narrow(model, engine, scfg);
+                std::vector<std::future<serve::RequestResult>> futs;
+                for (uint64_t r = 0; r <= id; ++r)
+                    futs.push_back(narrow.submit(makeRequest(r)));
+                narrow.runUntilIdle();
+                serve::RequestResult sequential = futs[id].get();
+                EXPECT_EQ(shared.generated, sequential.generated)
+                    << "concurrency " << concurrency << " request "
+                    << id;
+                ASSERT_EQ(shared.step_logits.size(),
+                          sequential.step_logits.size());
+                for (size_t s = 0; s < sequential.step_logits.size();
+                     ++s)
+                    EXPECT_EQ(shared.step_logits[s].maxAbsDiff(
+                                  sequential.step_logits[s]),
+                              0.0)
+                        << "concurrency " << concurrency
+                        << " request " << id << " step " << s;
+            }
+        }
+    }
+}
+
 TEST(Serve, StaggeredArrivalsJoinTheRunningBatchBitIdentically)
 {
     // Continuous batching: requests admitted MID-generation of others
