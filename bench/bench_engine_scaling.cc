@@ -30,6 +30,16 @@
  * moves the needle — the regime where caching matters is exactly the
  * calibrated/systematic-noise serving configuration.
  *
+ * Tracing-overhead scenario (observability PR): the decode bench runs
+ * with NO obs::TraceRecorder installed, so every TraceScope in the
+ * engine/session/decoder hot path must compile down to one relaxed
+ * atomic load and a not-taken branch. The cache-on ms/step is gated
+ * against the committed BENCH_engine.json baseline with a < 3%
+ * regression budget — if disabled tracing ever costs measurable decode
+ * time, this exits nonzero. A second, informational measurement reruns
+ * the same decode WITH a recorder installed and reports the traced
+ * overhead (not gated: recording cost is a price the user opts into).
+ *
  * Usage: bench_engine_scaling [--csv] [--json [path]]
  *
  * --csv prints the rows as CSV on stdout (the CI smoke mode) and
@@ -50,6 +60,7 @@
 #include "nn/execution_engine.hh"
 #include "nn/inference_session.hh"
 #include "nn/transformer.hh"
+#include "obs/trace.hh"
 #include "util/fast_rng.hh"
 #include "util/linalg.hh"
 #include "util/parallel.hh"
@@ -72,6 +83,19 @@ constexpr int kReps = 3;
  */
 constexpr double kPreRewriteDecodeMsPerStep = 7.42;
 constexpr double kDecodeSpeedupGate = 1.5;
+
+/**
+ * Tracing-overhead gate of the observability PR: the committed
+ * cache-on ms/step of BENCH_engine.json at the time the serve path
+ * was instrumented. With tracing disabled (no recorder installed —
+ * this bench's default state) the decode must stay within
+ * kTracingOverheadBudget of it: disabled instrumentation is one
+ * relaxed atomic load + branch per scope and must not show up in
+ * ms/step. Re-pin the baseline whenever BENCH_engine.json is
+ * regenerated for an unrelated perf change.
+ */
+constexpr double kCommittedCacheOnMsPerStep = 3.93543;
+constexpr double kTracingOverheadBudget = 1.03; ///< < 3% regression
 
 double
 secondsOf(const std::function<void()> &fn)
@@ -324,6 +348,67 @@ runDecodeScenario()
     return res;
 }
 
+/**
+ * The kv_plans decode column re-timed WITH a TraceRecorder installed:
+ * the informational traced counterpart of the tracing-off overhead
+ * gate. Ring capacity is sized so nothing drops mid-run; the recorder
+ * is uninstalled before returning.
+ */
+double
+runTracedDecodeMsPerStep(uint64_t *dropped)
+{
+    constexpr size_t kDecodeDim = 256;
+    constexpr size_t kPrompt = 96;
+    constexpr size_t kSteps = 32;
+    constexpr int kDecodeReps = 3;
+
+    core::DptcConfig dcfg;
+    dcfg.input_bits = 8;
+    dcfg.noise.enable_encoding_noise = false;
+
+    nn::TransformerConfig mcfg;
+    mcfg.dim = kDecodeDim;
+    mcfg.depth = 2;
+    mcfg.heads = 8;
+    mcfg.mlp_hidden = 2 * kDecodeDim;
+    mcfg.num_classes = 256;
+    mcfg.vocab_size = 256;
+    mcfg.max_tokens = kPrompt + kSteps;
+    mcfg.pooling = nn::Pooling::LastToken;
+    mcfg.causal = true;
+    nn::TransformerClassifier model(mcfg);
+
+    Rng rng(0xDEC0DE);
+    std::vector<int> prompt(kPrompt);
+    for (int &t : prompt)
+        t = static_cast<int>(rng.uniformInt(0, 255));
+    std::vector<int> next(kSteps);
+    for (int &t : next)
+        t = static_cast<int>(rng.uniformInt(0, 255));
+
+    nn::ExecutionEngine engine(
+        nn::EngineConfig{dcfg, core::EvalMode::Noisy, 8, true, true});
+
+    obs::TraceRecorder recorder(1 << 18);
+    obs::installRecorder(&recorder);
+    double best_s = 1e30;
+    for (int r = 0; r < kDecodeReps; ++r) {
+        nn::InferenceSession session(model, engine,
+                                     nn::QuantConfig::w8a8(),
+                                     /*request_id=*/7);
+        session.prefill(prompt);
+        session.decodeStep(next[0]); // warm plan builds
+        double s = secondsOf([&] {
+            for (size_t i = 1; i < kSteps; ++i)
+                session.decodeStep(next[i]);
+        });
+        best_s = std::min(best_s, s);
+    }
+    obs::installRecorder(nullptr);
+    *dropped = recorder.droppedEvents();
+    return best_s / (kSteps - 1) * 1e3;
+}
+
 } // namespace
 
 int
@@ -397,6 +482,11 @@ main(int argc, char **argv)
 
     DecodeResult decode = runDecodeScenario();
     RngBenchResult rngb = runRngMicrobench();
+    uint64_t traced_dropped = 0;
+    const double traced_ms = runTracedDecodeMsPerStep(&traced_dropped);
+    const double traced_overhead =
+        decode.kv_plans_ms > 0.0 ? traced_ms / decode.kv_plans_ms
+                                 : 0.0;
 
     if (json) {
         // The committed perf-trajectory snapshot: one object per
@@ -455,7 +545,14 @@ main(int argc, char **argv)
             << ", \"kv_dense_reserve_bytes\": "
             << decode.kv_dense_reserve_bytes
             << ", \"kv_paged_resident_bytes\": "
-            << decode.kv_paged_resident_bytes << "}\n}\n";
+            << decode.kv_paged_resident_bytes << "},\n"
+            << "  \"tracing\": {\"committed_cache_on_ms_per_step\": "
+            << kCommittedCacheOnMsPerStep
+            << ", \"overhead_budget\": " << kTracingOverheadBudget
+            << ", \"traced_cache_on_ms_per_step\": " << traced_ms
+            << ", \"traced_overhead_vs_untraced\": " << traced_overhead
+            << ", \"trace_dropped_events\": " << traced_dropped
+            << "}\n}\n";
         // stderr: keeps the CSV stream clean when modes are combined.
         std::cerr << "wrote " << json_path << "\n";
     }
@@ -480,7 +577,14 @@ main(int argc, char **argv)
         decode.kv_plans_ms <=
         kPreRewriteDecodeMsPerStep / kDecodeSpeedupGate;
     const bool fast_beats_bitexact = decode.fast_ms < decode.kv_plans_ms;
-    const bool perf_ok = bitexact_fast_enough && fast_beats_bitexact;
+    // Observability gate: with no recorder installed the decode must
+    // not regress more than the tracing-overhead budget vs the
+    // committed baseline — disabled instrumentation has to be free.
+    const bool tracing_off_free =
+        decode.kv_plans_ms <=
+        kCommittedCacheOnMsPerStep * kTracingOverheadBudget;
+    const bool perf_ok =
+        bitexact_fast_enough && fast_beats_bitexact && tracing_off_free;
 
     if (csv) {
         std::cout << "threads,photonic_s,photonic_gmacs,"
@@ -521,6 +625,15 @@ main(int argc, char **argv)
                      "rng_fast_ns_per_draw\n"
                   << rngb.scalar_ns << "," << rngb.blocked_ns << ","
                   << rngb.fast_ns << "\n";
+        std::cout << "\ncommitted_cache_on_ms_per_step,"
+                     "tracing_overhead_budget,"
+                     "traced_cache_on_ms_per_step,"
+                     "traced_overhead_vs_untraced,"
+                     "trace_dropped_events,tracing_off_free\n"
+                  << kCommittedCacheOnMsPerStep << ","
+                  << kTracingOverheadBudget << "," << traced_ms << ","
+                  << traced_overhead << "," << traced_dropped << ","
+                  << (tracing_off_free ? 1 : 0) << "\n";
     }
     if (csv || json) {
         if (!all_identical)
@@ -550,6 +663,17 @@ main(int argc, char **argv)
                       << decode.fast_ms
                       << " ms/step not faster than bit-exact "
                       << decode.kv_plans_ms << "\n";
+        if (!tracing_off_free)
+            std::cerr << "TRACING OVERHEAD VIOLATION: tracing-disabled "
+                         "decode "
+                      << decode.kv_plans_ms << " ms/step > "
+                      << kCommittedCacheOnMsPerStep *
+                             kTracingOverheadBudget
+                      << " (committed baseline "
+                      << kCommittedCacheOnMsPerStep << " x "
+                      << kTracingOverheadBudget
+                      << " budget) — disabled TraceScopes must be "
+                         "free\n";
         return all_identical && decode_ok && perf_ok ? 0 : 1;
     }
 
@@ -641,5 +765,25 @@ main(int argc, char **argv)
               << units::fmtFixed(kDecodeSpeedupGate, 1)
               << "x), and Fast < bit-exact. This run: "
               << (perf_ok ? "PASS" : "FAIL") << ".\n";
+
+    printBanner(std::cout, "Tracing overhead: decode regime");
+    Table ttable({"state", "ms/step", "vs untraced"});
+    ttable.addRow({"tracing disabled (gated)",
+                   units::fmtFixed(decode.kv_plans_ms, 3),
+                   "1.00x"});
+    ttable.addRow({"recorder installed",
+                   units::fmtFixed(traced_ms, 3),
+                   units::fmtFixed(traced_overhead, 2) + "x"});
+    ttable.print(std::cout);
+    std::cout << "\nDisabled-tracing gate (enforced in --csv/--json): "
+                 "cache-on decode <= committed\nbaseline "
+              << units::fmtFixed(kCommittedCacheOnMsPerStep, 3)
+              << " ms/step x "
+              << units::fmtFixed(kTracingOverheadBudget, 2)
+              << " — a disabled TraceScope is one relaxed load + "
+                 "branch.\nThis run: "
+              << (tracing_off_free ? "PASS" : "FAIL")
+              << ". Traced run dropped " << traced_dropped
+              << " events (recording cost is opt-in, not gated).\n";
     return all_identical && decode_ok ? 0 : 1;
 }

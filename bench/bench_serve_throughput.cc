@@ -26,11 +26,15 @@
  *
  * Usage: bench_serve_throughput [--csv] [--json [path]]
  *                               [--concurrency N] [--pool-smoke]
+ *                               [--trace out.json]
  *
  * --json writes the committed BENCH_serve.json perf snapshot;
  * --concurrency restricts the sweep (the CI smoke runs one level);
  * --pool-smoke runs ONLY the pool comparison + its gates (the CI
- * memory-budget smoke).
+ * memory-budget smoke); --trace serves one extra paged run at the
+ * sweep's top concurrency under an obs::TraceRecorder and writes the
+ * Chrome/Perfetto trace_event JSON (chrome://tracing loads it as-is),
+ * printing the derived per-phase time breakdown.
  */
 
 #include <chrono>
@@ -44,6 +48,8 @@
 #include "bench_common.hh"
 #include "nn/batched_decoder.hh"
 #include "nn/execution_engine.hh"
+#include "obs/trace.hh"
+#include "obs/trace_export.hh"
 #include "serve/kv_pool/kv_block_pool.hh"
 #include "serve/server.hh"
 #include "util/csv.hh"
@@ -55,6 +61,13 @@ using namespace lt;
 
 constexpr size_t kPromptTokens = 8;
 constexpr size_t kNewTokens = 12;
+
+// Pool geometry shared by the fixed-memory-budget comparison and the
+// traced run.
+constexpr size_t kPoolBlockTokens = 8;  ///< k-tile aligned
+constexpr size_t kPoolBlocks = 64;      ///< the fixed budget
+constexpr size_t kPoolConcurrency = 8;
+constexpr size_t kSharedPrefixTokens = 6;
 
 nn::TransformerConfig
 modelConfig()
@@ -112,14 +125,70 @@ struct Row
     size_t batch_calls_per_step;
     bool o_layers; ///< dispatch count independent of batch size
     bool bit_identical;
+
+    // Where the run's scheduler-tick time went (cumulative ms, from
+    // Metrics::onTickPhases — measured with tracing OFF) and how many
+    // trace events the run dropped (0 here: the sweep never records).
+    double tick_admission_ms;
+    double tick_prefill_ms;
+    double tick_decode_ms;
+    double tick_pool_ms;
+    size_t trace_dropped_events;
 };
 
-// ---- the fixed-memory-budget pool comparison --------------------------
+/**
+ * One extra paged serve at `concurrency` under an installed
+ * TraceRecorder — no solo verification inside, so the trace shows
+ * pure serving — exported as Chrome trace_event JSON plus the derived
+ * per-phase breakdown.
+ */
+struct TraceOutcome
+{
+    bool wrote = false;
+    uint64_t dropped = 0;
+    size_t lanes = 0;
+    obs::PhaseBreakdown phases;
+};
 
-constexpr size_t kPoolBlockTokens = 8;  ///< k-tile aligned
-constexpr size_t kPoolBlocks = 64;      ///< the fixed budget
-constexpr size_t kPoolConcurrency = 8;
-constexpr size_t kSharedPrefixTokens = 6;
+TraceOutcome
+runTracedServe(const nn::TransformerClassifier &model,
+               const nn::QuantConfig &quant, size_t concurrency,
+               const std::string &path)
+{
+    obs::TraceRecorder recorder(1 << 16);
+    obs::installRecorder(&recorder);
+    {
+        nn::ExecutionEngine engine(dptcConfig(),
+                                   core::EvalMode::Noisy);
+        serve::ServerConfig scfg;
+        scfg.scheduler.max_batch = concurrency;
+        scfg.quant = quant;
+        scfg.kv_pool.block_tokens = kPoolBlockTokens;
+        scfg.kv_pool.num_blocks = 256; // roomy: trace, don't thrash
+        serve::Server server(model, engine, scfg);
+        std::vector<std::future<serve::RequestResult>> futures;
+        for (uint64_t id = 0; id < concurrency; ++id) {
+            serve::Request req;
+            req.prompt = promptFor(id, model.config().vocab_size);
+            req.max_new_tokens = kNewTokens;
+            req.request_id = id;
+            futures.push_back(server.submit(std::move(req)));
+        }
+        server.runUntilIdle();
+        for (auto &f : futures)
+            f.get();
+    }
+    obs::installRecorder(nullptr);
+
+    TraceOutcome out;
+    out.wrote = obs::writeChromeTraceFile(path, recorder);
+    out.dropped = recorder.droppedEvents();
+    out.lanes = recorder.threadLanes();
+    out.phases = obs::phaseBreakdown(recorder.snapshot());
+    return out;
+}
+
+// ---- the fixed-memory-budget pool comparison --------------------------
 
 struct PoolOutcome
 {
@@ -348,6 +417,7 @@ main(int argc, char **argv)
     bool json = false;
     bool pool_smoke = false;
     std::string json_path = "BENCH_serve.json";
+    std::string trace_path;
     std::vector<size_t> sweep{1, 2, 4, 8, 16};
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -361,10 +431,12 @@ main(int argc, char **argv)
             sweep = {static_cast<size_t>(std::stoul(argv[++i]))};
         } else if (arg == "--pool-smoke") {
             pool_smoke = true;
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
         } else {
             std::cerr << "usage: bench_serve_throughput [--csv] "
                          "[--json [path]] [--concurrency N] "
-                         "[--pool-smoke]\n";
+                         "[--pool-smoke] [--trace out.json]\n";
             return 2;
         }
     }
@@ -502,6 +574,11 @@ main(int argc, char **argv)
         row.o_layers =
             row.batch_calls_per_step == expected_dispatches;
         row.bit_identical = identical;
+        row.tick_admission_ms = snap.tick_admission_ms;
+        row.tick_prefill_ms = snap.tick_prefill_ms;
+        row.tick_decode_ms = snap.tick_decode_ms;
+        row.tick_pool_ms = snap.tick_pool_ms;
+        row.trace_dropped_events = snap.trace_dropped_events;
         all_ok &= row.o_layers && row.bit_identical &&
                   row.fast_bit_identical;
         rows.push_back(row);
@@ -511,6 +588,18 @@ main(int argc, char **argv)
     PoolOutcome pool = runPoolComparison(model, quant);
     all_ok &= pool.ok();
 
+    // One extra traced run at the sweep's top concurrency: the
+    // Perfetto-loadable artifact plus its derived phase breakdown.
+    TraceOutcome trace;
+    if (!trace_path.empty()) {
+        trace = runTracedServe(model, quant, sweep.back(), trace_path);
+        if (!trace.wrote) {
+            std::cerr << "FAILED to write trace to " << trace_path
+                      << "\n";
+            all_ok = false;
+        }
+    }
+
     if (csv) {
         std::cout << "concurrency,wall_s,tokens_per_s,"
                      "fast_tokens_per_s,ttft_p50_ms,"
@@ -519,7 +608,9 @@ main(int argc, char **argv)
                      "kv_encode_hits,kv_encode_misses,"
                      "gaussian_draws,fast_gaussian_draws,"
                      "batch_calls_per_step,o_layers,bit_identical,"
-                     "fast_bit_identical\n";
+                     "fast_bit_identical,tick_admission_ms,"
+                     "tick_prefill_ms,tick_decode_ms,tick_pool_ms,"
+                     "trace_dropped_events\n";
         for (const Row &r : rows)
             std::cout << r.concurrency << "," << r.wall_s << ","
                       << r.tokens_per_s << ","
@@ -536,7 +627,11 @@ main(int argc, char **argv)
                       << r.batch_calls_per_step << ","
                       << (r.o_layers ? 1 : 0) << ","
                       << (r.bit_identical ? 1 : 0) << ","
-                      << (r.fast_bit_identical ? 1 : 0) << "\n";
+                      << (r.fast_bit_identical ? 1 : 0) << ","
+                      << r.tick_admission_ms << ","
+                      << r.tick_prefill_ms << ","
+                      << r.tick_decode_ms << "," << r.tick_pool_ms
+                      << "," << r.trace_dropped_events << "\n";
         std::cout << "\npool_blocks,pool_block_tokens,"
                      "indep_peak_used_blocks,shared_peak_used_blocks,"
                      "indep_peak_resident_bytes,"
@@ -663,7 +758,13 @@ main(int argc, char **argv)
                 << ", \"bit_identical\": "
                 << (r.bit_identical ? "true" : "false")
                 << ", \"fast_bit_identical\": "
-                << (r.fast_bit_identical ? "true" : "false") << "}"
+                << (r.fast_bit_identical ? "true" : "false")
+                << ",\n     \"tick_admission_ms\": "
+                << r.tick_admission_ms << ", \"tick_prefill_ms\": "
+                << r.tick_prefill_ms << ", \"tick_decode_ms\": "
+                << r.tick_decode_ms << ", \"tick_pool_ms\": "
+                << r.tick_pool_ms << ", \"trace_dropped_events\": "
+                << r.trace_dropped_events << "}"
                 << (i + 1 < rows.size() ? "," : "") << "\n";
         }
         out << "  ],\n"
@@ -706,6 +807,15 @@ main(int argc, char **argv)
             << "}\n";
         out << "}\n";
         std::cout << "wrote " << json_path << "\n";
+    }
+
+    if (!trace_path.empty() && trace.wrote) {
+        std::cout << "\nwrote " << trace_path << " (concurrency "
+                  << sweep.back() << ", " << trace.lanes
+                  << " thread lane(s), " << trace.dropped
+                  << " dropped events) — load it in chrome://tracing "
+                     "or ui.perfetto.dev\n";
+        obs::writePhaseBreakdown(std::cout, trace.phases);
     }
 
     return all_ok ? 0 : 1;

@@ -13,16 +13,26 @@
  * bytes) alongside the usual metrics — queue depth, TTFT, per-token
  * latency percentiles, throughput, and fused dispatch counters.
  *
- *   cmake --build build && ./build/serve_demo
+ * With --trace [path] (default serve_trace.json) the whole run is
+ * recorded through obs::TraceRecorder and exported as Chrome/Perfetto
+ * trace_event JSON — open it in chrome://tracing or ui.perfetto.dev
+ * to see every request's lifecycle lane and the scheduler's per-tick
+ * phase spans — and the derived per-phase time breakdown is printed.
+ *
+ *   cmake --build build && ./build/serve_demo [--trace [path]]
  */
 
 #include <chrono>
 #include <future>
 #include <iostream>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "nn/execution_engine.hh"
+#include "obs/trace.hh"
+#include "obs/trace_export.hh"
 #include "serve/server.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
@@ -31,8 +41,26 @@
 using namespace lt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--trace") {
+            trace_path = "serve_trace.json";
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                trace_path = argv[++i];
+        } else {
+            std::cerr << "usage: serve_demo [--trace [path]]\n";
+            return 2;
+        }
+    }
+    std::unique_ptr<obs::TraceRecorder> recorder;
+    if (!trace_path.empty()) {
+        recorder = std::make_unique<obs::TraceRecorder>(1 << 16);
+        obs::installRecorder(recorder.get());
+    }
+
     printBanner(std::cout,
                 "Continuous-batching serve demo (3 clients, "
                 "noisy engine)");
@@ -184,5 +212,25 @@ main()
     bool ok = m.completed == m.submitted && m.tokens_generated > 0 &&
               p.prefix_hits > 0 && p.prefix_misses >= 1 &&
               p.used_blocks == p.resident_blocks;
+
+    if (recorder) {
+        obs::installRecorder(nullptr);
+        const bool wrote =
+            obs::writeChromeTraceFile(trace_path, *recorder);
+        if (!wrote) {
+            std::cerr << "FAILED to write trace to " << trace_path
+                      << "\n";
+            ok = false;
+        } else {
+            std::cout << "\nwrote " << trace_path << " ("
+                      << recorder->threadLanes() << " thread lane(s), "
+                      << m.submitted << " request lanes, "
+                      << recorder->droppedEvents()
+                      << " dropped events) — load it in "
+                         "chrome://tracing or ui.perfetto.dev\n";
+            obs::writePhaseBreakdown(
+                std::cout, obs::phaseBreakdown(recorder->snapshot()));
+        }
+    }
     return ok ? 0 : 1;
 }

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.hh"
+
 namespace lt {
 namespace nn {
 
@@ -59,6 +61,10 @@ BatchedDecoder::step(const std::vector<InferenceSession *> &sessions,
                 std::to_string(model->config().max_tokens));
     }
     const TransformerConfig &cfg = model->config();
+
+    obs::TraceScope span("decoder/step", obs::kNoRequest, "batch",
+                         static_cast<int64_t>(n), "layers",
+                         static_cast<int64_t>(model->depth()));
 
     // Embed each request's new token at ITS position (identical to
     // the row the solo decodeStep builds).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 
@@ -107,6 +108,9 @@ ExecutionEngine::gemm(const ConstMatrixView &a, const ConstMatrixView &b,
         lt_fatal("ExecutionEngine::gemm inner dimension mismatch: ",
                  a.cols(), " vs ", b.rows());
     stats_.record(a.rows(), a.cols(), b.cols());
+    obs::TraceScope span(
+        "engine/gemm", obs::kNoRequest, "macs",
+        static_cast<int64_t>(a.rows() * a.cols() * b.cols()));
     return runProduct(ProductRef{a, b, nullptr},
                       /*parallel_tiles=*/true, cores_.front(),
                       deriveSeed(cfg_.dptc.seed, stream));
@@ -180,6 +184,10 @@ ExecutionEngine::gemm(const Matrix &a, const core::EncodedOperand &w,
     validateEncoded(a.view(), w);
     stats_.record(a.rows(), a.cols(), w.cols());
     recordEncodedHit(w);
+    obs::TraceScope span(
+        "engine/gemm", obs::kNoRequest, "macs",
+        static_cast<int64_t>(a.rows() * a.cols() * w.cols()),
+        "encoded", 1);
     return runProduct(ProductRef{a.view(), ConstMatrixView(), &w},
                       /*parallel_tiles=*/true, cores_.front(),
                       deriveSeed(cfg_.dptc.seed, stream));
@@ -279,6 +287,9 @@ ExecutionEngine::gemmBatchImpl(
     const std::function<uint64_t(size_t)> &streamOf)
 {
     stats_.recordBatch();
+    obs::TraceScope span("engine/gemmBatch", obs::kNoRequest,
+                         "products",
+                         static_cast<int64_t>(products.size()));
     std::vector<Matrix> results(products.size());
     auto seedOf = [&](size_t i) {
         return deriveSeed(cfg_.dptc.seed, streamOf(i));
@@ -286,13 +297,22 @@ ExecutionEngine::gemmBatchImpl(
     auto colsOf = [](const ProductRef &p) {
         return p.b_plan != nullptr ? p.b_plan->cols() : p.b.cols();
     };
+    int64_t batch_macs = 0;
+    int64_t encoded_products = 0;
     for (const ProductRef &p : products) {
         if (p.a.cols() !=
             (p.b_plan != nullptr ? p.b_plan->rows() : p.b.rows()))
             lt_fatal("ExecutionEngine::gemmBatch inner dimension "
                      "mismatch");
         stats_.record(p.a.rows(), p.a.cols(), colsOf(p));
+        batch_macs += static_cast<int64_t>(p.a.rows() * p.a.cols() *
+                                           colsOf(p));
+        encoded_products += p.b_plan != nullptr ? 1 : 0;
     }
+    // Encode-cache attribution: how many of the batch's right-hand
+    // operands arrived pre-encoded (weight plans / encoded K-V).
+    span.setArg(1, "macs", batch_macs);
+    span.setArg(2, "encoded", encoded_products);
     // Serving regime: enough independent products to keep every core
     // busy — shard whole products across cores and run each one
     // sequentially inside its shard. Otherwise parallelize tiles

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.hh"
+
 namespace lt {
 namespace nn {
 
@@ -38,7 +40,7 @@ InferenceSession::InferenceSession(const TransformerClassifier &model,
                                    GemmBackend &backend,
                                    const QuantConfig &quant,
                                    uint64_t request_id)
-    : model_(&model),
+    : model_(&model), request_id_(request_id),
       ctx_{&backend, quant,
            NoiseStream(kSessionLaneSalt).lane(request_id),
            /*inference=*/true}
@@ -70,6 +72,10 @@ Matrix
 InferenceSession::prefill(const std::vector<int> &tokens,
                           const SessionKvPlan &plan)
 {
+    obs::TraceScope span(
+        "session/prefill", request_id_, "prompt_tokens",
+        static_cast<int64_t>(tokens.size()), "prefix_tokens",
+        static_cast<int64_t>(plan.prefix ? plan.prefix->length() : 0));
     if (len_ != 0)
         throw std::invalid_argument(
             "prefill on a session that already holds " +
@@ -258,6 +264,9 @@ InferenceSession::decodeStep(int token)
 {
     if (len_ == 0)
         return prefill({token});
+    obs::TraceScope span("session/decode_step", request_id_,
+                         "context",
+                         static_cast<int64_t>(len_ + 1));
     const TransformerConfig &cfg = model_->config();
     if (len_ + 1 > cfg.max_tokens)
         throw std::invalid_argument(

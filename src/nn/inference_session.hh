@@ -167,6 +167,9 @@ class InferenceSession
     /** Tokens currently in the K/V cache. */
     size_t contextLen() const { return len_; }
 
+    /** The noise-lane / trace id this session was constructed with. */
+    uint64_t requestId() const { return request_id_; }
+
     /** The tokens consumed so far (prompt + decoded). */
     const std::vector<int> &tokens() const { return tokens_; }
 
@@ -178,6 +181,7 @@ class InferenceSession
     Matrix logitsFromNormedRow(const Matrix &normed_row);
 
     const TransformerClassifier *model_;
+    uint64_t request_id_ = 0; ///< trace payload; lane lives in ctx_
     RunContext ctx_;
     ActivationWorkspace ws_;
     std::vector<AttentionKvCache> kv_;  ///< one per layer

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "nn/tensor_ops.hh"
+#include "obs/trace.hh"
 
 namespace lt {
 namespace serve {
@@ -41,20 +42,42 @@ BatchScheduler::tick(RequestQueue &queue)
     retireFinished();
 
     // (b) Admission + prefill of waiting requests into free slots.
-    admit(queue);
+    // The admission *phase* excludes the time spent inside prefill
+    // and the KV pool so the four phase figures stay disjoint.
+    double prefill_ms = 0.0;
+    double pool_ms = 0.0;
+    auto a0 = std::chrono::steady_clock::now();
+    {
+        obs::TraceScope span("tick/admission", obs::kNoRequest,
+                             "waiting",
+                             static_cast<int64_t>(queue.depth()));
+        admit(queue, prefill_ms, pool_ms);
+    }
+    double admission_ms =
+        std::max(0.0, msSince(a0, std::chrono::steady_clock::now()) -
+                          prefill_ms - pool_ms);
 
     // (c) One fused decode step for every active request.
-    decodeTick();
+    double decode_ms = decodeTick();
     retireFinished();
+
+    if (metrics_)
+        metrics_->onTickPhases(admission_ms, prefill_ms, decode_ms,
+                               pool_ms);
 
     active_count_.store(active_.size(), std::memory_order_relaxed);
     if (metrics_)
         metrics_->setGauges(queue.depth(), active_.size());
+    obs::traceCounter("queue_depth",
+                      static_cast<int64_t>(queue.depth()));
+    obs::traceCounter("active_requests",
+                      static_cast<int64_t>(active_.size()));
     return active_.size();
 }
 
 void
-BatchScheduler::admit(RequestQueue &queue)
+BatchScheduler::admit(RequestQueue &queue, double &prefill_ms,
+                      double &pool_ms)
 {
     while (active_.size() < cfg_.max_batch) {
         auto now = std::chrono::steady_clock::now();
@@ -86,28 +109,51 @@ BatchScheduler::admit(RequestQueue &queue)
             continue;
         }
 
+        obs::traceInstant(
+            "req/admitted", a.pending.id, "prompt_tokens",
+            static_cast<int64_t>(a.pending.request.prompt.size()),
+            "max_new",
+            static_cast<int64_t>(a.pending.request.max_new_tokens));
+
         a.session = std::make_unique<nn::InferenceSession>(
             model_, backend_, quant_, a.pending.id);
         Matrix logits;
+        nn::SessionKvPlan plan;
         if (pool_) {
             // Reserve the worst-case tail (and acquire or compute the
             // shared prefix) up front, then prefill under a plan that
             // right-sizes the session's K/V backing to the request's
             // own context budget — resident bytes track real tokens.
+            auto p0 = std::chrono::steady_clock::now();
             a.admission = pool_->admit(
                 a.pending.request.prompt,
                 a.pending.request.shared_prefix_tokens,
                 a.pending.request.max_new_tokens);
-            nn::SessionKvPlan plan;
+            pool_ms +=
+                msSince(p0, std::chrono::steady_clock::now());
             plan.prefix = a.admission.prefix;
             plan.reserve_tokens =
                 a.pending.request.prompt.size() +
                 a.pending.request.max_new_tokens - 1;
-            logits = a.session->prefill(a.pending.request.prompt, plan);
+        }
+        {
+            obs::TraceScope span(
+                "req/prefill", a.pending.id, "prompt_tokens",
+                static_cast<int64_t>(a.pending.request.prompt.size()));
+            auto f0 = std::chrono::steady_clock::now();
+            logits = pool_
+                         ? a.session->prefill(a.pending.request.prompt,
+                                              plan)
+                         : a.session->prefill(a.pending.request.prompt);
+            prefill_ms +=
+                msSince(f0, std::chrono::steady_clock::now());
+        }
+        if (pool_) {
+            auto p0 = std::chrono::steady_clock::now();
             pool_->noteContext(a.admission.table,
                                a.session->contextLen());
-        } else {
-            logits = a.session->prefill(a.pending.request.prompt);
+            pool_ms +=
+                msSince(p0, std::chrono::steady_clock::now());
         }
         a.last_token = std::chrono::steady_clock::now();
         a.ttft_ms = msSince(a.pending.enqueued, a.last_token);
@@ -126,11 +172,14 @@ BatchScheduler::admit(RequestQueue &queue)
     }
 }
 
-void
+double
 BatchScheduler::decodeTick()
 {
     if (active_.empty())
-        return;
+        return 0.0;
+    obs::TraceScope span("tick/decode", obs::kNoRequest, "batch",
+                         static_cast<int64_t>(active_.size()));
+    auto d0 = std::chrono::steady_clock::now();
     std::vector<nn::InferenceSession *> sessions;
     std::vector<int> feed;
     sessions.reserve(active_.size());
@@ -153,6 +202,10 @@ BatchScheduler::decodeTick()
             a.step_logits.push_back(std::move(logits[i]));
         if (metrics_)
             metrics_->recordTokenLatency(msSince(a.last_token, t1));
+        obs::traceInstant(
+            "req/token", a.pending.id, "batch",
+            static_cast<int64_t>(active_.size()), "tokens",
+            static_cast<int64_t>(a.generated.size()));
         a.last_token = t1;
         if (pool_)
             // The step re-ingested one token: materialize any block
@@ -166,6 +219,7 @@ BatchScheduler::decodeTick()
     if (metrics_)
         metrics_->onDecodeTick(active_.size(),
                                msSince(t0, t1));
+    return msSince(d0, std::chrono::steady_clock::now());
 }
 
 void
@@ -182,6 +236,9 @@ BatchScheduler::finish(Active &request, bool expired)
     // TTFT is the (missed) total.
     result.ttft_ms =
         result.generated.empty() ? result.total_ms : request.ttft_ms;
+    obs::traceInstant(
+        expired ? "req/expired" : "req/complete", request.pending.id,
+        "tokens", static_cast<int64_t>(result.generated.size()));
     request.session.reset();
     request.generated.clear();
     request.step_logits.clear();

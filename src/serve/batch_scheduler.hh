@@ -19,6 +19,14 @@
  *
  * Single-consumer: tick() must be called from one thread at a time
  * (serve::Server owns that thread; tests may tick manually).
+ *
+ * Observability: when an obs::TraceRecorder is installed, every tick
+ * emits "tick/admission" and "tick/decode" phase spans, per-request
+ * lifecycle events ("req/admitted", "req/prefill" span, "req/token"
+ * per decode tick, "req/complete" / "req/expired"), and queue-depth /
+ * active-request counter tracks. Independent of tracing, the tick's
+ * disjoint phase wall times (admission bookkeeping, prefill, fused
+ * decode, KV-pool work) accumulate into Metrics::onTickPhases.
  */
 
 #ifndef LT_SERVE_BATCH_SCHEDULER_HH
@@ -105,8 +113,12 @@ class BatchScheduler
         KvBlockPool::Admission admission;
     };
 
-    void admit(RequestQueue &queue);
-    void decodeTick();
+    /** Admit + prefill; accumulates prefill / KV-pool wall time into
+     *  the out-params for the tick's phase accounting. */
+    void admit(RequestQueue &queue, double &prefill_ms,
+               double &pool_ms);
+    /** One fused decode step; returns its wall time in ms. */
+    double decodeTick();
     void finish(Active &request, bool expired);
     void retireFinished();
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.hh"
+
 namespace lt {
 namespace serve {
 
@@ -136,6 +138,11 @@ KvBlockPool::ensureFreeLocked(size_t need)
                 victim = &e;
         if (!victim)
             return false;
+        obs::traceInstant(
+            "pool/evict", obs::kNoRequest, "blocks",
+            static_cast<int64_t>(victim->blocks.size()),
+            "prefix_tokens",
+            static_cast<int64_t>(victim->tokens.size()));
         recycleBlocksLocked(victim->blocks);
         counters_.evictions += 1;
         entries_.erase(entries_.begin() + (victim - entries_.data()));
@@ -201,6 +208,12 @@ KvBlockPool::admit(const std::vector<int> &prompt, size_t prefix_tokens,
             " tokens must leave at least one suffix token of the " +
             std::to_string(prompt.size()) + "-token prompt");
 
+    obs::TraceScope span("pool/admit", obs::kNoRequest,
+                         "prompt_tokens",
+                         static_cast<int64_t>(prompt.size()),
+                         "prefix_tokens",
+                         static_cast<int64_t>(prefix_tokens));
+
     std::unique_lock<std::mutex> lock(mu_);
 
     Admission adm;
@@ -220,6 +233,7 @@ KvBlockPool::admit(const std::vector<int> &prompt, size_t prefix_tokens,
             entry->refs += 1;
             entry->last_use = ++lru_clock_;
             counters_.prefix_hits += 1;
+            span.setArg(2, "prefix_hit", 1);
             adm.prefix = entry->data;
         } else {
             const size_t need_prefix = blocksForTokens(prefix_tokens);
@@ -228,8 +242,14 @@ KvBlockPool::admit(const std::vector<int> &prompt, size_t prefix_tokens,
                     "KvBlockPool::admit without a true canAdmit: "
                     "prefix + tail reservation exceeds the budget");
             counters_.prefix_misses += 1;
-            if (ever_seen_.count(key))
+            span.setArg(2, "prefix_hit", 0);
+            if (ever_seen_.count(key)) {
                 counters_.recomputes += 1;
+                obs::traceInstant(
+                    "pool/recompute", obs::kNoRequest,
+                    "prefix_tokens",
+                    static_cast<int64_t>(prefix_tokens));
+            }
             ever_seen_.insert(key);
 
             // Compute the shareable K/V under the lock: admission is
@@ -297,6 +317,9 @@ KvBlockPool::noteContext(BlockTable &table, size_t context_tokens)
         // free budget — only the resident gauge moves.
         allocBlocksLocked(table.blocks_, want - have);
         resident_ += want - have;
+        obs::traceInstant("pool/materialize", obs::kNoRequest,
+                          "blocks",
+                          static_cast<int64_t>(want - have));
     }
     table.tail_tokens_ = tail;
     bumpPeaksLocked();
@@ -307,6 +330,12 @@ KvBlockPool::release(Admission &admission)
 {
     std::unique_lock<std::mutex> lock(mu_);
     BlockTable &table = admission.table;
+    if (table.reserved_blocks_ > 0 || admission.prefix)
+        obs::traceInstant(
+            "pool/release", obs::kNoRequest, "resident_blocks",
+            static_cast<int64_t>(table.blocks_.size()),
+            "reserved_blocks",
+            static_cast<int64_t>(table.reserved_blocks_));
     if (table.reserved_blocks_ > 0) {
         // Return physical ids of materialized blocks, then refund the
         // still-unmaterialized remainder of the reservation.

@@ -1,27 +1,9 @@
 #include "metrics.hh"
 
 #include <algorithm>
-#include <cmath>
 
 namespace lt {
 namespace serve {
-
-namespace {
-
-/** Nearest-rank percentile of an unsorted sample set. */
-double
-percentile(std::vector<double> samples, double p)
-{
-    if (samples.empty())
-        return 0.0;
-    std::sort(samples.begin(), samples.end());
-    double rank = std::ceil(p / 100.0 *
-                            static_cast<double>(samples.size()));
-    size_t idx = rank < 1.0 ? 0 : static_cast<size_t>(rank) - 1;
-    return samples[std::min(idx, samples.size() - 1)];
-}
-
-} // namespace
 
 void
 Metrics::onSubmit()
@@ -43,7 +25,7 @@ Metrics::onPrefill(double ttft_ms)
     last_activity_ = std::chrono::steady_clock::now();
     counts_.prefills += 1;
     counts_.tokens_generated += 1; // the prefill's argmax token
-    ttft_ms_.push_back(ttft_ms);
+    ttft_ms_.add(ttft_ms);
 }
 
 void
@@ -60,7 +42,7 @@ void
 Metrics::recordTokenLatency(double ms)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    token_ms_.push_back(ms);
+    token_ms_.add(ms);
 }
 
 void
@@ -83,15 +65,28 @@ Metrics::setGauges(size_t queue_depth, size_t active_requests)
         std::max(counts_.peak_active_requests, active_requests);
 }
 
+void
+Metrics::onTickPhases(double admission_ms, double prefill_ms,
+                      double decode_ms, double pool_ms)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counts_.tick_admission_ms += admission_ms;
+    counts_.tick_prefill_ms += prefill_ms;
+    counts_.tick_decode_ms += decode_ms;
+    counts_.tick_pool_ms += pool_ms;
+}
+
 MetricsSnapshot
 Metrics::snapshot() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     MetricsSnapshot snap = counts_;
-    snap.ttft_p50_ms = percentile(ttft_ms_, 50.0);
-    snap.ttft_p99_ms = percentile(ttft_ms_, 99.0);
-    snap.token_p50_ms = percentile(token_ms_, 50.0);
-    snap.token_p99_ms = percentile(token_ms_, 99.0);
+    snap.ttft_p50_ms = ttft_ms_.percentile(50.0);
+    snap.ttft_p99_ms = ttft_ms_.percentile(99.0);
+    snap.token_p50_ms = token_ms_.percentile(50.0);
+    snap.token_p99_ms = token_ms_.percentile(99.0);
+    snap.ttft_hist = ttft_ms_;
+    snap.token_hist = token_ms_;
     if (saw_activity_) {
         double wall_s = std::chrono::duration<double>(last_activity_ -
                                                       first_activity_)

@@ -2,12 +2,15 @@
  * @file
  * serve::Metrics — the serving-quality sink of the continuous-batching
  * layer: queue depth, time-to-first-token, per-token latency
- * percentiles, throughput, and (via the server) engine work counters.
+ * percentiles, per-tick phase time, throughput, and (via the server)
+ * engine work counters.
  *
  * The scheduler records samples as requests move through admission,
  * prefill, and fused decode; snapshot() folds them into the numbers a
- * serving dashboard would plot. Thread-safe: clients may snapshot
- * while the scheduler ticks.
+ * serving dashboard would plot. Latency distributions live in bounded
+ * log-scaled obs::Histograms (~2 KB each), so a long-running server's
+ * metrics memory is constant no matter how many tokens it serves.
+ * Thread-safe: clients may snapshot while the scheduler ticks.
  */
 
 #ifndef LT_SERVE_METRICS_HH
@@ -16,8 +19,8 @@
 #include <chrono>
 #include <cstddef>
 #include <mutex>
-#include <vector>
 
+#include "obs/histogram.hh"
 #include "serve/kv_pool/kv_pool_stats.hh"
 
 namespace lt {
@@ -39,7 +42,8 @@ struct MetricsSnapshot
     size_t active_requests = 0;
     size_t peak_active_requests = 0; ///< high-water concurrency
 
-    // Latency distributions (milliseconds).
+    // Latency distributions (milliseconds), estimated from the
+    // bounded histograms below (log-bucket resolution ~±4.4%).
     double ttft_p50_ms = 0.0;
     double ttft_p99_ms = 0.0;
     double token_p50_ms = 0.0;
@@ -47,6 +51,29 @@ struct MetricsSnapshot
 
     /** Generated tokens per second of serving wall clock. */
     double tokens_per_s = 0.0;
+
+    /**
+     * Where scheduler tick time went, cumulative milliseconds since
+     * start. Disjoint phases: admission bookkeeping (queue pops,
+     * session construction), whole-prompt prefill, fused batched
+     * decode, and KV-pool work (admit/release/noteContext) — together
+     * they account for (almost) all time spent inside tick(). This is
+     * the serving analogue of the paper's Fig. 10 stage breakdown and
+     * the baseline the chunked-prefill scheduler work is judged
+     * against.
+     */
+    double tick_admission_ms = 0.0;
+    double tick_prefill_ms = 0.0;
+    double tick_decode_ms = 0.0;
+    double tick_pool_ms = 0.0;
+
+    /**
+     * Trace events lost to ring-buffer wraparound in the installed
+     * obs::TraceRecorder (0 when tracing is off). Overlaid by
+     * Server::metrics(); nonzero means the exported trace is missing
+     * its oldest events and the ring capacity should be raised.
+     */
+    size_t trace_dropped_events = 0;
 
     // Engine work, filled by Server::metrics() from backend stats.
     size_t engine_macs = 0;
@@ -77,6 +104,14 @@ struct MetricsSnapshot
     size_t engine_gaussian_draws = 0;
 
     /**
+     * Full latency distributions (bounded log-scaled histograms) for
+     * callers that want more than the p50/p99 scalars: arbitrary
+     * percentiles, counts, exact min/max/mean.
+     */
+    obs::Histogram ttft_hist;
+    obs::Histogram token_hist;
+
+    /**
      * Paged KV-cache pool state, overlaid by Server::metrics() when
      * ServerConfig::kv_pool is enabled (all-zero otherwise): blocks
      * in use / free / resident / shared, prefix hit-miss-eviction-
@@ -98,19 +133,27 @@ class Metrics
     void setGauges(size_t queue_depth, size_t active_requests);
 
     /**
+     * Accumulate one tick's disjoint phase times (milliseconds); the
+     * scheduler calls this once per tick with the wall time spent in
+     * admission bookkeeping, prefill, fused decode, and KV-pool work.
+     */
+    void onTickPhases(double admission_ms, double prefill_ms,
+                      double decode_ms, double pool_ms);
+
+    /**
      * Fold the samples into a snapshot. Percentiles use the
-     * nearest-rank method; tokens_per_s divides generated tokens by
-     * the wall time between the first submission and the last
-     * recorded activity. Engine counters are zero here — the Server
-     * overlays them from its backend.
+     * nearest-rank method over the bounded histograms; tokens_per_s
+     * divides generated tokens by the wall time between the first
+     * submission and the last recorded activity. Engine counters are
+     * zero here — the Server overlays them from its backend.
      */
     MetricsSnapshot snapshot() const;
 
   private:
     mutable std::mutex mu_;
     MetricsSnapshot counts_; ///< counters + gauges (latencies unused)
-    std::vector<double> ttft_ms_;
-    std::vector<double> token_ms_;
+    obs::Histogram ttft_ms_;
+    obs::Histogram token_ms_;
     bool saw_activity_ = false;
     std::chrono::steady_clock::time_point first_activity_;
     std::chrono::steady_clock::time_point last_activity_;

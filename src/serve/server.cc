@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.hh"
+
 namespace lt {
 namespace serve {
 
@@ -43,6 +45,21 @@ Server::~Server()
 
 std::future<RequestResult>
 Server::submit(Request request)
+{
+    // Caller-assigned id if any; validation rejections happen before
+    // the server assigns one.
+    const uint64_t trace_id =
+        request.request_id ? *request.request_id : obs::kNoRequest;
+    try {
+        return submitValidated(std::move(request));
+    } catch (const std::invalid_argument &) {
+        obs::traceInstant("req/rejected", trace_id);
+        throw;
+    }
+}
+
+std::future<RequestResult>
+Server::submitValidated(Request request)
 {
     const nn::TransformerConfig &mcfg = model_.config();
     if (request.prompt.empty())
@@ -102,8 +119,14 @@ Server::submit(Request request)
     uint64_t id = request.request_id
                       ? *request.request_id
                       : next_id_.fetch_add(1);
+    obs::traceInstant(
+        "req/submit", id, "prompt_tokens",
+        static_cast<int64_t>(request.prompt.size()), "max_new",
+        static_cast<int64_t>(request.max_new_tokens));
     std::future<RequestResult> future =
         queue_.submit(std::move(request), id);
+    obs::traceInstant("req/queued", id, "depth",
+                      static_cast<int64_t>(queue_.depth()));
     metrics_.onSubmit(); // only requests the queue actually accepted
     return future;
 }
@@ -178,6 +201,8 @@ Server::metrics() const
         stats.gaussian_draws.load(std::memory_order_relaxed);
     if (pool_)
         snap.kv_pool = pool_->stats();
+    if (obs::TraceRecorder *rec = obs::recorder())
+        snap.trace_dropped_events = rec->droppedEvents();
     return snap;
 }
 

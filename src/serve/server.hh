@@ -122,6 +122,8 @@ class Server
     const KvBlockPool *kvPool() const { return pool_.get(); }
 
   private:
+    /** submit() after trace bookkeeping: validation + enqueue. */
+    std::future<RequestResult> submitValidated(Request request);
     void serveLoop();
 
     const nn::TransformerClassifier &model_;

@@ -17,16 +17,22 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <future>
+#include <map>
 #include <memory>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "nn/batched_decoder.hh"
 #include "nn/execution_engine.hh"
 #include "nn/inference_session.hh"
 #include "nn/tensor_ops.hh"
+#include "obs/trace.hh"
+#include "obs/trace_export.hh"
 #include "serve/server.hh"
 #include "util/rng.hh"
 
@@ -602,6 +608,109 @@ TEST(Serve, MetricsAccountForTheWholeRun)
     EXPECT_GE(snap.engine_kv_encode_misses,
               kRequests * model.config().depth *
                   model.config().heads * 2);
+    // Bounded histograms carry the full distributions the p50/p99
+    // scalars were estimated from.
+    EXPECT_EQ(snap.ttft_hist.count(), kRequests);
+    EXPECT_EQ(snap.token_hist.count(),
+              kRequests * kNew - kRequests); // decode tokens only
+    // Tick-phase accounting: every request prefilled and decoded, so
+    // both phases accumulated wall time; no tracing was installed, so
+    // nothing was dropped.
+    EXPECT_GT(snap.tick_prefill_ms, 0.0);
+    EXPECT_GT(snap.tick_decode_ms, 0.0);
+    EXPECT_GE(snap.tick_admission_ms, 0.0);
+    EXPECT_EQ(snap.trace_dropped_events, 0u);
+}
+
+TEST(Serve, MetricsPercentilesMatchNearestRankOnSmallSamples)
+{
+    // The histogram-backed estimates must agree with the nearest-rank
+    // percentiles the old unbounded-vector Metrics computed, within
+    // the log-bucket resolution (8 buckets/octave -> ±4.4%), and hit
+    // the max EXACTLY at p99 for N <= 100 (rank == N clamps to the
+    // tracked maximum).
+    serve::Metrics metrics;
+    const std::vector<double> ttft = {12.0, 15.5, 9.7, 30.2, 11.1};
+    const std::vector<double> token = {1.4, 1.5,  1.45, 2.9, 1.38,
+                                       1.6, 22.0, 1.42, 1.55};
+    for (double ms : ttft)
+        metrics.onPrefill(ms);
+    for (double ms : token)
+        metrics.recordTokenLatency(ms);
+
+    auto nearestRank = [](std::vector<double> samples, double p) {
+        std::sort(samples.begin(), samples.end());
+        double rank = std::ceil(
+            p / 100.0 * static_cast<double>(samples.size()));
+        size_t idx = rank < 1.0 ? 0 : static_cast<size_t>(rank) - 1;
+        return samples[std::min(idx, samples.size() - 1)];
+    };
+
+    serve::MetricsSnapshot snap = metrics.snapshot();
+    EXPECT_NEAR(snap.ttft_p50_ms, nearestRank(ttft, 50.0),
+                0.05 * nearestRank(ttft, 50.0));
+    EXPECT_DOUBLE_EQ(snap.ttft_p99_ms, 30.2);
+    EXPECT_NEAR(snap.token_p50_ms, nearestRank(token, 50.0),
+                0.05 * nearestRank(token, 50.0));
+    EXPECT_DOUBLE_EQ(snap.token_p99_ms, 22.0);
+    EXPECT_EQ(snap.ttft_hist.count(), ttft.size());
+    EXPECT_EQ(snap.token_hist.count(), token.size());
+}
+
+TEST(Serve, TraceRecordsTheWholeRequestLifecycle)
+{
+    // End-to-end tracing through the serve path: every instrumented
+    // phase emits at least one event, request-tagged events cover the
+    // lifecycle, and the server surfaces the recorder's drop counter.
+    obs::TraceRecorder recorder(1 << 14);
+    obs::installRecorder(&recorder);
+
+    nn::TransformerClassifier model(lmConfig());
+    nn::ExecutionEngine engine(noisyDptc(), core::EvalMode::Noisy);
+    serve::ServerConfig scfg;
+    scfg.scheduler.max_batch = 4;
+    scfg.kv_pool.num_blocks = 256;
+    {
+        serve::Server server(model, engine, scfg);
+        std::vector<std::future<serve::RequestResult>> futures;
+        for (uint64_t id = 0; id < 4; ++id) {
+            serve::Request req;
+            req.prompt = promptFor(id, 4, model.config().vocab_size);
+            req.max_new_tokens = 4;
+            futures.push_back(server.submit(std::move(req)));
+        }
+        server.runUntilIdle();
+        for (auto &f : futures)
+            f.get();
+        EXPECT_EQ(server.metrics().trace_dropped_events,
+                  recorder.droppedEvents());
+    }
+    obs::installRecorder(nullptr);
+
+    std::map<std::string, size_t> by_name;
+    std::set<uint64_t> request_ids;
+    for (const auto &lane : recorder.snapshot())
+        for (const auto &e : lane.events) {
+            by_name[e.name] += 1;
+            if (e.request_id != obs::kNoRequest)
+                request_ids.insert(e.request_id);
+        }
+    for (const char *name :
+         {"req/submit", "req/queued", "req/admitted", "req/prefill",
+          "req/token", "req/complete", "tick/admission", "tick/decode",
+          "decoder/step", "session/prefill", "engine/gemmBatch",
+          "pool/admit", "pool/release"})
+        EXPECT_GE(by_name[name], 1u) << "no events named " << name;
+    EXPECT_EQ(request_ids.size(), 4u);
+    // One admission per request, one decoder/step per decode tick.
+    EXPECT_EQ(by_name["req/admitted"], 4u);
+    EXPECT_EQ(by_name["req/complete"], 4u);
+
+    // The exported trace and breakdown are derivable from the run.
+    obs::PhaseBreakdown pb = obs::phaseBreakdown(recorder.snapshot());
+    EXPECT_GT(pb.prefill_ms, 0.0);
+    EXPECT_GT(pb.decode_ms, 0.0);
+    EXPECT_GT(pb.totalMs(), 0.0);
 }
 
 TEST(Serve, ThreadedServerDrainsConcurrentClients)
