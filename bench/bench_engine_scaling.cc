@@ -349,6 +349,68 @@ runDecodeScenario()
 }
 
 /**
+ * Fault-layer acceptance gate (robustness PR). Three engines on the
+ * same 256^3 operands and stream:
+ *
+ *   off       — fault layer inactive (the default config);
+ *   verify    — ABFT checksums armed, injection off;
+ *   recovered — a dead replica injected, detected, retried onto
+ *               healthy replicas, and (past the threshold)
+ *               quarantined.
+ *
+ * All three results must be bitwise identical: verification never
+ * changes values, and recovery re-executes tiles on replicas whose
+ * noise is replica-independent. The injected run must actually
+ * detect and quarantine — a silent fault layer is a failure. The
+ * fault-OFF hot-loop cost is gated separately by the decode ms/step
+ * budget above (the default engine carries the fault branch).
+ */
+struct FaultGateResult
+{
+    bool off_vs_verify = false;    ///< bitwise equal
+    bool off_vs_recovered = false; ///< bitwise equal
+    uint64_t faults_detected = 0;  ///< injected run, want > 0
+    uint64_t quarantines = 0;      ///< injected run, want >= 1
+    bool ok() const
+    {
+        return off_vs_verify && off_vs_recovered &&
+               faults_detected > 0 && quarantines >= 1;
+    }
+};
+
+FaultGateResult
+runFaultGate(const Matrix &a, const Matrix &b)
+{
+    core::DptcConfig dcfg;
+    dcfg.input_bits = 8;
+
+    nn::EngineConfig off_cfg{dcfg, core::EvalMode::Noisy, 8, true,
+                             true};
+    nn::EngineConfig verify_cfg = off_cfg;
+    verify_cfg.fault_policy.verify = true;
+    nn::EngineConfig faulty_cfg = off_cfg;
+    faulty_cfg.faults.enabled = true;
+    faulty_cfg.faults.replicas.resize(8);
+    faulty_cfg.faults.replicas[2].dead = true;
+
+    nn::ExecutionEngine off_engine(off_cfg);
+    nn::ExecutionEngine verify_engine(verify_cfg);
+    nn::ExecutionEngine faulty_engine(faulty_cfg);
+
+    Matrix want = off_engine.gemm(a, b, /*stream=*/0);
+    Matrix verified = verify_engine.gemm(a, b, /*stream=*/0);
+    Matrix recovered = faulty_engine.gemm(a, b, /*stream=*/0);
+
+    FaultGateResult res;
+    res.off_vs_verify = want.maxAbsDiff(verified) == 0.0;
+    res.off_vs_recovered = want.maxAbsDiff(recovered) == 0.0;
+    nn::EngineStatus status = faulty_engine.status();
+    res.faults_detected = status.faults_detected;
+    res.quarantines = status.quarantines;
+    return res;
+}
+
+/**
  * The kv_plans decode column re-timed WITH a TraceRecorder installed:
  * the informational traced counterpart of the tracing-off overhead
  * gate. Ring capacity is sized so nothing drops mid-run; the recorder
@@ -481,6 +543,7 @@ main(int argc, char **argv)
     ThreadPool::setGlobalThreads(0);
 
     DecodeResult decode = runDecodeScenario();
+    FaultGateResult fault = runFaultGate(a, b);
     RngBenchResult rngb = runRngMicrobench();
     uint64_t traced_dropped = 0;
     const double traced_ms = runTracedDecodeMsPerStep(&traced_dropped);
@@ -546,6 +609,12 @@ main(int argc, char **argv)
             << decode.kv_dense_reserve_bytes
             << ", \"kv_paged_resident_bytes\": "
             << decode.kv_paged_resident_bytes << "},\n"
+            << "  \"fault_gate\": {\"off_vs_verify_identical\": "
+            << (fault.off_vs_verify ? "true" : "false")
+            << ", \"off_vs_recovered_identical\": "
+            << (fault.off_vs_recovered ? "true" : "false")
+            << ", \"faults_detected\": " << fault.faults_detected
+            << ", \"quarantines\": " << fault.quarantines << "},\n"
             << "  \"tracing\": {\"committed_cache_on_ms_per_step\": "
             << kCommittedCacheOnMsPerStep
             << ", \"overhead_budget\": " << kTracingOverheadBudget
@@ -585,6 +654,9 @@ main(int argc, char **argv)
         kCommittedCacheOnMsPerStep * kTracingOverheadBudget;
     const bool perf_ok =
         bitexact_fast_enough && fast_beats_bitexact && tracing_off_free;
+    // Fault-layer gate: verification and recovery both bit-identical
+    // to the fault-free engine, and the injected run actually fired.
+    const bool fault_ok = fault.ok();
 
     if (csv) {
         std::cout << "threads,photonic_s,photonic_gmacs,"
@@ -625,6 +697,13 @@ main(int argc, char **argv)
                      "rng_fast_ns_per_draw\n"
                   << rngb.scalar_ns << "," << rngb.blocked_ns << ","
                   << rngb.fast_ns << "\n";
+        std::cout << "\nfault_off_vs_verify_identical,"
+                     "fault_off_vs_recovered_identical,"
+                     "fault_faults_detected,fault_quarantines\n"
+                  << (fault.off_vs_verify ? 1 : 0) << ","
+                  << (fault.off_vs_recovered ? 1 : 0) << ","
+                  << fault.faults_detected << "," << fault.quarantines
+                  << "\n";
         std::cout << "\ncommitted_cache_on_ms_per_step,"
                      "tracing_overhead_budget,"
                      "traced_cache_on_ms_per_step,"
@@ -674,7 +753,17 @@ main(int argc, char **argv)
                       << kTracingOverheadBudget
                       << " budget) — disabled TraceScopes must be "
                          "free\n";
-        return all_identical && decode_ok && perf_ok ? 0 : 1;
+        if (!fault_ok)
+            std::cerr << "FAULT LAYER VIOLATION: off/verify identical="
+                      << fault.off_vs_verify
+                      << " off/recovered identical="
+                      << fault.off_vs_recovered
+                      << " faults_detected=" << fault.faults_detected
+                      << " quarantines=" << fault.quarantines
+                      << " (want identical=1, detected > 0, "
+                         "quarantines >= 1)\n";
+        return all_identical && decode_ok && perf_ok && fault_ok ? 0
+                                                                 : 1;
     }
 
     printBanner(std::cout, "Execution-engine scaling: 256^3 GEMM "
@@ -785,5 +874,24 @@ main(int argc, char **argv)
               << (tracing_off_free ? "PASS" : "FAIL")
               << ". Traced run dropped " << traced_dropped
               << " events (recording cost is opt-in, not gated).\n";
-    return all_identical && decode_ok ? 0 : 1;
+
+    printBanner(std::cout, "Fault layer: ABFT verify + recovery gate");
+    Table ftable({"comparison", "bit-identical", "detected",
+                  "quarantines"});
+    ftable.addRow({"off vs verify-armed",
+                   fault.off_vs_verify ? "yes" : "NO", "-", "-"});
+    ftable.addRow({"off vs injected+recovered",
+                   fault.off_vs_recovered ? "yes" : "NO",
+                   std::to_string(fault.faults_detected),
+                   std::to_string(fault.quarantines)});
+    ftable.print(std::cout);
+    std::cout
+        << "\nVerification never changes results; recovery re-executes "
+           "detected-faulty tiles\non healthy replicas (replica-"
+           "independent noise), so both columns must be\nbit-identical "
+           "to the fault-free engine. The fault-OFF hot path is one "
+           "extra\nbranch per product — its cost rides the decode "
+           "ms/step gate above. This run: "
+        << (fault_ok ? "PASS" : "FAIL") << ".\n";
+    return all_identical && decode_ok && fault_ok ? 0 : 1;
 }

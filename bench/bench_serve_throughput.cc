@@ -24,14 +24,22 @@
  * each request run solo. It also reports the max sustainable
  * concurrency under the budget for the dense-reserve vs paged models.
  *
+ * A fault-injection smoke rides along (and is the whole run under
+ * --fault-smoke): the same workload served on an engine with a dead
+ * shard and a stuck-at DAC channel among its replicas, with
+ * nonzero-exit gates that (a) every future resolves, (b) at least one
+ * replica is quarantined, and (c) the recovered results are
+ * bit-identical to a fault-free rerun of the identical workload.
+ *
  * Usage: bench_serve_throughput [--csv] [--json [path]]
  *                               [--concurrency N] [--pool-smoke]
- *                               [--trace out.json]
+ *                               [--fault-smoke] [--trace out.json]
  *
  * --json writes the committed BENCH_serve.json perf snapshot;
  * --concurrency restricts the sweep (the CI smoke runs one level);
  * --pool-smoke runs ONLY the pool comparison + its gates (the CI
- * memory-budget smoke); --trace serves one extra paged run at the
+ * memory-budget smoke); --fault-smoke runs ONLY the fault-injection
+ * smoke + its gates; --trace serves one extra paged run at the
  * sweep's top concurrency under an obs::TraceRecorder and writes the
  * Chrome/Perfetto trace_event JSON (chrome://tracing loads it as-is),
  * printing the derived per-phase time breakdown.
@@ -387,6 +395,140 @@ runPoolComparison(const nn::TransformerClassifier &model,
     return out;
 }
 
+// ---- the fault-injection serve smoke ----------------------------------
+
+constexpr size_t kFaultSmokeRequests = 6;
+
+struct FaultSmokeOutcome
+{
+    // Nonzero-exit gates.
+    bool all_resolved = false;   ///< every future delivered a result
+    bool bit_identical = false;  ///< recovered == fault-free rerun
+
+    // Engine-side fault telemetry after the faulty run.
+    size_t quarantined_replicas = 0;
+    bool degraded = false;
+    uint64_t faults_detected = 0;
+    uint64_t fault_retries = 0;
+    uint64_t quarantines = 0;
+
+    // Serve-side counters (Server::metrics overlay).
+    size_t step_retries = 0;
+    size_t request_failures = 0;
+
+    bool
+    ok() const
+    {
+        return all_resolved && bit_identical && quarantines >= 1 &&
+               faults_detected > 0 && request_failures == 0 &&
+               !degraded;
+    }
+};
+
+/**
+ * Serve kFaultSmokeRequests through an engine carrying a dead shard
+ * (replica 1) and a stuck-near-zero DAC channel (replica 2), then the
+ * identical workload fault-free, and gate: every future resolves, the
+ * checksum layer quarantines at least one replica, and the recovered
+ * logits/tokens are bit-identical to the fault-free rerun.
+ */
+FaultSmokeOutcome
+runFaultSmoke(const nn::TransformerClassifier &model,
+              const nn::QuantConfig &quant)
+{
+    auto serveWith = [&](nn::ExecutionEngine &engine,
+                         std::vector<serve::RequestResult> &results) {
+        serve::ServerConfig scfg;
+        scfg.scheduler.max_batch = kFaultSmokeRequests;
+        scfg.quant = quant;
+        serve::Server server(model, engine, scfg);
+        std::vector<std::future<serve::RequestResult>> futures;
+        for (uint64_t id = 0; id < kFaultSmokeRequests; ++id) {
+            serve::Request req;
+            req.prompt = promptFor(id, model.config().vocab_size);
+            req.max_new_tokens = kNewTokens;
+            req.record_logits = true;
+            req.request_id = id;
+            futures.push_back(server.submit(std::move(req)));
+        }
+        server.runUntilIdle();
+        bool resolved = true;
+        for (auto &f : futures) {
+            try {
+                results.push_back(f.get());
+            } catch (...) {
+                resolved = false;
+            }
+        }
+        return std::make_pair(resolved, server.metrics());
+    };
+
+    nn::EngineConfig fcfg;
+    fcfg.dptc = dptcConfig();
+    fcfg.num_cores = 4;
+    fcfg.faults.enabled = true;
+    fcfg.faults.replicas.resize(3);
+    fcfg.faults.replicas[1].dead = true;
+    fcfg.faults.replicas[2].stuck_channel = 2; // near-zero stuck value
+    nn::ExecutionEngine faulty(fcfg);
+
+    std::vector<serve::RequestResult> faulty_results;
+    auto faulty_run = serveWith(faulty, faulty_results);
+    const nn::EngineStatus status = faulty.status();
+
+    nn::EngineConfig ccfg = fcfg;
+    ccfg.faults = core::FaultConfig{}; // the fault-free rerun
+    nn::ExecutionEngine clean(ccfg);
+    std::vector<serve::RequestResult> clean_results;
+    auto clean_run = serveWith(clean, clean_results);
+
+    FaultSmokeOutcome out;
+    out.all_resolved = faulty_run.first && clean_run.first;
+    out.quarantined_replicas = status.quarantined_replicas;
+    out.degraded = status.degraded;
+    out.faults_detected = status.faults_detected;
+    out.fault_retries = status.fault_retries;
+    out.quarantines = status.quarantines;
+    out.step_retries = faulty_run.second.engine_step_retries;
+    out.request_failures = faulty_run.second.request_failures;
+
+    bool identical = out.all_resolved &&
+                     faulty_results.size() == clean_results.size();
+    for (size_t i = 0; identical && i < clean_results.size(); ++i) {
+        const serve::RequestResult &f = faulty_results[i];
+        const serve::RequestResult &c = clean_results[i];
+        identical &= f.generated == c.generated;
+        identical &= f.step_logits.size() == c.step_logits.size();
+        for (size_t s = 0; identical && s < c.step_logits.size(); ++s)
+            identical &=
+                f.step_logits[s].maxAbsDiff(c.step_logits[s]) == 0.0;
+    }
+    out.bit_identical = identical;
+    return out;
+}
+
+void
+printFaultSmoke(std::ostream &os, const FaultSmokeOutcome &fs)
+{
+    os << "fault smoke: " << kFaultSmokeRequests
+       << " requests on a 4-replica engine (replica 1 dead, replica "
+          "2 stuck channel), detected "
+       << fs.faults_detected << " faults, " << fs.fault_retries
+       << " tile retries, " << fs.quarantines << " quarantine(s), "
+       << fs.quarantined_replicas
+       << " replica(s) out of rotation, degraded="
+       << (fs.degraded ? "yes" : "no") << ", step retries "
+       << fs.step_retries << ", request failures "
+       << fs.request_failures << "\n"
+       << "gates: all_futures_resolved="
+       << (fs.all_resolved ? "ok" : "FAIL")
+       << " quarantines>=1=" << (fs.quarantines >= 1 ? "ok" : "FAIL")
+       << " bit_identical_to_fault_free="
+       << (fs.bit_identical ? "ok" : "FAIL") << " not_degraded="
+       << (!fs.degraded ? "ok" : "FAIL") << " no_request_failures="
+       << (fs.request_failures == 0 ? "ok" : "FAIL") << "\n";
+}
+
 /** One decode step's engine gemmBatch dispatch count at batch size n. */
 size_t
 probeDispatches(const nn::TransformerClassifier &model, size_t n)
@@ -416,6 +558,7 @@ main(int argc, char **argv)
     bool csv = false;
     bool json = false;
     bool pool_smoke = false;
+    bool fault_smoke = false;
     std::string json_path = "BENCH_serve.json";
     std::string trace_path;
     std::vector<size_t> sweep{1, 2, 4, 8, 16};
@@ -431,12 +574,15 @@ main(int argc, char **argv)
             sweep = {static_cast<size_t>(std::stoul(argv[++i]))};
         } else if (arg == "--pool-smoke") {
             pool_smoke = true;
+        } else if (arg == "--fault-smoke") {
+            fault_smoke = true;
         } else if (arg == "--trace" && i + 1 < argc) {
             trace_path = argv[++i];
         } else {
             std::cerr << "usage: bench_serve_throughput [--csv] "
                          "[--json [path]] [--concurrency N] "
-                         "[--pool-smoke] [--trace out.json]\n";
+                         "[--pool-smoke] [--fault-smoke] "
+                         "[--trace out.json]\n";
             return 2;
         }
     }
@@ -475,6 +621,13 @@ main(int argc, char **argv)
                   << (pool.shared_bit_identical ? "ok" : "FAIL")
                   << "\n";
         return pool.ok() ? 0 : 1;
+    }
+
+    if (fault_smoke) {
+        // CI robustness smoke: just the fault injection run + gates.
+        FaultSmokeOutcome fs = runFaultSmoke(model, quant);
+        printFaultSmoke(std::cout, fs);
+        return fs.ok() ? 0 : 1;
     }
 
     // Serve one full sweep level through a fresh server and verify
@@ -588,6 +741,10 @@ main(int argc, char **argv)
     PoolOutcome pool = runPoolComparison(model, quant);
     all_ok &= pool.ok();
 
+    // The fault-injection recovery smoke + its gates.
+    FaultSmokeOutcome fsmoke = runFaultSmoke(model, quant);
+    all_ok &= fsmoke.ok();
+
     // One extra traced run at the sweep's top concurrency: the
     // Perfetto-loadable artifact plus its derived phase breakdown.
     TraceOutcome trace;
@@ -645,6 +802,23 @@ main(int argc, char **argv)
                   << pool.dense_reserve_bytes << ","
                   << pool.prefix_hits << "," << pool.prefix_misses
                   << "," << (pool.ok() ? 1 : 0) << "\n";
+        std::cout << "\nfault_requests,fault_all_resolved,"
+                     "fault_bit_identical,fault_faults_detected,"
+                     "fault_tile_retries,fault_quarantines,"
+                     "fault_quarantined_replicas,fault_degraded,"
+                     "fault_step_retries,fault_request_failures,"
+                     "fault_gates_ok\n"
+                  << kFaultSmokeRequests << ","
+                  << (fsmoke.all_resolved ? 1 : 0) << ","
+                  << (fsmoke.bit_identical ? 1 : 0) << ","
+                  << fsmoke.faults_detected << ","
+                  << fsmoke.fault_retries << ","
+                  << fsmoke.quarantines << ","
+                  << fsmoke.quarantined_replicas << ","
+                  << (fsmoke.degraded ? 1 : 0) << ","
+                  << fsmoke.step_retries << ","
+                  << fsmoke.request_failures << ","
+                  << (fsmoke.ok() ? 1 : 0) << "\n";
     } else {
         printBanner(
             std::cout,
@@ -721,6 +895,10 @@ main(int argc, char **argv)
             << (pool.hits_are_n_minus_1 ? "ok" : "FAIL")
             << ", shared-vs-solo bit-identical "
             << (pool.shared_bit_identical ? "ok" : "FAIL") << ".\n";
+
+        printBanner(std::cout,
+                    "Fault injection: ABFT recovery under serve");
+        printFaultSmoke(std::cout, fsmoke);
     }
 
     if (json) {
@@ -804,6 +982,20 @@ main(int argc, char **argv)
             << (pool.hits_are_n_minus_1 ? "true" : "false")
             << ", \"shared_bit_identical\": "
             << (pool.shared_bit_identical ? "true" : "false")
+            << "},\n";
+        out << "  \"fault_smoke\": {\"requests\": "
+            << kFaultSmokeRequests << ", \"all_resolved\": "
+            << (fsmoke.all_resolved ? "true" : "false")
+            << ", \"bit_identical_to_fault_free\": "
+            << (fsmoke.bit_identical ? "true" : "false")
+            << ",\n    \"faults_detected\": " << fsmoke.faults_detected
+            << ", \"fault_tile_retries\": " << fsmoke.fault_retries
+            << ", \"fault_quarantines\": " << fsmoke.quarantines
+            << ", \"quarantined_replicas\": "
+            << fsmoke.quarantined_replicas << ", \"degraded\": "
+            << (fsmoke.degraded ? "true" : "false")
+            << ",\n    \"engine_step_retries\": " << fsmoke.step_retries
+            << ", \"request_failures\": " << fsmoke.request_failures
             << "}\n";
         out << "}\n";
         std::cout << "wrote " << json_path << "\n";

@@ -1,6 +1,10 @@
 #include "execution_engine.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <exception>
+#include <numeric>
+#include <string>
 
 #include "obs/trace.hh"
 #include "util/logging.hh"
@@ -9,7 +13,9 @@
 namespace lt {
 namespace nn {
 
-ExecutionEngine::ExecutionEngine(const EngineConfig &cfg) : cfg_(cfg)
+ExecutionEngine::ExecutionEngine(const EngineConfig &cfg)
+    : cfg_(cfg), fault_model_(cfg.faults),
+      fault_active_(cfg.faults.enabled || cfg.fault_policy.verify)
 {
     size_t replicas = cfg.num_cores > 0
                           ? cfg.num_cores
@@ -17,6 +23,10 @@ ExecutionEngine::ExecutionEngine(const EngineConfig &cfg) : cfg_(cfg)
     cores_.reserve(replicas);
     for (size_t i = 0; i < replicas; ++i)
         cores_.emplace_back(cfg.dptc);
+    replica_faults_.assign(replicas, 0);
+    replica_quarantined_.assign(replicas, 0);
+    healthy_.resize(replicas);
+    std::iota(healthy_.begin(), healthy_.end(), size_t{0});
 }
 
 ExecutionEngine::ExecutionEngine(const core::DptcConfig &dcfg,
@@ -32,6 +42,11 @@ ExecutionEngine::gemmOneProduct(const core::EncodedOperand &a,
                                 const core::Dptc &proto,
                                 uint64_t stream_seed)
 {
+    // The ONLY cost of the fault layer when disabled: this branch.
+    if (fault_active_)
+        return gemmOneProductChecked(a, b, parallel_tiles,
+                                     stream_seed);
+
     const size_t tiles = proto.outputTilesFor(a.rows(), b.cols());
     Matrix out(a.rows(), b.cols(), 0.0);
 
@@ -68,6 +83,381 @@ ExecutionEngine::gemmOneProduct(const core::EncodedOperand &a,
         stats_.gaussian_draws.fetch_add(draws,
                                         std::memory_order_relaxed);
     return out;
+}
+
+namespace {
+
+/** Zero one output tile region (gemmTiles accumulates: re-runs and
+ *  dead-shard injection both need the region cleared first). */
+void
+zeroRegion(Matrix &out, size_t row0, size_t rows, size_t col0,
+           size_t cols)
+{
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            out(row0 + r, col0 + c) = 0.0;
+}
+
+} // namespace
+
+Matrix
+ExecutionEngine::gemmOneProductChecked(const core::EncodedOperand &a,
+                                       const core::EncodedOperand &b,
+                                       bool parallel_tiles,
+                                       uint64_t stream_seed)
+{
+    const core::Dptc &proto = cores_.front();
+    const size_t tiles = proto.outputTilesFor(a.rows(), b.cols());
+    Matrix out(a.rows(), b.cols(), 0.0);
+    const double scale = a.beta() * b.beta();
+
+    // Snapshot the healthy set once per product: every tile of this
+    // product sees the same replica assignment (tile-indexed, thread-
+    // count invariant); quarantines land in the next product's
+    // snapshot (or in retry re-snapshots).
+    std::vector<size_t> healthy = healthySnapshot();
+    if (healthy.empty()) {
+        // Fully degraded: every replica quarantined. Unpack and run
+        // the digital reference kernel — same (stream, tile) noise
+        // addressing, pinned bit-identical to the packed path — with
+        // no injection (quarantined cores do not execute).
+        Matrix a_hat = a.normalized();
+        Matrix b_hat = b.normalized();
+        proto.gemmTiles(a_hat, b_hat, cfg_.mode, scale, 0, tiles, out,
+                        stream_seed);
+        return out;
+    }
+
+    if (!parallel_tiles || tiles == 1) {
+        for (size_t t = 0; t < tiles; ++t)
+            runTileChecked(a, b, scale, t, out, stream_seed, healthy);
+        return out;
+    }
+
+    // Parallel tiles: shards must not leak exceptions into the pool
+    // workers (that would terminate the process) — stash the first
+    // one and rethrow on the calling thread.
+    std::mutex err_mu;
+    std::exception_ptr err;
+    ThreadPool::global().parallelFor(
+        tiles,
+        [&](size_t begin, size_t end, size_t) {
+            try {
+                for (size_t t = begin; t < end; ++t)
+                    runTileChecked(a, b, scale, t, out, stream_seed,
+                                   healthy);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(err_mu);
+                if (!err)
+                    err = std::current_exception();
+            }
+        },
+        cores_.size());
+    if (err)
+        std::rethrow_exception(err);
+    return out;
+}
+
+void
+ExecutionEngine::runTileChecked(const core::EncodedOperand &a,
+                                const core::EncodedOperand &b,
+                                double scale, size_t tile, Matrix &out,
+                                uint64_t stream_seed,
+                                const std::vector<size_t> &healthy)
+{
+    const core::DptcConfig &g = cfg_.dptc;
+    const size_t m = a.rows();
+    const size_t n = b.cols();
+    const size_t tiles_per_row = (n + g.nv - 1) / g.nv;
+    const size_t tr = tile / tiles_per_row;
+    const size_t tc = tile % tiles_per_row;
+    const size_t row0 = tr * g.nh;
+    const size_t col0 = tc * g.nv;
+    const size_t rows = std::min(g.nh, m - row0);
+    const size_t cols = std::min(g.nv, n - col0);
+
+    // Tile-indexed replica assignment: which replica executes (and
+    // therefore which faults can fire) depends only on the tile and
+    // the product-start healthy set — never on thread count.
+    size_t replica = healthy[tile % healthy.size()];
+    for (size_t attempt = 0;; ++attempt) {
+        zeroRegion(out, row0, rows, col0, cols);
+        uint64_t draws = 0;
+        cores_[replica].gemmTiles(a, b, cfg_.mode, scale, tile,
+                                  tile + 1, out, stream_seed, &draws);
+        if (draws != 0)
+            stats_.gaussian_draws.fetch_add(
+                draws, std::memory_order_relaxed);
+        fault_model_.corruptTile(replica, stream_seed, tile, out,
+                                 row0, rows, col0, cols, scale);
+        if (verifyTile(a, b, scale, tc, out, row0, rows, col0, cols))
+            return;
+
+        stats_.faults_detected.fetch_add(1,
+                                         std::memory_order_relaxed);
+        obs::traceInstant("fault/detected", obs::kNoRequest,
+                          "replica", static_cast<int64_t>(replica),
+                          "tile", static_cast<int64_t>(tile));
+        recordReplicaFault(replica);
+
+        if (attempt >= cfg_.fault_policy.max_tile_retries)
+            throw EngineFaultError(
+                "ExecutionEngine: tile checksum failed after " +
+                std::to_string(attempt + 1) +
+                " attempts across replicas (tile " +
+                std::to_string(tile) + ")");
+
+        // Re-resolve the healthy set (the fault we just recorded may
+        // have quarantined this replica) and move to a different
+        // survivor — deterministically, so recovery replays exactly.
+        std::vector<size_t> fresh = healthySnapshot();
+        if (fresh.empty()) {
+            // Quarantine completed mid-product: digital fallback for
+            // this tile, bit-identical to a healthy-replica run.
+            zeroRegion(out, row0, rows, col0, cols);
+            Matrix a_hat = a.normalized();
+            Matrix b_hat = b.normalized();
+            cores_.front().gemmTiles(a_hat, b_hat, cfg_.mode, scale,
+                                     tile, tile + 1, out, stream_seed);
+            return;
+        }
+        size_t next = fresh[(tile + attempt + 1) % fresh.size()];
+        if (next == replica && fresh.size() > 1)
+            next = fresh[(tile + attempt + 2) % fresh.size()];
+        stats_.fault_retries.fetch_add(1, std::memory_order_relaxed);
+        obs::traceInstant("fault/retry", obs::kNoRequest, "replica",
+                          static_cast<int64_t>(next), "tile",
+                          static_cast<int64_t>(tile));
+        replica = next;
+    }
+}
+
+bool
+ExecutionEngine::verifyTile(const core::EncodedOperand &a,
+                            const core::EncodedOperand &b,
+                            double scale, size_t tc, const Matrix &out,
+                            size_t row0, size_t rows, size_t col0,
+                            size_t cols) const
+{
+    const size_t k = a.cols();
+    const size_t nl = b.packedNlambda();
+    if (nl == 0 || rows == 0 || cols == 0)
+        return true; // nothing verifiable
+    const size_t ktiles = (k + nl - 1) / nl;
+    const FaultPolicy &pol = cfg_.fault_policy;
+
+    // Digital recompute of the tile from the SAME quantized operands
+    // the kernel consumed, through the kernel's DETERMINISTIC channel
+    // transfer — Eq. 9 per wavelength: mult_gain * x * y + add_gain *
+    // (x^2 - y^2), with the dispersion-derived per-channel gains the
+    // analog dot applies (quantization and dispersion both cancel
+    // exactly; the add term survives even where x*y = 0, so a plain
+    // dot-product reference misfires on it). What remains between D
+    // and the output is purely stochastic.
+    //
+    // Alongside D, the PHYSICAL noise basis of each element: the
+    // stochastic terms act on the k-slice partial sums (the per-slice
+    // systematic eps multiplies each partial dot) and the individual
+    // products (encoding noise inside the analog dot) — NOT on the
+    // final accumulated value. Cancellation-heavy columns (e.g.
+    // logits) have tiny outputs riding on large partials, so any
+    // envelope anchored on output magnitude misfires on them;
+    // sigma^2 = scale^2 * (sum_slices partial^2 + sum_j term_j^2) is
+    // the scale legitimate noise actually has. O(rows*cols*k), paid
+    // only while the fault layer is armed.
+    const core::DDot &dd = cores_.front().ddot();
+    const bool calibrated = cfg_.dptc.channel_calibration;
+    std::vector<double> mult_gain(nl), add_gain(nl);
+    for (size_t j = 0; j < nl; ++j) {
+        mult_gain[j] = calibrated ? 1.0 : dd.multiplicativeGain(j);
+        add_gain[j] = calibrated ? 0.0 : dd.additiveGain(j);
+    }
+    std::vector<double> d(rows * cols, 0.0);
+    std::vector<double> var(rows * cols, 0.0);
+    for (size_t r = 0; r < rows; ++r) {
+        const double *ar = a.row(row0 + r);
+        for (size_t c = 0; c < cols; ++c) {
+            double acc = 0.0;
+            double basis = 0.0;
+            for (size_t tk = 0; tk < ktiles; ++tk) {
+                const double *col = b.tileColumn(tc, tk, c);
+                const size_t k0 = tk * nl;
+                const size_t len = std::min(nl, k - k0);
+                double partial = 0.0;
+                double termsq = 0.0;
+                for (size_t j = 0; j < len; ++j) {
+                    const double x = ar[k0 + j];
+                    const double y = col[j];
+                    const double xy = x * y;
+                    partial += mult_gain[j] * xy +
+                               add_gain[j] * (x * x - y * y);
+                    const double mag =
+                        std::fabs(xy) +
+                        std::fabs(add_gain[j]) * (x * x + y * y);
+                    termsq += mag * mag;
+                }
+                acc += partial;
+                basis += partial * partial + termsq;
+            }
+            d[r * cols + c] = scale * acc;
+            var[r * cols + c] = scale * scale * basis;
+        }
+    }
+
+    // Per-element checksums, plus structural signatures no continuous
+    // noise process can produce:
+    //  - non-finite or astronomically scaled values (a flipped high
+    //    exponent bit multiplies by 2^(+-128); the legit output is a
+    //    continuous variable within a few sigma of D, so landing
+    //    120 binary orders of magnitude below the element's scale
+    //    has measure zero);
+    //  - magnitude deviations outside elem_tolerance x the element's
+    //    physical noise basis. A corruption inside every element's
+    //    basis is statistically indistinguishable from noise.
+    double norm_diff_sq = 0.0;
+    double basis_sum = 0.0;
+    double sumsq_o = 0.0;
+    double sumsq_d = 0.0;
+    bool all_zero = true;
+    bool any_signal = false;
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c) {
+            const double ov = out(row0 + r, col0 + c);
+            if (!std::isfinite(ov))
+                return false;
+            const double dv = d[r * cols + c];
+            const double v = var[r * cols + c];
+            const double sigma = std::sqrt(v);
+            const double diff = ov - dv;
+            if (ov != 0.0)
+                all_zero = false;
+            if (std::fabs(dv) > pol.abs_tolerance ||
+                sigma > pol.abs_tolerance)
+                any_signal = true;
+            if (ov != 0.0 && std::fabs(ov) <
+                                 0x1p-60 * (std::fabs(dv) + sigma))
+                return false; // shrunk by a flipped exponent bit
+            if (std::fabs(diff) >
+                pol.elem_tolerance * sigma + pol.abs_tolerance)
+                return false;
+            norm_diff_sq += diff * diff;
+            basis_sum += v;
+            sumsq_o += ov * ov;
+            sumsq_d += dv * dv;
+        }
+
+    // Dead-region signature: every element EXACTLY 0.0 where the
+    // reference carries signal. Legitimate analog noise is continuous
+    // — an exact all-zero tile from a live shard has measure zero —
+    // so this detects a dead shard at any SNR, including single-row
+    // decode tiles whose per-element deviation sits inside the noise
+    // basis.
+    if (all_zero && any_signal)
+        return false;
+
+    // Tile deviation checksum: ||O - D||_F against the RSS of the
+    // element bases, relaxed by (1 + 2/sqrt(N)) for thin tail tiles
+    // (fewer observations, no concentration). Legitimate per-element
+    // deviations are independent draws at a fraction of their basis,
+    // so this ratio concentrates with tile size while corruption
+    // spread across the tile (drift, attenuation) does not.
+    const double nelem = static_cast<double>(rows * cols);
+    if (std::sqrt(norm_diff_sq) >
+        pol.norm_tolerance * (1.0 + 2.0 / std::sqrt(nelem)) *
+                std::sqrt(basis_sum) +
+            pol.abs_tolerance)
+        return false;
+
+    // Gain checksum, gated on high SNR: when the tile's signal
+    // dominates its noise basis (structured operands — attention
+    // probabilities, aligned activations — unlike zero-mean random
+    // fills), a relative gain error reads directly off the Frobenius
+    // norms: dead 1.0, a 1.6x calibration drift 0.6, against
+    // legitimate noise of at most ~0.25x signal at this gate.
+    const double norm_d = std::sqrt(sumsq_d);
+    if (norm_d >= 2.0 * std::sqrt(basis_sum) &&
+        std::fabs(std::sqrt(sumsq_o) - norm_d) >
+            0.5 * norm_d + pol.abs_tolerance)
+        return false;
+
+    // Column checksums: distributed bias along a column (mild drift,
+    // a low DAC rail) accumulates linearly in the signed sum while
+    // the envelope (RSS of the column's element bases) only grows as
+    // sqrt(rows). A pinned (stuck-at) DAC channel additionally leaves
+    // every row of its column at the SAME exact value — impossible
+    // for continuous noise over distinct references.
+    for (size_t c = 0; c < cols; ++c) {
+        double so = 0.0;
+        double sd = 0.0;
+        double venv = 0.0;
+        bool o_const = rows > 1;
+        bool d_varies = false;
+        const double o0 = out(row0, col0 + c);
+        const double d0 = d[c];
+        for (size_t r = 0; r < rows; ++r) {
+            const double ov = out(row0 + r, col0 + c);
+            const double dv = d[r * cols + c];
+            so += ov;
+            sd += dv;
+            venv += var[r * cols + c];
+            if (ov != o0)
+                o_const = false;
+            if (std::fabs(dv - d0) > pol.abs_tolerance)
+                d_varies = true;
+        }
+        if (o_const && d_varies)
+            return false; // stuck-at channel
+        if (std::fabs(so - sd) >
+            pol.tolerance * std::sqrt(venv) + pol.abs_tolerance)
+            return false;
+    }
+    return true;
+}
+
+void
+ExecutionEngine::recordReplicaFault(size_t replica)
+{
+    std::lock_guard<std::mutex> lock(health_mu_);
+    if (replica_quarantined_[replica])
+        return;
+    if (++replica_faults_[replica] <
+        cfg_.fault_policy.quarantine_threshold)
+        return;
+    replica_quarantined_[replica] = 1;
+    healthy_.erase(
+        std::remove(healthy_.begin(), healthy_.end(), replica),
+        healthy_.end());
+    stats_.fault_quarantines.fetch_add(1, std::memory_order_relaxed);
+    obs::traceInstant("fault/quarantine", obs::kNoRequest, "replica",
+                      static_cast<int64_t>(replica), "healthy",
+                      static_cast<int64_t>(healthy_.size()));
+}
+
+std::vector<size_t>
+ExecutionEngine::healthySnapshot() const
+{
+    std::lock_guard<std::mutex> lock(health_mu_);
+    return healthy_;
+}
+
+EngineStatus
+ExecutionEngine::status() const
+{
+    EngineStatus s;
+    {
+        std::lock_guard<std::mutex> lock(health_mu_);
+        s.total_replicas = cores_.size();
+        s.healthy_replicas = healthy_.size();
+        s.quarantined_replicas = cores_.size() - healthy_.size();
+        s.degraded = fault_active_ && healthy_.empty();
+    }
+    s.faults_detected =
+        stats_.faults_detected.load(std::memory_order_relaxed);
+    s.fault_retries =
+        stats_.fault_retries.load(std::memory_order_relaxed);
+    s.quarantines =
+        stats_.fault_quarantines.load(std::memory_order_relaxed);
+    return s;
 }
 
 Matrix

@@ -30,14 +30,106 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "core/dptc.hh"
+#include "core/fault_model.hh"
 #include "nn/gemm_backend.hh"
 
 namespace lt {
 namespace nn {
+
+/**
+ * Detection and recovery knobs of the engine's ABFT layer. Active
+ * whenever fault injection is enabled (EngineConfig::faults) or
+ * `verify` is set explicitly; otherwise the engine stays on the exact
+ * pre-fault code path.
+ */
+struct FaultPolicy
+{
+    /**
+     * Verify tile checksums even with injection off — the deployment
+     * posture for real (non-simulated) device faults. Verification
+     * never changes results; it only arms detection/recovery.
+     */
+    bool verify = false;
+
+    /**
+     * Every checksum compares a deviation from the digital recompute
+     * against the element's PHYSICAL noise basis
+     * sigma^2 = scale^2 * (sum_slices partial^2 + sum_j (a_j b_j)^2):
+     * the kernel's stochastic terms multiply each k-slice partial dot
+     * and each analog product, not the final accumulated value, so
+     * output-anchored envelopes misfire on cancellation-heavy columns
+     * (logits columns ride ~0.1 outputs on ~0.5 partials). All three
+     * tolerances are calibrated against the empirical worst case at
+     * DOUBLE the paper's noise across serve workloads and random
+     * sweeps with both samplers; tighten only with lighter noise.
+     */
+
+    /**
+     * Per-column signed-sum multiplier: |sum_obs - sum_exp| vs the
+     * RSS of the column's element bases. Distributed bias along a
+     * column accumulates linearly while the envelope grows as
+     * sqrt(rows). Measured legit max 0.40 at 2x paper noise.
+     */
+    double tolerance = 1.0;
+
+    /**
+     * Per-element multiplier: |obs - exp| vs the element's own basis.
+     * The localized-fault detector (dead tile, stuck channel, bit
+     * flip, strong drift). Measured legit max 0.46 at 2x paper noise.
+     */
+    double elem_tolerance = 1.0;
+
+    /**
+     * Tile-deviation multiplier: ||O - D||_F vs the RSS of all
+     * element bases. Legitimate per-element deviations are
+     * independent draws at a small fraction of their basis, so this
+     * ratio concentrates with tile size; coherent corruption spread
+     * thinly across the tile (mild calibration drift) does not. The
+     * check adds a (1 + 2/sqrt(N)) small-tile relaxation in code.
+     * Measured legit max 0.21 at 2x paper noise.
+     */
+    double norm_tolerance = 0.30;
+
+    /** Absolute slack added to every checksum comparison. */
+    double abs_tolerance = 1e-9;
+
+    /**
+     * Re-executions of a detected-faulty tile (each on a different
+     * healthy replica) before the product gives up with
+     * EngineFaultError.
+     */
+    size_t max_tile_retries = 3;
+
+    /**
+     * Detected faults on one replica before it is quarantined and the
+     * engine reshards over the survivors.
+     */
+    size_t quarantine_threshold = 3;
+};
+
+/** Replica-health snapshot of a fault-tolerant engine. */
+struct EngineStatus
+{
+    size_t total_replicas = 0;
+    size_t healthy_replicas = 0;
+    size_t quarantined_replicas = 0;
+
+    /**
+     * Every replica quarantined: products execute on the digital
+     * reference kernel (bit-identical results, photonic speedup
+     * forfeited) instead of aborting.
+     */
+    bool degraded = false;
+
+    uint64_t faults_detected = 0;
+    uint64_t fault_retries = 0;
+    uint64_t quarantines = 0;
+};
 
 /** Engine geometry and evaluation fidelity. */
 struct EngineConfig
@@ -70,6 +162,17 @@ struct EngineConfig
      * decode scenario). Results are bit-identical either way.
      */
     bool kv_plans = true;
+
+    /**
+     * Per-replica fault injection (core::FaultModel). Disabled by
+     * default: the engine takes the exact pre-fault dispatch path
+     * (one branch per product) and every golden digest and perf
+     * baseline is unchanged.
+     */
+    core::FaultConfig faults{};
+
+    /** Detection/recovery knobs (active when faults or verify are). */
+    FaultPolicy fault_policy{};
 };
 
 /** Multi-core tiled GEMM executor over DPTC replicas. */
@@ -184,6 +287,12 @@ class ExecutionEngine : public GemmBackend
     core::EvalMode mode() const { return cfg_.mode; }
     size_t numCores() const { return cores_.size(); }
 
+    /**
+     * Replica-health + fault-counter snapshot. Cheap and thread-safe;
+     * all-healthy and all-zero while the fault layer is inactive.
+     */
+    EngineStatus status() const;
+
     /** Core replica i (replica 0 is the pre-refactor single core). */
     core::Dptc &core(size_t i = 0) { return cores_.at(i); }
     const core::Dptc &core(size_t i = 0) const { return cores_.at(i); }
@@ -206,6 +315,44 @@ class ExecutionEngine : public GemmBackend
                           const core::EncodedOperand &b,
                           bool parallel_tiles, const core::Dptc &proto,
                           uint64_t stream_seed);
+
+    // ---- fault-tolerant dispatch (active iff fault_active_) ------
+
+    /**
+     * Checked twin of gemmOneProduct: tiles run one at a time on
+     * tile-indexed healthy replicas, each followed by injection (when
+     * configured) and ABFT checksum verification, with bounded
+     * retries on other replicas and a digital reference fallback once
+     * every replica is quarantined.
+     */
+    Matrix gemmOneProductChecked(const core::EncodedOperand &a,
+                                 const core::EncodedOperand &b,
+                                 bool parallel_tiles,
+                                 uint64_t stream_seed);
+
+    /** Execute + verify + recover ONE output tile. */
+    void runTileChecked(const core::EncodedOperand &a,
+                        const core::EncodedOperand &b, double scale,
+                        size_t tile, Matrix &out, uint64_t stream_seed,
+                        const std::vector<size_t> &healthy);
+
+    /**
+     * ABFT verification of one tile region: per-column checksums
+     * against the digitally recomputed quantized product (the
+     * quantization cancels exactly — only legitimate noise remains)
+     * plus a Frobenius-norm energy check. Returns true when the
+     * region is within the calibrated envelope.
+     */
+    bool verifyTile(const core::EncodedOperand &a,
+                    const core::EncodedOperand &b, double scale,
+                    size_t tc, const Matrix &out, size_t row0,
+                    size_t rows, size_t col0, size_t cols) const;
+
+    /** Count a fault against `replica`; quarantine on threshold. */
+    void recordReplicaFault(size_t replica);
+
+    /** Copy of the healthy replica list (empty = degraded). */
+    std::vector<size_t> healthySnapshot() const;
 
     Matrix runProduct(const ProductRef &p, bool parallel_tiles,
                       const core::Dptc &proto, uint64_t stream_seed);
@@ -233,6 +380,23 @@ class ExecutionEngine : public GemmBackend
 
     /** Next internal stream id, consumed in (stream-less) call order. */
     std::atomic<uint64_t> next_stream_{0};
+
+    // ---- fault-tolerance state -----------------------------------
+
+    core::FaultModel fault_model_;
+
+    /**
+     * True when injection or verification is configured: the single
+     * per-product branch that selects the checked dispatch path. The
+     * false side is the exact pre-fault code — provably zero hot-loop
+     * cost (bench_engine_scaling gates it).
+     */
+    bool fault_active_ = false;
+
+    mutable std::mutex health_mu_;
+    std::vector<uint32_t> replica_faults_;      ///< per-replica count
+    std::vector<uint8_t> replica_quarantined_;  ///< 1 = quarantined
+    std::vector<size_t> healthy_;               ///< surviving replicas
 };
 
 } // namespace nn

@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -37,6 +38,21 @@ namespace lt {
 namespace nn {
 
 class ExecutionEngine;
+
+/**
+ * A GEMM dispatch failed integrity verification beyond the engine's
+ * internal recovery budget (per-tile retries exhausted while healthy
+ * replicas remained). Transient by design: the engine quarantines
+ * repeat offenders between attempts, so a bounded caller-side retry
+ * (the serve layer's step retry with backoff) typically lands on a
+ * reshaped healthy set — or on the degraded reference path — and
+ * succeeds.
+ */
+class EngineFaultError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /**
  * Deterministic noise-stream allocator: yields decorrelated 64-bit
@@ -128,6 +144,21 @@ struct GemmStats
      */
     std::atomic<size_t> gaussian_draws{0};
 
+    /**
+     * Fault-tolerance counters (ExecutionEngine ABFT layer; all zero
+     * while fault injection/verification is disabled):
+     *
+     *  - faults_detected: output tiles whose checksum verification
+     *    failed (injected or organic corruption caught at dispatch);
+     *  - fault_retries: detected-faulty tiles re-executed on another
+     *    replica;
+     *  - fault_quarantines: replicas removed from the healthy set
+     *    after repeated faults (the engine reshards over survivors).
+     */
+    std::atomic<size_t> faults_detected{0};
+    std::atomic<size_t> fault_retries{0};
+    std::atomic<size_t> fault_quarantines{0};
+
     void
     record(size_t m, size_t k, size_t n)
     {
@@ -152,6 +183,9 @@ struct GemmStats
         kv_encode_hits.store(0, std::memory_order_relaxed);
         kv_encode_misses.store(0, std::memory_order_relaxed);
         gaussian_draws.store(0, std::memory_order_relaxed);
+        faults_detected.store(0, std::memory_order_relaxed);
+        fault_retries.store(0, std::memory_order_relaxed);
+        fault_quarantines.store(0, std::memory_order_relaxed);
     }
 };
 

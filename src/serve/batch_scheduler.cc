@@ -1,8 +1,11 @@
 #include "batch_scheduler.hh"
 
 #include <algorithm>
+#include <exception>
+#include <thread>
 #include <utility>
 
+#include "nn/gemm_backend.hh"
 #include "nn/tensor_ops.hh"
 #include "obs/trace.hh"
 
@@ -115,45 +118,75 @@ BatchScheduler::admit(RequestQueue &queue, double &prefill_ms,
             "max_new",
             static_cast<int64_t>(a.pending.request.max_new_tokens));
 
-        a.session = std::make_unique<nn::InferenceSession>(
-            model_, backend_, quant_, a.pending.id);
+        // Per-request containment: anything thrown between admission
+        // and the first token fails ONLY this request (its future
+        // carries the exception, its pool blocks go back) — the
+        // scheduler and every other request keep running. Transient
+        // engine faults additionally get a bounded retry first.
         Matrix logits;
-        nn::SessionKvPlan plan;
-        if (pool_) {
-            // Reserve the worst-case tail (and acquire or compute the
-            // shared prefix) up front, then prefill under a plan that
-            // right-sizes the session's K/V backing to the request's
-            // own context budget — resident bytes track real tokens.
-            auto p0 = std::chrono::steady_clock::now();
-            a.admission = pool_->admit(
-                a.pending.request.prompt,
-                a.pending.request.shared_prefix_tokens,
-                a.pending.request.max_new_tokens);
-            pool_ms +=
-                msSince(p0, std::chrono::steady_clock::now());
-            plan.prefix = a.admission.prefix;
-            plan.reserve_tokens =
-                a.pending.request.prompt.size() +
-                a.pending.request.max_new_tokens - 1;
-        }
-        {
-            obs::TraceScope span(
-                "req/prefill", a.pending.id, "prompt_tokens",
-                static_cast<int64_t>(a.pending.request.prompt.size()));
-            auto f0 = std::chrono::steady_clock::now();
-            logits = pool_
-                         ? a.session->prefill(a.pending.request.prompt,
-                                              plan)
-                         : a.session->prefill(a.pending.request.prompt);
-            prefill_ms +=
-                msSince(f0, std::chrono::steady_clock::now());
-        }
-        if (pool_) {
-            auto p0 = std::chrono::steady_clock::now();
-            pool_->noteContext(a.admission.table,
-                               a.session->contextLen());
-            pool_ms +=
-                msSince(p0, std::chrono::steady_clock::now());
+        try {
+            nn::SessionKvPlan plan;
+            if (pool_) {
+                // Reserve the worst-case tail (and acquire or compute
+                // the shared prefix) up front, then prefill under a
+                // plan that right-sizes the session's K/V backing to
+                // the request's own context budget — resident bytes
+                // track real tokens.
+                auto p0 = std::chrono::steady_clock::now();
+                a.admission = pool_->admit(
+                    a.pending.request.prompt,
+                    a.pending.request.shared_prefix_tokens,
+                    a.pending.request.max_new_tokens);
+                pool_ms +=
+                    msSince(p0, std::chrono::steady_clock::now());
+                plan.prefix = a.admission.prefix;
+                plan.reserve_tokens =
+                    a.pending.request.prompt.size() +
+                    a.pending.request.max_new_tokens - 1;
+            }
+            size_t attempt = 0;
+            while (true) {
+                // A fresh session every attempt: a prefill that died
+                // mid-layer left partially written K/V behind.
+                a.session = std::make_unique<nn::InferenceSession>(
+                    model_, backend_, quant_, a.pending.id);
+                try {
+                    obs::TraceScope span(
+                        "req/prefill", a.pending.id, "prompt_tokens",
+                        static_cast<int64_t>(
+                            a.pending.request.prompt.size()));
+                    auto f0 = std::chrono::steady_clock::now();
+                    logits =
+                        pool_ ? a.session->prefill(
+                                    a.pending.request.prompt, plan)
+                              : a.session->prefill(
+                                    a.pending.request.prompt);
+                    prefill_ms +=
+                        msSince(f0, std::chrono::steady_clock::now());
+                    break;
+                } catch (const nn::EngineFaultError &) {
+                    if (attempt >= cfg_.max_step_retries)
+                        throw;
+                    ++attempt;
+                    if (metrics_)
+                        metrics_->onStepRetry();
+                    obs::traceInstant(
+                        "fault/step_retry", a.pending.id, "attempt",
+                        static_cast<int64_t>(attempt));
+                    std::this_thread::sleep_for(
+                        cfg_.step_retry_backoff);
+                }
+            }
+            if (pool_) {
+                auto p0 = std::chrono::steady_clock::now();
+                pool_->noteContext(a.admission.table,
+                                   a.session->contextLen());
+                pool_ms +=
+                    msSince(p0, std::chrono::steady_clock::now());
+            }
+        } catch (...) {
+            failRequest(a, std::current_exception());
+            continue;
         }
         a.last_token = std::chrono::steady_clock::now();
         a.ttft_ms = msSince(a.pending.enqueued, a.last_token);
@@ -189,9 +222,45 @@ BatchScheduler::decodeTick()
         feed.push_back(a.generated.back());
     }
 
+    // The fused step either advances EVERY session or none: a throw
+    // mid-step leaves K/V partially mutated across the batch, so each
+    // retry first replays all sessions from their prompts (cheap at
+    // serve scale, and bit-identical thanks to the per-request noise
+    // lanes) before re-running the step. Transient engine faults get
+    // cfg_.max_step_retries such replays; anything else — or retry
+    // exhaustion — fails the whole in-flight batch on its futures
+    // while the scheduler itself keeps serving.
     auto t0 = std::chrono::steady_clock::now();
-    std::vector<Matrix> logits =
-        nn::BatchedDecoder::step(sessions, feed);
+    std::vector<Matrix> logits;
+    size_t attempt = 0;
+    while (true) {
+        try {
+            if (attempt > 0) {
+                replayActiveSessions();
+                sessions.clear();
+                for (Active &a : active_)
+                    sessions.push_back(a.session.get());
+            }
+            logits = nn::BatchedDecoder::step(sessions, feed);
+            break;
+        } catch (const nn::EngineFaultError &) {
+            if (attempt >= cfg_.max_step_retries) {
+                failActiveBatch(std::current_exception());
+                return msSince(d0, std::chrono::steady_clock::now());
+            }
+            ++attempt;
+            if (metrics_)
+                metrics_->onStepRetry();
+            obs::traceInstant(
+                "fault/step_retry", obs::kNoRequest, "attempt",
+                static_cast<int64_t>(attempt), "batch",
+                static_cast<int64_t>(active_.size()));
+            std::this_thread::sleep_for(cfg_.step_retry_backoff);
+        } catch (...) {
+            failActiveBatch(std::current_exception());
+            return msSince(d0, std::chrono::steady_clock::now());
+        }
+    }
     auto t1 = std::chrono::steady_clock::now();
 
     for (size_t i = 0; i < active_.size(); ++i) {
@@ -250,6 +319,63 @@ BatchScheduler::finish(Active &request, bool expired)
     request.pending.promise.set_value(std::move(result));
     if (metrics_)
         metrics_->onComplete(expired);
+}
+
+void
+BatchScheduler::failRequest(Active &request, std::exception_ptr err)
+{
+    obs::traceInstant(
+        "req/failed", request.pending.id, "tokens",
+        static_cast<int64_t>(request.generated.size()));
+    request.session.reset();
+    request.generated.clear();
+    request.step_logits.clear();
+    if (pool_)
+        // Same release path as finish(): blocks return to the free
+        // list, the prefix ref drops (no-op for a default-constructed
+        // admission that never made it through pool_->admit).
+        pool_->release(request.admission);
+    request.pending.promise.set_exception(std::move(err));
+    if (metrics_)
+        metrics_->onRequestFailure();
+}
+
+void
+BatchScheduler::failActiveBatch(std::exception_ptr err)
+{
+    for (Active &a : active_)
+        if (a.session)
+            failRequest(a, err);
+    // retireFinished() in tick() sweeps the now-session-less entries.
+}
+
+void
+BatchScheduler::replayActiveSessions()
+{
+    obs::traceInstant("fault/replay", obs::kNoRequest, "batch",
+                      static_cast<int64_t>(active_.size()));
+    for (Active &a : active_) {
+        a.session = std::make_unique<nn::InferenceSession>(
+            model_, backend_, quant_, a.pending.id);
+        nn::SessionKvPlan plan;
+        if (pool_) {
+            plan.prefix = a.admission.prefix;
+            plan.reserve_tokens =
+                a.pending.request.prompt.size() +
+                a.pending.request.max_new_tokens - 1;
+            a.session->prefill(a.pending.request.prompt, plan);
+        } else {
+            a.session->prefill(a.pending.request.prompt);
+        }
+        // Re-ingest every generated token except the last: that one
+        // is the feed of the step being retried. The replayed logits
+        // are discarded — identical to the ones already recorded.
+        for (size_t i = 0; i + 1 < a.generated.size(); ++i)
+            a.session->decodeStep(a.generated[i]);
+        if (pool_)
+            pool_->noteContext(a.admission.table,
+                               a.session->contextLen());
+    }
 }
 
 void

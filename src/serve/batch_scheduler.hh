@@ -53,6 +53,20 @@ struct SchedulerConfig
      * bench_serve_throughput sweeps it 1..16.
      */
     size_t max_batch = 8;
+
+    /**
+     * Bounded retries after a transient nn::EngineFaultError during
+     * prefill or a fused decode step, before the affected request(s)
+     * are failed on their futures. Each decode-step retry replays the
+     * active sessions from their prompts (deterministic noise lanes
+     * make the replay bit-identical), so the re-run starts from
+     * consistent KV state even when the failed step died mid-layer.
+     */
+    size_t max_step_retries = 2;
+
+    /** Backoff between engine-fault retries (gives quarantine and
+     *  transient upsets time to clear). */
+    std::chrono::milliseconds step_retry_backoff{1};
 };
 
 /** Admits, prefills, and lockstep-decodes concurrent requests. */
@@ -121,6 +135,18 @@ class BatchScheduler
     double decodeTick();
     void finish(Active &request, bool expired);
     void retireFinished();
+
+    /** Fail ONE request: release its pool blocks, deliver `err` on
+     *  its future, count it. The server stays alive. */
+    void failRequest(Active &request, std::exception_ptr err);
+    /** Fail every in-flight request with `err` (decode-step retries
+     *  exhausted, or a non-transient batch-wide exception). */
+    void failActiveBatch(std::exception_ptr err);
+    /** Rebuild every active session from its prompt and replay the
+     *  tokens generated so far — bit-identical thanks to per-request
+     *  noise lanes — to restore consistent KV state after a decode
+     *  step died mid-flight. */
+    void replayActiveSessions();
 
     const nn::TransformerClassifier &model_;
     nn::GemmBackend &backend_;

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Typed serve-layer errors.
+ *
+ * Submit-time rejections get their own exception types so clients can
+ * tell backpressure ("slow down, try again") from a hopeless request
+ * (std::invalid_argument) and from an already-dead deadline — each is
+ * counted separately in serve::Metrics. Both derive from
+ * SubmitRejectedError, which Server::submit traces as "req/rejected".
+ */
+
+#ifndef LT_SERVE_ERRORS_HH
+#define LT_SERVE_ERRORS_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace lt {
+namespace serve {
+
+/** Base of typed submit-time rejections (queue never saw the request). */
+class SubmitRejectedError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * ServerConfig::max_queue_depth reached: the server is saturated and
+ * sheds load at the front door. Retry after backoff.
+ */
+class QueueSaturatedError : public SubmitRejectedError
+{
+  public:
+    using SubmitRejectedError::SubmitRejectedError;
+};
+
+/**
+ * The request's deadline had already elapsed at submit time (a
+ * non-positive relative deadline): it could never complete, so it is
+ * rejected immediately instead of occupying a queue slot until the
+ * scheduler sheds it.
+ */
+class DeadlineExpiredError : public SubmitRejectedError
+{
+  public:
+    using SubmitRejectedError::SubmitRejectedError;
+};
+
+} // namespace serve
+} // namespace lt
+
+#endif // LT_SERVE_ERRORS_HH

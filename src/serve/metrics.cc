@@ -19,6 +19,35 @@ Metrics::onSubmit()
 }
 
 void
+Metrics::onRejectedQueueFull()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counts_.rejected_queue_full += 1;
+}
+
+void
+Metrics::onRejectedExpired()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counts_.rejected_expired += 1;
+}
+
+void
+Metrics::onRequestFailure()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    last_activity_ = std::chrono::steady_clock::now();
+    counts_.request_failures += 1;
+}
+
+void
+Metrics::onStepRetry()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    counts_.engine_step_retries += 1;
+}
+
+void
 Metrics::onPrefill(double ttft_ms)
 {
     std::lock_guard<std::mutex> lock(mu_);

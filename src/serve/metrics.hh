@@ -33,6 +33,21 @@ struct MetricsSnapshot
     size_t submitted = 0;
     size_t completed = 0;
     size_t expired = 0;   ///< deadline misses (subset of completed)
+
+    /**
+     * Robustness counters. Rejections never entered the queue
+     * (backpressure at max_queue_depth; an already-expired deadline
+     * at submit). A request failure is a future delivered by
+     * exception (per-request fault containment) — the serving thread
+     * survived it. Step retries are serve-level bounded re-executions
+     * after a transient nn::EngineFaultError (session replay + fused
+     * step re-run), before any request is failed.
+     */
+    size_t rejected_queue_full = 0;
+    size_t rejected_expired = 0;
+    size_t request_failures = 0;
+    size_t engine_step_retries = 0;
+
     size_t prefills = 0;
     size_t decode_ticks = 0;  ///< fused batched decode steps executed
     size_t tokens_generated = 0;
@@ -104,6 +119,16 @@ struct MetricsSnapshot
     size_t engine_gaussian_draws = 0;
 
     /**
+     * Engine fault-tolerance counters (GemmStats ABFT layer),
+     * overlaid by Server::metrics(): checksum-detected faulty tiles,
+     * tile re-executions on other replicas, and replicas quarantined.
+     * All zero while fault injection/verification is disabled.
+     */
+    size_t engine_faults_detected = 0;
+    size_t engine_fault_retries = 0;
+    size_t engine_fault_quarantines = 0;
+
+    /**
      * Full latency distributions (bounded log-scaled histograms) for
      * callers that want more than the p50/p99 scalars: arbitrary
      * percentiles, counts, exact min/max/mean.
@@ -126,6 +151,10 @@ class Metrics
 {
   public:
     void onSubmit();
+    void onRejectedQueueFull();
+    void onRejectedExpired();
+    void onRequestFailure();
+    void onStepRetry();
     void onPrefill(double ttft_ms);
     void onDecodeTick(size_t batch_size, double tick_ms);
     void recordTokenLatency(double ms);

@@ -3,12 +3,23 @@
 #include <stdexcept>
 #include <utility>
 
+#include "serve/errors.hh"
+
 namespace lt {
 namespace serve {
 
 std::future<RequestResult>
 RequestQueue::submit(Request request, uint64_t id)
 {
+    // Expire-on-submit: a non-positive relative deadline can never be
+    // met — reject it here instead of letting it occupy a queue slot
+    // until the scheduler's tick-time expiry sheds it.
+    if (request.deadline &&
+        *request.deadline <= std::chrono::milliseconds::zero())
+        throw DeadlineExpiredError(
+            "RequestQueue::submit: deadline already expired at "
+            "submission");
+
     PendingRequest pending;
     pending.request = std::move(request);
     pending.id = id;

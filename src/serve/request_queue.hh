@@ -46,7 +46,10 @@ class RequestQueue
     /**
      * Enqueue a request (id pre-assigned by the server) and return
      * the future its result will arrive on. Throws std::runtime_error
-     * once the queue is closed.
+     * once the queue is closed, and DeadlineExpiredError (see
+     * serve/errors.hh) when the request's relative deadline is
+     * already non-positive — expire-on-submit, so a dead-on-arrival
+     * request never occupies a queue slot.
      */
     std::future<RequestResult> submit(Request request, uint64_t id);
 

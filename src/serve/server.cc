@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/trace.hh"
+#include "serve/errors.hh"
 
 namespace lt {
 namespace serve {
@@ -53,6 +54,11 @@ Server::submit(Request request)
     try {
         return submitValidated(std::move(request));
     } catch (const std::invalid_argument &) {
+        obs::traceInstant("req/rejected", trace_id);
+        throw;
+    } catch (const SubmitRejectedError &) {
+        // Typed rejections (backpressure, dead-on-arrival deadline);
+        // counted by submitValidated, traced uniformly here.
         obs::traceInstant("req/rejected", trace_id);
         throw;
     }
@@ -116,6 +122,28 @@ Server::submitValidated(Request request)
             std::to_string(pool_->totalBlocks()) +
             " — it can never be admitted");
 
+    // Expire-on-submit: counted here, enforced in RequestQueue::submit
+    // as well (direct queue users get the same contract).
+    if (request.deadline &&
+        *request.deadline <= std::chrono::milliseconds::zero()) {
+        metrics_.onRejectedExpired();
+        throw DeadlineExpiredError(
+            "serve::Server::submit: deadline already expired at "
+            "submission");
+    }
+    // Backpressure: shed load at the front door once the queue is
+    // saturated, with a retryable typed error. The depth check is
+    // racy across submitters by design — the bound is a watermark,
+    // not a hard capacity.
+    if (cfg_.max_queue_depth > 0 &&
+        queue_.depth() >= cfg_.max_queue_depth) {
+        metrics_.onRejectedQueueFull();
+        throw QueueSaturatedError(
+            "serve::Server::submit: queue saturated (" +
+            std::to_string(cfg_.max_queue_depth) +
+            " requests waiting) — retry after backoff");
+    }
+
     uint64_t id = request.request_id
                       ? *request.request_id
                       : next_id_.fetch_add(1);
@@ -144,7 +172,20 @@ void
 Server::serveLoop()
 {
     while (true) {
-        size_t active = scheduler_.tick(queue_);
+        size_t active = 0;
+        try {
+            active = scheduler_.tick(queue_);
+        } catch (...) {
+            // The scheduler contains per-request and per-step
+            // failures itself; anything escaping tick() is a bug —
+            // but the serving thread must survive it (requests whose
+            // promises broke surface the failure on their futures).
+            // Back off so a persistent fault cannot spin the loop.
+            obs::traceInstant("serve/tick_exception",
+                              obs::kNoRequest);
+            std::this_thread::sleep_for(cfg_.idle_poll);
+            active = scheduler_.activeRequests();
+        }
         if (active == 0 && queue_.empty()) {
             if (drain_requested_.load())
                 break;
@@ -199,6 +240,12 @@ Server::metrics() const
         stats.kv_encode_misses.load(std::memory_order_relaxed);
     snap.engine_gaussian_draws =
         stats.gaussian_draws.load(std::memory_order_relaxed);
+    snap.engine_faults_detected =
+        stats.faults_detected.load(std::memory_order_relaxed);
+    snap.engine_fault_retries =
+        stats.fault_retries.load(std::memory_order_relaxed);
+    snap.engine_fault_quarantines =
+        stats.fault_quarantines.load(std::memory_order_relaxed);
     if (pool_)
         snap.kv_pool = pool_->stats();
     if (obs::TraceRecorder *rec = obs::recorder())

@@ -65,6 +65,14 @@ struct ServerConfig
      * copy-on-write (Request::shared_prefix_tokens).
      */
     KvPoolConfig kv_pool{};
+
+    /**
+     * Backpressure: submit() throws QueueSaturatedError (see
+     * serve/errors.hh) while the queue already holds this many
+     * requests, and the rejection is counted in Metrics. 0 (default)
+     * = unbounded, the historical behaviour.
+     */
+    size_t max_queue_depth = 0;
 };
 
 /** Owns the queue, the scheduler, and (optionally) a serving thread. */

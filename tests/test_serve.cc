@@ -29,6 +29,7 @@
 
 #include "nn/batched_decoder.hh"
 #include "nn/execution_engine.hh"
+#include "serve/errors.hh"
 #include "nn/inference_session.hh"
 #include "nn/tensor_ops.hh"
 #include "obs/trace.hh"
@@ -546,8 +547,12 @@ TEST(Serve, DeadlineExpiryShedsLoad)
     serve::Request doomed;
     doomed.prompt = {1, 2, 3};
     doomed.max_new_tokens = 8;
-    doomed.deadline = std::chrono::milliseconds(0);
+    // A zero deadline is now rejected at submit (expire-on-submit);
+    // in-queue expiry needs a deadline that is alive at submission
+    // and dead by the time the scheduler first looks at the queue.
+    doomed.deadline = std::chrono::milliseconds(1);
     auto future = server.submit(doomed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
     server.runUntilIdle();
 
     serve::RequestResult result = future.get();
@@ -746,6 +751,197 @@ TEST(Serve, ThreadedServerDrainsConcurrentClients)
     }
     server.drain();
     EXPECT_EQ(server.metrics().completed, kClients * kPerClient);
+}
+
+// ---- robustness: rejection, containment, fault soak ------------------
+
+TEST(Serve, ExpireOnSubmitRejectsDeadOnArrival)
+{
+    nn::TransformerClassifier model(lmConfig());
+    nn::IdealBackend backend;
+    serve::Server server(model, backend);
+
+    for (int ms : {0, -5}) {
+        serve::Request dead;
+        dead.prompt = {1, 2, 3};
+        dead.max_new_tokens = 4;
+        dead.deadline = std::chrono::milliseconds(ms);
+        EXPECT_THROW(server.submit(std::move(dead)),
+                     serve::DeadlineExpiredError);
+    }
+    serve::MetricsSnapshot snap = server.metrics();
+    EXPECT_EQ(snap.rejected_expired, 2u);
+    EXPECT_EQ(snap.submitted, 0u);
+    EXPECT_EQ(server.queueDepth(), 0u); // never occupied a slot
+}
+
+TEST(Serve, BackpressureShedsLoadAtMaxQueueDepth)
+{
+    nn::TransformerClassifier model(lmConfig());
+    nn::IdealBackend backend;
+    serve::ServerConfig scfg;
+    scfg.max_queue_depth = 2;
+    serve::Server server(model, backend, scfg);
+
+    auto makeRequest = [&](uint64_t id) {
+        serve::Request req;
+        req.prompt = promptFor(id, 3, model.config().vocab_size);
+        req.max_new_tokens = 3;
+        return req;
+    };
+    // Manual mode: nothing drains the queue while we fill it.
+    auto f0 = server.submit(makeRequest(0));
+    auto f1 = server.submit(makeRequest(1));
+    EXPECT_THROW(server.submit(makeRequest(2)),
+                 serve::QueueSaturatedError);
+    // The saturated error is also a SubmitRejectedError — callers can
+    // catch the retryable family without enumerating subtypes.
+    try {
+        server.submit(makeRequest(3));
+        FAIL() << "expected QueueSaturatedError";
+    } catch (const serve::SubmitRejectedError &) {
+    }
+
+    server.runUntilIdle();
+    EXPECT_EQ(f0.get().generated.size(), 3u);
+    EXPECT_EQ(f1.get().generated.size(), 3u);
+    serve::MetricsSnapshot snap = server.metrics();
+    EXPECT_EQ(snap.rejected_queue_full, 2u);
+    EXPECT_EQ(snap.submitted, 2u);
+    EXPECT_EQ(snap.completed, 2u);
+    // Once the queue drained, submits flow again.
+    auto f4 = server.submit(makeRequest(4));
+    server.runUntilIdle();
+    EXPECT_EQ(f4.get().generated.size(), 3u);
+}
+
+TEST(Serve, EngineFaultSoakEveryFutureResolvesBitIdentically)
+{
+    // The serve-level soak of the fault PR: a faulty replica detected,
+    // retried, and quarantined mid-flight under a threaded server.
+    // Every future resolves, the drain is clean, and tokens + logits
+    // match a fault-free server run bit-exactly (recovery re-executes
+    // on healthy replicas whose noise is replica-independent).
+    nn::TransformerClassifier model(lmConfig());
+    const size_t kRequests = 6, kNew = 5;
+
+    auto runServer = [&](nn::ExecutionEngine &engine) {
+        serve::ServerConfig scfg;
+        scfg.scheduler.max_batch = 4;
+        scfg.quant = nn::QuantConfig::w8a8();
+        serve::Server server(model, engine, scfg);
+        server.start();
+        std::vector<std::future<serve::RequestResult>> futures;
+        for (uint64_t id = 0; id < kRequests; ++id) {
+            serve::Request req;
+            req.prompt = promptFor(id, 4, model.config().vocab_size);
+            req.max_new_tokens = kNew;
+            req.record_logits = true;
+            req.request_id = id;
+            futures.push_back(server.submit(std::move(req)));
+        }
+        std::vector<serve::RequestResult> results;
+        for (auto &f : futures)
+            results.push_back(f.get());
+        server.drain();
+        return results;
+    };
+
+    nn::EngineConfig faulty;
+    faulty.dptc = noisyDptc();
+    faulty.mode = core::EvalMode::Noisy;
+    faulty.num_cores = 4;
+    faulty.faults.enabled = true;
+    faulty.faults.replicas.resize(4);
+    faulty.faults.replicas[1].dead = true;
+    nn::ExecutionEngine faulty_engine(faulty);
+
+    nn::EngineConfig clean = faulty;
+    clean.faults = core::FaultConfig{};
+    nn::ExecutionEngine clean_engine(clean);
+
+    std::vector<serve::RequestResult> got = runServer(faulty_engine);
+    std::vector<serve::RequestResult> want = runServer(clean_engine);
+    ASSERT_EQ(got.size(), kRequests);
+    for (size_t i = 0; i < kRequests; ++i) {
+        EXPECT_FALSE(got[i].expired);
+        EXPECT_EQ(got[i].generated, want[i].generated) << "req " << i;
+        ASSERT_EQ(got[i].step_logits.size(),
+                  want[i].step_logits.size());
+        for (size_t s = 0; s < got[i].step_logits.size(); ++s)
+            EXPECT_EQ(got[i].step_logits[s].maxAbsDiff(
+                          want[i].step_logits[s]),
+                      0.0)
+                << "req " << i << " step " << s;
+    }
+    nn::EngineStatus status = faulty_engine.status();
+    EXPECT_GT(status.faults_detected, 0u);
+    EXPECT_GT(status.fault_retries, 0u);
+    EXPECT_EQ(status.quarantined_replicas, 1u); // dead replica benched
+    EXPECT_EQ(clean_engine.status().faults_detected, 0u);
+}
+
+TEST(Serve, PersistentEngineFailureFailsRequestsNotTheServer)
+{
+    // Every replica dead and quarantine out of reach: prefill faults
+    // exhaust the engine's tile retries AND the scheduler's bounded
+    // step retries, so each request fails on ITS future — the server
+    // survives, later submits still work, and every KV pool block
+    // comes back.
+    nn::TransformerClassifier model(lmConfig());
+    nn::EngineConfig ecfg;
+    ecfg.dptc = noisyDptc();
+    ecfg.mode = core::EvalMode::Noisy;
+    ecfg.num_cores = 2;
+    ecfg.faults.enabled = true;
+    ecfg.faults.replicas.resize(2);
+    for (auto &r : ecfg.faults.replicas)
+        r.dead = true;
+    ecfg.fault_policy.max_tile_retries = 1;
+    ecfg.fault_policy.quarantine_threshold = 1000000;
+    nn::ExecutionEngine engine(ecfg);
+
+    serve::ServerConfig scfg;
+    scfg.scheduler.max_batch = 2;
+    scfg.scheduler.step_retry_backoff = std::chrono::milliseconds(0);
+    scfg.kv_pool.num_blocks = 64;
+    serve::Server server(model, engine, scfg);
+
+    const size_t kRequests = 3;
+    std::vector<std::future<serve::RequestResult>> futures;
+    for (uint64_t id = 0; id < kRequests; ++id) {
+        serve::Request req;
+        req.prompt = promptFor(id, 4, model.config().vocab_size);
+        req.max_new_tokens = 3;
+        futures.push_back(server.submit(std::move(req)));
+    }
+    server.runUntilIdle();
+    for (auto &f : futures)
+        EXPECT_THROW(f.get(), nn::EngineFaultError);
+
+    serve::MetricsSnapshot snap = server.metrics();
+    EXPECT_EQ(snap.request_failures, kRequests);
+    EXPECT_EQ(snap.completed, 0u);
+    // The scheduler burned its bounded retries before giving up:
+    // max_step_retries (2) rebuild-and-reprefill attempts apiece.
+    EXPECT_EQ(snap.engine_step_retries, 2 * kRequests);
+    EXPECT_GT(snap.engine_faults_detected, 0u);
+    // Failure released every admission: the pool is whole again.
+    ASSERT_NE(server.kvPool(), nullptr);
+    serve::KvPoolStats pool = server.kvPool()->stats();
+    EXPECT_EQ(pool.free_blocks, pool.total_blocks);
+    EXPECT_EQ(pool.used_blocks, 0u);
+
+    // The server is still alive and still failing politely.
+    auto late = server.submit([&] {
+        serve::Request req;
+        req.prompt = promptFor(99, 4, model.config().vocab_size);
+        req.max_new_tokens = 2;
+        return req;
+    }());
+    server.runUntilIdle();
+    EXPECT_THROW(late.get(), nn::EngineFaultError);
+    EXPECT_EQ(server.metrics().request_failures, kRequests + 1);
 }
 
 } // namespace
