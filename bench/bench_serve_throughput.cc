@@ -3,15 +3,17 @@
  * Continuous-batching serve throughput: the serve::Server driving the
  * noisy photonic engine across a concurrency sweep {1, 2, 4, 8, 16}.
  *
- * For every concurrency level the bench (a) serves C requests through
- * the fused BatchedDecoder path and measures tokens/s, TTFT, and
- * per-token latency percentiles, (b) VERIFIES the headline contract —
- * each request's per-step logits are bit-identical to a solo
- * InferenceSession run on a fresh same-config engine — and (c) probes
- * the dispatch bound: a fused decode step must issue the same number
- * of engine gemmBatch calls (8*depth + 1) whatever the batch size,
- * i.e. O(layers), not O(layers x requests). Any mismatch exits
- * nonzero, which is what the CI smoke keys on.
+ * For every concurrency level the bench (a) serves C requests with
+ * chunked prefill + stacked-row fusion on and measures tokens/s,
+ * TTFT, per-token latency percentiles, and the worst per-request
+ * token gap, (b) VERIFIES the headline contract — each request's
+ * per-step logits are bit-identical to a solo InferenceSession run
+ * (whole-prompt prefillChunk ingestion) on a fresh same-config engine
+ * — and (c) probes the dispatch bound: a fused decode step must issue
+ * 2*depth gemmBatch calls (QK^T + AV) plus 6*depth+1 stacked-row
+ * calls whatever the batch size, i.e. O(layers), not O(layers x
+ * requests). Any mismatch exits nonzero, which is what the CI smoke
+ * keys on.
  *
  * On top of the sweep, a fixed-memory-budget comparison exercises the
  * paged KV block pool (serve/kv_pool): the same concurrency and block
@@ -33,18 +35,23 @@
  *
  * Usage: bench_serve_throughput [--csv] [--json [path]]
  *                               [--concurrency N] [--pool-smoke]
- *                               [--fault-smoke] [--trace out.json]
+ *                               [--fault-smoke] [--slo-smoke]
+ *                               [--trace out.json]
  *
  * --json writes the committed BENCH_serve.json perf snapshot;
  * --concurrency restricts the sweep (the CI smoke runs one level);
  * --pool-smoke runs ONLY the pool comparison + its gates (the CI
  * memory-budget smoke); --fault-smoke runs ONLY the fault-injection
- * smoke + its gates; --trace serves one extra paged run at the
+ * smoke + its gates; --slo-smoke runs ONLY a conc-16 chunked+fused
+ * serve with nonzero-exit gates on the token p99 (<= half the
+ * committed PR 9 baseline), the per-step dispatch counts, and
+ * bit-identity; --trace serves one extra paged run at the
  * sweep's top concurrency under an obs::TraceRecorder and writes the
  * Chrome/Perfetto trace_event JSON (chrome://tracing loads it as-is),
  * printing the derived per-phase time breakdown.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -69,6 +76,25 @@ using namespace lt;
 
 constexpr size_t kPromptTokens = 8;
 constexpr size_t kNewTokens = 12;
+
+/**
+ * Chunked-prefill chunk size for the sweep and the SLO smoke. At the
+ * sweep's top concurrency a whole-prompt prefill stalls every
+ * in-flight decoder for ~kPromptTokens sequential forwards; 2-token
+ * chunks bound that stall to one quarter of it per tick while keeping
+ * the per-tick chunk overhead small.
+ */
+constexpr size_t kPrefillChunkTokens = 2;
+
+/**
+ * The SLO smoke's latency budget: the committed PR 9 BENCH_serve.json
+ * conc-16 token p99 (whole-prompt prefill, per-row dispatch) was
+ * 168.872 ms; chunked prefill + block-diagonal fusion must at least
+ * halve it.
+ */
+constexpr double kSloBaselineTokenP99Ms = 168.872;
+constexpr double kSloTokenP99BudgetMs = kSloBaselineTokenP99Ms / 2.0;
+constexpr size_t kSloConcurrency = 16;
 
 // Pool geometry shared by the fixed-memory-budget comparison and the
 // traced run.
@@ -130,9 +156,15 @@ struct Row
     double fast_tokens_per_s;   ///< same sweep, Fast noise sampler
     size_t fast_gaussian_draws;
     bool fast_bit_identical;    ///< Fast solo == Fast batched
-    size_t batch_calls_per_step;
-    bool o_layers; ///< dispatch count independent of batch size
+    size_t batch_calls_per_step;   ///< gemmBatch: QK^T + AV only
+    size_t stacked_calls_per_step; ///< stacked-row fused projections
+    bool o_layers; ///< dispatch counts independent of batch size
     bool bit_identical;
+
+    /** Worst per-request gap between consecutive tokens (ms) across
+     *  the closed-loop clients — the p99 tail chunked prefill kills. */
+    double token_max_gap_ms;
+    size_t prefill_chunks; ///< chunks executed over the whole run
 
     // Where the run's scheduler-tick time went (cumulative ms, from
     // Metrics::onTickPhases — measured with tracing OFF) and how many
@@ -529,8 +561,14 @@ printFaultSmoke(std::ostream &os, const FaultSmokeOutcome &fs)
        << (fs.request_failures == 0 ? "ok" : "FAIL") << "\n";
 }
 
-/** One decode step's engine gemmBatch dispatch count at batch size n. */
-size_t
+/** One decode step's engine dispatch counts at batch size n. */
+struct Dispatches
+{
+    size_t batch_calls = 0;   ///< fused gemmBatch (QK^T + AV)
+    size_t stacked_calls = 0; ///< stacked-row projections + head
+};
+
+Dispatches
 probeDispatches(const nn::TransformerClassifier &model, size_t n)
 {
     nn::ExecutionEngine engine(dptcConfig(), core::EvalMode::Noisy);
@@ -547,7 +585,10 @@ probeDispatches(const nn::TransformerClassifier &model, size_t n)
     }
     engine.resetStats();
     nn::BatchedDecoder::step(ptrs, feed);
-    return engine.stats().batch_calls.load();
+    Dispatches d;
+    d.batch_calls = engine.stats().batch_calls.load();
+    d.stacked_calls = engine.stats().stacked_calls.load();
+    return d;
 }
 
 } // namespace
@@ -559,6 +600,7 @@ main(int argc, char **argv)
     bool json = false;
     bool pool_smoke = false;
     bool fault_smoke = false;
+    bool slo_smoke = false;
     std::string json_path = "BENCH_serve.json";
     std::string trace_path;
     std::vector<size_t> sweep{1, 2, 4, 8, 16};
@@ -576,20 +618,29 @@ main(int argc, char **argv)
             pool_smoke = true;
         } else if (arg == "--fault-smoke") {
             fault_smoke = true;
+        } else if (arg == "--slo-smoke") {
+            slo_smoke = true;
         } else if (arg == "--trace" && i + 1 < argc) {
             trace_path = argv[++i];
         } else {
             std::cerr << "usage: bench_serve_throughput [--csv] "
                          "[--json [path]] [--concurrency N] "
                          "[--pool-smoke] [--fault-smoke] "
-                         "[--trace out.json]\n";
+                         "[--slo-smoke] [--trace out.json]\n";
             return 2;
         }
     }
 
     nn::TransformerClassifier model(modelConfig());
     const nn::QuantConfig quant = nn::QuantConfig::w8a8();
-    const size_t expected_dispatches = 8 * model.config().depth + 1;
+    // Block-diagonal fusion folds the 6 projection row-batches per
+    // layer plus the LM head into stacked dispatches; only QK^T and
+    // AV remain as gemmBatch calls. The PR 9 baseline was 8*depth+1
+    // gemmBatch calls per step.
+    const size_t depth = model.config().depth;
+    const size_t expected_batches = 2 * depth;
+    const size_t expected_stacked = 6 * depth + 1;
+    const size_t batch_dispatch_gate = 2 * depth + 3;
 
     std::vector<Row> rows;
     bool all_ok = true;
@@ -630,15 +681,20 @@ main(int argc, char **argv)
         return fs.ok() ? 0 : 1;
     }
 
-    // Serve one full sweep level through a fresh server and verify
-    // every request solo-vs-batched bit-for-bit on a same-sampler
-    // solo engine. Both samplers satisfy the identity: per-request
-    // noise lanes are counter-derived, so determinism never depends
-    // on which generator backs the draws.
+    // Serve one full sweep level through a fresh server — chunked
+    // prefill + stacked-row fusion on, the new serve-path default —
+    // and verify every request solo-vs-batched bit-for-bit on a
+    // same-sampler solo engine. Both samplers satisfy the identity:
+    // per-request noise lanes are counter-derived, so determinism
+    // never depends on which generator backs the draws. The solo
+    // reference ingests its prompt as ONE prefillChunk: chunked
+    // ingestion is bit-identical for ANY chunking, but is a different
+    // quantization schedule than the whole-sequence prefill forward.
     struct ServeOutcome
     {
         double wall_s;
         bool identical;
+        double token_max_gap_ms; ///< worst request, worst gap
         serve::MetricsSnapshot snap;
     };
     auto serveOnce = [&](size_t concurrency,
@@ -647,6 +703,7 @@ main(int argc, char **argv)
                                    core::EvalMode::Noisy);
         serve::ServerConfig scfg;
         scfg.scheduler.max_batch = concurrency;
+        scfg.scheduler.prefill_chunk_tokens = kPrefillChunkTokens;
         scfg.quant = quant;
         serve::Server server(model, engine, scfg);
 
@@ -666,13 +723,17 @@ main(int argc, char **argv)
         // Solo-vs-batched verification: greedy chain AND every step's
         // logits, bit-for-bit, per request.
         bool identical = true;
+        double max_gap_ms = 0.0;
         for (uint64_t id = 0; id < concurrency; ++id) {
             serve::RequestResult result = futures[id].get();
+            max_gap_ms = std::max(max_gap_ms, result.token_max_gap_ms);
             nn::ExecutionEngine solo_engine(dptcConfig(sampler),
                                             core::EvalMode::Noisy);
             nn::InferenceSession solo(model, solo_engine, quant, id);
+            const std::vector<int> prompt =
+                promptFor(id, model.config().vocab_size);
             Matrix logits =
-                solo.prefill(promptFor(id, model.config().vocab_size));
+                solo.prefillChunk(prompt, 0, prompt.size());
             std::vector<int> generated{
                 static_cast<int>(nn::argmaxRow(logits, 0))};
             identical &=
@@ -692,9 +753,46 @@ main(int argc, char **argv)
         outcome.wall_s =
             std::chrono::duration<double>(t1 - t0).count();
         outcome.identical = identical;
+        outcome.token_max_gap_ms = max_gap_ms;
         outcome.snap = server.metrics();
         return outcome;
     };
+
+    if (slo_smoke) {
+        // CI latency-SLO smoke: conc-16 serve with chunked prefill +
+        // stacked-row fusion on must (a) at least halve the committed
+        // PR 9 token p99, (b) keep the per-step gemmBatch dispatch
+        // count at the fused bound, (c) stay bit-identical to solo.
+        ServeOutcome outcome =
+            serveOnce(kSloConcurrency, core::NoiseSampler::BitExact);
+        Dispatches d = probeDispatches(model, kSloConcurrency);
+        const bool p99_ok =
+            outcome.snap.token_p99_ms <= kSloTokenP99BudgetMs;
+        const bool dispatch_ok =
+            d.batch_calls <= batch_dispatch_gate &&
+            d.stacked_calls == expected_stacked;
+        std::cout << "slo smoke: concurrency " << kSloConcurrency
+                  << ", prefill chunk " << kPrefillChunkTokens
+                  << " tokens, token p99 "
+                  << units::fmtFixed(outcome.snap.token_p99_ms, 3)
+                  << " ms (budget "
+                  << units::fmtFixed(kSloTokenP99BudgetMs, 3)
+                  << " ms = 0.5 x " << kSloBaselineTokenP99Ms
+                  << " baseline), max token gap "
+                  << units::fmtFixed(outcome.token_max_gap_ms, 3)
+                  << " ms, prefill chunks "
+                  << outcome.snap.prefill_chunks
+                  << ", dispatches/step " << d.batch_calls
+                  << " batch (gate <= " << batch_dispatch_gate
+                  << ") + " << d.stacked_calls << " stacked (= "
+                  << expected_stacked << ")\n"
+                  << "gates: token_p99<=budget="
+                  << (p99_ok ? "ok" : "FAIL") << " dispatches="
+                  << (dispatch_ok ? "ok" : "FAIL")
+                  << " bit_identical="
+                  << (outcome.identical ? "ok" : "FAIL") << "\n";
+        return (p99_ok && dispatch_ok && outcome.identical) ? 0 : 1;
+    }
 
     for (size_t concurrency : sweep) {
         ServeOutcome exact =
@@ -723,10 +821,14 @@ main(int argc, char **argv)
         row.fast_gaussian_draws = fast.snap.engine_gaussian_draws;
         row.fast_bit_identical = fast.identical;
         bool identical = exact.identical;
-        row.batch_calls_per_step = probeDispatches(model, concurrency);
-        row.o_layers =
-            row.batch_calls_per_step == expected_dispatches;
+        Dispatches d = probeDispatches(model, concurrency);
+        row.batch_calls_per_step = d.batch_calls;
+        row.stacked_calls_per_step = d.stacked_calls;
+        row.o_layers = d.batch_calls == expected_batches &&
+                       d.stacked_calls == expected_stacked;
         row.bit_identical = identical;
+        row.token_max_gap_ms = exact.token_max_gap_ms;
+        row.prefill_chunks = snap.prefill_chunks;
         row.tick_admission_ms = snap.tick_admission_ms;
         row.tick_prefill_ms = snap.tick_prefill_ms;
         row.tick_decode_ms = snap.tick_decode_ms;
@@ -764,7 +866,9 @@ main(int argc, char **argv)
                      "weight_encode_hits,weight_encode_misses,"
                      "kv_encode_hits,kv_encode_misses,"
                      "gaussian_draws,fast_gaussian_draws,"
-                     "batch_calls_per_step,o_layers,bit_identical,"
+                     "batch_calls_per_step,stacked_calls_per_step,"
+                     "token_max_gap_ms,prefill_chunks,o_layers,"
+                     "bit_identical,"
                      "fast_bit_identical,tick_admission_ms,"
                      "tick_prefill_ms,tick_decode_ms,tick_pool_ms,"
                      "trace_dropped_events\n";
@@ -782,6 +886,9 @@ main(int argc, char **argv)
                       << r.gaussian_draws << ","
                       << r.fast_gaussian_draws << ","
                       << r.batch_calls_per_step << ","
+                      << r.stacked_calls_per_step << ","
+                      << r.token_max_gap_ms << ","
+                      << r.prefill_chunks << ","
                       << (r.o_layers ? 1 : 0) << ","
                       << (r.bit_identical ? 1 : 0) << ","
                       << (r.fast_bit_identical ? 1 : 0) << ","
@@ -825,8 +932,8 @@ main(int argc, char **argv)
             "Continuous-batching serve throughput (noisy engine)");
         Table table({"concurrency", "wall [s]", "tokens/s",
                      "fast tok/s", "TTFT p50 [ms]", "token p50 [ms]",
-                     "token p99 [ms]", "gauss draws",
-                     "gemmBatch/step", "bit-identical"});
+                     "token p99 [ms]", "max gap [ms]",
+                     "batch+stacked/step", "bit-identical"});
         for (const Row &r : rows)
             table.addRow(
                 {std::to_string(r.concurrency),
@@ -836,9 +943,11 @@ main(int argc, char **argv)
                  units::fmtFixed(r.ttft_p50_ms, 2),
                  units::fmtFixed(r.token_p50_ms, 2),
                  units::fmtFixed(r.token_p99_ms, 2),
-                 std::to_string(r.gaussian_draws),
-                 std::to_string(r.batch_calls_per_step) +
-                     (r.o_layers ? " (= 8L+1)" : " (NOT O(layers))"),
+                 units::fmtFixed(r.token_max_gap_ms, 2),
+                 std::to_string(r.batch_calls_per_step) + "+" +
+                     std::to_string(r.stacked_calls_per_step) +
+                     (r.o_layers ? " (= 2L, 6L+1)"
+                                 : " (NOT O(layers))"),
                  std::string(r.bit_identical ? "yes" : "NO") + "/" +
                      (r.fast_bit_identical ? "yes" : "NO")});
         table.print(std::cout);
@@ -846,14 +955,19 @@ main(int argc, char **argv)
             << "\nEvery request's logits are checked bit-for-bit "
                "against a solo session on its\nown noise lane — for "
                "the bit-exact sampler AND the fast Ziggurat sampler\n"
-               "(the bit-identical column is exact/fast); the "
-               "fused decode step dispatches\n8*depth+1 engine "
-               "batches at every concurrency (O(layers), not "
-               "O(layers x\nrequests)). Prompt "
-            << kPromptTokens << " tokens, " << kNewTokens
-            << " generated per request. Wall time\nincludes prefills "
-               "and verification-free serving only; the container "
-               "may\nexpose a single hardware thread.\n";
+               "(the bit-identical column is exact/fast). Chunked "
+               "prefill ("
+            << kPrefillChunkTokens
+            << "-token chunks)\ninterleaves prompt ingestion with "
+               "decode; block-diagonal fusion stacks the\nbatch's "
+               "projection rows, so a fused step dispatches 2*depth "
+               "gemmBatches plus\n6*depth+1 stacked calls at every "
+               "concurrency (O(layers), not O(layers x\nrequests); "
+               "the PR 9 baseline was 8*depth+1 gemmBatches). Prompt "
+            << kPromptTokens << " tokens,\n" << kNewTokens
+            << " generated per request. Wall time includes prefills "
+               "and verification-free\nserving only; the container "
+               "may expose a single hardware thread.\n";
 
         printBanner(std::cout,
                     "Paged KV memory: fixed budget of " +
@@ -907,8 +1021,12 @@ main(int argc, char **argv)
             << "  \"model\": \"dim32-depth2-heads2-vocab64\",\n"
             << "  \"prompt_tokens\": " << kPromptTokens << ",\n"
             << "  \"new_tokens_per_request\": " << kNewTokens << ",\n"
+            << "  \"prefill_chunk_tokens\": " << kPrefillChunkTokens
+            << ",\n"
             << "  \"expected_batches_per_step\": "
-            << expected_dispatches << ",\n"
+            << expected_batches << ",\n"
+            << "  \"expected_stacked_per_step\": "
+            << expected_stacked << ",\n"
             << "  \"hardware_threads\": "
             << std::thread::hardware_concurrency() << ",\n"
             << "  \"rows\": [\n";
@@ -933,6 +1051,10 @@ main(int argc, char **argv)
                 << r.fast_gaussian_draws
                 << ", \"batch_calls_per_step\": "
                 << r.batch_calls_per_step
+                << ", \"stacked_calls_per_step\": "
+                << r.stacked_calls_per_step
+                << ", \"token_max_gap_ms\": " << r.token_max_gap_ms
+                << ", \"prefill_chunks\": " << r.prefill_chunks
                 << ", \"bit_identical\": "
                 << (r.bit_identical ? "true" : "false")
                 << ", \"fast_bit_identical\": "

@@ -163,6 +163,27 @@ class Dptc
                    uint64_t *gaussian_draws = nullptr) const;
 
     /**
+     * STACKED-ROW KERNEL: one row of a stacked A-side operand
+     * (encodeStackedRows) against a shared B-side plan, over column
+     * tiles [tile_begin, tile_end). The row is executed EXACTLY as if
+     * it were the single row of its own [1, k] encode: tile indices,
+     * per-tile noise seeding (deriveSeed(stream_seed, tc)), k-slice
+     * order, and draw counts all match the solo product, so the
+     * stacked dispatch is bit-identical per row to N independent
+     * row-GEMMs — each row just carries its own stream seed (the
+     * request's noise lane) into one shared dispatch. `scale` is
+     * a.rowBeta(row) * b.beta(). Writes accumulate into out's row
+     * `row`; `out` must be [a.rows(), b.cols()] and zero-filled in the
+     * covered region. Thread-safe for disjoint (row, tile) regions.
+     */
+    void gemmRowStackedTiles(const EncodedOperand &a, size_t row,
+                             const EncodedOperand &b, EvalMode mode,
+                             double scale, size_t tile_begin,
+                             size_t tile_end, Matrix &out,
+                             uint64_t stream_seed,
+                             uint64_t *gaussian_draws = nullptr) const;
+
+    /**
      * Prepare one operand for the packed kernel: beta normalization
      * (maxAbs), DAC quantization to input_bits, and the side-specific
      * packed layout, fused in one pass. Ideal mode encodes raw values
@@ -182,6 +203,18 @@ class Dptc
     {
         return encode(m.view(), side, mode);
     }
+
+    /**
+     * Encode N single-row operands as one stacked [N, k] A-side
+     * operand for gemmRowStackedTiles: row r is beta-normalized and
+     * quantized against its OWN max-abs (recorded as rowBeta(r)), so
+     * every stored row is bit-identical to the row of a solo [1, k]
+     * encode of the same values. The shared beta() is meaningless for
+     * a stacked operand (set to 1.0); consumers scale per row.
+     */
+    EncodedOperand
+    encodeStackedRows(const std::vector<ConstMatrixView> &rows,
+                      EvalMode mode) const;
 
     /** True when `op` was encoded compatibly with this core + mode. */
     bool acceptsEncoded(const EncodedOperand &op, EvalMode mode) const;
@@ -240,13 +273,15 @@ class Dptc
      * rows*cols eps draws batch through one bulk fill (the draws are
      * consecutive in the stream, so this is sequence-exact).
      * Instantiated for Rng and FastRng; the channel-calibrated path
-     * is BitExact-only.
+     * is BitExact-only. `max_rows` caps the row-tile height (cfg_.nh
+     * for full tiles; 1 for the stacked-row kernel, whose operand
+     * holds other requests' rows below r0).
      */
     template <typename RngT>
     void packedSlice(const EncodedOperand &a, const EncodedOperand &b,
-                     size_t r0, size_t tc, size_t tk, EvalMode mode,
-                     double scale, RngT &rng, Matrix &out,
-                     NoiseScratch &scratch) const;
+                     size_t r0, size_t max_rows, size_t tc, size_t tk,
+                     EvalMode mode, double scale, RngT &rng,
+                     Matrix &out, NoiseScratch &scratch) const;
 
     DptcConfig cfg_;
     DDot ddot_;

@@ -672,6 +672,109 @@ ExecutionEngine::gemmBatch(
 }
 
 std::vector<Matrix>
+ExecutionEngine::gemmRowStacked(const std::vector<ConstMatrixView> &rows,
+                                const core::EncodedOperand &w,
+                                const std::vector<uint64_t> &streams)
+{
+    if (rows.empty())
+        return {};
+    if (streams.size() != rows.size())
+        lt_fatal("gemmRowStacked: ", streams.size(), " streams for ",
+                 rows.size(), " rows");
+    for (const ConstMatrixView &r : rows) {
+        if (r.rows() != 1)
+            lt_fatal("gemmRowStacked: every stacked operand must be "
+                     "a single row, got ", r.rows(), " rows");
+        validateEncoded(r, w);
+    }
+    stats_.stacked_calls.fetch_add(1, std::memory_order_relaxed);
+    obs::TraceScope span(
+        "engine/gemmRowStacked", obs::kNoRequest, "rows",
+        static_cast<int64_t>(rows.size()), "macs",
+        static_cast<int64_t>(rows.size() * rows.front().cols() *
+                             w.cols()));
+    for (const ConstMatrixView &r : rows) {
+        stats_.record(1, r.cols(), w.cols());
+        recordEncodedHit(w);
+    }
+
+    const size_t n = rows.size();
+    const core::Dptc &proto = cores_.front();
+    std::vector<uint64_t> seeds(n);
+    for (size_t i = 0; i < n; ++i)
+        seeds[i] = deriveSeed(cfg_.dptc.seed, streams[i]);
+
+    if (fault_active_) {
+        // Checked dispatch verifies per product: fusion is forfeited
+        // while the fault layer is armed, results stay bit-identical
+        // (the checked path is pinned against the unchecked one).
+        std::vector<Matrix> results(n);
+        for (size_t i = 0; i < n; ++i) {
+            core::EncodedOperand ea = proto.encode(
+                rows[i], core::OperandSide::A, cfg_.mode);
+            results[i] = gemmOneProductChecked(
+                ea, w, /*parallel_tiles=*/true, seeds[i]);
+        }
+        return results;
+    }
+
+    // One stacked encode for all rows (per-row betas), one tall
+    // output; (row, column-tile) units shard across the replicas.
+    core::EncodedOperand stacked =
+        proto.encodeStackedRows(rows, cfg_.mode);
+    auto cdiv = [](size_t a, size_t b) { return (a + b - 1) / b; };
+    const size_t tiles_c = cdiv(w.cols(), cfg_.dptc.nv);
+    const core::EvalMode mode = cfg_.mode;
+    const double wbeta = w.beta();
+    Matrix tall(n, w.cols(), 0.0);
+
+    const size_t units = n * tiles_c;
+    uint64_t draws = 0;
+    if (units < 2 || cores_.size() == 1) {
+        for (size_t i = 0; i < n; ++i)
+            proto.gemmRowStackedTiles(stacked, i, w, mode,
+                                      stacked.rowBeta(i) * wbeta, 0,
+                                      tiles_c, tall, seeds[i], &draws);
+    } else {
+        // Units own disjoint (row, tile) output regions and every
+        // tile's noise is (stream, tile)-seeded, so the shard split
+        // affects wall-clock only, never the result.
+        std::vector<uint64_t> shard_draws(cores_.size(), 0);
+        ThreadPool::global().parallelFor(
+            units,
+            [&](size_t begin, size_t end, size_t shard) {
+                const core::Dptc &replica =
+                    cores_[shard % cores_.size()];
+                uint64_t *sd = &shard_draws[shard % cores_.size()];
+                for (size_t u = begin; u < end; ++u) {
+                    const size_t i = u / tiles_c;
+                    const size_t tc = u % tiles_c;
+                    replica.gemmRowStackedTiles(
+                        stacked, i, w, mode,
+                        stacked.rowBeta(i) * wbeta, tc, tc + 1, tall,
+                        seeds[i], sd);
+                }
+            },
+            cores_.size());
+        for (uint64_t d : shard_draws)
+            draws += d;
+    }
+    if (draws != 0)
+        stats_.gaussian_draws.fetch_add(draws,
+                                        std::memory_order_relaxed);
+
+    std::vector<Matrix> results;
+    results.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        Matrix r(1, w.cols());
+        for (size_t c = 0; c < w.cols(); ++c)
+            r(0, c) = tall(i, c);
+        results.push_back(std::move(r));
+    }
+    return results;
+}
+
+std::vector<Matrix>
 ExecutionEngine::gemmBatchImpl(
     const std::vector<ProductRef> &products,
     const std::function<uint64_t(size_t)> &streamOf)

@@ -164,6 +164,17 @@ struct EngineConfig
     bool kv_plans = true;
 
     /**
+     * Fuse N requests' single-row projections into one stacked
+     * dispatch (supportsRowStacking()): the serve decode fusion that
+     * lets one DPTC tile carry rows from several requests. Off forces
+     * the per-row gemmBatch path — the "fusion off" baseline of
+     * bench_serve_throughput's dispatch-count comparison. Results are
+     * bit-identical either way (per-row betas + per-row stream
+     * seeding reproduce each solo product exactly).
+     */
+    bool row_stacking = true;
+
+    /**
      * Per-replica fault injection (core::FaultModel). Disabled by
      * default: the engine takes the exact pre-fault dispatch path
      * (one branch per product) and every golden digest and perf
@@ -270,6 +281,26 @@ class ExecutionEngine : public GemmBackend
                   std::pair<ConstMatrixView,
                             const core::EncodedOperand *>> &products,
               const std::vector<uint64_t> &streams) override;
+
+    // ---- stacked-row fused dispatch ------------------------------
+    // Block-diagonal fusion for the serve decode regime: N requests'
+    // [1, k] rows execute as one tall dispatch against the shared
+    // pre-encoded weight, sharding (row, column-tile) units across
+    // the replicas. Row i keeps its own beta and its own stream
+    // seed, so result i is bit-identical to gemm(rows[i], w,
+    // streams[i]) — the fusion changes dispatch count and tile
+    // occupancy, never values.
+
+    bool
+    supportsRowStacking() const override
+    {
+        return cfg_.weight_plans && cfg_.row_stacking;
+    }
+
+    std::vector<Matrix>
+    gemmRowStacked(const std::vector<ConstMatrixView> &rows,
+                   const core::EncodedOperand &w,
+                   const std::vector<uint64_t> &streams) override;
 
     // ---- encoded K/V caches --------------------------------------
 

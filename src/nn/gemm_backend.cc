@@ -51,6 +51,18 @@ GemmBackend::gemmBatch(
              "weight-plan support (check supportsWeightPlans() first)");
 }
 
+std::vector<Matrix>
+GemmBackend::gemmRowStacked(const std::vector<ConstMatrixView> &rows,
+                            const core::EncodedOperand &w,
+                            const std::vector<uint64_t> &streams)
+{
+    (void)rows;
+    (void)w;
+    (void)streams;
+    lt_fatal("gemmRowStacked on a backend without row-stacking "
+             "support (check supportsRowStacking() first)");
+}
+
 void
 GemmBackend::encodeKvInto(core::EncodedOperand &op,
                           const ConstMatrixView &m,
@@ -186,6 +198,21 @@ core::EncodedOperand
 PhotonicBackend::encodeWeight(const Matrix &w)
 {
     return engine_->encodeWeight(w);
+}
+
+bool
+PhotonicBackend::supportsRowStacking() const
+{
+    return engine_->supportsRowStacking();
+}
+
+std::vector<Matrix>
+PhotonicBackend::gemmRowStacked(
+    const std::vector<ConstMatrixView> &rows,
+    const core::EncodedOperand &w,
+    const std::vector<uint64_t> &streams)
+{
+    return engine_->gemmRowStacked(rows, w, streams);
 }
 
 bool

@@ -109,6 +109,16 @@ struct GemmStats
     std::atomic<size_t> batch_calls{0};
 
     /**
+     * gemmRowStacked invocations (one per stacked dispatch, however
+     * many request rows it carries). The tile-packing acceptance
+     * metric of the block-diagonal fusion path: a fused decode step
+     * dispatches 6·depth+1 stacked projections plus 2·depth attention
+     * batches, so total dispatches/step drop from 8·depth+1 to
+     * 2·depth + (stacked) — bench_serve_throughput gates it.
+     */
+    std::atomic<size_t> stacked_calls{0};
+
+    /**
      * Encoded-operand cache effectiveness, split by operand class so
      * a dead K/V cache fails as loudly as a dead weight cache:
      *
@@ -178,6 +188,7 @@ struct GemmStats
         calls.store(0, std::memory_order_relaxed);
         macs.store(0, std::memory_order_relaxed);
         batch_calls.store(0, std::memory_order_relaxed);
+        stacked_calls.store(0, std::memory_order_relaxed);
         weight_encode_hits.store(0, std::memory_order_relaxed);
         weight_encode_misses.store(0, std::memory_order_relaxed);
         kv_encode_hits.store(0, std::memory_order_relaxed);
@@ -341,6 +352,33 @@ class GemmBackend
                             const core::EncodedOperand *>> &products,
               const std::vector<uint64_t> &streams);
 
+    // ---- stacked-row dispatch (block-diagonal fusion) ------------
+    //
+    // The serve decode regime runs N requests' [1, k] activations
+    // against the SAME pre-encoded weight — N row-GEMMs whose rows
+    // would each occupy one mostly-empty Nh-row DPTC tile. A backend
+    // with supportsRowStacking() accepts all N rows in ONE dispatch:
+    // it stacks them into a tall [N, k] operand (per-row betas, so
+    // each row's quantization matches its solo encode) and executes
+    // row i with stream streams[i]'s noise addressing, letting one
+    // DPTC tile carry rows from several requests. Results are
+    // bit-identical per row to gemm(rows[i], w, streams[i]).
+
+    /** True when this backend fuses stacked row dispatches. */
+    virtual bool supportsRowStacking() const { return false; }
+
+    /**
+     * One stacked dispatch of N single-row products against a shared
+     * pre-encoded weight: result i equals gemm(rows[i], w,
+     * streams[i]) bit-for-bit. Counts one stacked_call plus the
+     * per-row call/hit counters. Only valid on backends with
+     * supportsRowStacking().
+     */
+    virtual std::vector<Matrix>
+    gemmRowStacked(const std::vector<ConstMatrixView> &rows,
+                   const core::EncodedOperand &w,
+                   const std::vector<uint64_t> &streams);
+
     // ---- encoded K/V caches (growing activation operands) --------
     //
     // The decode K/V caches are *dynamic* operands that grow by one
@@ -453,6 +491,12 @@ class PhotonicBackend : public GemmBackend
 
     bool supportsWeightPlans() const override;
     core::EncodedOperand encodeWeight(const Matrix &w) override;
+
+    bool supportsRowStacking() const override;
+    std::vector<Matrix>
+    gemmRowStacked(const std::vector<ConstMatrixView> &rows,
+                   const core::EncodedOperand &w,
+                   const std::vector<uint64_t> &streams) override;
 
     bool supportsKvPlans() const override;
     void encodeKvInto(core::EncodedOperand &op, const ConstMatrixView &m,

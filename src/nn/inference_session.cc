@@ -128,6 +128,27 @@ InferenceSession::prefill(const std::vector<int> &tokens,
     // Shared-prefix prefill: map the precomputed segments
     // copy-on-write, then run ONLY the suffix tokens — through the
     // incremental decode path, on this request's own noise lane.
+    const size_t p = plan.prefix->length();
+    const size_t tail_reserve = mapPrefix(tokens, plan, reserve_tokens);
+
+    // First suffix token creates the tail mirrors; reserve their
+    // dense backing right after (an append into an empty Matrix
+    // replaces it, so reserving earlier would be lost), then ingest
+    // the rest of the suffix.
+    Matrix logits = decodeStep(tokens[p]);
+    for (AttentionKvCache &kv : kv_)
+        kv.reserve(tail_reserve);
+    for (size_t i = p + 1; i < tokens.size(); ++i)
+        logits = decodeStep(tokens[i]);
+    return logits;
+}
+
+size_t
+InferenceSession::mapPrefix(const std::vector<int> &tokens,
+                            const SessionKvPlan &plan,
+                            size_t reserve_tokens)
+{
+    const TransformerConfig &cfg = model_->config();
     const KvPrefix &prefix = *plan.prefix;
     const size_t p = prefix.length();
     if (p == 0 || prefix.layers.size() != kv_.size())
@@ -182,15 +203,85 @@ InferenceSession::prefill(const std::vector<int> &tokens,
     tokens_.assign(tokens.begin(),
                    tokens.begin() + static_cast<std::ptrdiff_t>(p));
     len_ = p;
+    return tail_reserve;
+}
 
-    // First suffix token creates the tail mirrors; reserve their
-    // dense backing right after (an append into an empty Matrix
-    // replaces it, so reserving earlier would be lost), then ingest
-    // the rest of the suffix.
-    Matrix logits = decodeStep(tokens[p]);
-    for (AttentionKvCache &kv : kv_)
-        kv.reserve(tail_reserve);
-    for (size_t i = p + 1; i < tokens.size(); ++i)
+Matrix
+InferenceSession::prefillChunk(const std::vector<int> &tokens,
+                               size_t begin, size_t end)
+{
+    return prefillChunk(tokens, begin, end, SessionKvPlan{});
+}
+
+Matrix
+InferenceSession::prefillChunk(const std::vector<int> &tokens,
+                               size_t begin, size_t end,
+                               const SessionKvPlan &plan)
+{
+    obs::TraceScope span("session/prefill_chunk", request_id_,
+                         "begin", static_cast<int64_t>(begin), "end",
+                         static_cast<int64_t>(end));
+    if (tokens.empty())
+        throw std::invalid_argument(
+            "prefillChunk with an empty prompt");
+    if (begin >= end || end > tokens.size())
+        throw std::invalid_argument(
+            "prefillChunk: chunk [" + std::to_string(begin) + ", " +
+            std::to_string(end) + ") out of range for a " +
+            std::to_string(tokens.size()) + "-token prompt");
+    if (begin != len_)
+        throw std::invalid_argument(
+            "prefillChunk: chunk begins at token " +
+            std::to_string(begin) + " but the session holds " +
+            std::to_string(len_) + " tokens");
+    for (size_t i = 0; i < len_; ++i)
+        if (tokens_[i] != tokens[i])
+            throw std::invalid_argument(
+                "prefillChunk: prompt disagrees with the tokens "
+                "already ingested at position " + std::to_string(i));
+    const TransformerConfig &cfg = model_->config();
+    if (tokens.size() > cfg.max_tokens)
+        throw std::invalid_argument(
+            "prefillChunk: prompt of " +
+            std::to_string(tokens.size()) +
+            " tokens exceeds max_tokens = " +
+            std::to_string(cfg.max_tokens));
+
+    Matrix logits;
+    size_t i = begin;
+    if (len_ == 0) {
+        if (!plan.prefix) {
+            // The first token seeds the caches through the one-token
+            // prefill — bit-identical to a decode-path ingest (same
+            // stream draw order, same K/V encode schedule) — carrying
+            // the plan's right-sized reservation.
+            SessionKvPlan first;
+            first.reserve_tokens = plan.reserve_tokens;
+            logits = prefill({tokens[0]}, first);
+            i = 1;
+        } else {
+            // Mapped prefix positions are free; the first chunk must
+            // run at least one real suffix token past them.
+            const size_t p = plan.prefix->length();
+            if (end <= p)
+                throw std::invalid_argument(
+                    "prefillChunk: first chunk ends at token " +
+                    std::to_string(end) +
+                    " inside the shared prefix of " +
+                    std::to_string(p) + " tokens");
+            const size_t reserve_tokens =
+                plan.reserve_tokens == 0
+                    ? cfg.max_tokens
+                    : std::min(plan.reserve_tokens, cfg.max_tokens);
+            const size_t tail_reserve =
+                mapPrefix(tokens, plan, reserve_tokens);
+            logits = decodeStep(tokens[p]);
+            for (AttentionKvCache &kv : kv_)
+                kv.reserve(tail_reserve);
+            i = p + 1;
+        }
+    }
+    for (; i < end; ++i)
         logits = decodeStep(tokens[i]);
     return logits;
 }

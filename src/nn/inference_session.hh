@@ -141,6 +141,40 @@ class InferenceSession
                    const SessionKvPlan &plan);
 
     /**
+     * Resumable partial prefill: ingest prompt tokens [begin, end) of
+     * `tokens`, appending to the session's K/V exactly as the
+     * remaining chunks will — the serve scheduler's chunked-prefill
+     * primitive, letting prompt ingestion interleave with decode
+     * ticks instead of stalling them for the whole prompt.
+     *
+     * Chunks ingest token-by-token through the incremental decode
+     * path on the session's own noise lane; because every position
+     * draws a fixed number of stream ids, the result after the last
+     * chunk is bit-identical for ANY chunking of the same prompt
+     * (chunk size 1 == 3 == one whole-prompt chunk). `begin` must
+     * equal contextLen() (chunks resume where the previous one
+     * stopped; with a shared-prefix plan the mapped prefix counts, so
+     * the first chunk must extend past it). Returns the logits after
+     * token end-1 — the first-token logits once end == tokens.size().
+     * Throws std::invalid_argument on an out-of-order or empty chunk,
+     * a prompt that disagrees with the tokens already ingested, or
+     * any ordinary prefill violation.
+     */
+    Matrix prefillChunk(const std::vector<int> &tokens, size_t begin,
+                        size_t end);
+
+    /**
+     * First-chunk variant carrying the request's K/V plan (shared
+     * prefix + right-sized reservation): the plan applies on the
+     * session's first chunk and is ignored once the session holds
+     * tokens. With a prefix of p tokens the first chunk must satisfy
+     * end > p (the mapped positions are free; at least one suffix
+     * token must run).
+     */
+    Matrix prefillChunk(const std::vector<int> &tokens, size_t begin,
+                        size_t end, const SessionKvPlan &plan);
+
+    /**
      * Compute the shareable K/V of `tokens` as a prompt prefix: one
      * full-sequence forward on the content-addressed noise lane, its
      * per-layer quantized K/V (and, on encoded-operand backends, the
@@ -179,6 +213,15 @@ class InferenceSession
     friend class BatchedDecoder;
 
     Matrix logitsFromNormedRow(const Matrix &normed_row);
+
+    /**
+     * Validate + map a shared prefix onto an empty session (segment
+     * aliasing, pooled state, token bookkeeping) — the common head of
+     * prefill's prefix branch and of a prefix-plan first chunk.
+     * Returns the tail reservation (tokens beyond the prefix).
+     */
+    size_t mapPrefix(const std::vector<int> &tokens,
+                     const SessionKvPlan &plan, size_t reserve_tokens);
 
     const TransformerClassifier *model_;
     uint64_t request_id_ = 0; ///< trace payload; lane lives in ctx_

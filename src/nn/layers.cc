@@ -177,13 +177,30 @@ Linear::forwardBatch(const std::vector<Matrix> &xs,
             q.weight_bits = key;
             plans.push_back(planFor(*backend, q));
         }
-        std::vector<
-            std::pair<const Matrix *, const core::EncodedOperand *>>
-            products;
-        products.reserve(xs.size());
-        for (size_t i = 0; i < xs.size(); ++i)
-            products.emplace_back(act[i], plans[key_idx[i]].get());
-        ys = backend->gemmBatch(products, streams);
+        // Decode-regime fusion: when every activation is a single row
+        // and all contexts share one weight plan, stack the N rows
+        // into ONE dispatch — one DPTC tile carries several requests'
+        // rows instead of N near-empty row-GEMMs. Bit-identical per
+        // row (per-row betas + per-row stream seeding), so the branch
+        // is purely a dispatch-count/occupancy optimization.
+        bool all_rows = keys.size() == 1;
+        for (size_t i = 0; all_rows && i < xs.size(); ++i)
+            all_rows = act[i]->rows() == 1;
+        if (all_rows && backend->supportsRowStacking()) {
+            std::vector<ConstMatrixView> rows;
+            rows.reserve(xs.size());
+            for (size_t i = 0; i < xs.size(); ++i)
+                rows.push_back(act[i]->view());
+            ys = backend->gemmRowStacked(rows, *plans[0], streams);
+        } else {
+            std::vector<
+                std::pair<const Matrix *, const core::EncodedOperand *>>
+                products;
+            products.reserve(xs.size());
+            for (size_t i = 0; i < xs.size(); ++i)
+                products.emplace_back(act[i], plans[key_idx[i]].get());
+            ys = backend->gemmBatch(products, streams);
+        }
     } else {
         // Dense fallback: one quantized weight per distinct width
         // (built before taking pointers — the vector must not grow

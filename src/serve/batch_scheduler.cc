@@ -60,6 +60,14 @@ BatchScheduler::tick(RequestQueue &queue)
         std::max(0.0, msSince(a0, std::chrono::steady_clock::now()) -
                           prefill_ms - pool_ms);
 
+    // (b') Chunked mode: one prefill chunk per warming request, so a
+    // long prompt never stalls the in-flight decoders for more than
+    // one chunk per tick.
+    if (cfg_.prefill_chunk_tokens > 0) {
+        prefillChunkTick(prefill_ms, pool_ms);
+        retireFinished();
+    }
+
     // (c) One fused decode step for every active request.
     double decode_ms = decodeTick();
     retireFinished();
@@ -84,12 +92,13 @@ BatchScheduler::admit(RequestQueue &queue, double &prefill_ms,
 {
     while (active_.size() < cfg_.max_batch) {
         auto now = std::chrono::steady_clock::now();
-        // Pop the queue front only when it is servable this tick: an
+        // Pop the queue's most urgent request (priority / EDF /
+        // bypass-aging order) only when it is servable this tick: an
         // expired request always pops (it retires without touching
         // the engine or the pool), otherwise the pool budget — free
         // blocks plus evictable idle prefixes — must cover its
-        // worst-case reservation. Strict FIFO: an unservable front
-        // waits in place and nothing overtakes it.
+        // worst-case reservation. An unservable candidate waits in
+        // place and nothing overtakes it.
         std::optional<PendingRequest> taken =
             queue.takeIf([&](const PendingRequest &p) {
                 if (p.deadline && now > *p.deadline)
@@ -124,6 +133,7 @@ BatchScheduler::admit(RequestQueue &queue, double &prefill_ms,
         // scheduler and every other request keep running. Transient
         // engine faults additionally get a bounded retry first.
         Matrix logits;
+        const bool chunked = cfg_.prefill_chunk_tokens > 0;
         try {
             nn::SessionKvPlan plan;
             if (pool_) {
@@ -143,6 +153,16 @@ BatchScheduler::admit(RequestQueue &queue, double &prefill_ms,
                 plan.reserve_tokens =
                     a.pending.request.prompt.size() +
                     a.pending.request.max_new_tokens - 1;
+            }
+            a.plan = plan;
+            if (chunked) {
+                // Chunked mode defers ALL prompt ingestion to
+                // prefillChunkTick: admission just builds the empty
+                // session so the request holds a batch slot.
+                a.session = std::make_unique<nn::InferenceSession>(
+                    model_, backend_, quant_, a.pending.id);
+                active_.push_back(std::move(a));
+                continue;
             }
             size_t attempt = 0;
             while (true) {
@@ -205,21 +225,117 @@ BatchScheduler::admit(RequestQueue &queue, double &prefill_ms,
     }
 }
 
+void
+BatchScheduler::prefillChunkTick(double &prefill_ms, double &pool_ms)
+{
+    const size_t chunk = cfg_.prefill_chunk_tokens;
+    for (Active &a : active_) {
+        if (!a.session || !a.warming())
+            continue;
+        const std::vector<int> &prompt = a.pending.request.prompt;
+        const size_t n = prompt.size();
+        const size_t begin = a.session->contextLen();
+        // The first chunk covers the mapped prefix for free, plus one
+        // chunk of real tokens; later chunks resume at contextLen().
+        const size_t prefix =
+            a.plan.prefix ? a.plan.prefix->length() : 0;
+        const size_t end =
+            std::min(n, (begin == 0 ? prefix : begin) + chunk);
+        Matrix logits;
+        try {
+            obs::TraceScope span("tick/prefill_chunk", a.pending.id,
+                                 "begin", static_cast<int64_t>(begin),
+                                 "end", static_cast<int64_t>(end));
+            size_t attempt = 0;
+            while (true) {
+                try {
+                    auto f0 = std::chrono::steady_clock::now();
+                    // A fresh (or rebuilt) session re-ingests from 0
+                    // under the request's K/V plan; any chunking of
+                    // the same prompt is bit-identical, so the retry
+                    // that widens the chunk to [0, end) changes
+                    // nothing but the schedule.
+                    logits =
+                        a.session->contextLen() == 0
+                            ? a.session->prefillChunk(prompt, 0, end,
+                                                      a.plan)
+                            : a.session->prefillChunk(
+                                  prompt, a.session->contextLen(),
+                                  end);
+                    prefill_ms += msSince(
+                        f0, std::chrono::steady_clock::now());
+                    break;
+                } catch (const nn::EngineFaultError &) {
+                    if (attempt >= cfg_.max_step_retries)
+                        throw;
+                    ++attempt;
+                    if (metrics_)
+                        metrics_->onStepRetry();
+                    obs::traceInstant(
+                        "fault/step_retry", a.pending.id, "attempt",
+                        static_cast<int64_t>(attempt));
+                    // A chunk that died mid-layer left partially
+                    // written K/V behind: rebuild the session.
+                    a.session =
+                        std::make_unique<nn::InferenceSession>(
+                            model_, backend_, quant_, a.pending.id);
+                    std::this_thread::sleep_for(
+                        cfg_.step_retry_backoff);
+                }
+            }
+            if (pool_) {
+                auto p0 = std::chrono::steady_clock::now();
+                pool_->noteContext(a.admission.table,
+                                   a.session->contextLen());
+                pool_ms +=
+                    msSince(p0, std::chrono::steady_clock::now());
+            }
+        } catch (...) {
+            failRequest(a, std::current_exception());
+            continue;
+        }
+        if (metrics_)
+            metrics_->onPrefillChunk(end - begin);
+        if (end < n)
+            continue; // still warming; next chunk next tick
+        // Prompt fully ingested: this chunk's logits are the
+        // first-token logits (same bookkeeping as a whole prefill).
+        a.last_token = std::chrono::steady_clock::now();
+        a.ttft_ms = msSince(a.pending.enqueued, a.last_token);
+        a.generated.push_back(
+            static_cast<int>(nn::argmaxRow(logits, 0)));
+        if (a.pending.request.record_logits)
+            a.step_logits.push_back(std::move(logits));
+        if (metrics_)
+            metrics_->onPrefill(a.ttft_ms);
+        if (a.generated.size() >= a.pending.request.max_new_tokens)
+            finish(a, /*expired=*/false);
+    }
+}
+
 double
 BatchScheduler::decodeTick()
 {
-    if (active_.empty())
+    // Warming requests (chunked prefill still ingesting their
+    // prompts) hold slots but have no token to feed yet — the fused
+    // step runs over the ready subset.
+    std::vector<size_t> ready;
+    ready.reserve(active_.size());
+    for (size_t i = 0; i < active_.size(); ++i)
+        if (active_[i].session && !active_[i].warming())
+            ready.push_back(i);
+    if (ready.empty())
         return 0.0;
     obs::TraceScope span("tick/decode", obs::kNoRequest, "batch",
-                         static_cast<int64_t>(active_.size()));
+                         static_cast<int64_t>(ready.size()));
     auto d0 = std::chrono::steady_clock::now();
     std::vector<nn::InferenceSession *> sessions;
     std::vector<int> feed;
-    sessions.reserve(active_.size());
-    feed.reserve(active_.size());
-    for (Active &a : active_) {
-        sessions.push_back(a.session.get());
-        feed.push_back(a.generated.back());
+    sessions.reserve(ready.size());
+    feed.reserve(ready.size());
+    for (size_t i : ready) {
+        sessions.push_back(active_[i].session.get());
+        feed.push_back(active_[i].generated.back());
     }
 
     // The fused step either advances EVERY session or none: a throw
@@ -238,8 +354,8 @@ BatchScheduler::decodeTick()
             if (attempt > 0) {
                 replayActiveSessions();
                 sessions.clear();
-                for (Active &a : active_)
-                    sessions.push_back(a.session.get());
+                for (size_t i : ready)
+                    sessions.push_back(active_[i].session.get());
             }
             logits = nn::BatchedDecoder::step(sessions, feed);
             break;
@@ -254,7 +370,7 @@ BatchScheduler::decodeTick()
             obs::traceInstant(
                 "fault/step_retry", obs::kNoRequest, "attempt",
                 static_cast<int64_t>(attempt), "batch",
-                static_cast<int64_t>(active_.size()));
+                static_cast<int64_t>(ready.size()));
             std::this_thread::sleep_for(cfg_.step_retry_backoff);
         } catch (...) {
             failActiveBatch(std::current_exception());
@@ -263,17 +379,19 @@ BatchScheduler::decodeTick()
     }
     auto t1 = std::chrono::steady_clock::now();
 
-    for (size_t i = 0; i < active_.size(); ++i) {
-        Active &a = active_[i];
+    for (size_t k = 0; k < ready.size(); ++k) {
+        Active &a = active_[ready[k]];
         a.generated.push_back(
-            static_cast<int>(nn::argmaxRow(logits[i], 0)));
+            static_cast<int>(nn::argmaxRow(logits[k], 0)));
         if (a.pending.request.record_logits)
-            a.step_logits.push_back(std::move(logits[i]));
+            a.step_logits.push_back(std::move(logits[k]));
+        double gap = msSince(a.last_token, t1);
+        a.token_max_gap_ms = std::max(a.token_max_gap_ms, gap);
         if (metrics_)
-            metrics_->recordTokenLatency(msSince(a.last_token, t1));
+            metrics_->recordTokenLatency(gap);
         obs::traceInstant(
             "req/token", a.pending.id, "batch",
-            static_cast<int64_t>(active_.size()), "tokens",
+            static_cast<int64_t>(ready.size()), "tokens",
             static_cast<int64_t>(a.generated.size()));
         a.last_token = t1;
         if (pool_)
@@ -286,7 +404,7 @@ BatchScheduler::decodeTick()
             finish(a, /*expired=*/false);
     }
     if (metrics_)
-        metrics_->onDecodeTick(active_.size(),
+        metrics_->onDecodeTick(ready.size(),
                                msSince(t0, t1));
     return msSince(d0, std::chrono::steady_clock::now());
 }
@@ -305,6 +423,7 @@ BatchScheduler::finish(Active &request, bool expired)
     // TTFT is the (missed) total.
     result.ttft_ms =
         result.generated.empty() ? result.total_ms : request.ttft_ms;
+    result.token_max_gap_ms = request.token_max_gap_ms;
     obs::traceInstant(
         expired ? "req/expired" : "req/complete", request.pending.id,
         "tokens", static_cast<int64_t>(result.generated.size()));
@@ -355,18 +474,21 @@ BatchScheduler::replayActiveSessions()
     obs::traceInstant("fault/replay", obs::kNoRequest, "batch",
                       static_cast<int64_t>(active_.size()));
     for (Active &a : active_) {
+        // Warming requests weren't in the failed fused step and their
+        // partial K/V is intact — prefillChunkTick owns their retry.
+        if (!a.session || a.warming())
+            continue;
         a.session = std::make_unique<nn::InferenceSession>(
             model_, backend_, quant_, a.pending.id);
-        nn::SessionKvPlan plan;
-        if (pool_) {
-            plan.prefix = a.admission.prefix;
-            plan.reserve_tokens =
-                a.pending.request.prompt.size() +
-                a.pending.request.max_new_tokens - 1;
-            a.session->prefill(a.pending.request.prompt, plan);
-        } else {
-            a.session->prefill(a.pending.request.prompt);
-        }
+        // Re-ingest the prompt under the request's stored K/V plan,
+        // through the same path it originally took (whole-sequence vs
+        // chunked ingestion are different quantization schedules).
+        if (cfg_.prefill_chunk_tokens > 0)
+            a.session->prefillChunk(a.pending.request.prompt, 0,
+                                    a.pending.request.prompt.size(),
+                                    a.plan);
+        else
+            a.session->prefill(a.pending.request.prompt, a.plan);
         // Re-ingest every generated token except the last: that one
         // is the feed of the step being retried. The replayed logits
         // are discarded — identical to the ones already recorded.

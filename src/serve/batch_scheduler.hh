@@ -3,13 +3,16 @@
  * BatchScheduler: the continuous-batching loop of the serve layer.
  *
  * Every tick() (a) retires requests that missed their deadline,
- * (b) admits waiting requests into free slots and runs their prefills,
- * then (c) advances ALL active sessions one decode step together
- * through nn::BatchedDecoder — so the engine sees one fused gemmBatch
- * per projection per layer (O(layers) dispatches) no matter how many
- * requests are in flight. Requests join and leave the running batch
- * between any two ticks; the batch never drains to admit new work
- * (continuous batching, not static batching).
+ * (b) admits waiting requests into free slots and runs their prefills
+ * — or, with SchedulerConfig::prefill_chunk_tokens set, runs at most
+ * ONE prefill chunk per warming request (chunked prefill, the token-
+ * tail killer) — then (c) advances every ready session one decode
+ * step together through nn::BatchedDecoder, so the engine sees one
+ * stacked-row fused dispatch per projection per layer (O(layers)
+ * dispatches) no matter how many requests are in flight. Requests
+ * join and leave the running batch between any two ticks; the batch
+ * never drains to admit new work (continuous batching, not static
+ * batching).
  *
  * Decoding is greedy: token 0 is the argmax of the prefill logits,
  * token k the argmax of the decode step that re-ingested token k-1.
@@ -21,7 +24,8 @@
  * (serve::Server owns that thread; tests may tick manually).
  *
  * Observability: when an obs::TraceRecorder is installed, every tick
- * emits "tick/admission" and "tick/decode" phase spans, per-request
+ * emits "tick/admission", per-chunk "tick/prefill_chunk" (chunked
+ * mode), and "tick/decode" phase spans, per-request
  * lifecycle events ("req/admitted", "req/prefill" span, "req/token"
  * per decode tick, "req/complete" / "req/expired"), and queue-depth /
  * active-request counter tracks. Independent of tracing, the tick's
@@ -67,6 +71,24 @@ struct SchedulerConfig
     /** Backoff between engine-fault retries (gives quarantine and
      *  transient upsets time to clear). */
     std::chrono::milliseconds step_retry_backoff{1};
+
+    /**
+     * Chunked prefill: ingest each admitted prompt in chunks of at
+     * most this many tokens, ONE chunk per request per tick, between
+     * admission and the fused decode step — so a new prompt never
+     * stalls the in-flight decoders for more than one chunk (the
+     * token-p99 tail killer at high concurrency). 0 = the historical
+     * whole-prompt prefill at admission time.
+     *
+     * Chunks ingest through the incremental decode path, so a
+     * request's logits are bit-identical for ANY chunk size — but
+     * chunked ingestion is a different (per-token) quantization
+     * schedule than the whole-sequence prefill forward, so solo
+     * reference runs must use prefillChunk too (the serve benches
+     * do). With a shared prefix the mapped positions are free: the
+     * first chunk covers the prefix plus one chunk of real tokens.
+     */
+    size_t prefill_chunk_tokens = 0;
 };
 
 /** Admits, prefills, and lockstep-decodes concurrent requests. */
@@ -81,8 +103,9 @@ class BatchScheduler
      * @param pool optional paged KV pool (may be nullptr = the
      *        historical dense-reserve mode). With a pool, admission
      *        gates on the free-block budget instead of slot count
-     *        alone — the front of the queue waits (strict FIFO, no
-     *        overtaking) until enough blocks are free or evictable,
+     *        alone — the queue's most urgent request (priority/EDF
+     *        order, see RequestQueue::takeIf) waits without being
+     *        overtaken until enough blocks are free or evictable,
      *        prefills run under a right-sized SessionKvPlan, and
      *        completion/expiry releases the request's blocks.
      */
@@ -123,14 +146,28 @@ class BatchScheduler
         std::vector<Matrix> step_logits;
         std::chrono::steady_clock::time_point last_token;
         double ttft_ms = 0.0; ///< submit -> prefill completion
+        /** Largest gap between consecutive emitted tokens — the
+         *  stall metric chunked prefill exists to bound. */
+        double token_max_gap_ms = 0.0;
+        /** The session's K/V plan (prefix + reservation): chunked
+         *  prefill resumes under it, fault replay rebuilds from it. */
+        nn::SessionKvPlan plan;
         /** Pool blocks + shared prefix (paged mode only). */
         KvBlockPool::Admission admission;
+
+        /** Still ingesting its prompt (no first token yet): occupies
+         *  a batch slot but does not decode. */
+        bool warming() const { return generated.empty(); }
     };
 
     /** Admit + prefill; accumulates prefill / KV-pool wall time into
      *  the out-params for the tick's phase accounting. */
     void admit(RequestQueue &queue, double &prefill_ms,
                double &pool_ms);
+    /** One prefill chunk for every warming request (chunked mode).
+     *  Chunk wall time lands in prefill_ms — per-chunk, in the tick
+     *  it actually ran, not under admission. */
+    void prefillChunkTick(double &prefill_ms, double &pool_ms);
     /** One fused decode step; returns its wall time in ms. */
     double decodeTick();
     void finish(Active &request, bool expired);

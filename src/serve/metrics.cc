@@ -58,6 +58,15 @@ Metrics::onPrefill(double ttft_ms)
 }
 
 void
+Metrics::onPrefillChunk(size_t tokens)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    last_activity_ = std::chrono::steady_clock::now();
+    counts_.prefill_chunks += 1;
+    counts_.prefill_chunk_tokens += tokens;
+}
+
+void
 Metrics::onDecodeTick(size_t batch_size, double tick_ms)
 {
     (void)tick_ms;

@@ -52,6 +52,17 @@ struct MetricsSnapshot
     size_t decode_ticks = 0;  ///< fused batched decode steps executed
     size_t tokens_generated = 0;
 
+    /**
+     * Chunked-prefill work (zero when
+     * SchedulerConfig::prefill_chunk_tokens is 0): chunks executed and
+     * prompt positions they covered (shared-prefix positions count —
+     * they are covered by the first chunk, for free). prefills still
+     * counts whole prompts completed, so chunks / prefills is the mean
+     * chunks-per-prompt.
+     */
+    size_t prefill_chunks = 0;
+    size_t prefill_chunk_tokens = 0;
+
     // Gauges at snapshot time.
     size_t queue_depth = 0;
     size_t active_requests = 0;
@@ -94,6 +105,9 @@ struct MetricsSnapshot
     size_t engine_macs = 0;
     size_t engine_gemm_calls = 0;
     size_t engine_batch_calls = 0;
+    /** Stacked-row fused dispatches (block-diagonal GEMM fusion): N
+     *  decode rows against one weight plan in ONE engine call. */
+    size_t engine_stacked_calls = 0;
 
     /**
      * Encoded-operand cache effectiveness, split by operand class.
@@ -156,6 +170,8 @@ class Metrics
     void onRequestFailure();
     void onStepRetry();
     void onPrefill(double ttft_ms);
+    /** One prefill chunk covering `tokens` prompt positions. */
+    void onPrefillChunk(size_t tokens);
     void onDecodeTick(size_t batch_size, double tick_ms);
     void recordTokenLatency(double ms);
     void onComplete(bool expired);

@@ -59,6 +59,18 @@ struct Request
     std::optional<uint64_t> request_id;
 
     /**
+     * Scheduling priority class (higher = more urgent). The queue
+     * serves the highest priority class first; within a class,
+     * requests with the earliest deadline go first (EDF) and
+     * deadline-less requests fall back to FIFO order. Bypass aging
+     * bounds starvation: an entry overtaken too many times is served
+     * next regardless of class (RequestQueue::kStarvationBypassLimit).
+     * 0 (the default) keeps the historical all-FIFO behavior when no
+     * request sets a priority or a deadline.
+     */
+    int priority = 0;
+
+    /**
      * Leading prompt tokens shared with other requests (a system
      * prompt, few-shot header, ...). On a paged server
      * (ServerConfig::kv_pool) those positions are served from ONE
@@ -91,6 +103,15 @@ struct RequestResult
 
     /** Submit -> completion. */
     double total_ms = 0.0;
+
+    /**
+     * Largest gap between consecutive generated tokens (ms) — the
+     * stall a whole-prompt prefill of a co-scheduled request injects
+     * into this request's token stream, and the figure chunked
+     * prefill (SchedulerConfig::prefill_chunk_tokens) bounds. 0 for
+     * requests that generated fewer than two tokens.
+     */
+    double token_max_gap_ms = 0.0;
 };
 
 } // namespace serve

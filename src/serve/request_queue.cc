@@ -57,10 +57,45 @@ RequestQueue::takeIf(
     const std::function<bool(const PendingRequest &)> &pred)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.empty() || !pred(queue_.front()))
+    if (queue_.empty())
         return std::nullopt;
-    std::optional<PendingRequest> taken(std::move(queue_.front()));
-    queue_.pop_front();
+
+    // Starvation aging first: an entry overtaken too many times is
+    // the candidate no matter its class (oldest such wins).
+    size_t pick = 0;
+    bool aged = false;
+    for (size_t i = 0; i < queue_.size() && !aged; ++i)
+        if (queue_[i].bypassed >= kStarvationBypassLimit) {
+            pick = i;
+            aged = true;
+        }
+    if (!aged) {
+        // Highest priority class; EDF within the class (finite
+        // deadline beats none); FIFO on full ties (the scan keeps the
+        // earlier entry unless the later one is strictly better).
+        for (size_t i = 1; i < queue_.size(); ++i) {
+            const PendingRequest &best = queue_[pick];
+            const PendingRequest &cand = queue_[i];
+            if (cand.request.priority != best.request.priority) {
+                if (cand.request.priority > best.request.priority)
+                    pick = i;
+                continue;
+            }
+            if (cand.deadline &&
+                (!best.deadline || *cand.deadline < *best.deadline))
+                pick = i;
+        }
+    }
+
+    // A rejected candidate keeps its claim on the next free slot:
+    // nothing overtakes it while `pred` (the pool budget) says no.
+    if (!pred(queue_[pick]))
+        return std::nullopt;
+    std::optional<PendingRequest> taken(std::move(queue_[pick]));
+    for (size_t i = 0; i < pick; ++i)
+        queue_[i].bypassed += 1;
+    queue_.erase(queue_.begin() +
+                 static_cast<std::ptrdiff_t>(pick));
     return taken;
 }
 

@@ -37,6 +37,9 @@ struct PendingRequest
     std::chrono::steady_clock::time_point enqueued;
     /** Absolute deadline (enqueued + Request::deadline), if any. */
     std::optional<std::chrono::steady_clock::time_point> deadline;
+    /** Times a later-queued request was popped over this one —
+     *  takeIf's starvation-freedom counter (bypass aging). */
+    size_t bypassed = 0;
 };
 
 /** MPSC queue: many submitting threads, one scheduler consumer. */
@@ -57,11 +60,27 @@ class RequestQueue
     std::vector<PendingRequest> take(size_t max_requests);
 
     /**
-     * Pop the FRONT request iff `pred` accepts it; nullopt when the
-     * queue is empty or the front is rejected. Strictly FIFO — a
-     * rejected front blocks everything behind it, which is exactly
-     * the no-starvation admission order the paged scheduler wants
-     * (a big request waiting for blocks is never overtaken).
+     * After this many bypasses a waiting entry is served next
+     * regardless of class — the aging bound that makes the
+     * priority/EDF order below starvation-free.
+     */
+    static constexpr size_t kStarvationBypassLimit = 8;
+
+    /**
+     * Pop the most urgent request iff `pred` accepts it; nullopt when
+     * the queue is empty or that candidate is rejected.
+     *
+     * Urgency order: any entry bypassed kStarvationBypassLimit times
+     * wins outright (oldest such first); otherwise the highest
+     * Request::priority class wins, ties broken earliest-deadline-
+     * first within the class (a finite deadline beats none), and
+     * remaining ties stay FIFO. With all-default requests (priority
+     * 0, no deadlines) this degenerates to the historical strict
+     * FIFO. A pred-rejected candidate is never overtaken — the paged
+     * scheduler's no-starvation admission order (a big request
+     * waiting for pool blocks keeps its turn) — so urgency reorders
+     * only who gets the NEXT free slot. Popping a non-front entry
+     * bumps the `bypassed` count of everything queued before it.
      */
     std::optional<PendingRequest>
     takeIf(const std::function<bool(const PendingRequest &)> &pred);

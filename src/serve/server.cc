@@ -230,6 +230,8 @@ Server::metrics() const
         stats.calls.load(std::memory_order_relaxed);
     snap.engine_batch_calls =
         stats.batch_calls.load(std::memory_order_relaxed);
+    snap.engine_stacked_calls =
+        stats.stacked_calls.load(std::memory_order_relaxed);
     snap.engine_weight_encode_hits =
         stats.weight_encode_hits.load(std::memory_order_relaxed);
     snap.engine_weight_encode_misses =

@@ -309,13 +309,16 @@ TEST(Serve, StaggeredArrivalsJoinTheRunningBatchBitIdentically)
 
 TEST(Serve, FusedDecodeStepDispatchesOLayersBatches)
 {
-    // The engine must see the same number of gemmBatch dispatches per
+    // The engine must see the same number of fused dispatches per
     // decode step whether 2 or 12 requests ride in it: per layer one
-    // batch per projection (wq, wk, wv, wo, fc1, fc2) plus the fused
-    // QK^T and AV batches, plus the LM head = 8 * depth + 1.
+    // stacked-row dispatch per projection (wq, wk, wv, wo, fc1, fc2)
+    // plus the LM head = 6 * depth + 1 stacked calls, and one fused
+    // gemmBatch each for QK^T and AV = 2 * depth batch calls — the
+    // block-diagonal fusion's 8*depth+1 -> 2*depth+(6*depth+1) split.
     nn::TransformerClassifier model(lmConfig());
     nn::ExecutionEngine engine(noisyDptc(), core::EvalMode::Noisy);
-    const size_t expected = 8 * model.config().depth + 1;
+    const size_t expected_stacked = 6 * model.config().depth + 1;
+    const size_t expected_batches = 2 * model.config().depth;
 
     for (size_t n : {1u, 2u, 12u}) {
         std::vector<std::unique_ptr<nn::InferenceSession>> sessions;
@@ -331,7 +334,10 @@ TEST(Serve, FusedDecodeStepDispatchesOLayersBatches)
         }
         engine.resetStats();
         nn::BatchedDecoder::step(ptrs, feed);
-        EXPECT_EQ(engine.stats().batch_calls.load(), expected)
+        EXPECT_EQ(engine.stats().stacked_calls.load(),
+                  expected_stacked)
+            << "batch of " << n;
+        EXPECT_EQ(engine.stats().batch_calls.load(), expected_batches)
             << "batch of " << n;
         // ... while the per-product count grows with n, as it must.
         EXPECT_EQ(engine.stats().calls.load(),
@@ -942,6 +948,94 @@ TEST(Serve, PersistentEngineFailureFailsRequestsNotTheServer)
     server.runUntilIdle();
     EXPECT_THROW(late.get(), nn::EngineFaultError);
     EXPECT_EQ(server.metrics().request_failures, kRequests + 1);
+}
+
+// ---- queue ordering: priority, EDF, starvation freedom ----------------
+
+namespace {
+
+serve::Request
+queueRequest(int priority,
+             std::optional<std::chrono::milliseconds> deadline =
+                 std::nullopt)
+{
+    serve::Request req;
+    req.prompt = {1, 2, 3};
+    req.max_new_tokens = 1;
+    req.priority = priority;
+    req.deadline = deadline;
+    return req;
+}
+
+const auto kTakeAll = [](const serve::PendingRequest &) {
+    return true;
+};
+
+} // namespace
+
+TEST(Serve, QueueDefaultsDegenerateToFifo)
+{
+    serve::RequestQueue queue;
+    for (uint64_t id = 0; id < 5; ++id)
+        queue.submit(queueRequest(0), id);
+    for (uint64_t id = 0; id < 5; ++id) {
+        auto taken = queue.takeIf(kTakeAll);
+        ASSERT_TRUE(taken.has_value());
+        EXPECT_EQ(taken->id, id);
+    }
+}
+
+TEST(Serve, QueueServesHigherPriorityThenEarliestDeadline)
+{
+    using std::chrono::milliseconds;
+    serve::RequestQueue queue;
+    queue.submit(queueRequest(0, milliseconds(100)), 0);
+    queue.submit(queueRequest(1, milliseconds(900)), 1);
+    queue.submit(queueRequest(1, milliseconds(500)), 2);
+    queue.submit(queueRequest(1), 3); // same class, no deadline
+    queue.submit(queueRequest(0), 4);
+
+    // Highest class first; EDF inside it (finite beats none); then
+    // the lower class, again deadline before deadline-less.
+    std::vector<uint64_t> order;
+    while (auto taken = queue.takeIf(kTakeAll))
+        order.push_back(taken->id);
+    EXPECT_EQ(order, (std::vector<uint64_t>{2, 1, 3, 0, 4}));
+}
+
+TEST(Serve, QueueRejectedCandidateIsNeverOvertaken)
+{
+    // The pool's no-starvation admission order: while pred says no to
+    // the most urgent candidate, nothing else pops over it.
+    serve::RequestQueue queue;
+    queue.submit(queueRequest(5), 0);
+    queue.submit(queueRequest(0), 1);
+    auto taken = queue.takeIf(
+        [](const serve::PendingRequest &p) { return p.id != 0; });
+    EXPECT_FALSE(taken.has_value());
+    EXPECT_EQ(queue.depth(), 2u);
+}
+
+TEST(Serve, QueueBypassAgingBoundsStarvation)
+{
+    // A low-priority request under a steady stream of high-priority
+    // arrivals is served after at most kStarvationBypassLimit
+    // bypasses — it cannot wait forever.
+    serve::RequestQueue queue;
+    queue.submit(queueRequest(0), 0); // the would-be starved entry
+    uint64_t next_id = 1;
+    size_t bypasses = 0;
+    while (bypasses <= serve::RequestQueue::kStarvationBypassLimit +
+                           1) {
+        queue.submit(queueRequest(9), next_id++);
+        auto taken = queue.takeIf(kTakeAll);
+        ASSERT_TRUE(taken.has_value());
+        if (taken->id == 0)
+            break;
+        ++bypasses;
+    }
+    EXPECT_EQ(bypasses, serve::RequestQueue::kStarvationBypassLimit)
+        << "the aged entry must pop exactly when it hits the limit";
 }
 
 } // namespace
